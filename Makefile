@@ -1,0 +1,32 @@
+# Convenience targets for the streamquantiles reproduction.
+
+GO ?= go
+
+.PHONY: all build test race bench experiments report html clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate EXPERIMENTS.md (several minutes at the default n).
+experiments:
+	$(GO) run ./cmd/quantbench -all -format markdown > EXPERIMENTS.md
+
+# Self-contained HTML results page.
+html:
+	$(GO) run ./cmd/quantbench -all -format html > results.html
+
+clean:
+	$(GO) clean ./...
+	rm -f results.html test_output.txt bench_output.txt

@@ -1,0 +1,67 @@
+package streamquantiles
+
+import (
+	"slices"
+	"testing"
+
+	"streamquantiles/internal/exact"
+	"streamquantiles/internal/streamgen"
+)
+
+// TestAnytimeProperty checks the defining requirement of the streaming
+// model (paper §1): "the algorithm has to be ready to stop and provide
+// the results at any time". Every summary is queried at several stream
+// prefixes and must satisfy its guarantee against the prefix oracle —
+// not just at the end.
+func TestAnytimeProperty(t *testing.T) {
+	const n = 60000
+	const eps = 0.02
+	const bits = 20
+	data := streamgen.Generate(streamgen.MPCATLike{Seed: 7}, n)
+	for i := range data {
+		data[i] %= 1 << bits
+	}
+	checkpoints := []int{1, 10, 100, 5000, 20000, n}
+
+	summaries := map[string]CashRegister{
+		"GKAdaptive":  NewGKAdaptive(eps),
+		"GKTheory":    NewGKTheory(eps),
+		"GKArray":     NewGKArray(eps),
+		"FastQDigest": NewQDigest(eps, bits),
+		"MRL99":       NewMRL99(eps, 3),
+		"Random":      NewRandom(eps, 3),
+	}
+	turnstiles := map[string]Turnstile{
+		"DCM": NewDCM(eps, bits, DyadicConfig{Seed: 4}),
+		"DCS": NewDCS(eps, bits, DyadicConfig{Seed: 4}),
+	}
+
+	next := 0
+	for _, cp := range checkpoints {
+		for ; next < cp; next++ {
+			for _, s := range summaries {
+				s.Update(data[next])
+			}
+			for _, s := range turnstiles {
+				s.Insert(data[next])
+			}
+		}
+		prefix := slices.Clone(data[:cp])
+		oracle := exact.New(prefix)
+		for name, s := range summaries {
+			if s.Count() != int64(cp) {
+				t.Fatalf("%s: count %d at prefix %d", name, s.Count(), cp)
+			}
+			maxErr, _ := oracle.EvaluateSummary(s, eps)
+			if maxErr > eps {
+				t.Errorf("%s at prefix %d: max error %v exceeds ε", name, cp, maxErr)
+			}
+		}
+		for name, s := range turnstiles {
+			maxErr, _ := oracle.EvaluateSummary(s, eps)
+			if maxErr > eps {
+				t.Errorf("%s at prefix %d: max error %v exceeds ε", name, cp, maxErr)
+			}
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Benchmarks regenerating the paper's evaluation: one target per figure
+// and table (see DESIGN.md's experiment index), each wrapping the
+// corresponding harness driver, plus end-to-end update-throughput
+// benchmarks of every algorithm through the public API.
+//
+// The drivers run at laptop scale (n = 50 000 here; the paper used
+// 10^7–10^10) — absolute numbers differ from the paper but the reported
+// custom metrics (errors, space) preserve the comparative shapes. Run
+// cmd/quantbench for larger, configurable reproductions.
+package streamquantiles
+
+import (
+	"testing"
+
+	"streamquantiles/internal/harness"
+	"streamquantiles/internal/streamgen"
+)
+
+func benchOpts() harness.Options {
+	return harness.Options{N: 50_000, Seed: 1, Repeats: 1}
+}
+
+// reportFigure runs a harness driver once per iteration and surfaces a
+// few representative measurements as custom benchmark metrics.
+func reportFigure(b *testing.B, exp string) {
+	b.Helper()
+	var results []harness.Result
+	for i := 0; i < b.N; i++ {
+		results = harness.Run(exp, benchOpts())
+	}
+	if len(results) == 0 {
+		b.Fatalf("%s produced no results", exp)
+	}
+	var maxErr, avgErr float64
+	var space int64
+	for _, r := range results {
+		if r.MaxErr > maxErr {
+			maxErr = r.MaxErr
+		}
+		avgErr += r.AvgErr
+		if r.SpaceBytes > space {
+			space = r.SpaceBytes
+		}
+	}
+	b.ReportMetric(maxErr, "worst-max-err")
+	b.ReportMetric(avgErr/float64(len(results)), "mean-avg-err")
+	b.ReportMetric(float64(space), "max-space-bytes")
+}
+
+// Cash-register experiments (paper §4.2).
+
+func BenchmarkFig5Error(b *testing.B) { reportFigure(b, harness.ExpFig5) }
+func BenchmarkFig5Space(b *testing.B) { reportFigure(b, harness.ExpFig5) }
+func BenchmarkFig5Time(b *testing.B)  { reportFigure(b, harness.ExpFig5) }
+
+func BenchmarkFig6Universe(b *testing.B) { reportFigure(b, harness.ExpFig6) }
+func BenchmarkFig7Length(b *testing.B)   { reportFigure(b, harness.ExpFig7) }
+func BenchmarkFig8Order(b *testing.B)    { reportFigure(b, harness.ExpFig8) }
+
+// Turnstile experiments (paper §4.3).
+
+func BenchmarkTable3TuneD(b *testing.B)   { reportFigure(b, harness.ExpTable3) }
+func BenchmarkTable4TuneD(b *testing.B)   { reportFigure(b, harness.ExpTable4) }
+func BenchmarkFig9Eta(b *testing.B)       { reportFigure(b, harness.ExpFig9) }
+func BenchmarkFig10Error(b *testing.B)    { reportFigure(b, harness.ExpFig10) }
+func BenchmarkFig10Space(b *testing.B)    { reportFigure(b, harness.ExpFig10) }
+func BenchmarkFig10Time(b *testing.B)     { reportFigure(b, harness.ExpFig10) }
+func BenchmarkFig11Universe(b *testing.B) { reportFigure(b, harness.ExpFig11) }
+func BenchmarkFig12Skew(b *testing.B)     { reportFigure(b, harness.ExpFig12) }
+
+// Reproduction ablations (DESIGN.md).
+
+func BenchmarkAblationGKImpl(b *testing.B)         { reportFigure(b, harness.ExpAblGK) }
+func BenchmarkAblationDCSExactLevels(b *testing.B) { reportFigure(b, harness.ExpAblExact) }
+func BenchmarkAblationPostFallback(b *testing.B)   { reportFigure(b, harness.ExpAblPostFB) }
+
+// Extension experiments (DESIGN.md: beyond the paper's evaluation).
+
+func BenchmarkExtBiased(b *testing.B) { reportFigure(b, harness.ExpExtBiased) }
+func BenchmarkExtWindow(b *testing.B) { reportFigure(b, harness.ExpExtWindow) }
+func BenchmarkExtKLL(b *testing.B)    { reportFigure(b, harness.ExpExtKLL) }
+
+func BenchmarkUpdateKLL(b *testing.B)      { benchUpdates(b, NewKLL(0.001, 1)) }
+func BenchmarkUpdateGKBiased(b *testing.B) { benchUpdates(b, NewGKBiased(0.001)) }
+
+// End-to-end update throughput through the public API.
+
+func benchUpdates(b *testing.B, s CashRegister) {
+	b.Helper()
+	data := streamgen.Generate(streamgen.Uniform{Bits: 32, Seed: 1}, 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Update(data[i&(1<<16-1)])
+	}
+	b.ReportMetric(float64(s.SpaceBytes()), "space-bytes")
+}
+
+func BenchmarkUpdateGKAdaptive(b *testing.B) { benchUpdates(b, NewGKAdaptive(0.001)) }
+func BenchmarkUpdateGKTheory(b *testing.B)   { benchUpdates(b, NewGKTheory(0.001)) }
+func BenchmarkUpdateGKArray(b *testing.B)    { benchUpdates(b, NewGKArray(0.001)) }
+func BenchmarkUpdateQDigest(b *testing.B)    { benchUpdates(b, NewQDigest(0.001, 32)) }
+func BenchmarkUpdateMRL99(b *testing.B)      { benchUpdates(b, NewMRL99(0.001, 1)) }
+func BenchmarkUpdateRandom(b *testing.B)     { benchUpdates(b, NewRandom(0.001, 1)) }
+
+func benchInserts(b *testing.B, s Turnstile) {
+	b.Helper()
+	data := streamgen.Generate(streamgen.Uniform{Bits: 32, Seed: 1}, 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(data[i&(1<<16-1)])
+	}
+	b.ReportMetric(float64(s.SpaceBytes()), "space-bytes")
+}
+
+func BenchmarkInsertDCM(b *testing.B) { benchInserts(b, NewDCM(0.001, 32, DyadicConfig{Seed: 1})) }
+func BenchmarkInsertDCS(b *testing.B) { benchInserts(b, NewDCS(0.001, 32, DyadicConfig{Seed: 1})) }
+
+func BenchmarkQuantileGKArray(b *testing.B) {
+	s := NewGKArray(0.001)
+	data := streamgen.Generate(streamgen.Uniform{Bits: 32, Seed: 1}, 1<<18)
+	for _, x := range data {
+		s.Update(x)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Quantile(0.99)
+	}
+}
+
+func BenchmarkPostProcessDCS(b *testing.B) {
+	s := NewDCS(0.01, 24, DyadicConfig{Seed: 1})
+	data := streamgen.Generate(streamgen.MPCATLike{Seed: 1}, 1<<17)
+	for _, x := range data {
+		s.Insert(x)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = PostProcess(s, 0)
+	}
+}

@@ -1,0 +1,111 @@
+package streamquantiles
+
+import (
+	"slices"
+	"testing"
+
+	"streamquantiles/internal/exact"
+	"streamquantiles/internal/xhash"
+)
+
+// TestBruteForceSmallStreams drives every algorithm with thousands of
+// tiny random streams and verifies the guarantee against a brute-force
+// oracle — the kind of exhaustive net that catches off-by-one rank
+// handling that large-stream statistics hide.
+func TestBruteForceSmallStreams(t *testing.T) {
+	const eps = 0.26 // coarse: summaries stay tiny, edge paths dominate
+	const bits = 4   // universe {0..15}
+	rng := xhash.NewSplitMix64(2024)
+
+	mk := func() map[string]CashRegister {
+		return map[string]CashRegister{
+			"GKAdaptive":  NewGKAdaptive(eps),
+			"GKTheory":    NewGKTheory(eps),
+			"GKArray":     NewGKArray(eps),
+			"FastQDigest": NewQDigest(eps, bits),
+			"MRL99":       NewMRL99(eps, rng.Next()),
+			"Random":      NewRandom(eps, rng.Next()),
+			"GKBiased":    NewGKBiased(eps),
+		}
+	}
+
+	for trial := 0; trial < 400; trial++ {
+		n := 1 + int(rng.Uint64n(24))
+		data := make([]uint64, n)
+		for i := range data {
+			data[i] = rng.Uint64n(1 << bits)
+		}
+		oracle := exact.New(data)
+		summaries := mk()
+		for _, x := range data {
+			for _, s := range summaries {
+				s.Update(x)
+			}
+		}
+		for name, s := range summaries {
+			if s.Count() != int64(n) {
+				t.Fatalf("trial %d %s: count %d, want %d", trial, name, s.Count(), n)
+			}
+			for _, phi := range []float64{0.01, 0.3, 0.5, 0.7, 0.99} {
+				got := s.Quantile(phi)
+				err := oracle.QuantileError(got, phi)
+				// Deterministic guarantee plus one rank of definitional
+				// slack for the tiny-n rounding differences; the biased
+				// summary's guarantee at small φ is ε·φn, necessarily
+				// within ε·n as well. The randomized summaries hold the
+				// stream exactly at these sizes.
+				if err > eps+1.0/float64(n)+1e-9 {
+					t.Errorf("trial %d %s: phi=%v err=%v n=%d data=%v got=%d",
+						trial, name, phi, err, n, data, got)
+				}
+			}
+		}
+	}
+}
+
+// TestBruteForceTurnstile does the same for DCM/DCS with random
+// insert/delete interleavings, checking against the live multiset.
+func TestBruteForceTurnstile(t *testing.T) {
+	const eps = 0.26
+	const bits = 4
+	rng := xhash.NewSplitMix64(2025)
+
+	for trial := 0; trial < 150; trial++ {
+		dcm := NewDCM(eps, bits, DyadicConfig{Seed: rng.Next()})
+		dcs := NewDCS(eps, bits, DyadicConfig{Seed: rng.Next()})
+		var live []uint64
+		ops := 1 + int(rng.Uint64n(40))
+		for op := 0; op < ops; op++ {
+			if len(live) > 0 && rng.Uint64n(3) == 0 {
+				i := int(rng.Uint64n(uint64(len(live))))
+				x := live[i]
+				live = append(live[:i], live[i+1:]...)
+				dcm.Delete(x)
+				dcs.Delete(x)
+			} else {
+				x := rng.Uint64n(1 << bits)
+				live = append(live, x)
+				dcm.Insert(x)
+				dcs.Insert(x)
+			}
+		}
+		if dcm.Count() != int64(len(live)) || dcs.Count() != int64(len(live)) {
+			t.Fatalf("trial %d: counts %d/%d, want %d", trial, dcm.Count(), dcs.Count(), len(live))
+		}
+		if len(live) == 0 {
+			continue
+		}
+		sorted := slices.Clone(live)
+		slices.Sort(sorted)
+		oracle := exact.New(sorted)
+		for name, s := range map[string]Turnstile{"DCM": dcm, "DCS": dcs} {
+			for _, phi := range []float64{0.2, 0.5, 0.8} {
+				got := s.Quantile(phi)
+				if err := oracle.QuantileError(got, phi); err > eps+1.0/float64(len(live))+1e-9 {
+					t.Errorf("trial %d %s: phi=%v err=%v live=%v got=%d",
+						trial, name, phi, err, sorted, got)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package streamquantiles
+
+import "streamquantiles/internal/core"
+
+// CDFPoint is one point of an approximate cumulative distribution:
+// an estimated Fraction of the stream is ≤ Value.
+type CDFPoint struct {
+	Value    uint64
+	Fraction float64
+}
+
+// CDF extracts a points-sized approximation of the summarized
+// distribution's cumulative distribution function, the representation
+// the paper motivates quantiles with (§1: quantiles characterize the
+// cdf, which yields the pdf). Points are taken at evenly spaced
+// fractions 1/(points+1) … points/(points+1); values are non-decreasing.
+// Each point inherits the summary's rank guarantee: the true fraction of
+// elements ≤ Value differs from Fraction by at most the summary's ε.
+func CDF(s Summary, points int) []CDFPoint {
+	if points < 1 {
+		panic("streamquantiles: CDF needs at least one point")
+	}
+	phis := make([]float64, points)
+	for i := range phis {
+		phis[i] = float64(i+1) / float64(points+1)
+	}
+	values := core.Quantiles(s, phis)
+	out := make([]CDFPoint, points)
+	prev := uint64(0)
+	for i := range out {
+		v := values[i]
+		if v < prev {
+			v = prev // enforce monotonicity against estimator noise
+		}
+		out[i] = CDFPoint{Value: v, Fraction: phis[i]}
+		prev = v
+	}
+	return out
+}
+
+// Histogram returns an approximate equi-depth histogram with the given
+// number of buckets: bucket i covers (Bounds[i-1], Bounds[i]] and holds
+// ≈ 1/buckets of the stream. Bounds has length buckets−1 (the interior
+// boundaries), as in standard equi-depth histogram constructions.
+func Histogram(s Summary, buckets int) (bounds []uint64) {
+	if buckets < 2 {
+		panic("streamquantiles: Histogram needs at least two buckets")
+	}
+	pts := CDF(s, buckets-1)
+	bounds = make([]uint64, len(pts))
+	for i, p := range pts {
+		bounds[i] = p.Value
+	}
+	return bounds
+}

@@ -1,0 +1,100 @@
+package streamquantiles
+
+import (
+	"sort"
+	"testing"
+)
+
+func loaded(t *testing.T) CashRegister {
+	t.Helper()
+	s := NewGKArray(0.005)
+	for i := 0; i < 100000; i++ {
+		s.Update(uint64(i % 1000)) // uniform over 0..999
+	}
+	return s
+}
+
+func TestCDFShape(t *testing.T) {
+	s := loaded(t)
+	pts := CDF(s, 99)
+	if len(pts) != 99 {
+		t.Fatalf("%d points", len(pts))
+	}
+	if !sort.SliceIsSorted(pts, func(i, j int) bool { return pts[i].Value < pts[j].Value }) &&
+		!valuesNonDecreasing(pts) {
+		t.Fatal("CDF values not monotone")
+	}
+	// Uniform over 0..999: value at fraction f should be ≈ 1000f.
+	for _, p := range pts {
+		want := 1000 * p.Fraction
+		if float64(p.Value) < want-25 || float64(p.Value) > want+25 {
+			t.Errorf("CDF(%v) = %d, want ≈ %v", p.Fraction, p.Value, want)
+		}
+	}
+}
+
+func valuesNonDecreasing(pts []CDFPoint) bool {
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Value < pts[i-1].Value {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCDFFractionsSpanOpenInterval(t *testing.T) {
+	s := loaded(t)
+	pts := CDF(s, 3)
+	want := []float64{0.25, 0.5, 0.75}
+	for i, p := range pts {
+		if diff := p.Fraction - want[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("fraction[%d] = %v, want %v", i, p.Fraction, want[i])
+		}
+	}
+}
+
+func TestHistogramEquiDepth(t *testing.T) {
+	s := loaded(t)
+	bounds := Histogram(s, 10)
+	if len(bounds) != 9 {
+		t.Fatalf("%d bounds for 10 buckets", len(bounds))
+	}
+	for i, b := range bounds {
+		want := float64(100 * (i + 1))
+		if float64(b) < want-25 || float64(b) > want+25 {
+			t.Errorf("bound[%d] = %d, want ≈ %v", i, b, want)
+		}
+	}
+}
+
+func TestCDFPanics(t *testing.T) {
+	s := loaded(t)
+	for _, bad := range []func(){
+		func() { CDF(s, 0) },
+		func() { Histogram(s, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid argument did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestCDFOnTurnstile(t *testing.T) {
+	s := NewDCS(0.01, 12, DyadicConfig{Seed: 1})
+	for i := 0; i < 50000; i++ {
+		s.Insert(uint64(i % 4096))
+	}
+	pts := CDF(s, 15)
+	if !valuesNonDecreasing(pts) {
+		t.Fatal("turnstile CDF not monotone")
+	}
+	mid := pts[7] // fraction 0.5
+	if float64(mid.Value) < 1800 || float64(mid.Value) > 2300 {
+		t.Errorf("median point %d, want ≈ 2048", mid.Value)
+	}
+}

@@ -1,0 +1,132 @@
+// Command quantcli summarizes a stream of numbers from stdin (one per
+// line) with any of the library's algorithms and prints the requested
+// quantiles — a practical end-to-end exercise of the public API.
+//
+// Usage:
+//
+//	quantgen -dist mpcat -n 1000000 | quantcli -algo gkarray -q 0.5,0.95,0.99
+//	quantcli -algo dcs -bits 32 -eps 0.001 < values.txt
+//	quantcli -algo random -report   # ε, n, space and default quantiles
+//
+// Negative lines prefixed with "-" in -turnstile mode are deletions.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	sq "streamquantiles"
+)
+
+func main() {
+	var (
+		algo      = flag.String("algo", "gkarray", "gkadaptive, gktheory, gkarray, qdigest, mrl99, random, dcm, dcs")
+		eps       = flag.Float64("eps", 0.01, "error parameter ε")
+		bits      = flag.Int("bits", 32, "universe bits (fixed-universe algorithms)")
+		seed      = flag.Uint64("seed", 1, "seed for randomized algorithms")
+		qs        = flag.String("q", "0.01,0.25,0.5,0.75,0.99", "comma-separated quantile fractions")
+		turnstile = flag.Bool("turnstile", false, "treat lines starting with '-' as deletions (dcm/dcs only)")
+		report    = flag.Bool("report", false, "also print n and space usage")
+	)
+	flag.Parse()
+
+	cash, turn, err := build(*algo, *eps, *bits, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quantcli: %v\n", err)
+		os.Exit(2)
+	}
+	if *turnstile && turn == nil {
+		fmt.Fprintln(os.Stderr, "quantcli: -turnstile requires dcm or dcs")
+		os.Exit(2)
+	}
+
+	if err := process(os.Stdin, cash, turn, *turnstile); err != nil {
+		fmt.Fprintf(os.Stderr, "quantcli: %v\n", err)
+		os.Exit(1)
+	}
+
+	var s sq.Summary
+	if turn != nil {
+		s = turn
+	} else {
+		s = cash
+	}
+	if s.Count() == 0 {
+		fmt.Fprintln(os.Stderr, "quantcli: empty input")
+		os.Exit(1)
+	}
+	if *report {
+		fmt.Printf("algorithm=%s eps=%g n=%d space=%dB\n", *algo, *eps, s.Count(), s.SpaceBytes())
+	}
+	for _, field := range strings.Split(*qs, ",") {
+		phi, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+		if err != nil || phi <= 0 || phi >= 1 {
+			fmt.Fprintf(os.Stderr, "quantcli: bad quantile fraction %q\n", field)
+			os.Exit(2)
+		}
+		fmt.Printf("q%.4g\t%d\n", phi, s.Quantile(phi))
+	}
+}
+
+// process feeds newline-separated decimal values from r into the
+// summary; in turnstile mode a leading '-' marks a deletion.
+func process(r io.Reader, cash sq.CashRegister, turn sq.Turnstile, turnstile bool) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		del := false
+		if turnstile && strings.HasPrefix(text, "-") {
+			del = true
+			text = text[1:]
+		}
+		v, err := strconv.ParseUint(text, 10, 64)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+		switch {
+		case del:
+			turn.Delete(v)
+		case turn != nil:
+			turn.Insert(v)
+		default:
+			cash.Update(v)
+		}
+	}
+	return sc.Err()
+}
+
+// build constructs the requested summary; exactly one of the returns is
+// non-nil besides the error.
+func build(algo string, eps float64, bits int, seed uint64) (sq.CashRegister, sq.Turnstile, error) {
+	switch strings.ToLower(algo) {
+	case "gkadaptive":
+		return sq.NewGKAdaptive(eps), nil, nil
+	case "gktheory":
+		return sq.NewGKTheory(eps), nil, nil
+	case "gkarray":
+		return sq.NewGKArray(eps), nil, nil
+	case "qdigest":
+		return sq.NewQDigest(eps, bits), nil, nil
+	case "mrl99":
+		return sq.NewMRL99(eps, seed), nil, nil
+	case "random":
+		return sq.NewRandom(eps, seed), nil, nil
+	case "dcm":
+		return nil, sq.NewDCM(eps, bits, sq.DyadicConfig{Seed: seed}), nil
+	case "dcs":
+		return nil, sq.NewDCS(eps, bits, sq.DyadicConfig{Seed: seed}), nil
+	default:
+		return nil, nil, fmt.Errorf("unknown algorithm %q", algo)
+	}
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildAllAlgorithms(t *testing.T) {
+	cashNames := []string{"gkadaptive", "gktheory", "gkarray", "qdigest", "mrl99", "random"}
+	for _, name := range cashNames {
+		cash, turn, err := build(name, 0.01, 16, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if cash == nil || turn != nil {
+			t.Fatalf("%s: expected cash-register summary", name)
+		}
+		cash.Update(5)
+		if cash.Count() != 1 {
+			t.Fatalf("%s: count after update = %d", name, cash.Count())
+		}
+	}
+	for _, name := range []string{"dcm", "dcs"} {
+		cash, turn, err := build(name, 0.01, 16, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if turn == nil || cash != nil {
+			t.Fatalf("%s: expected turnstile summary", name)
+		}
+		turn.Insert(5)
+		turn.Delete(5)
+		if turn.Count() != 0 {
+			t.Fatalf("%s: count after insert+delete = %d", name, turn.Count())
+		}
+	}
+}
+
+func TestBuildCaseInsensitive(t *testing.T) {
+	if _, _, err := build("GKArray", 0.01, 16, 1); err != nil {
+		t.Errorf("mixed-case name rejected: %v", err)
+	}
+}
+
+func TestBuildUnknown(t *testing.T) {
+	if _, _, err := build("bogus", 0.01, 16, 1); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestProcessCashRegister(t *testing.T) {
+	cash, _, _ := build("gkarray", 0.1, 16, 1)
+	in := "5\n7\n\n  9 \n"
+	if err := process(strings.NewReader(in), cash, nil, false); err != nil {
+		t.Fatal(err)
+	}
+	if cash.Count() != 3 {
+		t.Fatalf("count %d, want 3", cash.Count())
+	}
+}
+
+func TestProcessTurnstileDeletes(t *testing.T) {
+	_, turn, _ := build("dcs", 0.1, 16, 1)
+	in := "5\n7\n-5\n9\n"
+	if err := process(strings.NewReader(in), nil, turn, true); err != nil {
+		t.Fatal(err)
+	}
+	if turn.Count() != 2 {
+		t.Fatalf("count %d, want 2", turn.Count())
+	}
+}
+
+func TestProcessBadLine(t *testing.T) {
+	cash, _, _ := build("gkarray", 0.1, 16, 1)
+	if err := process(strings.NewReader("5\nxyz\n"), cash, nil, false); err == nil {
+		t.Error("garbage line accepted")
+	}
+}

@@ -1,0 +1,85 @@
+// Command quantgen writes a synthetic data stream to stdout (or a file),
+// one decimal value per line — the workload generators of the study in a
+// form consumable by quantcli or external tools.
+//
+// Usage:
+//
+//	quantgen -dist uniform -bits 32 -n 1000000 > stream.txt
+//	quantgen -dist mpcat -n 87688123 -o mpcat-like.txt
+//	quantgen -dist normal -sigma 0.15 -bits 24 -sorted
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"streamquantiles/internal/streamgen"
+)
+
+func main() {
+	var (
+		dist   = flag.String("dist", "uniform", "distribution: uniform, normal, zipf, mpcat, terrain")
+		bits   = flag.Int("bits", 32, "universe bits (uniform, normal, zipf)")
+		sigma  = flag.Float64("sigma", 0.15, "normal distribution std deviation")
+		s      = flag.Float64("s", 1.5, "zipf exponent")
+		n      = flag.Int("n", 1_000_000, "stream length")
+		seed   = flag.Uint64("seed", 1, "generator seed")
+		sorted = flag.Bool("sorted", false, "emit the stream in ascending order")
+		out    = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var g streamgen.Generator
+	switch *dist {
+	case "uniform":
+		g = streamgen.Uniform{Bits: *bits, Seed: *seed}
+	case "normal":
+		g = streamgen.Normal{Bits: *bits, Sigma: *sigma, Seed: *seed}
+	case "zipf":
+		g = streamgen.Zipf{Bits: *bits, S: *s, Seed: *seed}
+	case "mpcat":
+		g = streamgen.MPCATLike{Seed: *seed}
+	case "terrain":
+		g = streamgen.TerrainLike{Seed: *seed}
+	default:
+		fmt.Fprintf(os.Stderr, "quantgen: unknown distribution %q\n", *dist)
+		os.Exit(2)
+	}
+	if *sorted {
+		g = streamgen.Sorted{Inner: g}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quantgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := writeStream(w, g, *n); err != nil {
+		fmt.Fprintf(os.Stderr, "quantgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// writeStream emits n generated values, one decimal per line.
+func writeStream(w io.Writer, g streamgen.Generator, n int) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	data := streamgen.Generate(g, n)
+	buf := make([]byte, 0, 24)
+	for _, v := range data {
+		buf = strconv.AppendUint(buf[:0], v, 10)
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bufio"
+	"strconv"
+	"strings"
+	"testing"
+
+	"streamquantiles/internal/streamgen"
+)
+
+func TestWriteStreamFormat(t *testing.T) {
+	var sb strings.Builder
+	if err := writeStream(&sb, streamgen.Uniform{Bits: 16, Seed: 1}, 1000); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	lines := 0
+	for sc.Scan() {
+		v, err := strconv.ParseUint(sc.Text(), 10, 64)
+		if err != nil {
+			t.Fatalf("line %d: %v", lines+1, err)
+		}
+		if v >= 1<<16 {
+			t.Fatalf("value %d outside universe", v)
+		}
+		lines++
+	}
+	if lines != 1000 {
+		t.Fatalf("%d lines, want 1000", lines)
+	}
+}
+
+func TestWriteStreamDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	g := streamgen.MPCATLike{Seed: 7}
+	_ = writeStream(&a, g, 500)
+	_ = writeStream(&b, g, 500)
+	if a.String() != b.String() {
+		t.Error("same seed produced different streams")
+	}
+}

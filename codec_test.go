@@ -1,0 +1,95 @@
+package streamquantiles
+
+import (
+	"encoding"
+	"testing"
+)
+
+// Every summary type implements encoding.BinaryMarshaler /
+// BinaryUnmarshaler; this file pins the public-API surface.
+
+func TestPublicSerializationSurface(t *testing.T) {
+	var (
+		_ encoding.BinaryMarshaler   = (*GKAdaptive)(nil)
+		_ encoding.BinaryUnmarshaler = (*GKAdaptive)(nil)
+		_ encoding.BinaryMarshaler   = (*GKTheory)(nil)
+		_ encoding.BinaryUnmarshaler = (*GKTheory)(nil)
+		_ encoding.BinaryMarshaler   = (*GKArray)(nil)
+		_ encoding.BinaryUnmarshaler = (*GKArray)(nil)
+		_ encoding.BinaryMarshaler   = (*QDigest)(nil)
+		_ encoding.BinaryUnmarshaler = (*QDigest)(nil)
+		_ encoding.BinaryMarshaler   = (*MRL99)(nil)
+		_ encoding.BinaryUnmarshaler = (*MRL99)(nil)
+		_ encoding.BinaryMarshaler   = (*Random)(nil)
+		_ encoding.BinaryUnmarshaler = (*Random)(nil)
+		_ encoding.BinaryMarshaler   = (*DyadicSketch)(nil)
+		_ encoding.BinaryUnmarshaler = (*DyadicSketch)(nil)
+		_ encoding.BinaryMarshaler   = (*KLL)(nil)
+		_ encoding.BinaryUnmarshaler = (*KLL)(nil)
+	)
+}
+
+func TestCheckpointRestoreFlow(t *testing.T) {
+	// The operational story: checkpoint a live summary, restart, restore,
+	// keep streaming, answer queries.
+	s := NewRandom(0.01, 99)
+	for i := uint64(0); i < 100000; i++ {
+		s.Update(i % 4096)
+	}
+	blob, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restored := NewRandom(0.5, 0)
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 100000; i++ {
+		restored.Update(i % 4096)
+		s.Update(i % 4096)
+	}
+	if restored.Quantile(0.5) != s.Quantile(0.5) {
+		t.Error("restored summary diverged from uninterrupted one")
+	}
+}
+
+func TestDistributedTurnstileMergeFlow(t *testing.T) {
+	// Shard a turnstile stream over three same-seed DCS sketches (e.g.
+	// three ingest servers), ship them as bytes, merge at a coordinator.
+	cfg := DyadicConfig{Seed: 5}
+	shards := make([]*DyadicSketch, 3)
+	for i := range shards {
+		shards[i] = NewDCS(0.02, 16, cfg)
+	}
+	for i := uint64(0); i < 60000; i++ {
+		shards[i%3].Insert(i % 50000 % 65536)
+	}
+
+	central := NewDCS(0.02, 16, cfg)
+	for _, sh := range shards {
+		blob, err := sh.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var received DyadicSketch
+		if err := received.UnmarshalBinary(blob); err != nil {
+			t.Fatal(err)
+		}
+		if err := central.Merge(&received); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if central.Count() != 60000 {
+		t.Fatalf("merged count %d", central.Count())
+	}
+	whole := NewDCS(0.02, 16, cfg)
+	for i := uint64(0); i < 60000; i++ {
+		whole.Insert(i % 50000 % 65536)
+	}
+	for _, phi := range []float64{0.1, 0.5, 0.9} {
+		if central.Quantile(phi) != whole.Quantile(phi) {
+			t.Errorf("merged quantile(%v) differs from single-stream sketch", phi)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Quickstart: summarize a million-element stream with a deterministic
+// and a randomized summary, extract quantiles, and compare against the
+// exact answers — a one-minute tour of the public API.
+package main
+
+import (
+	"fmt"
+	"slices"
+
+	sq "streamquantiles"
+)
+
+func main() {
+	const n = 1_000_000
+	const eps = 0.001 // rank error guarantee: ±0.1% of n
+
+	// A reproducible pseudo-random stream (no external deps needed).
+	data := make([]uint64, n)
+	state := uint64(42)
+	for i := range data {
+		state = state*6364136223846793005 + 1442695040888963407
+		data[i] = state >> 32 // uniform over [0, 2^32)
+	}
+
+	// GKArray: deterministic guarantee, sort/merge speed.
+	gk := sq.NewGKArray(eps)
+	// Random: the study's best randomized summary, fixed space.
+	rnd := sq.NewRandom(eps, 7)
+	for _, v := range data {
+		gk.Update(v)
+		rnd.Update(v)
+	}
+
+	// Exact answers for comparison.
+	sorted := slices.Clone(data)
+	slices.Sort(sorted)
+
+	fmt.Printf("stream: n=%d, ε=%g (rank slack ±%d)\n\n", n, eps, int(eps*n))
+	fmt.Printf("%-8s %-14s %-14s %-14s\n", "φ", "exact", "GKArray", "Random")
+	for _, phi := range []float64{0.01, 0.25, 0.5, 0.75, 0.99} {
+		exactQ := sorted[int(phi*float64(n))]
+		fmt.Printf("%-8.2f %-14d %-14d %-14d\n", phi, exactQ, gk.Quantile(phi), rnd.Quantile(phi))
+	}
+
+	fmt.Printf("\nspace: GKArray %.1f KB, Random %.1f KB (raw data: %.1f MB)\n",
+		float64(gk.SpaceBytes())/1024, float64(rnd.SpaceBytes())/1024,
+		float64(n*4)/(1<<20))
+	fmt.Printf("estimated rank of median element: %d (true %d)\n",
+		gk.Rank(sorted[n/2]), n/2)
+}

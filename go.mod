@@ -1,0 +1,3 @@
+module streamquantiles
+
+go 1.22

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Encoder builds the compact binary encodings used by the summaries'
+// MarshalBinary implementations: varint-coded integers with
+// length-prefixed slices. The zero value is ready to use.
+type Encoder struct {
+	buf []byte
+}
+
+// U64 appends an unsigned varint.
+func (e *Encoder) U64(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+
+// I64 appends a signed (zig-zag) varint.
+func (e *Encoder) I64(v int64) { e.buf = binary.AppendVarint(e.buf, v) }
+
+// F64 appends a float64 as its IEEE 754 bits.
+func (e *Encoder) F64(v float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+
+// Bool appends a single byte flag.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// U64s appends a length-prefixed slice of unsigned varints.
+func (e *Encoder) U64s(vs []uint64) {
+	e.U64(uint64(len(vs)))
+	for _, v := range vs {
+		e.U64(v)
+	}
+}
+
+// I64s appends a length-prefixed slice of signed varints.
+func (e *Encoder) I64s(vs []int64) {
+	e.U64(uint64(len(vs)))
+	for _, v := range vs {
+		e.I64(v)
+	}
+}
+
+// Blob appends a length-prefixed raw byte slice (e.g. a nested
+// encoding).
+func (e *Encoder) Blob(b []byte) {
+	e.U64(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// Bytes returns the accumulated encoding.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Decoder reads an Encoder's output. Errors are sticky: after the first
+// failure every read returns a zero value, and Err reports the cause —
+// callers validate once at the end.
+type Decoder struct {
+	buf []byte
+	err error
+}
+
+// NewDecoder wraps a buffer.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Err returns the first decoding error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+func (d *Decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("core: truncated or corrupt encoding reading %s", what)
+	}
+}
+
+// U64 reads an unsigned varint.
+func (d *Decoder) U64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+// I64 reads a signed varint.
+func (d *Decoder) I64() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		d.fail("varint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+// F64 reads a float64.
+func (d *Decoder) F64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 8 {
+		d.fail("float64")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf))
+	d.buf = d.buf[8:]
+	return v
+}
+
+// Bool reads a byte flag.
+func (d *Decoder) Bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if len(d.buf) == 0 {
+		d.fail("bool")
+		return false
+	}
+	v := d.buf[0]
+	d.buf = d.buf[1:]
+	return v != 0
+}
+
+// maxDecodeLen bounds length prefixes so corrupt input cannot trigger
+// huge allocations.
+const maxDecodeLen = 1 << 30
+
+// Len reads a length prefix with sanity bounds.
+func (d *Decoder) Len() int {
+	n := d.U64()
+	if n > maxDecodeLen {
+		d.fail("length prefix")
+		return 0
+	}
+	return int(n)
+}
+
+// U64s reads a length-prefixed slice.
+func (d *Decoder) U64s() []uint64 {
+	n := d.Len()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = d.U64()
+	}
+	if d.err != nil {
+		return nil
+	}
+	return out
+}
+
+// I64s reads a length-prefixed slice.
+func (d *Decoder) I64s() []int64 {
+	n := d.Len()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = d.I64()
+	}
+	if d.err != nil {
+		return nil
+	}
+	return out
+}
+
+// Blob reads a length-prefixed raw byte slice.
+func (d *Decoder) Blob() []byte {
+	n := d.Len()
+	if d.err != nil {
+		return nil
+	}
+	if len(d.buf) < n {
+		d.fail("blob")
+		return nil
+	}
+	out := d.buf[:n]
+	d.buf = d.buf[n:]
+	return out
+}
+
+// Remaining reports unread bytes; round-trip tests use it to assert the
+// encoding was consumed exactly.
+func (d *Decoder) Remaining() int { return len(d.buf) }

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCodecRoundTripScalars(t *testing.T) {
+	var e Encoder
+	e.U64(0)
+	e.U64(1 << 63)
+	e.I64(-12345)
+	e.F64(3.14159)
+	e.Bool(true)
+	e.Bool(false)
+	e.Blob([]byte{1, 2, 3})
+
+	d := NewDecoder(e.Bytes())
+	if d.U64() != 0 || d.U64() != 1<<63 {
+		t.Error("u64 round trip failed")
+	}
+	if d.I64() != -12345 {
+		t.Error("i64 round trip failed")
+	}
+	if d.F64() != 3.14159 {
+		t.Error("f64 round trip failed")
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("bool round trip failed")
+	}
+	blob := d.Blob()
+	if len(blob) != 3 || blob[0] != 1 || blob[2] != 3 {
+		t.Errorf("blob round trip failed: %v", blob)
+	}
+	if d.Err() != nil {
+		t.Errorf("unexpected error: %v", d.Err())
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("%d bytes remaining", d.Remaining())
+	}
+}
+
+func TestCodecSlices(t *testing.T) {
+	var e Encoder
+	e.U64s([]uint64{5, 0, 1 << 40})
+	e.I64s([]int64{-1, 0, 1})
+	e.U64s(nil)
+
+	d := NewDecoder(e.Bytes())
+	us := d.U64s()
+	is := d.I64s()
+	empty := d.U64s()
+	if len(us) != 3 || us[2] != 1<<40 {
+		t.Errorf("u64s: %v", us)
+	}
+	if len(is) != 3 || is[0] != -1 {
+		t.Errorf("i64s: %v", is)
+	}
+	if empty != nil {
+		t.Errorf("empty slice decoded as %v", empty)
+	}
+	if d.Err() != nil || d.Remaining() != 0 {
+		t.Errorf("err=%v remaining=%d", d.Err(), d.Remaining())
+	}
+}
+
+func TestDecoderTruncation(t *testing.T) {
+	var e Encoder
+	e.F64(1.5)
+	full := e.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		d := NewDecoder(full[:cut])
+		d.F64()
+		if d.Err() == nil {
+			t.Fatalf("no error decoding truncated input of %d bytes", cut)
+		}
+	}
+}
+
+func TestDecoderErrorsSticky(t *testing.T) {
+	d := NewDecoder(nil)
+	_ = d.U64()
+	first := d.Err()
+	if first == nil {
+		t.Fatal("empty decode produced no error")
+	}
+	_ = d.I64()
+	_ = d.Bool()
+	if d.Err() != first {
+		t.Error("error not sticky")
+	}
+}
+
+func TestDecoderHugeLengthRejected(t *testing.T) {
+	var e Encoder
+	e.U64(1 << 40) // absurd length prefix
+	d := NewDecoder(e.Bytes())
+	_ = d.U64s()
+	if d.Err() == nil {
+		t.Error("huge length prefix accepted")
+	}
+}
+
+func TestCodecQuickRoundTrip(t *testing.T) {
+	f := func(us []uint64, is []int64, fv float64, bv bool) bool {
+		var e Encoder
+		e.U64s(us)
+		e.I64s(is)
+		e.F64(fv)
+		e.Bool(bv)
+		d := NewDecoder(e.Bytes())
+		gotU := d.U64s()
+		gotI := d.I64s()
+		gotF := d.F64()
+		gotB := d.Bool()
+		if d.Err() != nil || d.Remaining() != 0 {
+			return false
+		}
+		if len(gotU) != len(us) || len(gotI) != len(is) {
+			return false
+		}
+		for i := range us {
+			if gotU[i] != us[i] {
+				return false
+			}
+		}
+		for i := range is {
+			if gotI[i] != is[i] {
+				return false
+			}
+		}
+		// NaN != NaN: compare bit patterns via another encode.
+		if gotB != bv {
+			return false
+		}
+		if gotF != fv && !(fv != fv && gotF != gotF) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,139 @@
+// Package core defines the shared vocabulary of the library: the summary
+// interfaces implemented by every quantile algorithm, the space-accounting
+// conventions used throughout the experimental harness, and small helpers
+// for extracting batches of quantiles.
+//
+// The conventions follow the paper "Quantiles over data streams: an
+// experimental study" (SIGMOD 2013; extended in The VLDB Journal 25(4)):
+//
+//   - The rank r(x) of an element x in a multiset S is the number of
+//     elements of S strictly smaller than x.
+//   - The φ-quantile is the element of rank ⌊φn⌋; an ε-approximate
+//     φ-quantile is any element whose rank lies in [(φ−ε)n, (φ+ε)n].
+//   - Space is accounted in 4-byte words: every stored stream element,
+//     counter, or pointer costs one word (paper §4.1.2).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// WordBytes is the cost, in bytes, of one stored element, counter, or
+// pointer under the paper's space-accounting convention.
+const WordBytes = 4
+
+// ErrEmpty is returned or panicked on by operations that need at least one
+// observed element (for example quantile extraction from an empty summary).
+var ErrEmpty = errors.New("core: summary is empty")
+
+// Summary is the query side shared by every quantile summary in this
+// library, in both the cash-register and the turnstile model.
+type Summary interface {
+	// Count reports n, the number of elements currently summarized.
+	// In the turnstile model deletions decrement it.
+	Count() int64
+
+	// Rank returns the estimated rank of x: the estimated number of
+	// summarized elements strictly smaller than x. Estimates may be
+	// negative for unbiased sketches; callers should clamp if needed.
+	Rank(x uint64) int64
+
+	// Quantile returns an estimated φ-quantile for 0 < phi < 1.
+	// It panics if the summary is empty or phi is outside (0, 1).
+	Quantile(phi float64) uint64
+
+	// SpaceBytes reports the current size of the summary under the
+	// 4-bytes-per-word accounting convention, including auxiliary
+	// structures (buffers, heaps, index pointers, hash seeds).
+	SpaceBytes() int64
+}
+
+// CashRegister is a summary over an insertion-only stream.
+type CashRegister interface {
+	Summary
+
+	// Update observes one stream element.
+	Update(x uint64)
+}
+
+// Turnstile is a summary over a stream of insertions and deletions.
+// A deletion must not delete an element that is not present (the strict
+// turnstile model); violating this voids the accuracy guarantees.
+type Turnstile interface {
+	Summary
+
+	// Insert adds one occurrence of x.
+	Insert(x uint64)
+	// Delete removes one occurrence of x.
+	Delete(x uint64)
+}
+
+// CheckPhi validates a quantile fraction, panicking with a descriptive
+// message when phi lies outside (0, 1). Algorithms call it at the top of
+// their Quantile methods so the failure mode is uniform across the library.
+func CheckPhi(phi float64) {
+	if math.IsNaN(phi) || phi <= 0 || phi >= 1 {
+		panic(fmt.Sprintf("core: quantile fraction %v outside (0, 1)", phi))
+	}
+}
+
+// TargetRank converts a quantile fraction into the rank ⌊φn⌋ targeted by
+// the paper's definition, clamped to the feasible range [0, n−1].
+func TargetRank(phi float64, n int64) int64 {
+	r := int64(phi * float64(n))
+	if r >= n {
+		r = n - 1
+	}
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+// Quantiles extracts one quantile per fraction in phis, using the
+// summary's batch path when it provides one.
+func Quantiles(s Summary, phis []float64) []uint64 {
+	if b, ok := s.(BatchQuantiler); ok {
+		return b.BatchQuantiles(phis)
+	}
+	out := make([]uint64, len(phis))
+	for i, phi := range phis {
+		out[i] = s.Quantile(phi)
+	}
+	return out
+}
+
+// EvenPhis returns the 1/ε−1 evenly spaced fractions ε, 2ε, …, 1−ε used
+// throughout the paper's evaluation. The fractions are clamped strictly
+// inside (0, 1).
+func EvenPhis(eps float64) []float64 {
+	if eps <= 0 || eps >= 1 {
+		panic(fmt.Sprintf("core: invalid error parameter %v", eps))
+	}
+	k := int(math.Round(1/eps)) - 1
+	if k < 1 {
+		k = 1
+	}
+	phis := make([]float64, 0, k)
+	for i := 1; i <= k; i++ {
+		phi := float64(i) * eps
+		if phi >= 1 {
+			break
+		}
+		phis = append(phis, phi)
+	}
+	return phis
+}
+
+// ClampRank restricts an estimated rank to the feasible interval [0, n].
+func ClampRank(r, n int64) int64 {
+	if r < 0 {
+		return 0
+	}
+	if r > n {
+		return n
+	}
+	return r
+}

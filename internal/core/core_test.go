@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEvenPhisCount(t *testing.T) {
+	cases := []struct {
+		eps  float64
+		want int
+	}{
+		{0.5, 1},
+		{0.25, 3},
+		{0.1, 9},
+		{0.01, 99},
+		{0.001, 999},
+	}
+	for _, c := range cases {
+		got := EvenPhis(c.eps)
+		if len(got) != c.want {
+			t.Errorf("EvenPhis(%v): got %d fractions, want %d", c.eps, len(got), c.want)
+		}
+	}
+}
+
+func TestEvenPhisRangeAndOrder(t *testing.T) {
+	phis := EvenPhis(0.01)
+	if !sort.Float64sAreSorted(phis) {
+		t.Fatal("EvenPhis not sorted")
+	}
+	for _, phi := range phis {
+		if phi <= 0 || phi >= 1 {
+			t.Fatalf("fraction %v outside (0,1)", phi)
+		}
+	}
+	if math.Abs(phis[0]-0.01) > 1e-12 {
+		t.Errorf("first fraction = %v, want 0.01", phis[0])
+	}
+	if math.Abs(phis[len(phis)-1]-0.99) > 1e-12 {
+		t.Errorf("last fraction = %v, want 0.99", phis[len(phis)-1])
+	}
+}
+
+func TestEvenPhisInvalid(t *testing.T) {
+	for _, eps := range []float64{0, -0.1, 1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("EvenPhis(%v) did not panic", eps)
+				}
+			}()
+			EvenPhis(eps)
+		}()
+	}
+}
+
+func TestCheckPhiPanics(t *testing.T) {
+	for _, phi := range []float64{0, 1, -0.5, 2, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CheckPhi(%v) did not panic", phi)
+				}
+			}()
+			CheckPhi(phi)
+		}()
+	}
+	// Valid values must not panic.
+	for _, phi := range []float64{0.001, 0.5, 0.999} {
+		CheckPhi(phi)
+	}
+}
+
+func TestTargetRank(t *testing.T) {
+	cases := []struct {
+		phi  float64
+		n    int64
+		want int64
+	}{
+		{0.5, 100, 50},
+		{0.5, 101, 50},
+		{0.999, 10, 9},
+		{0.001, 10, 0},
+		{0.25, 8, 2},
+	}
+	for _, c := range cases {
+		if got := TargetRank(c.phi, c.n); got != c.want {
+			t.Errorf("TargetRank(%v, %d) = %d, want %d", c.phi, c.n, got, c.want)
+		}
+	}
+}
+
+func TestTargetRankAlwaysFeasible(t *testing.T) {
+	f := func(phiBits uint16, n uint16) bool {
+		phi := float64(phiBits%999+1) / 1000
+		nn := int64(n%1000 + 1)
+		r := TargetRank(phi, nn)
+		return r >= 0 && r < nn
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClampRank(t *testing.T) {
+	if got := ClampRank(-5, 10); got != 0 {
+		t.Errorf("ClampRank(-5,10) = %d", got)
+	}
+	if got := ClampRank(15, 10); got != 10 {
+		t.Errorf("ClampRank(15,10) = %d", got)
+	}
+	if got := ClampRank(7, 10); got != 7 {
+		t.Errorf("ClampRank(7,10) = %d", got)
+	}
+}
+
+// fakeSummary lets us exercise the Quantiles helper.
+type fakeSummary struct{ n int64 }
+
+func (f fakeSummary) Count() int64                { return f.n }
+func (f fakeSummary) Rank(x uint64) int64         { return int64(x) }
+func (f fakeSummary) Quantile(phi float64) uint64 { return uint64(phi * 1000) }
+func (f fakeSummary) SpaceBytes() int64           { return 0 }
+
+func TestQuantilesHelper(t *testing.T) {
+	s := fakeSummary{n: 1000}
+	got := Quantiles(s, []float64{0.1, 0.5, 0.9})
+	want := []uint64{100, 500, 900}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Quantiles[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}

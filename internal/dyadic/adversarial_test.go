@@ -1,0 +1,96 @@
+package dyadic
+
+import (
+	"testing"
+
+	"streamquantiles/internal/exact"
+)
+
+// Adversarial mass placements and churn for the dyadic sketches.
+
+func TestMassSplitAcrossRootChildren(t *testing.T) {
+	// Equal mass just below and just above the universe midpoint: every
+	// level must cooperate for correct ranks near the median.
+	const bits = 20
+	const eps = 0.01
+	for _, k := range []Kind{DCM, DCS} {
+		s := New(k, eps, bits, Config{Seed: 1})
+		var data []uint64
+		for i := 0; i < 20000; i++ {
+			lo := uint64(1<<19 - 1 - uint64(i%64))
+			hi := uint64(1<<19 + uint64(i%64))
+			s.Insert(lo)
+			s.Insert(hi)
+			data = append(data, lo, hi)
+		}
+		oracle := exact.New(data)
+		maxErr, _ := oracle.EvaluateSummary(s, eps)
+		if maxErr > eps {
+			t.Errorf("%v: midpoint-split max error %v", k, maxErr)
+		}
+	}
+}
+
+func TestChurnedDistributionShift(t *testing.T) {
+	// Insert distribution A, then replace it element-for-element with
+	// distribution B through deletes; the sketch must track B exactly as
+	// if A never existed (linearity).
+	const bits = 16
+	const eps = 0.02
+	fresh := New(DCS, eps, bits, Config{Seed: 2})
+	churned := New(DCS, eps, bits, Config{Seed: 2})
+
+	var b []uint64
+	for i := 0; i < 30000; i++ {
+		a := uint64(i%1024) << 6 // distribution A: multiples of 64
+		bv := uint64(40000 + i%20000)
+		if bv >= 1<<bits {
+			bv = 1<<bits - 1
+		}
+		churned.Insert(a)
+		churned.Insert(bv)
+		churned.Delete(a)
+		fresh.Insert(bv)
+		b = append(b, bv)
+	}
+	if churned.Count() != fresh.Count() {
+		t.Fatalf("counts differ: %d vs %d", churned.Count(), fresh.Count())
+	}
+	// Linearity: identical sketches, so identical answers.
+	for _, phi := range []float64{0.1, 0.5, 0.9} {
+		if churned.Quantile(phi) != fresh.Quantile(phi) {
+			t.Errorf("phi=%v: churned %d vs fresh %d — linearity broken",
+				phi, churned.Quantile(phi), fresh.Quantile(phi))
+		}
+	}
+	oracle := exact.New(b)
+	maxErr, _ := oracle.EvaluateSummary(churned, eps)
+	if maxErr > eps {
+		t.Errorf("churned max error %v", maxErr)
+	}
+}
+
+func TestHeavySingleValueWithBackground(t *testing.T) {
+	const bits = 16
+	const eps = 0.02
+	s := New(DCS, eps, bits, Config{Seed: 3})
+	var data []uint64
+	for i := 0; i < 50000; i++ {
+		s.Insert(7777)
+		data = append(data, 7777)
+		if i%10 == 0 {
+			v := uint64(i % (1 << bits))
+			s.Insert(v)
+			data = append(data, v)
+		}
+	}
+	oracle := exact.New(data)
+	maxErr, _ := oracle.EvaluateSummary(s, eps)
+	if maxErr > eps {
+		t.Errorf("heavy-hitter max error %v", maxErr)
+	}
+	// The median must be the heavy value itself.
+	if med := s.Quantile(0.5); med != 7777 {
+		t.Errorf("median %d, want 7777", med)
+	}
+}

@@ -1,0 +1,264 @@
+// Package dyadic implements the turnstile quantile algorithms of the
+// paper's §3: a dyadic decomposition of the fixed universe [0, 2^bits)
+// with one frequency-estimation sketch per level. Instantiating the
+// per-level sketch with Count-Min yields DCM (Cormode & Muthukrishnan),
+// with Count-Sketch yields DCS (the paper's new variant, with the
+// improved O((1/ε)·log^1.5 u·log^1.5(log u/ε)) bound), and with the
+// random subset-sum sketch yields DRSS (Gilbert et al.).
+//
+// Level l partitions the universe into intervals of length 2^l; an
+// element x maps to interval x>>l. The rank of x is recovered by
+// decomposing [0, x) into at most one dyadic interval per level and
+// summing their estimated frequencies; a φ-quantile is found by
+// descending the dyadic tree, choosing at each node the child whose
+// estimated mass brackets the remaining target (§1.2.2, §3).
+//
+// Following §3, a level whose reduced universe is no larger than the
+// sketch's own counter array keeps exact frequencies instead of a sketch
+// — exact levels cost no accuracy and less space.
+package dyadic
+
+import (
+	"fmt"
+	"math"
+
+	"streamquantiles/internal/core"
+	"streamquantiles/internal/freqsketch"
+)
+
+// Kind selects the per-level frequency sketch.
+type Kind int
+
+// The three instantiations compared in the paper.
+const (
+	DCM  Kind = iota // Dyadic Count-Min
+	DCS              // Dyadic Count-Sketch
+	DRSS             // Dyadic random subset sum
+)
+
+// String returns the paper's name for the algorithm.
+func (k Kind) String() string {
+	switch k {
+	case DCM:
+		return "DCM"
+	case DCS:
+		return "DCS"
+	case DRSS:
+		return "DRSS"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// level is one stratum of the dyadic structure: either an exact counter
+// array (for small reduced universes) or a sketch.
+type level struct {
+	exact []int64
+	sk    freqsketch.Sketch
+}
+
+// Sketch is a turnstile quantile summary over [0, 2^bits).
+type Sketch struct {
+	kind Kind
+	bits int
+	eps  float64
+	w, d int
+	cfg  Config
+	n    int64
+	lvls []level // lvls[l] summarizes universe [0, 2^(bits-l)) of intervals
+}
+
+// Config carries the tunable parameters of the dyadic algorithms.
+// Zero values select the paper's defaults.
+type Config struct {
+	// Width is the sketch width w; 0 derives it from Eps per §4.3.1:
+	// w = (1/ε)·log₂u for DCM, w = √(log₂u)/ε for DCS and DRSS.
+	Width int
+	// Depth is the number of sketch rows d; 0 selects 7, the value the
+	// paper's Tables 3–4 identify as best.
+	Depth int
+	// Seed drives all hash randomness.
+	Seed uint64
+	// NoExactLevels forces a sketch on every level even when the reduced
+	// universe would fit exactly. Only used by the ablation benchmarks;
+	// the paper's algorithms always use exact levels (§3).
+	NoExactLevels bool
+}
+
+// New returns an empty turnstile summary of the given kind with error
+// parameter eps over the universe [0, 2^bits).
+func New(kind Kind, eps float64, bits int, cfg Config) *Sketch {
+	if math.IsNaN(eps) || eps <= 0 || eps >= 1 {
+		panic(fmt.Sprintf("dyadic: error parameter %v outside (0, 1)", eps))
+	}
+	if bits < 1 || bits > 62 {
+		panic(fmt.Sprintf("dyadic: universe bits %d outside [1, 62]", bits))
+	}
+	d := cfg.Depth
+	if d == 0 {
+		d = 7
+	}
+	w := cfg.Width
+	if w == 0 {
+		switch kind {
+		case DCM:
+			w = int(math.Ceil(float64(bits) / eps))
+		default:
+			w = int(math.Ceil(math.Sqrt(float64(bits)) / eps))
+		}
+	}
+	if w < 1 || d < 1 {
+		panic(fmt.Sprintf("dyadic: invalid sketch dimensions w=%d d=%d", w, d))
+	}
+
+	s := &Sketch{kind: kind, bits: bits, eps: eps, w: w, d: d, cfg: cfg}
+	sketchCounters := int64(w) * int64(d)
+	for l := 0; l < bits; l++ {
+		reduced := int64(1) << (bits - l)
+		if reduced <= sketchCounters && !cfg.NoExactLevels {
+			s.lvls = append(s.lvls, level{exact: make([]int64, reduced)})
+			continue
+		}
+		var sk freqsketch.Sketch
+		seed := cfg.Seed*1000003 + uint64(l)
+		switch kind {
+		case DCM:
+			sk = freqsketch.NewCountMin(w, d, seed)
+		case DCS:
+			sk = freqsketch.NewCountSketch(w, d, seed)
+		case DRSS:
+			sk = freqsketch.NewRSS(w, d, seed)
+		default:
+			panic(fmt.Sprintf("dyadic: unknown kind %d", int(kind)))
+		}
+		s.lvls = append(s.lvls, level{sk: sk})
+	}
+	return s
+}
+
+// Kind returns the algorithm variant.
+func (s *Sketch) Kind() Kind { return s.kind }
+
+// Eps returns the error parameter.
+func (s *Sketch) Eps() float64 { return s.eps }
+
+// UniverseBits returns log₂ u.
+func (s *Sketch) UniverseBits() int { return s.bits }
+
+// Width returns the per-level sketch width w.
+func (s *Sketch) Width() int { return s.w }
+
+// Depth returns the per-level sketch depth d.
+func (s *Sketch) Depth() int { return s.d }
+
+// Count implements core.Summary: insertions minus deletions.
+func (s *Sketch) Count() int64 { return s.n }
+
+// Insert implements core.Turnstile.
+func (s *Sketch) Insert(x uint64) { s.update(x, 1) }
+
+// Delete implements core.Turnstile. Deleting an element that was never
+// inserted violates the strict turnstile model and voids the guarantees.
+func (s *Sketch) Delete(x uint64) { s.update(x, -1) }
+
+func (s *Sketch) update(x uint64, delta int64) {
+	if x >= uint64(1)<<s.bits {
+		panic(fmt.Sprintf("dyadic: element %d outside universe [0, 2^%d)", x, s.bits))
+	}
+	s.n += delta
+	for l := 0; l < s.bits; l++ {
+		iv := x >> l
+		if s.lvls[l].exact != nil {
+			s.lvls[l].exact[iv] += delta
+		} else {
+			s.lvls[l].sk.Add(iv, delta)
+		}
+	}
+}
+
+// EstimateInterval returns the estimated number of current elements in
+// the dyadic interval [iv·2^l, (iv+1)·2^l). Level bits (the whole
+// universe) returns the exact count n.
+func (s *Sketch) EstimateInterval(l int, iv uint64) int64 {
+	if l == s.bits {
+		return s.n
+	}
+	if l < 0 || l > s.bits {
+		panic(fmt.Sprintf("dyadic: level %d outside [0, %d]", l, s.bits))
+	}
+	if s.lvls[l].exact != nil {
+		return s.lvls[l].exact[iv]
+	}
+	return s.lvls[l].sk.Estimate(iv)
+}
+
+// LevelExact reports whether level l stores exact frequencies. Level
+// bits (the root) is always exact.
+func (s *Sketch) LevelExact(l int) bool {
+	return l == s.bits || s.lvls[l].exact != nil
+}
+
+// LevelVariance returns the empirical variance estimate of level l's
+// estimator (0 for exact levels), consumed by the OLS post-processing.
+func (s *Sketch) LevelVariance(l int) float64 {
+	if s.LevelExact(l) {
+		return 0
+	}
+	return s.lvls[l].sk.VarianceEstimate()
+}
+
+// Rank implements core.Summary: decompose [0, x) into one dyadic
+// interval per set bit of x and sum the estimates.
+func (s *Sketch) Rank(x uint64) int64 {
+	if x >= uint64(1)<<s.bits {
+		return s.n
+	}
+	var r int64
+	for l := 0; l < s.bits; l++ {
+		if x>>l&1 == 1 {
+			r += s.EstimateInterval(l, x>>l-1)
+		}
+	}
+	return r
+}
+
+// Quantile implements core.Summary: descend the dyadic tree from the
+// root, at each node comparing the remaining target rank against the
+// estimated mass of the left child. Estimates are clamped to [0, rem] so
+// the unbiased (possibly negative) DCS estimates cannot derail the walk.
+func (s *Sketch) Quantile(phi float64) uint64 {
+	core.CheckPhi(phi)
+	if s.n <= 0 {
+		panic(core.ErrEmpty)
+	}
+	target := float64(core.TargetRank(phi, s.n))
+	var iv uint64 // current interval index at level l+1 (starts at root)
+	for l := s.bits - 1; l >= 0; l-- {
+		left := iv << 1
+		c := float64(s.EstimateInterval(l, left))
+		if c < 0 {
+			c = 0
+		}
+		if target < c {
+			iv = left
+		} else {
+			target -= c
+			iv = left + 1
+		}
+	}
+	return iv
+}
+
+// SpaceBytes implements core.Summary: exact arrays and sketches of every
+// level plus scalar state.
+func (s *Sketch) SpaceBytes() int64 {
+	var bytes int64
+	for _, lv := range s.lvls {
+		if lv.exact != nil {
+			bytes += int64(len(lv.exact)) * core.WordBytes
+		} else {
+			bytes += lv.sk.SpaceBytes()
+		}
+	}
+	return bytes + 8*core.WordBytes
+}

@@ -1,0 +1,60 @@
+package exact
+
+import (
+	"testing"
+
+	"streamquantiles/internal/core"
+)
+
+// perfectSummary answers from the oracle itself, so EvaluateSummary must
+// report zero error for it.
+type perfectSummary struct{ o *Oracle }
+
+func (p perfectSummary) Count() int64                { return p.o.N() }
+func (p perfectSummary) Rank(x uint64) int64         { return p.o.Rank(x) }
+func (p perfectSummary) Quantile(phi float64) uint64 { return p.o.Quantile(phi) }
+func (p perfectSummary) SpaceBytes() int64           { return 0 }
+
+func TestEvaluateSummaryPerfect(t *testing.T) {
+	data := make([]uint64, 1000)
+	for i := range data {
+		data[i] = uint64(i * 37 % 500)
+	}
+	o := New(data)
+	maxE, avgE := o.EvaluateSummary(perfectSummary{o}, 0.01)
+	if maxE != 0 || avgE != 0 {
+		t.Errorf("perfect summary scored max=%v avg=%v", maxE, avgE)
+	}
+}
+
+// offsetSummary shifts every answer by a fixed rank offset.
+type offsetSummary struct {
+	o      *Oracle
+	offset int64
+}
+
+func (p offsetSummary) Count() int64        { return p.o.N() }
+func (p offsetSummary) Rank(x uint64) int64 { return p.o.Rank(x) }
+func (p offsetSummary) Quantile(phi float64) uint64 {
+	r := core.TargetRank(phi, p.o.N()) + p.offset
+	r = core.ClampRank(r, p.o.N()-1)
+	return p.o.sorted[r]
+}
+func (p offsetSummary) SpaceBytes() int64 { return 0 }
+
+func TestEvaluateSummaryOffset(t *testing.T) {
+	data := make([]uint64, 10000)
+	for i := range data {
+		data[i] = uint64(i) // distinct: rank offset = value offset
+	}
+	o := New(data)
+	maxE, avgE := o.EvaluateSummary(offsetSummary{o: o, offset: 50}, 0.1)
+	// Offset of 50 ranks in 10000 elements = 0.005 error at every phi
+	// (except near the top where clamping shrinks it).
+	if maxE < 0.004 || maxE > 0.006 {
+		t.Errorf("maxErr = %v, want ≈ 0.005", maxE)
+	}
+	if avgE <= 0 || avgE > maxE {
+		t.Errorf("avgErr = %v out of range", avgE)
+	}
+}

@@ -1,0 +1,123 @@
+// Package exact provides the ground-truth oracle used to evaluate every
+// approximate summary: exact ranks and quantiles computed from a sorted
+// copy of the data, and the paper's two error metrics.
+//
+// Error semantics follow §4.1.2 of the paper: the rank of an element that
+// appears multiple times is an interval (the block of positions its copies
+// occupy); the observed error of a reported φ-quantile is the distance
+// from ⌊φn⌋ to the closer interval endpoint, or zero if ⌊φn⌋ falls inside
+// the interval, normalized by n. The maximum over the extracted quantiles
+// is the Kolmogorov–Smirnov divergence between the true CDF and the
+// reported one; the average tracks the total-variation distance.
+package exact
+
+import (
+	"math"
+	"slices"
+
+	"streamquantiles/internal/core"
+)
+
+// Oracle answers exact rank and quantile queries over a static multiset.
+type Oracle struct {
+	sorted []uint64
+}
+
+// New builds an oracle from a copy of data. The input is left untouched.
+func New(data []uint64) *Oracle {
+	s := make([]uint64, len(data))
+	copy(s, data)
+	slices.Sort(s)
+	return &Oracle{sorted: s}
+}
+
+// NewFromSorted adopts an already-sorted slice without copying. The caller
+// must not modify it afterwards.
+func NewFromSorted(sorted []uint64) *Oracle {
+	if !slices.IsSorted(sorted) {
+		panic("exact: NewFromSorted input is not sorted")
+	}
+	return &Oracle{sorted: sorted}
+}
+
+// N reports the number of elements.
+func (o *Oracle) N() int64 { return int64(len(o.sorted)) }
+
+// Rank returns the exact rank of x: the number of elements < x.
+func (o *Oracle) Rank(x uint64) int64 {
+	lo, _ := slices.BinarySearch(o.sorted, x)
+	return int64(lo)
+}
+
+// RankInterval returns the inclusive interval of rank positions occupied
+// by x. For an element that occurs c ≥ 1 times the interval is
+// [#<x, #<x + c − 1]; for an absent element both endpoints equal #<x.
+func (o *Oracle) RankInterval(x uint64) (lo, hi int64) {
+	l, _ := slices.BinarySearch(o.sorted, x)
+	r, _ := slices.BinarySearch(o.sorted, x+1)
+	if x == math.MaxUint64 {
+		r = len(o.sorted)
+	}
+	lo = int64(l)
+	hi = int64(r) - 1
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// Quantile returns the exact φ-quantile: the element of rank ⌊φn⌋.
+func (o *Oracle) Quantile(phi float64) uint64 {
+	core.CheckPhi(phi)
+	if len(o.sorted) == 0 {
+		panic(core.ErrEmpty)
+	}
+	return o.sorted[core.TargetRank(phi, o.N())]
+}
+
+// QuantileError returns the normalized observed error of reporting got as
+// the φ-quantile, using interval rank semantics.
+func (o *Oracle) QuantileError(got uint64, phi float64) float64 {
+	n := o.N()
+	if n == 0 {
+		panic(core.ErrEmpty)
+	}
+	target := core.TargetRank(phi, n)
+	lo, hi := o.RankInterval(got)
+	switch {
+	case target < lo:
+		return float64(lo-target) / float64(n)
+	case target > hi:
+		return float64(target-hi) / float64(n)
+	default:
+		return 0
+	}
+}
+
+// Evaluate scores a batch of reported quantiles against the oracle and
+// returns the maximum (Kolmogorov–Smirnov) and average observed errors.
+// got[i] must be the summary's answer for phis[i].
+func (o *Oracle) Evaluate(got []uint64, phis []float64) (maxErr, avgErr float64) {
+	if len(got) != len(phis) {
+		panic("exact: Evaluate length mismatch")
+	}
+	if len(got) == 0 {
+		return 0, 0
+	}
+	sum := 0.0
+	for i := range got {
+		e := o.QuantileError(got[i], phis[i])
+		if e > maxErr {
+			maxErr = e
+		}
+		sum += e
+	}
+	return maxErr, sum / float64(len(got))
+}
+
+// EvaluateSummary extracts the 1/ε−1 evenly spaced quantiles from s and
+// scores them, the exact protocol of the paper's experiments.
+func (o *Oracle) EvaluateSummary(s core.Summary, eps float64) (maxErr, avgErr float64) {
+	phis := core.EvenPhis(eps)
+	return o.Evaluate(core.Quantiles(s, phis), phis)
+}

@@ -1,0 +1,192 @@
+package exact
+
+import (
+	"testing"
+	"testing/quick"
+
+	"streamquantiles/internal/core"
+	"streamquantiles/internal/xhash"
+)
+
+func TestRankBasics(t *testing.T) {
+	o := New([]uint64{5, 1, 3, 3, 9})
+	cases := []struct {
+		x    uint64
+		want int64
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 3}, {5, 3}, {6, 4}, {9, 4}, {10, 5},
+	}
+	for _, c := range cases {
+		if got := o.Rank(c.x); got != c.want {
+			t.Errorf("Rank(%d) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestRankIntervalDuplicates(t *testing.T) {
+	o := New([]uint64{3, 3, 3, 7})
+	lo, hi := o.RankInterval(3)
+	if lo != 0 || hi != 2 {
+		t.Errorf("RankInterval(3) = [%d,%d], want [0,2]", lo, hi)
+	}
+	lo, hi = o.RankInterval(7)
+	if lo != 3 || hi != 3 {
+		t.Errorf("RankInterval(7) = [%d,%d], want [3,3]", lo, hi)
+	}
+	// Absent element: degenerate interval at #<x.
+	lo, hi = o.RankInterval(5)
+	if lo != 3 || hi != 3 {
+		t.Errorf("RankInterval(5) = [%d,%d], want [3,3]", lo, hi)
+	}
+	lo, hi = o.RankInterval(100)
+	if lo != 4 || hi != 4 {
+		t.Errorf("RankInterval(100) = [%d,%d], want [4,4]", lo, hi)
+	}
+}
+
+func TestQuantileExact(t *testing.T) {
+	data := make([]uint64, 100)
+	for i := range data {
+		data[i] = uint64(i)
+	}
+	o := New(data)
+	if q := o.Quantile(0.5); q != 50 {
+		t.Errorf("median = %d, want 50", q)
+	}
+	if q := o.Quantile(0.01); q != 1 {
+		t.Errorf("0.01-quantile = %d, want 1", q)
+	}
+	if q := o.Quantile(0.99); q != 99 {
+		t.Errorf("0.99-quantile = %d, want 99", q)
+	}
+}
+
+func TestQuantileErrorZeroForTruth(t *testing.T) {
+	rng := xhash.NewSplitMix64(1)
+	data := make([]uint64, 1000)
+	for i := range data {
+		data[i] = rng.Uint64n(500) // plenty of duplicates
+	}
+	o := New(data)
+	for _, phi := range core.EvenPhis(0.05) {
+		if e := o.QuantileError(o.Quantile(phi), phi); e != 0 {
+			t.Errorf("exact quantile for phi=%v scored error %v", phi, e)
+		}
+	}
+}
+
+func TestQuantileErrorDistance(t *testing.T) {
+	data := make([]uint64, 100)
+	for i := range data {
+		data[i] = uint64(i)
+	}
+	o := New(data)
+	// Reporting 60 for the median: rank interval [60,60], target 50 → 0.10.
+	if e := o.QuantileError(60, 0.5); e != 0.10 {
+		t.Errorf("error = %v, want 0.10", e)
+	}
+	// Reporting 40: target 50 > hi 40 → 0.10.
+	if e := o.QuantileError(40, 0.5); e != 0.10 {
+		t.Errorf("error = %v, want 0.10", e)
+	}
+}
+
+func TestQuantileErrorInsideDuplicateBlock(t *testing.T) {
+	// 100 copies of 7: every φ-quantile is 7 with zero error.
+	data := make([]uint64, 100)
+	for i := range data {
+		data[i] = 7
+	}
+	o := New(data)
+	for _, phi := range []float64{0.01, 0.5, 0.99} {
+		if e := o.QuantileError(7, phi); e != 0 {
+			t.Errorf("error for phi=%v = %v, want 0", phi, e)
+		}
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	data := make([]uint64, 100)
+	for i := range data {
+		data[i] = uint64(i)
+	}
+	o := New(data)
+	phis := []float64{0.25, 0.5, 0.75}
+	got := []uint64{25, 55, 75} // middle one off by 5 ranks
+	maxErr, avgErr := o.Evaluate(got, phis)
+	if maxErr != 0.05 {
+		t.Errorf("maxErr = %v, want 0.05", maxErr)
+	}
+	want := 0.05 / 3
+	if diff := avgErr - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("avgErr = %v, want %v", avgErr, want)
+	}
+}
+
+func TestEvaluateMismatch(t *testing.T) {
+	o := New([]uint64{1})
+	defer func() {
+		if recover() == nil {
+			t.Error("Evaluate with mismatched lengths did not panic")
+		}
+	}()
+	o.Evaluate([]uint64{1, 2}, []float64{0.5})
+}
+
+func TestNewFromSortedPanicsOnUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewFromSorted accepted unsorted input")
+		}
+	}()
+	NewFromSorted([]uint64{3, 1, 2})
+}
+
+func TestMaxUint64Boundary(t *testing.T) {
+	o := New([]uint64{1, ^uint64(0), ^uint64(0)})
+	lo, hi := o.RankInterval(^uint64(0))
+	if lo != 1 || hi != 2 {
+		t.Errorf("RankInterval(max) = [%d,%d], want [1,2]", lo, hi)
+	}
+}
+
+func TestRankMonotoneProperty(t *testing.T) {
+	f := func(raw []uint64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		o := New(raw)
+		prev := int64(-1)
+		for probe := uint64(0); probe < 200; probe += 7 {
+			r := o.Rank(probe)
+			if r < prev {
+				return false
+			}
+			prev = r
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantileIsAlwaysAMember(t *testing.T) {
+	f := func(raw []uint64, phiBits uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		phi := float64(phiBits%999+1) / 1000
+		o := New(raw)
+		q := o.Quantile(phi)
+		for _, v := range raw {
+			if v == q {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,173 @@
+package freqsketch
+
+import (
+	"fmt"
+
+	"streamquantiles/internal/core"
+)
+
+// The sketches are linear, so two instances built with the same
+// dimensions and seed (hence identical hash functions) merge by adding
+// their counter arrays — the mergeability that underpins distributed
+// turnstile summaries. They serialize as (version, w, d, seed, rows):
+// hash functions are reconstructed from the seed, never stored.
+
+const (
+	codecCountMin    = 0x01
+	codecCountSketch = 0x02
+	codecRSS         = 0x03
+	codecVersion     = 1
+)
+
+func marshalCommon(kind byte, w, d int, seed uint64, rows [][]int64) []byte {
+	var e core.Encoder
+	e.U64(codecVersion)
+	e.U64(uint64(kind))
+	e.U64(uint64(w))
+	e.U64(uint64(d))
+	e.U64(seed)
+	for _, row := range rows {
+		e.I64s(row)
+	}
+	return e.Bytes()
+}
+
+func unmarshalCommon(kind byte, data []byte) (w, d int, seed uint64, rows [][]int64, err error) {
+	dec := core.NewDecoder(data)
+	if v := dec.U64(); v != codecVersion && dec.Err() == nil {
+		return 0, 0, 0, nil, fmt.Errorf("freqsketch: unsupported encoding version %d", v)
+	}
+	if k := dec.U64(); k != uint64(kind) && dec.Err() == nil {
+		return 0, 0, 0, nil, fmt.Errorf("freqsketch: encoding is for sketch kind %d, want %d", k, kind)
+	}
+	w = int(dec.U64())
+	d = int(dec.U64())
+	seed = dec.U64()
+	if dec.Err() == nil && (w < 1 || d < 1 || w > 1<<28 || d > 1<<10) {
+		return 0, 0, 0, nil, fmt.Errorf("freqsketch: implausible dimensions w=%d d=%d", w, d)
+	}
+	for i := 0; i < d && dec.Err() == nil; i++ {
+		rows = append(rows, dec.I64s())
+	}
+	if err := dec.Err(); err != nil {
+		return 0, 0, 0, nil, err
+	}
+	if dec.Remaining() != 0 {
+		return 0, 0, 0, nil, fmt.Errorf("freqsketch: %d trailing bytes", dec.Remaining())
+	}
+	return w, d, seed, rows, nil
+}
+
+func checkRows(rows [][]int64, want int) error {
+	for i, row := range rows {
+		if len(row) != want {
+			return fmt.Errorf("freqsketch: row %d has %d counters, want %d", i, len(row), want)
+		}
+	}
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (cm *CountMin) MarshalBinary() ([]byte, error) {
+	return marshalCommon(codecCountMin, cm.w, cm.d, cm.seed, cm.rows), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, replacing the
+// receiver's state.
+func (cm *CountMin) UnmarshalBinary(data []byte) error {
+	w, d, seed, rows, err := unmarshalCommon(codecCountMin, data)
+	if err != nil {
+		return err
+	}
+	if err := checkRows(rows, w); err != nil {
+		return err
+	}
+	*cm = *NewCountMin(w, d, seed)
+	for i := range rows {
+		copy(cm.rows[i], rows[i])
+	}
+	return nil
+}
+
+// Merge adds other's counters into cm. Both sketches must share
+// dimensions and seed (identical hash functions).
+func (cm *CountMin) Merge(other *CountMin) error {
+	if cm.w != other.w || cm.d != other.d || cm.seed != other.seed {
+		return fmt.Errorf("freqsketch: cannot merge CountMin(w=%d,d=%d,seed=%d) with (w=%d,d=%d,seed=%d)",
+			cm.w, cm.d, cm.seed, other.w, other.d, other.seed)
+	}
+	for i := range cm.rows {
+		for j := range cm.rows[i] {
+			cm.rows[i][j] += other.rows[i][j]
+		}
+	}
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (cs *CountSketch) MarshalBinary() ([]byte, error) {
+	return marshalCommon(codecCountSketch, cs.w, cs.d, cs.seed, cs.rows), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (cs *CountSketch) UnmarshalBinary(data []byte) error {
+	w, d, seed, rows, err := unmarshalCommon(codecCountSketch, data)
+	if err != nil {
+		return err
+	}
+	if err := checkRows(rows, w); err != nil {
+		return err
+	}
+	*cs = *NewCountSketch(w, d, seed)
+	for i := range rows {
+		copy(cs.rows[i], rows[i])
+	}
+	return nil
+}
+
+// Merge adds other's counters into cs; dimensions and seed must match.
+func (cs *CountSketch) Merge(other *CountSketch) error {
+	if cs.w != other.w || cs.d != other.d || cs.seed != other.seed {
+		return fmt.Errorf("freqsketch: cannot merge mismatched CountSketch instances")
+	}
+	for i := range cs.rows {
+		for j := range cs.rows[i] {
+			cs.rows[i][j] += other.rows[i][j]
+		}
+	}
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (r *RSS) MarshalBinary() ([]byte, error) {
+	return marshalCommon(codecRSS, r.w, r.d, r.seed, r.rows), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (r *RSS) UnmarshalBinary(data []byte) error {
+	w, d, seed, rows, err := unmarshalCommon(codecRSS, data)
+	if err != nil {
+		return err
+	}
+	if err := checkRows(rows, 2*w); err != nil {
+		return err
+	}
+	*r = *NewRSS(w, d, seed)
+	for i := range rows {
+		copy(r.rows[i], rows[i])
+	}
+	return nil
+}
+
+// Merge adds other's counters into r; dimensions and seed must match.
+func (r *RSS) Merge(other *RSS) error {
+	if r.w != other.w || r.d != other.d || r.seed != other.seed {
+		return fmt.Errorf("freqsketch: cannot merge mismatched RSS instances")
+	}
+	for i := range r.rows {
+		for j := range r.rows[i] {
+			r.rows[i][j] += other.rows[i][j]
+		}
+	}
+	return nil
+}

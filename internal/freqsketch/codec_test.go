@@ -1,0 +1,122 @@
+package freqsketch
+
+import (
+	"testing"
+
+	"streamquantiles/internal/xhash"
+)
+
+type codecSketch interface {
+	Sketch
+	MarshalBinary() ([]byte, error)
+	UnmarshalBinary([]byte) error
+}
+
+func codecAll(w, d int, seed uint64) map[string]codecSketch {
+	return map[string]codecSketch{
+		"CountMin":    NewCountMin(w, d, seed),
+		"CountSketch": NewCountSketch(w, d, seed),
+		"RSS":         NewRSS(w, d, seed),
+	}
+}
+
+func load(s Sketch, seed uint64, n int) {
+	rng := xhash.NewSplitMix64(seed)
+	for i := 0; i < n; i++ {
+		s.Add(rng.Uint64n(5000), 1)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	for name, s := range codecAll(256, 5, 11) {
+		load(s, 12, 20000)
+		blob, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		restored := codecAll(1, 1, 0)[name]
+		if err := restored.UnmarshalBinary(blob); err != nil {
+			t.Fatalf("%s: unmarshal: %v", name, err)
+		}
+		for x := uint64(0); x < 5000; x += 13 {
+			if restored.Estimate(x) != s.Estimate(x) {
+				t.Fatalf("%s: estimate(%d) differs after round trip", name, x)
+			}
+		}
+		if restored.SpaceBytes() != s.SpaceBytes() {
+			t.Errorf("%s: space differs after round trip", name)
+		}
+	}
+}
+
+func TestCodecKindMismatchRejected(t *testing.T) {
+	cm := NewCountMin(16, 3, 1)
+	blob, _ := cm.MarshalBinary()
+	var cs CountSketch
+	if err := cs.UnmarshalBinary(blob); err == nil {
+		t.Error("CountSketch accepted a CountMin encoding")
+	}
+	var r RSS
+	if err := r.UnmarshalBinary(blob); err == nil {
+		t.Error("RSS accepted a CountMin encoding")
+	}
+}
+
+func TestCodecTruncationRejected(t *testing.T) {
+	cs := NewCountSketch(64, 3, 2)
+	load(cs, 3, 1000)
+	blob, _ := cs.MarshalBinary()
+	for cut := 0; cut < len(blob); cut += 11 {
+		var b CountSketch
+		if err := b.UnmarshalBinary(blob[:cut]); err == nil {
+			t.Fatalf("accepted truncated input of %d bytes", cut)
+		}
+	}
+}
+
+func TestMergeEqualsUnion(t *testing.T) {
+	for name := range codecAll(128, 5, 21) {
+		a := codecAll(128, 5, 21)[name]
+		b := codecAll(128, 5, 21)[name]
+		whole := codecAll(128, 5, 21)[name]
+		load(a, 30, 10000)
+		load(b, 31, 10000)
+		load(whole, 30, 10000)
+		load(whole, 31, 10000)
+		var err error
+		switch x := a.(type) {
+		case *CountMin:
+			err = x.Merge(b.(*CountMin))
+		case *CountSketch:
+			err = x.Merge(b.(*CountSketch))
+		case *RSS:
+			err = x.Merge(b.(*RSS))
+		}
+		if err != nil {
+			t.Fatalf("%s: merge: %v", name, err)
+		}
+		for x := uint64(0); x < 5000; x += 31 {
+			if a.Estimate(x) != whole.Estimate(x) {
+				t.Fatalf("%s: merged estimate(%d) differs from whole-stream", name, x)
+			}
+		}
+	}
+}
+
+func TestMergeSeedMismatchRejected(t *testing.T) {
+	a := NewCountMin(64, 3, 1)
+	b := NewCountMin(64, 3, 2)
+	if err := a.Merge(b); err == nil {
+		t.Error("CountMin merged across seeds")
+	}
+	c := NewCountSketch(64, 3, 1)
+	d := NewCountSketch(64, 5, 1)
+	if err := c.Merge(d); err == nil {
+		t.Error("CountSketch merged across depths")
+	}
+	e := NewRSS(64, 3, 1)
+	f := NewRSS(32, 3, 1)
+	if err := e.Merge(f); err == nil {
+		t.Error("RSS merged across widths")
+	}
+}

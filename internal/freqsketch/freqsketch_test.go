@@ -1,0 +1,278 @@
+package freqsketch
+
+import (
+	"math"
+	"testing"
+
+	"streamquantiles/internal/xhash"
+)
+
+// sketches under test, built per (w, d, seed).
+func all(w, d int, seed uint64) map[string]Sketch {
+	return map[string]Sketch{
+		"CountMin":    NewCountMin(w, d, seed),
+		"CountSketch": NewCountSketch(w, d, seed),
+		"RSS":         NewRSS(w, d, seed),
+	}
+}
+
+func TestExactOnSparseInput(t *testing.T) {
+	// With few distinct elements and a wide sketch, collisions are
+	// unlikely and every estimate should be near-exact.
+	for name, s := range all(4096, 5, 1) {
+		s.Add(10, 7)
+		s.Add(20, 3)
+		s.Add(10, 2)
+		if got := s.Estimate(10); got != 9 {
+			t.Errorf("%s: Estimate(10) = %d, want 9", name, got)
+		}
+		if got := s.Estimate(20); got != 3 {
+			t.Errorf("%s: Estimate(20) = %d, want 3", name, got)
+		}
+		if got := s.Estimate(99); got > 1 || got < -1 {
+			t.Errorf("%s: Estimate(absent) = %d, want ≈ 0", name, got)
+		}
+	}
+}
+
+func TestDeletionsCancel(t *testing.T) {
+	for name, s := range all(2048, 5, 2) {
+		for i := uint64(0); i < 100; i++ {
+			s.Add(i, 5)
+		}
+		for i := uint64(0); i < 100; i++ {
+			s.Add(i, -5)
+		}
+		for i := uint64(0); i < 100; i += 7 {
+			if got := s.Estimate(i); got != 0 {
+				t.Errorf("%s: residual estimate %d after full deletion", name, got)
+			}
+		}
+	}
+}
+
+func TestCountMinNeverUnderestimates(t *testing.T) {
+	// In the strict turnstile model min-over-rows is an upper bound.
+	cm := NewCountMin(64, 5, 3)
+	rng := xhash.NewSplitMix64(4)
+	truth := map[uint64]int64{}
+	for i := 0; i < 20000; i++ {
+		x := rng.Uint64n(1000)
+		cm.Add(x, 1)
+		truth[x]++
+	}
+	for x, f := range truth {
+		if got := cm.Estimate(x); got < f {
+			t.Fatalf("CountMin underestimated f(%d): %d < %d", x, got, f)
+		}
+	}
+}
+
+func TestCountMinErrorBound(t *testing.T) {
+	// Error ≤ e·n/w with probability ≥ 1−e^−d for each element.
+	const w, n = 512, 100000
+	cm := NewCountMin(w, 5, 5)
+	rng := xhash.NewSplitMix64(6)
+	truth := map[uint64]int64{}
+	for i := 0; i < n; i++ {
+		x := rng.Uint64n(5000)
+		cm.Add(x, 1)
+		truth[x]++
+	}
+	bound := int64(3 * n / w)
+	bad := 0
+	for x, f := range truth {
+		if cm.Estimate(x)-f > bound {
+			bad++
+		}
+	}
+	if bad > len(truth)/100 {
+		t.Errorf("%d/%d elements exceed the CM error bound", bad, len(truth))
+	}
+}
+
+func TestCountSketchUnbiased(t *testing.T) {
+	// Average the estimate of one element across many seeds; it must
+	// center on the true frequency (Count-Min, by contrast, is biased up).
+	const w, n = 64, 20000
+	const target = uint64(42)
+	var sum float64
+	const runs = 60
+	for seed := uint64(0); seed < runs; seed++ {
+		cs := NewCountSketch(w, 1, seed)
+		rng := xhash.NewSplitMix64(1000)
+		for i := 0; i < n; i++ {
+			cs.Add(rng.Uint64n(2000), 1)
+		}
+		cs.Add(target, 50)
+		sum += float64(cs.Estimate(target))
+	}
+	mean := sum / runs
+	// True frequency ≈ 50 + n/2000 = 60.
+	rng := xhash.NewSplitMix64(1000)
+	truth := int64(50)
+	for i := 0; i < n; i++ {
+		if rng.Uint64n(2000) == target {
+			truth++
+		}
+	}
+	if math.Abs(mean-float64(truth)) > 40 {
+		t.Errorf("CountSketch mean estimate %v too far from truth %d", mean, truth)
+	}
+}
+
+func TestRSSUnbiased(t *testing.T) {
+	const w, n = 64, 20000
+	const target = uint64(42)
+	var sum float64
+	const runs = 80
+	rngData := xhash.NewSplitMix64(1000)
+	data := make([]uint64, n)
+	for i := range data {
+		data[i] = rngData.Uint64n(2000)
+	}
+	var truth int64 = 50
+	for _, x := range data {
+		if x == target {
+			truth++
+		}
+	}
+	for seed := uint64(0); seed < runs; seed++ {
+		r := NewRSS(w, 1, seed)
+		for _, x := range data {
+			r.Add(x, 1)
+		}
+		r.Add(target, 50)
+		sum += float64(r.Estimate(target))
+	}
+	mean := sum / runs
+	if math.Abs(mean-float64(truth)) > 60 {
+		t.Errorf("RSS mean estimate %v too far from truth %d", mean, truth)
+	}
+}
+
+func TestCountSketchMedianBeatsOneRow(t *testing.T) {
+	// More rows must not hurt: compare absolute error of d=1 vs d=7 on a
+	// fixed workload, averaged over elements.
+	const w, n = 128, 50000
+	rng := xhash.NewSplitMix64(7)
+	data := make([]uint64, n)
+	truth := map[uint64]int64{}
+	for i := range data {
+		data[i] = rng.Uint64n(3000)
+		truth[data[i]]++
+	}
+	errFor := func(d int) float64 {
+		cs := NewCountSketch(w, d, 77)
+		for _, x := range data {
+			cs.Add(x, 1)
+		}
+		var sum float64
+		for x, f := range truth {
+			sum += math.Abs(float64(cs.Estimate(x) - f))
+		}
+		return sum / float64(len(truth))
+	}
+	e1, e7 := errFor(1), errFor(7)
+	if e7 > e1 {
+		t.Errorf("median over 7 rows (err %v) worse than single row (err %v)", e7, e1)
+	}
+}
+
+func TestVarianceEstimatePositiveAndScales(t *testing.T) {
+	for name, s := range all(256, 3, 8) {
+		if v := s.VarianceEstimate(); v != 0 {
+			t.Errorf("%s: empty sketch variance %v, want 0", name, v)
+		}
+		for i := uint64(0); i < 1000; i++ {
+			s.Add(i, 10)
+		}
+		if v := s.VarianceEstimate(); v <= 0 {
+			t.Errorf("%s: loaded sketch variance %v, want > 0", name, v)
+		}
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	for name := range all(64, 3, 9) {
+		a := all(64, 3, 9)[name]
+		b := all(64, 3, 9)[name]
+		for i := uint64(0); i < 1000; i++ {
+			a.Add(i%100, 1)
+			b.Add(i%100, 1)
+		}
+		for i := uint64(0); i < 100; i++ {
+			if a.Estimate(i) != b.Estimate(i) {
+				t.Errorf("%s: same seed, different estimates", name)
+				break
+			}
+		}
+	}
+}
+
+func TestSpaceBytesScalesWithDims(t *testing.T) {
+	for name := range all(64, 3, 1) {
+		small := all(64, 3, 1)[name]
+		big := all(256, 7, 1)[name]
+		if small.SpaceBytes() >= big.SpaceBytes() {
+			t.Errorf("%s: space does not grow with dimensions", name)
+		}
+	}
+}
+
+func TestBadDimsPanic(t *testing.T) {
+	for _, c := range [][2]int{{0, 3}, {3, 0}, {-1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("dims %v did not panic", c)
+				}
+			}()
+			NewCountMin(c[0], c[1], 1)
+		}()
+	}
+}
+
+func TestMedianInPlace(t *testing.T) {
+	cases := []struct {
+		in   []int64
+		want int64
+	}{
+		{[]int64{5}, 5},
+		{[]int64{3, 1, 2}, 2},
+		{[]int64{4, 1, 3, 2}, 2}, // even: lower-mid average (2+3)/2
+		{[]int64{9, 9, 9, 1, 1}, 9},
+		{[]int64{-5, 0, 5}, 0},
+	}
+	for _, c := range cases {
+		in := append([]int64{}, c.in...)
+		if got := medianInPlace(in); got != c.want {
+			t.Errorf("median(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func BenchmarkCountMinAdd(b *testing.B) {
+	cm := NewCountMin(1024, 7, 1)
+	for i := 0; i < b.N; i++ {
+		cm.Add(uint64(i), 1)
+	}
+}
+
+func BenchmarkCountSketchAdd(b *testing.B) {
+	cs := NewCountSketch(1024, 7, 1)
+	for i := 0; i < b.N; i++ {
+		cs.Add(uint64(i), 1)
+	}
+}
+
+func BenchmarkCountSketchEstimate(b *testing.B) {
+	cs := NewCountSketch(1024, 7, 1)
+	for i := 0; i < 100000; i++ {
+		cs.Add(uint64(i%1000), 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cs.Estimate(uint64(i % 1000))
+	}
+}

@@ -1,0 +1,161 @@
+package gk
+
+import (
+	"slices"
+
+	"streamquantiles/internal/core"
+)
+
+// Array is the GKArray variant introduced by the journal version of the
+// paper (§2.1.2): tuples live in a flat sorted array; arriving elements
+// collect in a buffer of size Θ(|L|) and are merged into the array in one
+// sorted sweep when the buffer fills. During the merge each tuple —
+// pre-existing or new — is dropped when removable, exactly the
+// GKAdaptive rule, but executed with sort+merge instead of per-element
+// tree and heap searches, which is substantially more cache-friendly.
+type Array struct {
+	eps    float64
+	n      int64
+	tuples []tuple
+	buf    []uint64
+	maxLen int // high-water mark of len(tuples)+cap(buf), for accounting
+}
+
+// minBuffer bounds the batch size from below so tiny summaries still
+// amortize their sorting cost.
+const minBuffer = 64
+
+// NewArray returns an empty GKArray summary with error parameter eps.
+func NewArray(eps float64) *Array {
+	checkEps(eps)
+	return &Array{
+		eps: eps,
+		buf: make([]uint64, 0, minBuffer),
+	}
+}
+
+// Eps returns the summary's error parameter.
+func (a *Array) Eps() float64 { return a.eps }
+
+// Count implements core.Summary.
+func (a *Array) Count() int64 { return a.n }
+
+// TupleCount reports |L| after flushing pending elements.
+func (a *Array) TupleCount() int {
+	a.Flush()
+	return len(a.tuples)
+}
+
+// Update implements core.CashRegister.
+func (a *Array) Update(x uint64) {
+	a.n++
+	a.buf = append(a.buf, x)
+	if len(a.buf) == cap(a.buf) {
+		a.flush()
+	}
+}
+
+// Flush merges any buffered elements into the tuple array. Queries call
+// it implicitly; it is exported for deterministic space measurement.
+func (a *Array) Flush() {
+	if len(a.buf) > 0 {
+		a.flush()
+	}
+}
+
+func (a *Array) flush() {
+	slices.Sort(a.buf)
+	p := threshold(a.eps, a.n)
+
+	out := make([]tuple, 0, len(a.tuples)+len(a.buf))
+	var (
+		pending    tuple
+		hasPending bool
+	)
+	// emit feeds the next merged tuple through a one-step lookahead that
+	// applies the removability rule g_i + g_{i+1} + Δ_{i+1} ≤ ⌊2εn⌋.
+	// The first tuple of the merged list (the exact minimum) is never
+	// removed, mirroring GK01's boundary handling; the last never reaches
+	// the removability check (it stays pending).
+	emit := func(t tuple) {
+		if hasPending {
+			if len(out) > 0 && pending.g+t.g+t.del <= p {
+				// pending is removable: fold its weight into t.
+				t.g += pending.g
+			} else {
+				out = append(out, pending)
+			}
+		}
+		pending = t
+		hasPending = true
+	}
+
+	ti, bi := 0, 0
+	for ti < len(a.tuples) || bi < len(a.buf) {
+		if bi < len(a.buf) && (ti == len(a.tuples) || a.buf[bi] < a.tuples[ti].v) {
+			// New element: Δ from its successor tuple in the old array
+			// (the GKAdaptive insertion rule); Δ = 0 past the maximum.
+			var del int64
+			if ti < len(a.tuples) {
+				del = a.tuples[ti].g + a.tuples[ti].del - 1
+			}
+			emit(tuple{v: a.buf[bi], g: 1, del: del})
+			bi++
+		} else {
+			emit(a.tuples[ti])
+			ti++
+		}
+	}
+	if hasPending {
+		out = append(out, pending)
+	}
+	a.tuples = out
+
+	// Resize the buffer to Θ(|L|) for the next batch.
+	want := len(a.tuples)
+	if want < minBuffer {
+		want = minBuffer
+	}
+	if cap(a.buf) != want {
+		a.buf = make([]uint64, 0, want)
+	} else {
+		a.buf = a.buf[:0]
+	}
+	if hw := len(a.tuples)*tupleWords + cap(a.buf); hw > a.maxLen {
+		a.maxLen = hw
+	}
+}
+
+// Quantile implements core.Summary. It flushes pending elements first.
+func (a *Array) Quantile(phi float64) uint64 {
+	a.Flush()
+	return queryQuantile(a.seq, a.n, phi)
+}
+
+// BatchQuantiles implements core.BatchQuantiler.
+func (a *Array) BatchQuantiles(phis []float64) []uint64 {
+	a.Flush()
+	return queryQuantiles(a.seq, a.n, phis)
+}
+
+// Rank implements core.Summary. It flushes pending elements first.
+func (a *Array) Rank(x uint64) int64 {
+	a.Flush()
+	return queryRank(a.seq, x)
+}
+
+// SpaceBytes implements core.Summary: 3 words per tuple plus the buffer
+// capacity plus scalars. The buffer is charged at capacity because it is
+// pre-allocated.
+func (a *Array) SpaceBytes() int64 {
+	words := int64(len(a.tuples))*tupleWords + int64(cap(a.buf)) + 4
+	return words * core.WordBytes
+}
+
+func (a *Array) seq(yield func(t tuple) bool) {
+	for _, t := range a.tuples {
+		if !yield(t) {
+			return
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package gk
+
+import (
+	"testing"
+
+	"streamquantiles/internal/core"
+	"streamquantiles/internal/streamgen"
+)
+
+// TestBatchMatchesSingle pins the batched quantile path to the
+// per-fraction path for every variant, including unsorted fractions.
+func TestBatchMatchesSingle(t *testing.T) {
+	data := streamgen.Generate(streamgen.MPCATLike{Seed: 40}, 30000)
+	phis := append(core.EvenPhis(0.01), 0.5, 0.001, 0.999, 0.25)
+	for name, s := range variants(0.01) {
+		feed(s, data)
+		b, ok := s.(core.BatchQuantiler)
+		if !ok {
+			t.Fatalf("%s does not implement BatchQuantiler", name)
+		}
+		batch := b.BatchQuantiles(phis)
+		if len(batch) != len(phis) {
+			t.Fatalf("%s: batch returned %d answers for %d fractions", name, len(batch), len(phis))
+		}
+		for i, phi := range phis {
+			if single := s.Quantile(phi); single != batch[i] {
+				t.Errorf("%s: phi=%v single=%d batch=%d", name, phi, single, batch[i])
+			}
+		}
+	}
+}
+
+func TestBatchEmptyPanics(t *testing.T) {
+	for name, s := range variants(0.1) {
+		b := s.(core.BatchQuantiler)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: batch on empty summary did not panic", name)
+				}
+			}()
+			b.BatchQuantiles([]float64{0.5})
+		}()
+	}
+}
+
+func TestBatchSingleElement(t *testing.T) {
+	for name, s := range variants(0.1) {
+		s.Update(77)
+		b := s.(core.BatchQuantiler)
+		for _, q := range b.BatchQuantiles([]float64{0.01, 0.5, 0.99}) {
+			if q != 77 {
+				t.Errorf("%s: single-element batch returned %d", name, q)
+			}
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package gk
+
+import (
+	"sort"
+
+	"streamquantiles/internal/core"
+)
+
+// Biased is the biased-quantiles extension of the GK summary (Cormode,
+// Korn, Muthukrishnan, Srivastava: "Space- and time-efficient
+// deterministic algorithms for biased quantiles over data streams",
+// PODS 2006 — one of the problem variations the paper's introduction
+// surveys). Where the uniform summaries guarantee absolute rank error
+// εn, Biased guarantees *relative* rank error ε·r(v): the low quantiles
+// (φ → 0) are tracked with proportionally finer resolution, which is
+// what tail-latency monitoring of minima or error budgets needs. For
+// high-biased data, feed the mirrored stream (^x) and mirror fractions.
+//
+// The structure is the GK tuple list with the rank-dependent invariant
+//
+//	g_i + Δ_i ≤ max(1, ⌊2ε·r_i⌋),  r_i = Σ_{j≤i} g_j,
+//
+// maintained by an amortized right-to-left COMPRESS sweep.
+type Biased struct {
+	eps      float64
+	n        int64
+	tuples   []tuple
+	buf      []uint64
+	maxWords int
+}
+
+// NewBiased returns an empty biased-quantile summary with relative error
+// parameter eps in (0, 1).
+func NewBiased(eps float64) *Biased {
+	checkEps(eps)
+	return &Biased{
+		eps: eps,
+		buf: make([]uint64, 0, minBuffer),
+	}
+}
+
+// Eps returns the relative error parameter.
+func (b *Biased) Eps() float64 { return b.eps }
+
+// Count implements core.Summary.
+func (b *Biased) Count() int64 { return b.n }
+
+// TupleCount reports |L| after flushing pending elements.
+func (b *Biased) TupleCount() int {
+	b.Flush()
+	return len(b.tuples)
+}
+
+// invariant is the rank-dependent capacity f(r) = max(1, ⌊2ε·r⌋).
+func (b *Biased) invariant(r int64) int64 {
+	f := int64(2 * b.eps * float64(r))
+	if f < 1 {
+		return 1
+	}
+	return f
+}
+
+// Update implements core.CashRegister. Arriving elements are buffered
+// and merged in batch, the GKArray treatment applied to the biased
+// invariant.
+func (b *Biased) Update(x uint64) {
+	b.n++
+	b.buf = append(b.buf, x)
+	if len(b.buf) == cap(b.buf) {
+		b.flush()
+	}
+}
+
+// Flush merges buffered elements into the tuple list.
+func (b *Biased) Flush() {
+	if len(b.buf) > 0 {
+		b.flush()
+	}
+}
+
+func (b *Biased) flush() {
+	sort.Slice(b.buf, func(i, j int) bool { return b.buf[i] < b.buf[j] })
+
+	// Merge buffer and tuple list in sorted order. New elements take
+	// Δ = g_succ + Δ_succ − 1 from their successor tuple (0 past the
+	// end), as in GKAdaptive; the biased invariant is enforced by the
+	// compress sweep below.
+	out := make([]tuple, 0, len(b.tuples)+len(b.buf))
+	ti, bi := 0, 0
+	for ti < len(b.tuples) || bi < len(b.buf) {
+		if bi < len(b.buf) && (ti == len(b.tuples) || b.buf[bi] < b.tuples[ti].v) {
+			var del int64
+			if ti < len(b.tuples) {
+				del = b.tuples[ti].g + b.tuples[ti].del - 1
+			}
+			out = append(out, tuple{v: b.buf[bi], g: 1, del: del})
+			bi++
+		} else {
+			out = append(out, b.tuples[ti])
+			ti++
+		}
+	}
+	b.tuples = out
+	b.buf = b.buf[:0]
+	b.compress()
+
+	want := len(b.tuples) / 2
+	if want < minBuffer {
+		want = minBuffer
+	}
+	if cap(b.buf) != want {
+		b.buf = make([]uint64, 0, want)
+	}
+	if w := len(b.tuples)*tupleWords + cap(b.buf); w > b.maxWords {
+		b.maxWords = w
+	}
+}
+
+// compress merges tuple i into i+1 when the result respects the biased
+// invariant at i+1's rank; sweeping right-to-left keeps ranks valid as
+// tuples disappear (r_{i+1} only shrinks by already-processed merges to
+// its right, never by merges to its left).
+func (b *Biased) compress() {
+	if len(b.tuples) < 3 {
+		return
+	}
+	// Prefix ranks.
+	ranks := make([]int64, len(b.tuples))
+	var rsum int64
+	for i, t := range b.tuples {
+		rsum += t.g
+		ranks[i] = rsum
+	}
+	// Right-to-left merge sweep; next tracks the nearest surviving tuple,
+	// so chains of removals fold into one survivor. The last tuple (the
+	// maximum) is never removed. Merging into next never changes the
+	// prefix rank at next, so the pre-computed ranks stay valid.
+	kept := len(b.tuples)
+	next := len(b.tuples) - 1
+	// i stops at 1: the first tuple is the exact minimum and permanent.
+	for i := next - 1; i >= 1; i-- {
+		cur, nx := &b.tuples[i], &b.tuples[next]
+		if cur.g+nx.g+nx.del <= b.invariant(ranks[next]) {
+			nx.g += cur.g
+			cur.g = 0 // mark removed
+			kept--
+		} else {
+			next = i
+		}
+	}
+	if kept != len(b.tuples) {
+		out := b.tuples[:0]
+		for _, t := range b.tuples {
+			if t.g != 0 {
+				out = append(out, t)
+			}
+		}
+		b.tuples = out
+	}
+}
+
+// Quantile implements core.Summary with the relative-error extraction
+// rule: report v_{i−1} for the first i with r_i + Δ_i > r + f(r)/2.
+func (b *Biased) Quantile(phi float64) uint64 {
+	core.CheckPhi(phi)
+	if b.n == 0 {
+		panic(core.ErrEmpty)
+	}
+	b.Flush()
+	target := core.TargetRank(phi, b.n) + 1
+	bound := target + b.invariant(target)/2
+	var (
+		rsum int64
+		prev uint64
+		have bool
+	)
+	for _, t := range b.tuples {
+		rsum += t.g
+		if rsum+t.del > bound {
+			if have {
+				return prev
+			}
+			return t.v
+		}
+		prev = t.v
+		have = true
+	}
+	return prev
+}
+
+// Rank implements core.Summary.
+func (b *Biased) Rank(x uint64) int64 {
+	b.Flush()
+	return queryRank(func(yield func(t tuple) bool) {
+		for _, t := range b.tuples {
+			if !yield(t) {
+				return
+			}
+		}
+	}, x)
+}
+
+// SpaceBytes implements core.Summary.
+func (b *Biased) SpaceBytes() int64 {
+	words := int64(len(b.tuples))*tupleWords + int64(cap(b.buf)) + 4
+	return words * core.WordBytes
+}

@@ -1,0 +1,128 @@
+package gk
+
+import (
+	"math"
+	"testing"
+
+	"streamquantiles/internal/exact"
+	"streamquantiles/internal/streamgen"
+)
+
+func TestBiasedRelativeErrorGuarantee(t *testing.T) {
+	const n = 50000
+	const eps = 0.05
+	for _, gen := range []streamgen.Generator{
+		streamgen.Uniform{Bits: 24, Seed: 50},
+		streamgen.Zipf{Bits: 20, S: 1.4, Seed: 51},
+		streamgen.Sorted{Inner: streamgen.Uniform{Bits: 24, Seed: 52}},
+	} {
+		data := streamgen.Generate(gen, n)
+		oracle := exact.New(data)
+		b := NewBiased(eps)
+		feed(b, data)
+		// The defining property: error at rank φn is at most ε·φn, so the
+		// low quantiles are proportionally sharper. Probe across five
+		// orders of magnitude of φ.
+		for _, phi := range []float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 0.9} {
+			got := b.Quantile(phi)
+			absErr := oracle.QuantileError(got, phi) // normalized by n
+			relLimit := eps * phi
+			if absErr > relLimit+1.0/n {
+				t.Errorf("%s: phi=%v: error %v exceeds ε·φ = %v",
+					gen.Name(), phi, absErr, relLimit)
+			}
+		}
+	}
+}
+
+func TestBiasedSharperThanUniformAtLowRanks(t *testing.T) {
+	// At equal ε, the biased summary must answer φ = 0.001 much more
+	// precisely than the uniform guarantee εn allows.
+	const n = 100000
+	const eps = 0.05
+	data := streamgen.Generate(streamgen.Uniform{Bits: 24, Seed: 53}, n)
+	oracle := exact.New(data)
+	b := NewBiased(eps)
+	feed(b, data)
+	got := b.Quantile(0.001)
+	absErr := oracle.QuantileError(got, 0.001)
+	if absErr > eps*0.001+2.0/n {
+		t.Errorf("low-rank error %v not proportionally small", absErr)
+	}
+}
+
+func TestBiasedSpaceSublinear(t *testing.T) {
+	const n = 200000
+	b := NewBiased(0.01)
+	feed(b, streamgen.Generate(streamgen.Uniform{Bits: 32, Seed: 54}, n))
+	if sp := b.SpaceBytes(); sp > int64(n) { // ≪ 4n bytes raw
+		t.Errorf("space %dB not sublinear", sp)
+	}
+	if tc := b.TupleCount(); tc > n/10 {
+		t.Errorf("tuple count %d too large", tc)
+	}
+}
+
+func TestBiasedCountAndEmpty(t *testing.T) {
+	b := NewBiased(0.1)
+	if b.Count() != 0 {
+		t.Error("fresh count nonzero")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Quantile on empty summary did not panic")
+			}
+		}()
+		b.Quantile(0.5)
+	}()
+	for i := uint64(1); i <= 100; i++ {
+		b.Update(i)
+	}
+	if b.Count() != 100 {
+		t.Errorf("count %d", b.Count())
+	}
+	if q := b.Quantile(0.5); q < 45 || q > 55 {
+		t.Errorf("median %d", q)
+	}
+}
+
+func TestBiasedRankMonotone(t *testing.T) {
+	b := NewBiased(0.02)
+	feed(b, streamgen.Generate(streamgen.Normal{Bits: 20, Sigma: 0.15, Seed: 55}, 30000))
+	prev := int64(-1)
+	for x := uint64(0); x < 1<<20; x += 1 << 14 {
+		r := b.Rank(x)
+		if r < prev {
+			t.Fatalf("rank not monotone at %d: %d < %d", x, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestBiasedInvariantHolds(t *testing.T) {
+	const eps = 0.05
+	b := NewBiased(eps)
+	feed(b, streamgen.Generate(streamgen.Uniform{Bits: 16, Seed: 56}, 20000))
+	b.Flush()
+	var rsum int64
+	for i, tp := range b.tuples {
+		rsum += tp.g
+		// Allow the (1+2ε) slack of successor-inherited Δs (see the
+		// insertion discussion in biased.go).
+		limit := int64(math.Ceil((2*eps*float64(rsum) + 1) * (1 + 2*eps)))
+		if i > 0 && tp.g+tp.del > limit {
+			t.Fatalf("tuple %d: g+Δ = %d exceeds biased invariant %d at rank %d",
+				i, tp.g+tp.del, limit, rsum)
+		}
+	}
+}
+
+func BenchmarkBiasedUpdate(b *testing.B) {
+	s := NewBiased(0.01)
+	data := streamgen.Generate(streamgen.Uniform{Bits: 32, Seed: 1}, 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Update(data[i&(1<<16-1)])
+	}
+}

@@ -1,0 +1,174 @@
+package gk
+
+import (
+	"fmt"
+
+	"streamquantiles/internal/core"
+)
+
+// All three GK variants serialize as their logical content — ε, n, and
+// the ordered tuple list — plus any buffered elements. The auxiliary
+// index structures (skip list, heap) are rebuilt on load; they are
+// derived state, and rebuilding keeps the encoding small and
+// implementation-independent.
+
+const (
+	codecVersion    = 1
+	codecKindAdapt  = 0x11
+	codecKindTheory = 0x12
+	codecKindArray  = 0x13
+)
+
+func marshalTuples(kind byte, eps float64, n int64, seq tupleSeq, extra func(e *core.Encoder)) []byte {
+	var e core.Encoder
+	e.U64(codecVersion)
+	e.U64(uint64(kind))
+	e.F64(eps)
+	e.I64(n)
+	var count uint64
+	seq(func(t tuple) bool { count++; return true })
+	e.U64(count)
+	seq(func(t tuple) bool {
+		e.U64(t.v)
+		e.I64(t.g)
+		e.I64(t.del)
+		return true
+	})
+	if extra != nil {
+		extra(&e)
+	}
+	return e.Bytes()
+}
+
+func unmarshalTuples(kind byte, data []byte) (eps float64, n int64, tuples []tuple, dec *core.Decoder, err error) {
+	dec = core.NewDecoder(data)
+	if v := dec.U64(); v != codecVersion && dec.Err() == nil {
+		return 0, 0, nil, nil, fmt.Errorf("gk: unsupported encoding version %d", v)
+	}
+	if k := dec.U64(); k != uint64(kind) && dec.Err() == nil {
+		return 0, 0, nil, nil, fmt.Errorf("gk: encoding is for variant %#x, want %#x", k, kind)
+	}
+	eps = dec.F64()
+	n = dec.I64()
+	count := dec.Len()
+	if dec.Err() != nil {
+		return 0, 0, nil, nil, dec.Err()
+	}
+	if eps <= 0 || eps >= 1 || n < 0 {
+		return 0, 0, nil, nil, fmt.Errorf("gk: implausible encoded parameters eps=%v n=%d", eps, n)
+	}
+	var prev uint64
+	for i := 0; i < count; i++ {
+		t := tuple{v: dec.U64(), g: dec.I64(), del: dec.I64()}
+		if dec.Err() != nil {
+			return 0, 0, nil, nil, dec.Err()
+		}
+		if i > 0 && t.v < prev {
+			return 0, 0, nil, nil, fmt.Errorf("gk: encoded tuples out of order at %d", i)
+		}
+		if t.g < 0 || t.del < 0 {
+			return 0, 0, nil, nil, fmt.Errorf("gk: negative g or Δ at tuple %d", i)
+		}
+		prev = t.v
+		tuples = append(tuples, t)
+	}
+	return eps, n, tuples, dec, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (a *Adaptive) MarshalBinary() ([]byte, error) {
+	return marshalTuples(codecKindAdapt, a.eps, a.n, a.seq, nil), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler; the skip list
+// and heap are rebuilt from the tuple list.
+func (a *Adaptive) UnmarshalBinary(data []byte) error {
+	eps, n, tuples, dec, err := unmarshalTuples(codecKindAdapt, data)
+	if err != nil {
+		return err
+	}
+	if dec.Remaining() != 0 {
+		return fmt.Errorf("gk: %d trailing bytes", dec.Remaining())
+	}
+	na := NewAdaptive(eps)
+	na.n = n
+	for _, t := range tuples {
+		an := &anode{g: t.g, del: t.del, hidx: -1}
+		an.node = na.list.Insert(t.v, an)
+	}
+	// Wire the heap: every tuple except the last has a successor.
+	for node := na.list.First(); node != nil; node = node.Next() {
+		na.heapPush(node.Value)
+	}
+	*a = *na
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (t *Theory) MarshalBinary() ([]byte, error) {
+	return marshalTuples(codecKindTheory, t.eps, t.n, t.seq, func(e *core.Encoder) {
+		e.I64(int64(t.sinceCmp))
+	}), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (t *Theory) UnmarshalBinary(data []byte) error {
+	eps, n, tuples, dec, err := unmarshalTuples(codecKindTheory, data)
+	if err != nil {
+		return err
+	}
+	sinceCmp := int(dec.I64())
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if dec.Remaining() != 0 {
+		return fmt.Errorf("gk: %d trailing bytes", dec.Remaining())
+	}
+	nt := NewTheory(eps)
+	nt.n = n
+	nt.sinceCmp = sinceCmp
+	for _, tp := range tuples {
+		nt.list.Insert(tp.v, &tnode{g: tp.g, del: tp.del})
+	}
+	*t = *nt
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler. Pending buffered
+// elements are included, so marshalling does not disturb the batch
+// schedule.
+func (a *Array) MarshalBinary() ([]byte, error) {
+	return marshalTuples(codecKindArray, a.eps, a.n, a.seq, func(e *core.Encoder) {
+		e.U64s(a.buf)
+		e.U64(uint64(cap(a.buf)))
+	}), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (a *Array) UnmarshalBinary(data []byte) error {
+	eps, n, tuples, dec, err := unmarshalTuples(codecKindArray, data)
+	if err != nil {
+		return err
+	}
+	buffered := dec.U64s()
+	bufCap := int(dec.U64())
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if dec.Remaining() != 0 {
+		return fmt.Errorf("gk: %d trailing bytes", dec.Remaining())
+	}
+	if bufCap < len(buffered) || bufCap > 1<<30 {
+		return fmt.Errorf("gk: implausible buffer capacity %d", bufCap)
+	}
+	na := NewArray(eps)
+	na.n = n
+	na.tuples = tuples
+	if bufCap < minBuffer {
+		bufCap = minBuffer
+	}
+	na.buf = make([]uint64, len(buffered), bufCap)
+	copy(na.buf, buffered)
+	*a = *na
+	return nil
+}

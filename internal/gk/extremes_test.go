@@ -1,0 +1,135 @@
+package gk
+
+import (
+	"testing"
+
+	"streamquantiles/internal/core"
+	"streamquantiles/internal/streamgen"
+	"streamquantiles/internal/xhash"
+)
+
+// The GK variants keep the stream minimum and maximum exactly (GK01's
+// boundary rule); without it, φ→0/φ→1 queries err by up to 2ε.
+
+func firstLast(seq tupleSeq) (first, last tuple) {
+	started := false
+	seq(func(t tuple) bool {
+		if !started {
+			first = t
+			started = true
+		}
+		last = t
+		return true
+	})
+	return first, last
+}
+
+func TestExtremesRetainedExactly(t *testing.T) {
+	rng := xhash.NewSplitMix64(7)
+	data := streamgen.Generate(streamgen.Uniform{Bits: 24, Seed: 8}, 30000)
+	min, max := data[0], data[0]
+	for _, x := range data {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	for name, s := range variants(0.05) {
+		feed(s, data)
+		first, last := firstLast(seqOf(s))
+		if first.v != min {
+			t.Errorf("%s: first tuple %d, want stream minimum %d", name, first.v, min)
+		}
+		if first.del != 0 {
+			t.Errorf("%s: minimum tuple has Δ=%d, want 0", name, first.del)
+		}
+		if last.v != max {
+			t.Errorf("%s: last tuple %d, want stream maximum %d", name, last.v, max)
+		}
+		// φ→0 queries stay within εn of the minimum (the guarantee; the
+		// exact min itself is not promised by the extraction rule).
+		q := s.Quantile(1e-9)
+		var rank int
+		for _, x := range data {
+			if x < q {
+				rank++
+			}
+		}
+		if float64(rank) > 0.05*float64(len(data)) {
+			t.Errorf("%s: Quantile(→0) = %d has rank %d > εn", name, q, rank)
+		}
+	}
+	_ = rng
+}
+
+func TestExtremeQuantilesWithinEps(t *testing.T) {
+	// Regression for the boundary bug the brute-force net caught: at
+	// φ = 1/n the reported element's rank must stay within εn.
+	const eps = 0.1
+	rng := xhash.NewSplitMix64(99)
+	for trial := 0; trial < 50; trial++ {
+		n := 10 + int(rng.Uint64n(40))
+		data := make([]uint64, n)
+		for i := range data {
+			data[i] = rng.Uint64n(64)
+		}
+		for name, s := range variants(eps) {
+			feed(s, data)
+			got := s.Quantile(0.01)
+			var rank int
+			for _, x := range data {
+				if x < got {
+					rank++
+				}
+			}
+			if float64(rank) > eps*float64(n)+1 {
+				t.Errorf("trial %d %s: Quantile(0.01) has rank %d > εn+1 (n=%d)",
+					trial, name, rank, n)
+			}
+		}
+	}
+}
+
+func TestBiasedKeepsMinimum(t *testing.T) {
+	b := NewBiased(0.3)
+	data := streamgen.Generate(streamgen.Uniform{Bits: 20, Seed: 9}, 20000)
+	min := data[0]
+	for _, x := range data {
+		if x < min {
+			min = x
+		}
+	}
+	feed(b, data)
+	b.Flush()
+	if b.tuples[0].v != min {
+		t.Errorf("biased first tuple %d, want minimum %d", b.tuples[0].v, min)
+	}
+	// The biased guarantee at φ→0 is relative: rank ≤ ε·φn → essentially
+	// exact at the extreme.
+	q := b.Quantile(1e-6)
+	var rank int
+	for _, x := range data {
+		if x < q {
+			rank++
+		}
+	}
+	if rank > 1 {
+		t.Errorf("biased Quantile(→0) = %d has rank %d, want ≈ 0", q, rank)
+	}
+}
+
+func TestExtremesSurviveHeavyCompression(t *testing.T) {
+	// Very coarse ε forces aggressive merging; the extremes must survive.
+	for name, s := range variants(0.45) {
+		for i := 0; i < 10000; i++ {
+			s.Update(uint64(10000 - i)) // descending: repeated new minima
+		}
+		first, last := firstLast(seqOf(s))
+		if first.v != 1 || last.v != 10000 {
+			t.Errorf("%s: extremes [%d, %d], want [1, 10000]", name, first.v, last.v)
+		}
+	}
+	_ = core.WordBytes
+}

@@ -1,0 +1,119 @@
+package gk
+
+import (
+	"testing"
+
+	"streamquantiles/internal/core"
+	"streamquantiles/internal/streamgen"
+)
+
+// White-box tests of the GK01 band-tree COMPRESS.
+
+// buildTheory crafts a Theory summary with a hand-chosen tuple list via
+// the codec (the only supported way to inject state).
+func buildTheory(t *testing.T, eps float64, n int64, tuples []tuple) *Theory {
+	t.Helper()
+	blob := marshalTuples(codecKindTheory, eps, n, func(yield func(tp tuple) bool) {
+		for _, tp := range tuples {
+			if !yield(tp) {
+				return
+			}
+		}
+	}, func(e *core.Encoder) { e.I64(0) })
+	var th Theory
+	if err := th.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	return &th
+}
+
+func tuplesOf(th *Theory) []tuple {
+	var out []tuple
+	th.seq(func(tp tuple) bool { out = append(out, tp); return true })
+	return out
+}
+
+func TestCompressMergesSubtree(t *testing.T) {
+	// p = ⌊2εn⌋ = 20. Bands: Δ=19 → low band; Δ=0 → highest.
+	// Layout: t0 (min, permanent) | t1..t3 a subtree of low-band tuples |
+	// t4 a high-band anchor. t3 and its descendants (t1, t2) must merge
+	// into t4 in one pass when capacity allows.
+	const eps = 0.1
+	const n = 100
+	th := buildTheory(t, eps, n, []tuple{
+		{v: 0, g: 1, del: 0},
+		{v: 10, g: 1, del: 19}, // band(19, 20) low
+		{v: 20, g: 1, del: 19},
+		{v: 30, g: 1, del: 18}, // parent of the two above (higher band)
+		{v: 40, g: 2, del: 0},  // high band anchor
+	})
+	th.compress()
+	got := tuplesOf(th)
+	if len(got) != 2 {
+		t.Fatalf("tuples after compress: %d (%v), want 2", len(got), got)
+	}
+	if got[0].v != 0 || got[1].v != 40 {
+		t.Fatalf("surviving values %d, %d; want 0 and 40", got[0].v, got[1].v)
+	}
+	if got[1].g != 7 { // absorbed g: 2 + (1+1+1) + ... = 2+3+... t0 kept (g=1): total weight 7−? total g must be 6
+		// Weight conservation: sum of g unchanged (6).
+		t.Logf("merged g = %d", got[1].g)
+	}
+	var sum int64
+	for _, tp := range got {
+		sum += tp.g
+	}
+	if sum != 6 {
+		t.Fatalf("total weight %d, want 6", sum)
+	}
+}
+
+func TestCompressRespectsCapacity(t *testing.T) {
+	// Same layout but a tight capacity: nothing may merge when
+	// g* + g_next + Δ_next ≥ p.
+	const eps = 0.02 // p = ⌊2·0.02·100⌋ = 4
+	const n = 100
+	tuples := []tuple{
+		{v: 0, g: 1, del: 0},
+		{v: 10, g: 2, del: 1},
+		{v: 20, g: 2, del: 1},
+		{v: 30, g: 2, del: 0},
+	}
+	th := buildTheory(t, eps, n, tuples)
+	th.compress()
+	if got := tuplesOf(th); len(got) != len(tuples) {
+		t.Fatalf("compress merged despite capacity: %d tuples left", len(got))
+	}
+}
+
+func TestCompressNeverTouchesExtremes(t *testing.T) {
+	const eps = 0.4 // huge capacity: everything merges that may
+	const n = 100
+	th := buildTheory(t, eps, n, []tuple{
+		{v: 0, g: 1, del: 0},
+		{v: 1, g: 1, del: 0},
+		{v: 2, g: 1, del: 0},
+		{v: 99, g: 1, del: 0},
+	})
+	th.compress()
+	got := tuplesOf(th)
+	if got[0].v != 0 {
+		t.Error("minimum tuple merged away")
+	}
+	if got[len(got)-1].v != 99 {
+		t.Error("maximum tuple merged away")
+	}
+}
+
+func TestCompressPreservesQueryValidity(t *testing.T) {
+	// End-to-end: heavy compression pressure must keep all answers valid.
+	const eps = 0.05
+	th := NewTheory(eps)
+	data := streamgen.Generate(streamgen.Sorted{Inner: streamgen.Uniform{Bits: 24, Seed: 70}}, 50000)
+	feed(th, data)
+	p := threshold(eps, th.n)
+	sorted := append([]uint64{}, data...)
+	if err := checkInvariants(th.seq, sorted, p); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,41 @@
+package harness
+
+import "testing"
+
+// TestExperimentsDeterministic: the reproducibility contract — the same
+// Options produce identical measurement tables (timing columns aside).
+func TestExperimentsDeterministic(t *testing.T) {
+	opts := Options{N: 8000, Seed: 77, Repeats: 1}
+	for _, exp := range []string{ExpFig5, ExpFig10, ExpFig9} {
+		a := Run(exp, opts)
+		b := Run(exp, opts)
+		if len(a) != len(b) {
+			t.Fatalf("%s: run sizes differ", exp)
+		}
+		for i := range a {
+			x, y := a[i], b[i]
+			if x.Algo != y.Algo || x.Eps != y.Eps || x.MaxErr != y.MaxErr ||
+				x.AvgErr != y.AvgErr || x.SpaceBytes != y.SpaceBytes ||
+				x.TreeRel != y.TreeRel || x.ErrRel != y.ErrRel {
+				t.Errorf("%s row %d: %+v vs %+v", exp, i, x, y)
+			}
+		}
+	}
+}
+
+// TestSeedChangesResults: different seeds must actually change the
+// randomized measurements (guards against a silently ignored seed).
+func TestSeedChangesResults(t *testing.T) {
+	a := Run(ExpFig10, Options{N: 8000, Seed: 1, Repeats: 1})
+	b := Run(ExpFig10, Options{N: 8000, Seed: 2, Repeats: 1})
+	same := true
+	for i := range a {
+		if a[i].MaxErr != b[i].MaxErr || a[i].AvgErr != b[i].AvgErr {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical randomized measurements")
+	}
+}

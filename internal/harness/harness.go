@@ -1,0 +1,221 @@
+// Package harness drives the experimental study: it runs every algorithm
+// over the paper's workloads, takes the five measurements of §4.1.2
+// (space, update time, ε, actual maximum error, actual average error),
+// and renders the tables and figure series of the evaluation section.
+//
+// Every figure and table of the paper has one driver here (Fig5 … Fig12,
+// Table3And4) plus three ablations the reproduction adds; the drivers are
+// invoked both by cmd/quantbench and by the testing.B benchmarks in the
+// repository root. All runs are deterministic given Options.Seed.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"streamquantiles/internal/core"
+	"streamquantiles/internal/dyadic"
+	"streamquantiles/internal/exact"
+	"streamquantiles/internal/gk"
+	"streamquantiles/internal/mrl"
+	"streamquantiles/internal/ols"
+	"streamquantiles/internal/qdigest"
+	"streamquantiles/internal/randalg"
+	"streamquantiles/internal/streamgen"
+)
+
+// Result is one measured (algorithm, workload, parameters) point.
+type Result struct {
+	Experiment string
+	Algo       string
+	Workload   string
+	N          int64
+	Eps        float64
+	Bits       int     // universe bits, when swept
+	Sigma      float64 // normal σ, when swept
+	D          int     // sketch depth, when swept
+	Eta        float64 // Post truncation factor, when swept
+	SketchKB   int     // per-level sketch size, when swept
+	Phi        float64 // query fraction, when swept (extension experiments)
+
+	SpaceBytes int64   // maximum over the stream
+	UpdateNs   float64 // mean wall-clock time per element
+	MaxErr     float64 // Kolmogorov–Smirnov divergence
+	AvgErr     float64
+	TreeRel    float64 // Fig9: |T̂| relative to sketch counters
+	ErrRel     float64 // Fig9: Post error relative to raw DCS
+}
+
+// Options control workload scale. The paper streams 10^7–10^10 elements;
+// the defaults here are laptop-scale and every driver honors N.
+type Options struct {
+	// N is the stream length; 0 selects 200 000.
+	N int
+	// Seed derives all workload and algorithm randomness.
+	Seed uint64
+	// Repeats averages randomized algorithms over this many seeds
+	// (the paper uses 100); 0 selects 3.
+	Repeats int
+}
+
+func (o Options) n() int {
+	if o.N <= 0 {
+		return 200_000
+	}
+	return o.N
+}
+
+func (o Options) repeats() int {
+	if o.Repeats <= 0 {
+		return 3
+	}
+	return o.Repeats
+}
+
+// spacePollEvery is the update interval between SpaceBytes samples when
+// tracking an algorithm's maximum footprint.
+const spacePollEvery = 1024
+
+// CashBuilder constructs a cash-register summary for a given error
+// parameter, universe size and seed.
+type CashBuilder struct {
+	Name string
+	New  func(eps float64, bits int, seed uint64) core.CashRegister
+}
+
+// CashAlgos returns the six cash-register algorithms of the study.
+func CashAlgos() []CashBuilder {
+	return []CashBuilder{
+		{"GKAdaptive", func(eps float64, _ int, _ uint64) core.CashRegister { return gk.NewAdaptive(eps) }},
+		{"GKTheory", func(eps float64, _ int, _ uint64) core.CashRegister { return gk.NewTheory(eps) }},
+		{"GKArray", func(eps float64, _ int, _ uint64) core.CashRegister { return gk.NewArray(eps) }},
+		{"FastQDigest", func(eps float64, bits int, _ uint64) core.CashRegister { return qdigest.New(eps, bits) }},
+		{"MRL99", func(eps float64, _ int, seed uint64) core.CashRegister { return mrl.New(eps, seed) }},
+		{"Random", func(eps float64, _ int, seed uint64) core.CashRegister { return randalg.New(eps, seed) }},
+	}
+}
+
+// CashAlgo returns one builder by name.
+func CashAlgo(name string) CashBuilder {
+	for _, a := range CashAlgos() {
+		if a.Name == name {
+			return a
+		}
+	}
+	panic(fmt.Sprintf("harness: unknown cash-register algorithm %q", name))
+}
+
+// IsRandomized reports whether the named algorithm needs seed averaging.
+func IsRandomized(name string) bool {
+	switch name {
+	case "MRL99", "Random", "DCM", "DCS", "Post", "DRSS":
+		return true
+	}
+	return false
+}
+
+// TurnBuilder constructs a turnstile summary; Post wraps the summary at
+// query time.
+type TurnBuilder struct {
+	Name string
+	Kind dyadic.Kind
+	Post bool
+}
+
+// TurnAlgos returns the turnstile algorithms of §4.3: DCM, DCS, and DCS
+// with post-processing.
+func TurnAlgos() []TurnBuilder {
+	return []TurnBuilder{
+		{Name: "DCM", Kind: dyadic.DCM},
+		{Name: "DCS", Kind: dyadic.DCS},
+		{Name: "Post", Kind: dyadic.DCS, Post: true},
+	}
+}
+
+// measured bundles the raw measurements of one streaming run.
+type measured struct {
+	space    int64
+	updateNs float64
+	maxErr   float64
+	avgErr   float64
+}
+
+// runCash streams data into a fresh summary and takes all measurements.
+func runCash(b CashBuilder, eps float64, bits int, seed uint64,
+	data []uint64, oracle *exact.Oracle) measured {
+	s := b.New(eps, bits, seed)
+	start := time.Now()
+	var space int64
+	for i, x := range data {
+		s.Update(x)
+		if i%spacePollEvery == 0 {
+			if sp := s.SpaceBytes(); sp > space {
+				space = sp
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	if sp := s.SpaceBytes(); sp > space {
+		space = sp
+	}
+	maxE, avgE := oracle.EvaluateSummary(s, eps)
+	return measured{
+		space:    space,
+		updateNs: float64(elapsed.Nanoseconds()) / float64(len(data)),
+		maxErr:   maxE,
+		avgErr:   avgE,
+	}
+}
+
+// runTurn streams data (insert-only: the algorithms behave identically
+// with deletions, §4.3) into a dyadic sketch, optionally post-processes,
+// and measures.
+func runTurn(b TurnBuilder, eps float64, bits int, cfg dyadic.Config,
+	data []uint64, oracle *exact.Oracle) measured {
+	s := dyadic.New(b.Kind, eps, bits, cfg)
+	start := time.Now()
+	for _, x := range data {
+		s.Insert(x)
+	}
+	elapsed := time.Since(start)
+	var q core.Summary = s
+	if b.Post {
+		q = ols.Process(s, ols.DefaultEta)
+	}
+	maxE, avgE := oracle.EvaluateSummary(q, eps)
+	return measured{
+		space:    s.SpaceBytes(),
+		updateNs: float64(elapsed.Nanoseconds()) / float64(len(data)),
+		maxErr:   maxE,
+		avgErr:   avgE,
+	}
+}
+
+// average runs fn over `repeats` seeds and averages the measurements;
+// deterministic algorithms run once.
+func average(randomized bool, repeats int, seed uint64, fn func(seed uint64) measured) measured {
+	if !randomized {
+		return fn(seed)
+	}
+	var acc measured
+	for r := 0; r < repeats; r++ {
+		m := fn(seed + uint64(r)*7919)
+		acc.space += m.space
+		acc.updateNs += m.updateNs
+		acc.maxErr += m.maxErr
+		acc.avgErr += m.avgErr
+	}
+	f := float64(repeats)
+	return measured{
+		space:    acc.space / int64(repeats),
+		updateNs: acc.updateNs / f,
+		maxErr:   acc.maxErr / f,
+		avgErr:   acc.avgErr / f,
+	}
+}
+
+// makeData generates a workload and its ground-truth oracle.
+func makeData(g streamgen.Generator, n int) ([]uint64, *exact.Oracle) {
+	data := streamgen.Generate(g, n)
+	return data, exact.New(data)
+}

@@ -1,0 +1,249 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny returns fast options for tests.
+func tiny() Options { return Options{N: 20000, Seed: 1, Repeats: 1} }
+
+func TestFig5ShapesHold(t *testing.T) {
+	results := Fig5(tiny())
+	if len(results) == 0 {
+		t.Fatal("no results")
+	}
+	byAlgo := map[string][]Result{}
+	for _, r := range results {
+		byAlgo[r.Algo] = append(byAlgo[r.Algo], r)
+		// The ε guarantee must hold for deterministic algorithms.
+		if !IsRandomized(r.Algo) && r.MaxErr > r.Eps {
+			t.Errorf("%s at eps=%g: max error %v exceeds ε", r.Algo, r.Eps, r.MaxErr)
+		}
+		if r.SpaceBytes <= 0 || r.UpdateNs <= 0 {
+			t.Errorf("%s: non-positive measurements", r.Algo)
+		}
+	}
+	if len(byAlgo) != 6 {
+		t.Errorf("expected 6 cash-register algorithms, got %d", len(byAlgo))
+	}
+	// Paper shape: FastQDigest uses the most space at small ε.
+	var qd, rnd Result
+	for _, r := range results {
+		if r.Eps == 0.002 {
+			switch r.Algo {
+			case "FastQDigest":
+				qd = r
+			case "Random":
+				rnd = r
+			}
+		}
+	}
+	if qd.SpaceBytes <= rnd.SpaceBytes {
+		t.Errorf("expected FastQDigest (%d B) above Random (%d B) at eps=0.002",
+			qd.SpaceBytes, rnd.SpaceBytes)
+	}
+}
+
+func TestFig7TimeFlatInN(t *testing.T) {
+	results := Fig7(Options{N: 64000, Seed: 2, Repeats: 1})
+	// For each algorithm, update time must not grow dramatically with n.
+	byAlgo := map[string][]Result{}
+	for _, r := range results {
+		byAlgo[r.Algo] = append(byAlgo[r.Algo], r)
+	}
+	for algo, rs := range byAlgo {
+		if len(rs) < 3 {
+			continue
+		}
+		// Compare the two largest lengths: the smallest point sits below
+		// the amortization scale of the batched algorithms. The threshold
+		// is deliberately loose — absolute per-update times are tens of
+		// nanoseconds and wall-clock measurement is noisy on loaded
+		// machines; the test guards against gross blowups only (the real
+		// flatness claim is checked at report scale by quantbench).
+		mid, last := rs[len(rs)-2], rs[len(rs)-1]
+		if last.UpdateNs > 25*mid.UpdateNs {
+			t.Errorf("%s: update time grew %vx from n=%d to n=%d",
+				algo, last.UpdateNs/mid.UpdateNs, mid.N, last.N)
+		}
+	}
+}
+
+func TestFig8SortedHurtsGKSpace(t *testing.T) {
+	results := Fig8(Options{N: 50000, Seed: 3, Repeats: 1})
+	space := map[string]map[string]int64{}
+	for _, r := range results {
+		if space[r.Algo] == nil {
+			space[r.Algo] = map[string]int64{}
+		}
+		space[r.Algo][r.Workload] = r.SpaceBytes
+	}
+	// Sorted order must not *shrink* GKAdaptive's summary, and Random's
+	// pre-allocated space must be identical.
+	if space["Random"]["random"] != space["Random"]["sorted"] {
+		t.Errorf("Random space differs across orders: %v", space["Random"])
+	}
+	if space["GKAdaptive"]["sorted"] < space["GKAdaptive"]["random"] {
+		t.Errorf("GKAdaptive sorted space %d below random %d — unexpected direction",
+			space["GKAdaptive"]["sorted"], space["GKAdaptive"]["random"])
+	}
+}
+
+func TestTable3DErrorShrinksWithSize(t *testing.T) {
+	results := Table3And4(Options{N: 50000, Seed: 4, Repeats: 1})
+	// For fixed d, average error must shrink as the sketch grows.
+	byD := map[int][]Result{}
+	for _, r := range results {
+		byD[r.D] = append(byD[r.D], r)
+	}
+	for d, rs := range byD {
+		if len(rs) < 2 {
+			continue
+		}
+		first, last := rs[0], rs[len(rs)-1]
+		if last.AvgErr > first.AvgErr*1.5 {
+			t.Errorf("d=%d: avg error rose from %v (%dKB) to %v (%dKB)",
+				d, first.AvgErr, first.SketchKB, last.AvgErr, last.SketchKB)
+		}
+	}
+}
+
+func TestFig9EtaMonotoneTree(t *testing.T) {
+	results := Fig9(Options{N: 30000, Seed: 5, Repeats: 1})
+	// For each eps, smaller η ⇒ larger relative tree.
+	byEps := map[float64][]Result{}
+	for _, r := range results {
+		byEps[r.Eps] = append(byEps[r.Eps], r)
+	}
+	for eps, rs := range byEps {
+		for i := 1; i < len(rs); i++ {
+			if rs[i].Eta < rs[i-1].Eta && rs[i].TreeRel < rs[i-1].TreeRel*0.5 {
+				t.Errorf("eps=%g: tree size fell sharply as η shrank (%v→%v)",
+					eps, rs[i-1].TreeRel, rs[i].TreeRel)
+			}
+		}
+	}
+}
+
+func TestFig10PostBeatsDCS(t *testing.T) {
+	results := Fig10(Options{N: 40000, Seed: 6, Repeats: 2})
+	avg := map[string]map[float64]float64{}
+	for _, r := range results {
+		if avg[r.Algo] == nil {
+			avg[r.Algo] = map[float64]float64{}
+		}
+		avg[r.Algo][r.Eps] = r.AvgErr
+	}
+	for eps, dcs := range avg["DCS"] {
+		post := avg["Post"][eps]
+		if post > dcs {
+			t.Errorf("eps=%g: Post avg error %v above DCS %v", eps, post, dcs)
+		}
+	}
+}
+
+func TestFig11SmallerUniverseSmaller(t *testing.T) {
+	results := Fig11(Options{N: 30000, Seed: 7, Repeats: 1})
+	space := map[int]int64{}
+	for _, r := range results {
+		if r.Algo == "DCS" && r.Eps == 0.01 {
+			space[r.Bits] = r.SpaceBytes
+		}
+	}
+	if space[16] >= space[32] {
+		t.Errorf("DCS space u=2^16 (%d) not below u=2^32 (%d)", space[16], space[32])
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	for _, exp := range []string{ExpAblGK, ExpAblExact, ExpAblPostFB} {
+		rs := Run(exp, tiny())
+		if len(rs) == 0 {
+			t.Errorf("%s produced no results", exp)
+		}
+	}
+}
+
+func TestRunDispatchesEverything(t *testing.T) {
+	for _, exp := range AllExperiments() {
+		rs := Run(exp, Options{N: 5000, Seed: 8, Repeats: 1})
+		if len(rs) == 0 {
+			t.Errorf("experiment %s returned no results", exp)
+		}
+		if Titles()[exp] == "" {
+			t.Errorf("experiment %s has no title", exp)
+		}
+		if PaperExpectations()[exp] == "" {
+			t.Errorf("experiment %s has no paper expectation", exp)
+		}
+	}
+}
+
+func TestRunUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Run(bogus) did not panic")
+		}
+	}()
+	Run("bogus", tiny())
+}
+
+func TestRenderTable(t *testing.T) {
+	results := Fig5(Options{N: 10000, Seed: 9, Repeats: 1})
+	SortResults(results)
+	out := RenderTable(ExpFig5, results)
+	if !strings.Contains(out, "algorithm") || !strings.Contains(out, "GKArray") {
+		t.Errorf("table missing expected content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != len(results)+2 {
+		t.Errorf("table has %d lines for %d results", len(lines), len(results))
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	results := []Result{{
+		Experiment: ExpFig5, Algo: "X", Workload: "w", N: 10, Eps: 0.1,
+		SpaceBytes: 100, UpdateNs: 5.5, MaxErr: 0.01, AvgErr: 0.005,
+	}}
+	out := RenderCSV(results)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV has %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "fig5,X,w,10,0.1") {
+		t.Errorf("CSV row malformed: %s", lines[1])
+	}
+	if len(strings.Split(lines[0], ",")) != len(strings.Split(lines[1], ",")) {
+		t.Error("CSV header/row column mismatch")
+	}
+}
+
+func TestSortResultsStable(t *testing.T) {
+	rs := []Result{
+		{Experiment: "b", Eps: 0.1, Algo: "z"},
+		{Experiment: "a", Eps: 0.1, Algo: "b"},
+		{Experiment: "a", Eps: 0.5, Algo: "a"},
+		{Experiment: "a", Eps: 0.1, Algo: "a"},
+	}
+	SortResults(rs)
+	if rs[0].Experiment != "a" || rs[0].Eps != 0.5 {
+		t.Errorf("sort order wrong: %+v", rs[0])
+	}
+	if rs[1].Algo != "a" || rs[2].Algo != "b" {
+		t.Error("algo tiebreak wrong")
+	}
+}
+
+func TestCashAlgoLookup(t *testing.T) {
+	if CashAlgo("Random").Name != "Random" {
+		t.Error("lookup failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown algo did not panic")
+		}
+	}()
+	CashAlgo("nope")
+}

@@ -1,0 +1,31 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderHTMLPage(t *testing.T) {
+	results := Fig5(Options{N: 10000, Seed: 1, Repeats: 1})
+	SortResults(results)
+	page := RenderHTMLPage([]HTMLSection{{Exp: ExpFig5, Results: results}}, "test run")
+	for _, want := range []string{
+		"<!DOCTYPE html>", "GKArray", "Figures 5a–5f", "test run", "</html>",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("page missing %q", want)
+		}
+	}
+	// Every result is one table row.
+	if got := strings.Count(page, "<tr>") - 1; got != len(results) {
+		t.Errorf("%d rows for %d results", got, len(results))
+	}
+}
+
+func TestRenderHTMLEscapes(t *testing.T) {
+	rs := []Result{{Experiment: ExpFig5, Algo: "<script>", Workload: "w"}}
+	page := RenderHTMLPage([]HTMLSection{{Exp: ExpFig5, Results: rs}}, "s")
+	if strings.Contains(page, "<script>") {
+		t.Error("unescaped HTML in output")
+	}
+}

@@ -1,0 +1,45 @@
+package harness
+
+import "testing"
+
+// TestVerifyClaimsPass is the reproduction's acceptance test: every
+// checkable shape claim of the paper must hold on a fresh run.
+func TestVerifyClaimsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("verify runs every experiment")
+	}
+	results := Verify(Options{N: 60000, Seed: 5, Repeats: 2})
+	for _, r := range results {
+		if !r.OK {
+			t.Errorf("[FAIL] %s — %s\n  measured: %s", r.Claim.ID, r.Claim.Statement, r.Detail)
+		}
+	}
+	if len(results) < 12 {
+		t.Errorf("only %d claims checked", len(results))
+	}
+}
+
+func TestRenderVerify(t *testing.T) {
+	out := RenderVerify([]VerifyResult{
+		{Claim: Claim{ID: "x", Statement: "s"}, OK: true, Detail: "d"},
+		{Claim: Claim{ID: "y", Statement: "t"}, OK: false, Detail: "e"},
+	})
+	for _, want := range []string{"[PASS] x", "[FAIL] y", "1/2"} {
+		if !containsStr(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(s) > 0 && indexStr(s, sub) >= 0)
+}
+
+func indexStr(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,64 @@
+package kll
+
+import (
+	"fmt"
+
+	"streamquantiles/internal/core"
+)
+
+const codecVersion = 1
+
+// MarshalBinary implements encoding.BinaryMarshaler: parameters, levels,
+// and the RNG state, so restore-and-continue matches never stopping.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	var e core.Encoder
+	e.U64(codecVersion)
+	e.F64(s.eps)
+	e.I64(s.n)
+	e.U64(s.rng.State())
+	e.U64(uint64(len(s.levels)))
+	for _, lvl := range s.levels {
+		e.U64s(lvl)
+	}
+	return e.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, replacing the
+// receiver's state.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	dec := core.NewDecoder(data)
+	if v := dec.U64(); v != codecVersion && dec.Err() == nil {
+		return fmt.Errorf("kll: unsupported encoding version %d", v)
+	}
+	eps := dec.F64()
+	n := dec.I64()
+	rngState := dec.U64()
+	depth := dec.Len()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if eps <= 0 || eps >= 1 || n < 0 || depth < 1 || depth > 64 {
+		return fmt.Errorf("kll: implausible encoded parameters eps=%v n=%d depth=%d", eps, n, depth)
+	}
+	ns := New(eps, 0)
+	ns.n = n
+	ns.rng.Restore(rngState)
+	ns.levels = ns.levels[:0]
+	var weight int64
+	for h := 0; h < depth; h++ {
+		lvl := dec.U64s()
+		if dec.Err() != nil {
+			return dec.Err()
+		}
+		weight += int64(len(lvl)) << h
+		ns.levels = append(ns.levels, lvl)
+	}
+	if dec.Remaining() != 0 {
+		return fmt.Errorf("kll: %d trailing bytes", dec.Remaining())
+	}
+	if weight != n {
+		return fmt.Errorf("kll: encoded weight %d does not match n %d", weight, n)
+	}
+	*s = *ns
+	return nil
+}

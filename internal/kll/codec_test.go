@@ -1,0 +1,61 @@
+package kll
+
+import (
+	"testing"
+
+	"streamquantiles/internal/core"
+	"streamquantiles/internal/streamgen"
+)
+
+func TestCodecRoundTripContinuesIdentically(t *testing.T) {
+	head := streamgen.Generate(streamgen.MPCATLike{Seed: 20}, 30000)
+	tail := streamgen.Generate(streamgen.Uniform{Bits: 24, Seed: 21}, 30000)
+
+	straight := New(0.01, 42)
+	feed(straight, head)
+	feed(straight, tail)
+
+	stopped := New(0.01, 42)
+	feed(stopped, head)
+	blob, err := stopped.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := New(0.5, 0)
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	feed(restored, tail)
+
+	if restored.Count() != straight.Count() {
+		t.Fatalf("count %d vs %d", restored.Count(), straight.Count())
+	}
+	for _, phi := range core.EvenPhis(0.05) {
+		if restored.Quantile(phi) != straight.Quantile(phi) {
+			t.Fatalf("quantile(%v) diverged after restore", phi)
+		}
+	}
+}
+
+func TestCodecRejectsCorrupt(t *testing.T) {
+	s := New(0.05, 1)
+	feed(s, streamgen.Generate(streamgen.Uniform{Bits: 16, Seed: 22}, 5000))
+	blob, _ := s.MarshalBinary()
+	for cut := 0; cut < len(blob); cut += 5 {
+		var b Sketch
+		if err := b.UnmarshalBinary(blob[:cut]); err == nil {
+			t.Fatalf("accepted truncated input of %d bytes", cut)
+		}
+	}
+}
+
+func TestCodecWeightMismatchRejected(t *testing.T) {
+	s := New(0.05, 2)
+	feed(s, streamgen.Generate(streamgen.Uniform{Bits: 16, Seed: 23}, 1000))
+	s.n += 5 // corrupt the count before encoding
+	blob, _ := s.MarshalBinary()
+	var b Sketch
+	if err := b.UnmarshalBinary(blob); err == nil {
+		t.Error("accepted weight/count mismatch")
+	}
+}

@@ -1,0 +1,218 @@
+// Package kll implements the KLL sketch (Karnin, Lang, Liberty: "Optimal
+// quantile approximation in streams", FOCS 2016) — the successor of the
+// buffer-hierarchy line this paper's Random algorithm belongs to, and the
+// design that its experimental findings fed into (see the study's
+// influence on later sketch work, e.g. Apache DataSketches).
+//
+// Where Random keeps b equal-sized buffers, KLL lets capacities decay
+// geometrically with height: level h (0 = rawest) holds up to
+// k·c^(depth−1−h) elements of weight 2^h, for a decay c ∈ (0.5, 1).
+// A full level is "compacted": its elements are sorted and either the
+// odd or the even ranked half survives to the level above, with a fair
+// coin — the same unbiased halving as Random's merge, applied to a
+// whole level. Total space is k/(1−c) + O(log(n/k)) elements — the
+// log^0.5(1/ε) factor of Random drops away — and all quantiles are
+// ε-accurate with constant probability for k = O((1/ε)·√log(1/ε))…
+// in practice k ≈ 4/ε matches the all-quantiles evaluation standard of
+// this suite while retaining ~3× fewer elements than Random.
+//
+// The implementation is single-threaded, deterministic per seed, and
+// mergeable (the property the DataSketches ecosystem builds on).
+package kll
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"streamquantiles/internal/core"
+	"streamquantiles/internal/xhash"
+)
+
+// decay is the capacity decay rate c; 2/3 is the value recommended by
+// the KLL authors.
+const decay = 2.0 / 3.0
+
+// minLevelCap is the smallest capacity of any level.
+const minLevelCap = 8
+
+// Sketch is a KLL quantile sketch.
+type Sketch struct {
+	eps float64
+	k   int // capacity of the highest (most recent) level
+	n   int64
+
+	// levels[h] holds the elements of weight 2^h, kept sorted lazily
+	// (sorted on compaction and on query).
+	levels [][]uint64
+	rng    *xhash.SplitMix64
+}
+
+// New returns an empty KLL sketch with error parameter eps, seeded
+// deterministically.
+func New(eps float64, seed uint64) *Sketch {
+	if math.IsNaN(eps) || eps <= 0 || eps >= 1 {
+		panic(fmt.Sprintf("kll: error parameter %v outside (0, 1)", eps))
+	}
+	// k = 4/ε makes every quantile simultaneously ε-accurate with high
+	// probability (the per-query analysis needs ~1.5/ε; the union bound
+	// over the 1/ε evaluation grid costs the rest), matching the
+	// evaluation standard used for the paper's algorithms.
+	k := int(math.Ceil(4 / eps))
+	if k < 2*minLevelCap {
+		k = 2 * minLevelCap
+	}
+	return &Sketch{
+		eps:    eps,
+		k:      k,
+		levels: [][]uint64{make([]uint64, 0, k)},
+		rng:    xhash.NewSplitMix64(seed),
+	}
+}
+
+// Eps returns the error parameter.
+func (s *Sketch) Eps() float64 { return s.eps }
+
+// K returns the top-level capacity parameter.
+func (s *Sketch) K() int { return s.k }
+
+// Count implements core.Summary.
+func (s *Sketch) Count() int64 { return s.n }
+
+// Depth returns the number of levels currently in use.
+func (s *Sketch) Depth() int { return len(s.levels) }
+
+// capacity returns the allowed size of level h given the current depth:
+// the top level gets k, and capacities decay by c per level downward.
+func (s *Sketch) capacity(h int) int {
+	depth := len(s.levels)
+	c := float64(s.k) * math.Pow(decay, float64(depth-1-h))
+	if c < minLevelCap {
+		return minLevelCap
+	}
+	return int(math.Ceil(c))
+}
+
+// Update implements core.CashRegister.
+func (s *Sketch) Update(x uint64) {
+	s.n++
+	s.levels[0] = append(s.levels[0], x)
+	if len(s.levels[0]) >= s.capacity(0) {
+		s.compress()
+	}
+}
+
+// compress restores all level capacities by compacting the lowest
+// over-full level, cascading upward as needed.
+func (s *Sketch) compress() {
+	for h := 0; h < len(s.levels); h++ {
+		if len(s.levels[h]) < s.capacity(h) {
+			continue
+		}
+		if h+1 == len(s.levels) {
+			s.levels = append(s.levels, make([]uint64, 0, s.k))
+		}
+		s.compact(h)
+	}
+}
+
+// compact halves level h into level h+1: sort, then keep either the odd
+// or the even ranked elements with equal probability. The survivors'
+// weight doubles implicitly (they move one level up). An odd leftover
+// element stays at level h, preserving total weight exactly.
+func (s *Sketch) compact(h int) {
+	lvl := s.levels[h]
+	slices.Sort(lvl)
+	keepOdd := s.rng.Bool()
+
+	pairs := len(lvl) / 2
+	var leftover []uint64
+	if len(lvl)%2 == 1 {
+		// Keep the last element at this level so weight is conserved.
+		leftover = lvl[len(lvl)-1:]
+	}
+	up := s.levels[h+1]
+	for i := 0; i < pairs; i++ {
+		if keepOdd {
+			up = append(up, lvl[2*i+1])
+		} else {
+			up = append(up, lvl[2*i])
+		}
+	}
+	s.levels[h+1] = up
+	s.levels[h] = append(s.levels[h][:0], leftover...)
+}
+
+// samples gathers all retained elements with their weights, sorted.
+func (s *Sketch) samples() []core.WeightedValue {
+	var out []core.WeightedValue
+	for h, lvl := range s.levels {
+		w := int64(1) << h
+		for _, v := range lvl {
+			out = append(out, core.WeightedValue{V: v, W: w})
+		}
+	}
+	core.SortWeighted(out)
+	return out
+}
+
+// Rank implements core.Summary.
+func (s *Sketch) Rank(x uint64) int64 {
+	return core.WeightedRank(s.samples(), x)
+}
+
+// Quantile implements core.Summary.
+func (s *Sketch) Quantile(phi float64) uint64 {
+	if s.n == 0 {
+		panic(core.ErrEmpty)
+	}
+	return core.WeightedQuantile(s.samples(), phi)
+}
+
+// BatchQuantiles implements core.BatchQuantiler.
+func (s *Sketch) BatchQuantiles(phis []float64) []uint64 {
+	if s.n == 0 {
+		panic(core.ErrEmpty)
+	}
+	return core.WeightedQuantiles(s.samples(), phis)
+}
+
+// Merge folds other into s: levels concatenate weight-for-weight and
+// over-full levels compact. Both sketches must share eps.
+func (s *Sketch) Merge(other *Sketch) {
+	if other.eps != s.eps {
+		panic("kll: merging sketches with different eps")
+	}
+	for h, lvl := range other.levels {
+		for len(s.levels) <= h {
+			s.levels = append(s.levels, nil)
+		}
+		s.levels[h] = append(s.levels[h], lvl...)
+	}
+	s.n += other.n
+	s.compress()
+}
+
+// SpaceBytes implements core.Summary: retained elements at capacity plus
+// per-level slice headers and scalars.
+func (s *Sketch) SpaceBytes() int64 {
+	var words int64
+	for h := range s.levels {
+		c := cap(s.levels[h])
+		if c < len(s.levels[h]) {
+			c = len(s.levels[h])
+		}
+		words += int64(c) + 2
+	}
+	return (words + 8) * core.WordBytes
+}
+
+// RetainedElements reports the total number of stored elements — the
+// quantity KLL minimizes. Test/observability hook.
+func (s *Sketch) RetainedElements() int {
+	t := 0
+	for _, lvl := range s.levels {
+		t += len(lvl)
+	}
+	return t
+}

@@ -1,0 +1,205 @@
+package kll
+
+import (
+	"math"
+	"testing"
+
+	"streamquantiles/internal/core"
+	"streamquantiles/internal/exact"
+	"streamquantiles/internal/streamgen"
+)
+
+func feed(s *Sketch, data []uint64) {
+	for _, x := range data {
+		s.Update(x)
+	}
+}
+
+func TestErrorWithinEpsAcrossSeeds(t *testing.T) {
+	const n = 50000
+	const eps = 0.02
+	data := streamgen.Generate(streamgen.Uniform{Bits: 24, Seed: 1}, n)
+	oracle := exact.New(data)
+	for seed := uint64(1); seed <= 10; seed++ {
+		s := New(eps, seed)
+		feed(s, data)
+		maxErr, _ := oracle.EvaluateSummary(s, eps)
+		if maxErr > eps {
+			t.Errorf("seed %d: max error %v exceeds ε", seed, maxErr)
+		}
+	}
+}
+
+func TestErrorAcrossWorkloads(t *testing.T) {
+	const n = 40000
+	const eps = 0.02
+	for _, gen := range []streamgen.Generator{
+		streamgen.Normal{Bits: 20, Sigma: 0.05, Seed: 2},
+		streamgen.Sorted{Inner: streamgen.Uniform{Bits: 24, Seed: 3}},
+		streamgen.MPCATLike{Seed: 4},
+	} {
+		data := streamgen.Generate(gen, n)
+		oracle := exact.New(data)
+		s := New(eps, 5)
+		feed(s, data)
+		maxErr, _ := oracle.EvaluateSummary(s, eps)
+		if maxErr > eps {
+			t.Errorf("%s: max error %v exceeds ε", gen.Name(), maxErr)
+		}
+	}
+}
+
+func TestWeightConservation(t *testing.T) {
+	s := New(0.01, 6)
+	data := streamgen.Generate(streamgen.Uniform{Bits: 20, Seed: 7}, 100000)
+	for i, x := range data {
+		s.Update(x)
+		if (i+1)%10000 == 0 {
+			var w int64
+			for h, lvl := range s.levels {
+				w += int64(len(lvl)) << h
+			}
+			if w != int64(i+1) {
+				t.Fatalf("total weight %d != n %d", w, i+1)
+			}
+		}
+	}
+}
+
+func TestSpaceBeatsRandomAtSmallEps(t *testing.T) {
+	// KLL's design goal: fewer retained elements than the Random-style
+	// equal-buffer hierarchy at equal ε.
+	const eps = 0.001
+	const n = 2_000_000
+	kll := New(eps, 8)
+	data := streamgen.Generate(streamgen.Uniform{Bits: 32, Seed: 9}, n)
+	feed(kll, data)
+	// Random stores b·s = (h+1)·(1/ε)·√h elements; KLL ≈ 3k = 4.5/ε.
+	h := math.Ceil(math.Log2(1 / eps))
+	randomElems := (h + 1) * math.Sqrt(h) / eps
+	if got := float64(kll.RetainedElements()); got > randomElems/2 {
+		t.Errorf("KLL retained %v elements, want well below Random's %v", got, randomElems)
+	}
+	// And the accuracy must hold.
+	oracle := exact.New(data)
+	maxErr, _ := oracle.EvaluateSummary(kll, eps)
+	if maxErr > eps {
+		t.Errorf("max error %v exceeds ε", maxErr)
+	}
+}
+
+func TestUnbiasedRank(t *testing.T) {
+	const n = 30000
+	data := streamgen.Generate(streamgen.Uniform{Bits: 20, Seed: 10}, n)
+	oracle := exact.New(data)
+	probe := uint64(1) << 19
+	want := float64(oracle.Rank(probe))
+	var sum float64
+	const runs = 40
+	for seed := uint64(0); seed < runs; seed++ {
+		s := New(0.05, seed)
+		feed(s, data)
+		sum += float64(s.Rank(probe))
+	}
+	if mean := sum / runs; math.Abs(mean-want) > 0.01*float64(n) {
+		t.Errorf("mean rank %v vs true %v: biased", mean, want)
+	}
+}
+
+func TestMergeAccuracy(t *testing.T) {
+	const n = 30000
+	const eps = 0.02
+	dataA := streamgen.Generate(streamgen.Uniform{Bits: 24, Seed: 11}, n)
+	dataB := streamgen.Generate(streamgen.Normal{Bits: 24, Sigma: 0.1, Seed: 12}, n)
+	a := New(eps, 13)
+	b := New(eps, 14)
+	feed(a, dataA)
+	feed(b, dataB)
+	a.Merge(b)
+	if a.Count() != 2*n {
+		t.Fatalf("merged count %d", a.Count())
+	}
+	all := append(append([]uint64{}, dataA...), dataB...)
+	oracle := exact.New(all)
+	maxErr, _ := oracle.EvaluateSummary(a, eps)
+	if maxErr > 2*eps {
+		t.Errorf("merged max error %v exceeds 2ε", maxErr)
+	}
+}
+
+func TestMergeEpsMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched merge did not panic")
+		}
+	}()
+	New(0.01, 1).Merge(New(0.02, 1))
+}
+
+func TestBatchMatchesSingle(t *testing.T) {
+	s := New(0.01, 15)
+	feed(s, streamgen.Generate(streamgen.MPCATLike{Seed: 16}, 30000))
+	phis := append(core.EvenPhis(0.05), 0.001, 0.999)
+	batch := s.BatchQuantiles(phis)
+	for i, phi := range phis {
+		if got := s.Quantile(phi); got != batch[i] {
+			t.Errorf("phi=%v: single %d batch %d", phi, got, batch[i])
+		}
+	}
+}
+
+func TestSmallStreamExactAndPanics(t *testing.T) {
+	s := New(0.05, 17)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("empty Quantile did not panic")
+			}
+		}()
+		s.Quantile(0.5)
+	}()
+	for i := uint64(1); i <= 20; i++ {
+		s.Update(i)
+	}
+	if got := s.Rank(11); got != 10 {
+		t.Errorf("Rank(11) = %d, want 10 (exact regime)", got)
+	}
+	if q := s.Quantile(0.5); q < 9 || q > 12 {
+		t.Errorf("median %d", q)
+	}
+}
+
+func TestBadEpsPanics(t *testing.T) {
+	for _, eps := range []float64{0, 1, -1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v) did not panic", eps)
+				}
+			}()
+			New(eps, 1)
+		}()
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	data := streamgen.Generate(streamgen.Uniform{Bits: 24, Seed: 18}, 30000)
+	a := New(0.01, 42)
+	b := New(0.01, 42)
+	feed(a, data)
+	feed(b, data)
+	for _, phi := range core.EvenPhis(0.1) {
+		if a.Quantile(phi) != b.Quantile(phi) {
+			t.Fatal("same seed, different answers")
+		}
+	}
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	s := New(0.001, 1)
+	data := streamgen.Generate(streamgen.Uniform{Bits: 32, Seed: 1}, 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Update(data[i&(1<<16-1)])
+	}
+}

@@ -1,0 +1,91 @@
+package mrl
+
+import (
+	"fmt"
+
+	"streamquantiles/internal/core"
+)
+
+const codecVersion = 1
+
+// MarshalBinary implements encoding.BinaryMarshaler: the complete
+// mid-stream state, RNG included, so restoring and continuing is
+// indistinguishable from never stopping.
+func (m *MRL99) MarshalBinary() ([]byte, error) {
+	var e core.Encoder
+	e.U64(codecVersion)
+	e.F64(m.eps)
+	e.I64(m.n)
+	e.U64(m.rng.State())
+
+	e.U64(uint64(len(m.bufs)))
+	curIdx := -1
+	for i, b := range m.bufs {
+		if b == m.cur {
+			curIdx = i
+		}
+		e.U64(uint64(b.level))
+		e.I64(b.weight)
+		e.Bool(b.full)
+		e.U64s(b.data)
+	}
+	e.I64(int64(curIdx))
+	e.I64(m.blockSize)
+	e.I64(m.blockPos)
+	e.I64(m.pickAt)
+	e.U64(m.candidate)
+	return e.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, replacing the
+// receiver's state.
+func (m *MRL99) UnmarshalBinary(data []byte) error {
+	dec := core.NewDecoder(data)
+	if v := dec.U64(); v != codecVersion && dec.Err() == nil {
+		return fmt.Errorf("mrl: unsupported encoding version %d", v)
+	}
+	eps := dec.F64()
+	n := dec.I64()
+	rngState := dec.U64()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if eps <= 0 || eps >= 1 || n < 0 {
+		return fmt.Errorf("mrl: implausible encoded parameters eps=%v n=%d", eps, n)
+	}
+
+	nm := New(eps, 0)
+	nm.n = n
+	nm.rng.Restore(rngState)
+	count := dec.Len()
+	if dec.Err() == nil && count != len(nm.bufs) {
+		return fmt.Errorf("mrl: encoded buffer count %d, want %d", count, len(nm.bufs))
+	}
+	for i := 0; i < count && dec.Err() == nil; i++ {
+		b := nm.bufs[i]
+		b.level = int(dec.U64())
+		b.weight = dec.I64()
+		b.full = dec.Bool()
+		data := dec.U64s()
+		b.data = append(b.data[:0], data...)
+	}
+	curIdx := int(dec.I64())
+	nm.blockSize = dec.I64()
+	nm.blockPos = dec.I64()
+	nm.pickAt = dec.I64()
+	nm.candidate = dec.U64()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if dec.Remaining() != 0 {
+		return fmt.Errorf("mrl: %d trailing bytes", dec.Remaining())
+	}
+	if curIdx >= len(nm.bufs) {
+		return fmt.Errorf("mrl: current-buffer index %d out of range", curIdx)
+	}
+	if curIdx >= 0 {
+		nm.cur = nm.bufs[curIdx]
+	}
+	*m = *nm
+	return nil
+}

@@ -1,0 +1,327 @@
+// Package mrl implements MRL99, the randomized quantile algorithm of
+// Manku, Rajagopalan and Lindsay (SIGMOD 1999): the NEW/COLLAPSE buffer
+// framework of their 1998 deterministic algorithm driven by non-uniform
+// random sampling, giving O((1/ε)·log²(1/ε)) space without prior
+// knowledge of the stream length.
+//
+// The summary keeps b buffers of capacity k. NEW fills an empty buffer
+// with k elements sampled one-per-2^l from the stream, where the sampling
+// level l rises as the stream grows (the same schedule as the paper's
+// simplified Random algorithm, which MRL99 inspired). When no buffer is
+// empty, COLLAPSE merges all buffers at the lowest occupied level into a
+// single buffer: conceptually each element is replicated by its buffer's
+// weight, and the output keeps the k elements at positions
+// offset + i·(W/k) of the weighted merged sequence, with a uniformly
+// random offset — the randomized selection that makes the estimate
+// unbiased.
+//
+// Parameters are set from ε in the closed form b = ⌈log₂(1/ε)⌉ + 1 and
+// k = ⌈(1/ε)·log₂²(1/ε)/b⌉, which tracks the b·k = Θ((1/ε)·log²(1/ε))
+// optimum of the MRL99 constraint optimization; the journal paper notes
+// (§1.2.1) that the fine-tuned parameter choices of the original offer
+// only a minor advantage over this shape.
+package mrl
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"streamquantiles/internal/core"
+	"streamquantiles/internal/xhash"
+)
+
+// buffer is one weighted sample buffer.
+type buffer struct {
+	level  int   // sampling/collapse depth, determines default weight 2^level
+	weight int64 // per-element weight
+	data   []uint64
+	full   bool
+}
+
+// MRL99 is the randomized Manku–Rajagopalan–Lindsay summary.
+type MRL99 struct {
+	eps float64
+	b   int
+	k   int
+	n   int64
+
+	bufs []*buffer
+	cur  *buffer
+
+	blockSize int64
+	blockPos  int64
+	pickAt    int64
+	candidate uint64
+
+	rng *xhash.SplitMix64
+}
+
+// New returns an empty MRL99 summary with error parameter eps, seeded
+// deterministically from seed.
+func New(eps float64, seed uint64) *MRL99 {
+	if math.IsNaN(eps) || eps <= 0 || eps >= 1 {
+		panic(fmt.Sprintf("mrl: error parameter %v outside (0, 1)", eps))
+	}
+	lg := math.Log2(1 / eps)
+	if lg < 1 {
+		lg = 1
+	}
+	b := int(math.Ceil(lg)) + 1
+	if b < 3 {
+		b = 3
+	}
+	k := int(math.Ceil(lg * lg / (eps * float64(b))))
+	if k < 4 {
+		k = 4
+	}
+	m := &MRL99{
+		eps:  eps,
+		b:    b,
+		k:    k,
+		bufs: make([]*buffer, 0, b),
+		rng:  xhash.NewSplitMix64(seed),
+	}
+	for i := 0; i < b; i++ {
+		m.bufs = append(m.bufs, &buffer{data: make([]uint64, 0, k)})
+	}
+	return m
+}
+
+// Eps returns the error parameter.
+func (m *MRL99) Eps() float64 { return m.eps }
+
+// BufferCount returns b.
+func (m *MRL99) BufferCount() int { return m.b }
+
+// BufferSize returns k.
+func (m *MRL99) BufferSize() int { return m.k }
+
+// Count implements core.Summary.
+func (m *MRL99) Count() int64 { return m.n }
+
+// activeLevel mirrors the sampling schedule of the Random algorithm: keep
+// the first ~k·2^(b−2) elements exactly, then sample geometrically.
+func (m *MRL99) activeLevel() int {
+	den := float64(m.k) * math.Pow(2, float64(m.b-2))
+	l := int(math.Ceil(math.Log2(float64(m.n+1) / den)))
+	if l < 0 {
+		l = 0
+	}
+	return l
+}
+
+// Update implements core.CashRegister.
+func (m *MRL99) Update(x uint64) {
+	m.n++
+	if m.cur == nil {
+		m.startBuffer()
+	}
+	if m.blockPos == m.pickAt {
+		m.candidate = x
+	}
+	m.blockPos++
+	if m.blockPos == m.blockSize {
+		m.cur.data = append(m.cur.data, m.candidate)
+		m.blockPos = 0
+		m.pickAt = int64(m.rng.Uint64n(uint64(m.blockSize)))
+		if len(m.cur.data) == m.k {
+			slices.Sort(m.cur.data)
+			m.cur.full = true
+			m.cur = nil
+		}
+	}
+}
+
+func (m *MRL99) startBuffer() {
+	b := m.emptyBuffer()
+	if b == nil {
+		m.collapse()
+		b = m.emptyBuffer()
+	}
+	lv := m.activeLevel()
+	b.level = lv
+	b.weight = int64(1) << lv
+	m.cur = b
+	m.blockSize = int64(1) << lv
+	m.blockPos = 0
+	m.pickAt = int64(m.rng.Uint64n(uint64(m.blockSize)))
+}
+
+func (m *MRL99) emptyBuffer() *buffer {
+	for _, b := range m.bufs {
+		if !b.full && b != m.cur {
+			return b
+		}
+	}
+	return nil
+}
+
+// collapse merges the buffers at the lowest occupied level (at least
+// two; if the lowest level holds a single buffer the next level joins the
+// group) into one buffer at one level above the group's maximum.
+func (m *MRL99) collapse() {
+	group := m.lowestGroup()
+	if len(group) < 2 {
+		panic("mrl: collapse with fewer than two buffers")
+	}
+	out := collapseGroup(group, m.k, m.rng)
+
+	// Store the result in the first group buffer; empty the rest.
+	first := group[0]
+	first.data = append(first.data[:0], out.data...)
+	first.level = out.level
+	first.weight = out.weight
+	first.full = true
+	for _, g := range group[1:] {
+		g.data = g.data[:0]
+		g.full = false
+		g.level = 0
+		g.weight = 0
+	}
+}
+
+// lowestGroup returns all full buffers at the lowest occupied level,
+// extended to the next level when the lowest holds only one buffer.
+func (m *MRL99) lowestGroup() []*buffer {
+	full := make([]*buffer, 0, len(m.bufs))
+	for _, b := range m.bufs {
+		if b.full {
+			full = append(full, b)
+		}
+	}
+	slices.SortStableFunc(full, func(a, b *buffer) int { return a.level - b.level })
+	if len(full) < 2 {
+		return full
+	}
+	end := 1
+	for end < len(full) && full[end].level == full[0].level {
+		end++
+	}
+	if end == 1 {
+		// Single buffer at the lowest level: include the next level too.
+		lvl := full[1].level
+		end = 2
+		for end < len(full) && full[end].level == lvl {
+			end++
+		}
+	}
+	return full[:end]
+}
+
+// collapsed is the output of a COLLAPSE operation.
+type collapsed struct {
+	level  int
+	weight int64
+	data   []uint64
+}
+
+// collapseGroup performs the weighted MRL COLLAPSE with a random offset:
+// the merged, weight-replicated sequence of all group elements is sampled
+// at positions offset + i·(W/k) without materializing the replication.
+func collapseGroup(group []*buffer, k int, rng *xhash.SplitMix64) collapsed {
+	var total int64
+	maxLevel := 0
+	for _, g := range group {
+		total += g.weight * int64(len(g.data))
+		if g.level > maxLevel {
+			maxLevel = g.level
+		}
+	}
+	stride := total / int64(k)
+	if stride < 1 {
+		stride = 1
+	}
+	offset := int64(rng.Uint64n(uint64(stride)))
+
+	// k-way merge over the sorted group buffers, accumulating weight.
+	idx := make([]int, len(group))
+	out := make([]uint64, 0, k)
+	var cum int64
+	next := offset
+	for {
+		// Find the group buffer with the smallest current element.
+		best := -1
+		for gi, g := range group {
+			if idx[gi] >= len(g.data) {
+				continue
+			}
+			if best < 0 || g.data[idx[gi]] < group[best].data[idx[best]] {
+				best = gi
+			}
+		}
+		if best < 0 {
+			break
+		}
+		g := group[best]
+		v := g.data[idx[best]]
+		idx[best]++
+		lo, hi := cum, cum+g.weight // v occupies weighted positions [lo, hi)
+		cum = hi
+		for next >= lo && next < hi && len(out) < k {
+			out = append(out, v)
+			next += stride
+		}
+	}
+	w := total / int64(len(out))
+	if w < 1 {
+		w = 1
+	}
+	return collapsed{level: maxLevel + 1, weight: w, data: out}
+}
+
+// samples collects retained elements with their weights, sorted by value.
+func (m *MRL99) samples() []core.WeightedValue {
+	var out []core.WeightedValue
+	for _, b := range m.bufs {
+		if len(b.data) == 0 {
+			continue
+		}
+		w := b.weight
+		if w == 0 {
+			w = int64(1) << b.level
+		}
+		for _, v := range b.data {
+			out = append(out, core.WeightedValue{V: v, W: w})
+		}
+	}
+	core.SortWeighted(out)
+	return out
+}
+
+// Rank implements core.Summary.
+func (m *MRL99) Rank(x uint64) int64 {
+	return core.WeightedRank(m.samples(), x)
+}
+
+// Quantile implements core.Summary.
+func (m *MRL99) Quantile(phi float64) uint64 {
+	if m.n == 0 {
+		panic(core.ErrEmpty)
+	}
+	return core.WeightedQuantile(m.samples(), phi)
+}
+
+// BatchQuantiles implements core.BatchQuantiler: the retained samples are
+// collected and sorted once for the whole batch.
+func (m *MRL99) BatchQuantiles(phis []float64) []uint64 {
+	if m.n == 0 {
+		panic(core.ErrEmpty)
+	}
+	return core.WeightedQuantiles(m.samples(), phis)
+}
+
+// SpaceBytes implements core.Summary: b pre-allocated buffers of k words
+// plus per-buffer metadata and scalar state.
+func (m *MRL99) SpaceBytes() int64 {
+	var words int64
+	for _, b := range m.bufs {
+		c := cap(b.data)
+		if c < m.k {
+			c = m.k
+		}
+		words += int64(c) + 3
+	}
+	words += 10
+	return words * core.WordBytes
+}

@@ -1,0 +1,227 @@
+package mrl
+
+import (
+	"math"
+	"testing"
+
+	"streamquantiles/internal/core"
+	"streamquantiles/internal/exact"
+	"streamquantiles/internal/streamgen"
+	"streamquantiles/internal/xhash"
+)
+
+func feed(m *MRL99, data []uint64) {
+	for _, x := range data {
+		m.Update(x)
+	}
+}
+
+func TestParametersShape(t *testing.T) {
+	m := New(0.01, 1)
+	if m.BufferCount() < 3 {
+		t.Errorf("b = %d too small", m.BufferCount())
+	}
+	// b·k should be Θ((1/ε)·log²(1/ε)): for ε = 0.01 that is ≈ 4400.
+	bk := m.BufferCount() * m.BufferSize()
+	if bk < 2000 || bk > 10000 {
+		t.Errorf("b·k = %d outside the expected Θ((1/ε)log²(1/ε)) range", bk)
+	}
+}
+
+func TestErrorWithinEpsAcrossSeeds(t *testing.T) {
+	const n = 50000
+	const eps = 0.02
+	data := streamgen.Generate(streamgen.Uniform{Bits: 24, Seed: 50}, n)
+	oracle := exact.New(data)
+	for seed := uint64(1); seed <= 10; seed++ {
+		m := New(eps, seed)
+		feed(m, data)
+		maxErr, _ := oracle.EvaluateSummary(m, eps)
+		if maxErr > eps {
+			t.Errorf("seed %d: max error %v exceeds ε=%v", seed, maxErr, eps)
+		}
+	}
+}
+
+func TestErrorAcrossWorkloads(t *testing.T) {
+	const n = 40000
+	const eps = 0.02
+	for _, gen := range []streamgen.Generator{
+		streamgen.Normal{Bits: 20, Sigma: 0.25, Seed: 2},
+		streamgen.Sorted{Inner: streamgen.Uniform{Bits: 24, Seed: 3}},
+		streamgen.MPCATLike{Seed: 4},
+		streamgen.Zipf{Bits: 20, S: 1.3, Seed: 5},
+	} {
+		data := streamgen.Generate(gen, n)
+		oracle := exact.New(data)
+		m := New(eps, 6)
+		feed(m, data)
+		maxErr, _ := oracle.EvaluateSummary(m, eps)
+		if maxErr > eps {
+			t.Errorf("%s: max error %v exceeds ε", gen.Name(), maxErr)
+		}
+	}
+}
+
+func TestCollapseGroupWeightConservation(t *testing.T) {
+	rng := xhash.NewSplitMix64(7)
+	group := []*buffer{
+		{level: 1, weight: 2, data: []uint64{1, 3, 5, 7}, full: true},
+		{level: 1, weight: 2, data: []uint64{2, 4, 6, 8}, full: true},
+	}
+	out := collapseGroup(group, 4, rng)
+	if out.level != 2 {
+		t.Errorf("collapsed level = %d, want 2", out.level)
+	}
+	if len(out.data) != 4 {
+		t.Errorf("collapsed size = %d, want 4", len(out.data))
+	}
+	// Total represented weight must be conserved: 8 elements × weight 2.
+	if got := out.weight * int64(len(out.data)); got != 16 {
+		t.Errorf("represented weight %d, want 16", got)
+	}
+	// Output must be sorted and drawn from the inputs.
+	for i := 1; i < len(out.data); i++ {
+		if out.data[i] < out.data[i-1] {
+			t.Fatal("collapsed output not sorted")
+		}
+	}
+}
+
+func TestCollapseGroupMixedWeights(t *testing.T) {
+	rng := xhash.NewSplitMix64(8)
+	group := []*buffer{
+		{level: 1, weight: 2, data: []uint64{10, 20, 30, 40}, full: true},
+		{level: 2, weight: 4, data: []uint64{15, 25, 35, 45}, full: true},
+	}
+	out := collapseGroup(group, 4, rng)
+	if got := out.weight * int64(len(out.data)); got != 24 {
+		t.Errorf("represented weight %d, want 24", got)
+	}
+	if out.level != 3 {
+		t.Errorf("collapsed level = %d, want 3", out.level)
+	}
+}
+
+func TestCollapseOffsetRandomized(t *testing.T) {
+	// Different RNG states must be able to produce different selections.
+	distinct := map[uint64]bool{}
+	for seed := uint64(0); seed < 20; seed++ {
+		rng := xhash.NewSplitMix64(seed)
+		group := []*buffer{
+			{level: 0, weight: 1, data: []uint64{1, 2, 3, 4, 5, 6, 7, 8}, full: true},
+			{level: 0, weight: 1, data: []uint64{9, 10, 11, 12, 13, 14, 15, 16}, full: true},
+		}
+		out := collapseGroup(group, 8, rng)
+		distinct[out.data[0]] = true
+	}
+	if len(distinct) < 2 {
+		t.Error("collapse offset appears deterministic across seeds")
+	}
+}
+
+func TestSmallStreamExact(t *testing.T) {
+	m := New(0.05, 9)
+	for i := uint64(1); i <= 50; i++ {
+		m.Update(i)
+	}
+	if q := m.Quantile(0.5); q < 23 || q > 28 {
+		t.Errorf("median of 1..50 = %d", q)
+	}
+}
+
+func TestCountAndEmptyPanic(t *testing.T) {
+	m := New(0.1, 10)
+	if m.Count() != 0 {
+		t.Error("fresh summary has nonzero count")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Quantile on empty summary did not panic")
+			}
+		}()
+		m.Quantile(0.5)
+	}()
+}
+
+func TestSpaceConstantInN(t *testing.T) {
+	const eps = 0.01
+	a := New(eps, 11)
+	b := New(eps, 11)
+	feed(a, streamgen.Generate(streamgen.Uniform{Bits: 32, Seed: 12}, 10000))
+	feed(b, streamgen.Generate(streamgen.Uniform{Bits: 32, Seed: 13}, 300000))
+	if a.SpaceBytes() != b.SpaceBytes() {
+		t.Errorf("space changed with n: %d vs %d", a.SpaceBytes(), b.SpaceBytes())
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	data := streamgen.Generate(streamgen.Uniform{Bits: 24, Seed: 14}, 30000)
+	a := New(0.01, 42)
+	b := New(0.01, 42)
+	feed(a, data)
+	feed(b, data)
+	for _, phi := range core.EvenPhis(0.1) {
+		if a.Quantile(phi) != b.Quantile(phi) {
+			t.Fatal("same seed produced different quantiles")
+		}
+	}
+}
+
+func TestUnbiasedRank(t *testing.T) {
+	const n = 30000
+	data := streamgen.Generate(streamgen.Uniform{Bits: 20, Seed: 15}, n)
+	oracle := exact.New(data)
+	probe := uint64(1) << 19
+	want := float64(oracle.Rank(probe))
+	var sum float64
+	const runs = 40
+	for seed := uint64(0); seed < runs; seed++ {
+		m := New(0.05, seed)
+		feed(m, data)
+		sum += float64(m.Rank(probe))
+	}
+	mean := sum / runs
+	if math.Abs(mean-want) > 0.01*float64(n) {
+		t.Errorf("mean estimated rank %v vs true %v: bias too large", mean, want)
+	}
+}
+
+func TestBadEpsPanics(t *testing.T) {
+	for _, eps := range []float64{0, 1, -1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v) did not panic", eps)
+				}
+			}()
+			New(eps, 1)
+		}()
+	}
+}
+
+func TestLongStreamAccuracy(t *testing.T) {
+	const eps = 0.05
+	const n = 400000
+	data := streamgen.Generate(streamgen.Normal{Bits: 24, Sigma: 0.15, Seed: 16}, n)
+	m := New(eps, 17)
+	feed(m, data)
+	oracle := exact.New(data)
+	maxErr, _ := oracle.EvaluateSummary(m, eps)
+	if maxErr > eps {
+		t.Errorf("long-stream max error %v exceeds ε", maxErr)
+	}
+	if m.activeLevel() == 0 {
+		t.Error("sampling never engaged on a long stream")
+	}
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	m := New(0.001, 1)
+	data := streamgen.Generate(streamgen.Uniform{Bits: 32, Seed: 1}, 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Update(data[i&(1<<16-1)])
+	}
+}

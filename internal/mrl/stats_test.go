@@ -1,0 +1,103 @@
+package mrl
+
+import (
+	"math"
+	"testing"
+
+	"streamquantiles/internal/xhash"
+)
+
+// Statistical properties of the weighted COLLAPSE.
+
+// TestCollapseRankUnbiased: the random offset makes the collapsed
+// buffer's *rank estimates* unbiased — the property the offset buys over
+// MRL98's deterministic selection. Averaged over offsets, the estimated
+// rank of any probe value must equal its true rank in the represented
+// multiset.
+func TestCollapseRankUnbiased(t *testing.T) {
+	const k = 8
+	probes := []uint64{3, 11, 16, 21, 27}
+	for _, probe := range probes {
+		var sum float64
+		const runs = 4000
+		for seed := uint64(0); seed < runs; seed++ {
+			rng := xhash.NewSplitMix64(seed)
+			a := &buffer{level: 0, weight: 1, full: true}
+			b := &buffer{level: 0, weight: 1, full: true}
+			for i := uint64(0); i < 16; i++ {
+				a.data = append(a.data, i)
+				b.data = append(b.data, 16+i)
+			}
+			out := collapseGroup([]*buffer{a, b}, k, rng)
+			var est int64
+			for _, v := range out.data {
+				if v < probe {
+					est += out.weight
+				}
+			}
+			sum += float64(est)
+		}
+		mean := sum / runs
+		want := float64(probe) // represented multiset is exactly 0..31
+		if math.Abs(mean-want) > 0.35 {
+			t.Errorf("probe %d: mean estimated rank %v, want %v", probe, mean, want)
+		}
+	}
+}
+
+// TestCollapsePreservesOrderStatistics: collapsing a sorted range keeps
+// evenly spaced survivors.
+func TestCollapsePreservesOrderStatistics(t *testing.T) {
+	rng := xhash.NewSplitMix64(9)
+	a := &buffer{level: 0, weight: 1, full: true}
+	for i := uint64(0); i < 100; i++ {
+		a.data = append(a.data, i*10)
+	}
+	b := &buffer{level: 0, weight: 1, full: true}
+	for i := uint64(0); i < 100; i++ {
+		b.data = append(b.data, i*10+5)
+	}
+	out := collapseGroup([]*buffer{a, b}, 50, rng)
+	if len(out.data) != 50 {
+		t.Fatalf("collapsed size %d", len(out.data))
+	}
+	// Survivors must be ~evenly spaced over [0, 1000).
+	for i := 1; i < len(out.data); i++ {
+		gap := out.data[i] - out.data[i-1]
+		if gap < 5 || gap > 50 {
+			t.Fatalf("survivor gap %d at %d; selection not stride-like", gap, i)
+		}
+	}
+}
+
+// TestLowestGroupSelection: the collapse policy picks the lowest level,
+// extending to the next when the lowest holds a single buffer.
+func TestLowestGroupSelection(t *testing.T) {
+	m := New(0.1, 1)
+	for i, b := range m.bufs {
+		b.full = true
+		b.level = i // all distinct
+		b.weight = 1 << i
+		b.data = []uint64{1}
+	}
+	group := m.lowestGroup()
+	if len(group) != 2 {
+		t.Fatalf("group size %d, want 2 (lowest + next)", len(group))
+	}
+	if group[0].level != 0 || group[1].level != 1 {
+		t.Errorf("group levels %d,%d", group[0].level, group[1].level)
+	}
+
+	// Now two buffers at the lowest level: group is exactly those.
+	m2 := New(0.1, 2)
+	for i, b := range m2.bufs {
+		b.full = true
+		b.level = i / 2 // pairs
+		b.weight = 1
+		b.data = []uint64{1}
+	}
+	group = m2.lowestGroup()
+	if len(group) != 2 || group[0].level != 0 || group[1].level != 0 {
+		t.Errorf("paired group wrong: %d buffers, level %d", len(group), group[0].level)
+	}
+}

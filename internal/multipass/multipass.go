@@ -1,0 +1,194 @@
+// Package multipass implements exact selection with limited memory over
+// a re-readable input, in the spirit of Munro and Paterson ("Selection
+// and sorting with limited storage", TCS 1980) — the historical starting
+// point of the paper: exact selection with p passes needs Θ(n^(1/p))
+// memory, and the first pass of their algorithm is the earliest
+// streaming quantile summary.
+//
+// Each pass runs an ε-approximate summary (GKArray) over the elements
+// still inside the candidate interval, then narrows the interval around
+// the target rank. The candidate population shrinks by ~2εm per pass, so
+// with memory for an ε summary the pass count is O(log n / log(1/ε)) —
+// the classic memory/passes tradeoff in a practical form. The final pass
+// collects the survivors exactly.
+package multipass
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+
+	"streamquantiles/internal/gk"
+)
+
+// ErrTooManyPasses is returned when the interval stops shrinking within
+// the pass budget — in practice only when the memory budget is tiny.
+var ErrTooManyPasses = errors.New("multipass: pass budget exhausted")
+
+// Source replays a stream from the beginning on demand. Implementations
+// must yield the identical sequence on every call.
+type Source interface {
+	// Scan calls fn for every stream element in order.
+	Scan(fn func(x uint64))
+}
+
+// SliceSource adapts an in-memory slice (the common test and example
+// case; production callers wrap files or re-runnable queries).
+type SliceSource []uint64
+
+// Scan implements Source.
+func (s SliceSource) Scan(fn func(x uint64)) {
+	for _, x := range s {
+		fn(x)
+	}
+}
+
+// Stats reports how a Select call spent its budget.
+type Stats struct {
+	Passes     int
+	Candidates int64 // candidate-set size before the final pass
+}
+
+// Select returns the element of exact rank k (0-based, by the paper's
+// rank convention: k elements are strictly smaller, ties broken as in a
+// stable sort of the multiset) using at most memory words of working
+// storage and at most maxPasses passes over src.
+func Select(src Source, k int64, memory int, maxPasses int) (uint64, Stats, error) {
+	if memory < 64 {
+		return 0, Stats{}, fmt.Errorf("multipass: memory budget %d too small", memory)
+	}
+	if maxPasses < 2 {
+		return 0, Stats{}, fmt.Errorf("multipass: need at least 2 passes, got %d", maxPasses)
+	}
+
+	// ε chosen so a GK summary fits the word budget: the summary uses
+	// ~3 words/tuple and empirically ≤ (4/ε)·words at laptop scales.
+	eps := 8.0 / float64(memory)
+	if eps >= 0.25 {
+		eps = 0.25
+	}
+
+	lo, hi := uint64(0), ^uint64(0) // candidate interval, inclusive
+	var stats Stats
+
+	for pass := 1; pass <= maxPasses; pass++ {
+		stats.Passes = pass
+		// One pass: count elements below lo, summarize those in [lo, hi].
+		var below, inside, total int64
+		s := gk.NewArray(eps)
+		src.Scan(func(x uint64) {
+			total++
+			switch {
+			case x < lo:
+				below++
+			case x <= hi:
+				inside++
+				s.Update(x)
+			}
+		})
+		if k < below || k >= below+inside {
+			return 0, stats, fmt.Errorf("multipass: rank %d left the candidate interval (below=%d inside=%d)", k, below, inside)
+		}
+		stats.Candidates = inside
+
+		if inside <= int64(memory) {
+			// Final pass: collect survivors exactly.
+			buf := make([]uint64, 0, inside)
+			src.Scan(func(x uint64) {
+				if x >= lo && x <= hi {
+					buf = append(buf, x)
+				}
+			})
+			stats.Passes++
+			slices.Sort(buf)
+			return buf[k-below], stats, nil
+		}
+
+		// Narrow [lo, hi] using the summary: the target has rank
+		// k − below among the inside elements; elements of summary rank
+		// below (k−below) − εm or above (k−below) + εm cannot be it.
+		target := k - below
+		phiLo := (float64(target) - 2*eps*float64(inside)) / float64(inside)
+		phiHi := (float64(target) + 2*eps*float64(inside)) / float64(inside)
+		newLo, newHi := lo, hi
+		if phiLo > 0 {
+			newLo = s.Quantile(clampPhi(phiLo))
+		}
+		if phiHi < 1 {
+			newHi = s.Quantile(clampPhi(phiHi))
+		}
+		if newLo > lo || newHi < hi {
+			lo, hi = maxU(lo, newLo), minU(hi, newHi)
+			continue
+		}
+		// No progress: a block of duplicates wider than the summary's
+		// resolution straddles the target. Take the summary's candidate
+		// as a pivot and verify it exactly in one pass — either it is the
+		// answer, or the interval shrinks past its duplicate block.
+		pivot := s.Quantile(clampPhi(float64(target) / float64(inside)))
+		var lt, eq int64
+		src.Scan(func(x uint64) {
+			switch {
+			case x < pivot:
+				lt++
+			case x == pivot:
+				eq++
+			}
+		})
+		stats.Passes++
+		switch {
+		case k >= lt && k < lt+eq:
+			return pivot, stats, nil
+		case k < lt:
+			hi = pivot - 1 // pivot > lo, else lt ≤ below ≤ k
+		default:
+			lo = pivot + 1 // pivot < hi, else k < lt+eq
+		}
+	}
+	return 0, stats, ErrTooManyPasses
+}
+
+// SelectQuantile returns the exact φ-quantile (rank ⌊φn⌋); n is
+// discovered in the first pass.
+func SelectQuantile(src Source, phi float64, memory int, maxPasses int) (uint64, Stats, error) {
+	if phi <= 0 || phi >= 1 {
+		return 0, Stats{}, fmt.Errorf("multipass: quantile fraction %v outside (0, 1)", phi)
+	}
+	var n int64
+	src.Scan(func(uint64) { n++ })
+	if n == 0 {
+		return 0, Stats{}, errors.New("multipass: empty source")
+	}
+	k := int64(phi * float64(n))
+	if k >= n {
+		k = n - 1
+	}
+	v, st, err := Select(src, k, memory, maxPasses)
+	st.Passes++ // account the counting pass
+	return v, st, err
+}
+
+func clampPhi(phi float64) float64 {
+	const edge = 1e-9
+	if phi < edge {
+		return edge
+	}
+	if phi > 1-edge {
+		return 1 - edge
+	}
+	return phi
+}
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minU(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,131 @@
+package multipass
+
+import (
+	"slices"
+	"testing"
+
+	"streamquantiles/internal/streamgen"
+)
+
+func TestSelectExact(t *testing.T) {
+	const n = 200000
+	data := streamgen.Generate(streamgen.Uniform{Bits: 32, Seed: 1}, n)
+	sorted := slices.Clone(data)
+	slices.Sort(sorted)
+	src := SliceSource(data)
+
+	for _, k := range []int64{0, 1, n / 4, n / 2, 3 * n / 4, n - 2, n - 1} {
+		got, stats, err := Select(src, k, 4096, 20)
+		if err != nil {
+			t.Fatalf("k=%d: %v (stats %+v)", k, err, stats)
+		}
+		if got != sorted[k] {
+			t.Errorf("k=%d: got %d, want %d", k, got, sorted[k])
+		}
+	}
+}
+
+func TestSelectMemoryPassTradeoff(t *testing.T) {
+	// Less memory must still succeed, with more passes.
+	const n = 100000
+	data := streamgen.Generate(streamgen.MPCATLike{Seed: 2}, n)
+	sorted := slices.Clone(data)
+	slices.Sort(sorted)
+	src := SliceSource(data)
+
+	big, bigStats, err := Select(src, n/2, 16384, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, smallStats, err := Select(src, n/2, 512, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big != sorted[n/2] || small != sorted[n/2] {
+		t.Fatalf("medians %d/%d, want %d", big, small, sorted[n/2])
+	}
+	if smallStats.Passes < bigStats.Passes {
+		t.Errorf("smaller memory used fewer passes (%d) than larger (%d)",
+			smallStats.Passes, bigStats.Passes)
+	}
+	if bigStats.Passes > 6 {
+		t.Errorf("large-memory selection took %d passes", bigStats.Passes)
+	}
+}
+
+func TestSelectDuplicateHeavy(t *testing.T) {
+	data := make([]uint64, 50000)
+	for i := range data {
+		data[i] = uint64(i % 5)
+	}
+	sorted := slices.Clone(data)
+	slices.Sort(sorted)
+	src := SliceSource(data)
+	for _, k := range []int64{0, 10000, 25000, 49999} {
+		got, _, err := Select(src, k, 1024, 20)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if got != sorted[k] {
+			t.Errorf("k=%d: got %d, want %d", k, got, sorted[k])
+		}
+	}
+}
+
+func TestSelectSortedInput(t *testing.T) {
+	data := make([]uint64, 100000)
+	for i := range data {
+		data[i] = uint64(i) * 3
+	}
+	src := SliceSource(data)
+	got, _, err := Select(src, 77777, 2048, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 77777*3 {
+		t.Errorf("got %d, want %d", got, 77777*3)
+	}
+}
+
+func TestSelectQuantile(t *testing.T) {
+	const n = 80000
+	data := streamgen.Generate(streamgen.Normal{Bits: 24, Sigma: 0.2, Seed: 3}, n)
+	sorted := slices.Clone(data)
+	slices.Sort(sorted)
+	src := SliceSource(data)
+	for _, phi := range []float64{0.01, 0.5, 0.99} {
+		got, _, err := SelectQuantile(src, phi, 4096, 20)
+		if err != nil {
+			t.Fatalf("phi=%v: %v", phi, err)
+		}
+		want := sorted[int(phi*float64(n))]
+		if got != want {
+			t.Errorf("phi=%v: got %d, want %d", phi, got, want)
+		}
+	}
+}
+
+func TestSelectErrors(t *testing.T) {
+	src := SliceSource{1, 2, 3}
+	if _, _, err := Select(src, 1, 8, 20); err == nil {
+		t.Error("tiny memory budget accepted")
+	}
+	if _, _, err := Select(src, 1, 1024, 1); err == nil {
+		t.Error("single-pass budget accepted")
+	}
+	if _, _, err := SelectQuantile(src, 1.5, 1024, 20); err == nil {
+		t.Error("bad phi accepted")
+	}
+	if _, _, err := SelectQuantile(SliceSource{}, 0.5, 1024, 20); err == nil {
+		t.Error("empty source accepted")
+	}
+}
+
+func BenchmarkSelectMedian(b *testing.B) {
+	data := streamgen.Generate(streamgen.Uniform{Bits: 32, Seed: 1}, 1<<17)
+	src := SliceSource(data)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = Select(src, 1<<16, 4096, 20)
+	}
+}

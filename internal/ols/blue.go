@@ -1,0 +1,143 @@
+// Package ols implements Post, the paper's OLS post-processing step for
+// the dyadic turnstile sketches (§3.2): the per-level frequency estimates
+// of a dyadic structure are not independent — a parent's true count is
+// the sum of its children's — and exploiting those additivity constraints
+// through ordinary least squares yields the best linear unbiased
+// estimator (BLUE) of every node count, reducing the observed error of
+// DCS by 60–80% in the paper's experiments.
+//
+// The pipeline is:
+//
+//  1. Extract a truncated binary tree T̂ from the sketch by descending
+//     from the root and pruning every interval whose estimate is below
+//     η·ε·n (§3.2.2). E[|T̂|] = O((1/ε)·log u) (Appendix A.1).
+//  2. Split T̂ into subtrees rooted at exactly-counted nodes — an exact
+//     node shields its subtree from the rest (§3.2.3).
+//  3. Solve each subtree in three linear-time traversals using the
+//     weight system (2) and the auxiliary quantities Z, F, Δ of
+//     Lemma 2. (The published recurrence Z_v = Σ_{w≺v} λ_w Z_w is a
+//     typo: reproducing the paper's own worked example, Table 2,
+//     requires Z_v = Σ_{w≺v} Z_w, which is what this package computes;
+//     the tests pin the full Table 2.)
+package ols
+
+// node is one vertex of a BLUE subtree. The root has sigma2 == 0 (its
+// count is exact); all other nodes carry a sketch estimate y and the
+// variance sigma2 of their level's estimator.
+type node struct {
+	y      float64
+	sigma2 float64
+	left   *node
+	right  *node
+
+	// Solver state.
+	lambda float64 // weight λ_v
+	alpha  float64 // λ_v / λ_parent(v)
+	beta   float64 // π_v / λ_v
+	pi     float64 // π_v = Σ_{w ∈ lpath(v)} λ_w/σ_w²
+	zp     float64 // Z'_v = Σ_{z ∈ anc(v)\r} y_z/σ_z²
+	z      float64 // Z_v
+	f      float64 // F_v
+	xstar  float64 // the BLUE x*_v
+}
+
+func (n *node) isLeaf() bool { return n.left == nil }
+
+// solveSubtree computes the BLUE x* for every node of the subtree rooted
+// at r, whose own count y_r is exact. Runs in O(|subtree|).
+func solveSubtree(r *node) {
+	r.xstar = r.y
+	if r.isLeaf() {
+		return
+	}
+
+	// Pass 1 (bottom-up): β and the child fractions α from system (2).
+	computeBeta(r)
+
+	// Pass 2 (top-down): λ from the α fractions (λ_r = 1), then π.
+	r.lambda = 1
+	propagateLambda(r)
+
+	// Pass 3 (top-down): Z' — note anc(v) excludes the subtree root.
+	r.zp = 0
+	propagateZPrime(r)
+
+	// Pass 4 (bottom-up): Z from the leaves (Z_w = λ_w·Z'_w).
+	computeZ(r)
+
+	// Δ = (Z_r − y_r·π_s)/λ_r with s a child of r (π is equal on both).
+	delta := (r.z - r.y*r.left.pi) / r.lambda
+
+	// Pass 5 (top-down): F and x*.
+	r.f = 0
+	propagateX(r, delta)
+}
+
+// computeBeta runs bottom-up. For a leaf w: β_w = 1/σ_w². For an internal
+// node v with children u₁, u₂ (both with β known), the two equations at v
+//
+//	λ_v = λ_{u₁} + λ_{u₂},   π_{u₁} = π_{u₂}  (i.e. β_{u₁}λ_{u₁} = β_{u₂}λ_{u₂})
+//
+// give λ_{uᵢ} = α_{uᵢ}·λ_v with α_{u₁} = β_{u₂}/(β_{u₁}+β_{u₂}) and
+// symmetrically, and π_v = π_{u₁} + λ_v/σ_v² = β_v·λ_v with
+// β_v = β_{u₁}β_{u₂}/(β_{u₁}+β_{u₂}) + 1/σ_v². The subtree root uses
+// σ_r² = 0 conceptually; its β is never needed (the Lagrange limit η→∞
+// handled via Δ takes its place).
+func computeBeta(v *node) {
+	if v.isLeaf() {
+		v.beta = 1 / v.sigma2
+		return
+	}
+	computeBeta(v.left)
+	computeBeta(v.right)
+	b1, b2 := v.left.beta, v.right.beta
+	v.left.alpha = b2 / (b1 + b2)
+	v.right.alpha = b1 / (b1 + b2)
+	harmonic := b1 * b2 / (b1 + b2)
+	if v.sigma2 > 0 {
+		v.beta = harmonic + 1/v.sigma2
+	} else {
+		v.beta = harmonic // subtree root: no own-estimate term
+	}
+}
+
+func propagateLambda(v *node) {
+	v.pi = v.beta * v.lambda
+	if v.isLeaf() {
+		return
+	}
+	v.left.lambda = v.left.alpha * v.lambda
+	v.right.lambda = v.right.alpha * v.lambda
+	propagateLambda(v.left)
+	propagateLambda(v.right)
+}
+
+func propagateZPrime(v *node) {
+	if v.isLeaf() {
+		return
+	}
+	for _, c := range [2]*node{v.left, v.right} {
+		c.zp = v.zp + c.y/c.sigma2
+		propagateZPrime(c)
+	}
+}
+
+func computeZ(v *node) float64 {
+	if v.isLeaf() {
+		v.z = v.lambda * v.zp
+		return v.z
+	}
+	v.z = computeZ(v.left) + computeZ(v.right)
+	return v.z
+}
+
+func propagateX(v *node, delta float64) {
+	if v.isLeaf() {
+		return
+	}
+	for _, c := range [2]*node{v.left, v.right} {
+		c.xstar = (c.z - c.lambda*v.f - c.lambda*delta) / c.pi
+		c.f = v.f + c.xstar/c.sigma2
+		propagateX(c, delta)
+	}
+}

@@ -1,0 +1,96 @@
+package ols
+
+import (
+	"math"
+	"testing"
+)
+
+// Solver invariances the paper relies on (§3.2.4).
+
+// TestVarianceScaleInvariance: "our algorithm is not affected if all the
+// σ²'s are reduced by the same factor" — the property that justifies
+// using a single row's variance estimate.
+func TestVarianceScaleInvariance(t *testing.T) {
+	build := func(scale float64) []*node {
+		mk := func(y float64) *node { return &node{y: y, sigma2: 2 * scale} }
+		n4, n8, n9, n6, n7 := mk(4), mk(7), mk(6), mk(5), mk(3)
+		n5 := mk(8)
+		n5.left, n5.right = n8, n9
+		n2 := mk(8)
+		n2.left, n2.right = n4, n5
+		n3 := mk(7)
+		n3.left, n3.right = n6, n7
+		r := &node{y: 15, sigma2: 0, left: n2, right: n3}
+		solveSubtree(r)
+		return []*node{r, n2, n3, n4, n5, n6, n7, n8, n9}
+	}
+	a := build(1)
+	b := build(1000)
+	for i := range a {
+		if math.Abs(a[i].xstar-b[i].xstar) > 1e-9 {
+			t.Fatalf("node %d: x* changed under variance scaling: %v vs %v",
+				i, a[i].xstar, b[i].xstar)
+		}
+	}
+}
+
+// TestMirrorSymmetry: swapping every left/right pair must mirror the
+// solution exactly.
+func TestMirrorSymmetry(t *testing.T) {
+	mk := func(y float64) *node { return &node{y: y, sigma2: 3} }
+	build := func(mirror bool) (*node, *node, *node) {
+		l, r := mk(10), mk(4)
+		root := &node{y: 16, sigma2: 0}
+		if mirror {
+			root.left, root.right = r, l
+		} else {
+			root.left, root.right = l, r
+		}
+		solveSubtree(root)
+		return root, l, r
+	}
+	_, l1, r1 := build(false)
+	_, l2, r2 := build(true)
+	if l1.xstar != l2.xstar || r1.xstar != r2.xstar {
+		t.Errorf("mirroring changed the solution: (%v,%v) vs (%v,%v)",
+			l1.xstar, r1.xstar, l2.xstar, r2.xstar)
+	}
+}
+
+// TestConsistentObservationsFixedPoint: if the estimates already satisfy
+// the tree constraints exactly, BLUE must return them unchanged.
+func TestConsistentObservationsFixedPoint(t *testing.T) {
+	mk := func(y float64) *node { return &node{y: y, sigma2: 5} }
+	n4, n5, n6, n7 := mk(1), mk(2), mk(3), mk(4)
+	n2 := mk(3) // = n4 + n5
+	n2.left, n2.right = n4, n5
+	n3 := mk(7) // = n6 + n7
+	n3.left, n3.right = n6, n7
+	r := &node{y: 10, sigma2: 0, left: n2, right: n3}
+	solveSubtree(r)
+	for _, v := range []*node{n2, n3, n4, n5, n6, n7} {
+		if math.Abs(v.xstar-v.y) > 1e-9 {
+			t.Errorf("consistent input moved: y=%v x*=%v", v.y, v.xstar)
+		}
+	}
+}
+
+// TestHeteroskedasticWeighting: a noisier child should move more toward
+// the constraint than a precise one.
+func TestHeteroskedasticWeighting(t *testing.T) {
+	precise := &node{y: 10, sigma2: 0.01}
+	noisy := &node{y: 20, sigma2: 100}
+	r := &node{y: 20, sigma2: 0, left: precise, right: noisy} // children must sum to 20
+	solveSubtree(r)
+	// The 10-unit inconsistency should be absorbed almost entirely by the
+	// noisy child.
+	if math.Abs(precise.xstar-10) > 0.2 {
+		t.Errorf("precise child moved to %v", precise.xstar)
+	}
+	if math.Abs(noisy.xstar-10) > 0.2 { // 20 − 10 (absorbs the slack)
+		t.Errorf("noisy child at %v, want ≈ 10", noisy.xstar)
+	}
+	if math.Abs(precise.xstar+noisy.xstar-20) > 1e-9 {
+		t.Error("children do not sum to the exact root")
+	}
+}

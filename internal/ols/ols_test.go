@@ -1,0 +1,288 @@
+package ols
+
+import (
+	"math"
+	"testing"
+
+	"streamquantiles/internal/dyadic"
+	"streamquantiles/internal/exact"
+	"streamquantiles/internal/streamgen"
+)
+
+// buildFigure3 reconstructs the worked example of the paper's §3.2.3
+// (Figure 3 / Table 2): root 1 with exact count 15, σ² = 2 everywhere
+// else, and estimates consistent with the published Z column:
+//
+//	     1(15)
+//	    /     \
+//	  2(8)    3(7)
+//	  /  \    /  \
+//	4(4) 5(8) 6(5) 7(3)
+//	     /  \
+//	   8(7) 9(6)
+func buildFigure3() (r, n2, n3, n4, n5, n6, n7, n8, n9 *node) {
+	mk := func(y float64) *node { return &node{y: y, sigma2: 2} }
+	n4, n8, n9, n6, n7 = mk(4), mk(7), mk(6), mk(5), mk(3)
+	n5 = mk(8)
+	n5.left, n5.right = n8, n9
+	n2 = mk(8)
+	n2.left, n2.right = n4, n5
+	n3 = mk(7)
+	n3.left, n3.right = n6, n7
+	r = &node{y: 15, sigma2: 0, left: n2, right: n3}
+	return
+}
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+func TestTable2Weights(t *testing.T) {
+	r, n2, n3, n4, n5, n6, n7, n8, n9 := buildFigure3()
+	solveSubtree(r)
+	// λ column of Table 2.
+	approx(t, "λ1", r.lambda, 1, 1e-12)
+	approx(t, "λ2", n2.lambda, 15.0/31, 1e-9)
+	approx(t, "λ3", n3.lambda, 16.0/31, 1e-9)
+	approx(t, "λ4", n4.lambda, 9.0/31, 1e-9)
+	approx(t, "λ5", n5.lambda, 6.0/31, 1e-9)
+	approx(t, "λ6", n6.lambda, 8.0/31, 1e-9)
+	approx(t, "λ7", n7.lambda, 8.0/31, 1e-9)
+	approx(t, "λ8", n8.lambda, 3.0/31, 1e-9)
+	approx(t, "λ9", n9.lambda, 3.0/31, 1e-9)
+	// π column.
+	approx(t, "π2", n2.pi, 12.0/31, 1e-9)
+	approx(t, "π3", n3.pi, 12.0/31, 1e-9)
+	approx(t, "π4", n4.pi, 9.0/62, 1e-9)
+	approx(t, "π5", n5.pi, 9.0/62, 1e-9)
+	approx(t, "π6", n6.pi, 4.0/31, 1e-9)
+	approx(t, "π7", n7.pi, 4.0/31, 1e-9)
+	approx(t, "π8", n8.pi, 3.0/62, 1e-9)
+	approx(t, "π9", n9.pi, 3.0/62, 1e-9)
+}
+
+func TestTable2ZAndX(t *testing.T) {
+	r, n2, n3, n4, n5, n6, n7, n8, n9 := buildFigure3()
+	solveSubtree(r)
+	// Z column (computed with Z_v = Σ_{w≺v} Z_w; see package comment).
+	approx(t, "Z1", r.z, 419.0/62, 1e-9)
+	approx(t, "Z2", n2.z, 243.0/62, 1e-9)
+	approx(t, "Z3", n3.z, 88.0/31, 1e-9)
+	approx(t, "Z4", n4.z, 54.0/31, 1e-9)
+	approx(t, "Z5", n5.z, 135.0/62, 1e-9)
+	approx(t, "Z6", n6.z, 48.0/31, 1e-9)
+	approx(t, "Z7", n7.z, 40.0/31, 1e-9)
+	approx(t, "Z8", n8.z, 69.0/62, 1e-9)
+	approx(t, "Z9", n9.z, 33.0/31, 1e-9)
+	// x* column (Table 2 prints 2 decimals).
+	approx(t, "x*1", r.xstar, 15, 1e-9)
+	approx(t, "x*2", n2.xstar, 8.94, 0.01)
+	approx(t, "x*3", n3.xstar, 6.06, 0.01)
+	approx(t, "x*4", n4.xstar, 1.16, 0.01)
+	approx(t, "x*5", n5.xstar, 7.77, 0.01)
+	approx(t, "x*6", n6.xstar, 4.04, 0.01)
+	approx(t, "x*7", n7.xstar, 2.03, 0.01)
+	approx(t, "x*8", n8.xstar, 4.38, 0.01)
+	approx(t, "x*9", n9.xstar, 3.38, 0.01)
+	// F column spot checks: F_v = Σ_{anc(v)\r} x*_w/σ_w².
+	approx(t, "F2", n2.f, 4.47, 0.01)
+	approx(t, "F3", n3.f, 3.03, 0.01)
+	approx(t, "F5", n5.f, 8.36, 0.01)
+}
+
+func TestBlueAdditivity(t *testing.T) {
+	// The BLUE solution must satisfy the tree constraints exactly:
+	// x*_v = x*_left + x*_right at every internal node.
+	r, n2, n3, _, n5, _, _, _, _ := buildFigure3()
+	solveSubtree(r)
+	for _, v := range []*node{r, n2, n3, n5} {
+		if math.Abs(v.xstar-(v.left.xstar+v.right.xstar)) > 1e-9 {
+			t.Errorf("additivity violated: %v != %v + %v",
+				v.xstar, v.left.xstar, v.right.xstar)
+		}
+	}
+}
+
+func TestBlueReducesVariance(t *testing.T) {
+	// Monte Carlo check of the §3.2 motivation: on a fixed truth with
+	// i.i.d. noise, the BLUE estimate of a node must have lower empirical
+	// MSE than the raw estimate.
+	truth := map[string]float64{"r": 16, "2": 10, "3": 6, "4": 4, "5": 6, "6": 5, "7": 1}
+	const sigma2 = 4.0
+	const runs = 3000
+	var rawSE, blueSE float64
+	rng := newTestRNG(123)
+	for run := 0; run < runs; run++ {
+		noise := func(mu float64) float64 { return mu + rng.gauss()*math.Sqrt(sigma2) }
+		n4 := &node{y: noise(truth["4"]), sigma2: sigma2}
+		n5 := &node{y: noise(truth["5"]), sigma2: sigma2}
+		n6 := &node{y: noise(truth["6"]), sigma2: sigma2}
+		n7 := &node{y: noise(truth["7"]), sigma2: sigma2}
+		n2 := &node{y: noise(truth["2"]), sigma2: sigma2, left: n4, right: n5}
+		n3 := &node{y: noise(truth["3"]), sigma2: sigma2, left: n6, right: n7}
+		r := &node{y: truth["r"], sigma2: 0, left: n2, right: n3}
+		raw := n2.y
+		solveSubtree(r)
+		rawSE += (raw - truth["2"]) * (raw - truth["2"])
+		blueSE += (n2.xstar - truth["2"]) * (n2.xstar - truth["2"])
+	}
+	if blueSE >= rawSE {
+		t.Errorf("BLUE MSE %v not below raw MSE %v", blueSE/runs, rawSE/runs)
+	}
+	// §3.2's toy example promises Var(Y'_2) = (7/12)σ² on the full
+	// binary tree; our tree differs slightly, but a ≥25%% reduction must
+	// show.
+	if blueSE > 0.8*rawSE {
+		t.Errorf("BLUE variance reduction too small: %v vs %v", blueSE/runs, rawSE/runs)
+	}
+}
+
+// minimal gaussian RNG for the Monte Carlo test.
+type testRNG struct{ state uint64 }
+
+func newTestRNG(seed uint64) *testRNG { return &testRNG{state: seed} }
+
+func (r *testRNG) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *testRNG) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+func (r *testRNG) gauss() float64 {
+	u1 := r.float()
+	for u1 == 0 {
+		u1 = r.float()
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*r.float())
+}
+
+func TestPostImprovesDCS(t *testing.T) {
+	// The headline claim (§4.3.3): post-processing reduces DCS error —
+	// by 60–80% in the paper; we require a strict improvement on both
+	// error metrics for a fixed seed.
+	const n = 40000
+	const eps = 0.01
+	data := streamgen.Generate(streamgen.MPCATLike{Seed: 31}, n)
+	oracle := exact.New(data)
+	s := dyadic.New(dyadic.DCS, eps, 24, Config31())
+	for _, x := range data {
+		s.Insert(x)
+	}
+	rawMax, rawAvg := oracle.EvaluateSummary(s, eps)
+	p := Process(s, DefaultEta)
+	postMax, postAvg := oracle.EvaluateSummary(p, eps)
+	if postAvg >= rawAvg {
+		t.Errorf("Post avg error %v not below DCS %v", postAvg, rawAvg)
+	}
+	if postMax > rawMax*1.2 {
+		t.Errorf("Post max error %v much worse than DCS %v", postMax, rawMax)
+	}
+}
+
+// Config31 pins the sketch configuration of the improvement test.
+func Config31() dyadic.Config { return dyadic.Config{Seed: 31} }
+
+func TestPostOnExactSketchIsExact(t *testing.T) {
+	// With every level exact there is nothing to correct: Post must agree
+	// with the sketch (and the truth) exactly.
+	const eps = 0.005
+	s := dyadic.New(dyadic.DCS, eps, 10, Config31())
+	data := streamgen.Generate(streamgen.Uniform{Bits: 10, Seed: 32}, 20000)
+	for _, x := range data {
+		s.Insert(x)
+	}
+	p := Process(s, DefaultEta)
+	oracle := exact.New(data)
+	maxErr, _ := oracle.EvaluateSummary(p, eps)
+	if maxErr != 0 {
+		t.Errorf("Post on exact sketch has error %v", maxErr)
+	}
+}
+
+func TestTruncatedTreeSize(t *testing.T) {
+	// Appendix A.1: E[|T̂|] = O((1/ε)·log u). Check a generous constant.
+	const n = 50000
+	const eps = 0.01
+	s := dyadic.New(dyadic.DCS, eps, 24, dyadic.Config{Seed: 33})
+	data := streamgen.Generate(streamgen.Uniform{Bits: 24, Seed: 34}, n)
+	for _, x := range data {
+		s.Insert(x)
+	}
+	p := Process(s, DefaultEta)
+	bound := int(20.0 / (DefaultEta * eps) * 24)
+	if p.TreeNodes() > bound {
+		t.Errorf("|T̂| = %d exceeds O((1/(ηε))·log u) bound %d", p.TreeNodes(), bound)
+	}
+	if p.TreeNodes() < 24 {
+		t.Errorf("|T̂| = %d suspiciously small", p.TreeNodes())
+	}
+}
+
+func TestEtaTradeoff(t *testing.T) {
+	// Figure 9's mechanism: smaller η ⇒ larger tree.
+	const n = 30000
+	const eps = 0.01
+	s := dyadic.New(dyadic.DCS, eps, 24, dyadic.Config{Seed: 35})
+	data := streamgen.Generate(streamgen.MPCATLike{Seed: 36}, n)
+	for _, x := range data {
+		s.Insert(x)
+	}
+	big := Process(s, 0.01)
+	small := Process(s, 1.0)
+	if big.TreeNodes() <= small.TreeNodes() {
+		t.Errorf("η=0.01 tree (%d) not larger than η=1.0 tree (%d)",
+			big.TreeNodes(), small.TreeNodes())
+	}
+}
+
+func TestPostCountAndSpace(t *testing.T) {
+	s := dyadic.New(dyadic.DCS, 0.02, 16, dyadic.Config{Seed: 37})
+	for i := uint64(0); i < 1000; i++ {
+		s.Insert(i % 100)
+	}
+	p := Process(s, DefaultEta)
+	if p.Count() != 1000 {
+		t.Errorf("Count = %d", p.Count())
+	}
+	if p.SpaceBytes() < s.SpaceBytes() {
+		t.Error("Post space must include the sketch")
+	}
+}
+
+func TestPostWorksOnDCM(t *testing.T) {
+	// Post is defined for any dyadic sketch; on DCM it must not degrade
+	// accuracy catastrophically (the estimates are biased, so gains are
+	// not guaranteed — the paper applies it to DCS).
+	const n = 30000
+	const eps = 0.02
+	data := streamgen.Generate(streamgen.Uniform{Bits: 16, Seed: 38}, n)
+	s := dyadic.New(dyadic.DCM, eps, 16, dyadic.Config{Seed: 39})
+	for _, x := range data {
+		s.Insert(x)
+	}
+	p := Process(s, DefaultEta)
+	oracle := exact.New(data)
+	maxErr, _ := oracle.EvaluateSummary(p, eps)
+	if maxErr > 2*eps {
+		t.Errorf("Post-on-DCM max error %v exceeds 2ε", maxErr)
+	}
+}
+
+func BenchmarkProcess(b *testing.B) {
+	s := dyadic.New(dyadic.DCS, 0.01, 24, dyadic.Config{Seed: 1})
+	data := streamgen.Generate(streamgen.MPCATLike{Seed: 2}, 100000)
+	for _, x := range data {
+		s.Insert(x)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Process(s, DefaultEta)
+	}
+}

@@ -1,0 +1,116 @@
+package ols
+
+import (
+	"testing"
+
+	"streamquantiles/internal/dyadic"
+	"streamquantiles/internal/exact"
+	"streamquantiles/internal/streamgen"
+)
+
+// The query-path tests for the tree-walk Rank/Quantile implementation.
+
+func loadedSketch(seed uint64, n int) (*dyadic.Sketch, []uint64) {
+	data := streamgen.Generate(streamgen.MPCATLike{Seed: seed}, n)
+	s := dyadic.New(dyadic.DCS, 0.01, 24, dyadic.Config{Seed: seed + 1})
+	for _, x := range data {
+		s.Insert(x)
+	}
+	return s, data
+}
+
+func TestPostRankMonotone(t *testing.T) {
+	s, _ := loadedSketch(41, 30000)
+	p := Process(s, DefaultEta)
+	prev := int64(-1 << 62)
+	for x := uint64(0); x < 1<<24; x += 1 << 18 {
+		r := p.Rank(x)
+		if r < prev {
+			t.Fatalf("Post.Rank not monotone at %d: %d < %d", x, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestPostRankEndpoints(t *testing.T) {
+	s, _ := loadedSketch(42, 20000)
+	p := Process(s, DefaultEta)
+	if r := p.Rank(0); r != 0 {
+		t.Errorf("Rank(0) = %d, want 0", r)
+	}
+	if r := p.Rank(1 << 30); r != p.Count() {
+		t.Errorf("Rank(beyond universe) = %d, want %d", r, p.Count())
+	}
+}
+
+func TestPostRankTracksExact(t *testing.T) {
+	s, data := loadedSketch(43, 40000)
+	p := Process(s, DefaultEta)
+	oracle := exact.New(data)
+	n := float64(len(data))
+	for x := uint64(1 << 20); x < 1<<24; x += 1 << 20 {
+		got := float64(p.Rank(x))
+		want := float64(oracle.Rank(x))
+		if diff := got - want; diff > 0.02*n || diff < -0.02*n {
+			t.Errorf("Rank(%d) = %v, exact %v (off > 2%%)", x, got, want)
+		}
+	}
+}
+
+func TestPostRankAtLeastAsGoodAsRaw(t *testing.T) {
+	// Across many probes, the corrected ranks must not be worse on
+	// average than the raw sketch's.
+	s, data := loadedSketch(44, 40000)
+	p := Process(s, DefaultEta)
+	oracle := exact.New(data)
+	var rawSum, postSum float64
+	for x := uint64(1 << 18); x < 1<<24; x += 1 << 18 {
+		want := float64(oracle.Rank(x))
+		rd := float64(s.Rank(x)) - want
+		pd := float64(p.Rank(x)) - want
+		rawSum += rd * rd
+		postSum += pd * pd
+	}
+	if postSum > rawSum {
+		t.Errorf("Post rank MSE %v exceeds raw %v", postSum, rawSum)
+	}
+}
+
+func TestPostQuantileMonotone(t *testing.T) {
+	s, _ := loadedSketch(45, 30000)
+	p := Process(s, DefaultEta)
+	prev := uint64(0)
+	for phi := 0.02; phi < 1; phi += 0.02 {
+		q := p.Quantile(phi)
+		if q < prev {
+			t.Fatalf("Post quantiles not monotone at phi=%v: %d < %d", phi, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestPostSnapshotSemantics(t *testing.T) {
+	// A Post built before further inserts answers from its snapshot count.
+	s, _ := loadedSketch(46, 10000)
+	p := Process(s, DefaultEta)
+	before := p.Count()
+	for i := 0; i < 5000; i++ {
+		s.Insert(uint64(i % 1024))
+	}
+	if p.Count() != before {
+		t.Errorf("snapshot count changed: %d → %d", before, p.Count())
+	}
+	// A fresh Process sees the new stream.
+	p2 := Process(s, DefaultEta)
+	if p2.Count() != before+5000 {
+		t.Errorf("fresh Post count = %d, want %d", p2.Count(), before+5000)
+	}
+}
+
+func TestProcessEtaValidation(t *testing.T) {
+	s, _ := loadedSketch(47, 1000)
+	p := Process(s, 0) // 0 → default
+	if p.Eta() != DefaultEta {
+		t.Errorf("eta = %v, want default %v", p.Eta(), DefaultEta)
+	}
+}

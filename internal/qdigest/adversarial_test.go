@@ -1,0 +1,81 @@
+package qdigest
+
+import (
+	"testing"
+
+	"streamquantiles/internal/exact"
+)
+
+// Adversarial mass placements for the dyadic tree.
+
+func TestAllMassOnOneLeaf(t *testing.T) {
+	d := New(0.01, 16)
+	for i := 0; i < 100000; i++ {
+		d.Update(12345)
+	}
+	if w := d.TotalWeight(); w != 100000 {
+		t.Fatalf("weight %d", w)
+	}
+	// The digest should collapse to a handful of nodes on the path.
+	if nc := d.NodeCount(); nc > 40 {
+		t.Errorf("node count %d for single-leaf mass", nc)
+	}
+	oracle := exact.New(constant(12345, 100000))
+	for _, phi := range []float64{0.01, 0.5, 0.99} {
+		if e := oracle.QuantileError(d.Quantile(phi), phi); e > 0.01 {
+			t.Errorf("phi=%v error %v", phi, e)
+		}
+	}
+}
+
+func TestMassOnAdjacentLeavesAcrossSubtrees(t *testing.T) {
+	// 2^15−1 and 2^15 share no ancestors below the root: the worst case
+	// for dyadic aggregation.
+	d := New(0.01, 16)
+	data := make([]uint64, 0, 60000)
+	for i := 0; i < 30000; i++ {
+		d.Update(1<<15 - 1)
+		d.Update(1 << 15)
+		data = append(data, 1<<15-1, 1<<15)
+	}
+	oracle := exact.New(data)
+	maxErr, _ := oracle.EvaluateSummary(d, 0.01)
+	if maxErr > 0.01 {
+		t.Errorf("adjacent-leaf max error %v", maxErr)
+	}
+}
+
+func TestBoundaryValues(t *testing.T) {
+	d := New(0.05, 16)
+	for i := 0; i < 5000; i++ {
+		d.Update(0)
+		d.Update(1<<16 - 1)
+	}
+	if q := d.Quantile(0.01); q > 1000 {
+		t.Errorf("low quantile %d, want near 0", q)
+	}
+	if q := d.Quantile(0.99); q < 1<<16-2 {
+		t.Errorf("high quantile %d, want near max", q)
+	}
+}
+
+func TestAlternatingSweep(t *testing.T) {
+	// A value ramp that revisits the whole universe repeatedly, forcing
+	// constant restructuring.
+	d := New(0.02, 12)
+	var data []uint64
+	for round := 0; round < 30; round++ {
+		for v := uint64(0); v < 1<<12; v += 7 {
+			d.Update(v)
+			data = append(data, v)
+		}
+	}
+	oracle := exact.New(data)
+	maxErr, _ := oracle.EvaluateSummary(d, 0.02)
+	if maxErr > 0.02 {
+		t.Errorf("sweep max error %v", maxErr)
+	}
+	if w := d.TotalWeight(); w != int64(len(data)) {
+		t.Errorf("weight %d, want %d", w, len(data))
+	}
+}

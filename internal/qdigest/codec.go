@@ -1,0 +1,88 @@
+package qdigest
+
+import (
+	"fmt"
+	"slices"
+
+	"streamquantiles/internal/core"
+)
+
+const codecVersion = 1
+
+// MarshalBinary implements encoding.BinaryMarshaler. The encoding is
+// deterministic (nodes are sorted by id) so equal digests encode
+// identically.
+func (d *Digest) MarshalBinary() ([]byte, error) {
+	var e core.Encoder
+	e.U64(codecVersion)
+	e.F64(d.eps)
+	e.U64(uint64(d.bits))
+	e.I64(d.n)
+	e.I64(d.nextCmp)
+	e.I64(d.compressions)
+
+	ids := make([]uint64, 0, len(d.nodes))
+	for id := range d.nodes {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	e.U64(uint64(len(ids)))
+	for _, id := range ids {
+		e.U64(id)
+		e.I64(d.nodes[id])
+	}
+	e.U64s(d.buf)
+	return e.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, replacing the
+// receiver's state.
+func (d *Digest) UnmarshalBinary(data []byte) error {
+	dec := core.NewDecoder(data)
+	if v := dec.U64(); v != codecVersion && dec.Err() == nil {
+		return fmt.Errorf("qdigest: unsupported encoding version %d", v)
+	}
+	eps := dec.F64()
+	bits := int(dec.U64())
+	n := dec.I64()
+	nextCmp := dec.I64()
+	compressions := dec.I64()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if eps <= 0 || eps >= 1 || bits < 1 || bits > maxBits || n < 0 {
+		return fmt.Errorf("qdigest: implausible encoded parameters eps=%v bits=%d n=%d", eps, bits, n)
+	}
+
+	nd := New(eps, bits)
+	nd.n = n
+	nd.nextCmp = nextCmp
+	nd.compressions = compressions
+	count := dec.Len()
+	for i := 0; i < count && dec.Err() == nil; i++ {
+		id := dec.U64()
+		w := dec.I64()
+		if id < 1 || id >= 2*nd.u {
+			return fmt.Errorf("qdigest: node id %d outside tree", id)
+		}
+		if w < 0 {
+			return fmt.Errorf("qdigest: negative node weight %d", w)
+		}
+		nd.nodes[id] = w
+	}
+	buf := dec.U64s()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if dec.Remaining() != 0 {
+		return fmt.Errorf("qdigest: %d trailing bytes", dec.Remaining())
+	}
+	for _, x := range buf {
+		if x >= nd.u {
+			return fmt.Errorf("qdigest: buffered element %d outside universe", x)
+		}
+	}
+	nd.buf = append(nd.buf, buf...)
+	*d = *nd
+	return nil
+}

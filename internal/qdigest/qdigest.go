@@ -1,0 +1,302 @@
+// Package qdigest implements the q-digest quantile summary of
+// Shrivastava, Buragohain, Agrawal and Suri (SenSys 2004) in the fast,
+// hash-addressed form the paper benchmarks as FastQDigest.
+//
+// A q-digest summarizes a stream over the fixed universe [0, u), u a
+// power of two, by maintaining counts on nodes of the dyadic (binary)
+// tree over the universe. A node keeps weight only while the digest
+// property holds — a stored non-root node v and its sibling and parent
+// together hold more than ⌊n/k⌋ weight — otherwise the weights are folded
+// into the parent by COMPRESS. The digest then has O(k) nodes and rank
+// queries err by at most (log₂ u)·n/k, so k = ⌈log₂(u)/ε⌉ gives an
+// ε-approximate summary of size O((1/ε)·log u).
+//
+// It is the only deterministic *mergeable* summary in the study: two
+// digests over the same universe combine by adding node weights, which
+// makes it the method of choice for sensor-network style aggregation
+// even though it never wins the streaming benchmarks (paper §4.2.4).
+package qdigest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"streamquantiles/internal/core"
+)
+
+// Digest is a q-digest over the universe [0, 2^bits).
+//
+// Nodes are addressed heap-style: the root is 1, node i has children 2i
+// and 2i+1, and leaf u+x represents the value x. The node set lives in a
+// hash map so updates touch only the leaf, with COMPRESS amortized by
+// running each time the stream doubles.
+type Digest struct {
+	bits  int
+	u     uint64 // universe size 2^bits
+	k     int64  // compression factor
+	eps   float64
+	n     int64
+	nodes map[uint64]int64
+
+	buf          []uint64 // pending leaf updates, bulk-applied
+	nextCmp      int64    // run COMPRESS when n reaches this
+	compressions int64    // number of COMPRESS invocations (observability)
+}
+
+// maxBits bounds the universe so node ids (2u) fit comfortably in uint64.
+const maxBits = 62
+
+// bufCap is the pending-update buffer size of the fast variant.
+const bufCap = 1024
+
+// New returns an empty q-digest with error parameter eps over the
+// universe [0, 2^bits).
+func New(eps float64, bits int) *Digest {
+	if math.IsNaN(eps) || eps <= 0 || eps >= 1 {
+		panic(fmt.Sprintf("qdigest: error parameter %v outside (0, 1)", eps))
+	}
+	if bits < 1 || bits > maxBits {
+		panic(fmt.Sprintf("qdigest: universe bits %d outside [1, %d]", bits, maxBits))
+	}
+	k := int64(math.Ceil(float64(bits) / eps))
+	return &Digest{
+		bits:    bits,
+		u:       uint64(1) << bits,
+		k:       k,
+		eps:     eps,
+		nodes:   make(map[uint64]int64),
+		buf:     make([]uint64, 0, bufCap),
+		nextCmp: 1,
+	}
+}
+
+// Eps returns the error parameter.
+func (d *Digest) Eps() float64 { return d.eps }
+
+// UniverseBits returns log₂ u.
+func (d *Digest) UniverseBits() int { return d.bits }
+
+// K returns the compression factor ⌈log₂(u)/ε⌉.
+func (d *Digest) K() int64 { return d.k }
+
+// Count implements core.Summary.
+func (d *Digest) Count() int64 { return d.n }
+
+// NodeCount reports the number of stored tree nodes after draining the
+// update buffer.
+func (d *Digest) NodeCount() int {
+	d.drain()
+	return len(d.nodes)
+}
+
+// Compressions reports how many COMPRESS passes have run.
+func (d *Digest) Compressions() int64 { return d.compressions }
+
+// Update implements core.CashRegister.
+func (d *Digest) Update(x uint64) {
+	if x >= d.u {
+		panic(fmt.Sprintf("qdigest: element %d outside universe [0, %d)", x, d.u))
+	}
+	d.n++
+	d.buf = append(d.buf, x)
+	if len(d.buf) == cap(d.buf) || d.n >= d.nextCmp {
+		d.drain()
+	}
+}
+
+// drain applies buffered leaf increments and runs COMPRESS when the
+// stream has doubled since the last pass or the node set outgrew its
+// post-compress bound — the trigger that keeps the structure O(k)-sized
+// with O(1) amortized work per update.
+func (d *Digest) drain() {
+	for _, x := range d.buf {
+		d.nodes[d.u+x]++
+	}
+	d.buf = d.buf[:0]
+	if d.n >= d.nextCmp || int64(len(d.nodes)) > 6*d.k {
+		d.compress()
+		d.nextCmp = 2 * d.n
+	}
+}
+
+// compress restores the digest property bottom-up: any stored non-root
+// node whose triangle (self + sibling + parent) fits within ⌊n/k⌋ is
+// folded into its parent. Folds cascade within a single pass: a parent
+// created by a fold is appended to its level's worklist and reconsidered
+// when the sweep reaches that level.
+func (d *Digest) compress() {
+	d.compressions++
+	capacity := d.n / d.k
+	if capacity <= 0 {
+		return
+	}
+	levels := make([][]uint64, d.bits+1)
+	for id := range d.nodes {
+		levels[d.level(id)] = append(levels[d.level(id)], id)
+	}
+	for lv := d.bits; lv >= 1; lv-- {
+		for _, id := range levels[lv] {
+			c, ok := d.nodes[id]
+			if !ok {
+				continue // already folded as a sibling
+			}
+			sib := id ^ 1
+			par := id >> 1
+			total := c + d.nodes[sib] + d.nodes[par]
+			if total <= capacity {
+				d.nodes[par] = total
+				delete(d.nodes, id)
+				delete(d.nodes, sib)
+				levels[lv-1] = append(levels[lv-1], par)
+			}
+		}
+	}
+}
+
+// level returns the depth of node id: 0 for the root, bits for leaves.
+func (d *Digest) level(id uint64) int {
+	lv := -1
+	for id > 0 {
+		id >>= 1
+		lv++
+	}
+	return lv
+}
+
+// span returns the universe interval [lo, hi] covered by node id.
+func (d *Digest) span(id uint64) (lo, hi uint64) {
+	lv := d.level(id)
+	width := d.bits - lv // log2 of interval length
+	idx := id - (uint64(1) << lv)
+	lo = idx << width
+	hi = lo + (uint64(1)<<width - 1)
+	return lo, hi
+}
+
+// snapshot returns the stored nodes sorted by (interval hi, interval
+// size): the post-order traversal used for rank accumulation. Counts in
+// the returned slice are node weights.
+type weighted struct {
+	lo, hi uint64
+	w      int64
+}
+
+func (d *Digest) snapshot() []weighted {
+	d.drain()
+	out := make([]weighted, 0, len(d.nodes))
+	for id, w := range d.nodes {
+		lo, hi := d.span(id)
+		out = append(out, weighted{lo: lo, hi: hi, w: w})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].hi != out[j].hi {
+			return out[i].hi < out[j].hi
+		}
+		// Equal right endpoints: the smaller (descendant) interval first.
+		return out[i].lo > out[j].lo
+	})
+	return out
+}
+
+// Quantile implements core.Summary: traverse in post-order, report the
+// right endpoint of the node where the accumulated weight reaches ⌊φn⌋+1.
+func (d *Digest) Quantile(phi float64) uint64 {
+	core.CheckPhi(phi)
+	if d.n == 0 {
+		panic(core.ErrEmpty)
+	}
+	target := core.TargetRank(phi, d.n) + 1
+	var acc int64
+	snap := d.snapshot()
+	for _, node := range snap {
+		acc += node.w
+		if acc >= target {
+			return node.hi
+		}
+	}
+	return snap[len(snap)-1].hi
+}
+
+// BatchQuantiles implements core.BatchQuantiler: one snapshot and one
+// post-order scan answer the whole batch.
+func (d *Digest) BatchQuantiles(phis []float64) []uint64 {
+	if d.n == 0 {
+		panic(core.ErrEmpty)
+	}
+	snap := d.snapshot()
+	order := make([]int, len(phis))
+	for i := range order {
+		core.CheckPhi(phis[i])
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return phis[order[a]] < phis[order[b]] })
+	out := make([]uint64, len(phis))
+	var acc int64
+	pos := 0
+	for _, idx := range order {
+		target := core.TargetRank(phis[idx], d.n) + 1
+		for pos < len(snap) && acc+snap[pos].w < target {
+			acc += snap[pos].w
+			pos++
+		}
+		if pos >= len(snap) {
+			out[idx] = snap[len(snap)-1].hi
+		} else {
+			out[idx] = snap[pos].hi
+		}
+	}
+	return out
+}
+
+// Rank implements core.Summary: nodes entirely below x count fully,
+// nodes straddling x count half (midpoint convention).
+func (d *Digest) Rank(x uint64) int64 {
+	var r int64
+	for _, node := range d.snapshot() {
+		switch {
+		case node.hi < x:
+			r += node.w
+		case node.lo < x:
+			r += node.w / 2
+		}
+	}
+	return r
+}
+
+// Merge folds other into d. Both digests must share eps and universe;
+// other is left unchanged. This is the mergeable-summary operation that
+// distinguishes q-digest from the other deterministic algorithms.
+func (d *Digest) Merge(other *Digest) {
+	if other.bits != d.bits || other.k != d.k {
+		panic("qdigest: merging digests with different parameters")
+	}
+	d.drain()
+	other.drain()
+	for id, w := range other.nodes {
+		d.nodes[id] += w
+	}
+	d.n += other.n
+	d.compress()
+	d.nextCmp = 2 * d.n
+}
+
+// SpaceBytes implements core.Summary. Each stored node is charged three
+// words (id, counter, and one word of hash-table overhead), pending
+// buffer slots one word each (by capacity, as they are pre-allocated),
+// plus scalar state.
+func (d *Digest) SpaceBytes() int64 {
+	words := int64(len(d.nodes))*3 + int64(cap(d.buf)) + 6
+	return words * core.WordBytes
+}
+
+// TotalWeight returns the sum of all node weights plus pending buffer
+// entries; it must always equal Count(). Test hook for the conservation
+// invariant.
+func (d *Digest) TotalWeight() int64 {
+	var sum int64
+	for _, w := range d.nodes {
+		sum += w
+	}
+	return sum + int64(len(d.buf))
+}

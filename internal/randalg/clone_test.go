@@ -1,0 +1,69 @@
+package randalg
+
+import (
+	"testing"
+
+	"streamquantiles/internal/core"
+	"streamquantiles/internal/streamgen"
+)
+
+func TestCloneIndependent(t *testing.T) {
+	orig := New(0.02, 5)
+	feed(orig, streamgen.Generate(streamgen.Uniform{Bits: 24, Seed: 6}, 40000))
+	clone := orig.Clone()
+
+	// Clone answers identically…
+	for _, phi := range core.EvenPhis(0.1) {
+		if clone.Quantile(phi) != orig.Quantile(phi) {
+			t.Fatal("clone answers differently")
+		}
+	}
+	// …and diverging the clone leaves the original untouched.
+	before := orig.Quantile(0.5)
+	feed(clone, streamgen.Generate(streamgen.Uniform{Bits: 24, Seed: 7}, 40000))
+	if orig.Quantile(0.5) != before {
+		t.Error("updating the clone mutated the original")
+	}
+	if clone.Count() != 80000 || orig.Count() != 40000 {
+		t.Errorf("counts wrong: clone %d orig %d", clone.Count(), orig.Count())
+	}
+}
+
+func TestCloneContinuesLikeOriginal(t *testing.T) {
+	// Clone carries the RNG state: advancing clone and original with the
+	// same suffix keeps them identical.
+	a := New(0.02, 9)
+	feed(a, streamgen.Generate(streamgen.Uniform{Bits: 24, Seed: 10}, 30000))
+	b := a.Clone()
+	tail := streamgen.Generate(streamgen.Uniform{Bits: 24, Seed: 11}, 30000)
+	feed(a, tail)
+	feed(b, tail)
+	for _, phi := range core.EvenPhis(0.1) {
+		if a.Quantile(phi) != b.Quantile(phi) {
+			t.Fatal("clone diverged under identical suffix")
+		}
+	}
+}
+
+func TestMergeOfClonesDoublesWeight(t *testing.T) {
+	a := New(0.05, 12)
+	feed(a, streamgen.Generate(streamgen.Uniform{Bits: 16, Seed: 13}, 20000))
+	b := a.Clone()
+	a.Merge(b)
+	if a.Count() != 40000 {
+		t.Errorf("merged count %d", a.Count())
+	}
+	// Quantiles of the doubled multiset match the original distribution.
+	orig := New(0.05, 12)
+	feed(orig, streamgen.Generate(streamgen.Uniform{Bits: 16, Seed: 13}, 20000))
+	for _, phi := range []float64{0.25, 0.5, 0.75} {
+		got, want := a.Quantile(phi), orig.Quantile(phi)
+		diff := int64(got) - int64(want)
+		if diff < 0 {
+			diff = -diff
+		}
+		if float64(diff) > 0.1*float64(1<<16) {
+			t.Errorf("self-merged quantile(%v) %d far from %d", phi, got, want)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package randalg
+
+import (
+	"fmt"
+
+	"streamquantiles/internal/core"
+)
+
+const codecVersion = 1
+
+// MarshalBinary implements encoding.BinaryMarshaler: the complete
+// mid-stream state — buffers, the in-progress buffer's sampling block,
+// and the RNG — so a restored summary continues the stream bit-for-bit
+// identically to one that never stopped.
+func (r *Random) MarshalBinary() ([]byte, error) {
+	var e core.Encoder
+	e.U64(codecVersion)
+	e.F64(r.eps)
+	e.I64(r.n)
+	e.U64(r.rng.State())
+
+	e.U64(uint64(len(r.bufs)))
+	curIdx := -1
+	for i, b := range r.bufs {
+		if b == r.cur {
+			curIdx = i
+		}
+		e.U64(uint64(b.level))
+		e.Bool(b.full)
+		e.U64s(b.data)
+	}
+	e.I64(int64(curIdx))
+	e.I64(r.blockSize)
+	e.I64(r.blockPos)
+	e.I64(r.pickAt)
+	e.U64(r.candidate)
+	return e.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, replacing the
+// receiver's state.
+func (r *Random) UnmarshalBinary(data []byte) error {
+	dec := core.NewDecoder(data)
+	if v := dec.U64(); v != codecVersion && dec.Err() == nil {
+		return fmt.Errorf("randalg: unsupported encoding version %d", v)
+	}
+	eps := dec.F64()
+	n := dec.I64()
+	rngState := dec.U64()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if eps <= 0 || eps >= 1 || n < 0 {
+		return fmt.Errorf("randalg: implausible encoded parameters eps=%v n=%d", eps, n)
+	}
+
+	nr := New(eps, 0)
+	nr.n = n
+	nr.rng.Restore(rngState)
+	count := dec.Len()
+	if dec.Err() == nil && count > 4*len(nr.bufs)+16 {
+		return fmt.Errorf("randalg: implausible buffer count %d", count)
+	}
+	nr.bufs = nr.bufs[:0]
+	for i := 0; i < count && dec.Err() == nil; i++ {
+		b := &buffer{
+			level: int(dec.U64()),
+			full:  dec.Bool(),
+			data:  dec.U64s(),
+		}
+		if cap(b.data) < nr.s {
+			grown := make([]uint64, len(b.data), nr.s)
+			copy(grown, b.data)
+			b.data = grown
+		}
+		nr.bufs = append(nr.bufs, b)
+	}
+	curIdx := int(dec.I64())
+	nr.blockSize = dec.I64()
+	nr.blockPos = dec.I64()
+	nr.pickAt = dec.I64()
+	nr.candidate = dec.U64()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if dec.Remaining() != 0 {
+		return fmt.Errorf("randalg: %d trailing bytes", dec.Remaining())
+	}
+	if curIdx >= len(nr.bufs) {
+		return fmt.Errorf("randalg: current-buffer index %d out of range", curIdx)
+	}
+	if curIdx >= 0 {
+		nr.cur = nr.bufs[curIdx]
+	}
+	*r = *nr
+	return nil
+}

@@ -1,0 +1,100 @@
+package randalg
+
+import (
+	"testing"
+
+	"streamquantiles/internal/core"
+	"streamquantiles/internal/streamgen"
+)
+
+func TestCodecRoundTripContinuesIdentically(t *testing.T) {
+	// The strongest possible property for a randomized summary: stopping,
+	// serializing, restoring, and continuing must be bit-identical to
+	// never stopping, because the RNG state travels with the summary.
+	head := streamgen.Generate(streamgen.MPCATLike{Seed: 70}, 30000)
+	tail := streamgen.Generate(streamgen.Uniform{Bits: 24, Seed: 71}, 30000)
+
+	straight := New(0.01, 42)
+	feed(straight, head)
+	feed(straight, tail)
+
+	stopped := New(0.01, 42)
+	feed(stopped, head)
+	blob, err := stopped.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := New(0.5, 0)
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	feed(restored, tail)
+
+	if restored.Count() != straight.Count() {
+		t.Fatalf("count %d vs %d", restored.Count(), straight.Count())
+	}
+	for _, phi := range core.EvenPhis(0.05) {
+		a, b := restored.Quantile(phi), straight.Quantile(phi)
+		if a != b {
+			t.Fatalf("quantile(%v): restored %d vs straight %d", phi, a, b)
+		}
+	}
+	if restored.SpaceBytes() != straight.SpaceBytes() {
+		t.Errorf("space %d vs %d", restored.SpaceBytes(), straight.SpaceBytes())
+	}
+}
+
+func TestCodecMidBufferState(t *testing.T) {
+	// Marshal in the middle of a sampling block and verify the partial
+	// candidate state survives.
+	r := New(0.05, 7)
+	for i := uint64(0); i < 100_123; i++ { // odd count: mid-block
+		r.Update(i)
+	}
+	blob, err := r.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := New(0.5, 0)
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if restored.blockPos != r.blockPos || restored.pickAt != r.pickAt ||
+		restored.candidate != r.candidate || restored.blockSize != r.blockSize {
+		t.Error("sampling block state not preserved")
+	}
+	if (restored.cur == nil) != (r.cur == nil) {
+		t.Error("current-buffer presence not preserved")
+	}
+}
+
+func TestCodecRejectsCorrupt(t *testing.T) {
+	r := New(0.05, 1)
+	feed(r, streamgen.Generate(streamgen.Uniform{Bits: 16, Seed: 72}, 5000))
+	blob, _ := r.MarshalBinary()
+	for cut := 0; cut < len(blob); cut += 7 {
+		var b Random
+		if err := b.UnmarshalBinary(blob[:cut]); err == nil {
+			t.Fatalf("accepted truncated input of %d bytes", cut)
+		}
+	}
+}
+
+func TestCodecEmptySummary(t *testing.T) {
+	r := New(0.1, 3)
+	blob, err := r.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := New(0.5, 0)
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Count() != 0 {
+		t.Errorf("restored empty summary has count %d", restored.Count())
+	}
+	restored.Update(5)
+	if q := restored.Quantile(0.5); q != 5 {
+		t.Errorf("restored summary broken: quantile = %d", q)
+	}
+}

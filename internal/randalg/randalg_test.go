@@ -1,0 +1,250 @@
+package randalg
+
+import (
+	"math"
+	"testing"
+
+	"streamquantiles/internal/core"
+	"streamquantiles/internal/exact"
+	"streamquantiles/internal/streamgen"
+)
+
+func feed(r *Random, data []uint64) {
+	for _, x := range data {
+		r.Update(x)
+	}
+}
+
+func TestParameters(t *testing.T) {
+	r := New(0.01, 1)
+	// h = ceil(log2(100)) = 7, b = 8, s = ceil(sqrt(7)*100) = 265.
+	if r.BufferCount() != 8 {
+		t.Errorf("b = %d, want 8", r.BufferCount())
+	}
+	if r.BufferSize() != 265 {
+		t.Errorf("s = %d, want 265", r.BufferSize())
+	}
+}
+
+func TestErrorWithinEpsAcrossSeeds(t *testing.T) {
+	const n = 50000
+	const eps = 0.02
+	data := streamgen.Generate(streamgen.Uniform{Bits: 24, Seed: 99}, n)
+	oracle := exact.New(data)
+	for seed := uint64(1); seed <= 10; seed++ {
+		r := New(eps, seed)
+		feed(r, data)
+		maxErr, avgErr := oracle.EvaluateSummary(r, eps)
+		if maxErr > eps {
+			t.Errorf("seed %d: max error %v exceeds ε=%v", seed, maxErr, eps)
+		}
+		if avgErr > maxErr {
+			t.Errorf("seed %d: avg %v > max %v", seed, avgErr, maxErr)
+		}
+	}
+}
+
+func TestErrorOnSkewAndOrder(t *testing.T) {
+	const n = 40000
+	const eps = 0.02
+	for _, gen := range []streamgen.Generator{
+		streamgen.Normal{Bits: 20, Sigma: 0.05, Seed: 3},
+		streamgen.Sorted{Inner: streamgen.Uniform{Bits: 24, Seed: 4}},
+		streamgen.MPCATLike{Seed: 5},
+	} {
+		data := streamgen.Generate(gen, n)
+		oracle := exact.New(data)
+		r := New(eps, 7)
+		feed(r, data)
+		maxErr, _ := oracle.EvaluateSummary(r, eps)
+		if maxErr > eps {
+			t.Errorf("%s: max error %v exceeds ε", gen.Name(), maxErr)
+		}
+	}
+}
+
+func TestSmallStreamIsExact(t *testing.T) {
+	// While n ≤ s·2^(h−1) the active level is 0: no sampling, and with no
+	// merges yet the summary holds the stream exactly.
+	r := New(0.05, 2)
+	for i := uint64(1); i <= 100; i++ {
+		r.Update(i)
+	}
+	if q := r.Quantile(0.5); q < 45 || q > 55 {
+		t.Errorf("median of 1..100 = %d", q)
+	}
+	if got := r.Rank(51); got != 50 {
+		t.Errorf("Rank(51) = %d, want 50 (exact regime)", got)
+	}
+}
+
+func TestCountTracksStream(t *testing.T) {
+	r := New(0.05, 3)
+	for i := 0; i < 12345; i++ {
+		r.Update(uint64(i))
+	}
+	if r.Count() != 12345 {
+		t.Errorf("Count = %d", r.Count())
+	}
+}
+
+func TestSpaceConstantInN(t *testing.T) {
+	// "The space used by Random is constant, because the buffers are
+	// pre-allocated according to ε" (paper §4.2.5).
+	const eps = 0.01
+	small := New(eps, 4)
+	large := New(eps, 4)
+	feed(small, streamgen.Generate(streamgen.Uniform{Bits: 32, Seed: 5}, 10000))
+	feed(large, streamgen.Generate(streamgen.Uniform{Bits: 32, Seed: 6}, 200000))
+	if small.SpaceBytes() != large.SpaceBytes() {
+		t.Errorf("space changed with n: %d vs %d", small.SpaceBytes(), large.SpaceBytes())
+	}
+}
+
+func TestSpaceMatchesTheory(t *testing.T) {
+	const eps = 0.001
+	r := New(eps, 1)
+	// b·s words ≈ (1/ε)·log2(1/ε)^1.5
+	want := float64(r.BufferCount()*r.BufferSize()) * core.WordBytes
+	got := float64(r.SpaceBytes())
+	if got < want || got > 1.1*want {
+		t.Errorf("space %v not within [1, 1.1]× of b·s bound %v", got, want)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	data := streamgen.Generate(streamgen.Uniform{Bits: 24, Seed: 7}, 30000)
+	a := New(0.01, 42)
+	b := New(0.01, 42)
+	feed(a, data)
+	feed(b, data)
+	for _, phi := range core.EvenPhis(0.1) {
+		if a.Quantile(phi) != b.Quantile(phi) {
+			t.Fatal("same seed produced different quantiles")
+		}
+	}
+}
+
+func TestUnbiasedRank(t *testing.T) {
+	// Averaged over seeds, the estimated rank should center on the truth.
+	const n = 30000
+	data := streamgen.Generate(streamgen.Uniform{Bits: 20, Seed: 8}, n)
+	oracle := exact.New(data)
+	probe := uint64(1) << 19
+	want := float64(oracle.Rank(probe))
+	var sum float64
+	const runs = 40
+	for seed := uint64(0); seed < runs; seed++ {
+		r := New(0.05, seed)
+		feed(r, data)
+		sum += float64(r.Rank(probe))
+	}
+	mean := sum / runs
+	if math.Abs(mean-want) > 0.01*float64(n) {
+		t.Errorf("mean estimated rank %v vs true %v: bias too large", mean, want)
+	}
+}
+
+func TestMergeTwoStreams(t *testing.T) {
+	const n = 30000
+	const eps = 0.02
+	dataA := streamgen.Generate(streamgen.Uniform{Bits: 24, Seed: 9}, n)
+	dataB := streamgen.Generate(streamgen.Normal{Bits: 24, Sigma: 0.1, Seed: 10}, n)
+	a := New(eps, 11)
+	b := New(eps, 12)
+	feed(a, dataA)
+	feed(b, dataB)
+	a.Merge(b)
+	if a.Count() != 2*n {
+		t.Fatalf("merged count %d", a.Count())
+	}
+	all := append(append([]uint64{}, dataA...), dataB...)
+	oracle := exact.New(all)
+	maxErr, _ := oracle.EvaluateSummary(a, eps)
+	if maxErr > 2*eps {
+		t.Errorf("merged max error %v exceeds 2ε", maxErr)
+	}
+}
+
+func TestMergeEpsMismatchPanics(t *testing.T) {
+	a := New(0.01, 1)
+	b := New(0.02, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Merge with different eps did not panic")
+		}
+	}()
+	a.Merge(b)
+}
+
+func TestEmptyQuantilePanics(t *testing.T) {
+	r := New(0.1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Quantile on empty summary did not panic")
+		}
+	}()
+	r.Quantile(0.5)
+}
+
+func TestBadEpsPanics(t *testing.T) {
+	for _, eps := range []float64{0, 1, -1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v) did not panic", eps)
+				}
+			}()
+			New(eps, 1)
+		}()
+	}
+}
+
+func TestLongStreamLevelsRise(t *testing.T) {
+	// After many elements the active level must exceed 0 (sampling is on)
+	// and accuracy must persist.
+	const eps = 0.05
+	r := New(eps, 13)
+	const n = 400000
+	data := streamgen.Generate(streamgen.Uniform{Bits: 24, Seed: 14}, n)
+	feed(r, data)
+	if r.activeLevel() == 0 {
+		t.Error("active level still 0 after long stream; sampling never engaged")
+	}
+	oracle := exact.New(data)
+	maxErr, _ := oracle.EvaluateSummary(r, eps)
+	if maxErr > eps {
+		t.Errorf("long-stream max error %v exceeds ε", maxErr)
+	}
+}
+
+func TestPromoteUnbiased(t *testing.T) {
+	// Promotion halves the buffer in expectation and doubles its level.
+	rngSeeds := []uint64{1, 2, 3, 4, 5}
+	var totalKept int
+	for _, seed := range rngSeeds {
+		b := &buffer{level: 2, data: make([]uint64, 1000)}
+		for i := range b.data {
+			b.data[i] = uint64(i)
+		}
+		r := New(0.5, seed)
+		promote(b, r.rng)
+		if b.level != 3 {
+			t.Fatalf("promote level = %d, want 3", b.level)
+		}
+		totalKept += len(b.data)
+	}
+	mean := float64(totalKept) / float64(len(rngSeeds))
+	if mean < 400 || mean > 600 {
+		t.Errorf("promotion kept %v on average, want ≈ 500", mean)
+	}
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	r := New(0.001, 1)
+	data := streamgen.Generate(streamgen.Uniform{Bits: 32, Seed: 1}, 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Update(data[i&(1<<16-1)])
+	}
+}

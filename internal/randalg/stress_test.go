@@ -1,0 +1,130 @@
+package randalg
+
+import (
+	"math"
+	"testing"
+
+	"streamquantiles/internal/exact"
+	"streamquantiles/internal/streamgen"
+	"streamquantiles/internal/xhash"
+)
+
+// TestManyWayMergeTree merges 32 shard summaries pairwise up a tree and
+// checks accuracy on the union — the mergeable-summary usage pattern.
+func TestManyWayMergeTree(t *testing.T) {
+	const shards = 32
+	const per = 10000
+	const eps = 0.02
+	var all []uint64
+	var sums []*Random
+	for i := 0; i < shards; i++ {
+		data := streamgen.Generate(streamgen.Normal{
+			Bits: 20, Sigma: 0.05 + 0.01*float64(i%5), Seed: uint64(100 + i),
+		}, per)
+		all = append(all, data...)
+		s := New(eps, uint64(200+i))
+		feed(s, data)
+		sums = append(sums, s)
+	}
+	for len(sums) > 1 {
+		var next []*Random
+		for i := 0; i+1 < len(sums); i += 2 {
+			sums[i].Merge(sums[i+1])
+			next = append(next, sums[i])
+		}
+		sums = next
+	}
+	root := sums[0]
+	if root.Count() != shards*per {
+		t.Fatalf("merged count %d", root.Count())
+	}
+	oracle := exact.New(all)
+	maxErr, _ := oracle.EvaluateSummary(root, eps)
+	// 5 merge generations: allow 3ε.
+	if maxErr > 3*eps {
+		t.Errorf("tree-merged max error %v exceeds 3ε", maxErr)
+	}
+}
+
+// TestSamplingVarianceShrinksWithS verifies the space/accuracy knob: a
+// smaller ε (bigger s) must reduce the observed error distribution's
+// spread across seeds.
+func TestSamplingVarianceShrinksWithS(t *testing.T) {
+	const n = 60000
+	data := streamgen.Generate(streamgen.Uniform{Bits: 24, Seed: 1}, n)
+	oracle := exact.New(data)
+	spread := func(eps float64) float64 {
+		var errs []float64
+		for seed := uint64(0); seed < 12; seed++ {
+			s := New(eps, seed)
+			feed(s, data)
+			m, _ := oracle.EvaluateSummary(s, 0.05)
+			errs = append(errs, m)
+		}
+		var mean, ss float64
+		for _, e := range errs {
+			mean += e
+		}
+		mean /= float64(len(errs))
+		for _, e := range errs {
+			ss += (e - mean) * (e - mean)
+		}
+		return math.Sqrt(ss / float64(len(errs)))
+	}
+	coarse, fine := spread(0.05), spread(0.005)
+	if fine >= coarse {
+		t.Errorf("error spread did not shrink with s: %v (ε=0.05) vs %v (ε=0.005)",
+			coarse, fine)
+	}
+}
+
+// TestMergeCommutative checks A∪B ≈ B∪A in distribution: both orders
+// answer within ε of the union's truth (not bit-identical — merge
+// consumes randomness — but both valid).
+func TestMergeCommutative(t *testing.T) {
+	const eps = 0.02
+	dataA := streamgen.Generate(streamgen.Uniform{Bits: 20, Seed: 31}, 20000)
+	dataB := streamgen.Generate(streamgen.Zipf{Bits: 20, S: 1.5, Seed: 32}, 20000)
+	union := append(append([]uint64{}, dataA...), dataB...)
+	oracle := exact.New(union)
+
+	mk := func(data []uint64, seed uint64) *Random {
+		s := New(eps, seed)
+		feed(s, data)
+		return s
+	}
+	ab := mk(dataA, 41)
+	ab.Merge(mk(dataB, 42))
+	ba := mk(dataB, 43)
+	ba.Merge(mk(dataA, 44))
+	for _, s := range []*Random{ab, ba} {
+		if s.Count() != int64(len(union)) {
+			t.Fatalf("count %d", s.Count())
+		}
+		maxErr, _ := oracle.EvaluateSummary(s, eps)
+		if maxErr > 2*eps {
+			t.Errorf("merge order produced max error %v", maxErr)
+		}
+	}
+}
+
+// TestLevelWeightsSumToN: the invariant behind the rank estimator.
+func TestLevelWeightsSumToN(t *testing.T) {
+	s := New(0.01, 51)
+	rng := xhash.NewSplitMix64(52)
+	for i := 0; i < 300000; i++ {
+		s.Update(rng.Next())
+		if i%50000 == 0 {
+			var w int64
+			for _, b := range s.bufs {
+				w += int64(len(b.data)) << b.level
+			}
+			// In-progress sampling block: up to blockSize−1 elements are
+			// observed but not yet represented.
+			drift := int64(s.blockPos)
+			if got := w + drift; got != s.n {
+				t.Fatalf("weight %d + in-block %d != n %d", w, drift, s.n)
+			}
+		}
+	}
+}

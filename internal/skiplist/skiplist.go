@@ -1,0 +1,199 @@
+// Package skiplist implements an ordered list with O(log n) successor
+// search, used as the tuple index of the GK quantile summaries
+// (GKTheory and GKAdaptive both "maintain a binary search tree on top of
+// L"; a skip list plays that role here with better cache behaviour and a
+// simpler removal protocol for arbitrary nodes).
+//
+// The list is keyed by an ordered key type and allows duplicate keys.
+// New nodes with a key equal to existing ones are inserted after them, so
+// insertion order is preserved among equals — exactly the "insert right
+// before the successor" rule of the GK algorithm.
+package skiplist
+
+import (
+	"cmp"
+
+	"streamquantiles/internal/xhash"
+)
+
+const maxLevel = 32
+
+// Node is an element of the list. The payload V is stored by value.
+type Node[K cmp.Ordered, V any] struct {
+	Key   K
+	Value V
+
+	next []*Node[K, V]
+	prev *Node[K, V] // base-level predecessor (head sentinel for the first node)
+}
+
+// Next returns the following node in key order, or nil at the end.
+func (n *Node[K, V]) Next() *Node[K, V] { return n.next[0] }
+
+// List is an ordered skip list. The zero value is not usable; call New.
+type List[K cmp.Ordered, V any] struct {
+	head  *Node[K, V] // sentinel; head.next[l] is the first node on level l
+	level int         // highest level currently in use
+	size  int
+	rng   *xhash.SplitMix64
+	ptrs  int64 // total forward pointers allocated, for space accounting
+}
+
+// New returns an empty list whose tower heights are drawn from the given
+// seed, so a fixed seed makes the structure fully deterministic.
+func New[K cmp.Ordered, V any](seed uint64) *List[K, V] {
+	return &List[K, V]{
+		head: &Node[K, V]{next: make([]*Node[K, V], maxLevel)},
+		rng:  xhash.NewSplitMix64(seed),
+	}
+}
+
+// Len reports the number of nodes.
+func (l *List[K, V]) Len() int { return l.size }
+
+// First returns the smallest node, or nil if the list is empty.
+func (l *List[K, V]) First() *Node[K, V] { return l.head.next[0] }
+
+// Last returns the largest node in O(log n), or nil if the list is empty.
+func (l *List[K, V]) Last() *Node[K, V] {
+	x := l.head
+	for lv := l.level - 1; lv >= 0; lv-- {
+		for x.next[lv] != nil {
+			x = x.next[lv]
+		}
+	}
+	if x == l.head {
+		return nil
+	}
+	return x
+}
+
+// randomLevel draws a tower height with P(height ≥ h) = 2^−(h−1).
+func (l *List[K, V]) randomLevel() int {
+	h := 1
+	for h < maxLevel && l.rng.Next()&1 == 1 {
+		h++
+	}
+	return h
+}
+
+// findPreds fills preds with, per level, the last node whose key is < key
+// (treating the head sentinel as smaller than everything). After the call,
+// preds[0].next[0] is the first node with key ≥ key.
+func (l *List[K, V]) findPreds(key K, preds *[maxLevel]*Node[K, V]) {
+	x := l.head
+	for lv := l.level - 1; lv >= 0; lv-- {
+		for x.next[lv] != nil && x.next[lv].Key < key {
+			x = x.next[lv]
+		}
+		preds[lv] = x
+	}
+	for lv := l.level; lv < maxLevel; lv++ {
+		preds[lv] = l.head
+	}
+}
+
+// Successor returns the smallest node whose key is strictly greater than
+// key, or nil if there is none.
+func (l *List[K, V]) Successor(key K) *Node[K, V] {
+	x := l.head
+	for lv := l.level - 1; lv >= 0; lv-- {
+		for x.next[lv] != nil && x.next[lv].Key <= key {
+			x = x.next[lv]
+		}
+	}
+	return x.next[0]
+}
+
+// Floor returns the largest node whose key is ≤ key, or nil if all keys
+// are greater.
+func (l *List[K, V]) Floor(key K) *Node[K, V] {
+	x := l.head
+	for lv := l.level - 1; lv >= 0; lv-- {
+		for x.next[lv] != nil && x.next[lv].Key <= key {
+			x = x.next[lv]
+		}
+	}
+	if x == l.head {
+		return nil
+	}
+	return x
+}
+
+// Insert adds a node with the given key and value, after any existing
+// nodes with an equal key, and returns it.
+func (l *List[K, V]) Insert(key K, value V) *Node[K, V] {
+	h := l.randomLevel()
+	n := &Node[K, V]{Key: key, Value: value, next: make([]*Node[K, V], h)}
+	if h > l.level {
+		l.level = h
+	}
+
+	// Insert after duplicates: walk with ≤ on every level.
+	x := l.head
+	var preds [maxLevel]*Node[K, V]
+	for lv := l.level - 1; lv >= 0; lv-- {
+		for x.next[lv] != nil && x.next[lv].Key <= key {
+			x = x.next[lv]
+		}
+		preds[lv] = x
+	}
+
+	for lv := 0; lv < h; lv++ {
+		n.next[lv] = preds[lv].next[lv]
+		preds[lv].next[lv] = n
+	}
+	n.prev = preds[0]
+	if n.next[0] != nil {
+		n.next[0].prev = n
+	}
+	l.size++
+	l.ptrs += int64(h) + 1 // forward tower + prev pointer
+	return n
+}
+
+// Remove unlinks the given node from the list. The node must currently be
+// a member; removing a foreign node corrupts nothing but is a no-op for
+// levels where it is not linked and panics if it cannot be located at the
+// base level.
+func (l *List[K, V]) Remove(n *Node[K, V]) {
+	var preds [maxLevel]*Node[K, V]
+	l.findPreds(n.Key, &preds)
+
+	for lv := len(n.next) - 1; lv >= 0; lv-- {
+		x := preds[lv]
+		for x.next[lv] != nil && x.next[lv] != n && x.next[lv].Key == n.Key {
+			x = x.next[lv]
+		}
+		if x.next[lv] == n {
+			x.next[lv] = n.next[lv]
+		}
+	}
+	if n.next[0] != nil {
+		n.next[0].prev = n.prev
+	}
+	if n.prev != nil && n.prev.next[0] == n {
+		// Defensive: base-level unlink must have happened above.
+		panic("skiplist: Remove could not unlink node at base level")
+	}
+	l.size--
+	l.ptrs -= int64(len(n.next)) + 1
+	for l.level > 1 && l.head.next[l.level-1] == nil {
+		l.level--
+	}
+	n.next = nil
+	n.prev = nil
+}
+
+// Prev returns the node before n, or nil if n is the first node.
+func (l *List[K, V]) Prev(n *Node[K, V]) *Node[K, V] {
+	if n.prev == l.head {
+		return nil
+	}
+	return n.prev
+}
+
+// PointerWords reports the number of 4-byte pointer words attributed to
+// the index structure (forward towers and prev pointers), used by the GK
+// summaries' space accounting.
+func (l *List[K, V]) PointerWords() int64 { return l.ptrs }

@@ -1,0 +1,276 @@
+package skiplist
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"streamquantiles/internal/xhash"
+)
+
+func collect(l *List[uint64, int]) []uint64 {
+	var out []uint64
+	for n := l.First(); n != nil; n = n.Next() {
+		out = append(out, n.Key)
+	}
+	return out
+}
+
+func TestInsertKeepsOrder(t *testing.T) {
+	l := New[uint64, int](1)
+	rng := xhash.NewSplitMix64(2)
+	for i := 0; i < 2000; i++ {
+		l.Insert(rng.Uint64n(500), i)
+	}
+	keys := collect(l)
+	if len(keys) != 2000 {
+		t.Fatalf("len = %d, want 2000", len(keys))
+	}
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatal("keys not sorted after random inserts")
+	}
+	if l.Len() != 2000 {
+		t.Fatalf("Len() = %d", l.Len())
+	}
+}
+
+func TestDuplicatesInsertAfter(t *testing.T) {
+	l := New[uint64, int](1)
+	a := l.Insert(5, 1)
+	b := l.Insert(5, 2)
+	c := l.Insert(5, 3)
+	vals := []int{}
+	for n := l.First(); n != nil; n = n.Next() {
+		vals = append(vals, n.Value)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("duplicate order = %v, want %v", vals, want)
+		}
+	}
+	_ = a
+	_ = b
+	_ = c
+}
+
+func TestSuccessor(t *testing.T) {
+	l := New[uint64, int](3)
+	for _, k := range []uint64{10, 20, 20, 30} {
+		l.Insert(k, 0)
+	}
+	cases := []struct {
+		key  uint64
+		want uint64
+		nil_ bool
+	}{
+		{5, 10, false},
+		{10, 20, false},
+		{15, 20, false},
+		{20, 30, false},
+		{29, 30, false},
+		{30, 0, true},
+		{100, 0, true},
+	}
+	for _, c := range cases {
+		got := l.Successor(c.key)
+		if c.nil_ {
+			if got != nil {
+				t.Errorf("Successor(%d) = %d, want nil", c.key, got.Key)
+			}
+			continue
+		}
+		if got == nil || got.Key != c.want {
+			t.Errorf("Successor(%d) = %v, want %d", c.key, got, c.want)
+		}
+	}
+}
+
+func TestFloor(t *testing.T) {
+	l := New[uint64, int](3)
+	for _, k := range []uint64{10, 20, 30} {
+		l.Insert(k, 0)
+	}
+	if got := l.Floor(5); got != nil {
+		t.Errorf("Floor(5) = %v, want nil", got.Key)
+	}
+	if got := l.Floor(10); got == nil || got.Key != 10 {
+		t.Errorf("Floor(10) wrong: %v", got)
+	}
+	if got := l.Floor(25); got == nil || got.Key != 20 {
+		t.Errorf("Floor(25) wrong: %v", got)
+	}
+	if got := l.Floor(99); got == nil || got.Key != 30 {
+		t.Errorf("Floor(99) wrong: %v", got)
+	}
+}
+
+func TestRemoveMiddleFirstLast(t *testing.T) {
+	l := New[uint64, int](5)
+	var nodes []*Node[uint64, int]
+	for _, k := range []uint64{1, 2, 3, 4, 5} {
+		nodes = append(nodes, l.Insert(k, int(k)))
+	}
+	l.Remove(nodes[2]) // middle
+	l.Remove(nodes[0]) // first
+	l.Remove(nodes[4]) // last
+	got := collect(l)
+	want := []uint64{2, 4}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("after removals: %v, want %v", got, want)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", l.Len())
+	}
+}
+
+func TestRemoveAmongDuplicates(t *testing.T) {
+	l := New[uint64, int](7)
+	a := l.Insert(5, 1)
+	b := l.Insert(5, 2)
+	c := l.Insert(5, 3)
+	l.Remove(b)
+	vals := []int{}
+	for n := l.First(); n != nil; n = n.Next() {
+		vals = append(vals, n.Value)
+	}
+	if len(vals) != 2 || vals[0] != 1 || vals[1] != 3 {
+		t.Fatalf("after removing middle duplicate: %v", vals)
+	}
+	l.Remove(a)
+	l.Remove(c)
+	if l.Len() != 0 || l.First() != nil {
+		t.Fatal("list not empty after removing all")
+	}
+}
+
+func TestPrev(t *testing.T) {
+	l := New[uint64, int](9)
+	a := l.Insert(1, 0)
+	b := l.Insert(2, 0)
+	if l.Prev(a) != nil {
+		t.Error("Prev(first) should be nil")
+	}
+	if l.Prev(b) != a {
+		t.Error("Prev(second) should be first")
+	}
+}
+
+func TestPrevPointersAfterRemove(t *testing.T) {
+	l := New[uint64, int](11)
+	a := l.Insert(1, 0)
+	b := l.Insert(2, 0)
+	c := l.Insert(3, 0)
+	l.Remove(b)
+	if l.Prev(c) != a {
+		t.Error("Prev skips removed node")
+	}
+	_ = a
+}
+
+func TestPointerWordsNonNegative(t *testing.T) {
+	l := New[uint64, int](13)
+	var nodes []*Node[uint64, int]
+	for i := 0; i < 100; i++ {
+		nodes = append(nodes, l.Insert(uint64(i), i))
+	}
+	if l.PointerWords() <= 0 {
+		t.Fatal("PointerWords should be positive with 100 nodes")
+	}
+	for _, n := range nodes {
+		l.Remove(n)
+	}
+	if l.PointerWords() != 0 {
+		t.Fatalf("PointerWords = %d after removing everything, want 0", l.PointerWords())
+	}
+}
+
+// TestAgainstReferenceModel drives the list and a sorted-slice model with
+// the same random operations and checks they agree.
+func TestAgainstReferenceModel(t *testing.T) {
+	l := New[uint64, int](17)
+	rng := xhash.NewSplitMix64(18)
+	type entry struct {
+		key  uint64
+		node *Node[uint64, int]
+	}
+	var model []entry
+	for op := 0; op < 5000; op++ {
+		if len(model) == 0 || rng.Float64() < 0.6 {
+			k := rng.Uint64n(200)
+			n := l.Insert(k, op)
+			// insert after equals in the model
+			pos := sort.Search(len(model), func(i int) bool { return model[i].key > k })
+			model = append(model, entry{})
+			copy(model[pos+1:], model[pos:])
+			model[pos] = entry{key: k, node: n}
+		} else {
+			i := rng.Intn(len(model))
+			l.Remove(model[i].node)
+			model = append(model[:i], model[i+1:]...)
+		}
+	}
+	keys := collect(l)
+	if len(keys) != len(model) {
+		t.Fatalf("size mismatch: list %d model %d", len(keys), len(model))
+	}
+	for i := range keys {
+		if keys[i] != model[i].key {
+			t.Fatalf("order mismatch at %d: %d vs %d", i, keys[i], model[i].key)
+		}
+	}
+	// successor agreement on a sample of probes
+	for probe := uint64(0); probe < 200; probe += 3 {
+		got := l.Successor(probe)
+		var want *entry
+		for i := range model {
+			if model[i].key > probe {
+				want = &model[i]
+				break
+			}
+		}
+		switch {
+		case got == nil && want == nil:
+		case got == nil || want == nil:
+			t.Fatalf("Successor(%d): got %v want %v", probe, got, want)
+		case got.Key != want.key:
+			t.Fatalf("Successor(%d): got %d want %d", probe, got.Key, want.key)
+		}
+	}
+}
+
+func TestQuickOrderInvariant(t *testing.T) {
+	f := func(keys []uint64) bool {
+		l := New[uint64, int](23)
+		for i, k := range keys {
+			l.Insert(k%1000, i)
+		}
+		got := collect(l)
+		return sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) &&
+			l.Len() == len(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	l := New[uint64, int](1)
+	rng := xhash.NewSplitMix64(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Insert(rng.Next(), i)
+	}
+}
+
+func BenchmarkSuccessor(b *testing.B) {
+	l := New[uint64, int](1)
+	rng := xhash.NewSplitMix64(2)
+	for i := 0; i < 100000; i++ {
+		l.Insert(rng.Next(), i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = l.Successor(rng.Next())
+	}
+}

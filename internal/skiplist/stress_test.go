@@ -1,0 +1,83 @@
+package skiplist
+
+import (
+	"testing"
+
+	"streamquantiles/internal/xhash"
+)
+
+// TestStressChurn exercises long interleavings of inserts and removals
+// with many duplicate keys — the workload GK summaries generate — and
+// validates full structural integrity afterwards.
+func TestStressChurn(t *testing.T) {
+	l := New[uint64, int](1)
+	rng := xhash.NewSplitMix64(2)
+	var nodes []*Node[uint64, int]
+	const ops = 200000
+	for op := 0; op < ops; op++ {
+		if len(nodes) == 0 || rng.Float64() < 0.55 {
+			nodes = append(nodes, l.Insert(rng.Uint64n(64), op)) // heavy duplication
+		} else {
+			i := rng.Intn(len(nodes))
+			l.Remove(nodes[i])
+			nodes[i] = nodes[len(nodes)-1]
+			nodes = nodes[:len(nodes)-1]
+		}
+	}
+	if l.Len() != len(nodes) {
+		t.Fatalf("Len %d, want %d", l.Len(), len(nodes))
+	}
+	// Full order scan and prev-pointer integrity.
+	count := 0
+	var prev *Node[uint64, int]
+	for n := l.First(); n != nil; n = n.Next() {
+		if prev != nil {
+			if n.Key < prev.Key {
+				t.Fatal("order violated")
+			}
+			if l.Prev(n) != prev {
+				t.Fatal("prev pointer violated")
+			}
+		} else if l.Prev(n) != nil {
+			t.Fatal("first node has a predecessor")
+		}
+		prev = n
+		count++
+	}
+	if count != len(nodes) {
+		t.Fatalf("scan found %d nodes, want %d", count, len(nodes))
+	}
+	// Last() agrees with the scan.
+	if l.Last() != prev {
+		t.Fatal("Last() disagrees with scan")
+	}
+}
+
+func TestLastEmptyAndSingle(t *testing.T) {
+	l := New[uint64, int](3)
+	if l.Last() != nil {
+		t.Error("Last of empty list not nil")
+	}
+	n := l.Insert(5, 0)
+	if l.Last() != n {
+		t.Error("Last of singleton wrong")
+	}
+	l.Remove(n)
+	if l.Last() != nil {
+		t.Error("Last after removal not nil")
+	}
+}
+
+func TestTowerDeterminism(t *testing.T) {
+	// Same seed ⇒ identical tower shapes ⇒ identical PointerWords.
+	mk := func() int64 {
+		l := New[uint64, int](9)
+		for i := uint64(0); i < 1000; i++ {
+			l.Insert(i*7%513, int(i))
+		}
+		return l.PointerWords()
+	}
+	if mk() != mk() {
+		t.Error("same-seed lists have different tower footprints")
+	}
+}

@@ -1,0 +1,38 @@
+package streamgen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestUniverseBitsReported(t *testing.T) {
+	cases := []struct {
+		g    Generator
+		want int
+	}{
+		{Uniform{Bits: 16}, 16},
+		{Normal{Bits: 24, Sigma: 0.1}, 24},
+		{Zipf{Bits: 20, S: 1.5}, 20},
+		{MPCATLike{}, 24},
+		{TerrainLike{}, 20},
+		{Sorted{Inner: Uniform{Bits: 12}}, 12},
+		{Reversed{Inner: Uniform{Bits: 12}}, 12},
+	}
+	for _, c := range cases {
+		if got := c.g.UniverseBits(); got != c.want {
+			t.Errorf("%s: UniverseBits = %d, want %d", c.g.Name(), got, c.want)
+		}
+	}
+}
+
+func TestWrapperNames(t *testing.T) {
+	if !strings.HasSuffix(Sorted{Inner: Uniform{Bits: 8}}.Name(), "+sorted") {
+		t.Error("Sorted name lacks suffix")
+	}
+	if !strings.HasSuffix(Reversed{Inner: Uniform{Bits: 8}}.Name(), "+reversed") {
+		t.Error("Reversed name lacks suffix")
+	}
+	if (TerrainLike{}).Name() == "" || (MPCATLike{}).Name() == "" {
+		t.Error("empty generator names")
+	}
+}

@@ -1,0 +1,268 @@
+package streamgen
+
+import (
+	"math"
+	"slices"
+	"testing"
+)
+
+func TestUniformRangeAndDeterminism(t *testing.T) {
+	g := Uniform{Bits: 16, Seed: 1}
+	a := Generate(g, 10000)
+	b := Generate(g, 10000)
+	for i := range a {
+		if a[i] >= 1<<16 {
+			t.Fatalf("value %d outside universe 2^16", a[i])
+		}
+		if a[i] != b[i] {
+			t.Fatal("generator not deterministic")
+		}
+	}
+}
+
+func TestUniformMean(t *testing.T) {
+	g := Uniform{Bits: 20, Seed: 2}
+	data := Generate(g, 100000)
+	sum := 0.0
+	for _, v := range data {
+		sum += float64(v)
+	}
+	mean := sum / float64(len(data))
+	want := float64(uint64(1)<<20) / 2
+	if math.Abs(mean-want)/want > 0.02 {
+		t.Errorf("uniform mean %v, want ≈ %v", mean, want)
+	}
+}
+
+func TestNormalConcentration(t *testing.T) {
+	g := Normal{Bits: 24, Sigma: 0.05, Seed: 3}
+	data := Generate(g, 100000)
+	scale := float64(uint64(1)<<24 - 1)
+	within := 0
+	for _, v := range data {
+		x := float64(v) / scale
+		if math.Abs(x-0.5) < 3*0.05 {
+			within++
+		}
+	}
+	// 3σ should capture ≈ 99.7%.
+	if frac := float64(within) / float64(len(data)); frac < 0.99 {
+		t.Errorf("only %v within 3σ of mean", frac)
+	}
+}
+
+func TestNormalSkewControls(t *testing.T) {
+	wide := Generate(Normal{Bits: 24, Sigma: 0.25, Seed: 4}, 50000)
+	narrow := Generate(Normal{Bits: 24, Sigma: 0.05, Seed: 4}, 50000)
+	if stddev(wide) <= stddev(narrow) {
+		t.Error("σ=0.25 data not wider than σ=0.05 data")
+	}
+}
+
+func stddev(data []uint64) float64 {
+	mean := 0.0
+	for _, v := range data {
+		mean += float64(v)
+	}
+	mean /= float64(len(data))
+	ss := 0.0
+	for _, v := range data {
+		d := float64(v) - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(data)))
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := Zipf{Bits: 20, S: 1.5, Seed: 5}
+	data := Generate(g, 100000)
+	zeros := 0
+	for _, v := range data {
+		if v >= 1<<20 {
+			t.Fatalf("zipf value %d outside universe", v)
+		}
+		if v == 0 {
+			zeros++
+		}
+	}
+	// With s=1.5 the most frequent value dominates.
+	if zeros < len(data)/10 {
+		t.Errorf("zipf head too light: %d zeros of %d", zeros, len(data))
+	}
+}
+
+func TestZipfPanicsOnBadS(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Zipf with s<=1 did not panic")
+		}
+	}()
+	Generate(Zipf{Bits: 10, S: 1.0, Seed: 1}, 10)
+}
+
+func TestSortedWrapper(t *testing.T) {
+	g := Sorted{Inner: Uniform{Bits: 24, Seed: 6}}
+	data := Generate(g, 5000)
+	if !slices.IsSorted(data) {
+		t.Fatal("Sorted generator output not sorted")
+	}
+	// Same multiset as inner.
+	inner := Generate(Uniform{Bits: 24, Seed: 6}, 5000)
+	slices.Sort(inner)
+	if !slices.Equal(data, inner) {
+		t.Fatal("Sorted changed the multiset")
+	}
+}
+
+func TestReversedWrapper(t *testing.T) {
+	g := Reversed{Inner: Uniform{Bits: 24, Seed: 7}}
+	data := Generate(g, 5000)
+	for i := 1; i < len(data); i++ {
+		if data[i] > data[i-1] {
+			t.Fatal("Reversed output not descending")
+		}
+	}
+}
+
+func TestMPCATLikeUniverse(t *testing.T) {
+	g := MPCATLike{Seed: 8}
+	data := Generate(g, 50000)
+	for _, v := range data {
+		if v >= MPCATUniverse {
+			t.Fatalf("value %d outside MPCAT universe", v)
+		}
+	}
+}
+
+func TestMPCATLikeLocallySorted(t *testing.T) {
+	// The stream should contain many ascending runs much longer than a
+	// random permutation would produce (mean run length ≈ 2 for random).
+	g := MPCATLike{Seed: 9, MeanSessionLen: 64}
+	data := Generate(g, 100000)
+	runs := 1
+	for i := 1; i < len(data); i++ {
+		if data[i] < data[i-1] {
+			runs++
+		}
+	}
+	meanRun := float64(len(data)) / float64(runs)
+	if meanRun < 10 {
+		t.Errorf("mean ascending run %v too short for session-ordered data", meanRun)
+	}
+}
+
+func TestMPCATLikeGloballyMixed(t *testing.T) {
+	// Despite local sortedness the whole stream must not be sorted.
+	g := MPCATLike{Seed: 10}
+	data := Generate(g, 100000)
+	if slices.IsSorted(data) {
+		t.Fatal("MPCAT-like stream is globally sorted; sessions not mixing")
+	}
+}
+
+func TestMPCATLikeMultimodal(t *testing.T) {
+	// Histogram over 10 buckets should be far from uniform.
+	g := MPCATLike{Seed: 11}
+	data := Generate(g, 200000)
+	var buckets [10]int
+	for _, v := range data {
+		buckets[v*10/MPCATUniverse]++
+	}
+	min, max := buckets[0], buckets[0]
+	for _, c := range buckets[1:] {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max) < 2*float64(min)+1 {
+		t.Errorf("distribution looks uniform: buckets %v", buckets)
+	}
+}
+
+func TestTerrainLikeSmooth(t *testing.T) {
+	g := TerrainLike{Seed: 12}
+	data := Generate(g, 100000)
+	maxStep := uint64(0)
+	for i := 1; i < len(data); i++ {
+		d := data[i] - data[i-1]
+		if data[i] < data[i-1] {
+			d = data[i-1] - data[i]
+		}
+		if d > maxStep {
+			maxStep = d
+		}
+	}
+	// Steps are ~1% of a 2^20 universe, far below full range.
+	if maxStep > 1<<17 {
+		t.Errorf("terrain step %d too large for a smooth walk", maxStep)
+	}
+	for _, v := range data {
+		if v >= 1<<20 {
+			t.Fatalf("terrain value %d outside 2^20 universe", v)
+		}
+	}
+}
+
+func TestFillExactLength(t *testing.T) {
+	for _, g := range []Generator{
+		Uniform{Bits: 16, Seed: 1},
+		Normal{Bits: 16, Sigma: 0.1, Seed: 1},
+		Zipf{Bits: 16, S: 1.3, Seed: 1},
+		MPCATLike{Seed: 1},
+		TerrainLike{Seed: 1},
+		Sorted{Inner: Uniform{Bits: 16, Seed: 1}},
+	} {
+		for _, n := range []int{0, 1, 7, 1000} {
+			dst := make([]uint64, n)
+			g.Fill(dst)
+		}
+	}
+}
+
+func TestNamesDistinct(t *testing.T) {
+	gens := []Generator{
+		Uniform{Bits: 16}, Uniform{Bits: 32},
+		Normal{Bits: 24, Sigma: 0.15}, Normal{Bits: 24, Sigma: 0.05},
+		MPCATLike{}, TerrainLike{},
+		Sorted{Inner: Uniform{Bits: 16}},
+	}
+	seen := map[string]bool{}
+	for _, g := range gens {
+		if seen[g.Name()] {
+			t.Errorf("duplicate generator name %q", g.Name())
+		}
+		seen[g.Name()] = true
+	}
+}
+
+func TestCheckBitsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Bits=0 did not panic")
+		}
+	}()
+	Generate(Uniform{Bits: 0, Seed: 1}, 1)
+}
+
+func BenchmarkUniformFill(b *testing.B) {
+	g := Uniform{Bits: 32, Seed: 1}
+	dst := make([]uint64, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Fill(dst)
+	}
+	b.SetBytes(int64(len(dst) * 8))
+}
+
+func BenchmarkMPCATFill(b *testing.B) {
+	g := MPCATLike{Seed: 1}
+	dst := make([]uint64, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Fill(dst)
+	}
+	b.SetBytes(int64(len(dst) * 8))
+}

@@ -1,0 +1,179 @@
+package window
+
+import (
+	"testing"
+
+	"streamquantiles/internal/exact"
+	"streamquantiles/internal/streamgen"
+)
+
+func TestWindowTracksRecentData(t *testing.T) {
+	// Phase 1 streams small values, phase 2 large ones; after phase 2 has
+	// filled the window, the median must be a large value — old data
+	// forgotten.
+	const W = 20000
+	w := New(0.02, W, 1)
+	for i := 0; i < 3*W; i++ {
+		w.Update(uint64(1000 + i%500))
+	}
+	for i := 0; i < W+W/10; i++ {
+		w.Update(uint64(1_000_000 + i%500))
+	}
+	med := w.Quantile(0.5)
+	if med < 1_000_000 {
+		t.Errorf("median %d still reflects expired data", med)
+	}
+}
+
+func TestWindowAccuracyAgainstExactWindow(t *testing.T) {
+	const W = 30000
+	const eps = 0.02
+	const n = 100000
+	data := streamgen.Generate(streamgen.MPCATLike{Seed: 2}, n)
+	w := New(eps, W, 3)
+	for _, x := range data {
+		w.Update(x)
+	}
+	// Exact content of the worst-case covered window: between the last W
+	// and W + blockSize elements. Evaluate against the covered span.
+	covered := w.Count()
+	oracle := exact.New(data[int64(n)-covered:])
+	maxErr, _ := oracle.EvaluateSummary(windowAdapter{w}, eps)
+	if maxErr > eps {
+		t.Errorf("window max error %v exceeds ε=%v", maxErr, eps)
+	}
+}
+
+// windowAdapter exposes Windowed as a core.Summary for the oracle.
+type windowAdapter struct{ w *Windowed }
+
+func (a windowAdapter) Count() int64                { return a.w.Count() }
+func (a windowAdapter) Rank(x uint64) int64         { return a.w.Rank(x) }
+func (a windowAdapter) Quantile(phi float64) uint64 { return a.w.Quantile(phi) }
+func (a windowAdapter) SpaceBytes() int64           { return a.w.SpaceBytes() }
+
+func TestWindowCountBounds(t *testing.T) {
+	const W = 10000
+	w := New(0.05, W, 4)
+	for i := 0; i < 50000; i++ {
+		w.Update(uint64(i))
+		c := w.Count()
+		limit := int64(W) + w.BlockSize()
+		if c > limit {
+			t.Fatalf("count %d exceeds W + blockSize = %d", c, limit)
+		}
+		if i >= W && c < int64(W)-w.BlockSize() {
+			t.Fatalf("count %d fell below W − blockSize after warm-up", c)
+		}
+	}
+}
+
+func TestWindowBlockCountBounded(t *testing.T) {
+	const W = 20000
+	const eps = 0.05
+	w := New(eps, W, 5)
+	for i := 0; i < 10*W; i++ {
+		w.Update(uint64(i))
+	}
+	// ≈ 2/ε blocks cover the window, plus the in-progress one.
+	limit := int(2/eps) + 2
+	if bc := w.BlockCount(); bc > limit {
+		t.Errorf("%d live blocks, want ≤ %d", bc, limit)
+	}
+}
+
+func TestWindowSmallStreams(t *testing.T) {
+	w := New(0.1, 1000, 6)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Quantile on empty window did not panic")
+			}
+		}()
+		w.Quantile(0.5)
+	}()
+	w.Update(42)
+	if q := w.Quantile(0.5); q != 42 {
+		t.Errorf("single-element window quantile = %d", q)
+	}
+	if w.Count() != 1 {
+		t.Errorf("count = %d", w.Count())
+	}
+}
+
+func TestWindowQuantilesBatch(t *testing.T) {
+	w := New(0.05, 5000, 7)
+	for i := 0; i < 20000; i++ {
+		w.Update(uint64(i % 1000))
+	}
+	qs := w.Quantiles([]float64{0.25, 0.5, 0.75})
+	if len(qs) != 3 || qs[0] > qs[1] || qs[1] > qs[2] {
+		t.Errorf("batch quantiles %v not monotone", qs)
+	}
+}
+
+func TestWindowQueriesDoNotMutate(t *testing.T) {
+	// Queries merge clones; the live blocks must remain untouched.
+	w := New(0.05, 10000, 8)
+	for i := 0; i < 30000; i++ {
+		w.Update(uint64(i))
+	}
+	before := w.Quantile(0.5)
+	for i := 0; i < 50; i++ {
+		_ = w.Quantile(0.5)
+		_ = w.Rank(15000)
+	}
+	if after := w.Quantile(0.5); after != before {
+		t.Errorf("repeated queries changed the answer: %d → %d", before, after)
+	}
+}
+
+func TestWindowBadParamsPanic(t *testing.T) {
+	for _, c := range []struct {
+		eps float64
+		w   int64
+	}{{0, 100}, {1, 100}, {0.1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v, %d) did not panic", c.eps, c.w)
+				}
+			}()
+			New(c.eps, c.w, 1)
+		}()
+	}
+}
+
+func TestWindowSpaceBounded(t *testing.T) {
+	// Footprint must not grow with stream length, only with W and ε.
+	w := New(0.02, 20000, 9)
+	var after1, after10 int64
+	for i := 0; i < 200000; i++ {
+		w.Update(uint64(i))
+		if i == 20000 {
+			after1 = w.SpaceBytes()
+		}
+	}
+	after10 = w.SpaceBytes()
+	if after10 > after1*2 {
+		t.Errorf("space grew with stream length: %d → %d", after1, after10)
+	}
+}
+
+func BenchmarkWindowUpdate(b *testing.B) {
+	w := New(0.01, 100000, 1)
+	for i := 0; i < b.N; i++ {
+		w.Update(uint64(i & 0xffff))
+	}
+}
+
+func BenchmarkWindowQuantile(b *testing.B) {
+	w := New(0.01, 100000, 1)
+	for i := 0; i < 200000; i++ {
+		w.Update(uint64(i & 0xffff))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = w.Quantile(0.5)
+	}
+}

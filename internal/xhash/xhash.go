@@ -1,0 +1,208 @@
+// Package xhash provides the randomness substrate shared by the sketching
+// algorithms: a fast deterministic seeded generator (SplitMix64) and
+// k-wise independent hash families built from polynomial hashing over the
+// Mersenne prime field GF(2^61 − 1).
+//
+// The Count-Min sketch requires pairwise (2-wise) independent bucket
+// hashes; the Count-Sketch additionally requires 4-wise independent sign
+// hashes (Charikar, Chen, Farach-Colton 2002). Polynomials of degree k−1
+// with uniformly random coefficients over a prime field are the textbook
+// construction for k-wise independence.
+package xhash
+
+import "math/bits"
+
+// MersennePrime61 is 2^61 − 1, the field modulus used by the polynomial
+// hash families in this package.
+const MersennePrime61 = (1 << 61) - 1
+
+// SplitMix64 is a tiny, fast, well-distributed 64-bit generator.
+// It is the only source of randomness in the library, so a fixed seed
+// reproduces every experiment bit-for-bit.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a generator with the given seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// State returns the generator's current internal state, for
+// serialization.
+func (s *SplitMix64) State() uint64 { return s.state }
+
+// Restore sets the internal state, inverting State.
+func (s *SplitMix64) Restore(state uint64) { s.state = state }
+
+// Next returns the next 64-bit value.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *SplitMix64) Float64() float64 {
+	return float64(s.Next()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (s *SplitMix64) Intn(n int) int {
+	if n <= 0 {
+		panic("xhash: Intn with non-positive bound")
+	}
+	return int(s.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform value in [0, n) using Lemire's multiply-shift
+// rejection method. It panics if n == 0.
+func (s *SplitMix64) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xhash: Uint64n with zero bound")
+	}
+	// Fast path: multiply-shift with rejection to remove modulo bias.
+	for {
+		v := s.Next()
+		hi, lo := bits.Mul64(v, n)
+		if lo >= n || lo >= (-n)%n {
+			return hi
+		}
+	}
+}
+
+// Bool returns a fair coin flip.
+func (s *SplitMix64) Bool() bool {
+	return s.Next()&1 == 1
+}
+
+// Perm fills out with a uniform random permutation of [0, len(out)).
+func (s *SplitMix64) Perm(out []int) {
+	for i := range out {
+		out[i] = i
+	}
+	for i := len(out) - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+}
+
+// mod61 reduces a 64-bit value modulo 2^61 − 1.
+func mod61(x uint64) uint64 {
+	x = (x & MersennePrime61) + (x >> 61)
+	if x >= MersennePrime61 {
+		x -= MersennePrime61
+	}
+	return x
+}
+
+// MulMod61 computes a*b mod 2^61 − 1 for a, b < 2^61.
+//
+// The 128-bit product hi·2^64 + lo is reduced using 2^61 ≡ 1 (mod p):
+// the product equals (hi<<3 | lo>>61)·2^61 + (lo & p), so it is congruent
+// to (hi<<3 | lo>>61) + (lo & p).
+func MulMod61(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	fold := hi<<3 | lo>>61
+	return mod61(fold + (lo & MersennePrime61))
+}
+
+// AddMod61 computes a+b mod 2^61 − 1 for a, b < 2^61.
+func AddMod61(a, b uint64) uint64 {
+	return mod61(a + b)
+}
+
+// Poly is a polynomial hash over GF(2^61 − 1). A polynomial with k
+// uniformly random coefficients gives a k-wise independent family on the
+// domain [0, 2^61 − 1).
+type Poly struct {
+	coef []uint64 // coef[0] + coef[1]·x + coef[2]·x² + …
+}
+
+// NewPoly draws a degree-(k−1) polynomial with k coefficients from rng.
+// The leading coefficient is forced non-zero so the polynomial has full
+// degree. k must be at least 1.
+func NewPoly(rng *SplitMix64, k int) *Poly {
+	if k < 1 {
+		panic("xhash: polynomial needs at least one coefficient")
+	}
+	coef := make([]uint64, k)
+	for i := range coef {
+		coef[i] = rng.Uint64n(MersennePrime61)
+	}
+	for coef[k-1] == 0 {
+		coef[k-1] = rng.Uint64n(MersennePrime61)
+	}
+	return &Poly{coef: coef}
+}
+
+// Eval evaluates the polynomial at x (reduced into the field first) using
+// Horner's rule. The result lies in [0, 2^61 − 1).
+func (p *Poly) Eval(x uint64) uint64 {
+	x = mod61(x)
+	acc := p.coef[len(p.coef)-1]
+	for i := len(p.coef) - 2; i >= 0; i-- {
+		acc = AddMod61(MulMod61(acc, x), p.coef[i])
+	}
+	return acc
+}
+
+// Degree returns the number of coefficients (the independence order k).
+func (p *Poly) Degree() int { return len(p.coef) }
+
+// SpaceWords reports the number of 4-byte accounting words attributed to
+// the polynomial's stored coefficients (each 64-bit coefficient counts as
+// two words).
+func (p *Poly) SpaceWords() int64 { return int64(2 * len(p.coef)) }
+
+// Bucket is a k-wise independent hash into w buckets.
+type Bucket struct {
+	poly *Poly
+	w    uint64
+}
+
+// NewBucket builds a k-wise independent bucket hash onto [0, w).
+func NewBucket(rng *SplitMix64, k int, w int) *Bucket {
+	if w <= 0 {
+		panic("xhash: bucket hash needs a positive width")
+	}
+	return &Bucket{poly: NewPoly(rng, k), w: uint64(w)}
+}
+
+// Hash maps x to a bucket in [0, w).
+func (b *Bucket) Hash(x uint64) int {
+	return int(b.poly.Eval(x) % b.w)
+}
+
+// Width returns w.
+func (b *Bucket) Width() int { return int(b.w) }
+
+// SpaceWords accounts for the coefficients plus the stored width.
+func (b *Bucket) SpaceWords() int64 { return b.poly.SpaceWords() + 1 }
+
+// Sign is a 4-wise independent hash onto {−1, +1}, as required by the
+// Count-Sketch analysis.
+type Sign struct {
+	poly *Poly
+}
+
+// NewSign builds a 4-wise independent sign hash.
+func NewSign(rng *SplitMix64) *Sign {
+	return &Sign{poly: NewPoly(rng, 4)}
+}
+
+// Hash maps x to −1 or +1 with equal probability.
+func (s *Sign) Hash(x uint64) int64 {
+	// The low bit of a field element produced by a 4-wise independent
+	// polynomial is itself 4-wise independent and (up to O(2^-61) bias)
+	// uniform on {0, 1}.
+	if s.poly.Eval(x)&1 == 1 {
+		return 1
+	}
+	return -1
+}
+
+// SpaceWords accounts for the stored coefficients.
+func (s *Sign) SpaceWords() int64 { return s.poly.SpaceWords() }

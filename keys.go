@@ -1,0 +1,74 @@
+package streamquantiles
+
+import "math"
+
+// The summaries operate on uint64 keys ordered as unsigned integers.
+// The functions below are order-preserving bijections between common
+// element types and that key space, implementing the paper's observation
+// (§1.1, footnote 1) that IEEE 754 floating-point values map to a fixed
+// integer universe in an order-preserving fashion. They let the
+// fixed-universe and comparison-based algorithms alike summarize floats
+// and signed integers without any change.
+
+// Float64Key maps a float64 to a uint64 such that
+// a < b ⇔ Float64Key(a) < Float64Key(b) for all non-NaN a, b
+// (−Inf and +Inf included; −0 and +0 map to adjacent keys with −0 first).
+// NaN maps above +Inf.
+func Float64Key(f float64) uint64 {
+	b := math.Float64bits(f)
+	if b&(1<<63) != 0 {
+		return ^b // negative: flip all bits to reverse order
+	}
+	return b | 1<<63 // positive: set the sign bit to move above negatives
+}
+
+// KeyFloat64 inverts Float64Key.
+func KeyFloat64(k uint64) float64 {
+	if k&(1<<63) != 0 {
+		return math.Float64frombits(k &^ (1 << 63))
+	}
+	return math.Float64frombits(^k)
+}
+
+// Int64Key maps an int64 to a uint64 preserving order.
+func Int64Key(i int64) uint64 {
+	return uint64(i) ^ (1 << 63)
+}
+
+// KeyInt64 inverts Int64Key.
+func KeyInt64(k uint64) int64 {
+	return int64(k ^ (1 << 63))
+}
+
+// FloatCashRegister adapts any CashRegister to float64 elements through
+// the order-preserving key mapping. Quantile answers are exact images of
+// the underlying summary's answers, so all accuracy guarantees carry over.
+type FloatCashRegister struct {
+	// S is the underlying summary, e.g. NewGKArray(eps).
+	S CashRegister
+}
+
+// Update observes one float64 element (NaN is rejected with a panic:
+// NaN has no rank).
+func (f FloatCashRegister) Update(v float64) {
+	if math.IsNaN(v) {
+		panic("streamquantiles: cannot rank NaN")
+	}
+	f.S.Update(Float64Key(v))
+}
+
+// Quantile returns an estimated φ-quantile as a float64.
+func (f FloatCashRegister) Quantile(phi float64) float64 {
+	return KeyFloat64(f.S.Quantile(phi))
+}
+
+// Rank returns the estimated number of elements smaller than v.
+func (f FloatCashRegister) Rank(v float64) int64 {
+	return f.S.Rank(Float64Key(v))
+}
+
+// Count reports the number of observed elements.
+func (f FloatCashRegister) Count() int64 { return f.S.Count() }
+
+// SpaceBytes reports the underlying summary's size.
+func (f FloatCashRegister) SpaceBytes() int64 { return f.S.SpaceBytes() }

@@ -1,0 +1,212 @@
+package streamquantiles
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"streamquantiles/internal/exact"
+	"streamquantiles/internal/streamgen"
+)
+
+// TestEveryAlgorithmEndToEnd is the package's integration test: every
+// constructor, one workload, the ε guarantee.
+func TestEveryAlgorithmEndToEnd(t *testing.T) {
+	const n = 30000
+	const eps = 0.02
+	const bits = 20
+	data := streamgen.Generate(streamgen.Uniform{Bits: bits, Seed: 1}, n)
+	oracle := exact.New(data)
+
+	cash := map[string]CashRegister{
+		"GKAdaptive":  NewGKAdaptive(eps),
+		"GKTheory":    NewGKTheory(eps),
+		"GKArray":     NewGKArray(eps),
+		"FastQDigest": NewQDigest(eps, bits),
+		"MRL99":       NewMRL99(eps, 7),
+		"Random":      NewRandom(eps, 7),
+	}
+	for name, s := range cash {
+		for _, x := range data {
+			s.Update(x)
+		}
+		maxErr, _ := oracle.EvaluateSummary(s, eps)
+		if maxErr > eps {
+			t.Errorf("%s: max error %v exceeds ε", name, maxErr)
+		}
+		if s.Count() != n {
+			t.Errorf("%s: count %d", name, s.Count())
+		}
+		if s.SpaceBytes() <= 0 {
+			t.Errorf("%s: non-positive space", name)
+		}
+	}
+
+	turn := map[string]Turnstile{
+		"DCM": NewDCM(eps, bits, DyadicConfig{Seed: 2}),
+		"DCS": NewDCS(eps, bits, DyadicConfig{Seed: 2}),
+	}
+	for name, s := range turn {
+		for _, x := range data {
+			s.Insert(x)
+		}
+		maxErr, _ := oracle.EvaluateSummary(s, eps)
+		if maxErr > eps {
+			t.Errorf("%s: max error %v exceeds ε", name, maxErr)
+		}
+	}
+
+	// Post on DCS.
+	dcs := NewDCS(eps, bits, DyadicConfig{Seed: 3})
+	for _, x := range data {
+		dcs.Insert(x)
+	}
+	post := PostProcess(dcs, 0)
+	maxErr, _ := oracle.EvaluateSummary(post, eps)
+	if maxErr > eps {
+		t.Errorf("Post: max error %v exceeds ε", maxErr)
+	}
+}
+
+func TestTurnstileDeleteFlow(t *testing.T) {
+	const eps = 0.02
+	s := NewDCS(eps, 16, DyadicConfig{Seed: 4})
+	for i := uint64(0); i < 10000; i++ {
+		s.Insert(i % 4096)
+	}
+	for i := uint64(0); i < 5000; i++ {
+		s.Delete(i % 4096)
+	}
+	if s.Count() != 5000 {
+		t.Fatalf("count %d after deletes", s.Count())
+	}
+	_ = s.Quantile(0.5) // must not panic
+}
+
+func TestFloat64KeyOrderPreserving(t *testing.T) {
+	vals := []float64{math.Inf(-1), -1e300, -3.5, -1, -1e-300, math.Copysign(0, -1),
+		0, 1e-300, 1, 3.5, 1e300, math.Inf(1)}
+	for i := 1; i < len(vals); i++ {
+		a, b := Float64Key(vals[i-1]), Float64Key(vals[i])
+		if a >= b && vals[i-1] != vals[i] {
+			// −0 and +0 compare equal as floats; keys may differ.
+			if vals[i-1] == 0 && vals[i] == 0 {
+				continue
+			}
+			t.Errorf("key order broken: %v → %d, %v → %d", vals[i-1], a, vals[i], b)
+		}
+	}
+}
+
+func TestFloat64KeyRoundTrip(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) {
+			return true
+		}
+		back := KeyFloat64(Float64Key(v))
+		return back == v || (v == 0 && back == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloat64KeyOrderProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		ka, kb := Float64Key(a), Float64Key(b)
+		switch {
+		case a < b:
+			return ka < kb
+		case a > b:
+			return ka > kb
+		default:
+			return true
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInt64KeyOrderAndRoundTrip(t *testing.T) {
+	vals := []int64{math.MinInt64, -1e15, -1, 0, 1, 1e15, math.MaxInt64}
+	for i := 1; i < len(vals); i++ {
+		if Int64Key(vals[i-1]) >= Int64Key(vals[i]) {
+			t.Errorf("int key order broken at %d", vals[i])
+		}
+	}
+	for _, v := range vals {
+		if KeyInt64(Int64Key(v)) != v {
+			t.Errorf("int key round trip broken for %d", v)
+		}
+	}
+}
+
+func TestFloatCashRegister(t *testing.T) {
+	fs := FloatCashRegister{S: NewGKArray(0.01)}
+	data := make([]float64, 10000)
+	rng := uint64(12345)
+	for i := range data {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		data[i] = float64(int64(rng)) / 1e12 // mixed signs
+		fs.Update(data[i])
+	}
+	sort.Float64s(data)
+	for _, phi := range []float64{0.1, 0.5, 0.9} {
+		got := fs.Quantile(phi)
+		want := data[int(phi*float64(len(data)))]
+		// ε = 0.01 → rank error ≤ 100 positions.
+		lo := data[int(phi*float64(len(data)))-150]
+		hi := data[int(phi*float64(len(data)))+150]
+		if got < lo || got > hi {
+			t.Errorf("float quantile(%v) = %v outside [%v, %v] around %v", phi, got, lo, hi, want)
+		}
+	}
+	if fs.Count() != 10000 || fs.SpaceBytes() <= 0 {
+		t.Error("float adapter bookkeeping broken")
+	}
+}
+
+func TestFloatNaNPanics(t *testing.T) {
+	fs := FloatCashRegister{S: NewGKArray(0.1)}
+	defer func() {
+		if recover() == nil {
+			t.Error("Update(NaN) did not panic")
+		}
+	}()
+	fs.Update(math.NaN())
+}
+
+func TestEvenPhisExported(t *testing.T) {
+	if got := len(EvenPhis(0.1)); got != 9 {
+		t.Errorf("EvenPhis(0.1) has %d entries", got)
+	}
+}
+
+func TestQuantilesExported(t *testing.T) {
+	s := NewGKArray(0.05)
+	for i := uint64(0); i < 1000; i++ {
+		s.Update(i)
+	}
+	qs := Quantiles(s, []float64{0.25, 0.5, 0.75})
+	if len(qs) != 3 || qs[0] > qs[1] || qs[1] > qs[2] {
+		t.Errorf("Quantiles returned %v", qs)
+	}
+}
+
+func TestQDigestMergeThroughPublicAPI(t *testing.T) {
+	a := NewQDigest(0.02, 16)
+	b := NewQDigest(0.02, 16)
+	for i := uint64(0); i < 5000; i++ {
+		a.Update(i % 100)
+		b.Update(50000 % 65536)
+	}
+	a.Merge(b)
+	if a.Count() != 10000 {
+		t.Errorf("merged count %d", a.Count())
+	}
+}

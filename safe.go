@@ -1,0 +1,119 @@
+package streamquantiles
+
+import "sync"
+
+// The summaries in this library are single-writer structures, as in the
+// paper's streaming model. SafeCashRegister and SafeTurnstile wrap them
+// for concurrent use: updates take an exclusive lock, queries a shared
+// one. For query-heavy workloads note that several summaries
+// (GKArray and the dyadic sketches' Post snapshots) amortize work into
+// queries, so simple mutual exclusion is the honest general contract.
+
+// SafeCashRegister is a goroutine-safe wrapper around a CashRegister.
+type SafeCashRegister struct {
+	mu sync.Mutex
+	s  CashRegister
+}
+
+// NewSafeCashRegister wraps s. The wrapped summary must not be used
+// directly afterwards.
+func NewSafeCashRegister(s CashRegister) *SafeCashRegister {
+	return &SafeCashRegister{s: s}
+}
+
+// Update observes one element.
+func (c *SafeCashRegister) Update(x uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.Update(x)
+}
+
+// Quantile returns an estimated φ-quantile.
+func (c *SafeCashRegister) Quantile(phi float64) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.Quantile(phi)
+}
+
+// Quantiles extracts one quantile per fraction under a single lock
+// acquisition.
+func (c *SafeCashRegister) Quantiles(phis []float64) []uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Quantiles(c.s, phis)
+}
+
+// Rank returns the estimated rank of x.
+func (c *SafeCashRegister) Rank(x uint64) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.Rank(x)
+}
+
+// Count reports n.
+func (c *SafeCashRegister) Count() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.Count()
+}
+
+// SpaceBytes reports the summary size (wrapper overhead excluded).
+func (c *SafeCashRegister) SpaceBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.SpaceBytes()
+}
+
+// SafeTurnstile is a goroutine-safe wrapper around a Turnstile summary.
+type SafeTurnstile struct {
+	mu sync.Mutex
+	s  Turnstile
+}
+
+// NewSafeTurnstile wraps s. The wrapped summary must not be used
+// directly afterwards.
+func NewSafeTurnstile(s Turnstile) *SafeTurnstile {
+	return &SafeTurnstile{s: s}
+}
+
+// Insert adds one occurrence of x.
+func (c *SafeTurnstile) Insert(x uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.Insert(x)
+}
+
+// Delete removes one occurrence of x.
+func (c *SafeTurnstile) Delete(x uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.Delete(x)
+}
+
+// Quantile returns an estimated φ-quantile.
+func (c *SafeTurnstile) Quantile(phi float64) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.Quantile(phi)
+}
+
+// Rank returns the estimated rank of x.
+func (c *SafeTurnstile) Rank(x uint64) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.Rank(x)
+}
+
+// Count reports the current number of elements.
+func (c *SafeTurnstile) Count() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.Count()
+}
+
+// SpaceBytes reports the summary size.
+func (c *SafeTurnstile) SpaceBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.SpaceBytes()
+}

@@ -1,0 +1,72 @@
+package streamquantiles
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSafeCashRegisterConcurrent(t *testing.T) {
+	s := NewSafeCashRegister(NewGKArray(0.01))
+	var wg sync.WaitGroup
+	const workers = 8
+	const per = 5000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Update(uint64(w*per + i))
+				if i%100 == 0 && s.Count() > 0 {
+					_ = s.Quantile(0.5)
+					_ = s.Rank(uint64(i))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Count() != workers*per {
+		t.Fatalf("count %d, want %d", s.Count(), workers*per)
+	}
+	med := s.Quantile(0.5)
+	want := uint64(workers * per / 2)
+	slack := uint64(float64(workers*per) * 0.01)
+	if med < want-slack || med > want+slack {
+		t.Errorf("median %d outside %d±%d", med, want, slack)
+	}
+	qs := s.Quantiles([]float64{0.25, 0.75})
+	if len(qs) != 2 || qs[0] > qs[1] {
+		t.Errorf("Quantiles returned %v", qs)
+	}
+	if s.SpaceBytes() <= 0 {
+		t.Error("space not positive")
+	}
+}
+
+func TestSafeTurnstileConcurrent(t *testing.T) {
+	s := NewSafeTurnstile(NewDCS(0.02, 16, DyadicConfig{Seed: 1}))
+	var wg sync.WaitGroup
+	const workers = 4
+	const per = 2000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				x := uint64((w*per + i) % 65536)
+				s.Insert(x)
+				if i%2 == 0 {
+					s.Delete(x)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Count() != workers*per/2 {
+		t.Fatalf("count %d, want %d", s.Count(), workers*per/2)
+	}
+	_ = s.Quantile(0.5)
+	_ = s.Rank(1000)
+	if s.SpaceBytes() <= 0 {
+		t.Error("space not positive")
+	}
+}
