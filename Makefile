@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments report html clean
+.PHONY: all build test race lint check bench experiments report html clean
 
-all: build test
+all: build test lint
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,15 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Repo-specific static analysis (rules SQ001-SQ005); see cmd/quantlint.
+lint:
+	$(GO) run ./cmd/quantlint ./...
+
+# Deep invariant checking: the sqcheck build tag arms the runtime
+# sanitizer inside the test suite's samplers.
+check:
+	$(GO) test -tags sqcheck ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

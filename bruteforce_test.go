@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"streamquantiles/internal/exact"
+	"streamquantiles/internal/invariant"
 	"streamquantiles/internal/xhash"
 )
 
@@ -37,14 +38,21 @@ func TestBruteForceSmallStreams(t *testing.T) {
 		}
 		oracle := exact.New(data)
 		summaries := mk()
+		ck := invariant.Every(4) // deep sanitizer, active under -tags sqcheck
 		for _, x := range data {
-			for _, s := range summaries {
+			for name, s := range summaries {
 				s.Update(x)
+				if err := ck.Check(s.(Checkable)); err != nil {
+					t.Fatalf("trial %d %s: %v", trial, name, err)
+				}
 			}
 		}
 		for name, s := range summaries {
 			if s.Count() != int64(n) {
 				t.Fatalf("trial %d %s: count %d, want %d", trial, name, s.Count(), n)
+			}
+			if err := CheckInvariants(s.(Checkable)); err != nil {
+				t.Fatalf("trial %d %s: %v", trial, name, err)
 			}
 			for _, phi := range []float64{0.01, 0.3, 0.5, 0.7, 0.99} {
 				got := s.Quantile(phi)
@@ -91,6 +99,11 @@ func TestBruteForceTurnstile(t *testing.T) {
 		}
 		if dcm.Count() != int64(len(live)) || dcs.Count() != int64(len(live)) {
 			t.Fatalf("trial %d: counts %d/%d, want %d", trial, dcm.Count(), dcs.Count(), len(live))
+		}
+		for name, s := range map[string]Checkable{"DCM": dcm, "DCS": dcs} {
+			if err := CheckInvariants(s); err != nil {
+				t.Fatalf("trial %d %s: %v", trial, name, err)
+			}
 		}
 		if len(live) == 0 {
 			continue

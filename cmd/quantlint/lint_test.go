@@ -1,0 +1,165 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from current linter output")
+
+// lintFixture runs the engine over one testdata module with findings
+// reported relative to that module, exactly as the CLI would from
+// inside it.
+func lintFixture(t *testing.T, name string) []finding {
+	t.Helper()
+	base, err := filepath.Abs(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := lint(base, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func render(fs []finding, includeSuppressed bool) string {
+	var b strings.Builder
+	for _, f := range fs {
+		if f.Suppressed && !includeSuppressed {
+			continue
+		}
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s (rerun with -update to accept):\ngot:\n%swant:\n%s", path, got, want)
+	}
+}
+
+// TestBadModuleGolden pins the default (unsuppressed) output over the
+// deliberately rule-violating fixture module.
+func TestBadModuleGolden(t *testing.T) {
+	checkGolden(t, "bad.txt", render(lintFixture(t, "bad"), false))
+}
+
+// TestBadModuleStrictGolden pins the -strict output, which additionally
+// inventories the findings waived by //lint:ignore directives.
+func TestBadModuleStrictGolden(t *testing.T) {
+	checkGolden(t, "bad_strict.txt", render(lintFixture(t, "bad"), true))
+}
+
+// TestEachRuleFiresExactlyOnce asserts the fixture's design: every
+// package internal/sqNNN trips rule SQNNN and nothing else (SQ005 is
+// attributed to the registration site in quantiles.go), the cmd/ and
+// harness layers are silent, and every rule fires somewhere.
+func TestEachRuleFiresExactlyOnce(t *testing.T) {
+	fs := lintFixture(t, "bad")
+	rulesByPrefix := map[string]map[string]bool{}
+	for _, f := range fs {
+		if f.Suppressed {
+			continue
+		}
+		prefix := f.File
+		if i := strings.LastIndex(f.File, "/"); i >= 0 {
+			prefix = f.File[:i]
+		}
+		m := rulesByPrefix[prefix]
+		if m == nil {
+			m = map[string]bool{}
+			rulesByPrefix[prefix] = m
+		}
+		m[f.Rule] = true
+	}
+	want := map[string]string{
+		"internal/sq001":   "SQ001",
+		"internal/sq002":   "SQ002",
+		"internal/sq003":   "SQ003",
+		"internal/sq004":   "SQ004",
+		"internal/ignored": "SQ000", // the malformed directive
+		"quantiles.go":     "SQ005",
+	}
+	for prefix, rule := range want {
+		m := rulesByPrefix[prefix]
+		if len(m) != 1 || !m[rule] {
+			t.Errorf("%s: want exactly rule %s, got %v", prefix, rule, m)
+		}
+	}
+	for prefix := range rulesByPrefix {
+		if _, ok := want[prefix]; !ok {
+			t.Errorf("unexpected findings outside the designed packages: %s -> %v", prefix, rulesByPrefix[prefix])
+		}
+	}
+}
+
+// TestSuppressionStyles verifies both directive placements — the line
+// before the finding and a trailing comment on the finding's line — and
+// that the reason is carried through.
+func TestSuppressionStyles(t *testing.T) {
+	var suppressed []finding
+	for _, f := range lintFixture(t, "bad") {
+		if f.Suppressed {
+			suppressed = append(suppressed, f)
+		}
+	}
+	if len(suppressed) != 2 {
+		t.Fatalf("want the 2 waived findings of internal/ignored, got %d: %v", len(suppressed), suppressed)
+	}
+	rules := map[string]bool{}
+	for _, f := range suppressed {
+		rules[f.Rule] = true
+		if !strings.HasPrefix(f.File, "internal/ignored/") {
+			t.Errorf("suppressed finding outside internal/ignored: %v", f)
+		}
+		if !strings.HasPrefix(f.Reason, "fixture:") {
+			t.Errorf("directive reason not carried through: %q", f.Reason)
+		}
+	}
+	if !rules["SQ002"] || !rules["SQ003"] {
+		t.Errorf("want one suppressed SQ002 (same-line) and one SQ003 (preceding line), got %v", rules)
+	}
+}
+
+// TestCleanModuleIsSilent pins the zero-findings contract on the
+// rule-abiding fixture.
+func TestCleanModuleIsSilent(t *testing.T) {
+	if fs := lintFixture(t, "clean"); len(fs) != 0 {
+		t.Errorf("clean module produced findings: %s", render(fs, true))
+	}
+}
+
+// TestRepoIsLintClean runs the linter over the real repository: HEAD
+// must stay free of unsuppressed findings (the same gate `make lint`
+// enforces).
+func TestRepoIsLintClean(t *testing.T) {
+	base, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := lint(base, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if active := render(fs, false); active != "" {
+		t.Errorf("repository is not lint-clean:\n%s", active)
+	}
+}

@@ -1,0 +1,78 @@
+// Command quantlint is the repo's static analyzer: five numbered rules
+// (SQ001–SQ005) encoding the invariants this codebase relies on but
+// generic linters cannot know — seeded-randomness discipline, float
+// comparison hygiene, panic-free hot paths, the internal/ layering, and
+// the Invariants() sanitizer contract for every registered summary.
+//
+// Usage:
+//
+//	quantlint [-json] [-strict] [packages...]
+//
+// Packages follow the go tool's pattern shape (a directory, or dir/...
+// for a recursive walk); the default is ./... from the current
+// directory. Findings can be suppressed in place with a trailing or
+// preceding comment:
+//
+//	//lint:ignore SQ003 reason the panic is part of the documented contract
+//
+// -strict also prints (and fails on) suppressed findings, inventorying
+// every ignore in the tree. -json emits the findings as a JSON array.
+// Exit status: 0 when clean, 1 on findings, 2 on usage or parse errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	strict := flag.Bool("strict", false, "also report findings suppressed by //lint:ignore")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: quantlint [-json] [-strict] [packages...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	base, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quantlint: %v\n", err)
+		os.Exit(2)
+	}
+	all, err := lint(base, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quantlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	visible := all[:0:0]
+	for _, f := range all {
+		if !f.Suppressed || *strict {
+			visible = append(visible, f)
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if visible == nil {
+			visible = []finding{}
+		}
+		if err := enc.Encode(visible); err != nil {
+			fmt.Fprintf(os.Stderr, "quantlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range visible {
+			fmt.Println(f)
+		}
+	}
+	if len(visible) > 0 {
+		os.Exit(1)
+	}
+}

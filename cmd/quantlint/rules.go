@@ -1,0 +1,426 @@
+// The five quantlint rules. Each is a pure-syntax check; see lint.go
+// for why the linter deliberately avoids go/types.
+//
+//	SQ001  determinism: algorithm packages must not reach for ambient
+//	       randomness or wall-clock time
+//	SQ002  no ==/!= between float64 expressions
+//	SQ003  panic stays out of hot paths: constructors and check*
+//	       helpers only (plus the documented panic(ErrEmpty) contract)
+//	SQ004  layering: internal/* never imports the harness, cmd/*, or
+//	       the root package
+//	SQ005  every summary type registered in quantiles.go implements
+//	       Invariants() error
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// isInternalPkg reports whether p is an algorithm-side package, i.e.
+// lives under internal/ of its module.
+func isInternalPkg(p *pkgInfo) bool {
+	return p.rel == "internal" || strings.HasPrefix(p.rel, "internal/")
+}
+
+// under reports whether rel is the package prefix or below it.
+func under(rel, prefix string) bool {
+	return rel == prefix || strings.HasPrefix(rel, prefix+"/")
+}
+
+// ---------------------------------------------------------------- SQ001
+
+// sq001Exempt lists the internal packages allowed to touch randomness
+// or time: xhash IS the repo's seeded randomness source, and harness is
+// the measurement layer whose whole job is timing.
+var sq001Exempt = []string{"internal/xhash", "internal/harness"}
+
+var sq001BadImports = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+func (l *linter) checkSQ001() {
+	for _, p := range l.pkgs {
+		if !isInternalPkg(p) || exempt(p.rel, sq001Exempt) {
+			continue
+		}
+		for _, f := range p.files {
+			timeName := ""
+			for _, imp := range f.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if sq001BadImports[path] {
+					l.report(imp.Pos(), "SQ001", fmt.Sprintf(
+						"import of %s in algorithm package %s: all randomness must flow through internal/xhash seeds (reproducibility)", path, p.rel))
+				}
+				if path == "time" {
+					timeName = "time"
+					if imp.Name != nil {
+						timeName = imp.Name.Name
+					}
+				}
+			}
+			if timeName == "" || timeName == "_" || timeName == "." {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Now" {
+					if id, ok := sel.X.(*ast.Ident); ok && id.Name == timeName {
+						l.report(call.Pos(), "SQ001", fmt.Sprintf(
+							"time.Now() in algorithm package %s: timing belongs in internal/harness", p.rel))
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+func exempt(rel string, list []string) bool {
+	for _, e := range list {
+		if under(rel, e) {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------- SQ002
+
+// mathFloatFuncs are math package calls whose results are float64; a
+// comparison against one of these is a float comparison.
+var mathFloatFuncs = map[string]bool{
+	"Abs": true, "Ceil": true, "Floor": true, "Round": true, "Trunc": true,
+	"Sqrt": true, "Pow": true, "Exp": true, "Log": true, "Log2": true,
+	"Log10": true, "Inf": true, "NaN": true, "Max": true, "Min": true,
+	"Mod": true, "Hypot": true,
+}
+
+// checkSQ002 flags ==/!= where either side is recognizably float64.
+// Without go/types, "recognizably" means: a float literal, a float64
+// conversion, a math.* call, or a name that is declared float64
+// somewhere in the same package (fields, params, results, vars, or :=
+// from a float expression). The name heuristic can in principle
+// misfire on a name used for both an int and a float in one package;
+// the repo's naming (eps, phi, eta, err for floats) keeps that from
+// happening in practice, and //lint:ignore covers deliberate exact
+// comparisons.
+func (l *linter) checkSQ002() {
+	for _, p := range l.pkgs {
+		set := floatNames(p)
+		for _, f := range p.files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if exprIsFloat(be.X, set) || exprIsFloat(be.Y, set) {
+					l.report(be.OpPos, "SQ002", fmt.Sprintf(
+						"%s between float64 expressions: compare with a tolerance or math.Float64bits", be.Op))
+				}
+				return true
+			})
+		}
+	}
+}
+
+// floatNames collects the names declared float64/float32 anywhere in
+// the package.
+func floatNames(p *pkgInfo) map[string]bool {
+	set := map[string]bool{}
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Field: // struct fields, params, results
+				if isFloatType(n.Type) {
+					for _, name := range n.Names {
+						set[name.Name] = true
+					}
+				}
+			case *ast.ValueSpec:
+				if n.Type != nil && isFloatType(n.Type) {
+					for _, name := range n.Names {
+						set[name.Name] = true
+					}
+				} else if n.Type == nil {
+					for i, v := range n.Values {
+						if i < len(n.Names) && exprIsFloat(v, set) {
+							set[n.Names[i].Name] = true
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, rhs := range n.Rhs {
+					if exprIsFloat(rhs, set) {
+						if id, ok := n.Lhs[i].(*ast.Ident); ok {
+							set[id.Name] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return set
+}
+
+func isFloatType(t ast.Expr) bool {
+	id, ok := t.(*ast.Ident)
+	return ok && (id.Name == "float64" || id.Name == "float32")
+}
+
+// exprIsFloat reports whether e is recognizably a float64 expression
+// given the package's float-typed names.
+func exprIsFloat(e ast.Expr, set map[string]bool) bool {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return e.Kind == token.FLOAT
+	case *ast.Ident:
+		return set[e.Name]
+	case *ast.SelectorExpr:
+		return set[e.Sel.Name]
+	case *ast.ParenExpr:
+		return exprIsFloat(e.X, set)
+	case *ast.UnaryExpr:
+		return e.Op == token.SUB && exprIsFloat(e.X, set)
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+			return exprIsFloat(e.X, set) || exprIsFloat(e.Y, set)
+		}
+		return false
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok {
+			return id.Name == "float64" || id.Name == "float32"
+		}
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok {
+				return id.Name == "math" && mathFloatFuncs[sel.Sel.Name]
+			}
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------- SQ003
+
+// checkSQ003 keeps panic out of algorithm hot paths. A panic is allowed
+// only inside New*/new*/check*/Check* functions (constructors and
+// validation helpers, where the API contract documents it) or when its
+// argument is the exported ErrEmpty sentinel — the documented
+// empty-query contract shared by every summary. The harness is exempt:
+// it is tooling, not algorithm code.
+func (l *linter) checkSQ003() {
+	for _, p := range l.pkgs {
+		if !isInternalPkg(p) || under(p.rel, "internal/harness") {
+			continue
+		}
+		for _, f := range p.files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				name := fd.Name.Name
+				if strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new") ||
+					strings.HasPrefix(name, "Check") || strings.HasPrefix(name, "check") {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "panic" {
+						return true
+					}
+					if len(call.Args) == 1 && isErrEmpty(call.Args[0]) {
+						return true
+					}
+					l.report(call.Pos(), "SQ003", fmt.Sprintf(
+						"panic in %s: hot paths must not panic — move validation into a New*/check* helper or panic(ErrEmpty)", name))
+					return true
+				})
+			}
+		}
+	}
+}
+
+func isErrEmpty(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name == "ErrEmpty"
+	case *ast.SelectorExpr:
+		return e.Sel.Name == "ErrEmpty"
+	}
+	return false
+}
+
+// ---------------------------------------------------------------- SQ004
+
+// checkSQ004 enforces the dependency direction: algorithm packages
+// (internal/*) sit below the harness, the commands, and the public
+// root package, and must never import upward.
+func (l *linter) checkSQ004() {
+	for _, p := range l.pkgs {
+		if !isInternalPkg(p) {
+			continue
+		}
+		mod := p.mod.path
+		for _, f := range p.files {
+			for _, imp := range f.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				switch {
+				case path == mod:
+					l.report(imp.Pos(), "SQ004", fmt.Sprintf(
+						"algorithm package %s imports the root package: dependencies must point from the API surface down, never up", p.rel))
+				case (path == mod+"/internal/harness" || strings.HasPrefix(path, mod+"/internal/harness/")) &&
+					!under(p.rel, "internal/harness"):
+					l.report(imp.Pos(), "SQ004", fmt.Sprintf(
+						"algorithm package %s imports the harness: measurement tooling sits above the algorithms", p.rel))
+				case path == mod+"/cmd" || strings.HasPrefix(path, mod+"/cmd/"):
+					l.report(imp.Pos(), "SQ004", fmt.Sprintf(
+						"algorithm package %s imports %s: cmd/ binaries are leaves of the dependency graph", p.rel, path))
+				}
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------- SQ005
+
+// checkSQ005 pins the sanitizer contract: every summary type aliased in
+// the module root's quantiles.go into an internal package must carry an
+// Invariants() error method. "Summary type" means the alias target has
+// both Count and Quantile methods — interfaces, config structs and
+// helper types are skipped.
+func (l *linter) checkSQ005() {
+	for _, p := range l.pkgs {
+		if p.rel != "" {
+			continue // aliases are registered only in the module root
+		}
+		for _, f := range p.files {
+			name := l.fset.Position(f.Pos()).Filename
+			if !strings.HasSuffix(name, "quantiles.go") {
+				continue
+			}
+			l.checkRegistry(p, f)
+		}
+	}
+}
+
+func (l *linter) checkRegistry(root *pkgInfo, f *ast.File) {
+	imports := map[string]string{} // local name -> import path
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		local := path[strings.LastIndex(path, "/")+1:]
+		if imp.Name != nil {
+			local = imp.Name.Name
+		}
+		imports[local] = path
+	}
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.TYPE {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok || !ts.Assign.IsValid() {
+				continue // only aliases register implementations
+			}
+			sel, ok := ts.Type.(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			pkgID, ok := sel.X.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			ipath, ok := imports[pkgID.Name]
+			if !ok || !strings.HasPrefix(ipath, root.mod.path+"/internal/") {
+				continue
+			}
+			target, err := l.loadByImport(root.mod, ipath)
+			if err != nil || target == nil {
+				continue
+			}
+			methods := methodSet(target, sel.Sel.Name)
+			if !methods["Count"] || !methods["Quantile"] {
+				continue // not a summary type
+			}
+			if !hasInvariantsMethod(target, sel.Sel.Name) {
+				l.report(ts.Pos(), "SQ005", fmt.Sprintf(
+					"summary type %s (= %s.%s) must implement Invariants() error: every registered summary carries the deep sanitizer contract", ts.Name.Name, pkgID.Name, sel.Sel.Name))
+			}
+		}
+	}
+}
+
+// methodSet collects the names of methods declared on typeName (value
+// or pointer receiver) across the package.
+func methodSet(p *pkgInfo, typeName string) map[string]bool {
+	set := map[string]bool{}
+	for _, f := range p.files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			if receiverTypeName(fd.Recv.List[0].Type) == typeName {
+				set[fd.Name.Name] = true
+			}
+		}
+	}
+	return set
+}
+
+func receiverTypeName(t ast.Expr) string {
+	switch t := t.(type) {
+	case *ast.StarExpr:
+		return receiverTypeName(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr: // generic receiver List[K]
+		return receiverTypeName(t.X)
+	case *ast.IndexListExpr: // generic receiver List[K, V]
+		return receiverTypeName(t.X)
+	}
+	return ""
+}
+
+// hasInvariantsMethod checks for the exact sanitizer signature
+// `func (T) Invariants() error`.
+func hasInvariantsMethod(p *pkgInfo, typeName string) bool {
+	for _, f := range p.files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 ||
+				fd.Name.Name != "Invariants" ||
+				receiverTypeName(fd.Recv.List[0].Type) != typeName {
+				continue
+			}
+			if fd.Type.Params != nil && len(fd.Type.Params.List) > 0 {
+				continue
+			}
+			res := fd.Type.Results
+			if res == nil || len(res.List) != 1 {
+				continue
+			}
+			if id, ok := res.List[0].Type.(*ast.Ident); ok && id.Name == "error" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,11 @@
+// Command badtool exists so the fixture has a cmd/ layer: binaries may
+// import the harness freely, so this file must produce no findings.
+package main
+
+import (
+	"fmt"
+
+	"badmod/internal/harness"
+)
+
+func main() { fmt.Println(harness.Version) }

@@ -1,0 +1,7 @@
+// Package harness is the fixture's measurement layer: a valid import
+// target for cmd/, but forbidden for internal/ (SQ004). It must itself
+// produce no findings.
+package harness
+
+// Version identifies the fixture harness.
+const Version = "fixture"

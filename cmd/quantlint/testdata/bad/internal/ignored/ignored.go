@@ -1,0 +1,25 @@
+// Package ignored demonstrates the //lint:ignore machinery: the two
+// real findings here are suppressed and surface only under -strict,
+// while the malformed directive is reported as SQ000.
+package ignored
+
+// Guard panics in a hot path, with the panic documented and waived by
+// a preceding-line directive.
+func Guard(x uint64) uint64 {
+	if x == 0 {
+		//lint:ignore SQ003 fixture: documented contract, waived for the strict-mode golden
+		panic("ignored: zero")
+	}
+	return x - 1
+}
+
+// Exact compares floats bit-for-bit on purpose, waived by a trailing
+// same-line directive.
+func Exact(a, b float64) bool {
+	return a == b //lint:ignore SQ002 fixture: exact comparison intended
+}
+
+// Sloppy's directive names no rule and gives no reason, so the linter
+// reports the directive itself.
+//lint:ignore oops
+func Sloppy() {}

@@ -1,0 +1,17 @@
+// Package sq001 trips SQ001: ambient randomness and wall-clock time in
+// an algorithm package.
+package sq001
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"time"
+)
+
+// Sample breaks reproducibility three ways.
+func Sample() (int, int64) {
+	var b [8]byte
+	crand.Read(b[:])
+	seed := rand.Int()
+	return seed, time.Now().UnixNano()
+}

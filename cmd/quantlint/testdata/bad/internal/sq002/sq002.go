@@ -1,0 +1,17 @@
+// Package sq002 trips SQ002: exact equality between float64 values.
+package sq002
+
+// Summary carries a float configuration value.
+type Summary struct {
+	eps float64
+}
+
+// SameEps compares float fields exactly.
+func (s *Summary) SameEps(o *Summary) bool {
+	return s.eps == o.eps
+}
+
+// Converged compares a float parameter against a float literal.
+func Converged(x float64) bool {
+	return x != 0.5
+}

@@ -1,0 +1,37 @@
+// Package sq003 trips SQ003 exactly once: the panic in Update. The
+// constructor panic and the ErrEmpty panic exercise the allowlist.
+package sq003
+
+import "errors"
+
+// ErrEmpty is the documented empty-query sentinel.
+var ErrEmpty = errors.New("sq003: empty summary")
+
+// S is a toy summary with a panicking hot path.
+type S struct {
+	n int64
+}
+
+// New may panic: constructors validate their arguments.
+func New(limit int64) *S {
+	if limit <= 0 {
+		panic("sq003: non-positive limit")
+	}
+	return &S{}
+}
+
+// Update panics on out-of-range input — a hot path, so SQ003 fires.
+func (s *S) Update(x uint64) {
+	if x > 1<<32 {
+		panic("sq003: element out of range")
+	}
+	s.n++
+}
+
+// Quantile panics only with the ErrEmpty sentinel, which is allowed.
+func (s *S) Quantile(phi float64) uint64 {
+	if s.n == 0 {
+		panic(ErrEmpty)
+	}
+	return 0
+}

@@ -1,0 +1,13 @@
+// Package sq004 trips SQ004: an algorithm package importing upward —
+// the root package and the harness sit above internal/.
+package sq004
+
+import (
+	root "badmod"
+	"badmod/internal/harness"
+)
+
+// Labels leans on layers the algorithms must not know about.
+func Labels() (interface{}, string) {
+	return root.Leaky{}, harness.Version
+}

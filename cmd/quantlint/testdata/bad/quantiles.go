@@ -1,0 +1,10 @@
+// Package badstream is the deliberately rule-violating fixture for
+// quantlint's golden tests: each internal/sqNNN package trips exactly
+// rule SQNNN, and this registry file trips SQ005.
+package badstream
+
+import "badmod/internal/sq005"
+
+// Leaky is a summary whose implementation forgot the sanitizer
+// contract: sq005.Leaky has Count and Quantile but no Invariants.
+type Leaky = sq005.Leaky

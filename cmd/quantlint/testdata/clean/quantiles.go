@@ -1,0 +1,11 @@
+// Package cleanstream is the rule-abiding fixture: quantlint must
+// report zero findings anywhere in this module.
+package cleanstream
+
+import "cleanmod/internal/good"
+
+// Good is a registered summary carrying the full sanitizer contract.
+type Good = good.Good
+
+// NewGood returns an empty summary.
+func NewGood() *Good { return good.New() }

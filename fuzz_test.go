@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"slices"
 	"testing"
+
+	"streamquantiles/internal/invariant"
 )
 
 // Fuzz targets double as regression tests: `go test` runs the seed
@@ -21,10 +23,17 @@ func FuzzGKArrayGuarantee(f *testing.F) {
 		}
 		const eps = 0.1
 		s := NewGKArray(eps)
+		ck := invariant.Every(16) // deep sanitizer, active under -tags sqcheck
 		data := make([]uint64, len(raw))
 		for i, b := range raw {
 			data[i] = uint64(b)
 			s.Update(data[i])
+			if err := ck.Check(s); err != nil {
+				t.Fatalf("after %d updates: %v", i+1, err)
+			}
+		}
+		if err := invariant.Check(s); err != nil {
+			t.Fatal(err)
 		}
 		slices.Sort(data)
 		n := len(data)
@@ -49,6 +58,7 @@ func FuzzTurnstileDeletes(f *testing.F) {
 	f.Add([]byte{9, 9, 9, 9})
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		s := NewDCS(0.1, 8, DyadicConfig{Seed: 1})
+		ck := invariant.Every(16) // deep sanitizer, active under -tags sqcheck
 		live := map[uint64]int{}
 		var n int64
 		for i, b := range raw {
@@ -62,6 +72,12 @@ func FuzzTurnstileDeletes(f *testing.F) {
 				live[x]++
 				n++
 			}
+			if err := ck.Check(s); err != nil {
+				t.Fatalf("after %d operations: %v", i+1, err)
+			}
+		}
+		if err := invariant.Check(s); err != nil {
+			t.Fatal(err)
 		}
 		if s.Count() != n {
 			t.Fatalf("count %d, want %d", s.Count(), n)

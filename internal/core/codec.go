@@ -130,9 +130,9 @@ func (d *Decoder) Bool() bool {
 		d.fail("bool")
 		return false
 	}
-	v := d.buf[0]
+	raw := d.buf[0]
 	d.buf = d.buf[1:]
-	return v != 0
+	return raw != 0
 }
 
 // maxDecodeLen bounds length prefixes so corrupt input cannot trigger

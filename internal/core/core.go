@@ -79,6 +79,14 @@ func CheckPhi(phi float64) {
 	}
 }
 
+// CheckEps validates an error parameter, panicking with a descriptive
+// message when eps lies outside (0, 1).
+func CheckEps(eps float64) {
+	if math.IsNaN(eps) || eps <= 0 || eps >= 1 {
+		panic(fmt.Sprintf("core: invalid error parameter %v", eps))
+	}
+}
+
 // TargetRank converts a quantile fraction into the rank ⌊φn⌋ targeted by
 // the paper's definition, clamped to the feasible range [0, n−1].
 func TargetRank(phi float64, n int64) int64 {
@@ -109,9 +117,7 @@ func Quantiles(s Summary, phis []float64) []uint64 {
 // throughout the paper's evaluation. The fractions are clamped strictly
 // inside (0, 1).
 func EvenPhis(eps float64) []float64 {
-	if eps <= 0 || eps >= 1 {
-		panic(fmt.Sprintf("core: invalid error parameter %v", eps))
-	}
+	CheckEps(eps)
 	k := int(math.Round(1/eps)) - 1
 	if k < 1 {
 		k = 1

@@ -161,10 +161,16 @@ func (s *Sketch) Insert(x uint64) { s.update(x, 1) }
 // inserted violates the strict turnstile model and voids the guarantees.
 func (s *Sketch) Delete(x uint64) { s.update(x, -1) }
 
-func (s *Sketch) update(x uint64, delta int64) {
+// checkElement validates that x fits the sketch's fixed universe, the
+// documented contract of Insert and Delete.
+func (s *Sketch) checkElement(x uint64) {
 	if x >= uint64(1)<<s.bits {
 		panic(fmt.Sprintf("dyadic: element %d outside universe [0, 2^%d)", x, s.bits))
 	}
+}
+
+func (s *Sketch) update(x uint64, delta int64) {
+	s.checkElement(x)
 	s.n += delta
 	for l := 0; l < s.bits; l++ {
 		iv := x >> l
@@ -176,6 +182,13 @@ func (s *Sketch) update(x uint64, delta int64) {
 	}
 }
 
+// checkLevel validates a dyadic level index against [0, bits].
+func (s *Sketch) checkLevel(l int) {
+	if l < 0 || l > s.bits {
+		panic(fmt.Sprintf("dyadic: level %d outside [0, %d]", l, s.bits))
+	}
+}
+
 // EstimateInterval returns the estimated number of current elements in
 // the dyadic interval [iv·2^l, (iv+1)·2^l). Level bits (the whole
 // universe) returns the exact count n.
@@ -183,9 +196,7 @@ func (s *Sketch) EstimateInterval(l int, iv uint64) int64 {
 	if l == s.bits {
 		return s.n
 	}
-	if l < 0 || l > s.bits {
-		panic(fmt.Sprintf("dyadic: level %d outside [0, %d]", l, s.bits))
-	}
+	s.checkLevel(l)
 	if s.lvls[l].exact != nil {
 		return s.lvls[l].exact[iv]
 	}

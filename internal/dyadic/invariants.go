@@ -1,0 +1,57 @@
+package dyadic
+
+import "fmt"
+
+// Invariants implements invariant.Checkable: the per-level consistency of
+// the dyadic decomposition. Sketched levels are randomized estimators and
+// cannot be audited without the stream, but every exact level stores true
+// frequencies, and those admit strong checks — the same additivity
+// (parent count = sum of child counts) that the OLS post-processing step
+// exploits as its constraint system:
+//
+//   - The structure has one stratum per level of the decomposition.
+//   - Exact levels are non-negative everywhere (a negative count means
+//     the strict turnstile model was violated by deleting an element
+//     that was never inserted, which voids every guarantee).
+//   - Each exact level's counts sum to n.
+//   - Adjacent exact levels are additive: the count of a parent interval
+//     equals the sum of its two children's counts.
+func (s *Sketch) Invariants() error {
+	if len(s.lvls) != s.bits {
+		return fmt.Errorf("dyadic: %d levels, want one per universe bit = %d", len(s.lvls), s.bits)
+	}
+	if s.w < 1 || s.d < 1 {
+		return fmt.Errorf("dyadic: invalid sketch dimensions w=%d d=%d", s.w, s.d)
+	}
+	for l := 0; l < s.bits; l++ {
+		exact := s.lvls[l].exact
+		if exact == nil {
+			continue
+		}
+		if len(exact) != 1<<(s.bits-l) {
+			return fmt.Errorf("dyadic: exact level %d has %d intervals, want %d",
+				l, len(exact), 1<<(s.bits-l))
+		}
+		var sum int64
+		for iv, c := range exact {
+			if c < 0 {
+				return fmt.Errorf("dyadic: exact level %d interval %d has negative count %d (strict turnstile violated)",
+					l, iv, c)
+			}
+			sum += c
+		}
+		if sum != s.n {
+			return fmt.Errorf("dyadic: exact level %d sums to %d, want n = %d", l, sum, s.n)
+		}
+		if l+1 < s.bits && s.lvls[l+1].exact != nil {
+			parent := s.lvls[l+1].exact
+			for iv := range parent {
+				if got := exact[2*iv] + exact[2*iv+1]; parent[iv] != got {
+					return fmt.Errorf("dyadic: additivity broken at level %d interval %d: parent %d, children sum %d",
+						l+1, iv, parent[iv], got)
+				}
+			}
+		}
+	}
+	return nil
+}

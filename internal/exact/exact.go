@@ -99,6 +99,7 @@ func (o *Oracle) QuantileError(got uint64, phi float64) float64 {
 // got[i] must be the summary's answer for phis[i].
 func (o *Oracle) Evaluate(got []uint64, phis []float64) (maxErr, avgErr float64) {
 	if len(got) != len(phis) {
+		//lint:ignore SQ003 caller bug, not stream state: the oracle cannot recover a meaningful answer
 		panic("exact: Evaluate length mismatch")
 	}
 	if len(got) == 0 {

@@ -203,7 +203,7 @@ func SortResults(rs []Result) {
 		if a.Experiment != b.Experiment {
 			return a.Experiment < b.Experiment
 		}
-		if a.Eps != b.Eps {
+		if !feq(a.Eps, b.Eps) {
 			return a.Eps > b.Eps
 		}
 		if a.Bits != b.Bits {
@@ -215,7 +215,7 @@ func SortResults(rs []Result) {
 		if a.D != b.D {
 			return a.D < b.D
 		}
-		if a.Eta != b.Eta {
+		if !feq(a.Eta, b.Eta) {
 			return a.Eta > b.Eta
 		}
 		if a.N != b.N {

@@ -2,8 +2,15 @@ package harness
 
 import (
 	"fmt"
+	"math"
 	"strings"
 )
+
+// feq is bit-exact float64 equality, for matching result rows against
+// the exact configuration values they were recorded with. Results carry
+// configured parameters (ε, η, σ) verbatim, so tolerance comparison
+// would be wrong here — 0.01 must not match 0.05-derived values.
+func feq(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
 
 // Claim is one qualitative statement from the paper's evaluation,
 // checked programmatically against a fresh set of measurements.
@@ -109,7 +116,7 @@ func Claims() []Claim {
 				for _, eps := range top {
 					var worst Result
 					for _, r := range m[ExpFig5] {
-						if r.Eps == eps && r.SpaceBytes > worst.SpaceBytes {
+						if feq(r.Eps, eps) && r.SpaceBytes > worst.SpaceBytes {
 							worst = r
 						}
 					}
@@ -130,8 +137,8 @@ func Claims() []Claim {
 						minEps = r.Eps
 					}
 				}
-				arr, ok1 := find(m[ExpFig5], func(r Result) bool { return r.Algo == "GKArray" && r.Eps == minEps })
-				ada, ok2 := find(m[ExpFig5], func(r Result) bool { return r.Algo == "GKAdaptive" && r.Eps == minEps })
+				arr, ok1 := find(m[ExpFig5], func(r Result) bool { return r.Algo == "GKArray" && feq(r.Eps, minEps) })
+				ada, ok2 := find(m[ExpFig5], func(r Result) bool { return r.Algo == "GKAdaptive" && feq(r.Eps, minEps) })
 				if !ok1 || !ok2 {
 					return false, "missing rows"
 				}
@@ -147,10 +154,10 @@ func Claims() []Claim {
 			ID:        "qdigest-universe-sensitivity",
 			Statement: "§4.2.4: q-digest grows with log u while the comparison-based algorithms do not",
 			Check: func(m map[string][]Result) (bool, string) {
-				small, ok1 := find(m[ExpFig6], func(r Result) bool { return r.Algo == "FastQDigest" && r.Bits == 16 && r.Eps == 0.01 })
-				large, ok2 := find(m[ExpFig6], func(r Result) bool { return r.Algo == "FastQDigest" && r.Bits == 32 && r.Eps == 0.01 })
-				gkS, ok3 := find(m[ExpFig6], func(r Result) bool { return r.Algo == "GKAdaptive" && r.Bits == 16 && r.Eps == 0.01 })
-				gkL, ok4 := find(m[ExpFig6], func(r Result) bool { return r.Algo == "GKAdaptive" && r.Bits == 32 && r.Eps == 0.01 })
+				small, ok1 := find(m[ExpFig6], func(r Result) bool { return r.Algo == "FastQDigest" && r.Bits == 16 && feq(r.Eps, 0.01) })
+				large, ok2 := find(m[ExpFig6], func(r Result) bool { return r.Algo == "FastQDigest" && r.Bits == 32 && feq(r.Eps, 0.01) })
+				gkS, ok3 := find(m[ExpFig6], func(r Result) bool { return r.Algo == "GKAdaptive" && r.Bits == 16 && feq(r.Eps, 0.01) })
+				gkL, ok4 := find(m[ExpFig6], func(r Result) bool { return r.Algo == "GKAdaptive" && r.Bits == 32 && feq(r.Eps, 0.01) })
 				if !ok1 || !ok2 || !ok3 || !ok4 {
 					return false, "missing rows"
 				}
@@ -262,8 +269,8 @@ func Claims() []Claim {
 			Statement: "§4.3.3: post-processing reduces DCS error at no extra streaming cost",
 			Check: func(m map[string][]Result) (bool, string) {
 				for _, eps := range []float64{0.05, 0.01} {
-					dcs, ok1 := find(m[ExpFig10], func(r Result) bool { return r.Algo == "DCS" && r.Eps == eps })
-					post, ok2 := find(m[ExpFig10], func(r Result) bool { return r.Algo == "Post" && r.Eps == eps })
+					dcs, ok1 := find(m[ExpFig10], func(r Result) bool { return r.Algo == "DCS" && feq(r.Eps, eps) })
+					post, ok2 := find(m[ExpFig10], func(r Result) bool { return r.Algo == "Post" && feq(r.Eps, eps) })
 					if !ok1 || !ok2 {
 						continue
 					}
@@ -281,8 +288,8 @@ func Claims() []Claim {
 			ID:        "dcs-smaller-than-dcm",
 			Statement: "§4.3.3: DCS needs far less space than DCM for comparable error",
 			Check: func(m map[string][]Result) (bool, string) {
-				dcm, ok1 := find(m[ExpFig10], func(r Result) bool { return r.Algo == "DCM" && r.Eps == 0.01 })
-				dcs, ok2 := find(m[ExpFig10], func(r Result) bool { return r.Algo == "DCS" && r.Eps == 0.01 })
+				dcm, ok1 := find(m[ExpFig10], func(r Result) bool { return r.Algo == "DCM" && feq(r.Eps, 0.01) })
+				dcs, ok2 := find(m[ExpFig10], func(r Result) bool { return r.Algo == "DCS" && feq(r.Eps, 0.01) })
 				if !ok1 || !ok2 {
 					return false, "missing rows"
 				}
@@ -297,8 +304,8 @@ func Claims() []Claim {
 			ID:        "turnstile-costlier",
 			Statement: "§4.3.4: the turnstile model costs roughly an order of magnitude more than cash-register",
 			Check: func(m map[string][]Result) (bool, string) {
-				cash, ok1 := find(m[ExpFig5], func(r Result) bool { return r.Algo == "Random" && r.Eps == 0.01 })
-				turn, ok2 := find(m[ExpFig10], func(r Result) bool { return r.Algo == "DCS" && r.Eps == 0.01 })
+				cash, ok1 := find(m[ExpFig5], func(r Result) bool { return r.Algo == "Random" && feq(r.Eps, 0.01) })
+				turn, ok2 := find(m[ExpFig10], func(r Result) bool { return r.Algo == "DCS" && feq(r.Eps, 0.01) })
 				if !ok1 || !ok2 {
 					return false, "missing rows"
 				}
@@ -314,8 +321,8 @@ func Claims() []Claim {
 			ID:        "smaller-universe-better",
 			Statement: "§4.3.5/Fig 11: smaller universes make the turnstile algorithms smaller and more accurate",
 			Check: func(m map[string][]Result) (bool, string) {
-				s16, ok1 := find(m[ExpFig11], func(r Result) bool { return r.Algo == "DCS" && r.Bits == 16 && r.Eps == 0.01 })
-				s32, ok2 := find(m[ExpFig11], func(r Result) bool { return r.Algo == "DCS" && r.Bits == 32 && r.Eps == 0.01 })
+				s16, ok1 := find(m[ExpFig11], func(r Result) bool { return r.Algo == "DCS" && r.Bits == 16 && feq(r.Eps, 0.01) })
+				s32, ok2 := find(m[ExpFig11], func(r Result) bool { return r.Algo == "DCS" && r.Bits == 32 && feq(r.Eps, 0.01) })
 				if !ok1 || !ok2 {
 					return false, "missing rows"
 				}
@@ -336,8 +343,8 @@ func Claims() []Claim {
 			ID:        "skew-hurts-dcs-more",
 			Statement: "§4.3.6/Fig 12: less skew (larger σ) improves DCS noticeably, DCM barely",
 			Check: func(m map[string][]Result) (bool, string) {
-				skewed, ok1 := find(m[ExpFig12], func(r Result) bool { return r.Algo == "DCS" && r.Sigma == 0.05 && r.Eps == 0.01 })
-				flat, ok2 := find(m[ExpFig12], func(r Result) bool { return r.Algo == "DCS" && r.Sigma == 0.25 && r.Eps == 0.01 })
+				skewed, ok1 := find(m[ExpFig12], func(r Result) bool { return r.Algo == "DCS" && feq(r.Sigma, 0.05) && feq(r.Eps, 0.01) })
+				flat, ok2 := find(m[ExpFig12], func(r Result) bool { return r.Algo == "DCS" && feq(r.Sigma, 0.25) && feq(r.Eps, 0.01) })
 				if !ok1 || !ok2 {
 					return false, "missing rows"
 				}

@@ -1,0 +1,7 @@
+//go:build !sqcheck
+
+package invariant
+
+// Enabled reports whether the sqcheck build tag turned the sampling
+// sanitizer on for this build.
+const Enabled = false

@@ -1,0 +1,88 @@
+package invariant
+
+import (
+	"errors"
+	"testing"
+)
+
+// countingCheckable records how many times Invariants runs and returns a
+// configurable error.
+type countingCheckable struct {
+	calls int
+	err   error
+}
+
+func (c *countingCheckable) Invariants() error {
+	c.calls++
+	return c.err
+}
+
+func TestCheckAlwaysRuns(t *testing.T) {
+	c := &countingCheckable{}
+	if err := Check(c); err != nil {
+		t.Fatalf("Check returned %v, want nil", err)
+	}
+	c.err = errors.New("boom")
+	if err := Check(c); err == nil {
+		t.Fatal("Check swallowed the violation")
+	}
+	if c.calls != 2 {
+		t.Fatalf("Invariants ran %d times, want 2", c.calls)
+	}
+}
+
+func TestSamplerHonorsBuildTag(t *testing.T) {
+	c := &countingCheckable{}
+	s := Every(4)
+	for i := 0; i < 16; i++ {
+		if err := s.Check(c); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	want := 0
+	if Enabled {
+		want = 4 // every 4th of 16 calls
+	}
+	if c.calls != want {
+		t.Fatalf("Invariants ran %d times, want %d (Enabled=%v)", c.calls, want, Enabled)
+	}
+}
+
+func TestSamplerSurfacesViolations(t *testing.T) {
+	if !Enabled {
+		t.Skip("needs -tags sqcheck")
+	}
+	c := &countingCheckable{err: errors.New("structural rot")}
+	s := Every(1)
+	if err := s.Check(c); err == nil {
+		t.Fatal("sampler swallowed the violation")
+	}
+}
+
+func TestSamplerZeroValueNeverChecks(t *testing.T) {
+	c := &countingCheckable{err: errors.New("boom")}
+	var s Sampler
+	for i := 0; i < 8; i++ {
+		if err := s.Check(c); err != nil {
+			t.Fatalf("zero-value sampler ran a check: %v", err)
+		}
+	}
+	if c.calls != 0 {
+		t.Fatalf("Invariants ran %d times, want 0", c.calls)
+	}
+}
+
+func TestEveryClampsBelowOne(t *testing.T) {
+	c := &countingCheckable{}
+	s := Every(0)
+	for i := 0; i < 3; i++ {
+		_ = s.Check(c)
+	}
+	want := 0
+	if Enabled {
+		want = 3
+	}
+	if c.calls != want {
+		t.Fatalf("Invariants ran %d times, want %d", c.calls, want)
+	}
+}

@@ -1,0 +1,36 @@
+package kll
+
+import "fmt"
+
+// Invariants implements invariant.Checkable. KLL's compaction conserves
+// weight exactly — a compacted pair of weight-2^h elements becomes one
+// weight-2^(h+1) element and an odd leftover stays put — so the sketch
+// must always satisfy the exact level-weight accounting
+//
+//	Σ_h 2^h·|levels[h]| == n,
+//
+// the property that makes the estimator unbiased. The shallow shape
+// checks guard the accounting from overflow and corruption.
+func (s *Sketch) Invariants() error {
+	if s.n < 0 {
+		return fmt.Errorf("kll: negative count %d", s.n)
+	}
+	if s.k < 2*minLevelCap {
+		return fmt.Errorf("kll: capacity parameter k = %d below minimum %d", s.k, 2*minLevelCap)
+	}
+	if len(s.levels) < 1 {
+		return fmt.Errorf("kll: no levels allocated")
+	}
+	if len(s.levels) > 62 {
+		return fmt.Errorf("kll: %d levels would overflow the weight accounting", len(s.levels))
+	}
+	var total int64
+	for h, lvl := range s.levels {
+		total += int64(len(lvl)) << h
+	}
+	if total != s.n {
+		return fmt.Errorf("kll: level-weight accounting broken: Σ 2^h·|level h| = %d, want n = %d",
+			total, s.n)
+	}
+	return nil
+}

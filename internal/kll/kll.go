@@ -177,12 +177,19 @@ func (s *Sketch) BatchQuantiles(phis []float64) []uint64 {
 	return core.WeightedQuantiles(s.samples(), phis)
 }
 
+// checkCompatible validates a merge partner: both sketches must have
+// been built with bit-identical eps (exact comparison is the intent, so
+// it goes through Float64bits).
+func (s *Sketch) checkCompatible(other *Sketch) {
+	if math.Float64bits(other.eps) != math.Float64bits(s.eps) {
+		panic("kll: merging sketches with different eps")
+	}
+}
+
 // Merge folds other into s: levels concatenate weight-for-weight and
 // over-full levels compact. Both sketches must share eps.
 func (s *Sketch) Merge(other *Sketch) {
-	if other.eps != s.eps {
-		panic("kll: merging sketches with different eps")
-	}
+	s.checkCompatible(other)
 	for h, lvl := range other.levels {
 		for len(s.levels) <= h {
 			s.levels = append(s.levels, nil)

@@ -1,0 +1,68 @@
+package mrl
+
+import (
+	"fmt"
+	"slices"
+)
+
+// Invariants implements invariant.Checkable: the buffer-framework
+// accounting the MRL99 analysis rests on.
+//
+//   - The summary keeps exactly b buffers, each within its capacity k.
+//   - Full buffers are sorted with a positive per-element weight.
+//   - The per-block sampling state of the buffer being filled is
+//     coherent: the pick position lies inside the current block.
+//   - Weight accounting: the total weight of retained samples never
+//     exceeds n. (COLLAPSE floors the merged weight, so equality holds
+//     only between collapses; the in-progress block's elements are not
+//     yet represented at all.)
+func (m *MRL99) Invariants() error {
+	if m.n < 0 {
+		return fmt.Errorf("mrl: negative count %d", m.n)
+	}
+	if len(m.bufs) != m.b {
+		return fmt.Errorf("mrl: %d buffers, want b = %d", len(m.bufs), m.b)
+	}
+	var total int64
+	for i, b := range m.bufs {
+		if len(b.data) > m.k {
+			return fmt.Errorf("mrl: buffer %d holds %d > k = %d elements", i, len(b.data), m.k)
+		}
+		if b.level < 0 || b.level > 62 {
+			return fmt.Errorf("mrl: buffer %d at impossible level %d", i, b.level)
+		}
+		if b.full {
+			if b.weight < 1 {
+				return fmt.Errorf("mrl: full buffer %d has weight %d < 1", i, b.weight)
+			}
+			if !slices.IsSorted(b.data) {
+				return fmt.Errorf("mrl: full buffer %d is not sorted", i)
+			}
+			total += b.weight * int64(len(b.data))
+		} else {
+			w := b.weight
+			if w == 0 {
+				w = int64(1) << b.level
+			}
+			total += w * int64(len(b.data))
+		}
+	}
+	if total > m.n {
+		return fmt.Errorf("mrl: retained weight %d exceeds stream length %d", total, m.n)
+	}
+	if m.cur != nil {
+		if m.cur.full {
+			return fmt.Errorf("mrl: buffer being filled is marked full")
+		}
+		if m.blockSize != int64(1)<<m.cur.level {
+			return fmt.Errorf("mrl: block size %d does not match level %d", m.blockSize, m.cur.level)
+		}
+		if m.blockPos < 0 || m.blockPos >= m.blockSize {
+			return fmt.Errorf("mrl: block position %d outside [0, %d)", m.blockPos, m.blockSize)
+		}
+		if m.pickAt < 0 || m.pickAt >= m.blockSize {
+			return fmt.Errorf("mrl: sample position %d outside [0, %d)", m.pickAt, m.blockSize)
+		}
+	}
+	return nil
+}

@@ -163,6 +163,7 @@ func (m *MRL99) emptyBuffer() *buffer {
 func (m *MRL99) collapse() {
 	group := m.lowestGroup()
 	if len(group) < 2 {
+		//lint:ignore SQ003 corruption guard: collapse only runs once every buffer is full, so this is unreachable
 		panic("mrl: collapse with fewer than two buffers")
 	}
 	out := collapseGroup(group, m.k, m.rng)

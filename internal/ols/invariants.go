@@ -1,0 +1,65 @@
+package ols
+
+import (
+	"fmt"
+	"math"
+)
+
+// additivityTol is the relative tolerance for the BLUE additivity checks:
+// the solver works in float64 over counts up to n, so residuals are
+// rounding noise, orders of magnitude below one element.
+const additivityTol = 1e-6
+
+// Invariants implements invariant.Checkable for the OLS-corrected
+// snapshot. Post is a derived structure, so its deep checks audit the
+// solver's defining properties rather than stream state:
+//
+//   - The snapshot is not stale: the underlying sketch still has the
+//     count captured at Process time (Post must be discarded when the
+//     sketch changes).
+//   - The corrected table covers exactly the truncated tree.
+//   - The root's corrected count is the exact n.
+//   - Additivity: the BLUE estimate of every expanded node equals the
+//     sum of its children's — the constraint system the least-squares
+//     solve enforces, and the reason corrected queries accumulate no
+//     per-level noise.
+func (p *Post) Invariants() error {
+	if p.n != p.sk.Count() {
+		return fmt.Errorf("ols: stale snapshot: built at n = %d, sketch now at %d", p.n, p.sk.Count())
+	}
+	if math.IsNaN(p.eta) || p.eta <= 0 {
+		return fmt.Errorf("ols: invalid truncation factor %v", p.eta)
+	}
+	if len(p.corrected) != p.treeNodes {
+		return fmt.Errorf("ols: corrected table has %d entries, want one per tree node = %d",
+			len(p.corrected), p.treeNodes)
+	}
+	if p.treeNodes == 0 {
+		return nil
+	}
+	root, ok := p.corrected[1]
+	if !ok {
+		return fmt.Errorf("ols: truncated tree has no root entry")
+	}
+	if math.Abs(root-float64(p.n)) > additivityTol*math.Max(1, math.Abs(float64(p.n))) {
+		return fmt.Errorf("ols: root corrected count %v, want exact n = %d", root, p.n)
+	}
+	for id, x := range p.corrected {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("ols: node %d has non-finite corrected count %v", id, x)
+		}
+		left, lok := p.corrected[2*id]
+		right, rok := p.corrected[2*id+1]
+		if lok != rok {
+			return fmt.Errorf("ols: node %d expanded only one child (tree not full binary)", id)
+		}
+		if !lok {
+			continue
+		}
+		sum := left + right
+		if math.Abs(x-sum) > additivityTol*math.Max(1, math.Abs(x)) {
+			return fmt.Errorf("ols: additivity broken at node %d: corrected %v, children sum %v", id, x, sum)
+		}
+	}
+	return nil
+}

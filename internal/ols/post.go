@@ -31,13 +31,19 @@ type Post struct {
 // Process extracts the truncated tree from sk and solves the BLUE system
 // on each estimate subtree. eta ≤ 0 selects DefaultEta. It runs in time
 // linear in the truncated tree size, O((1/ε)·log u) in expectation.
+// checkEta rejects an unusable truncation factor; the eta ≤ 0 default
+// substitution happens before this runs.
+func checkEta(eta float64) {
+	if math.IsNaN(eta) {
+		panic("ols: eta is NaN")
+	}
+}
+
 func Process(sk *dyadic.Sketch, eta float64) *Post {
 	if eta <= 0 {
 		eta = DefaultEta
 	}
-	if math.IsNaN(eta) {
-		panic("ols: eta is NaN")
-	}
+	checkEta(eta)
 	p := &Post{
 		sk:        sk,
 		eta:       eta,
@@ -112,11 +118,13 @@ func (p *Post) levelSigma2(l int) float64 {
 // estimates becomes the root of one BLUE system. Children of estimate
 // nodes are solved transitively by their enclosing system.
 func (p *Post) solveFrom(v *node, l int, iv uint64) {
+	//lint:ignore SQ002 sigma2 == 0 is an assigned exact-node sentinel, never a computed value
 	if v.sigma2 == 0 {
 		v.xstar = v.y
 		if v.isLeaf() {
 			return
 		}
+		//lint:ignore SQ002 sigma2 == 0 is an assigned exact-node sentinel, never a computed value
 		if v.left.sigma2 == 0 {
 			// Children still exact: recurse to find deeper system roots.
 			p.solveFrom(v.left, l-1, 2*iv)
@@ -128,6 +136,7 @@ func (p *Post) solveFrom(v *node, l int, iv uint64) {
 	}
 	// Estimate nodes are always handled by an ancestor's system; getting
 	// here means the tree shape is inconsistent.
+	//lint:ignore SQ003 corruption guard: the root is always exact, so this is unreachable
 	panic(fmt.Sprintf("ols: estimate node at level %d interval %d has no exact ancestor", l, iv))
 }
 

@@ -93,11 +93,17 @@ func (d *Digest) NodeCount() int {
 // Compressions reports how many COMPRESS passes have run.
 func (d *Digest) Compressions() int64 { return d.compressions }
 
-// Update implements core.CashRegister.
-func (d *Digest) Update(x uint64) {
+// checkElement validates that x fits the digest's fixed universe, the
+// documented contract of Update.
+func (d *Digest) checkElement(x uint64) {
 	if x >= d.u {
 		panic(fmt.Sprintf("qdigest: element %d outside universe [0, %d)", x, d.u))
 	}
+}
+
+// Update implements core.CashRegister.
+func (d *Digest) Update(x uint64) {
+	d.checkElement(x)
 	d.n++
 	d.buf = append(d.buf, x)
 	if len(d.buf) == cap(d.buf) || d.n >= d.nextCmp {
@@ -181,6 +187,11 @@ type weighted struct {
 	lo, hi uint64
 	w      int64
 }
+
+// Flush drains the pending update buffer into the node map. Queries do
+// this implicitly; Flush lets callers — notably the Safe wrappers,
+// which use it to detect query-time mutation — force it explicitly.
+func (d *Digest) Flush() { d.drain() }
 
 func (d *Digest) snapshot() []weighted {
 	d.drain()
@@ -267,10 +278,16 @@ func (d *Digest) Rank(x uint64) int64 {
 // Merge folds other into d. Both digests must share eps and universe;
 // other is left unchanged. This is the mergeable-summary operation that
 // distinguishes q-digest from the other deterministic algorithms.
-func (d *Digest) Merge(other *Digest) {
+// checkCompatible validates a merge partner: both digests must share
+// the universe size and the compression factor k.
+func (d *Digest) checkCompatible(other *Digest) {
 	if other.bits != d.bits || other.k != d.k {
 		panic("qdigest: merging digests with different parameters")
 	}
+}
+
+func (d *Digest) Merge(other *Digest) {
+	d.checkCompatible(other)
 	d.drain()
 	other.drain()
 	for id, w := range other.nodes {

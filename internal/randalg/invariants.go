@@ -1,0 +1,77 @@
+package randalg
+
+import (
+	"fmt"
+	"slices"
+)
+
+// Invariants implements invariant.Checkable: the buffer-hierarchy
+// structure the Hoeffding argument for Random's guarantee rests on.
+//
+//   - Every buffer holds at most s elements at a sane level.
+//   - Full buffers are sorted (the k-way merge and the query path both
+//     assume it).
+//   - At most h+1 buffers are full (the configured hierarchy size; Merge
+//     restores this bound before returning).
+//   - The per-block sampling state of the buffer being filled is
+//     coherent: block size is 2^level and both cursor and pick position
+//     lie inside the block.
+//   - Weight accounting: the retained weighted samples Σ 2^level·|B|
+//     track n. Promotion and odd-length merges conserve weight only in
+//     expectation (each is an unbiased halving), so the check is a
+//     gross-corruption bound rather than an equality: pure streaming
+//     keeps Σ ≤ n exactly, and the random drift Merge can introduce
+//     stays far inside the 4(n+1) ceiling enforced here.
+func (r *Random) Invariants() error {
+	if r.n < 0 {
+		return fmt.Errorf("randalg: negative count %d", r.n)
+	}
+	if len(r.bufs) < r.h+1 {
+		return fmt.Errorf("randalg: %d buffer slots, want at least h+1 = %d", len(r.bufs), r.h+1)
+	}
+	var total int64
+	full := 0
+	curSeen := false
+	for i, b := range r.bufs {
+		if len(b.data) > r.s {
+			return fmt.Errorf("randalg: buffer %d holds %d > s = %d elements", i, len(b.data), r.s)
+		}
+		if b.level < 0 || b.level > 62 {
+			return fmt.Errorf("randalg: buffer %d at impossible level %d", i, b.level)
+		}
+		if b.full {
+			full++
+			if !slices.IsSorted(b.data) {
+				return fmt.Errorf("randalg: full buffer %d is not sorted", i)
+			}
+		}
+		if b == r.cur {
+			curSeen = true
+			if b.full {
+				return fmt.Errorf("randalg: buffer being filled is marked full")
+			}
+		}
+		total += int64(len(b.data)) << b.level
+	}
+	if full > r.h+1 {
+		return fmt.Errorf("randalg: %d full buffers exceed hierarchy size h+1 = %d", full, r.h+1)
+	}
+	if r.cur != nil {
+		if !curSeen {
+			return fmt.Errorf("randalg: current buffer is not one of the %d slots", len(r.bufs))
+		}
+		if r.blockSize != int64(1)<<r.cur.level {
+			return fmt.Errorf("randalg: block size %d does not match level %d", r.blockSize, r.cur.level)
+		}
+		if r.blockPos < 0 || r.blockPos >= r.blockSize {
+			return fmt.Errorf("randalg: block position %d outside [0, %d)", r.blockPos, r.blockSize)
+		}
+		if r.pickAt < 0 || r.pickAt >= r.blockSize {
+			return fmt.Errorf("randalg: sample position %d outside [0, %d)", r.pickAt, r.blockSize)
+		}
+	}
+	if total > 4*(r.n+1) {
+		return fmt.Errorf("randalg: retained weight %d far exceeds stream length %d", total, r.n)
+	}
+	return nil
+}

@@ -181,6 +181,7 @@ func (r *Random) finishBuffer() {
 func (r *Random) mergeLowest() {
 	a, b := r.selectMergePair()
 	if a == nil || b == nil {
+		//lint:ignore SQ003 corruption guard: mergeLowest only runs with all buffers full, so this is unreachable
 		panic("randalg: mergeLowest with fewer than two full buffers")
 	}
 	for a.level < b.level {
@@ -341,10 +342,17 @@ func (r *Random) BatchQuantiles(phis []float64) []uint64 {
 // summaries of Agarwal et al.): buffer sets are combined and the lowest
 // levels merged pairwise until the configured number of buffers remains.
 // Both summaries must have the same eps.
-func (r *Random) Merge(other *Random) {
-	if other.eps != r.eps {
+// checkCompatible validates a merge partner: both summaries must have
+// been built with bit-identical eps (exact comparison is the intent, so
+// it goes through Float64bits).
+func (r *Random) checkCompatible(other *Random) {
+	if math.Float64bits(other.eps) != math.Float64bits(r.eps) {
 		panic("randalg: merging summaries with different eps")
 	}
+}
+
+func (r *Random) Merge(other *Random) {
+	r.checkCompatible(other)
 	// Close out partially filled buffers; their samples are already
 	// weighted by their level.
 	if r.cur != nil && len(r.cur.data) > 0 {

@@ -174,6 +174,7 @@ func (l *List[K, V]) Remove(n *Node[K, V]) {
 	}
 	if n.prev != nil && n.prev.next[0] == n {
 		// Defensive: base-level unlink must have happened above.
+		//lint:ignore SQ003 corruption guard: continuing with a half-unlinked node would corrupt the list silently
 		panic("skiplist: Remove could not unlink node at base level")
 	}
 	l.size--

@@ -112,6 +112,7 @@ func (z Zipf) UniverseBits() int { return z.Bits }
 func (z Zipf) Fill(dst []uint64) {
 	checkBits(z.Bits)
 	if z.S <= 1 {
+		//lint:ignore SQ003 generator config contract: Zipf is a value type with no constructor to validate in
 		panic("streamgen: Zipf exponent must be > 1")
 	}
 	rng := xhash.NewSplitMix64(z.Seed)

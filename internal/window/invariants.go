@@ -1,0 +1,65 @@
+package window
+
+import "fmt"
+
+// Invariants implements invariant.Checkable: the block bookkeeping the
+// sliding-window error argument depends on, plus a cascade into the deep
+// checks of every live block's Random sub-summary.
+//
+//   - Sealed blocks hold exactly blockSize elements and end at
+//     consecutive blockSize-aligned stream positions ≤ pos.
+//   - No fully expired block survives (every sealed block's end lies
+//     inside the window).
+//   - The covered element count stays inside the documented envelope
+//     min(pos, W) ≤ n ≤ W + blockSize − 1, the ±one-block quantization
+//     that contributes the εW/2 half of the error budget.
+func (w *Windowed) Invariants() error {
+	if w.blockSize < 1 {
+		return fmt.Errorf("window: block size %d < 1", w.blockSize)
+	}
+	if w.pos < 0 {
+		return fmt.Errorf("window: negative stream position %d", w.pos)
+	}
+	cutoff := w.pos - w.window
+	var n int64
+	prevEnd := int64(-1)
+	for i, b := range w.blocks {
+		c := b.summary.Count()
+		if c != w.blockSize {
+			return fmt.Errorf("window: sealed block %d holds %d elements, want %d", i, c, w.blockSize)
+		}
+		if b.end <= cutoff {
+			return fmt.Errorf("window: block %d (end %d) expired at position %d but survives", i, b.end, w.pos)
+		}
+		if b.end > w.pos {
+			return fmt.Errorf("window: block %d ends at %d, beyond stream position %d", i, b.end, w.pos)
+		}
+		if prevEnd >= 0 && b.end != prevEnd+w.blockSize {
+			return fmt.Errorf("window: block %d ends at %d, want contiguous %d", i, b.end, prevEnd+w.blockSize)
+		}
+		prevEnd = b.end
+		if err := b.summary.Invariants(); err != nil {
+			return fmt.Errorf("window: block %d: %w", i, err)
+		}
+		n += c
+	}
+	if w.cur != nil {
+		c := w.cur.summary.Count()
+		if c >= w.blockSize {
+			return fmt.Errorf("window: open block holds %d elements, want < %d", c, w.blockSize)
+		}
+		if err := w.cur.summary.Invariants(); err != nil {
+			return fmt.Errorf("window: open block: %w", err)
+		}
+		n += c
+	}
+	min := w.pos
+	if w.window < min {
+		min = w.window
+	}
+	if n < min || n > w.window+w.blockSize-1 {
+		return fmt.Errorf("window: covered count %d outside envelope [%d, %d]",
+			n, min, w.window+w.blockSize-1)
+	}
+	return nil
+}

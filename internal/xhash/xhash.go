@@ -52,6 +52,7 @@ func (s *SplitMix64) Float64() float64 {
 // Intn returns a uniform value in [0, n). It panics if n <= 0.
 func (s *SplitMix64) Intn(n int) int {
 	if n <= 0 {
+		//lint:ignore SQ003 documented argument contract of the RNG primitive, mirroring math/rand
 		panic("xhash: Intn with non-positive bound")
 	}
 	return int(s.Uint64n(uint64(n)))
@@ -61,6 +62,7 @@ func (s *SplitMix64) Intn(n int) int {
 // rejection method. It panics if n == 0.
 func (s *SplitMix64) Uint64n(n uint64) uint64 {
 	if n == 0 {
+		//lint:ignore SQ003 documented argument contract of the RNG primitive, mirroring math/rand
 		panic("xhash: Uint64n with zero bound")
 	}
 	// Fast path: multiply-shift with rejection to remove modulo bias.

@@ -46,6 +46,7 @@ import (
 	"streamquantiles/internal/core"
 	"streamquantiles/internal/dyadic"
 	"streamquantiles/internal/gk"
+	"streamquantiles/internal/invariant"
 	"streamquantiles/internal/kll"
 	"streamquantiles/internal/mrl"
 	"streamquantiles/internal/multipass"
@@ -68,6 +69,20 @@ type Turnstile = core.Turnstile
 
 // ErrEmpty is the panic value of quantile queries on empty summaries.
 var ErrEmpty = core.ErrEmpty
+
+// Checkable is implemented by every summary type in this package: the
+// Invariants method re-verifies the deep structural properties the
+// summary's error guarantee is proved from (GK's g+Δ ≤ ⌊2εn⌋ capacity,
+// q-digest's weight conservation, KLL's exact level-weight accounting,
+// the dyadic levels' additivity, …) and reports the first violation.
+// Production code never needs it; tests, the sqcheck-tagged fuzz
+// harnesses, and debugging sessions do. The repo linter (cmd/quantlint,
+// rule SQ005) enforces that every summary type implements it.
+type Checkable = invariant.Checkable
+
+// CheckInvariants runs the deep structural self-checks of a summary and
+// returns the first violation found, or nil.
+func CheckInvariants(s Checkable) error { return invariant.Check(s) }
 
 // GKAdaptive is the heuristic Greenwald–Khanna variant (heap-driven
 // tuple removal): the most space-efficient deterministic summary.

@@ -5,20 +5,46 @@ import "sync"
 // The summaries in this library are single-writer structures, as in the
 // paper's streaming model. SafeCashRegister and SafeTurnstile wrap them
 // for concurrent use: updates take an exclusive lock, queries a shared
-// one. For query-heavy workloads note that several summaries
-// (GKArray and the dyadic sketches' Post snapshots) amortize work into
-// queries, so simple mutual exclusion is the honest general contract.
+// one — except for summaries that amortize buffered work into their
+// query methods (anything implementing Flusher: GKArray, GKBiased and
+// QDigest flush pending elements when queried), where queries also
+// mutate and therefore take the exclusive lock. The wrapper detects
+// this once at construction, so callers get the strongest locking that
+// is sound for their summary without choosing it themselves.
+
+// Flusher is implemented by summaries whose query methods first merge
+// buffered updates into the main structure. For these types a read
+// lock is NOT sufficient for queries.
+type Flusher interface {
+	// Flush merges any buffered elements into the main structure.
+	Flush()
+}
 
 // SafeCashRegister is a goroutine-safe wrapper around a CashRegister.
 type SafeCashRegister struct {
-	mu sync.Mutex
+	mu sync.RWMutex
 	s  CashRegister
+	// exclusiveReads is set when s implements Flusher: its queries
+	// mutate internal state, so they need the write lock.
+	exclusiveReads bool
 }
 
 // NewSafeCashRegister wraps s. The wrapped summary must not be used
 // directly afterwards.
 func NewSafeCashRegister(s CashRegister) *SafeCashRegister {
-	return &SafeCashRegister{s: s}
+	_, flushes := s.(Flusher)
+	return &SafeCashRegister{s: s, exclusiveReads: flushes}
+}
+
+// rlock takes the strongest lock queries on the wrapped summary need
+// and returns the matching unlock.
+func (c *SafeCashRegister) rlock() func() {
+	if c.exclusiveReads {
+		c.mu.Lock()
+		return c.mu.Unlock
+	}
+	c.mu.RLock()
+	return c.mu.RUnlock
 }
 
 // Update observes one element.
@@ -30,50 +56,59 @@ func (c *SafeCashRegister) Update(x uint64) {
 
 // Quantile returns an estimated φ-quantile.
 func (c *SafeCashRegister) Quantile(phi float64) uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	defer c.rlock()()
 	return c.s.Quantile(phi)
 }
 
 // Quantiles extracts one quantile per fraction under a single lock
 // acquisition.
 func (c *SafeCashRegister) Quantiles(phis []float64) []uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	defer c.rlock()()
 	return Quantiles(c.s, phis)
 }
 
 // Rank returns the estimated rank of x.
 func (c *SafeCashRegister) Rank(x uint64) int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	defer c.rlock()()
 	return c.s.Rank(x)
 }
 
 // Count reports n.
 func (c *SafeCashRegister) Count() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	defer c.rlock()()
 	return c.s.Count()
 }
 
 // SpaceBytes reports the summary size (wrapper overhead excluded).
 func (c *SafeCashRegister) SpaceBytes() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	defer c.rlock()()
 	return c.s.SpaceBytes()
 }
 
 // SafeTurnstile is a goroutine-safe wrapper around a Turnstile summary.
 type SafeTurnstile struct {
-	mu sync.Mutex
+	mu sync.RWMutex
 	s  Turnstile
+	// exclusiveReads is set when s implements Flusher; see
+	// SafeCashRegister. The dyadic sketches are pure readers at query
+	// time, so in practice turnstile queries run under the shared lock.
+	exclusiveReads bool
 }
 
 // NewSafeTurnstile wraps s. The wrapped summary must not be used
 // directly afterwards.
 func NewSafeTurnstile(s Turnstile) *SafeTurnstile {
-	return &SafeTurnstile{s: s}
+	_, flushes := s.(Flusher)
+	return &SafeTurnstile{s: s, exclusiveReads: flushes}
+}
+
+func (c *SafeTurnstile) rlock() func() {
+	if c.exclusiveReads {
+		c.mu.Lock()
+		return c.mu.Unlock
+	}
+	c.mu.RLock()
+	return c.mu.RUnlock
 }
 
 // Insert adds one occurrence of x.
@@ -92,28 +127,24 @@ func (c *SafeTurnstile) Delete(x uint64) {
 
 // Quantile returns an estimated φ-quantile.
 func (c *SafeTurnstile) Quantile(phi float64) uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	defer c.rlock()()
 	return c.s.Quantile(phi)
 }
 
 // Rank returns the estimated rank of x.
 func (c *SafeTurnstile) Rank(x uint64) int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	defer c.rlock()()
 	return c.s.Rank(x)
 }
 
 // Count reports the current number of elements.
 func (c *SafeTurnstile) Count() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	defer c.rlock()()
 	return c.s.Count()
 }
 
 // SpaceBytes reports the summary size.
 func (c *SafeTurnstile) SpaceBytes() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	defer c.rlock()()
 	return c.s.SpaceBytes()
 }

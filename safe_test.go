@@ -42,6 +42,93 @@ func TestSafeCashRegisterConcurrent(t *testing.T) {
 	}
 }
 
+// TestSafeFlusherDetection pins the lock-mode selection: summaries that
+// flush buffered work at query time must be detected and demoted to
+// exclusive reads; pure-reader summaries must keep shared reads.
+func TestSafeFlusherDetection(t *testing.T) {
+	flushing := map[string]CashRegister{
+		"GKArray":  NewGKArray(0.01),
+		"GKBiased": NewGKBiased(0.01),
+		"QDigest":  NewQDigest(0.01, 16),
+	}
+	for name, s := range flushing {
+		if !NewSafeCashRegister(s).exclusiveReads {
+			t.Errorf("%s flushes on query but was given shared reads", name)
+		}
+	}
+	pure := map[string]CashRegister{
+		"GKAdaptive": NewGKAdaptive(0.01),
+		"GKTheory":   NewGKTheory(0.01),
+		"MRL99":      NewMRL99(0.01, 1),
+		"Random":     NewRandom(0.01, 1),
+		"KLL":        NewKLL(0.01, 1),
+		"Windowed":   NewWindowed(0.05, 1000, 1),
+	}
+	for name, s := range pure {
+		if NewSafeCashRegister(s).exclusiveReads {
+			t.Errorf("%s is a pure reader at query time but was demoted to exclusive reads", name)
+		}
+	}
+	if NewSafeTurnstile(NewDCS(0.05, 12, DyadicConfig{Seed: 1})).exclusiveReads {
+		t.Error("DCS is a pure reader at query time but was demoted to exclusive reads")
+	}
+}
+
+// TestSafeConcurrentReadersAndWriter drives dedicated reader goroutines
+// against a continuous writer, for both lock regimes. Under -race this
+// is the proof that shared-read queries are actually sound: a summary
+// that mutated during an RLocked query would be flagged immediately.
+func TestSafeConcurrentReadersAndWriter(t *testing.T) {
+	summaries := map[string]CashRegister{
+		"KLL-sharedreads":        NewKLL(0.02, 7),  // pure reader: RLock path
+		"GKArray-exclusivereads": NewGKArray(0.02), // Flusher: Lock path
+	}
+	for name, inner := range summaries {
+		t.Run(name, func(t *testing.T) {
+			s := NewSafeCashRegister(inner)
+			const n = 20000
+			const readers = 4
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						if s.Count() == 0 {
+							continue
+						}
+						q := s.Quantile(0.5)
+						_ = s.Rank(q)
+						_ = s.SpaceBytes()
+						if i%64 == 0 {
+							_ = s.Quantiles([]float64{0.25, 0.75})
+						}
+					}
+				}(r)
+			}
+			for i := 0; i < n; i++ {
+				s.Update(uint64(i))
+			}
+			close(stop)
+			wg.Wait()
+			if s.Count() != n {
+				t.Fatalf("count %d, want %d", s.Count(), n)
+			}
+			med := s.Quantile(0.5)
+			slack := uint64(float64(n) * 0.02)
+			if med < n/2-slack || med > n/2+slack {
+				t.Errorf("median %d outside %d±%d", med, n/2, slack)
+			}
+		})
+	}
+}
+
 func TestSafeTurnstileConcurrent(t *testing.T) {
 	s := NewSafeTurnstile(NewDCS(0.02, 16, DyadicConfig{Seed: 1}))
 	var wg sync.WaitGroup
