@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint check bench experiments report html clean
+.PHONY: all build test race lint check crash fuzz bench experiments report html clean
 
 all: build test lint
 
@@ -16,7 +16,7 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Repo-specific static analysis (rules SQ001-SQ005); see cmd/quantlint.
+# Repo-specific static analysis (rules SQ001-SQ006); see cmd/quantlint.
 lint:
 	$(GO) run ./cmd/quantlint ./...
 
@@ -24,6 +24,21 @@ lint:
 # sanitizer inside the test suite's samplers.
 check:
 	$(GO) test -tags sqcheck ./...
+
+# Fault-injected crash recovery: the full matrix (every registered
+# summary x torn write / bit flip / short read / transient EIO), the
+# checkpoint and fault-injection packages, and the kill -9 CLI resume
+# test, all under -race with the sqcheck sanitizer armed.
+crash:
+	$(GO) test -race -tags sqcheck -run 'TestCrashRecoveryMatrix' -v -count=1 .
+	$(GO) test -race -tags sqcheck -count=1 ./internal/checkpoint/ ./internal/faultio/
+	$(GO) test -race -count=1 -run 'TestKillNineResume|TestSaveLoad|TestResume' ./cmd/quantcli/
+
+# Short live-fuzz session over the decoder harnesses (the seed corpus
+# alone runs as part of `make test`).
+fuzz:
+	$(GO) test -fuzz=FuzzDecodeMutated -fuzztime=60s -run FuzzDecodeMutated .
+	$(GO) test -fuzz=FuzzDecode -fuzztime=60s -run FuzzDecode ./internal/freqsketch/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

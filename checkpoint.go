@@ -1,0 +1,127 @@
+package streamquantiles
+
+import (
+	"encoding"
+	"fmt"
+
+	"streamquantiles/internal/checkpoint"
+	"streamquantiles/internal/core"
+	"streamquantiles/internal/invariant"
+)
+
+// Durability layer. A streaming summary cannot be rebuilt after a crash
+// — the cash-register model forbids re-reading the input — so the
+// summary state is checkpointed to disk instead: atomic,
+// generation-numbered files framing the summaries' binary encodings
+// with a versioned header and CRC32C integrity codes. Recovery scans
+// newest-first and degrades gracefully past corrupt or torn
+// generations, reporting what it skipped and why. See
+// internal/checkpoint for the file format and internal/faultio for the
+// fault-injection harness that exercises every failure mode.
+
+// Checkpointer writes generation-numbered checkpoint files into one
+// directory using the write-to-temp → fsync → rename protocol, retrying
+// transient storage errors with capped exponential backoff and full
+// jitter. It is not goroutine-safe; give each checkpoint directory one
+// writer.
+type Checkpointer = checkpoint.Checkpointer
+
+// RecoveryReport describes what checkpoint recovery loaded and what it
+// rejected (with reasons) on the way.
+type RecoveryReport = checkpoint.RecoveryReport
+
+// CheckpointFS abstracts the filesystem under the checkpoint layer;
+// production code uses the real one implicitly, tests substitute the
+// fault-injecting shims of internal/faultio.
+type CheckpointFS = checkpoint.FS
+
+// CheckpointOption customizes OpenCheckpointDir (retention, retry
+// policy, filesystem).
+type CheckpointOption = checkpoint.Option
+
+// ErrNoCheckpoint reports that recovery found no usable generation:
+// the directory is empty or everything in it failed validation.
+var ErrNoCheckpoint = checkpoint.ErrNoCheckpoint
+
+// ErrCorrupt is wrapped by every decoding failure in the library —
+// truncated input, hostile length prefixes, failed integrity checks —
+// so callers can distinguish bad bytes from environmental errors with
+// errors.Is.
+var ErrCorrupt = core.ErrCorrupt
+
+// OpenCheckpointDir prepares dir for checkpointing, creating it if
+// needed and positioning the generation counter after any existing
+// checkpoints, so a restarted process continues the sequence.
+func OpenCheckpointDir(dir string, opts ...CheckpointOption) (*Checkpointer, error) {
+	return checkpoint.Open(dir, opts...)
+}
+
+// SaveCheckpoint marshals s and durably publishes it as the next
+// generation in ck's directory, returning the generation number. The
+// label (typically the algorithm name) is stored in the header and
+// surfaces again in the RecoveryReport, before any payload is decoded.
+func SaveCheckpoint(ck *Checkpointer, label string, s encoding.BinaryMarshaler) (uint64, error) {
+	payload, err := s.MarshalBinary()
+	if err != nil {
+		return 0, fmt.Errorf("streamquantiles: marshal for checkpoint: %w", err)
+	}
+	return ck.Save(label, payload)
+}
+
+// RecoverCheckpoint loads the newest checkpoint in dir that passes
+// every validation layer — header, CRC32C integrity, decoding into
+// target, and target's deep structural invariants (when it implements
+// Checkable, which every summary in this library does) — and reports
+// what was loaded and what was skipped. Generations failing any check
+// are passed over for the next older one. On error, target's contents
+// are unspecified.
+func RecoverCheckpoint(dir string, target encoding.BinaryUnmarshaler) (*RecoveryReport, error) {
+	return RecoverCheckpointFS(checkpoint.OSFS{}, dir, target)
+}
+
+// RecoverCheckpointFS is RecoverCheckpoint over an explicit filesystem;
+// the crash-recovery tests drive it through internal/faultio shims.
+func RecoverCheckpointFS(fs CheckpointFS, dir string, target encoding.BinaryUnmarshaler) (*RecoveryReport, error) {
+	_, report, err := checkpoint.Recover(fs, dir, func(label string, payload []byte) error {
+		return decodeValidated(target, payload)
+	})
+	return report, err
+}
+
+// RecoverCheckpointFunc is RecoverCheckpoint for callers that do not
+// know in advance what was checkpointed: build receives the label stored
+// in each candidate's header and returns a fresh decode target for it
+// (or an error to reject the candidate). The successfully decoded target
+// is returned. cmd/quantcli's resume path uses this to reconstruct the
+// right summary type from the checkpoint alone.
+func RecoverCheckpointFunc(dir string, build func(label string) (encoding.BinaryUnmarshaler, error)) (encoding.BinaryUnmarshaler, *RecoveryReport, error) {
+	var got encoding.BinaryUnmarshaler
+	_, report, err := checkpoint.Recover(checkpoint.OSFS{}, dir, func(label string, payload []byte) error {
+		target, err := build(label)
+		if err != nil {
+			return err
+		}
+		if err := decodeValidated(target, payload); err != nil {
+			return err
+		}
+		got = target
+		return nil
+	})
+	return got, report, err
+}
+
+// decodeValidated decodes payload into target and, when the target can
+// self-verify (every summary in this library can), re-checks its deep
+// structural invariants: a checkpoint that decodes but violates its own
+// accuracy guarantee is as unusable as one failing its CRC.
+func decodeValidated(target encoding.BinaryUnmarshaler, payload []byte) error {
+	if err := target.UnmarshalBinary(payload); err != nil {
+		return err
+	}
+	if c, ok := target.(Checkable); ok {
+		if err := invariant.Check(c); err != nil {
+			return fmt.Errorf("decoded summary fails invariants: %w", err)
+		}
+	}
+	return nil
+}

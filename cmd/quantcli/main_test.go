@@ -1,9 +1,30 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	sq "streamquantiles"
 )
+
+// TestMain doubles the test binary as the real CLI: when re-exec'd with
+// QUANTCLI_BE_CLI=1 it runs main() instead of the tests, which is what
+// lets TestKillNineResume kill -9 an actual quantcli process mid-ingest.
+func TestMain(m *testing.M) {
+	if os.Getenv("QUANTCLI_BE_CLI") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
 
 func TestBuildAllAlgorithms(t *testing.T) {
 	cashNames := []string{"gkadaptive", "gktheory", "gkarray", "qdigest", "mrl99", "random"}
@@ -74,5 +95,213 @@ func TestProcessBadLine(t *testing.T) {
 	cash, _, _ := build("gkarray", 0.1, 16, 1)
 	if err := process(strings.NewReader("5\nxyz\n"), cash, nil, false); err == nil {
 		t.Error("garbage line accepted")
+	}
+}
+
+// elem is the deterministic test stream: a fixed multiplicative shuffle
+// of 0..n over a 2^20 universe, so any prefix is reproducible exactly.
+func elem(i int) uint64 {
+	return (uint64(i) * 2654435761) % (1 << 20)
+}
+
+func feed(from, to int) string {
+	var b strings.Builder
+	for i := from; i < to; i++ {
+		fmt.Fprintf(&b, "%d\n", elem(i))
+	}
+	return b.String()
+}
+
+func TestSaveLoadSubcommands(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ck")
+	var out, errb bytes.Buffer
+	code := runSave([]string{"-dir", dir, "-algo", "kll", "-every", "1000", "-q", "0.5", "-report"},
+		strings.NewReader(feed(0, 5000)), &out, &errb)
+	if code != 0 {
+		t.Fatalf("save exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "n=5000") {
+		t.Fatalf("save report missing count: %q", out.String())
+	}
+	saveQuantile := out.String()[strings.Index(out.String(), "q0.5"):]
+
+	var lout bytes.Buffer
+	errb.Reset()
+	code = runLoad([]string{"-dir", dir, "-q", "0.5"}, &lout, &errb)
+	if code != 0 {
+		t.Fatalf("load exit %d: %s", code, errb.String())
+	}
+	if lout.String() != saveQuantile {
+		t.Fatalf("load answered %q, save answered %q", lout.String(), saveQuantile)
+	}
+}
+
+func TestResumeSubcommandContinues(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ck")
+	const n = 8000
+	var out, errb bytes.Buffer
+	code := runSave([]string{"-dir", dir, "-algo", "gkadaptive", "-every", "1000", "-q", "0.5"},
+		strings.NewReader(feed(0, n/2)), &out, &errb)
+	if code != 0 {
+		t.Fatalf("save exit %d: %s", code, errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	code = runResume([]string{"-dir", dir, "-q", "0.5"}, strings.NewReader(feed(n/2, n)), &out, &errb)
+	if code != 0 {
+		t.Fatalf("resume exit %d: %s", code, errb.String())
+	}
+	// The resumed run must answer exactly like one uninterrupted run:
+	// gkadaptive is deterministic and checkpoints are exact state.
+	ref, _, _ := build("gkadaptive", 0.01, 32, 1)
+	if err := process(strings.NewReader(feed(0, n)), ref, nil, false); err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("q0.5\t%d\n", ref.Quantile(0.5))
+	if out.String() != want {
+		t.Fatalf("resumed run answered %q, uninterrupted run %q", out.String(), want)
+	}
+}
+
+func TestResumeTurnstileCheckpoint(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ck")
+	var out, errb bytes.Buffer
+	code := runSave([]string{"-dir", dir, "-algo", "dcs", "-turnstile", "-every", "500", "-q", "0.5"},
+		strings.NewReader("5\n7\n-5\n9\n1000\n"), &out, &errb)
+	if code != 0 {
+		t.Fatalf("save exit %d: %s", code, errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	code = runResume([]string{"-dir", dir, "-turnstile", "-q", "0.5", "-report"},
+		strings.NewReader("-7\n12\n"), &out, &errb)
+	if code != 0 {
+		t.Fatalf("resume exit %d: %s", code, errb.String())
+	}
+	// Save saw +5 +7 −5 +9 +1000 (n=3); resume adds −7 +12 (n=3).
+	if !strings.Contains(out.String(), "n=3") {
+		t.Fatalf("resumed turnstile count wrong: %q", out.String())
+	}
+}
+
+func TestLoadWithoutCheckpoint(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := runLoad([]string{"-dir", t.TempDir()}, &out, &errb); code != 1 {
+		t.Fatalf("load from empty dir exited %d: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "no usable checkpoint") {
+		t.Fatalf("stderr %q", errb.String())
+	}
+}
+
+func TestSaveRequiresDir(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := runSave(nil, strings.NewReader(""), &out, &errb); code != 2 {
+		t.Fatalf("save without -dir exited %d", code)
+	}
+}
+
+func hasCheckpoint(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".ckpt") {
+			return true
+		}
+	}
+	return false
+}
+
+// TestKillNineResume is the end-to-end durability acceptance test: a
+// real quantcli process is SIGKILLed mid-ingest after its first
+// checkpoint lands, and a second process resumes from the published
+// generation and finishes the stream. The resumed run must answer
+// exactly — not approximately — like one uninterrupted run, because a
+// checkpoint is the summary's exact state.
+func TestKillNineResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("forks and kills real processes")
+	}
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	const total = 50000
+	const every = 2000
+	const qspec = "0.1,0.5,0.9"
+
+	cmd := exec.Command(os.Args[0], "save", "-dir", dir, "-algo", "gkarray",
+		"-eps", "0.01", "-every", fmt.Sprint(every), "-q", qspec)
+	cmd.Env = append(os.Environ(), "QUANTCLI_BE_CLI=1")
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Feed the stream in chunks until a checkpoint generation is
+	// published, then kill -9: the process gets no chance to clean up.
+	w := bufio.NewWriter(stdin)
+	fed := 0
+	for fed < total && !hasCheckpoint(dir) {
+		for end := fed + 500; fed < end && fed < total; fed++ {
+			fmt.Fprintf(w, "%d\n", elem(fed))
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatalf("feeding after %d elements: %v", fed, err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !hasCheckpoint(dir) {
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint appeared")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = cmd.Wait() // reap; the kill makes this an error by design
+	stdin.Close()
+	if fed >= total {
+		t.Fatalf("stream exhausted (%d elements) before the kill", fed)
+	}
+
+	// Recover in-process to learn how far the durable state got. The
+	// construction parameters are placeholders — the codec restores the
+	// real ones from the checkpoint.
+	probe := sq.NewGKArray(0.5)
+	if _, err := sq.RecoverCheckpoint(dir, probe); err != nil {
+		t.Fatalf("recovery after kill -9: %v", err)
+	}
+	n0 := int(probe.Count())
+	if n0 == 0 || n0%every != 0 || n0 > fed {
+		t.Fatalf("recovered count %d not a checkpoint boundary within the %d fed", n0, fed)
+	}
+	t.Logf("killed after feeding %d, durable state holds %d", fed, n0)
+
+	// Second incarnation: resume from the checkpoint, stream the rest.
+	cmd2 := exec.Command(os.Args[0], "resume", "-dir", dir,
+		"-every", fmt.Sprint(every), "-q", qspec)
+	cmd2.Env = append(os.Environ(), "QUANTCLI_BE_CLI=1")
+	cmd2.Stdin = strings.NewReader(feed(n0, total))
+	var out, errb bytes.Buffer
+	cmd2.Stdout = &out
+	cmd2.Stderr = &errb
+	if err := cmd2.Run(); err != nil {
+		t.Fatalf("resume run: %v\nstderr: %s", err, errb.String())
+	}
+
+	// Reference: the same stream, never interrupted, in-process.
+	ref, _, _ := build("gkarray", 0.01, 32, 1)
+	if err := process(strings.NewReader(feed(0, total)), ref, nil, false); err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if code := printResults(&want, io.Discard, ref, "gkarray", 0.01, qspec, false); code != 0 {
+		t.Fatal("reference printResults failed")
+	}
+	if out.String() != want.String() {
+		t.Fatalf("resumed answers differ from uninterrupted run:\nresumed:\n%s\nreference:\n%s", out.String(), want.String())
 	}
 }

@@ -111,6 +111,7 @@ func lint(base string, patterns []string) ([]finding, error) {
 	l.checkSQ003()
 	l.checkSQ004()
 	l.checkSQ005()
+	l.checkSQ006()
 	l.markSuppressed()
 	sort.Slice(l.findings, func(i, j int) bool {
 		a, b := l.findings[i], l.findings[j]

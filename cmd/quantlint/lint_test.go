@@ -95,6 +95,7 @@ func TestEachRuleFiresExactlyOnce(t *testing.T) {
 		"internal/sq002":   "SQ002",
 		"internal/sq003":   "SQ003",
 		"internal/sq004":   "SQ004",
+		"internal/sq006":   "SQ006",
 		"internal/ignored": "SQ000", // the malformed directive
 		"quantiles.go":     "SQ005",
 	}

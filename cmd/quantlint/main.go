@@ -1,8 +1,10 @@
-// Command quantlint is the repo's static analyzer: five numbered rules
-// (SQ001–SQ005) encoding the invariants this codebase relies on but
+// Command quantlint is the repo's static analyzer: six numbered rules
+// (SQ001–SQ006) encoding the invariants this codebase relies on but
 // generic linters cannot know — seeded-randomness discipline, float
-// comparison hygiene, panic-free hot paths, the internal/ layering, and
-// the Invariants() sanitizer contract for every registered summary.
+// comparison hygiene, panic-free hot paths, the internal/ layering,
+// the Invariants() sanitizer contract for every registered summary,
+// and the decode-path hardening contract (no panics, no input-sized
+// allocations without a guard) behind durable checkpoint recovery.
 //
 // Usage:
 //

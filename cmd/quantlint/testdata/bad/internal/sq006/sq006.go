@@ -1,0 +1,39 @@
+// Package sq006 trips SQ006 twice: a panic in a decode path, and an
+// allocation sized by the encoded input without any bounding
+// comparison. The guarded make in unmarshalRows exercises the
+// allowlist (comparison guard, len(), and a declared constant).
+package sq006
+
+const maxRows = 64
+
+// S is a toy summary restored from a hostile byte stream.
+type S struct {
+	data []uint64
+	rows [][]uint64
+}
+
+// UnmarshalBinary violates both halves of the decode-path contract:
+// it panics on short input, and it lets two input bytes size an
+// allocation that is never compared against anything.
+func (s *S) UnmarshalBinary(data []byte) error {
+	if len(data) < 2 {
+		panic("sq006: short input")
+	}
+	n := int(data[0])<<8 | int(data[1])
+	s.data = make([]uint64, n)
+	return nil
+}
+
+// unmarshalRows is clean: the row count is range-checked before it
+// sizes anything, and the inner makes are constant- or len()-sized.
+func (s *S) unmarshalRows(data []byte) error {
+	rows := int(data[0])
+	if rows > maxRows {
+		rows = maxRows
+	}
+	s.rows = make([][]uint64, rows)
+	for i := range s.rows {
+		s.rows[i] = make([]uint64, maxRows, 2*len(data))
+	}
+	return nil
+}

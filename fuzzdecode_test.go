@@ -1,0 +1,63 @@
+package streamquantiles
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzDecodeMutated is the decoder-robustness harness: it takes a valid
+// encoding (the corpus is seeded with golden encodings of every summary
+// that owns a codec), applies a parameterized mutation — truncate to
+// cut bytes, XOR mask into position pos — and feeds the result to every
+// summary's decoder. The contract under test:
+//
+//   - no panic and no unbounded allocation, whatever the bytes say
+//     (hostile length prefixes are the classic failure);
+//   - every decode failure wraps the shared ErrCorrupt sentinel, so
+//     callers can tell bad bytes from environmental errors;
+//   - an input that happens to decode yields a summary that can at
+//     least re-encode and answer Count without panicking.
+//
+// `go test` runs the seed corpus (the CI pass); `go test
+// -fuzz=FuzzDecodeMutated` explores further.
+func FuzzDecodeMutated(f *testing.F) {
+	for _, ms := range matrixSummaries {
+		s := ms.fresh()
+		feedRange(s, 0, 600)
+		blob, err := s.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob, uint16(0), byte(0), uint16(len(blob)))              // pristine
+		f.Add(blob, uint16(len(blob)/2), byte(0x80), uint16(len(blob))) // mid-payload bit flip
+		f.Add(blob, uint16(2), byte(0xFF), uint16(len(blob)))           // mangled header
+		f.Add(blob, uint16(0), byte(0), uint16(len(blob)/2))            // truncation
+		f.Add(blob, uint16(7), byte(0x40), uint16(len(blob)-1))         // lost tail + flip
+	}
+	f.Fuzz(func(t *testing.T, raw []byte, pos uint16, mask byte, cut uint16) {
+		mut := append([]byte(nil), raw...)
+		if int(cut) < len(mut) {
+			mut = mut[:cut]
+		}
+		if len(mut) > 0 {
+			mut[int(pos)%len(mut)] ^= mask
+		}
+		for _, ms := range matrixSummaries {
+			target := ms.fresh()
+			err := target.UnmarshalBinary(mut)
+			if err != nil {
+				if !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("%s: decode error does not wrap ErrCorrupt: %v", ms.name, err)
+				}
+				continue
+			}
+			// The mutation decoded; the resulting state need not be
+			// semantically sane (a flipped counter bit is not detectable
+			// without redundancy) but must stay mechanically usable.
+			if _, err := target.MarshalBinary(); err != nil {
+				t.Fatalf("%s: re-marshal after successful decode: %v", ms.name, err)
+			}
+			_ = target.Count()
+		}
+	})
+}

@@ -1,0 +1,335 @@
+// Package checkpoint is the durability layer of the library: it frames
+// the summaries' binary encodings into atomic, generation-numbered
+// checkpoint files and recovers the newest intact one after a crash.
+//
+// The cash-register model forbids re-reading the stream, so a live
+// summary IS the data: losing it to a process crash means losing the
+// stream. A checkpoint file carries a versioned header and CRC32C
+// integrity codes around an opaque payload (a summary's MarshalBinary
+// output), and is published with the classic write-to-temp → fsync →
+// rename → fsync-dir protocol so a crash at any instant leaves either
+// the previous generation or the new one, never a torn hybrid under the
+// live name. Recovery scans generations newest-first and degrades
+// gracefully: any file failing magic, version, CRC, decode, or deep
+// invariant checks is skipped (with the reason recorded in a
+// RecoveryReport) and the next older generation is tried.
+//
+// Writes retry transient failures — errors whose chain implements
+// Transient() bool, as the faultio shim's injected EIO does — with
+// capped exponential backoff and full jitter, the standard remedy for
+// contended or briefly failing storage.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"streamquantiles/internal/core"
+	"streamquantiles/internal/xhash"
+)
+
+// File format (little-endian):
+//
+//	offset  size  field
+//	0       4     magic "SQCP"
+//	4       1     format version (currently 1)
+//	5       1     label length L (0–255)
+//	6       8     generation number
+//	14      8     payload length N
+//	22      L     label (e.g. the algorithm name; opaque to this layer)
+//	22+L    4     CRC32C over bytes [0, 22+L)
+//	26+L    N     payload (a summary's MarshalBinary output)
+//	26+L+N  4     CRC32C over the payload
+const (
+	magic         = "SQCP"
+	formatVersion = 1
+	fixedHeader   = 22 // bytes before the label
+	crcLen        = 4
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+const (
+	filePrefix = "ckpt-"
+	fileSuffix = ".ckpt"
+	tmpSuffix  = ".tmp"
+)
+
+// fileName returns the published name of a generation.
+func fileName(gen uint64) string {
+	return fmt.Sprintf("%s%016x%s", filePrefix, gen, fileSuffix)
+}
+
+// parseFileName extracts the generation from a published checkpoint
+// name; ok is false for temp files and foreign files.
+func parseFileName(name string) (gen uint64, ok bool) {
+	if !strings.HasPrefix(name, filePrefix) || !strings.HasSuffix(name, fileSuffix) {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, filePrefix), fileSuffix)
+	if len(hex) != 16 {
+		return 0, false
+	}
+	gen, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return gen, true
+}
+
+// appendFrame builds the on-disk frame around payload.
+func appendFrame(gen uint64, label string, payload []byte) ([]byte, error) {
+	if len(label) > 255 {
+		return nil, fmt.Errorf("checkpoint: label %q longer than 255 bytes", label)
+	}
+	buf := make([]byte, 0, fixedHeader+len(label)+crcLen+len(payload)+crcLen)
+	buf = append(buf, magic...)
+	buf = append(buf, formatVersion, byte(len(label)))
+	buf = binary.LittleEndian.AppendUint64(buf, gen)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = append(buf, label...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+	buf = append(buf, payload...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+	return buf, nil
+}
+
+// parseFrame validates a frame read back from disk and returns its
+// contents. All failures wrap core.ErrCorrupt: a bad frame is corrupt
+// data, never an environmental error.
+func parseFrame(data []byte) (gen uint64, label string, payload []byte, err error) {
+	if len(data) < fixedHeader+2*crcLen {
+		return 0, "", nil, core.Corruptf("checkpoint: file of %d bytes shorter than any valid frame", len(data))
+	}
+	if string(data[:4]) != magic {
+		return 0, "", nil, core.Corruptf("checkpoint: bad magic %q", data[:4])
+	}
+	if data[4] != formatVersion {
+		return 0, "", nil, core.Corruptf("checkpoint: unsupported format version %d", data[4])
+	}
+	labelLen := int(data[5])
+	gen = binary.LittleEndian.Uint64(data[6:14])
+	payloadLen := binary.LittleEndian.Uint64(data[14:22])
+	headerEnd := fixedHeader + labelLen
+	// The payload length is validated against the actual file size
+	// before it is used for slicing, so a hostile length cannot cause
+	// an out-of-range access or an oversized allocation.
+	want := uint64(headerEnd + crcLen + crcLen)
+	if uint64(len(data)) < want || payloadLen != uint64(len(data))-want {
+		return 0, "", nil, core.Corruptf("checkpoint: frame of %d bytes inconsistent with label length %d and payload length %d",
+			len(data), labelLen, payloadLen)
+	}
+	gotHeaderCRC := binary.LittleEndian.Uint32(data[headerEnd : headerEnd+crcLen])
+	if c := crc32.Checksum(data[:headerEnd], castagnoli); c != gotHeaderCRC {
+		return 0, "", nil, core.Corruptf("checkpoint: header CRC mismatch (stored %08x, computed %08x)", gotHeaderCRC, c)
+	}
+	label = string(data[fixedHeader:headerEnd])
+	payload = data[headerEnd+crcLen : uint64(headerEnd+crcLen)+payloadLen]
+	gotPayloadCRC := binary.LittleEndian.Uint32(data[len(data)-crcLen:])
+	if c := crc32.Checksum(payload, castagnoli); c != gotPayloadCRC {
+		return 0, "", nil, core.Corruptf("checkpoint: payload CRC mismatch (stored %08x, computed %08x)", gotPayloadCRC, c)
+	}
+	return gen, label, payload, nil
+}
+
+// RetryPolicy caps the write-side retries on transient storage errors.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first attempt
+	// included); values below 1 mean one attempt, i.e. no retries.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// retry up to MaxDelay. The actual sleep is drawn uniformly from
+	// [0, delay) — "full jitter" — to decorrelate concurrent writers.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth.
+	MaxDelay time.Duration
+}
+
+// DefaultRetry is the policy used unless WithRetry overrides it.
+var DefaultRetry = RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 100 * time.Millisecond}
+
+// Checkpointer writes generation-numbered checkpoint files into one
+// directory. It is not goroutine-safe: the summary wrappers serialize
+// their checkpoint calls, matching the one-writer-per-directory model.
+type Checkpointer struct {
+	fs    FS
+	dir   string
+	next  uint64 // generation the next Save publishes
+	keep  int    // generations retained after a successful Save
+	retry RetryPolicy
+	rng   *xhash.SplitMix64
+	sleep func(time.Duration)
+}
+
+// Option customizes Open.
+type Option func(*Checkpointer)
+
+// WithFS substitutes the filesystem (production code uses OSFS; tests
+// inject faultio shims).
+func WithFS(fs FS) Option { return func(c *Checkpointer) { c.fs = fs } }
+
+// WithKeep sets how many newest generations survive pruning after a
+// successful Save. The default 3 balances recovery depth against disk;
+// values below 1 are treated as 1.
+func WithKeep(n int) Option {
+	return func(c *Checkpointer) {
+		if n < 1 {
+			n = 1
+		}
+		c.keep = n
+	}
+}
+
+// WithRetry overrides the transient-failure retry policy.
+func WithRetry(p RetryPolicy) Option { return func(c *Checkpointer) { c.retry = p } }
+
+// WithSleep substitutes the sleeping function used between retries;
+// tests record the requested delays instead of actually waiting.
+func WithSleep(sleep func(time.Duration)) Option {
+	return func(c *Checkpointer) { c.sleep = sleep }
+}
+
+// WithJitterSeed seeds the backoff jitter; the default seed is fine for
+// production, tests pin it for reproducible schedules.
+func WithJitterSeed(seed uint64) Option {
+	return func(c *Checkpointer) { c.rng = xhash.NewSplitMix64(seed) }
+}
+
+// Open prepares dir (creating it if needed) for checkpointing and
+// positions the generation counter after the newest existing file, so
+// reopening after a crash never reuses a published generation number.
+func Open(dir string, opts ...Option) (*Checkpointer, error) {
+	c := &Checkpointer{
+		fs:    OSFS{},
+		dir:   dir,
+		keep:  3,
+		retry: DefaultRetry,
+		rng:   xhash.NewSplitMix64(0x5eedc0de),
+		sleep: time.Sleep,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if err := c.fs.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	names, err := c.fs.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	for _, name := range names {
+		if gen, ok := parseFileName(name); ok && gen >= c.next {
+			c.next = gen + 1
+		}
+	}
+	return c, nil
+}
+
+// Dir returns the checkpoint directory.
+func (c *Checkpointer) Dir() string { return c.dir }
+
+// NextGeneration returns the generation number the next Save publishes.
+func (c *Checkpointer) NextGeneration() uint64 { return c.next }
+
+// Save durably publishes payload as the next generation and returns its
+// generation number. Transient storage errors are retried under the
+// policy; any returned error means nothing was published (the previous
+// generation is still the recovery target). The label travels in the
+// header, readable before the payload is decoded — callers use it to
+// record which algorithm produced the payload.
+func (c *Checkpointer) Save(label string, payload []byte) (uint64, error) {
+	frame, err := appendFrame(c.next, label, payload)
+	if err != nil {
+		return 0, err
+	}
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	for attempt := 0; ; attempt++ {
+		err = c.writeGen(c.next, frame)
+		if err == nil {
+			gen := c.next
+			c.next++
+			c.prune()
+			return gen, nil
+		}
+		if attempt+1 >= attempts || !IsTransient(err) {
+			return 0, err
+		}
+		c.sleep(c.backoff(attempt))
+	}
+}
+
+// writeGen runs one attempt of the atomic publish protocol.
+func (c *Checkpointer) writeGen(gen uint64, frame []byte) (err error) {
+	final := filepath.Join(c.dir, fileName(gen))
+	tmp := final + tmpSuffix
+	f, err := c.fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("checkpoint: create temp: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			_ = c.fs.Remove(tmp) // best effort; recovery ignores temp files anyway
+		}
+	}()
+	if _, werr := f.Write(frame); werr != nil {
+		_ = f.Close()
+		return fmt.Errorf("checkpoint: write: %w", werr)
+	}
+	if serr := f.Sync(); serr != nil {
+		_ = f.Close()
+		return fmt.Errorf("checkpoint: fsync: %w", serr)
+	}
+	if cerr := f.Close(); cerr != nil {
+		return fmt.Errorf("checkpoint: close: %w", cerr)
+	}
+	if rerr := c.fs.Rename(tmp, final); rerr != nil {
+		return fmt.Errorf("checkpoint: rename: %w", rerr)
+	}
+	if derr := c.fs.SyncDir(c.dir); derr != nil {
+		return fmt.Errorf("checkpoint: fsync dir: %w", derr)
+	}
+	return nil
+}
+
+// backoff computes the jittered delay before retry number attempt.
+func (c *Checkpointer) backoff(attempt int) time.Duration {
+	delay := c.retry.BaseDelay
+	if delay <= 0 {
+		delay = time.Millisecond
+	}
+	for i := 0; i < attempt && delay < c.retry.MaxDelay; i++ {
+		delay *= 2
+	}
+	if c.retry.MaxDelay > 0 && delay > c.retry.MaxDelay {
+		delay = c.retry.MaxDelay
+	}
+	// Full jitter: uniform in [0, delay). Never negative, may be zero.
+	return time.Duration(c.rng.Uint64n(uint64(delay)))
+}
+
+// prune removes published generations older than the keep window, best
+// effort: a failed removal costs disk, never correctness.
+func (c *Checkpointer) prune() {
+	names, err := c.fs.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	// c.next is one past the newest published generation.
+	oldest := uint64(0)
+	if uint64(c.keep) < c.next {
+		oldest = c.next - uint64(c.keep)
+	}
+	for _, name := range names {
+		if gen, ok := parseFileName(name); ok && gen < oldest {
+			_ = c.fs.Remove(filepath.Join(c.dir, name))
+		}
+	}
+}

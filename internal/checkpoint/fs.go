@@ -1,0 +1,109 @@
+package checkpoint
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// FS is the filesystem surface the checkpoint layer needs: small enough
+// to fake deterministically (internal/faultio wraps it with injected
+// torn writes, bit flips, short reads and transient errors), complete
+// enough for the write-to-temp / fsync / rename durability protocol.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// Create opens name for writing, truncating any existing file.
+	Create(name string) (File, error)
+	// Open opens name for reading.
+	Open(name string) (File, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// ReadDir lists the file names in dir (base names, any order).
+	ReadDir(dir string) ([]string, error)
+	// SyncDir flushes directory metadata (the rename) to stable
+	// storage. Implementations without directory handles may no-op.
+	SyncDir(dir string) error
+}
+
+// File is one open checkpoint file.
+type File interface {
+	io.Reader
+	io.Writer
+	// Sync flushes written data to stable storage.
+	Sync() error
+	Close() error
+}
+
+// OSFS is the production FS over the real filesystem.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// Create implements FS.
+func (OSFS) Create(name string) (File, error) { return os.Create(name) }
+
+// Open implements FS.
+func (OSFS) Open(name string) (File, error) { return os.Open(name) }
+
+// Rename implements FS.
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+// SyncDir implements FS: without the directory fsync a crash can lose
+// the rename itself, resurrecting the previous generation.
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	syncErr := d.Sync()
+	closeErr := d.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// transienter is the marker interface for retryable errors; the faultio
+// shim's injected "transient EIO" implements it.
+type transienter interface{ Transient() bool }
+
+// IsTransient reports whether err is marked retryable: it (or an error
+// it wraps) implements Transient() bool returning true. Permanent
+// failures — corruption, missing directories — are never transient.
+func IsTransient(err error) bool {
+	for err != nil {
+		if t, ok := err.(transienter); ok {
+			return t.Transient()
+		}
+		err = errors.Unwrap(err)
+	}
+	return false
+}
+
+// readAll reads f to EOF tolerating arbitrarily short (but non-zero)
+// reads, as injected by the short-read fault class. io.ReadAll already
+// has exactly that contract; the indirection documents the dependency.
+func readAll(f File) ([]byte, error) { return io.ReadAll(f) }

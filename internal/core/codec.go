@@ -2,9 +2,24 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 )
+
+// ErrCorrupt is the shared sentinel wrapped by every decoding failure in
+// the library: truncated input, hostile length prefixes, out-of-range
+// parameters, inconsistent structure. Callers — most importantly the
+// checkpoint recovery manager — test for it with errors.Is to distinguish
+// "this encoding is bad" from environmental errors (I/O, permissions).
+var ErrCorrupt = errors.New("corrupt encoding")
+
+// Corruptf builds a decoding error wrapping ErrCorrupt. Every summary
+// codec reports malformed input through it so corruption is uniformly
+// detectable with errors.Is(err, core.ErrCorrupt).
+func Corruptf(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, ErrCorrupt)...)
+}
 
 // Encoder builds the compact binary encodings used by the summaries'
 // MarshalBinary implementations: varint-coded integers with
@@ -75,7 +90,7 @@ func (d *Decoder) Err() error { return d.err }
 
 func (d *Decoder) fail(what string) {
 	if d.err == nil {
-		d.err = fmt.Errorf("core: truncated or corrupt encoding reading %s", what)
+		d.err = Corruptf("core: truncated input reading %s", what)
 	}
 }
 
@@ -149,10 +164,17 @@ func (d *Decoder) Len() int {
 	return int(n)
 }
 
-// U64s reads a length-prefixed slice.
+// U64s reads a length-prefixed slice. The allocation is bounded by the
+// remaining input: every element costs at least one encoded byte, so a
+// hostile length prefix larger than the buffer is rejected before any
+// memory is reserved for it.
 func (d *Decoder) U64s() []uint64 {
 	n := d.Len()
 	if d.err != nil || n == 0 {
+		return nil
+	}
+	if n > len(d.buf) {
+		d.fail("u64 slice length")
 		return nil
 	}
 	out := make([]uint64, n)
@@ -165,10 +187,15 @@ func (d *Decoder) U64s() []uint64 {
 	return out
 }
 
-// I64s reads a length-prefixed slice.
+// I64s reads a length-prefixed slice, with the same input-length bound
+// as U64s.
 func (d *Decoder) I64s() []int64 {
 	n := d.Len()
 	if d.err != nil || n == 0 {
+		return nil
+	}
+	if n > len(d.buf) {
+		d.fail("i64 slice length")
 		return nil
 	}
 	out := make([]int64, n)

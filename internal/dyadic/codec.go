@@ -49,7 +49,7 @@ func (s *Sketch) MarshalBinary() ([]byte, error) {
 func (s *Sketch) UnmarshalBinary(data []byte) error {
 	dec := core.NewDecoder(data)
 	if v := dec.U64(); v != dyadicCodecVersion && dec.Err() == nil {
-		return fmt.Errorf("dyadic: unsupported encoding version %d", v)
+		return core.Corruptf("dyadic: unsupported encoding version %d", v)
 	}
 	kind := Kind(dec.U64())
 	bits := int(dec.U64())
@@ -62,8 +62,22 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 	if err := dec.Err(); err != nil {
 		return err
 	}
-	if bits < 1 || bits > 62 || eps <= 0 || eps >= 1 {
-		return fmt.Errorf("dyadic: implausible encoded parameters bits=%d eps=%v", bits, eps)
+	// Positive-form comparisons so NaN (which fails every comparison)
+	// is rejected rather than slipping through to New's panic.
+	if bits < 1 || bits > 62 || !(eps > 0 && eps < 1) {
+		return core.Corruptf("dyadic: implausible encoded parameters bits=%d eps=%v", bits, eps)
+	}
+	// New panics on nonsense configurations and eagerly allocates up to
+	// bits levels of w×d counters, so hostile encodings must be rejected
+	// here: an unknown kind or oversized dimensions never reach the
+	// constructor. The per-level product bound keeps the constructor's
+	// allocation (which a tiny hostile encoding would otherwise control)
+	// within the footprint of any sketch this library can actually run.
+	if kind != DCM && kind != DCS && kind != DRSS {
+		return core.Corruptf("dyadic: unknown sketch kind %d", int(kind))
+	}
+	if w < 1 || w > 1<<24 || d < 1 || d > 256 || int64(w)*int64(d) > 1<<22 {
+		return core.Corruptf("dyadic: implausible sketch dimensions w=%d d=%d", w, d)
 	}
 
 	ns := New(kind, eps, bits, Config{Width: w, Depth: d, Seed: seed, NoExactLevels: noExact})
@@ -74,7 +88,7 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 			return dec.Err()
 		}
 		if isExact != (ns.lvls[l].exact != nil) {
-			return fmt.Errorf("dyadic: level %d exactness mismatch in encoding", l)
+			return core.Corruptf("dyadic: level %d exactness mismatch in encoding", l)
 		}
 		if isExact {
 			vals := dec.I64s()
@@ -82,7 +96,7 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 				return dec.Err()
 			}
 			if len(vals) != len(ns.lvls[l].exact) {
-				return fmt.Errorf("dyadic: level %d has %d exact counters, want %d",
+				return core.Corruptf("dyadic: level %d has %d exact counters, want %d",
 					l, len(vals), len(ns.lvls[l].exact))
 			}
 			copy(ns.lvls[l].exact, vals)
@@ -100,7 +114,7 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 		return err
 	}
 	if dec.Remaining() != 0 {
-		return fmt.Errorf("dyadic: %d trailing bytes", dec.Remaining())
+		return core.Corruptf("dyadic: %d trailing bytes", dec.Remaining())
 	}
 	*s = *ns
 	return nil

@@ -1,0 +1,284 @@
+// Package faultio is a deterministic fault-injecting filesystem shim
+// for crash-recovery testing. It wraps any checkpoint.FS (usually the
+// package's own MemFS) and injects the storage failure modes real
+// sketch deployments meet:
+//
+//   - torn writes: the process crashes after the k-th byte of a write
+//     reached the disk; every later operation fails (the process is
+//     gone) — CrashAfterBytes
+//   - bit flips and acknowledged-but-lost tails: corruption at rest,
+//     applied directly on MemFS (FlipBit, Truncate)
+//   - short reads: Read returns fewer bytes than requested, exposing
+//     readers that assume one call fills the buffer — ShortReads
+//   - transient EIO: the n-th operation of a kind fails with an error
+//     marked Transient() — recoverable by the checkpoint layer's
+//     capped-backoff retries — FailOp
+//
+// Every fault is parameterized explicitly (byte offsets, operation
+// ordinals), so a test matrix driven by a seeded RNG is exactly
+// reproducible from its seed.
+package faultio
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"streamquantiles/internal/checkpoint"
+)
+
+// Op identifies a filesystem operation class for fault targeting.
+type Op int
+
+// The injectable operation classes.
+const (
+	OpCreate Op = iota
+	OpOpen
+	OpRead
+	OpWrite
+	OpSync
+	OpClose
+	OpRename
+	OpRemove
+	OpReadDir
+	OpSyncDir
+)
+
+var opNames = [...]string{"create", "open", "read", "write", "sync", "close", "rename", "remove", "readdir", "syncdir"}
+
+// String returns the operation's name.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// ErrCrashed is returned by every operation after an injected crash
+// point: the simulated process is dead. It is NOT transient — retrying
+// cannot help within the crashed "process"; recovery happens in the
+// next incarnation.
+var ErrCrashed = errors.New("faultio: injected crash")
+
+// transientError marks an injected failure as retryable via the
+// Transient() bool interface the checkpoint layer probes for.
+type transientError struct{ op Op }
+
+func (e *transientError) Error() string {
+	return fmt.Sprintf("faultio: injected transient EIO on %s", e.op)
+}
+
+// Transient reports that retrying may succeed.
+func (e *transientError) Transient() bool { return true }
+
+// Injector wraps an inner checkpoint.FS with programmed faults. The
+// zero fault set is a transparent pass-through. Counters are shared
+// across all files opened through the injector, so "the 3rd write"
+// means the 3rd write the process issues, wherever it lands.
+type Injector struct {
+	inner checkpoint.FS
+
+	mu        sync.Mutex
+	written   int  // cumulative bytes successfully written
+	crashAt   int  // crash once written reaches this; <0 disables
+	crashed   bool // set after the crash point is hit
+	shortRead int  // max bytes per Read; 0 disables
+
+	opCount  map[Op]int    // operations seen so far, per class
+	failOn   map[Op][2]int // op -> [first ordinal, count] to fail
+	failWith map[Op]error  // op -> error to return
+}
+
+// New wraps inner with no faults armed.
+func New(inner checkpoint.FS) *Injector {
+	return &Injector{
+		inner:    inner,
+		crashAt:  -1,
+		opCount:  map[Op]int{},
+		failOn:   map[Op][2]int{},
+		failWith: map[Op]error{},
+	}
+}
+
+// CrashAfterBytes arms a torn-write crash: the write that would push
+// cumulative written bytes past k stores only the prefix up to k and
+// fails with ErrCrashed, as does every subsequent operation. The inner
+// filesystem keeps whatever had been written — exactly what a real
+// crash leaves behind.
+func (in *Injector) CrashAfterBytes(k int) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.crashAt = k
+	return in
+}
+
+// ShortReads caps every Read at max bytes per call, so the stream
+// arrives in deterministic fragments.
+func (in *Injector) ShortReads(max int) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if max < 1 {
+		max = 1
+	}
+	in.shortRead = max
+	return in
+}
+
+// FailOp arms count consecutive transient EIO failures starting at the
+// nth (1-based) operation of the given class.
+func (in *Injector) FailOp(op Op, nth, count int) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.failOn[op] = [2]int{nth, count}
+	in.failWith[op] = &transientError{op: op}
+	return in
+}
+
+// Revive clears the crashed state — the "process" restarts against the
+// same underlying filesystem, which is exactly the recovery scenario.
+func (in *Injector) Revive() *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.crashed = false
+	in.crashAt = -1
+	return in
+}
+
+// before accounts one operation and returns the injected error, if any.
+func (in *Injector) before(op Op) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return ErrCrashed
+	}
+	in.opCount[op]++
+	if window, ok := in.failOn[op]; ok {
+		n := in.opCount[op]
+		if n >= window[0] && n < window[0]+window[1] {
+			return in.failWith[op]
+		}
+	}
+	return nil
+}
+
+// MkdirAll implements checkpoint.FS (never injected: directory creation
+// happens once at open, before any interesting fault window).
+func (in *Injector) MkdirAll(dir string) error { return in.inner.MkdirAll(dir) }
+
+// Create implements checkpoint.FS.
+func (in *Injector) Create(name string) (checkpoint.File, error) {
+	if err := in.before(OpCreate); err != nil {
+		return nil, err
+	}
+	f, err := in.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{in: in, f: f}, nil
+}
+
+// Open implements checkpoint.FS.
+func (in *Injector) Open(name string) (checkpoint.File, error) {
+	if err := in.before(OpOpen); err != nil {
+		return nil, err
+	}
+	f, err := in.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{in: in, f: f}, nil
+}
+
+// Rename implements checkpoint.FS.
+func (in *Injector) Rename(oldname, newname string) error {
+	if err := in.before(OpRename); err != nil {
+		return err
+	}
+	return in.inner.Rename(oldname, newname)
+}
+
+// Remove implements checkpoint.FS.
+func (in *Injector) Remove(name string) error {
+	if err := in.before(OpRemove); err != nil {
+		return err
+	}
+	return in.inner.Remove(name)
+}
+
+// ReadDir implements checkpoint.FS.
+func (in *Injector) ReadDir(dir string) ([]string, error) {
+	if err := in.before(OpReadDir); err != nil {
+		return nil, err
+	}
+	return in.inner.ReadDir(dir)
+}
+
+// SyncDir implements checkpoint.FS.
+func (in *Injector) SyncDir(dir string) error {
+	if err := in.before(OpSyncDir); err != nil {
+		return err
+	}
+	return in.inner.SyncDir(dir)
+}
+
+// faultFile threads file operations back through the injector.
+type faultFile struct {
+	in *Injector
+	f  checkpoint.File
+}
+
+// Read implements io.Reader with injected short reads.
+func (f *faultFile) Read(p []byte) (int, error) {
+	if err := f.in.before(OpRead); err != nil {
+		return 0, err
+	}
+	f.in.mu.Lock()
+	max := f.in.shortRead
+	f.in.mu.Unlock()
+	if max > 0 && len(p) > max {
+		p = p[:max]
+	}
+	return f.f.Read(p)
+}
+
+// Write implements io.Writer with the torn-write crash point.
+func (f *faultFile) Write(p []byte) (int, error) {
+	if err := f.in.before(OpWrite); err != nil {
+		return 0, err
+	}
+	f.in.mu.Lock()
+	crashAt := f.in.crashAt
+	written := f.in.written
+	f.in.mu.Unlock()
+	if crashAt >= 0 && written+len(p) > crashAt {
+		keep := crashAt - written
+		if keep > 0 {
+			if n, err := f.f.Write(p[:keep]); err != nil {
+				return n, err
+			}
+		}
+		f.in.mu.Lock()
+		f.in.written = crashAt
+		f.in.crashed = true
+		f.in.mu.Unlock()
+		return keep, ErrCrashed
+	}
+	n, err := f.f.Write(p)
+	f.in.mu.Lock()
+	f.in.written += n
+	f.in.mu.Unlock()
+	return n, err
+}
+
+// Sync implements checkpoint.File.
+func (f *faultFile) Sync() error {
+	if err := f.in.before(OpSync); err != nil {
+		return err
+	}
+	return f.f.Sync()
+}
+
+// Close implements checkpoint.File. Close is never injected: even a
+// dying process loses its descriptors, so modeling close failure adds
+// noise without a matching real-world recovery behavior.
+func (f *faultFile) Close() error { return f.f.Close() }

@@ -1,0 +1,207 @@
+package faultio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestMemFSCreateWriteOpenRead(t *testing.T) {
+	fs := NewMemFS()
+	if err := fs.MkdirAll("/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create("/a/b/file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("hello "))
+	f.Write([]byte("world"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := fs.Open("/a/b/file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(r)
+	if err != nil || string(data) != "hello world" {
+		t.Fatalf("read %q, %v", data, err)
+	}
+}
+
+func TestMemFSOpenSnapshotsContent(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("/file")
+	f.Write([]byte("before"))
+	r, _ := fs.Open("/file")
+	f.Write([]byte(" after"))
+	data, _ := io.ReadAll(r)
+	if string(data) != "before" {
+		t.Fatalf("reader saw writes after open: %q", data)
+	}
+}
+
+func TestMemFSRenameReplacesTarget(t *testing.T) {
+	fs := NewMemFS()
+	a, _ := fs.Create("/a")
+	a.Write([]byte("new"))
+	b, _ := fs.Create("/b")
+	b.Write([]byte("old"))
+	if err := fs.Rename("/a", "/b"); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := fs.ReadFile("/b")
+	if string(data) != "new" {
+		t.Fatalf("target after rename: %q", data)
+	}
+	if _, err := fs.Open("/a"); err == nil {
+		t.Fatal("source still present after rename")
+	}
+}
+
+func TestMemFSReadDirAndErrors(t *testing.T) {
+	fs := NewMemFS()
+	fs.MkdirAll("/d")
+	fs.Create("/d/b")
+	fs.Create("/d/a")
+	names, err := fs.ReadDir("/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names %v", names)
+	}
+	if _, err := fs.ReadDir("/missing"); err == nil {
+		t.Fatal("missing directory listed")
+	}
+	if _, err := fs.Open("/missing/file"); err == nil {
+		t.Fatal("missing file opened")
+	}
+	if err := fs.Remove("/missing/file"); err == nil {
+		t.Fatal("missing file removed")
+	}
+}
+
+func TestFlipBitAndTruncate(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("/file")
+	f.Write([]byte{0xFF, 0x00})
+	if err := fs.FlipBit("/file", 1, 0x80); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := fs.ReadFile("/file")
+	if !bytes.Equal(data, []byte{0xFF, 0x80}) {
+		t.Fatalf("after flip: %v", data)
+	}
+	if err := fs.FlipBit("/file", 9, 1); err == nil {
+		t.Fatal("out-of-range flip accepted")
+	}
+	if err := fs.Truncate("/file", 1); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = fs.ReadFile("/file")
+	if !bytes.Equal(data, []byte{0xFF}) {
+		t.Fatalf("after truncate: %v", data)
+	}
+}
+
+func TestInjectorCrashAfterBytesTearsExactly(t *testing.T) {
+	mem := NewMemFS()
+	inj := New(mem).CrashAfterBytes(4)
+	f, err := inj.Create("/file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcdefgh"))
+	if n != 4 || !errors.Is(err, ErrCrashed) {
+		t.Fatalf("torn write returned (%d, %v), want (4, ErrCrashed)", n, err)
+	}
+	data, _ := mem.ReadFile("/file")
+	if string(data) != "abcd" {
+		t.Fatalf("file holds %q after torn write at 4", data)
+	}
+	// The process is dead: everything fails from here.
+	if _, err := inj.Open("/file"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("open after crash: %v", err)
+	}
+	if err := inj.Rename("/file", "/x"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("rename after crash: %v", err)
+	}
+	// Revive simulates the next process incarnation.
+	inj.Revive()
+	if _, err := inj.Open("/file"); err != nil {
+		t.Fatalf("open after revive: %v", err)
+	}
+}
+
+func TestInjectorCrashSpansMultipleWrites(t *testing.T) {
+	mem := NewMemFS()
+	inj := New(mem).CrashAfterBytes(6)
+	f, _ := inj.Create("/file")
+	if _, err := f.Write([]byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("efgh")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("second write: %v", err)
+	}
+	data, _ := mem.ReadFile("/file")
+	if string(data) != "abcdef" {
+		t.Fatalf("file holds %q, want cumulative prefix abcdef", data)
+	}
+}
+
+func TestInjectorShortReads(t *testing.T) {
+	mem := NewMemFS()
+	f, _ := mem.Create("/file")
+	f.Write([]byte("0123456789"))
+	inj := New(mem).ShortReads(3)
+	r, err := inj.Open("/file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	n, err := r.Read(buf)
+	if n != 3 || err != nil {
+		t.Fatalf("short read returned (%d, %v), want (3, nil)", n, err)
+	}
+	rest, err := io.ReadAll(r)
+	if err != nil || string(buf[:n])+string(rest) != "0123456789" {
+		t.Fatalf("reassembled %q, %v", string(buf[:n])+string(rest), err)
+	}
+}
+
+func TestInjectorFailOpWindowIsTransient(t *testing.T) {
+	mem := NewMemFS()
+	inj := New(mem).FailOp(OpRename, 2, 2)
+	mem.Create("/a")
+	if err := inj.Rename("/a", "/b"); err != nil {
+		t.Fatalf("rename 1: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		err := inj.Rename("/b", "/c")
+		if err == nil {
+			t.Fatalf("rename %d succeeded inside fault window", 2+i)
+		}
+		var tr interface{ Transient() bool }
+		if !errors.As(err, &tr) || !tr.Transient() {
+			t.Fatalf("injected error not transient: %v", err)
+		}
+	}
+	if err := inj.Rename("/b", "/c"); err != nil {
+		t.Fatalf("rename after window: %v", err)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpWrite.String() != "write" || OpSyncDir.String() != "syncdir" {
+		t.Fatal("op names wrong")
+	}
+	if Op(99).String() == "" {
+		t.Fatal("unknown op renders empty")
+	}
+}

@@ -1,0 +1,211 @@
+package faultio
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"streamquantiles/internal/checkpoint"
+)
+
+// MemFS is an in-memory checkpoint.FS: the substrate the fault injector
+// wraps, so crash-recovery tests run hermetically and fast. It models a
+// disk that persists writes immediately (Sync is a no-op); the injector
+// layered on top decides which bytes "made it" before a crash.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string][]byte
+	dirs  map[string]bool
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: map[string][]byte{}, dirs: map[string]bool{"/": true, ".": true}}
+}
+
+// MkdirAll implements checkpoint.FS.
+func (m *MemFS) MkdirAll(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for d := filepath.Clean(dir); ; d = filepath.Dir(d) {
+		m.dirs[d] = true
+		if parent := filepath.Dir(d); parent == d {
+			break
+		}
+	}
+	return nil
+}
+
+// Create implements checkpoint.FS.
+func (m *MemFS) Create(name string) (checkpoint.File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = filepath.Clean(name)
+	if !m.dirs[filepath.Dir(name)] {
+		return nil, fmt.Errorf("faultio: create %s: no such directory", name)
+	}
+	m.files[name] = nil
+	return &memFile{fs: m, name: name, writable: true}, nil
+}
+
+// Open implements checkpoint.FS.
+func (m *MemFS) Open(name string) (checkpoint.File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = filepath.Clean(name)
+	data, ok := m.files[name]
+	if !ok {
+		return nil, fmt.Errorf("faultio: open %s: no such file", name)
+	}
+	snapshot := append([]byte(nil), data...)
+	return &memFile{fs: m, name: name, data: snapshot}, nil
+}
+
+// Rename implements checkpoint.FS; like POSIX rename it atomically
+// replaces the target.
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	oldname, newname = filepath.Clean(oldname), filepath.Clean(newname)
+	data, ok := m.files[oldname]
+	if !ok {
+		return fmt.Errorf("faultio: rename %s: no such file", oldname)
+	}
+	delete(m.files, oldname)
+	m.files[newname] = data
+	return nil
+}
+
+// Remove implements checkpoint.FS.
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = filepath.Clean(name)
+	if _, ok := m.files[name]; !ok {
+		return fmt.Errorf("faultio: remove %s: no such file", name)
+	}
+	delete(m.files, name)
+	return nil
+}
+
+// ReadDir implements checkpoint.FS.
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dir = filepath.Clean(dir)
+	if !m.dirs[dir] {
+		return nil, fmt.Errorf("faultio: readdir %s: no such directory", dir)
+	}
+	var names []string
+	for name := range m.files {
+		if filepath.Dir(name) == dir {
+			names = append(names, filepath.Base(name))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// SyncDir implements checkpoint.FS.
+func (m *MemFS) SyncDir(string) error { return nil }
+
+// ReadFile returns a copy of a file's current content; tests use it to
+// inspect and golden-compare checkpoint files.
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[filepath.Clean(name)]
+	if !ok {
+		return nil, fmt.Errorf("faultio: read %s: no such file", name)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// FlipBit flips one bit of a stored file — corruption at rest, the
+// classic silent disk fault a checksum must catch.
+func (m *MemFS) FlipBit(name string, byteIdx int, mask byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = filepath.Clean(name)
+	data, ok := m.files[name]
+	if !ok {
+		return fmt.Errorf("faultio: flip %s: no such file", name)
+	}
+	if byteIdx < 0 || byteIdx >= len(data) {
+		return fmt.Errorf("faultio: flip %s: offset %d outside %d-byte file", name, byteIdx, len(data))
+	}
+	data[byteIdx] ^= mask
+	return nil
+}
+
+// Truncate cuts a stored file to n bytes — a torn write the disk
+// acknowledged anyway (lost tail after power failure).
+func (m *MemFS) Truncate(name string, n int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = filepath.Clean(name)
+	data, ok := m.files[name]
+	if !ok {
+		return fmt.Errorf("faultio: truncate %s: no such file", name)
+	}
+	if n < 0 || n > len(data) {
+		return fmt.Errorf("faultio: truncate %s: length %d outside %d-byte file", name, n, len(data))
+	}
+	m.files[name] = data[:n]
+	return nil
+}
+
+// memFile is one open handle. Writes land in the MemFS immediately
+// (matching a page cache that the no-op Sync "flushes"); reads serve a
+// snapshot taken at Open.
+type memFile struct {
+	fs       *MemFS
+	name     string
+	data     []byte // read snapshot
+	pos      int
+	writable bool
+	closed   bool
+}
+
+// Read implements io.Reader over the open-time snapshot.
+func (f *memFile) Read(p []byte) (int, error) {
+	if f.closed {
+		return 0, fmt.Errorf("faultio: read %s: file closed", f.name)
+	}
+	if f.pos >= len(f.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.data[f.pos:])
+	f.pos += n
+	return n, nil
+}
+
+// Write implements io.Writer, appending to the stored file.
+func (f *memFile) Write(p []byte) (int, error) {
+	if f.closed || !f.writable {
+		return 0, fmt.Errorf("faultio: write %s: file closed or read-only", f.name)
+	}
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	f.fs.files[f.name] = append(f.fs.files[f.name], p...)
+	return len(p), nil
+}
+
+// Sync implements checkpoint.File; MemFS persists eagerly.
+func (f *memFile) Sync() error {
+	if f.closed {
+		return fmt.Errorf("faultio: sync %s: file closed", f.name)
+	}
+	return nil
+}
+
+// Close implements checkpoint.File.
+func (f *memFile) Close() error {
+	if f.closed {
+		return fmt.Errorf("faultio: close %s: already closed", f.name)
+	}
+	f.closed = true
+	return nil
+}

@@ -35,16 +35,16 @@ func marshalCommon(kind byte, w, d int, seed uint64, rows [][]int64) []byte {
 func unmarshalCommon(kind byte, data []byte) (w, d int, seed uint64, rows [][]int64, err error) {
 	dec := core.NewDecoder(data)
 	if v := dec.U64(); v != codecVersion && dec.Err() == nil {
-		return 0, 0, 0, nil, fmt.Errorf("freqsketch: unsupported encoding version %d", v)
+		return 0, 0, 0, nil, core.Corruptf("freqsketch: unsupported encoding version %d", v)
 	}
 	if k := dec.U64(); k != uint64(kind) && dec.Err() == nil {
-		return 0, 0, 0, nil, fmt.Errorf("freqsketch: encoding is for sketch kind %d, want %d", k, kind)
+		return 0, 0, 0, nil, core.Corruptf("freqsketch: encoding is for sketch kind %d, want %d", k, kind)
 	}
 	w = int(dec.U64())
 	d = int(dec.U64())
 	seed = dec.U64()
 	if dec.Err() == nil && (w < 1 || d < 1 || w > 1<<28 || d > 1<<10) {
-		return 0, 0, 0, nil, fmt.Errorf("freqsketch: implausible dimensions w=%d d=%d", w, d)
+		return 0, 0, 0, nil, core.Corruptf("freqsketch: implausible dimensions w=%d d=%d", w, d)
 	}
 	for i := 0; i < d && dec.Err() == nil; i++ {
 		rows = append(rows, dec.I64s())
@@ -53,7 +53,7 @@ func unmarshalCommon(kind byte, data []byte) (w, d int, seed uint64, rows [][]in
 		return 0, 0, 0, nil, err
 	}
 	if dec.Remaining() != 0 {
-		return 0, 0, 0, nil, fmt.Errorf("freqsketch: %d trailing bytes", dec.Remaining())
+		return 0, 0, 0, nil, core.Corruptf("freqsketch: %d trailing bytes", dec.Remaining())
 	}
 	return w, d, seed, rows, nil
 }
@@ -61,7 +61,7 @@ func unmarshalCommon(kind byte, data []byte) (w, d int, seed uint64, rows [][]in
 func checkRows(rows [][]int64, want int) error {
 	for i, row := range rows {
 		if len(row) != want {
-			return fmt.Errorf("freqsketch: row %d has %d counters, want %d", i, len(row), want)
+			return core.Corruptf("freqsketch: row %d has %d counters, want %d", i, len(row), want)
 		}
 	}
 	return nil

@@ -1,0 +1,59 @@
+package freqsketch
+
+import (
+	"errors"
+	"testing"
+
+	"streamquantiles/internal/core"
+)
+
+// FuzzDecode feeds mutated valid encodings to the three frequency-sketch
+// decoders — the level sketches under every dyadic summary, so a decode
+// weakness here is reachable from any dyadic checkpoint. Corrupt input
+// must yield an ErrCorrupt-wrapped error, never a panic; input that
+// still decodes must re-encode cleanly. `go test` runs the seed corpus
+// (the CI pass); `go test -fuzz=FuzzDecode` explores further.
+func FuzzDecode(f *testing.F) {
+	for _, s := range codecAll(64, 4, 7) {
+		for i := uint64(0); i < 500; i++ {
+			s.Add(i%97, int64(i%5)-2)
+		}
+		blob, err := s.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob, uint16(0), byte(0), uint16(len(blob)))              // pristine
+		f.Add(blob, uint16(len(blob)/2), byte(0x80), uint16(len(blob))) // counter bit flip
+		f.Add(blob, uint16(9), byte(0xFF), uint16(len(blob)))           // mangled dimensions
+		f.Add(blob, uint16(0), byte(0), uint16(len(blob)/2))            // truncation
+	}
+	f.Fuzz(func(t *testing.T, raw []byte, pos uint16, mask byte, cut uint16) {
+		mut := append([]byte(nil), raw...)
+		if int(cut) < len(mut) {
+			mut = mut[:cut]
+		}
+		if len(mut) > 0 {
+			mut[int(pos)%len(mut)] ^= mask
+		}
+		targets := map[string]interface {
+			MarshalBinary() ([]byte, error)
+			UnmarshalBinary([]byte) error
+		}{
+			"CountMin":    &CountMin{},
+			"CountSketch": &CountSketch{},
+			"RSS":         &RSS{},
+		}
+		for name, target := range targets {
+			err := target.UnmarshalBinary(mut)
+			if err != nil {
+				if !errors.Is(err, core.ErrCorrupt) {
+					t.Fatalf("%s: decode error does not wrap ErrCorrupt: %v", name, err)
+				}
+				continue
+			}
+			if _, err := target.MarshalBinary(); err != nil {
+				t.Fatalf("%s: re-marshal after successful decode: %v", name, err)
+			}
+		}
+	})
+}

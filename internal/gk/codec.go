@@ -1,10 +1,6 @@
 package gk
 
-import (
-	"fmt"
-
-	"streamquantiles/internal/core"
-)
+import "streamquantiles/internal/core"
 
 // All three GK variants serialize as their logical content — ε, n, and
 // the ordered tuple list — plus any buffered elements. The auxiliary
@@ -43,10 +39,10 @@ func marshalTuples(kind byte, eps float64, n int64, seq tupleSeq, extra func(e *
 func unmarshalTuples(kind byte, data []byte) (eps float64, n int64, tuples []tuple, dec *core.Decoder, err error) {
 	dec = core.NewDecoder(data)
 	if v := dec.U64(); v != codecVersion && dec.Err() == nil {
-		return 0, 0, nil, nil, fmt.Errorf("gk: unsupported encoding version %d", v)
+		return 0, 0, nil, nil, core.Corruptf("gk: unsupported encoding version %d", v)
 	}
 	if k := dec.U64(); k != uint64(kind) && dec.Err() == nil {
-		return 0, 0, nil, nil, fmt.Errorf("gk: encoding is for variant %#x, want %#x", k, kind)
+		return 0, 0, nil, nil, core.Corruptf("gk: encoding is for variant %#x, want %#x", k, kind)
 	}
 	eps = dec.F64()
 	n = dec.I64()
@@ -54,8 +50,15 @@ func unmarshalTuples(kind byte, data []byte) (eps float64, n int64, tuples []tup
 	if dec.Err() != nil {
 		return 0, 0, nil, nil, dec.Err()
 	}
-	if eps <= 0 || eps >= 1 || n < 0 {
-		return 0, 0, nil, nil, fmt.Errorf("gk: implausible encoded parameters eps=%v n=%d", eps, n)
+	// Positive-form comparisons so NaN (which fails every comparison)
+	// is rejected rather than slipping through to checkEps's panic.
+	if !(eps > 0 && eps < 1) || n < 0 {
+		return 0, 0, nil, nil, core.Corruptf("gk: implausible encoded parameters eps=%v n=%d", eps, n)
+	}
+	// Every encoded tuple costs at least three bytes, so a count beyond
+	// the input length is hostile; reject it before the decode loop.
+	if count > len(data) {
+		return 0, 0, nil, nil, core.Corruptf("gk: tuple count %d exceeds input length %d", count, len(data))
 	}
 	var prev uint64
 	for i := 0; i < count; i++ {
@@ -64,10 +67,10 @@ func unmarshalTuples(kind byte, data []byte) (eps float64, n int64, tuples []tup
 			return 0, 0, nil, nil, dec.Err()
 		}
 		if i > 0 && t.v < prev {
-			return 0, 0, nil, nil, fmt.Errorf("gk: encoded tuples out of order at %d", i)
+			return 0, 0, nil, nil, core.Corruptf("gk: encoded tuples out of order at %d", i)
 		}
 		if t.g < 0 || t.del < 0 {
-			return 0, 0, nil, nil, fmt.Errorf("gk: negative g or Δ at tuple %d", i)
+			return 0, 0, nil, nil, core.Corruptf("gk: negative g or Δ at tuple %d", i)
 		}
 		prev = t.v
 		tuples = append(tuples, t)
@@ -88,7 +91,7 @@ func (a *Adaptive) UnmarshalBinary(data []byte) error {
 		return err
 	}
 	if dec.Remaining() != 0 {
-		return fmt.Errorf("gk: %d trailing bytes", dec.Remaining())
+		return core.Corruptf("gk: %d trailing bytes", dec.Remaining())
 	}
 	na := NewAdaptive(eps)
 	na.n = n
@@ -122,7 +125,7 @@ func (t *Theory) UnmarshalBinary(data []byte) error {
 		return err
 	}
 	if dec.Remaining() != 0 {
-		return fmt.Errorf("gk: %d trailing bytes", dec.Remaining())
+		return core.Corruptf("gk: %d trailing bytes", dec.Remaining())
 	}
 	nt := NewTheory(eps)
 	nt.n = n
@@ -156,10 +159,10 @@ func (a *Array) UnmarshalBinary(data []byte) error {
 		return err
 	}
 	if dec.Remaining() != 0 {
-		return fmt.Errorf("gk: %d trailing bytes", dec.Remaining())
+		return core.Corruptf("gk: %d trailing bytes", dec.Remaining())
 	}
-	if bufCap < len(buffered) || bufCap > 1<<30 {
-		return fmt.Errorf("gk: implausible buffer capacity %d", bufCap)
+	if bufCap < len(buffered) || bufCap > 1<<22 {
+		return core.Corruptf("gk: implausible buffer capacity %d", bufCap)
 	}
 	na := NewArray(eps)
 	na.n = n

@@ -1,7 +1,7 @@
 package kll
 
 import (
-	"fmt"
+	"math"
 
 	"streamquantiles/internal/core"
 )
@@ -28,7 +28,7 @@ func (s *Sketch) MarshalBinary() ([]byte, error) {
 func (s *Sketch) UnmarshalBinary(data []byte) error {
 	dec := core.NewDecoder(data)
 	if v := dec.U64(); v != codecVersion && dec.Err() == nil {
-		return fmt.Errorf("kll: unsupported encoding version %d", v)
+		return core.Corruptf("kll: unsupported encoding version %d", v)
 	}
 	eps := dec.F64()
 	n := dec.I64()
@@ -37,8 +37,15 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 	if err := dec.Err(); err != nil {
 		return err
 	}
-	if eps <= 0 || eps >= 1 || n < 0 || depth < 1 || depth > 64 {
-		return fmt.Errorf("kll: implausible encoded parameters eps=%v n=%d depth=%d", eps, n, depth)
+	// Positive-form comparisons so NaN (which fails every comparison) is
+	// rejected rather than slipping through to New's panic; the footprint
+	// bound keeps New's pre-allocated level of k = ⌈4/ε⌉ elements (which
+	// a tiny hostile encoding would otherwise control) plausible.
+	if !(eps > 0 && eps < 1) || n < 0 || depth < 1 || depth > 64 {
+		return core.Corruptf("kll: implausible encoded parameters eps=%v n=%d depth=%d", eps, n, depth)
+	}
+	if !(math.Ceil(4/eps) <= 1<<22) {
+		return core.Corruptf("kll: implausible eps %v: level capacity beyond any runnable sketch", eps)
 	}
 	ns := New(eps, 0)
 	ns.n = n
@@ -54,10 +61,10 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 		ns.levels = append(ns.levels, lvl)
 	}
 	if dec.Remaining() != 0 {
-		return fmt.Errorf("kll: %d trailing bytes", dec.Remaining())
+		return core.Corruptf("kll: %d trailing bytes", dec.Remaining())
 	}
 	if weight != n {
-		return fmt.Errorf("kll: encoded weight %d does not match n %d", weight, n)
+		return core.Corruptf("kll: encoded weight %d does not match n %d", weight, n)
 	}
 	*s = *ns
 	return nil

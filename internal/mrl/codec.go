@@ -1,10 +1,6 @@
 package mrl
 
-import (
-	"fmt"
-
-	"streamquantiles/internal/core"
-)
+import "streamquantiles/internal/core"
 
 const codecVersion = 1
 
@@ -42,7 +38,7 @@ func (m *MRL99) MarshalBinary() ([]byte, error) {
 func (m *MRL99) UnmarshalBinary(data []byte) error {
 	dec := core.NewDecoder(data)
 	if v := dec.U64(); v != codecVersion && dec.Err() == nil {
-		return fmt.Errorf("mrl: unsupported encoding version %d", v)
+		return core.Corruptf("mrl: unsupported encoding version %d", v)
 	}
 	eps := dec.F64()
 	n := dec.I64()
@@ -50,8 +46,17 @@ func (m *MRL99) UnmarshalBinary(data []byte) error {
 	if err := dec.Err(); err != nil {
 		return err
 	}
-	if eps <= 0 || eps >= 1 || n < 0 {
-		return fmt.Errorf("mrl: implausible encoded parameters eps=%v n=%d", eps, n)
+	// Positive-form comparisons so NaN (which fails every comparison) is
+	// rejected rather than slipping through to New's panic; the footprint
+	// bound keeps New's b pre-allocated buffers of k elements (which a
+	// tiny hostile encoding would otherwise control) plausible.
+	if !(eps > 0 && eps < 1) || n < 0 {
+		return core.Corruptf("mrl: implausible encoded parameters eps=%v n=%d", eps, n)
+	}
+	// Positive form again: a denormal eps drives sizeParams through
+	// 1/eps = +Inf into k = NaN, and NaN compares false with everything.
+	if bf, kf := sizeParams(eps); !(bf*kf <= 1<<22) {
+		return core.Corruptf("mrl: implausible eps %v: footprint %.0f elements", eps, bf*kf)
 	}
 
 	nm := New(eps, 0)
@@ -59,7 +64,7 @@ func (m *MRL99) UnmarshalBinary(data []byte) error {
 	nm.rng.Restore(rngState)
 	count := dec.Len()
 	if dec.Err() == nil && count != len(nm.bufs) {
-		return fmt.Errorf("mrl: encoded buffer count %d, want %d", count, len(nm.bufs))
+		return core.Corruptf("mrl: encoded buffer count %d, want %d", count, len(nm.bufs))
 	}
 	for i := 0; i < count && dec.Err() == nil; i++ {
 		b := nm.bufs[i]
@@ -78,10 +83,10 @@ func (m *MRL99) UnmarshalBinary(data []byte) error {
 		return err
 	}
 	if dec.Remaining() != 0 {
-		return fmt.Errorf("mrl: %d trailing bytes", dec.Remaining())
+		return core.Corruptf("mrl: %d trailing bytes", dec.Remaining())
 	}
 	if curIdx >= len(nm.bufs) {
-		return fmt.Errorf("mrl: current-buffer index %d out of range", curIdx)
+		return core.Corruptf("mrl: current-buffer index %d out of range", curIdx)
 	}
 	if curIdx >= 0 {
 		nm.cur = nm.bufs[curIdx]

@@ -57,24 +57,35 @@ type MRL99 struct {
 	rng *xhash.SplitMix64
 }
 
+// sizeParams computes the buffer count b and buffer size k for eps in
+// floating point, so callers — the codec in particular — can veto an
+// implausible footprint before any allocation happens. (Converting an
+// out-of-range float to int is undefined in Go, so the check must run
+// on the float values.)
+func sizeParams(eps float64) (bf, kf float64) {
+	lg := math.Log2(1 / eps)
+	if lg < 1 {
+		lg = 1
+	}
+	bf = math.Ceil(lg) + 1
+	if bf < 3 {
+		bf = 3
+	}
+	kf = math.Ceil(lg * lg / (eps * bf))
+	if kf < 4 {
+		kf = 4
+	}
+	return bf, kf
+}
+
 // New returns an empty MRL99 summary with error parameter eps, seeded
 // deterministically from seed.
 func New(eps float64, seed uint64) *MRL99 {
 	if math.IsNaN(eps) || eps <= 0 || eps >= 1 {
 		panic(fmt.Sprintf("mrl: error parameter %v outside (0, 1)", eps))
 	}
-	lg := math.Log2(1 / eps)
-	if lg < 1 {
-		lg = 1
-	}
-	b := int(math.Ceil(lg)) + 1
-	if b < 3 {
-		b = 3
-	}
-	k := int(math.Ceil(lg * lg / (eps * float64(b))))
-	if k < 4 {
-		k = 4
-	}
+	bf, kf := sizeParams(eps)
+	b, k := int(bf), int(kf)
 	m := &MRL99{
 		eps:  eps,
 		b:    b,

@@ -1,7 +1,6 @@
 package qdigest
 
 import (
-	"fmt"
 	"slices"
 
 	"streamquantiles/internal/core"
@@ -40,7 +39,7 @@ func (d *Digest) MarshalBinary() ([]byte, error) {
 func (d *Digest) UnmarshalBinary(data []byte) error {
 	dec := core.NewDecoder(data)
 	if v := dec.U64(); v != codecVersion && dec.Err() == nil {
-		return fmt.Errorf("qdigest: unsupported encoding version %d", v)
+		return core.Corruptf("qdigest: unsupported encoding version %d", v)
 	}
 	eps := dec.F64()
 	bits := int(dec.U64())
@@ -50,8 +49,15 @@ func (d *Digest) UnmarshalBinary(data []byte) error {
 	if err := dec.Err(); err != nil {
 		return err
 	}
-	if eps <= 0 || eps >= 1 || bits < 1 || bits > maxBits || n < 0 {
-		return fmt.Errorf("qdigest: implausible encoded parameters eps=%v bits=%d n=%d", eps, bits, n)
+	// Positive-form comparisons so NaN (which fails every comparison) is
+	// rejected rather than slipping through to New's panic; the ratio
+	// bound keeps New's k = ⌈bits/ε⌉ inside int64 (out-of-range
+	// float-to-int conversion is undefined in Go).
+	if !(eps > 0 && eps < 1) || bits < 1 || bits > maxBits || n < 0 {
+		return core.Corruptf("qdigest: implausible encoded parameters eps=%v bits=%d n=%d", eps, bits, n)
+	}
+	if !(float64(bits)/eps <= 1<<62) {
+		return core.Corruptf("qdigest: implausible eps %v for %d universe bits", eps, bits)
 	}
 
 	nd := New(eps, bits)
@@ -63,10 +69,10 @@ func (d *Digest) UnmarshalBinary(data []byte) error {
 		id := dec.U64()
 		w := dec.I64()
 		if id < 1 || id >= 2*nd.u {
-			return fmt.Errorf("qdigest: node id %d outside tree", id)
+			return core.Corruptf("qdigest: node id %d outside tree", id)
 		}
 		if w < 0 {
-			return fmt.Errorf("qdigest: negative node weight %d", w)
+			return core.Corruptf("qdigest: negative node weight %d", w)
 		}
 		nd.nodes[id] = w
 	}
@@ -75,11 +81,11 @@ func (d *Digest) UnmarshalBinary(data []byte) error {
 		return err
 	}
 	if dec.Remaining() != 0 {
-		return fmt.Errorf("qdigest: %d trailing bytes", dec.Remaining())
+		return core.Corruptf("qdigest: %d trailing bytes", dec.Remaining())
 	}
 	for _, x := range buf {
 		if x >= nd.u {
-			return fmt.Errorf("qdigest: buffered element %d outside universe", x)
+			return core.Corruptf("qdigest: buffered element %d outside universe", x)
 		}
 	}
 	nd.buf = append(nd.buf, buf...)

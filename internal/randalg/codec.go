@@ -1,10 +1,6 @@
 package randalg
 
-import (
-	"fmt"
-
-	"streamquantiles/internal/core"
-)
+import "streamquantiles/internal/core"
 
 const codecVersion = 1
 
@@ -42,7 +38,7 @@ func (r *Random) MarshalBinary() ([]byte, error) {
 func (r *Random) UnmarshalBinary(data []byte) error {
 	dec := core.NewDecoder(data)
 	if v := dec.U64(); v != codecVersion && dec.Err() == nil {
-		return fmt.Errorf("randalg: unsupported encoding version %d", v)
+		return core.Corruptf("randalg: unsupported encoding version %d", v)
 	}
 	eps := dec.F64()
 	n := dec.I64()
@@ -50,8 +46,18 @@ func (r *Random) UnmarshalBinary(data []byte) error {
 	if err := dec.Err(); err != nil {
 		return err
 	}
-	if eps <= 0 || eps >= 1 || n < 0 {
-		return fmt.Errorf("randalg: implausible encoded parameters eps=%v n=%d", eps, n)
+	// Positive-form comparisons so NaN (which fails every comparison)
+	// is rejected rather than slipping through to New's panic.
+	if !(eps > 0 && eps < 1) || n < 0 {
+		return core.Corruptf("randalg: implausible encoded parameters eps=%v n=%d", eps, n)
+	}
+	// Buffers are pre-allocated from ε alone, so a hostile ε (a denormal
+	// survives the range check above) could demand an absurd footprint
+	// from a few dozen input bytes. Veto before any allocation.
+	// Positive form again so a non-finite footprint (1/eps overflowing
+	// to +Inf for denormal eps) cannot compare its way past the veto.
+	if hf, sf := sizeParams(eps); !((hf+1)*sf <= 1<<22) {
+		return core.Corruptf("randalg: implausible eps %v: footprint %.0f elements", eps, (hf+1)*sf)
 	}
 
 	nr := New(eps, 0)
@@ -59,7 +65,7 @@ func (r *Random) UnmarshalBinary(data []byte) error {
 	nr.rng.Restore(rngState)
 	count := dec.Len()
 	if dec.Err() == nil && count > 4*len(nr.bufs)+16 {
-		return fmt.Errorf("randalg: implausible buffer count %d", count)
+		return core.Corruptf("randalg: implausible buffer count %d", count)
 	}
 	nr.bufs = nr.bufs[:0]
 	for i := 0; i < count && dec.Err() == nil; i++ {
@@ -84,10 +90,10 @@ func (r *Random) UnmarshalBinary(data []byte) error {
 		return err
 	}
 	if dec.Remaining() != 0 {
-		return fmt.Errorf("randalg: %d trailing bytes", dec.Remaining())
+		return core.Corruptf("randalg: %d trailing bytes", dec.Remaining())
 	}
 	if curIdx >= len(nr.bufs) {
-		return fmt.Errorf("randalg: current-buffer index %d out of range", curIdx)
+		return core.Corruptf("randalg: current-buffer index %d out of range", curIdx)
 	}
 	if curIdx >= 0 {
 		nr.cur = nr.bufs[curIdx]

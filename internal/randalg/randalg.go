@@ -71,15 +71,25 @@ func NewCompact(eps float64, seed uint64) *Random {
 	return newRandom(eps, seed, true)
 }
 
+// sizeParams computes h = ⌈log₂(1/ε)⌉ (floored at 1) and s = ⌈√h/ε⌉ in
+// floating point, so callers — the codec in particular — can veto an
+// implausible footprint before any allocation happens. (Converting an
+// out-of-range float to int is undefined in Go, so the check must run
+// on the float values.)
+func sizeParams(eps float64) (hf, sf float64) {
+	hf = math.Ceil(math.Log2(1 / eps))
+	if hf < 1 {
+		hf = 1
+	}
+	return hf, math.Ceil(math.Sqrt(hf) / eps)
+}
+
 func newRandom(eps float64, seed uint64, compact bool) *Random {
 	if math.IsNaN(eps) || eps <= 0 || eps >= 1 {
 		panic(fmt.Sprintf("randalg: error parameter %v outside (0, 1)", eps))
 	}
-	h := int(math.Ceil(math.Log2(1 / eps)))
-	if h < 1 {
-		h = 1
-	}
-	s := int(math.Ceil(math.Sqrt(float64(h)) / eps))
+	hf, sf := sizeParams(eps)
+	h, s := int(hf), int(sf)
 	r := &Random{
 		eps:     eps,
 		h:       h,

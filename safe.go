@@ -1,6 +1,10 @@
 package streamquantiles
 
-import "sync"
+import (
+	"encoding"
+	"fmt"
+	"sync"
+)
 
 // The summaries in this library are single-writer structures, as in the
 // paper's streaming model. SafeCashRegister and SafeTurnstile wrap them
@@ -85,6 +89,55 @@ func (c *SafeCashRegister) SpaceBytes() int64 {
 	return c.s.SpaceBytes()
 }
 
+// Snapshot returns the wrapped summary's binary encoding. Marshalling
+// is read-only for every summary in this library (buffered elements are
+// encoded, not flushed), so the snapshot runs under the shared lock:
+// writers are excluded only for the duration of the encode, never for
+// disk I/O.
+func (c *SafeCashRegister) Snapshot() ([]byte, error) {
+	m, ok := c.s.(encoding.BinaryMarshaler)
+	if !ok {
+		return nil, fmt.Errorf("streamquantiles: %T does not implement encoding.BinaryMarshaler", c.s)
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return m.MarshalBinary()
+}
+
+// Checkpoint snapshots the summary and durably publishes the snapshot
+// as the next generation in ck's directory. Only the in-memory encode
+// holds the summary's lock; the fsync-and-rename protocol (and any
+// transient-error retries) run with updates flowing. Concurrent
+// Checkpoint calls on one Checkpointer are not allowed — run one
+// checkpointing goroutine per directory.
+func (c *SafeCashRegister) Checkpoint(ck *Checkpointer, label string) (uint64, error) {
+	blob, err := c.Snapshot()
+	if err != nil {
+		return 0, err
+	}
+	return ck.Save(label, blob)
+}
+
+// Restore replaces the wrapped summary's state from a snapshot or
+// recovered checkpoint payload, under the exclusive lock.
+func (c *SafeCashRegister) Restore(blob []byte) error {
+	u, ok := c.s.(encoding.BinaryUnmarshaler)
+	if !ok {
+		return fmt.Errorf("streamquantiles: %T does not implement encoding.BinaryUnmarshaler", c.s)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return u.UnmarshalBinary(blob)
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler (as Snapshot), so
+// the wrapper slots directly into SaveCheckpoint.
+func (c *SafeCashRegister) MarshalBinary() ([]byte, error) { return c.Snapshot() }
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler (as Restore), so
+// the wrapper slots directly into RecoverCheckpoint.
+func (c *SafeCashRegister) UnmarshalBinary(data []byte) error { return c.Restore(data) }
+
 // SafeTurnstile is a goroutine-safe wrapper around a Turnstile summary.
 type SafeTurnstile struct {
 	mu sync.RWMutex
@@ -148,3 +201,43 @@ func (c *SafeTurnstile) SpaceBytes() int64 {
 	defer c.rlock()()
 	return c.s.SpaceBytes()
 }
+
+// Snapshot returns the wrapped summary's binary encoding under the
+// shared lock; see SafeCashRegister.Snapshot.
+func (c *SafeTurnstile) Snapshot() ([]byte, error) {
+	m, ok := c.s.(encoding.BinaryMarshaler)
+	if !ok {
+		return nil, fmt.Errorf("streamquantiles: %T does not implement encoding.BinaryMarshaler", c.s)
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return m.MarshalBinary()
+}
+
+// Checkpoint snapshots the summary and durably publishes the snapshot;
+// see SafeCashRegister.Checkpoint for the locking contract.
+func (c *SafeTurnstile) Checkpoint(ck *Checkpointer, label string) (uint64, error) {
+	blob, err := c.Snapshot()
+	if err != nil {
+		return 0, err
+	}
+	return ck.Save(label, blob)
+}
+
+// Restore replaces the wrapped summary's state from a snapshot or
+// recovered checkpoint payload, under the exclusive lock.
+func (c *SafeTurnstile) Restore(blob []byte) error {
+	u, ok := c.s.(encoding.BinaryUnmarshaler)
+	if !ok {
+		return fmt.Errorf("streamquantiles: %T does not implement encoding.BinaryUnmarshaler", c.s)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return u.UnmarshalBinary(blob)
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler (as Snapshot).
+func (c *SafeTurnstile) MarshalBinary() ([]byte, error) { return c.Snapshot() }
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler (as Restore).
+func (c *SafeTurnstile) UnmarshalBinary(data []byte) error { return c.Restore(data) }

@@ -1,8 +1,12 @@
 package streamquantiles
 
 import (
+	"errors"
 	"sync"
 	"testing"
+
+	"streamquantiles/internal/checkpoint"
+	"streamquantiles/internal/faultio"
 )
 
 func TestSafeCashRegisterConcurrent(t *testing.T) {
@@ -126,6 +130,136 @@ func TestSafeConcurrentReadersAndWriter(t *testing.T) {
 				t.Errorf("median %d outside %d±%d", med, n/2, slack)
 			}
 		})
+	}
+}
+
+// TestSafeCheckpointWhileUpdating checkpoints a summary repeatedly while
+// writers hammer it. Under -race this pins the Snapshot contract: marshal
+// runs under the shared lock and must therefore be read-only. Every
+// published generation must decode into a self-consistent summary whose
+// count reflects some prefix of the concurrent stream.
+func TestSafeCheckpointWhileUpdating(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		fresh func() CashRegister
+	}{
+		// One pure reader (shared-lock queries) and one Flusher
+		// (exclusive queries, marshals its un-flushed buffer).
+		{"KLL", func() CashRegister { return NewKLL(0.02, 7) }},
+		{"GKArray", func() CashRegister { return NewGKArray(0.02) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			mem := faultio.NewMemFS()
+			ck, err := checkpoint.Open("/ckpt", checkpoint.WithFS(mem), checkpoint.WithKeep(100))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := NewSafeCashRegister(tc.fresh())
+			const n = 20000
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if _, err := s.Checkpoint(ck, tc.name); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}()
+			for i := 0; i < n; i++ {
+				s.Update(uint64(i))
+			}
+			close(stop)
+			wg.Wait()
+			if _, err := s.Checkpoint(ck, tc.name); err != nil {
+				t.Fatal(err)
+			}
+			target := NewSafeCashRegister(tc.fresh())
+			report, err := RecoverCheckpointFS(mem, "/ckpt", target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if report.Label != tc.name {
+				t.Fatalf("recovered label %q, want %q", report.Label, tc.name)
+			}
+			if got := target.Count(); got != n {
+				t.Fatalf("recovered count %d, want %d (final checkpoint)", got, n)
+			}
+			med := target.Quantile(0.5)
+			slack := uint64(float64(n) * 0.02)
+			if med < n/2-slack || med > n/2+slack {
+				t.Errorf("recovered median %d outside %d±%d", med, n/2, slack)
+			}
+		})
+	}
+}
+
+// TestSafeSnapshotRestoreRoundTrip pins Restore as the exact inverse of
+// Snapshot, for both wrapper flavors.
+func TestSafeSnapshotRestoreRoundTrip(t *testing.T) {
+	s := NewSafeCashRegister(NewGKAdaptive(0.01))
+	for i := 0; i < 5000; i++ {
+		s.Update(uint64(i))
+	}
+	blob, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := NewSafeCashRegister(NewGKAdaptive(0.5))
+	if err := restored.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Count() != s.Count() || restored.Quantile(0.5) != s.Quantile(0.5) {
+		t.Fatalf("restored (count %d, median %d) differs from original (count %d, median %d)",
+			restored.Count(), restored.Quantile(0.5), s.Count(), s.Quantile(0.5))
+	}
+
+	ts := NewSafeTurnstile(NewDCS(0.02, 16, DyadicConfig{Seed: 1}))
+	for i := 0; i < 2000; i++ {
+		ts.Insert(uint64(i % 65536))
+	}
+	tblob, err := ts.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trestored := NewSafeTurnstile(NewDCS(0.02, 16, DyadicConfig{Seed: 99}))
+	if err := trestored.Restore(tblob); err != nil {
+		t.Fatal(err)
+	}
+	if trestored.Count() != ts.Count() || trestored.Quantile(0.5) != ts.Quantile(0.5) {
+		t.Fatal("turnstile restore does not reproduce the original")
+	}
+}
+
+// TestSafeCheckpointUnsupportedSummary pins the error path for summaries
+// without codecs: a clean error, not a panic or silent no-op.
+func TestSafeCheckpointUnsupportedSummary(t *testing.T) {
+	s := NewSafeCashRegister(NewGKBiased(0.01))
+	if _, err := s.Snapshot(); err == nil {
+		t.Fatal("Snapshot on a codec-less summary did not error")
+	}
+	if err := s.Restore(nil); err == nil {
+		t.Fatal("Restore on a codec-less summary did not error")
+	}
+	mem := faultio.NewMemFS()
+	ck, err := checkpoint.Open("/ckpt", checkpoint.WithFS(mem))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Checkpoint(ck, "gkbiased"); err == nil {
+		t.Fatal("Checkpoint on a codec-less summary did not error")
+	}
+	// Nothing may have been published.
+	target := NewGKArray(0.01)
+	if _, err := RecoverCheckpointFS(mem, "/ckpt", target); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("recovery after failed checkpoint: %v, want ErrNoCheckpoint", err)
 	}
 }
 
