@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint check crash fuzz bench experiments report html clean
+.PHONY: all build test race lint check crash fuzz bench bench-ingest experiments report html clean
 
 all: build test lint
 
@@ -16,7 +16,7 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Repo-specific static analysis (rules SQ001-SQ006); see cmd/quantlint.
+# Repo-specific static analysis (rules SQ001-SQ007); see cmd/quantlint.
 lint:
 	$(GO) run ./cmd/quantlint ./...
 
@@ -42,6 +42,13 @@ fuzz:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Ingestion throughput: per-item vs batched updates for every summary,
+# and sharded scaling at P=1,2,4,8. Writes the committed baseline; CI
+# re-measures at reduced n and compares batch speedups against it.
+INGEST_N ?= 2000000
+bench-ingest:
+	$(GO) run ./cmd/quantbench -ingest -n $(INGEST_N) -ingest-out BENCH_ingest.json
 
 # Regenerate EXPERIMENTS.md (several minutes at the default n).
 experiments:

@@ -1,0 +1,55 @@
+package streamquantiles
+
+import (
+	"streamquantiles/internal/core"
+	"streamquantiles/internal/sharded"
+)
+
+// Batched ingestion. Every summary in this library implements a native
+// batch path: the deterministic GK variants stage a batch into their
+// buffer and sort-and-merge once, the sampling summaries (MRL99,
+// Random) skip whole sampling blocks, KLL and the q-digest fill their
+// level-0/element buffers by block copy, and the dyadic sketches flip
+// the per-element level walk to level-major chunks with hoisted hash
+// coefficients. The batch paths produce either byte-identical state or
+// (for GKAdaptive and GKTheory, which compress across the batch)
+// answers within the same ε guarantee.
+
+// BatchCashRegister is a CashRegister with a native batch update path.
+type BatchCashRegister = core.BatchCashRegister
+
+// BatchTurnstile is a Turnstile with native batch insert/delete paths.
+type BatchTurnstile = core.BatchTurnstile
+
+// UpdateBatch feeds a batch through s's native batch path, falling back
+// to a per-element loop for summaries without one.
+func UpdateBatch(s CashRegister, xs []uint64) { core.UpdateBatch(s, xs) }
+
+// InsertBatch adds one occurrence of every element of xs.
+func InsertBatch(s Turnstile, xs []uint64) { core.InsertBatch(s, xs) }
+
+// DeleteBatch removes one occurrence of every element of xs.
+func DeleteBatch(s Turnstile, xs []uint64) { core.DeleteBatch(s, xs) }
+
+// ShardedCashRegister partitions an insert-only stream across P
+// independently locked per-shard summaries, so P writers ingest with no
+// shared lock; queries combine the shards within the composed ε bound.
+type ShardedCashRegister = sharded.CashRegister
+
+// ShardedTurnstile is the turnstile counterpart, routing elements by
+// value affinity so deletions reach the shard that saw the insertions.
+type ShardedTurnstile = sharded.Turnstile
+
+// NewShardedCashRegister builds a P-way sharded cash-register summary;
+// fresh must return a new, identically configured empty summary per
+// call (same ε — and same seed for the mergeable randomized families).
+func NewShardedCashRegister(p int, fresh func() CashRegister) *ShardedCashRegister {
+	return sharded.NewCashRegister(p, fresh)
+}
+
+// NewShardedTurnstile builds a P-way sharded turnstile summary; fresh
+// must return a new, identically configured empty summary per call
+// (identical seeds, so shards merge exactly at query time).
+func NewShardedTurnstile(p int, fresh func() Turnstile) *ShardedTurnstile {
+	return sharded.NewTurnstile(p, fresh)
+}

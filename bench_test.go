@@ -83,14 +83,40 @@ func BenchmarkExtKLL(b *testing.B)    { reportFigure(b, harness.ExpExtKLL) }
 func BenchmarkUpdateKLL(b *testing.B)      { benchUpdates(b, NewKLL(0.001, 1)) }
 func BenchmarkUpdateGKBiased(b *testing.B) { benchUpdates(b, NewGKBiased(0.001)) }
 
+// BatchCashRegister/BatchTurnstile counterparts live next to their
+// per-item versions below.
+
 // End-to-end update throughput through the public API.
 
 func benchUpdates(b *testing.B, s CashRegister) {
 	b.Helper()
 	data := streamgen.Generate(streamgen.Uniform{Bits: 32, Seed: 1}, 1<<16)
+	b.SetBytes(8)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Update(data[i&(1<<16-1)])
+	}
+	b.ReportMetric(float64(s.SpaceBytes()), "space-bytes")
+}
+
+// benchUpdatesBatch feeds the same cyclic stream through the native
+// batch path in benchBatchSize-element batches; per-element cost is
+// directly comparable with benchUpdates (both set 8 bytes/op).
+const benchBatchSize = 4096
+
+func benchUpdatesBatch(b *testing.B, s BatchCashRegister) {
+	b.Helper()
+	data := streamgen.Generate(streamgen.Uniform{Bits: 32, Seed: 1}, benchBatchSize)
+	b.SetBytes(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; done += benchBatchSize {
+		take := b.N - done
+		if take > benchBatchSize {
+			take = benchBatchSize
+		}
+		s.UpdateBatch(data[:take])
 	}
 	b.ReportMetric(float64(s.SpaceBytes()), "space-bytes")
 }
@@ -102,9 +128,20 @@ func BenchmarkUpdateQDigest(b *testing.B)    { benchUpdates(b, NewQDigest(0.001,
 func BenchmarkUpdateMRL99(b *testing.B)      { benchUpdates(b, NewMRL99(0.001, 1)) }
 func BenchmarkUpdateRandom(b *testing.B)     { benchUpdates(b, NewRandom(0.001, 1)) }
 
+func BenchmarkUpdateBatchGKAdaptive(b *testing.B) { benchUpdatesBatch(b, NewGKAdaptive(0.001)) }
+func BenchmarkUpdateBatchGKTheory(b *testing.B)   { benchUpdatesBatch(b, NewGKTheory(0.001)) }
+func BenchmarkUpdateBatchGKArray(b *testing.B)    { benchUpdatesBatch(b, NewGKArray(0.001)) }
+func BenchmarkUpdateBatchGKBiased(b *testing.B)   { benchUpdatesBatch(b, NewGKBiased(0.001)) }
+func BenchmarkUpdateBatchQDigest(b *testing.B)    { benchUpdatesBatch(b, NewQDigest(0.001, 32)) }
+func BenchmarkUpdateBatchMRL99(b *testing.B)      { benchUpdatesBatch(b, NewMRL99(0.001, 1)) }
+func BenchmarkUpdateBatchRandom(b *testing.B)     { benchUpdatesBatch(b, NewRandom(0.001, 1)) }
+func BenchmarkUpdateBatchKLL(b *testing.B)        { benchUpdatesBatch(b, NewKLL(0.001, 1)) }
+
 func benchInserts(b *testing.B, s Turnstile) {
 	b.Helper()
 	data := streamgen.Generate(streamgen.Uniform{Bits: 32, Seed: 1}, 1<<16)
+	b.SetBytes(8)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Insert(data[i&(1<<16-1)])
@@ -112,8 +149,42 @@ func benchInserts(b *testing.B, s Turnstile) {
 	b.ReportMetric(float64(s.SpaceBytes()), "space-bytes")
 }
 
+func benchInsertsBatch(b *testing.B, s BatchTurnstile) {
+	b.Helper()
+	data := streamgen.Generate(streamgen.Uniform{Bits: 32, Seed: 1}, benchBatchSize)
+	b.SetBytes(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; done += benchBatchSize {
+		take := b.N - done
+		if take > benchBatchSize {
+			take = benchBatchSize
+		}
+		s.InsertBatch(data[:take])
+	}
+	b.ReportMetric(float64(s.SpaceBytes()), "space-bytes")
+}
+
 func BenchmarkInsertDCM(b *testing.B) { benchInserts(b, NewDCM(0.001, 32, DyadicConfig{Seed: 1})) }
 func BenchmarkInsertDCS(b *testing.B) { benchInserts(b, NewDCS(0.001, 32, DyadicConfig{Seed: 1})) }
+
+func BenchmarkInsertBatchDCM(b *testing.B) {
+	benchInsertsBatch(b, NewDCM(0.001, 32, DyadicConfig{Seed: 1}))
+}
+func BenchmarkInsertBatchDCS(b *testing.B) {
+	benchInsertsBatch(b, NewDCS(0.001, 32, DyadicConfig{Seed: 1}))
+}
+func BenchmarkInsertBatchDRSS(b *testing.B) {
+	benchInsertsBatch(b, NewDRSS(0.001, 32, DyadicConfig{Seed: 1}))
+}
+
+// BenchmarkShardedUpdateBatch measures the sharded write path itself
+// (single goroutine — scaling across writers is cmd/quantbench -ingest
+// territory).
+func BenchmarkShardedUpdateBatch(b *testing.B) {
+	s := NewShardedCashRegister(4, func() CashRegister { return NewGKArray(0.001) })
+	benchUpdatesBatch(b, s)
+}
 
 func BenchmarkQuantileGKArray(b *testing.B) {
 	s := NewGKArray(0.001)

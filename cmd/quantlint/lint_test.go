@@ -96,6 +96,7 @@ func TestEachRuleFiresExactlyOnce(t *testing.T) {
 		"internal/sq003":   "SQ003",
 		"internal/sq004":   "SQ004",
 		"internal/sq006":   "SQ006",
+		"internal/sq007":   "SQ007",
 		"internal/ignored": "SQ000", // the malformed directive
 		"quantiles.go":     "SQ005",
 	}

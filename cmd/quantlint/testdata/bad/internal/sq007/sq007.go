@@ -1,0 +1,43 @@
+// Package sq007 trips SQ007 four times — once per flagged shape — in
+// its hot-path methods, and exercises the allowlist: appends onto the
+// slices New preallocates with explicit capacities stay silent, as
+// does the constructor itself.
+package sq007
+
+import "fmt"
+
+// S is a toy summary with allocation sins on its ingestion paths.
+type S struct {
+	buf  []uint64
+	log  []string
+	rows [][]uint64
+	last any
+}
+
+// New preallocates buf and rows with explicit capacities, which
+// licenses the appends to them below.
+func New() *S {
+	return &S{
+		buf:  make([]uint64, 0, 1024),
+		rows: make([][]uint64, 0, 8),
+	}
+}
+
+// Update commits three sins: a fmt call, an append to a slice the
+// package never preallocates, and an interface boxing conversion. The
+// append to the preallocated buf is fine.
+func (s *S) Update(x uint64) {
+	s.log = append(s.log, fmt.Sprintf("update %d", x))
+	s.last = any(x)
+	s.buf = append(s.buf, x)
+}
+
+// UpdateBatch commits the fourth: a fresh allocation per loop
+// iteration. The append to the preallocated rows is fine.
+func (s *S) UpdateBatch(xs []uint64) {
+	for _, x := range xs {
+		row := make([]uint64, 1)
+		row[0] = x
+		s.rows = append(s.rows, row)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"streamquantiles/internal/core"
@@ -82,12 +83,22 @@ func parseFileName(name string) (gen uint64, ok bool) {
 	return gen, true
 }
 
-// appendFrame builds the on-disk frame around payload.
-func appendFrame(gen uint64, label string, payload []byte) ([]byte, error) {
+// framePool recycles frame buffers across Save calls: periodic
+// checkpointing under the Safe wrappers would otherwise allocate a
+// payload-plus-header slice every generation.
+var framePool = sync.Pool{New: func() any { return new([]byte) }}
+
+// appendFrame builds the on-disk frame around payload into dst[:0]
+// (growing it as needed) and returns the frame.
+func appendFrame(dst []byte, gen uint64, label string, payload []byte) ([]byte, error) {
 	if len(label) > 255 {
 		return nil, fmt.Errorf("checkpoint: label %q longer than 255 bytes", label)
 	}
-	buf := make([]byte, 0, fixedHeader+len(label)+crcLen+len(payload)+crcLen)
+	need := fixedHeader + len(label) + crcLen + len(payload) + crcLen
+	buf := dst[:0]
+	if cap(buf) < need {
+		buf = make([]byte, 0, need)
+	}
 	buf = append(buf, magic...)
 	buf = append(buf, formatVersion, byte(len(label)))
 	buf = binary.LittleEndian.AppendUint64(buf, gen)
@@ -243,10 +254,15 @@ func (c *Checkpointer) NextGeneration() uint64 { return c.next }
 // header, readable before the payload is decoded — callers use it to
 // record which algorithm produced the payload.
 func (c *Checkpointer) Save(label string, payload []byte) (uint64, error) {
-	frame, err := appendFrame(c.next, label, payload)
+	bufp := framePool.Get().(*[]byte)
+	defer func() {
+		framePool.Put(bufp)
+	}()
+	frame, err := appendFrame(*bufp, c.next, label, payload)
 	if err != nil {
 		return 0, err
 	}
+	*bufp = frame // keep the grown buffer for the next generation
 	attempts := c.retry.MaxAttempts
 	if attempts < 1 {
 		attempts = 1

@@ -1,0 +1,68 @@
+package dyadic
+
+import (
+	"fmt"
+
+	"streamquantiles/internal/core"
+)
+
+// batchChunk is the number of elements shifted per level pass; the
+// shifted-interval buffer lives on the stack so SpaceBytes keeps the
+// paper's accounting.
+const batchChunk = 4096
+
+// InsertBatch implements core.BatchTurnstile.
+func (s *Sketch) InsertBatch(xs []uint64) { s.AddBatch(xs, 1) }
+
+// DeleteBatch implements core.BatchTurnstile.
+func (s *Sketch) DeleteBatch(xs []uint64) { s.AddBatch(xs, -1) }
+
+// AddBatch implements core.BatchTurnstile: every element of xs receives
+// the signed weight delta. The per-item path walks all levels per
+// element; the batch path flips the nest to level-major per chunk, so
+// the level bookkeeping (exact-vs-sketch dispatch, interval shift) runs
+// once per chunk and the per-level sketches see whole slices (their own
+// AddBatch hoists hash coefficients and keeps counter scatter
+// row-local). The sketches are linear, so the reordering yields
+// byte-identical counters.
+func (s *Sketch) AddBatch(xs []uint64, delta int64) {
+	for _, x := range xs {
+		s.checkElement(x)
+	}
+	s.n += delta * int64(len(xs))
+	var sh [batchChunk]uint64
+	for len(xs) > 0 {
+		m := len(xs)
+		if m > batchChunk {
+			m = batchChunk
+		}
+		chunk := xs[:m]
+		for l := 0; l < s.bits; l++ {
+			ivs := chunk
+			if l > 0 {
+				for i, x := range chunk {
+					sh[i] = x >> l
+				}
+				ivs = sh[:m]
+			}
+			if s.lvls[l].exact != nil {
+				ex := s.lvls[l].exact
+				for _, iv := range ivs {
+					ex[iv] += delta
+				}
+			} else {
+				s.lvls[l].sk.AddBatch(ivs, delta)
+			}
+		}
+		xs = xs[m:]
+	}
+}
+
+// MergeSummary implements core.Mergeable. It leaves other unchanged.
+func (s *Sketch) MergeSummary(other core.Summary) error {
+	o, ok := other.(*Sketch)
+	if !ok {
+		return fmt.Errorf("dyadic: cannot merge a %T", other)
+	}
+	return s.Merge(o)
+}

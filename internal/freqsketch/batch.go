@@ -1,0 +1,78 @@
+// Batched sketch updates. Add(x, δ) walks d rows per element, so a
+// stream of per-item calls interleaves d unrelated hash evaluations and
+// d scattered counter touches across rows that together far exceed the
+// cache. AddBatch flips the loop nest to row-major over fixed-size
+// chunks: for each row, hash a whole chunk through the row's polynomial
+// (coefficients hoisted by xhash's EvalSlice) and then scatter into that
+// single row, which for the widths used by the dyadic summaries often
+// fits a near cache level. The chunk buffer lives on the stack — the
+// sketches hold no batch-sized scratch, so SpaceBytes stays exactly the
+// paper's accounting.
+package freqsketch
+
+import "streamquantiles/internal/xhash"
+
+// batchChunk is the number of elements hashed per row pass. 4096 words
+// is 32 KiB of stack — large enough to amortize the per-row setup,
+// small enough to leave the row's counters cache-resident.
+const batchChunk = 4096
+
+// AddBatch implements Sketch.
+func (cm *CountMin) AddBatch(xs []uint64, delta int64) {
+	var hv [batchChunk]uint64
+	for len(xs) > 0 {
+		m := len(xs)
+		if m > batchChunk {
+			m = batchChunk
+		}
+		for i := 0; i < cm.d; i++ {
+			cm.hashes[i].HashSlice(hv[:m], xs[:m])
+			row := cm.rows[i]
+			for _, b := range hv[:m] {
+				row[b] += delta
+			}
+		}
+		xs = xs[m:]
+	}
+}
+
+// AddBatch implements Sketch.
+func (cs *CountSketch) AddBatch(xs []uint64, delta int64) {
+	var hv [batchChunk]uint64
+	w := uint64(cs.w)
+	rec := xhash.Reciprocal(w)
+	for len(xs) > 0 {
+		m := len(xs)
+		if m > batchChunk {
+			m = batchChunk
+		}
+		for i := 0; i < cs.d; i++ {
+			cs.polys[i].EvalSlice(hv[:m], xs[:m])
+			row := cs.rows[i]
+			for _, v := range hv[:m] {
+				g := 1 - 2*int64(v&1)
+				row[xhash.ReduceMod(v>>1, w, rec)] += g * delta
+			}
+		}
+		xs = xs[m:]
+	}
+}
+
+// AddBatch implements Sketch.
+func (r *RSS) AddBatch(xs []uint64, delta int64) {
+	var hv [batchChunk]uint64
+	for len(xs) > 0 {
+		m := len(xs)
+		if m > batchChunk {
+			m = batchChunk
+		}
+		for i := 0; i < r.d; i++ {
+			r.hashes[i].HashSlice(hv[:m], xs[:m])
+			row := r.rows[i]
+			for _, b := range hv[:m] {
+				row[b] += delta
+			}
+		}
+		xs = xs[m:]
+	}
+}

@@ -22,6 +22,11 @@ import (
 type Sketch interface {
 	// Add applies a signed frequency update to element x.
 	Add(x uint64, delta int64)
+	// AddBatch applies the same signed update to every element of xs,
+	// equivalent to calling Add per element but row-major: each row's
+	// hash coefficients load once per chunk and its counter scatter
+	// stays within one row at a time (see batch.go).
+	AddBatch(xs []uint64, delta int64)
 	// Estimate returns the estimated current frequency of x.
 	Estimate(x uint64) int64
 	// VarianceEstimate returns an (empirical) estimate of the variance of

@@ -29,6 +29,18 @@ type Adaptive struct {
 	n    int64
 	list *skiplist.List[uint64, *anode]
 	heap []*anode
+
+	// Batch workspace (see batch.go), reused across UpdateBatch calls.
+	batchBuf     []uint64
+	tupleScratch []tuple
+	mergeScratch []tuple
+	nodePool     []anode
+}
+
+// newAdaptiveIndex starts a sorted skiplist build with the variant's
+// tower seed, salted so successive batch rebuilds draw fresh towers.
+func newAdaptiveIndex(salt uint64) *skiplist.Builder[uint64, *anode] {
+	return skiplist.NewBuilder[uint64, *anode](0x6b61646170746976 ^ salt)
 }
 
 // NewAdaptive returns an empty GKAdaptive summary with error parameter

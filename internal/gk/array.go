@@ -67,49 +67,12 @@ func (a *Array) flush() {
 	slices.Sort(a.buf)
 	p := threshold(a.eps, a.n)
 
-	out := make([]tuple, 0, len(a.tuples)+len(a.buf))
-	var (
-		pending    tuple
-		hasPending bool
-	)
-	// emit feeds the next merged tuple through a one-step lookahead that
-	// applies the removability rule g_i + g_{i+1} + Δ_{i+1} ≤ ⌊2εn⌋.
-	// The first tuple of the merged list (the exact minimum) is never
-	// removed, mirroring GK01's boundary handling; the last never reaches
-	// the removability check (it stays pending).
-	emit := func(t tuple) {
-		if hasPending {
-			if len(out) > 0 && pending.g+t.g+t.del <= p {
-				// pending is removable: fold its weight into t.
-				t.g += pending.g
-			} else {
-				out = append(out, pending)
-			}
-		}
-		pending = t
-		hasPending = true
-	}
-
-	ti, bi := 0, 0
-	for ti < len(a.tuples) || bi < len(a.buf) {
-		if bi < len(a.buf) && (ti == len(a.tuples) || a.buf[bi] < a.tuples[ti].v) {
-			// New element: Δ from its successor tuple in the old array
-			// (the GKAdaptive insertion rule); Δ = 0 past the maximum.
-			var del int64
-			if ti < len(a.tuples) {
-				del = a.tuples[ti].g + a.tuples[ti].del - 1
-			}
-			emit(tuple{v: a.buf[bi], g: 1, del: del})
-			bi++
-		} else {
-			emit(a.tuples[ti])
-			ti++
-		}
-	}
-	if hasPending {
-		out = append(out, pending)
-	}
-	a.tuples = out
+	// mergeSorted (shared with the batch paths, see batch.go) applies the
+	// removability rule g_i + g_{i+1} + Δ_{i+1} ≤ ⌊2εn⌋ through a
+	// one-step lookahead during the merge. The first tuple of the merged
+	// list (the exact minimum) is never removed, mirroring GK01's
+	// boundary handling; the last never reaches the removability check.
+	a.tuples = mergeSorted(a.tuples, a.buf, p, make([]tuple, 0, len(a.tuples)+len(a.buf)))
 
 	// Resize the buffer to Θ(|L|) for the next batch.
 	want := len(a.tuples)

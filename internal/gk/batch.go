@@ -1,0 +1,215 @@
+package gk
+
+import "slices"
+
+// Batched update paths (core.BatchCashRegister). The buffered variants
+// (Array, Biased) accept batches by copying straight into their staging
+// buffer — byte-identical to per-item Update, just without the
+// per-element interface call and bounds churn. The pointer-based
+// variants (Adaptive, Theory) switch strategy for large batches: sort
+// the batch once and merge it into the materialized tuple list in one
+// sorted sweep — the GKArray treatment of §2.1.2 applied to their tuple
+// state — then rebuild the skiplist index in O(|L|) with
+// skiplist.Builder. The merged list satisfies GK invariants (1) and (2)
+// at the post-batch n (the removability rule g_i + g_{i+1} + Δ_{i+1} ≤
+// ⌊2εn⌋ is checked against the final threshold, which upper-bounds
+// every intermediate one), so answers stay within εn exactly as for the
+// per-item path; the tuple lists themselves may legitimately differ.
+
+// batchMin is the smallest batch for which the sort+merge+rebuild
+// strategy beats per-item insertion; below it (or when the batch is
+// tiny relative to |L|) the per-item path is used.
+const batchMin = 32
+
+// UpdateBatch implements core.BatchCashRegister. State is byte-identical
+// to the equivalent sequence of Update calls.
+func (a *Array) UpdateBatch(xs []uint64) {
+	for len(xs) > 0 {
+		take := cap(a.buf) - len(a.buf)
+		if take > len(xs) {
+			take = len(xs)
+		}
+		a.buf = append(a.buf, xs[:take]...)
+		a.n += int64(take)
+		xs = xs[take:]
+		if len(a.buf) == cap(a.buf) {
+			a.flush()
+		}
+	}
+}
+
+// UpdateBatch implements core.BatchCashRegister. State is byte-identical
+// to the equivalent sequence of Update calls.
+func (b *Biased) UpdateBatch(xs []uint64) {
+	for len(xs) > 0 {
+		take := cap(b.buf) - len(b.buf)
+		if take > len(xs) {
+			take = len(xs)
+		}
+		b.buf = append(b.buf, xs[:take]...)
+		b.n += int64(take)
+		xs = xs[take:]
+		if len(b.buf) == cap(b.buf) {
+			b.flush()
+		}
+	}
+}
+
+// mergeSorted merges a sorted batch of new elements into a sorted tuple
+// list, applying the GKArray rules at capacity p: new elements take
+// Δ = g_succ + Δ_succ − 1 from their successor in the old list (0 past
+// the maximum), and each merged tuple passes through a one-step
+// lookahead that drops it when removable (g_i + g_{i+1} + Δ_{i+1} ≤ p;
+// never the first or last tuple). Results are appended to out, which
+// the caller supplies with adequate capacity.
+func mergeSorted(tuples []tuple, batch []uint64, p int64, out []tuple) []tuple {
+	var (
+		pending    tuple
+		hasPending bool
+	)
+	emit := func(t tuple) {
+		if hasPending {
+			if len(out) > 0 && pending.g+t.g+t.del <= p {
+				t.g += pending.g
+			} else {
+				out = append(out, pending)
+			}
+		}
+		pending = t
+		hasPending = true
+	}
+	ti, bi := 0, 0
+	for ti < len(tuples) || bi < len(batch) {
+		if bi < len(batch) && (ti == len(tuples) || batch[bi] < tuples[ti].v) {
+			var del int64
+			if ti < len(tuples) {
+				del = tuples[ti].g + tuples[ti].del - 1
+			}
+			emit(tuple{v: batch[bi], g: 1, del: del})
+			bi++
+		} else {
+			emit(tuples[ti])
+			ti++
+		}
+	}
+	if hasPending {
+		out = append(out, pending)
+	}
+	return out
+}
+
+// stageBatch copies xs into the staging buffer (grown geometrically,
+// reused across batches) and sorts it.
+func stageBatch(buf *[]uint64, xs []uint64) []uint64 {
+	if cap(*buf) < len(xs) {
+		*buf = make([]uint64, len(xs)+len(xs)/2)
+	}
+	batch := (*buf)[:len(xs)]
+	copy(batch, xs)
+	slices.Sort(batch)
+	return batch
+}
+
+// UpdateBatch implements core.BatchCashRegister. Large batches are
+// sorted and merged into the tuple list in one sweep, then the skiplist
+// index and the removal-cost heap are rebuilt; answers match the
+// per-item path within the same εn bound.
+func (a *Adaptive) UpdateBatch(xs []uint64) {
+	if len(xs) < batchMin || len(xs)*8 < a.list.Len() {
+		for _, x := range xs {
+			a.Update(x)
+		}
+		return
+	}
+	batch := stageBatch(&a.batchBuf, xs)
+
+	llen := a.list.Len()
+	if cap(a.tupleScratch) < llen {
+		a.tupleScratch = make([]tuple, llen+llen/2)
+	}
+	old := a.tupleScratch[:llen]
+	i := 0
+	for n := a.list.First(); n != nil; n = n.Next() {
+		old[i] = tuple{v: n.Key, g: n.Value.g, del: n.Value.del}
+		i++
+	}
+
+	a.n += int64(len(batch))
+	want := llen + len(batch)
+	if cap(a.mergeScratch) < want {
+		a.mergeScratch = make([]tuple, 0, want)
+	}
+	merged := mergeSorted(old, batch, threshold(a.eps, a.n), a.mergeScratch[:0])
+	a.mergeScratch = merged
+	a.rebuild(merged)
+}
+
+// rebuild replaces the skiplist and heap with fresh structures over the
+// given tuple list: an O(|L|) sorted build, anodes drawn from a reused
+// pool, and a bottom-up heapify of every removable (middle) tuple.
+func (a *Adaptive) rebuild(ts []tuple) {
+	b := newAdaptiveIndex(uint64(a.n))
+	if cap(a.nodePool) < len(ts) {
+		a.nodePool = make([]anode, len(ts)+len(ts)/2)
+	}
+	pool := a.nodePool[:len(ts)]
+	if cap(a.heap) < len(ts) {
+		a.heap = make([]*anode, 0, len(ts))
+	}
+	heap := a.heap[:0]
+	for i, t := range ts {
+		an := &pool[i]
+		*an = anode{g: t.g, del: t.del, hidx: -1}
+		an.node = b.Append(t.v, an)
+	}
+	a.list = b.Finish()
+	for i := 1; i+1 < len(ts); i++ {
+		an := &pool[i]
+		an.cost = an.g + pool[i+1].g + pool[i+1].del
+		an.hidx = len(heap)
+		heap = append(heap, an)
+	}
+	a.heap = heap
+	for i := len(heap)/2 - 1; i >= 0; i-- {
+		a.siftDown(i)
+	}
+}
+
+// UpdateBatch implements core.BatchCashRegister. Large batches are
+// sorted and merged in one sweep — the merge's removability pass doubles
+// as a COMPRESS, so the compression countdown restarts afterwards.
+func (t *Theory) UpdateBatch(xs []uint64) {
+	if len(xs) < batchMin || len(xs)*8 < t.list.Len() {
+		for _, x := range xs {
+			t.Update(x)
+		}
+		return
+	}
+	batch := stageBatch(&t.batchBuf, xs)
+
+	llen := t.list.Len()
+	if cap(t.tupleScratch) < llen {
+		t.tupleScratch = make([]tuple, llen+llen/2)
+	}
+	old := t.tupleScratch[:llen]
+	i := 0
+	for n := t.list.First(); n != nil; n = n.Next() {
+		old[i] = tuple{v: n.Key, g: n.Value.g, del: n.Value.del}
+		i++
+	}
+
+	t.n += int64(len(batch))
+	want := llen + len(batch)
+	if cap(t.mergeScratch) < want {
+		t.mergeScratch = make([]tuple, 0, want)
+	}
+	merged := mergeSorted(old, batch, threshold(t.eps, t.n), t.mergeScratch[:0])
+	t.mergeScratch = merged
+
+	b := newTheoryIndex(uint64(t.n))
+	for _, e := range merged {
+		b.Append(e.v, &tnode{g: e.g, del: e.del})
+	}
+	t.list = b.Finish()
+	t.sinceCmp = 0
+}

@@ -25,6 +25,17 @@ type Theory struct {
 	list          *skiplist.List[uint64, *tnode]
 	sinceCmp      int
 	compressEvery int
+
+	// Batch workspace (see batch.go), reused across UpdateBatch calls.
+	batchBuf     []uint64
+	tupleScratch []tuple
+	mergeScratch []tuple
+}
+
+// newTheoryIndex starts a sorted skiplist build with the variant's
+// tower seed, salted so successive batch rebuilds draw fresh towers.
+func newTheoryIndex(salt uint64) *skiplist.Builder[uint64, *tnode] {
+	return skiplist.NewBuilder[uint64, *tnode](0x7468656f7279 ^ salt)
 }
 
 // NewTheory returns an empty GKTheory summary with error parameter eps.

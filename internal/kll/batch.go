@@ -1,0 +1,46 @@
+package kll
+
+import (
+	"fmt"
+	"math"
+
+	"streamquantiles/internal/core"
+)
+
+// UpdateBatch implements core.BatchCashRegister: level 0 is filled by
+// whole-chunk copies up to its capacity, compacting between chunks.
+// Level-0 capacity only changes when the depth does (inside compress),
+// and the compaction coin flips happen at exactly the same fill points,
+// so the resulting state is byte-identical to per-item Update.
+func (s *Sketch) UpdateBatch(xs []uint64) {
+	for len(xs) > 0 {
+		room := s.capacity(0) - len(s.levels[0])
+		if room <= 0 {
+			s.compress()
+			continue
+		}
+		take := room
+		if take > len(xs) {
+			take = len(xs)
+		}
+		s.levels[0] = append(s.levels[0], xs[:take]...)
+		s.n += int64(take)
+		xs = xs[take:]
+		if len(s.levels[0]) >= s.capacity(0) {
+			s.compress()
+		}
+	}
+}
+
+// MergeSummary implements core.Mergeable. It leaves other unchanged.
+func (s *Sketch) MergeSummary(other core.Summary) error {
+	o, ok := other.(*Sketch)
+	if !ok {
+		return fmt.Errorf("kll: cannot merge a %T", other)
+	}
+	if math.Float64bits(o.eps) != math.Float64bits(s.eps) {
+		return fmt.Errorf("kll: cannot merge sketches with eps %v and %v", s.eps, o.eps)
+	}
+	s.Merge(o)
+	return nil
+}

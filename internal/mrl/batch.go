@@ -1,0 +1,136 @@
+package mrl
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"streamquantiles/internal/core"
+)
+
+// UpdateBatch implements core.BatchCashRegister by skipping whole
+// sampling blocks, exactly as randalg's batch path: the block cursor
+// advances by chunks, the sampled candidate is read by offset, and the
+// RNG is consumed only at block completions and buffer starts — the
+// per-item draw sequence. State is byte-identical to per-item Update.
+func (m *MRL99) UpdateBatch(xs []uint64) {
+	i := 0
+	for i < len(xs) {
+		counted := 0
+		if m.cur == nil {
+			// startBuffer reads n (the sampling schedule), so count the
+			// element that opens the buffer before calling it.
+			m.n++
+			m.startBuffer()
+			counted = 1
+		}
+		take := int(m.blockSize - m.blockPos)
+		if take > len(xs)-i {
+			take = len(xs) - i
+		}
+		m.n += int64(take - counted)
+		if off := m.pickAt - m.blockPos; off >= 0 && off < int64(take) {
+			m.candidate = xs[i+int(off)]
+		}
+		m.blockPos += int64(take)
+		i += take
+		if m.blockPos == m.blockSize {
+			m.cur.data = append(m.cur.data, m.candidate)
+			m.blockPos = 0
+			m.pickAt = int64(m.rng.Uint64n(uint64(m.blockSize)))
+			if len(m.cur.data) == m.k {
+				slices.Sort(m.cur.data)
+				m.cur.full = true
+				m.cur = nil
+			}
+		}
+	}
+}
+
+// checkCompatible validates a merge partner: both summaries must have
+// been built with bit-identical eps (and therefore identical b and k).
+func (m *MRL99) checkCompatible(other *MRL99) {
+	if math.Float64bits(other.eps) != math.Float64bits(m.eps) {
+		panic("mrl: merging summaries with different eps")
+	}
+}
+
+// Merge folds other into m in the mergeable-summary sense: both partial
+// buffers close out (m's in place, other's into a copy), other's
+// buffers join m's buffer set as sorted full clones, and COLLAPSE runs
+// until at most b buffers remain full, after which the slot list is
+// rebuilt to exactly b entries. other is left unchanged.
+func (m *MRL99) Merge(other *MRL99) {
+	m.checkCompatible(other)
+	if m.cur != nil && len(m.cur.data) > 0 {
+		slices.Sort(m.cur.data)
+		m.cur.full = true
+	}
+	m.cur = nil
+
+	for _, b := range other.bufs {
+		if len(b.data) == 0 {
+			continue
+		}
+		nb := &buffer{level: b.level, weight: b.weight, data: slices.Clone(b.data), full: true}
+		if !b.full {
+			slices.Sort(nb.data) // other's partially filled buffer
+		}
+		if nb.weight == 0 {
+			nb.weight = int64(1) << nb.level
+		}
+		m.bufs = append(m.bufs, nb)
+	}
+	m.n += other.n
+
+	for m.fullCount() > m.b {
+		m.collapse()
+	}
+	m.compactSlots()
+}
+
+func (m *MRL99) fullCount() int {
+	c := 0
+	for _, b := range m.bufs {
+		if b.full {
+			c++
+		}
+	}
+	return c
+}
+
+// compactSlots rebuilds the slot list to exactly b entries: every full
+// buffer, then existing empty slots, padded with fresh empties.
+func (m *MRL99) compactSlots() {
+	kept := make([]*buffer, 0, m.b)
+	for _, b := range m.bufs {
+		if b.full && len(kept) < m.b {
+			kept = append(kept, b)
+		}
+	}
+	for _, b := range m.bufs {
+		if !b.full && len(kept) < m.b {
+			b.data = b.data[:0]
+			b.level = 0
+			b.weight = 0
+			kept = append(kept, b)
+		}
+	}
+	for len(kept) < m.b {
+		kept = append(kept, &buffer{data: make([]uint64, 0, m.k)})
+	}
+	m.bufs = kept
+}
+
+// MergeSummary implements core.Mergeable. It leaves other unchanged.
+func (m *MRL99) MergeSummary(other core.Summary) error {
+	o, ok := other.(*MRL99)
+	if !ok {
+		return fmt.Errorf("mrl: cannot merge a %T", other)
+	}
+	if math.Float64bits(o.eps) != math.Float64bits(m.eps) {
+		return fmt.Errorf("mrl: cannot merge summaries with eps %v and %v", m.eps, o.eps)
+	}
+	m.Merge(o)
+	return nil
+}

@@ -1,0 +1,52 @@
+package qdigest
+
+import (
+	"fmt"
+
+	"streamquantiles/internal/core"
+)
+
+// UpdateBatch implements core.BatchCashRegister. Elements are validated
+// up front, then copied into the pending buffer in chunks cut at the
+// two drain triggers — a full buffer or n reaching the compression
+// point — so drains happen at exactly the per-item positions and the
+// resulting state is byte-identical to per-item Update. (Update is
+// always entered with n < nextCmp: drain either runs COMPRESS and sets
+// nextCmp = 2n > n, or was triggered by the buffer filling before the
+// compression point.)
+func (d *Digest) UpdateBatch(xs []uint64) {
+	for _, x := range xs {
+		d.checkElement(x)
+	}
+	for len(xs) > 0 {
+		take := cap(d.buf) - len(d.buf)
+		if take > len(xs) {
+			take = len(xs)
+		}
+		if d.n < d.nextCmp && d.n+int64(take) > d.nextCmp {
+			take = int(d.nextCmp - d.n)
+		}
+		d.buf = append(d.buf, xs[:take]...)
+		d.n += int64(take)
+		xs = xs[take:]
+		if len(d.buf) == cap(d.buf) || d.n >= d.nextCmp {
+			d.drain()
+		}
+	}
+}
+
+// MergeSummary implements core.Mergeable. Merging drains other's
+// pending buffer into its node map — a transparent operation its own
+// queries also perform — but leaves it semantically unchanged.
+func (d *Digest) MergeSummary(other core.Summary) error {
+	o, ok := other.(*Digest)
+	if !ok {
+		return fmt.Errorf("qdigest: cannot merge a %T", other)
+	}
+	if o.bits != d.bits || o.k != d.k {
+		return fmt.Errorf("qdigest: cannot merge digests with parameters (bits=%d, k=%d) and (bits=%d, k=%d)",
+			d.bits, d.k, o.bits, o.k)
+	}
+	d.Merge(o)
+	return nil
+}

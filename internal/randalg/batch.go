@@ -1,0 +1,62 @@
+package randalg
+
+import (
+	"fmt"
+	"math"
+
+	"streamquantiles/internal/core"
+)
+
+// UpdateBatch implements core.BatchCashRegister by skipping whole
+// sampling blocks: per-item Update touches each element only to compare
+// blockPos against pickAt, so a batch can advance the block cursor by
+// whole chunks, read the one sampled candidate by offset, and consume
+// the RNG only at block completions and buffer starts — exactly the
+// per-item draw sequence. The resulting state is byte-identical to
+// per-item Update.
+func (r *Random) UpdateBatch(xs []uint64) {
+	i := 0
+	for i < len(xs) {
+		counted := 0
+		if r.cur == nil {
+			// startBuffer reads n (the active-level schedule), so count
+			// the element that opens the buffer before calling it.
+			r.n++
+			r.startBuffer()
+			counted = 1
+		}
+		take := int(r.blockSize - r.blockPos)
+		if take > len(xs)-i {
+			take = len(xs) - i
+		}
+		r.n += int64(take - counted)
+		if off := r.pickAt - r.blockPos; off >= 0 && off < int64(take) {
+			r.candidate = xs[i+int(off)]
+		}
+		r.blockPos += int64(take)
+		i += take
+		if r.blockPos == r.blockSize {
+			r.cur.data = append(r.cur.data, r.candidate)
+			r.blockPos = 0
+			r.pickAt = int64(r.rng.Uint64n(uint64(r.blockSize)))
+			if len(r.cur.data) == r.s {
+				r.finishBuffer()
+			}
+		}
+	}
+}
+
+// MergeSummary implements core.Mergeable. Merge closes the partial
+// buffer of its argument, so the argument is cloned first and other is
+// left untouched.
+func (r *Random) MergeSummary(other core.Summary) error {
+	o, ok := other.(*Random)
+	if !ok {
+		return fmt.Errorf("randalg: cannot merge a %T", other)
+	}
+	if math.Float64bits(o.eps) != math.Float64bits(r.eps) {
+		return fmt.Errorf("randalg: cannot merge summaries with eps %v and %v", r.eps, o.eps)
+	}
+	r.Merge(o.Clone())
+	return nil
+}

@@ -1,0 +1,264 @@
+// Package sharded scales ingestion across cores by partitioning a
+// stream over P independent per-shard summaries, each behind its own
+// mutex — there is no global lock anywhere on the write path, so P
+// writers on P cores ingest with no coherence traffic beyond their own
+// shard.
+//
+// Correctness rests on the summaries' stream-order insensitivity:
+//
+//   - Cash-register summaries: any partition of an insert-only stream
+//     is itself a valid insert-only stream, so each shard is a valid
+//     summary of its share and batches route round-robin.
+//   - Turnstile summaries: elements route by value affinity (a mixed
+//     hash of the element), so an element's deletions always land on
+//     the shard that saw its insertions and every shard individually
+//     stays in the strict turnstile model.
+//
+// Queries combine the shards within the composed error bound
+// Σ εᵢnᵢ ≤ εn: summaries implementing core.Mergeable (the dyadic
+// linear sketches, KLL, q-digest, MRL99, Random) fold into one
+// fresh summary which answers directly; the rest (the GK family)
+// combine by additive rank estimation — the summed per-shard rank
+// estimate tracks the true combined rank everywhere within the summed
+// estimate errors (at most 2εn for GK's midpoint estimator, far less in
+// practice), and a 64-bit bitwise descent over the value domain
+// inverts it.
+package sharded
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"streamquantiles/internal/core"
+)
+
+// checkShards validates the shard count, shared by both constructors.
+func checkShards(p int) {
+	if p < 1 {
+		panic(fmt.Sprintf("sharded: shard count %d < 1", p))
+	}
+}
+
+// mix is the SplitMix64 finalizer: a bijective mix that spreads
+// value-affinity routing evenly across shards even for clustered keys.
+func mix(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// invariantChecker is implemented by every registered summary (the
+// quantlint SQ005 contract); shards that provide it are deep-checked by
+// Invariants.
+type invariantChecker interface{ Invariants() error }
+
+// ---------------------------------------------------------------- cash
+
+// cashShard pads each summary's lock onto its own state; shards are
+// only ever touched under their own mutex.
+type cashShard struct {
+	mu sync.Mutex
+	s  core.CashRegister
+}
+
+// CashRegister partitions an insert-only stream across P per-shard
+// summaries produced by a factory. All methods are safe for concurrent
+// use.
+type CashRegister struct {
+	shards []cashShard
+	fresh  func() core.CashRegister
+	rr     atomic.Uint64
+}
+
+// NewCashRegister builds a P-way sharded summary; fresh must return a
+// new empty summary per call, all identically configured.
+func NewCashRegister(p int, fresh func() core.CashRegister) *CashRegister {
+	checkShards(p)
+	c := &CashRegister{shards: make([]cashShard, p), fresh: fresh}
+	for i := range c.shards {
+		c.shards[i].s = fresh()
+	}
+	return c
+}
+
+// Shards returns P.
+func (c *CashRegister) Shards() int { return len(c.shards) }
+
+// Update implements core.CashRegister: the element lands on the next
+// shard in round-robin order.
+func (c *CashRegister) Update(x uint64) {
+	sh := &c.shards[(c.rr.Add(1)-1)%uint64(len(c.shards))]
+	sh.mu.Lock()
+	sh.s.Update(x)
+	sh.mu.Unlock()
+}
+
+// UpdateBatch implements core.BatchCashRegister: the whole batch lands
+// on one shard (round-robin across calls) under a single lock
+// acquisition, through the shard's native batch path when it has one.
+func (c *CashRegister) UpdateBatch(xs []uint64) {
+	if len(xs) == 0 {
+		return
+	}
+	sh := &c.shards[(c.rr.Add(1)-1)%uint64(len(c.shards))]
+	sh.mu.Lock()
+	core.UpdateBatch(sh.s, xs)
+	sh.mu.Unlock()
+}
+
+// UpdateBatchAffinity routes the whole batch to the shard owning key —
+// for callers that partition work upstream (per user, per series) and
+// want same-key batches to share a shard.
+func (c *CashRegister) UpdateBatchAffinity(key uint64, xs []uint64) {
+	if len(xs) == 0 {
+		return
+	}
+	sh := &c.shards[mix(key)%uint64(len(c.shards))]
+	sh.mu.Lock()
+	core.UpdateBatch(sh.s, xs)
+	sh.mu.Unlock()
+}
+
+// Count implements core.Summary.
+func (c *CashRegister) Count() int64 {
+	var n int64
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.s.Count()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Rank implements core.Summary. Mergeable families answer from the
+// merged summary (for the linear sketches, exactly the unsharded
+// estimate). Otherwise ranks are additive across a partition: the
+// estimate is the sum of per-shard estimates and its error the sum of
+// per-shard estimate errors — for the GK family, whose midpoint
+// estimator is uncertain by up to the ⌊2εᵢnᵢ⌋ capacity of the gap a
+// probe falls into, Σᵢ 2εᵢnᵢ ≤ 2εn.
+func (c *CashRegister) Rank(x uint64) int64 {
+	if s := c.combined(); s != nil {
+		return s.Rank(x)
+	}
+	return c.summedRank(x)
+}
+
+// summedRank is the additive estimate over all shards.
+func (c *CashRegister) summedRank(x uint64) int64 {
+	var r int64
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		r += sh.s.Rank(x)
+		sh.mu.Unlock()
+	}
+	return r
+}
+
+// combined merges every shard into one fresh summary when the family
+// supports it, returning nil otherwise (the caller falls back to rank
+// combination).
+func (c *CashRegister) combined() core.CashRegister {
+	fresh := c.fresh()
+	m, ok := fresh.(core.Mergeable)
+	if !ok {
+		return nil
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		err := m.MergeSummary(sh.s)
+		sh.mu.Unlock()
+		if err != nil {
+			return nil
+		}
+	}
+	return fresh
+}
+
+// Quantile implements core.Summary within the composed ε bound.
+func (c *CashRegister) Quantile(phi float64) uint64 {
+	core.CheckPhi(phi)
+	if s := c.combined(); s != nil {
+		return s.Quantile(phi)
+	}
+	return rankQuantile(c.Count(), c.summedRank, phi)
+}
+
+// BatchQuantiles implements core.BatchQuantiler: one merge (or one
+// rank-descent per fraction) answers the whole batch.
+func (c *CashRegister) BatchQuantiles(phis []float64) []uint64 {
+	for _, phi := range phis {
+		core.CheckPhi(phi)
+	}
+	if s := c.combined(); s != nil {
+		return core.Quantiles(s, phis)
+	}
+	n := c.Count()
+	out := make([]uint64, len(phis))
+	for i, phi := range phis {
+		out[i] = rankQuantile(n, c.summedRank, phi)
+	}
+	return out
+}
+
+// SpaceBytes implements core.Summary: the sum over shards.
+func (c *CashRegister) SpaceBytes() int64 {
+	var b int64
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		b += sh.s.SpaceBytes()
+		sh.mu.Unlock()
+	}
+	return b
+}
+
+// Invariants implements the sanitizer contract by deep-checking every
+// shard that supports it.
+func (c *CashRegister) Invariants() error {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		err := checkShardInvariants(i, sh.s)
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkShardInvariants(i int, s any) error {
+	ic, ok := s.(invariantChecker)
+	if !ok {
+		return nil
+	}
+	if err := ic.Invariants(); err != nil {
+		return fmt.Errorf("sharded: shard %d: %w", i, err)
+	}
+	return nil
+}
+
+// rankQuantile inverts a summed rank estimate by a bitwise descent: the
+// largest v with R(v) ≤ target. R tracks the true (monotone) combined
+// rank within the summed per-shard estimate error E, and every value
+// above the result was excluded by a probe whose estimate exceeded the
+// target, so the result's rank interval intersects [target−E, target+E]
+// — for the GK family E ≤ Σᵢ 2εᵢnᵢ ≤ 2εn, and in practice far tighter.
+func rankQuantile(n int64, rank func(uint64) int64, phi float64) uint64 {
+	if n <= 0 {
+		panic(core.ErrEmpty)
+	}
+	target := core.TargetRank(phi, n)
+	var v uint64
+	for bit := 63; bit >= 0; bit-- {
+		if cand := v | uint64(1)<<bit; rank(cand) <= target {
+			v = cand
+		}
+	}
+	return v
+}

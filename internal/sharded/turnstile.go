@@ -1,0 +1,240 @@
+package sharded
+
+import (
+	"sync"
+
+	"streamquantiles/internal/core"
+)
+
+// turnShard is the turnstile counterpart of cashShard.
+type turnShard struct {
+	mu sync.Mutex
+	s  core.Turnstile
+}
+
+// Turnstile partitions a strict-turnstile stream across P per-shard
+// summaries. Routing is by value affinity — mix(x) mod P — so an
+// element's deletions always reach the shard that saw its insertions
+// and every shard individually remains a valid strict-turnstile stream.
+// All methods are safe for concurrent use.
+type Turnstile struct {
+	shards []turnShard
+	fresh  func() core.Turnstile
+
+	// parts pools per-call partition scratch: batch routing scatters the
+	// input into per-shard sub-batches without allocating per call.
+	parts sync.Pool
+}
+
+// partition is the pooled scatter scratch of one in-flight batch call.
+type partition struct {
+	byShard [][]uint64
+}
+
+// NewTurnstile builds a P-way sharded turnstile summary; fresh must
+// return a new empty summary per call, all identically configured
+// (including seeds, so shards can merge at query time).
+func NewTurnstile(p int, fresh func() core.Turnstile) *Turnstile {
+	checkShards(p)
+	t := &Turnstile{shards: make([]turnShard, p), fresh: fresh}
+	for i := range t.shards {
+		t.shards[i].s = fresh()
+	}
+	t.parts.New = func() any {
+		pt := &partition{byShard: make([][]uint64, p)}
+		for i := range pt.byShard {
+			pt.byShard[i] = make([]uint64, 0, 512)
+		}
+		return pt
+	}
+	return t
+}
+
+// Shards returns P.
+func (t *Turnstile) Shards() int { return len(t.shards) }
+
+// shardOf routes an element by value affinity.
+func (t *Turnstile) shardOf(x uint64) *turnShard {
+	return &t.shards[mix(x)%uint64(len(t.shards))]
+}
+
+// Insert implements core.Turnstile.
+func (t *Turnstile) Insert(x uint64) {
+	sh := t.shardOf(x)
+	sh.mu.Lock()
+	sh.s.Insert(x)
+	sh.mu.Unlock()
+}
+
+// Delete implements core.Turnstile.
+func (t *Turnstile) Delete(x uint64) {
+	sh := t.shardOf(x)
+	sh.mu.Lock()
+	sh.s.Delete(x)
+	sh.mu.Unlock()
+}
+
+// InsertBatch implements core.BatchTurnstile.
+func (t *Turnstile) InsertBatch(xs []uint64) { t.AddBatch(xs, 1) }
+
+// DeleteBatch implements core.BatchTurnstile.
+func (t *Turnstile) DeleteBatch(xs []uint64) { t.AddBatch(xs, -1) }
+
+// AddBatch implements core.BatchTurnstile: one scatter pass partitions
+// the batch by value affinity, then each non-empty sub-batch flows
+// through its shard's native batch path under one lock acquisition.
+func (t *Turnstile) AddBatch(xs []uint64, delta int64) {
+	if len(xs) == 0 {
+		return
+	}
+	pt := t.parts.Get().(*partition)
+	for i := range pt.byShard {
+		pt.byShard[i] = pt.byShard[i][:0]
+	}
+	p := uint64(len(t.shards))
+	for _, x := range xs {
+		si := mix(x) % p
+		pt.byShard[si] = append(pt.byShard[si], x)
+	}
+	for i := range t.shards {
+		sub := pt.byShard[i]
+		if len(sub) == 0 {
+			continue
+		}
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		addBatch(sh.s, sub, delta)
+		sh.mu.Unlock()
+	}
+	t.parts.Put(pt)
+}
+
+// addBatch applies a weighted batch through the summary's native path,
+// falling back to |delta| rounds of per-element calls.
+func addBatch(s core.Turnstile, xs []uint64, delta int64) {
+	if bt, ok := s.(core.BatchTurnstile); ok {
+		bt.AddBatch(xs, delta)
+		return
+	}
+	rounds, ins := delta, true
+	if rounds < 0 {
+		rounds, ins = -rounds, false
+	}
+	for ; rounds > 0; rounds-- {
+		for _, x := range xs {
+			if ins {
+				s.Insert(x)
+			} else {
+				s.Delete(x)
+			}
+		}
+	}
+}
+
+// Count implements core.Summary.
+func (t *Turnstile) Count() int64 {
+	var n int64
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		n += sh.s.Count()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Rank implements core.Summary: merged-summary estimate when the family
+// merges (exact for the linear dyadic sketches — identical to an
+// unsharded sketch of the whole stream), summed per-shard estimates
+// otherwise.
+func (t *Turnstile) Rank(x uint64) int64 {
+	if s := t.combined(); s != nil {
+		return s.Rank(x)
+	}
+	return t.summedRank(x)
+}
+
+// summedRank is the additive estimate over all shards.
+func (t *Turnstile) summedRank(x uint64) int64 {
+	var r int64
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		r += sh.s.Rank(x)
+		sh.mu.Unlock()
+	}
+	return r
+}
+
+// combined merges every shard into one fresh summary when the family
+// supports it (the dyadic sketches are linear, so identically seeded
+// shards merge exactly), nil otherwise.
+func (t *Turnstile) combined() core.Turnstile {
+	fresh := t.fresh()
+	m, ok := fresh.(core.Mergeable)
+	if !ok {
+		return nil
+	}
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		err := m.MergeSummary(sh.s)
+		sh.mu.Unlock()
+		if err != nil {
+			return nil
+		}
+	}
+	return fresh
+}
+
+// Quantile implements core.Summary within the composed ε bound.
+func (t *Turnstile) Quantile(phi float64) uint64 {
+	core.CheckPhi(phi)
+	if s := t.combined(); s != nil {
+		return s.Quantile(phi)
+	}
+	return rankQuantile(t.Count(), t.summedRank, phi)
+}
+
+// BatchQuantiles implements core.BatchQuantiler.
+func (t *Turnstile) BatchQuantiles(phis []float64) []uint64 {
+	for _, phi := range phis {
+		core.CheckPhi(phi)
+	}
+	if s := t.combined(); s != nil {
+		return core.Quantiles(s, phis)
+	}
+	n := t.Count()
+	out := make([]uint64, len(phis))
+	for i, phi := range phis {
+		out[i] = rankQuantile(n, t.summedRank, phi)
+	}
+	return out
+}
+
+// SpaceBytes implements core.Summary: the sum over shards.
+func (t *Turnstile) SpaceBytes() int64 {
+	var b int64
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		b += sh.s.SpaceBytes()
+		sh.mu.Unlock()
+	}
+	return b
+}
+
+// Invariants implements the sanitizer contract by deep-checking every
+// shard that supports it.
+func (t *Turnstile) Invariants() error {
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		err := checkShardInvariants(i, sh.s)
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -198,3 +198,46 @@ func (l *List[K, V]) Prev(n *Node[K, V]) *Node[K, V] {
 // the index structure (forward towers and prev pointers), used by the GK
 // summaries' space accounting.
 func (l *List[K, V]) PointerWords() int64 { return l.ptrs }
+
+// Builder assembles a list from keys fed in nondecreasing order in O(1)
+// amortized time per node — no searches. The GK batch paths use it to
+// rebuild their tuple index after a sort+merge pass: rebuilding L nodes
+// costs O(L) instead of the O(L log L) of repeated Insert calls.
+type Builder[K cmp.Ordered, V any] struct {
+	list  *List[K, V]
+	tails [maxLevel]*Node[K, V] // last node linked on each level
+}
+
+// NewBuilder starts building an empty list with the given tower seed.
+func NewBuilder[K cmp.Ordered, V any](seed uint64) *Builder[K, V] {
+	b := &Builder[K, V]{list: New[K, V](seed)}
+	for lv := range b.tails {
+		b.tails[lv] = b.list.head
+	}
+	return b
+}
+
+// Append links a node with the given key after everything appended so
+// far and returns it. Keys must arrive in nondecreasing order.
+func (b *Builder[K, V]) Append(key K, value V) *Node[K, V] {
+	l := b.list
+	if b.tails[0] != l.head && key < b.tails[0].Key {
+		//lint:ignore SQ003 corruption guard: an out-of-order append would silently break every subsequent search
+		panic("skiplist: Builder.Append out of order")
+	}
+	h := l.randomLevel()
+	n := &Node[K, V]{Key: key, Value: value, next: make([]*Node[K, V], h), prev: b.tails[0]}
+	if h > l.level {
+		l.level = h
+	}
+	for lv := 0; lv < h; lv++ {
+		b.tails[lv].next[lv] = n
+		b.tails[lv] = n
+	}
+	l.size++
+	l.ptrs += int64(h) + 1
+	return n
+}
+
+// Finish returns the built list. The builder must not be used afterwards.
+func (b *Builder[K, V]) Finish() *List[K, V] { return b.list }

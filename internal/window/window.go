@@ -61,7 +61,12 @@ func New(eps float64, w int64, seed uint64) *Windowed {
 	if bs < 1 {
 		bs = 1
 	}
-	return &Windowed{eps: eps, window: w, blockSize: bs, seed: seed}
+	// At most ⌈W/bs⌉+1 blocks are ever live (expiry drops whole blocks),
+	// so the slice never regrows inside Update.
+	return &Windowed{
+		eps: eps, window: w, blockSize: bs, seed: seed,
+		blocks: make([]*block, 0, w/bs+2),
+	}
 }
 
 // Eps returns the error parameter.

@@ -151,6 +151,52 @@ func (p *Poly) Eval(x uint64) uint64 {
 	return acc
 }
 
+// EvalSlice evaluates the polynomial at every element of xs, writing the
+// results into dst (which must be at least as long as xs). The hot sketch
+// update loops use it to hoist the coefficient loads out of the per-item
+// loop; the degree-2 and degree-4 families used by the sketches get
+// straight-line Horner bodies.
+// The straight-line bodies use lazy reduction: each Horner step leaves
+// the accumulator partially reduced (< 2^61 + 8 after lazyMulStep, then
+// < 2^62 after adding a canonical coefficient), and only the final
+// store reduces to the canonical representative — the same value Eval
+// computes, with the per-step compare-and-subtract and the AddMod61
+// reductions gone.
+func (p *Poly) EvalSlice(dst, xs []uint64) {
+	_ = dst[:len(xs)]
+	switch len(p.coef) {
+	case 2:
+		c0, c1 := p.coef[0], p.coef[1]
+		for i, x := range xs {
+			dst[i] = mod61(lazyMulStep(c1, mod61(x)) + c0)
+		}
+	case 4:
+		c0, c1, c2, c3 := p.coef[0], p.coef[1], p.coef[2], p.coef[3]
+		for i, x := range xs {
+			v := mod61(x)
+			acc := lazyMulStep(c3, v) + c2
+			acc = lazyMulStep(acc, v) + c1
+			dst[i] = mod61(lazyMulStep(acc, v) + c0)
+		}
+	default:
+		for i, x := range xs {
+			dst[i] = p.Eval(x)
+		}
+	}
+}
+
+// lazyMulStep computes a representative of a·b (mod 2^61 − 1) without
+// the final compare-and-subtract, for a < 2^62 and b < 2^61. The
+// 128-bit product folds as in MulMod61 (fold < 2^63 + 2^61 + 8 here),
+// and one shift-and-add pass brings the result under 2^61 + 8 — small
+// enough that adding a canonical coefficient keeps the next step's
+// precondition, and that a final mod61 lands on the canonical value.
+func lazyMulStep(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	fold := (hi<<3 | lo>>61) + (lo & MersennePrime61)
+	return (fold & MersennePrime61) + (fold >> 61)
+}
+
 // Degree returns the number of coefficients (the independence order k).
 func (p *Poly) Degree() int { return len(p.coef) }
 
@@ -176,6 +222,36 @@ func NewBucket(rng *SplitMix64, k int, w int) *Bucket {
 // Hash maps x to a bucket in [0, w).
 func (b *Bucket) Hash(x uint64) int {
 	return int(b.poly.Eval(x) % b.w)
+}
+
+// HashSlice maps every element of xs to its bucket, writing the results
+// into dst (which must be at least as long as xs). The bucket reduction
+// uses ReduceMod instead of a hardware division per element — same
+// values, a fraction of the latency.
+func (b *Bucket) HashSlice(dst, xs []uint64) {
+	b.poly.EvalSlice(dst, xs)
+	w := b.w
+	m := Reciprocal(w)
+	for i := range xs {
+		dst[i] = ReduceMod(dst[i], w, m)
+	}
+}
+
+// Reciprocal precomputes ⌊(2^64−1)/w⌋ for ReduceMod.
+func Reciprocal(w uint64) uint64 { return ^uint64(0) / w }
+
+// ReduceMod computes x % w exactly for x < 2^63, given m = Reciprocal(w),
+// with two multiplies and a conditional subtract in place of a hardware
+// division (Granlund–Montgomery reciprocal division). The quotient
+// estimate ⌊xm/2^64⌋ is q or q−1: m ≥ 2^64/w − 2, so xm/2^64 ≥
+// x/w − 2x/2^64 > x/w − 1.
+func ReduceMod(x, w, m uint64) uint64 {
+	q, _ := bits.Mul64(x, m)
+	r := x - q*w
+	if r >= w {
+		r -= w
+	}
+	return r
 }
 
 // Width returns w.

@@ -4,6 +4,8 @@ import (
 	"encoding"
 	"fmt"
 	"sync"
+
+	"streamquantiles/internal/core"
 )
 
 // The summaries in this library are single-writer structures, as in the
@@ -56,6 +58,14 @@ func (c *SafeCashRegister) Update(x uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.s.Update(x)
+}
+
+// UpdateBatch observes a batch of elements under one lock acquisition,
+// through the summary's native batch path when it has one.
+func (c *SafeCashRegister) UpdateBatch(xs []uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	core.UpdateBatch(c.s, xs)
 }
 
 // Quantile returns an estimated φ-quantile.
@@ -178,6 +188,22 @@ func (c *SafeTurnstile) Delete(x uint64) {
 	c.s.Delete(x)
 }
 
+// InsertBatch adds one occurrence of every element of xs under one lock
+// acquisition, through the summary's native batch path when it has one.
+func (c *SafeTurnstile) InsertBatch(xs []uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	core.InsertBatch(c.s, xs)
+}
+
+// DeleteBatch removes one occurrence of every element of xs under one
+// lock acquisition.
+func (c *SafeTurnstile) DeleteBatch(xs []uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	core.DeleteBatch(c.s, xs)
+}
+
 // Quantile returns an estimated φ-quantile.
 func (c *SafeTurnstile) Quantile(phi float64) uint64 {
 	defer c.rlock()()
@@ -241,3 +267,18 @@ func (c *SafeTurnstile) MarshalBinary() ([]byte, error) { return c.Snapshot() }
 
 // UnmarshalBinary implements encoding.BinaryUnmarshaler (as Restore).
 func (c *SafeTurnstile) UnmarshalBinary(data []byte) error { return c.Restore(data) }
+
+// NewSafeShardedCashRegister is the concurrent-ingestion construction
+// for write-heavy workloads: where the Safe wrappers serialize all
+// writers behind one lock, a sharded summary gives each of P shards its
+// own lock, so P writers proceed in parallel. The result is already
+// goroutine-safe — there is no wrapper to add.
+func NewSafeShardedCashRegister(p int, fresh func() CashRegister) *ShardedCashRegister {
+	return NewShardedCashRegister(p, fresh)
+}
+
+// NewSafeShardedTurnstile is the turnstile counterpart of
+// NewSafeShardedCashRegister.
+func NewSafeShardedTurnstile(p int, fresh func() Turnstile) *ShardedTurnstile {
+	return NewShardedTurnstile(p, fresh)
+}
