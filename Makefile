@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint check crash fuzz bench bench-ingest experiments report html clean
+.PHONY: all build test race lint check crash fuzz bench bench-ingest bench-query experiments report html clean
 
 all: build test lint
 
@@ -16,7 +16,7 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Repo-specific static analysis (rules SQ001-SQ007); see cmd/quantlint.
+# Repo-specific static analysis (rules SQ001-SQ008); see cmd/quantlint.
 lint:
 	$(GO) run ./cmd/quantlint ./...
 
@@ -49,6 +49,17 @@ bench:
 INGEST_N ?= 2000000
 bench-ingest:
 	$(GO) run ./cmd/quantbench -ingest -n $(INGEST_N) -ingest-out BENCH_ingest.json
+
+# Query-path throughput: per-phi vs single-pass batched vs
+# snapshot-cached quantile extraction for every summary, plus the
+# sharded fold cache. Writes the committed baseline from the
+# conservative merge of several passes (so CI's single pass clears the
+# 25%-tolerance floors even on noisy runners); CI re-measures at the
+# same n — cached speedups grow with n — and compares the ratios.
+QUERY_N ?= 2000000
+QUERY_RUNS ?= 3
+bench-query:
+	$(GO) run ./cmd/quantbench -query -n $(QUERY_N) -query-runs $(QUERY_RUNS) -query-out BENCH_query.json
 
 # Regenerate EXPERIMENTS.md (several minutes at the default n).
 experiments:

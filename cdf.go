@@ -1,6 +1,10 @@
 package streamquantiles
 
-import "streamquantiles/internal/core"
+import (
+	"sync"
+
+	"streamquantiles/internal/core"
+)
 
 // CDFPoint is one point of an approximate cumulative distribution:
 // an estimated Fraction of the stream is ≤ Value.
@@ -9,6 +13,12 @@ type CDFPoint struct {
 	Fraction float64
 }
 
+// cdfPhiPool recycles the φ grid between CDF calls: extraction is one
+// QuantileBatch, so the grid itself is the only per-call scratch and
+// repeated CDFs (dashboards polling the same resolution) allocate only
+// the returned points.
+var cdfPhiPool = sync.Pool{New: func() any { return new([]float64) }}
+
 // CDF extracts a points-sized approximation of the summarized
 // distribution's cumulative distribution function, the representation
 // the paper motivates quantiles with (§1: quantiles characterize the
@@ -16,15 +26,20 @@ type CDFPoint struct {
 // fractions 1/(points+1) … points/(points+1); values are non-decreasing.
 // Each point inherits the summary's rank guarantee: the true fraction of
 // elements ≤ Value differs from Fraction by at most the summary's ε.
+//
+// The whole grid is extracted in one QuantileBatch call — a single pass
+// over the summary's state when it implements core.QuantileBatcher —
+// instead of one full query walk per point.
 func CDF(s Summary, points int) []CDFPoint {
 	if points < 1 {
 		panic("streamquantiles: CDF needs at least one point")
 	}
-	phis := make([]float64, points)
-	for i := range phis {
-		phis[i] = float64(i+1) / float64(points+1)
+	phisp := cdfPhiPool.Get().(*[]float64)
+	phis := (*phisp)[:0]
+	for i := 0; i < points; i++ {
+		phis = append(phis, float64(i+1)/float64(points+1))
 	}
-	values := core.Quantiles(s, phis)
+	values := core.QuantileBatch(s, phis)
 	out := make([]CDFPoint, points)
 	prev := uint64(0)
 	for i := range out {
@@ -35,6 +50,8 @@ func CDF(s Summary, points int) []CDFPoint {
 		out[i] = CDFPoint{Value: v, Fraction: phis[i]}
 		prev = v
 	}
+	*phisp = phis
+	cdfPhiPool.Put(phisp)
 	return out
 }
 

@@ -97,6 +97,7 @@ func TestEachRuleFiresExactlyOnce(t *testing.T) {
 		"internal/sq004":   "SQ004",
 		"internal/sq006":   "SQ006",
 		"internal/sq007":   "SQ007",
+		"internal/sq008":   "SQ008",
 		"internal/ignored": "SQ000", // the malformed directive
 		"quantiles.go":     "SQ005",
 	}

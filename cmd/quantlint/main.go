@@ -1,10 +1,11 @@
-// Command quantlint is the repo's static analyzer: six numbered rules
-// (SQ001–SQ006) encoding the invariants this codebase relies on but
+// Command quantlint is the repo's static analyzer: eight numbered rules
+// (SQ001–SQ008) encoding the invariants this codebase relies on but
 // generic linters cannot know — seeded-randomness discipline, float
 // comparison hygiene, panic-free hot paths, the internal/ layering,
 // the Invariants() sanitizer contract for every registered summary,
-// and the decode-path hardening contract (no panics, no input-sized
-// allocations without a guard) behind durable checkpoint recovery.
+// the decode-path hardening contract (no panics, no input-sized
+// allocations without a guard) behind durable checkpoint recovery, and
+// the allocation discipline of the ingestion and query hot paths.
 //
 // Usage:
 //

@@ -1,0 +1,44 @@
+// Package sq008 trips SQ008 four times — a fmt call in a query method
+// and a make plus both boxing spellings inside per-fraction loops —
+// while the one-per-batch result allocation outside any loop stays
+// silent.
+package sq008
+
+import "fmt"
+
+// S is a toy summary whose query paths allocate per fraction.
+type S struct {
+	vals []uint64
+	last any
+}
+
+// Quantile formats a trace line per call: one allocation (and one
+// boxed argument) per fraction queried.
+func (s *S) Quantile(phi float64) uint64 {
+	fmt.Printf("quantile(%g)\n", phi)
+	return s.vals[int(phi*float64(len(s.vals)))]
+}
+
+// QuantileBatch allocates its result once up front, which is the
+// contract and stays silent — but then allocates a scratch slice per
+// fraction inside the sweep.
+func (s *S) QuantileBatch(phis []float64) []uint64 {
+	out := make([]uint64, 0, len(phis))
+	for _, phi := range phis {
+		scratch := make([]uint64, 1)
+		scratch[0] = s.vals[int(phi*float64(len(s.vals)))]
+		out = append(out, scratch[0])
+	}
+	return out
+}
+
+// RankBatch boxes every probe on its way through the loop, both ways.
+func (s *S) RankBatch(xs []uint64) []int64 {
+	out := make([]int64, len(xs))
+	for i, x := range xs {
+		s.last = any(x)
+		s.last = (interface{})(x)
+		out[i] = int64(i)
+	}
+	return out
+}

@@ -101,16 +101,10 @@ func TargetRank(phi float64, n int64) int64 {
 }
 
 // Quantiles extracts one quantile per fraction in phis, using the
-// summary's batch path when it provides one.
+// summary's batch path when it provides one. It is an alias for
+// QuantileBatch kept for the harness's vocabulary.
 func Quantiles(s Summary, phis []float64) []uint64 {
-	if b, ok := s.(BatchQuantiler); ok {
-		return b.BatchQuantiles(phis)
-	}
-	out := make([]uint64, len(phis))
-	for i, phi := range phis {
-		out[i] = s.Quantile(phi)
-	}
-	return out
+	return QuantileBatch(s, phis)
 }
 
 // EvenPhis returns the 1/ε−1 evenly spaced fractions ε, 2ε, …, 1−ε used

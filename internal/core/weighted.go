@@ -28,14 +28,6 @@ func WeightedRank(sorted []WeightedValue, x uint64) int64 {
 	return r
 }
 
-// BatchQuantiler is an optional interface a Summary may implement to
-// answer many quantile queries in one pass over its state; Quantiles
-// uses it when available. Implementations must return exactly one
-// element per fraction and accept fractions in any order.
-type BatchQuantiler interface {
-	BatchQuantiles(phis []float64) []uint64
-}
-
 // sortedPhiOrder returns the indices of phis in ascending fraction order,
 // validating each fraction.
 func sortedPhiOrder(phis []float64) []int {

@@ -1,0 +1,67 @@
+package dyadic
+
+import (
+	"testing"
+
+	"streamquantiles/internal/core"
+	"streamquantiles/internal/streamgen"
+)
+
+// TestQuantileBatchMatchesPerPhi pins the shared-descent batch to the
+// per-φ walk bit for bit, for all three sketch kinds, with deletions in
+// the stream and an unsorted φ list with duplicates.
+func TestQuantileBatchMatchesPerPhi(t *testing.T) {
+	phis := []float64{0.5, 0.01, 0.99, 0.25, 0.5, 0.75, 0.101, 0.9}
+	for _, kind := range []Kind{DCM, DCS, DRSS} {
+		s := New(kind, 0.02, 16, Config{Seed: 11})
+		data := streamgen.Generate(streamgen.Uniform{Bits: 16, Seed: 3}, 20000)
+		for _, x := range data {
+			s.Insert(x)
+		}
+		for _, x := range data[:5000] {
+			s.Delete(x)
+		}
+		batch := s.QuantileBatch(phis)
+		for i, phi := range phis {
+			if want := s.Quantile(phi); batch[i] != want {
+				t.Errorf("%v: QuantileBatch[%d] (phi=%v) = %d, Quantile = %d", kind, i, phi, batch[i], want)
+			}
+		}
+	}
+}
+
+// TestRankBatchMatchesPerX pins the level-major batched rank to the
+// per-x decomposition, including out-of-universe queries.
+func TestRankBatchMatchesPerX(t *testing.T) {
+	for _, kind := range []Kind{DCM, DCS, DRSS} {
+		s := New(kind, 0.02, 16, Config{Seed: 5})
+		data := streamgen.Generate(streamgen.Zipf{Bits: 16, S: 1.1, Seed: 9}, 20000)
+		for _, x := range data {
+			s.Insert(x)
+		}
+		xs := append([]uint64{0, 1, 1 << 15, 1<<16 - 1, 1 << 16, 1 << 20}, data[:64]...)
+		batch := s.RankBatch(xs)
+		for i, x := range xs {
+			if want := s.Rank(x); batch[i] != want {
+				t.Errorf("%v: RankBatch[%d] (x=%d) = %d, Rank = %d", kind, i, x, batch[i], want)
+			}
+		}
+	}
+}
+
+// TestQuantileBatchSingletonAndEmpty covers the edge shapes of the batch
+// descent.
+func TestQuantileBatchSingletonAndEmpty(t *testing.T) {
+	s := New(DCS, 0.05, 12, Config{Seed: 1})
+	for i := uint64(0); i < 3000; i++ {
+		s.Insert(i % (1 << 12))
+	}
+	if got := s.QuantileBatch(nil); len(got) != 0 {
+		t.Errorf("empty batch returned %d results", len(got))
+	}
+	one := s.QuantileBatch([]float64{0.5})
+	if want := s.Quantile(0.5); one[0] != want {
+		t.Errorf("singleton batch = %d, Quantile = %d", one[0], want)
+	}
+	var _ core.QuantileBatcher = s // interface satisfaction
+}

@@ -29,6 +29,12 @@ type Sketch interface {
 	AddBatch(xs []uint64, delta int64)
 	// Estimate returns the estimated current frequency of x.
 	Estimate(x uint64) int64
+	// EstimateBatch writes the estimated frequency of every element of
+	// xs into out (len(out) must equal len(xs)), row-major: each row's
+	// hash coefficients load once for the whole batch. Results are
+	// identical to calling Estimate per element. Like Estimate it is
+	// safe for concurrent use with other estimate calls.
+	EstimateBatch(xs []uint64, out []int64)
 	// VarianceEstimate returns an (empirical) estimate of the variance of
 	// Estimate for a typical element, used by the OLS post-processing.
 	VarianceEstimate() float64
@@ -89,6 +95,25 @@ func (cm *CountMin) Estimate(x uint64) int64 {
 	return est
 }
 
+// EstimateBatch implements Sketch: the row loop is hoisted outside the
+// element loop, so each row's hash coefficients and counter array stay
+// hot across the whole batch.
+func (cm *CountMin) EstimateBatch(xs []uint64, out []int64) {
+	checkBatchLen(xs, out)
+	row, h := cm.rows[0], cm.hashes[0]
+	for j, x := range xs {
+		out[j] = row[h.Hash(x)]
+	}
+	for i := 1; i < cm.d; i++ {
+		row, h = cm.rows[i], cm.hashes[i]
+		for j, x := range xs {
+			if v := row[h.Hash(x)]; v < out[j] {
+				out[j] = v
+			}
+		}
+	}
+}
+
 // VarianceEstimate implements Sketch. The Count-Min estimator's noise for
 // a typical element is the colliding mass n/w; its second moment is
 // approximated, like the Count-Sketch's, by the row F₂ divided by w.
@@ -112,11 +137,10 @@ func (cm *CountMin) SpaceBytes() int64 {
 // analysis exploits, since summing log u unbiased estimators lets errors
 // cancel (§3.1).
 type CountSketch struct {
-	w, d    int
-	seed    uint64
-	rows    [][]int64
-	polys   []*xhash.Poly // one 4-wise polynomial per row supplies bucket and sign
-	scratch []int64
+	w, d  int
+	seed  uint64
+	rows  [][]int64
+	polys []*xhash.Poly // one 4-wise polynomial per row supplies bucket and sign
 }
 
 // NewCountSketch builds a w×d Count-Sketch seeded deterministically.
@@ -131,7 +155,7 @@ type CountSketch struct {
 func NewCountSketch(w, d int, seed uint64) *CountSketch {
 	checkDims(w, d)
 	rng := xhash.NewSplitMix64(seed)
-	cs := &CountSketch{w: w, d: d, seed: seed, scratch: make([]int64, d)}
+	cs := &CountSketch{w: w, d: d, seed: seed}
 	for i := 0; i < d; i++ {
 		cs.rows = append(cs.rows, make([]int64, w))
 		cs.polys = append(cs.polys, xhash.NewPoly(rng, 4))
@@ -162,12 +186,38 @@ func (cs *CountSketch) Add(x uint64, delta int64) {
 }
 
 // Estimate implements Sketch: the median over rows of the signed counter.
+// The median buffer lives on the stack (d never exceeds a few dozen in
+// any configuration), so concurrent readers never share mutable state —
+// the Safe wrappers issue queries under a shared lock.
 func (cs *CountSketch) Estimate(x uint64) int64 {
+	var buf [maxStackDepth]int64
+	scratch := scratchFor(buf[:], cs.d)
 	for i := 0; i < cs.d; i++ {
 		b, g := cs.rowHash(i, x)
-		cs.scratch[i] = g * cs.rows[i][b]
+		scratch[i] = g * cs.rows[i][b]
 	}
-	return medianInPlace(cs.scratch)
+	return medianInPlace(scratch)
+}
+
+// EstimateBatch implements Sketch: rows are processed row-major into a
+// d×len(xs) matrix (one polynomial's coefficients hot per row), then one
+// median per element.
+func (cs *CountSketch) EstimateBatch(xs []uint64, out []int64) {
+	checkBatchLen(xs, out)
+	d := cs.d
+	scratch := make([]int64, d*len(xs))
+	w := uint64(cs.w)
+	for i := 0; i < d; i++ {
+		row, p := cs.rows[i], cs.polys[i]
+		for j, x := range xs {
+			v := p.Eval(x)
+			g := 1 - 2*int64(v&1)
+			scratch[j*d+i] = g * row[(v>>1)%w]
+		}
+	}
+	for j := range xs {
+		out[j] = medianInPlace(scratch[j*d : (j+1)*d])
+	}
 }
 
 // VarianceEstimate implements Sketch: the classic AMS observation that
@@ -181,7 +231,7 @@ func (cs *CountSketch) VarianceEstimate() float64 {
 
 // SpaceBytes implements Sketch.
 func (cs *CountSketch) SpaceBytes() int64 {
-	words := int64(cs.w)*int64(cs.d) + int64(cs.d) /* scratch */ + 2
+	words := int64(cs.w)*int64(cs.d) + 2
 	for _, p := range cs.polys {
 		words += p.SpaceWords()
 	}
@@ -198,11 +248,10 @@ func (cs *CountSketch) SpaceBytes() int64 {
 // pair rather than per counter, needing w = O(1/ε²) for εn accuracy —
 // which is why the paper implements it but drops it from the comparison.
 type RSS struct {
-	w, d    int
-	seed    uint64
-	rows    [][]int64 // each row has 2w buckets
-	hashes  []*xhash.Bucket
-	scratch []int64
+	w, d   int
+	seed   uint64
+	rows   [][]int64 // each row has 2w buckets
+	hashes []*xhash.Bucket
 }
 
 // NewRSS builds a random subset-sum sketch with w subset pairs per row
@@ -210,7 +259,7 @@ type RSS struct {
 func NewRSS(w, d int, seed uint64) *RSS {
 	checkDims(w, d)
 	rng := xhash.NewSplitMix64(seed)
-	r := &RSS{w: w, d: d, seed: seed, scratch: make([]int64, d)}
+	r := &RSS{w: w, d: d, seed: seed}
 	for i := 0; i < d; i++ {
 		r.rows = append(r.rows, make([]int64, 2*w))
 		r.hashes = append(r.hashes, xhash.NewBucket(rng, 2, 2*w))
@@ -225,13 +274,33 @@ func (r *RSS) Add(x uint64, delta int64) {
 	}
 }
 
-// Estimate implements Sketch.
+// Estimate implements Sketch. As for CountSketch, the median buffer is
+// stack-local so concurrent readers share no mutable state.
 func (r *RSS) Estimate(x uint64) int64 {
+	var buf [maxStackDepth]int64
+	scratch := scratchFor(buf[:], r.d)
 	for i := 0; i < r.d; i++ {
 		h := r.hashes[i].Hash(x)
-		r.scratch[i] = r.rows[i][h] - r.rows[i][h^1]
+		scratch[i] = r.rows[i][h] - r.rows[i][h^1]
 	}
-	return medianInPlace(r.scratch)
+	return medianInPlace(scratch)
+}
+
+// EstimateBatch implements Sketch.
+func (r *RSS) EstimateBatch(xs []uint64, out []int64) {
+	checkBatchLen(xs, out)
+	d := r.d
+	scratch := make([]int64, d*len(xs))
+	for i := 0; i < d; i++ {
+		row, h := r.rows[i], r.hashes[i]
+		for j, x := range xs {
+			b := h.Hash(x)
+			scratch[j*d+i] = row[b] - row[b^1]
+		}
+	}
+	for j := range xs {
+		out[j] = medianInPlace(scratch[j*d : (j+1)*d])
+	}
 }
 
 // VarianceEstimate implements Sketch.
@@ -241,11 +310,32 @@ func (r *RSS) VarianceEstimate() float64 {
 
 // SpaceBytes implements Sketch.
 func (r *RSS) SpaceBytes() int64 {
-	words := 2*int64(r.w)*int64(r.d) + int64(r.d) + 4
+	words := 2*int64(r.w)*int64(r.d) + 4
 	for _, m := range r.hashes {
 		words += m.SpaceWords()
 	}
 	return words * core.WordBytes
+}
+
+// maxStackDepth is the largest d served by the stack-resident median
+// buffer in Estimate; deeper sketches (never used by the experiments)
+// fall back to an allocation.
+const maxStackDepth = 32
+
+// scratchFor returns a length-d median buffer backed by buf when it
+// fits.
+func scratchFor(buf []int64, d int) []int64 {
+	if d <= len(buf) {
+		return buf[:d]
+	}
+	return make([]int64, d)
+}
+
+// checkBatchLen validates the out buffer of an EstimateBatch call.
+func checkBatchLen(xs []uint64, out []int64) {
+	if len(out) != len(xs) {
+		panic(fmt.Sprintf("freqsketch: EstimateBatch out length %d != batch length %d", len(out), len(xs)))
+	}
 }
 
 // rowF2 returns the sum of squared counters of one row — the AMS

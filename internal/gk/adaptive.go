@@ -130,9 +130,19 @@ func (a *Adaptive) Quantile(phi float64) uint64 {
 	return queryQuantile(a.seq, a.n, phi)
 }
 
-// BatchQuantiles implements core.BatchQuantiler.
-func (a *Adaptive) BatchQuantiles(phis []float64) []uint64 {
+// QuantileBatch implements core.QuantileBatcher.
+func (a *Adaptive) QuantileBatch(phis []float64) []uint64 {
 	return queryQuantiles(a.seq, a.n, phis)
+}
+
+// RankBatch implements core.QuantileBatcher.
+func (a *Adaptive) RankBatch(xs []uint64) []int64 {
+	return queryRanks(a.seq, xs)
+}
+
+// AppendQuerySnapshot implements core.Snapshotter.
+func (a *Adaptive) AppendQuerySnapshot(qs *core.QuerySnapshot) {
+	appendQuerySnapshot(a.seq, a.n, qs)
 }
 
 // Rank implements core.Summary.

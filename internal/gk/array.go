@@ -95,10 +95,22 @@ func (a *Array) Quantile(phi float64) uint64 {
 	return queryQuantile(a.seq, a.n, phi)
 }
 
-// BatchQuantiles implements core.BatchQuantiler.
-func (a *Array) BatchQuantiles(phis []float64) []uint64 {
+// QuantileBatch implements core.QuantileBatcher.
+func (a *Array) QuantileBatch(phis []float64) []uint64 {
 	a.Flush()
 	return queryQuantiles(a.seq, a.n, phis)
+}
+
+// RankBatch implements core.QuantileBatcher.
+func (a *Array) RankBatch(xs []uint64) []int64 {
+	a.Flush()
+	return queryRanks(a.seq, xs)
+}
+
+// AppendQuerySnapshot implements core.Snapshotter.
+func (a *Array) AppendQuerySnapshot(qs *core.QuerySnapshot) {
+	a.Flush()
+	appendQuerySnapshot(a.seq, a.n, qs)
 }
 
 // Rank implements core.Summary. It flushes pending elements first.

@@ -14,11 +14,11 @@ func TestBatchMatchesSingle(t *testing.T) {
 	phis := append(core.EvenPhis(0.01), 0.5, 0.001, 0.999, 0.25)
 	for name, s := range variants(0.01) {
 		feed(s, data)
-		b, ok := s.(core.BatchQuantiler)
+		b, ok := s.(core.QuantileBatcher)
 		if !ok {
-			t.Fatalf("%s does not implement BatchQuantiler", name)
+			t.Fatalf("%s does not implement QuantileBatcher", name)
 		}
-		batch := b.BatchQuantiles(phis)
+		batch := b.QuantileBatch(phis)
 		if len(batch) != len(phis) {
 			t.Fatalf("%s: batch returned %d answers for %d fractions", name, len(batch), len(phis))
 		}
@@ -32,14 +32,14 @@ func TestBatchMatchesSingle(t *testing.T) {
 
 func TestBatchEmptyPanics(t *testing.T) {
 	for name, s := range variants(0.1) {
-		b := s.(core.BatchQuantiler)
+		b := s.(core.QuantileBatcher)
 		func() {
 			defer func() {
 				if recover() == nil {
 					t.Errorf("%s: batch on empty summary did not panic", name)
 				}
 			}()
-			b.BatchQuantiles([]float64{0.5})
+			b.QuantileBatch([]float64{0.5})
 		}()
 	}
 }
@@ -47,8 +47,8 @@ func TestBatchEmptyPanics(t *testing.T) {
 func TestBatchSingleElement(t *testing.T) {
 	for name, s := range variants(0.1) {
 		s.Update(77)
-		b := s.(core.BatchQuantiler)
-		for _, q := range b.BatchQuantiles([]float64{0.01, 0.5, 0.99}) {
+		b := s.(core.QuantileBatcher)
+		for _, q := range b.QuantileBatch([]float64{0.01, 0.5, 0.99}) {
 			if q != 77 {
 				t.Errorf("%s: single-element batch returned %d", name, q)
 			}

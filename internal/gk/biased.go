@@ -188,16 +188,75 @@ func (b *Biased) Quantile(phi float64) uint64 {
 	return prev
 }
 
+// QuantileBatch implements core.QuantileBatcher. The biased bound
+// target + f(target)/2 is non-decreasing in the target, so sorting the
+// fractions once lets a single sweep over the tuple list flush every
+// query at its first qualifying tuple, exactly as the per-φ rule.
+func (b *Biased) QuantileBatch(phis []float64) []uint64 {
+	if b.n == 0 {
+		panic(core.ErrEmpty)
+	}
+	b.Flush()
+	order := make([]int, len(phis))
+	for i := range order {
+		core.CheckPhi(phis[i])
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool { return phis[order[x]] < phis[order[y]] })
+
+	out := make([]uint64, len(phis))
+	oi := 0
+	var (
+		rsum int64
+		prev uint64
+		have bool
+	)
+	for _, t := range b.tuples {
+		rsum += t.g
+		for oi < len(order) {
+			idx := order[oi]
+			target := core.TargetRank(phis[idx], b.n) + 1
+			if rsum+t.del <= target+b.invariant(target)/2 {
+				break
+			}
+			if have {
+				out[idx] = prev
+			} else {
+				out[idx] = t.v
+			}
+			oi++
+		}
+		if oi == len(order) {
+			break
+		}
+		prev = t.v
+		have = true
+	}
+	for ; oi < len(order); oi++ {
+		out[order[oi]] = prev
+	}
+	return out
+}
+
+// RankBatch implements core.QuantileBatcher.
+func (b *Biased) RankBatch(xs []uint64) []int64 {
+	b.Flush()
+	return queryRanks(b.seq, xs)
+}
+
 // Rank implements core.Summary.
 func (b *Biased) Rank(x uint64) int64 {
 	b.Flush()
-	return queryRank(func(yield func(t tuple) bool) {
-		for _, t := range b.tuples {
-			if !yield(t) {
-				return
-			}
+	return queryRank(b.seq, x)
+}
+
+// seq yields the tuples in element order. Callers flush first.
+func (b *Biased) seq(yield func(t tuple) bool) {
+	for _, t := range b.tuples {
+		if !yield(t) {
+			return
 		}
-	}, x)
+	}
 }
 
 // SpaceBytes implements core.Summary.

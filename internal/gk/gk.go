@@ -200,6 +200,103 @@ func queryRank(seq tupleSeq, x uint64) int64 {
 	return est
 }
 
+// queryRanks answers a batch of rank queries in one pass over the tuple
+// list: the queries are sorted once, then a single sweep maintains the
+// running midpoint estimate and flushes each query when the sweep
+// reaches the first tuple beyond it. Results are identical to calling
+// queryRank per value.
+func queryRanks(seq tupleSeq, xs []uint64) []int64 {
+	order := make([]int, len(xs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return xs[order[a]] < xs[order[b]] })
+
+	out := make([]int64, len(xs))
+	qi := 0
+	var (
+		rsum int64
+		est  int64
+	)
+	seq(func(t tuple) bool {
+		for qi < len(order) && xs[order[qi]] < t.v {
+			out[order[qi]] = est
+			qi++
+		}
+		rsum += t.g
+		est = rsum + t.del/2 - 1
+		if est < 0 {
+			est = 0
+		}
+		return qi < len(order)
+	})
+	for ; qi < len(order); qi++ {
+		out[order[qi]] = est
+	}
+	return out
+}
+
+// appendQuerySnapshot flattens the tuple list into a core.QuerySnapshot
+// with byte-identical answers to queryQuantile and queryRank.
+//
+// Quantile side: the live rule reports v_{i−1} for the smallest i with
+// rsum_i + Δ_i > target + 1 + maxGap/2, i.e. with key_i > target for
+// key_i = rsum_i + Δ_i − 1 − maxGap/2. key is not monotone in i, but
+// "smallest i with key_i > t" equals "smallest i with runmax(key)_i > t"
+// for every t, and the running maximum is non-decreasing — binary
+// searchable. A sentinel entry carries the live rule's ran-off-the-end
+// answer (the last stored element).
+//
+// Rank side: the live estimate for x is max(0, rsum_i + Δ_i/2 − 1) of
+// the last tuple with v_i ≤ x, and 0 before the first tuple.
+func appendQuerySnapshot(seq tupleSeq, n int64, qs *core.QuerySnapshot) {
+	qs.Reset()
+	qs.N = n
+	if n == 0 {
+		return
+	}
+	var maxGap int64
+	seq(func(t tuple) bool {
+		if t.g+t.del > maxGap {
+			maxGap = t.g + t.del
+		}
+		return true
+	})
+	half := maxGap / 2
+	var (
+		rsum    int64
+		runmax  int64
+		prev    uint64
+		havePrv bool
+	)
+	seq(func(t tuple) bool {
+		rsum += t.g
+		if rsum+t.del > runmax {
+			runmax = rsum + t.del
+		}
+		val := t.v // no predecessor: first tuple is the answer
+		if havePrv {
+			val = prev
+		}
+		qs.QVals = append(qs.QVals, val)
+		qs.QKeys = append(qs.QKeys, runmax-1-half)
+		est := rsum + t.del/2 - 1
+		if est < 0 {
+			est = 0
+		}
+		qs.RVals = append(qs.RVals, t.v)
+		qs.RRanks = append(qs.RRanks, est)
+		prev = t.v
+		havePrv = true
+		return true
+	})
+	if havePrv {
+		// Ran off the end: the live rule answers the maximum element.
+		qs.QVals = append(qs.QVals, prev)
+		qs.QKeys = append(qs.QKeys, math.MaxInt64)
+	}
+}
+
 // checkInvariants verifies GK invariants (1) and (2) against the true
 // multiset; used by the tests of all three variants. sorted is the sorted
 // stream content. With duplicates, a tuple stands for one specific copy

@@ -155,9 +155,19 @@ func (t *Theory) Quantile(phi float64) uint64 {
 	return queryQuantile(t.seq, t.n, phi)
 }
 
-// BatchQuantiles implements core.BatchQuantiler.
-func (t *Theory) BatchQuantiles(phis []float64) []uint64 {
+// QuantileBatch implements core.QuantileBatcher.
+func (t *Theory) QuantileBatch(phis []float64) []uint64 {
 	return queryQuantiles(t.seq, t.n, phis)
+}
+
+// RankBatch implements core.QuantileBatcher.
+func (t *Theory) RankBatch(xs []uint64) []int64 {
+	return queryRanks(t.seq, xs)
+}
+
+// AppendQuerySnapshot implements core.Snapshotter.
+func (t *Theory) AppendQuerySnapshot(qs *core.QuerySnapshot) {
+	appendQuerySnapshot(t.seq, t.n, qs)
 }
 
 // Rank implements core.Summary.

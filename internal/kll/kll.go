@@ -169,12 +169,22 @@ func (s *Sketch) Quantile(phi float64) uint64 {
 	return core.WeightedQuantile(s.samples(), phi)
 }
 
-// BatchQuantiles implements core.BatchQuantiler.
-func (s *Sketch) BatchQuantiles(phis []float64) []uint64 {
+// QuantileBatch implements core.QuantileBatcher.
+func (s *Sketch) QuantileBatch(phis []float64) []uint64 {
 	if s.n == 0 {
 		panic(core.ErrEmpty)
 	}
 	return core.WeightedQuantiles(s.samples(), phis)
+}
+
+// RankBatch implements core.QuantileBatcher.
+func (s *Sketch) RankBatch(xs []uint64) []int64 {
+	return core.WeightedRanks(s.samples(), xs)
+}
+
+// AppendQuerySnapshot implements core.Snapshotter.
+func (s *Sketch) AppendQuerySnapshot(qs *core.QuerySnapshot) {
+	core.AppendWeightedSnapshot(qs, s.samples())
 }
 
 // checkCompatible validates a merge partner: both sketches must have

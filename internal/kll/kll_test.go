@@ -140,7 +140,7 @@ func TestBatchMatchesSingle(t *testing.T) {
 	s := New(0.01, 15)
 	feed(s, streamgen.Generate(streamgen.MPCATLike{Seed: 16}, 30000))
 	phis := append(core.EvenPhis(0.05), 0.001, 0.999)
-	batch := s.BatchQuantiles(phis)
+	batch := s.QuantileBatch(phis)
 	for i, phi := range phis {
 		if got := s.Quantile(phi); got != batch[i] {
 			t.Errorf("phi=%v: single %d batch %d", phi, got, batch[i])

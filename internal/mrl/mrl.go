@@ -314,13 +314,23 @@ func (m *MRL99) Quantile(phi float64) uint64 {
 	return core.WeightedQuantile(m.samples(), phi)
 }
 
-// BatchQuantiles implements core.BatchQuantiler: the retained samples are
+// QuantileBatch implements core.QuantileBatcher: the retained samples are
 // collected and sorted once for the whole batch.
-func (m *MRL99) BatchQuantiles(phis []float64) []uint64 {
+func (m *MRL99) QuantileBatch(phis []float64) []uint64 {
 	if m.n == 0 {
 		panic(core.ErrEmpty)
 	}
 	return core.WeightedQuantiles(m.samples(), phis)
+}
+
+// RankBatch implements core.QuantileBatcher.
+func (m *MRL99) RankBatch(xs []uint64) []int64 {
+	return core.WeightedRanks(m.samples(), xs)
+}
+
+// AppendQuerySnapshot implements core.Snapshotter.
+func (m *MRL99) AppendQuerySnapshot(qs *core.QuerySnapshot) {
+	core.AppendWeightedSnapshot(qs, m.samples())
 }
 
 // SpaceBytes implements core.Summary: b pre-allocated buffers of k words

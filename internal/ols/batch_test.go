@@ -1,0 +1,38 @@
+package ols
+
+import (
+	"testing"
+
+	"streamquantiles/internal/core"
+	"streamquantiles/internal/dyadic"
+	"streamquantiles/internal/streamgen"
+)
+
+// TestPostQuantileBatchMatchesPerPhi pins the lockstep batch descent to
+// the per-φ corrected walk bit for bit, across sketch kinds and both
+// fallback modes.
+func TestPostQuantileBatchMatchesPerPhi(t *testing.T) {
+	phis := []float64{0.5, 0.01, 0.99, 0.25, 0.5, 0.625, 0.101}
+	for _, kind := range []dyadic.Kind{dyadic.DCM, dyadic.DCS} {
+		sk := dyadic.New(kind, 0.02, 16, dyadic.Config{Seed: 17})
+		data := streamgen.Generate(streamgen.Uniform{Bits: 16, Seed: 4}, 30000)
+		for _, x := range data {
+			sk.Insert(x)
+		}
+		for _, p := range []*Post{Process(sk, 0), ProcessNoFallback(sk, 0)} {
+			batch := p.QuantileBatch(phis)
+			for i, phi := range phis {
+				if want := p.Quantile(phi); batch[i] != want {
+					t.Errorf("%v: QuantileBatch[%d] (phi=%v) = %d, Quantile = %d", kind, i, phi, batch[i], want)
+				}
+			}
+			ranks := p.RankBatch(data[:32])
+			for i, x := range data[:32] {
+				if want := p.Rank(x); ranks[i] != want {
+					t.Errorf("%v: RankBatch[%d] (x=%d) = %d, Rank = %d", kind, i, x, ranks[i], want)
+				}
+			}
+		}
+	}
+	var _ core.QuantileBatcher = (*Post)(nil)
+}

@@ -11,7 +11,7 @@ func TestBatchMatchesSingle(t *testing.T) {
 	d := New(0.01, 20)
 	feed(d, streamgen.Generate(streamgen.Normal{Bits: 20, Sigma: 0.15, Seed: 110}, 40000))
 	phis := append(core.EvenPhis(0.02), 0.001, 0.999, 0.5)
-	batch := d.BatchQuantiles(phis)
+	batch := d.QuantileBatch(phis)
 	if len(batch) != len(phis) {
 		t.Fatalf("batch returned %d answers for %d fractions", len(batch), len(phis))
 	}
@@ -29,14 +29,14 @@ func TestBatchEmptyPanics(t *testing.T) {
 			t.Error("batch on empty digest did not panic")
 		}
 	}()
-	d.BatchQuantiles([]float64{0.5})
+	d.QuantileBatch([]float64{0.5})
 }
 
 func TestBatchUnsortedFractions(t *testing.T) {
 	d := New(0.05, 16)
 	feed(d, streamgen.Generate(streamgen.Uniform{Bits: 16, Seed: 111}, 10000))
 	phis := []float64{0.9, 0.1, 0.5}
-	batch := d.BatchQuantiles(phis)
+	batch := d.QuantileBatch(phis)
 	if batch[0] < batch[2] || batch[2] < batch[1] {
 		t.Errorf("answers not aligned with input order: %v", batch)
 	}

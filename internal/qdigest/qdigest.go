@@ -229,9 +229,9 @@ func (d *Digest) Quantile(phi float64) uint64 {
 	return snap[len(snap)-1].hi
 }
 
-// BatchQuantiles implements core.BatchQuantiler: one snapshot and one
+// QuantileBatch implements core.QuantileBatcher: one snapshot and one
 // post-order scan answer the whole batch.
-func (d *Digest) BatchQuantiles(phis []float64) []uint64 {
+func (d *Digest) QuantileBatch(phis []float64) []uint64 {
 	if d.n == 0 {
 		panic(core.ErrEmpty)
 	}
@@ -273,6 +273,87 @@ func (d *Digest) Rank(x uint64) int64 {
 		}
 	}
 	return r
+}
+
+// rankSteps flattens the midpoint rank rule into a step function of x:
+// a node contributes w/2 once x exceeds its lo and the remaining
+// w − w/2 once x exceeds its hi, so the rank at x is the prefix sum of
+// all step deltas at thresholds ≤ x. Addition is commutative, so the
+// values are identical to the per-x postorder accumulation.
+func rankSteps(snap []weighted) ([]uint64, []int64) {
+	type step struct {
+		at uint64
+		d  int64
+	}
+	steps := make([]step, 0, 2*len(snap))
+	for _, node := range snap {
+		half := node.w / 2
+		steps = append(steps, step{at: node.lo + 1, d: half})
+		if node.hi != ^uint64(0) {
+			// hi = max uint64 can never be exceeded by any x; the full
+			// contribution step would overflow and never fires anyway.
+			steps = append(steps, step{at: node.hi + 1, d: node.w - half})
+		}
+	}
+	sort.Slice(steps, func(i, j int) bool { return steps[i].at < steps[j].at })
+	vals := make([]uint64, 0, len(steps))
+	ranks := make([]int64, 0, len(steps))
+	var cum int64
+	for _, st := range steps {
+		cum += st.d
+		if k := len(vals); k > 0 && vals[k-1] == st.at {
+			ranks[k-1] = cum
+			continue
+		}
+		vals = append(vals, st.at)
+		ranks = append(ranks, cum)
+	}
+	return vals, ranks
+}
+
+// RankBatch implements core.QuantileBatcher: the step function is built
+// once (O(s log s)), then every query is a binary search.
+func (d *Digest) RankBatch(xs []uint64) []int64 {
+	vals, ranks := rankSteps(d.snapshot())
+	out := make([]int64, len(xs))
+	for i, x := range xs {
+		// Largest threshold ≤ x.
+		lo, hi := 0, len(vals)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if vals[mid] > x {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		if lo > 0 {
+			out[i] = ranks[lo-1]
+		}
+	}
+	return out
+}
+
+// AppendQuerySnapshot implements core.Snapshotter: the quantile side is
+// the postorder prefix-weight scan (first accumulated weight > ⌊φn⌋
+// reports that node's hi), the rank side is the step function of
+// rankSteps. Both are byte-identical to the live queries.
+func (d *Digest) AppendQuerySnapshot(qs *core.QuerySnapshot) {
+	qs.Reset()
+	qs.N = d.n
+	if d.n == 0 {
+		return
+	}
+	snap := d.snapshot()
+	var acc int64
+	for _, node := range snap {
+		acc += node.w
+		qs.QVals = append(qs.QVals, node.hi)
+		qs.QKeys = append(qs.QKeys, acc)
+	}
+	vals, ranks := rankSteps(snap)
+	qs.RVals = append(qs.RVals, vals...)
+	qs.RRanks = append(qs.RRanks, ranks...)
 }
 
 // Merge folds other into d. Both digests must share eps and universe;

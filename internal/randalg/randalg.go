@@ -338,13 +338,23 @@ func (r *Random) Quantile(phi float64) uint64 {
 	return core.WeightedQuantile(r.samples(), phi)
 }
 
-// BatchQuantiles implements core.BatchQuantiler: the retained samples are
+// QuantileBatch implements core.QuantileBatcher: the retained samples are
 // collected and sorted once for the whole batch.
-func (r *Random) BatchQuantiles(phis []float64) []uint64 {
+func (r *Random) QuantileBatch(phis []float64) []uint64 {
 	if r.n == 0 {
 		panic(core.ErrEmpty)
 	}
 	return core.WeightedQuantiles(r.samples(), phis)
+}
+
+// RankBatch implements core.QuantileBatcher.
+func (r *Random) RankBatch(xs []uint64) []int64 {
+	return core.WeightedRanks(r.samples(), xs)
+}
+
+// AppendQuerySnapshot implements core.Snapshotter.
+func (r *Random) AppendQuerySnapshot(qs *core.QuerySnapshot) {
+	core.AppendWeightedSnapshot(qs, r.samples())
 }
 
 // Merge folds other into r, preserving the one-pass guarantees in the

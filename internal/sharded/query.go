@@ -1,0 +1,365 @@
+package sharded
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"streamquantiles/internal/core"
+)
+
+// Query-side machinery shared by CashRegister and Turnstile.
+//
+// The old query path re-probed mergeability and re-folded all P shards
+// sequentially on every call. Both costs are gone:
+//
+//   - Mergeability (the family implements core.Mergeable AND the
+//     factory produces merge-compatible instances — identical configs
+//     and seeds) is probed once at construction against two throwaway
+//     instances and cached; a factory drawing random seeds is detected
+//     up front instead of failing inside every query.
+//   - Each shard carries a write epoch, bumped under its lock before
+//     every mutation. The combined artifact (merged summary or
+//     per-shard snapshots) is cached together with the epoch vector
+//     observed while each shard was read; a later query revalidates by
+//     comparing the live epochs and reuses the artifact lock-free when
+//     no shard has been written — repeated queries on a quiet sharded
+//     summary never fold anything.
+//   - A rebuild folds the shards by a parallel tree-merge: one worker
+//     per shard merges that shard into its own fresh summary (holding
+//     only that shard's lock), then the P partials reduce pairwise in
+//     ⌈log₂P⌉ parallel rounds.
+//
+// Accuracy of the non-mergeable (GK) combination, now via cached exact
+// per-shard snapshots: the summed estimate R̂(x) = Σᵢ R̂ᵢ(x) differs
+// from the true combined rank by at most Σᵢ(2εᵢnᵢ + 1) ≤ 2εn + P —
+// each shard's midpoint estimator is uncertain by the ⌊2εᵢnᵢ⌋ capacity
+// of the gap a probe falls into, plus one for its −1 bias. The bitwise
+// descent (rankQuantile) inverts R̂ within the same bound, so a sharded
+// GK quantile's rank error is ≤ 2εn + P, versus εn unsharded. The
+// snapshots are exact flattenings, so this path returns byte-identical
+// answers to folding the live shards while quiescent.
+
+// queryCache holds the construction-time capability probe and the
+// epoch-keyed combined artifact.
+type queryCache struct {
+	// mergeable: the factory's summaries fold into one via
+	// core.Mergeable. snapAll: they flatten exactly via
+	// core.Snapshotter. Both fixed at construction.
+	mergeable bool
+	snapAll   bool
+
+	mu  sync.Mutex // serializes rebuilds
+	cur atomic.Pointer[combinedEntry]
+}
+
+// shardSet abstracts the two shard containers for the shared machinery.
+type shardSet interface {
+	numShards() int
+	// shardEpoch loads shard i's write epoch without taking its lock.
+	shardEpoch(i int) uint64
+	// withShard runs fn under shard i's lock and returns the epoch
+	// observed while holding it.
+	withShard(i int, fn func(s core.Summary)) uint64
+	freshSummary() core.Summary
+}
+
+// init probes the factory once. The two instances are throwaways, so
+// the probe merge cannot perturb live shards.
+func (q *queryCache) init(set shardSet) {
+	a, b := set.freshSummary(), set.freshSummary()
+	if m, ok := a.(core.Mergeable); ok {
+		q.mergeable = m.MergeSummary(b) == nil
+	}
+	_, q.snapAll = a.(core.Snapshotter)
+}
+
+// combinedEntry is one cached fold of all shards. Exactly one of the
+// three artifact shapes is populated:
+//
+//   - qs: exact snapshot of the merged summary (mergeable Snapshotter
+//     families — KLL, MRL99, Random, QDigest). Queries never touch the
+//     merged summary itself, which matters for QDigest, whose queries
+//     flush.
+//   - sum: the merged summary, queried directly (mergeable
+//     non-Snapshotter families — the dyadic sketches, whose queries are
+//     pure reads).
+//   - snaps: one exact snapshot per shard (non-mergeable Snapshotter
+//     families — the GK tuple summaries), combined by additive rank.
+//
+// All artifacts are immutable once built, so queries are lock-free.
+type combinedEntry struct {
+	epochs []uint64 // per-shard write epoch at fold time
+	n      int64    // combined count at fold time
+	qs     *core.QuerySnapshot
+	sum    core.Summary
+	snaps  []*core.QuerySnapshot
+}
+
+// entry returns a fold of the shards valid for their current epochs,
+// rebuilding at most once per write generation; nil when the family
+// supports neither folding shape (GKBiased) and the caller must fold
+// the live shards.
+func (q *queryCache) entry(set shardSet) *combinedEntry {
+	if !q.mergeable && !q.snapAll {
+		return nil
+	}
+	if e := q.cur.Load(); e != nil && e.valid(set) {
+		return e
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if e := q.cur.Load(); e != nil && e.valid(set) {
+		return e // another query rebuilt first
+	}
+	var e *combinedEntry
+	if q.mergeable {
+		e = rebuildCombined(set)
+	}
+	if e == nil && q.snapAll {
+		e = rebuildSnaps(set)
+	}
+	if e == nil {
+		return nil
+	}
+	q.cur.Store(e)
+	return e
+}
+
+// valid reports whether no shard has been written since the fold. The
+// epoch vector is per-shard consistent (each entry was read under its
+// shard's lock at the moment that shard was folded), so a matching
+// vector means every shard's contribution is still current — the fold
+// equals one performed now.
+func (e *combinedEntry) valid(set shardSet) bool {
+	for i, ep := range e.epochs {
+		if set.shardEpoch(i) != ep {
+			return false
+		}
+	}
+	return true
+}
+
+// rebuildCombined folds all shards into one merged summary by parallel
+// tree-merge; nil when any merge fails.
+func rebuildCombined(set shardSet) *combinedEntry {
+	p := set.numShards()
+	epochs := make([]uint64, p)
+	parts := make([]core.Summary, p)
+	var failed atomic.Bool
+	forShards(p, func(i int) {
+		m := set.freshSummary()
+		mg, ok := m.(core.Mergeable)
+		if !ok {
+			failed.Store(true)
+			return
+		}
+		var err error
+		epochs[i] = set.withShard(i, func(s core.Summary) { err = mg.MergeSummary(s) })
+		if err != nil {
+			failed.Store(true)
+			return
+		}
+		parts[i] = m
+	})
+	if failed.Load() || !mergeTree(parts) {
+		return nil
+	}
+	sum := parts[0]
+	e := &combinedEntry{epochs: epochs, n: sum.Count(), sum: sum}
+	if ss, ok := sum.(core.Snapshotter); ok {
+		e.qs = core.BuildQuerySnapshot(ss)
+		e.sum = nil // answer only from the immutable snapshot
+	}
+	return e
+}
+
+// mergeTree pairwise-reduces parts into parts[0]: round r merges
+// partials 2ʳ apart, every pair in parallel.
+func mergeTree(parts []core.Summary) bool {
+	var failed atomic.Bool
+	for stride := 1; stride < len(parts); stride *= 2 {
+		var dsts []int
+		for i := 0; i+stride < len(parts); i += 2 * stride {
+			dsts = append(dsts, i)
+		}
+		forShards(len(dsts), func(j int) {
+			i := dsts[j]
+			if parts[i].(core.Mergeable).MergeSummary(parts[i+stride]) != nil {
+				failed.Store(true)
+			}
+		})
+		if failed.Load() {
+			return false
+		}
+	}
+	return true
+}
+
+// rebuildSnaps flattens every shard into an exact snapshot, in
+// parallel, each under its own shard lock.
+func rebuildSnaps(set shardSet) *combinedEntry {
+	p := set.numShards()
+	e := &combinedEntry{epochs: make([]uint64, p), snaps: make([]*core.QuerySnapshot, p)}
+	ns := make([]int64, p)
+	var failed atomic.Bool
+	forShards(p, func(i int) {
+		e.epochs[i] = set.withShard(i, func(s core.Summary) {
+			ss, ok := s.(core.Snapshotter)
+			if !ok {
+				failed.Store(true)
+				return
+			}
+			ns[i] = s.Count()
+			e.snaps[i] = core.BuildQuerySnapshot(ss)
+		})
+	})
+	if failed.Load() {
+		return nil
+	}
+	for _, n := range ns {
+		e.n += n
+	}
+	return e
+}
+
+// rank answers a combined rank query from the fold.
+func (e *combinedEntry) rank(x uint64) int64 {
+	if e.qs != nil {
+		return e.qs.Rank(x)
+	}
+	if e.sum != nil {
+		return e.sum.Rank(x)
+	}
+	var r int64
+	for _, qs := range e.snaps {
+		r += qs.Rank(x)
+	}
+	return r
+}
+
+// rankBatch answers a batch of combined rank queries from the fold.
+func (e *combinedEntry) rankBatch(xs []uint64) []int64 {
+	if e.qs != nil {
+		return e.qs.RankBatch(xs)
+	}
+	if e.sum != nil {
+		return core.RankBatch(e.sum, xs)
+	}
+	out := make([]int64, len(xs))
+	for _, qs := range e.snaps {
+		for i, x := range xs {
+			out[i] += qs.Rank(x)
+		}
+	}
+	return out
+}
+
+// quantile answers a combined quantile query from the fold.
+func (e *combinedEntry) quantile(phi float64) uint64 {
+	if e.qs != nil {
+		return e.qs.Quantile(phi)
+	}
+	if e.sum != nil {
+		return e.sum.Quantile(phi)
+	}
+	return rankQuantile(e.n, e.rank, phi)
+}
+
+// quantileBatch answers a batch of combined quantile queries from the
+// fold.
+func (e *combinedEntry) quantileBatch(phis []float64) []uint64 {
+	if e.qs != nil {
+		return e.qs.QuantileBatch(phis)
+	}
+	if e.sum != nil {
+		return core.QuantileBatch(e.sum, phis)
+	}
+	return rankQuantileBatch(e.n, e.rankBatch, phis)
+}
+
+// rankQuantile inverts a summed rank estimate by a bitwise descent: the
+// largest v with R(v) ≤ target. R tracks the true (monotone) combined
+// rank within the summed per-shard estimate error E, and every value
+// above the result was excluded by a probe whose estimate exceeded the
+// target, so the result's rank interval intersects [target−E, target+E]
+// — for the GK family E ≤ Σᵢ(2εᵢnᵢ+1) ≤ 2εn + P, and in practice far
+// tighter.
+func rankQuantile(n int64, rank func(uint64) int64, phi float64) uint64 {
+	if n <= 0 {
+		panic(core.ErrEmpty)
+	}
+	target := core.TargetRank(phi, n)
+	var v uint64
+	for bit := 63; bit >= 0; bit-- {
+		if cand := v | uint64(1)<<bit; rank(cand) <= target {
+			v = cand
+		}
+	}
+	return v
+}
+
+// rankQuantileBatch runs k descents in lockstep — one rankBatch probe
+// set per bit level instead of one rank probe per (query, level) — so a
+// batch over live shards costs 64 lock sweeps total rather than 64 per
+// fraction. Each query's probe sequence is exactly its solo descent, so
+// results are byte-identical to per-φ rankQuantile.
+func rankQuantileBatch(n int64, rankBatch func([]uint64) []int64, phis []float64) []uint64 {
+	if n <= 0 {
+		panic(core.ErrEmpty)
+	}
+	k := len(phis)
+	targets := make([]int64, k)
+	for i, phi := range phis {
+		targets[i] = core.TargetRank(phi, n)
+	}
+	vs := make([]uint64, k)
+	cands := make([]uint64, k)
+	for bit := 63; bit >= 0; bit-- {
+		for i, v := range vs {
+			cands[i] = v | uint64(1)<<bit
+		}
+		rs := rankBatch(cands)
+		for i := range vs {
+			if rs[i] <= targets[i] {
+				vs[i] = cands[i]
+			}
+		}
+	}
+	return vs
+}
+
+// forShards runs fn(0 … p−1) on a worker pool bounded by the machine
+// size; the calling goroutine participates.
+func forShards(p int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > p {
+		workers = p
+	}
+	if workers <= 1 {
+		for i := 0; i < p; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= p {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+}

@@ -20,9 +20,15 @@
 // fresh summary which answers directly; the rest (the GK family)
 // combine by additive rank estimation — the summed per-shard rank
 // estimate tracks the true combined rank everywhere within the summed
-// estimate errors (at most 2εn for GK's midpoint estimator, far less in
-// practice), and a 64-bit bitwise descent over the value domain
+// estimate errors (at most 2εn + P for GK's midpoint estimator, far
+// less in practice), and a 64-bit bitwise descent over the value domain
 // inverts it.
+//
+// The fold itself is cached and parallel: mergeability is probed once
+// at construction, every shard carries a write epoch, and the combined
+// artifact (merged summary or exact per-shard snapshots) is reused
+// lock-free across queries until some shard is written again — see
+// query.go.
 package sharded
 
 import (
@@ -56,10 +62,12 @@ type invariantChecker interface{ Invariants() error }
 // ---------------------------------------------------------------- cash
 
 // cashShard pads each summary's lock onto its own state; shards are
-// only ever touched under their own mutex.
+// only ever touched under their own mutex. epoch counts writes: bumped
+// under mu before every mutation, loadable without it (see query.go).
 type cashShard struct {
-	mu sync.Mutex
-	s  core.CashRegister
+	mu    sync.Mutex
+	s     core.CashRegister
+	epoch atomic.Uint64
 }
 
 // CashRegister partitions an insert-only stream across P per-shard
@@ -69,6 +77,7 @@ type CashRegister struct {
 	shards []cashShard
 	fresh  func() core.CashRegister
 	rr     atomic.Uint64
+	q      queryCache
 }
 
 // NewCashRegister builds a P-way sharded summary; fresh must return a
@@ -79,17 +88,37 @@ func NewCashRegister(p int, fresh func() core.CashRegister) *CashRegister {
 	for i := range c.shards {
 		c.shards[i].s = fresh()
 	}
+	c.q.init(c)
 	return c
 }
 
 // Shards returns P.
 func (c *CashRegister) Shards() int { return len(c.shards) }
 
+// Mergeable reports whether queries fold the shards into one merged
+// summary (the family merges and the factory's instances are
+// merge-compatible), probed once at construction.
+func (c *CashRegister) Mergeable() bool { return c.q.mergeable }
+
+// shardSet implementation (see query.go).
+func (c *CashRegister) numShards() int             { return len(c.shards) }
+func (c *CashRegister) shardEpoch(i int) uint64    { return c.shards[i].epoch.Load() }
+func (c *CashRegister) freshSummary() core.Summary { return c.fresh() }
+
+func (c *CashRegister) withShard(i int, fn func(s core.Summary)) uint64 {
+	sh := &c.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	fn(sh.s)
+	return sh.epoch.Load()
+}
+
 // Update implements core.CashRegister: the element lands on the next
 // shard in round-robin order.
 func (c *CashRegister) Update(x uint64) {
 	sh := &c.shards[(c.rr.Add(1)-1)%uint64(len(c.shards))]
 	sh.mu.Lock()
+	sh.epoch.Add(1)
 	sh.s.Update(x)
 	sh.mu.Unlock()
 }
@@ -103,6 +132,7 @@ func (c *CashRegister) UpdateBatch(xs []uint64) {
 	}
 	sh := &c.shards[(c.rr.Add(1)-1)%uint64(len(c.shards))]
 	sh.mu.Lock()
+	sh.epoch.Add(1)
 	core.UpdateBatch(sh.s, xs)
 	sh.mu.Unlock()
 }
@@ -116,6 +146,7 @@ func (c *CashRegister) UpdateBatchAffinity(key uint64, xs []uint64) {
 	}
 	sh := &c.shards[mix(key)%uint64(len(c.shards))]
 	sh.mu.Lock()
+	sh.epoch.Add(1)
 	core.UpdateBatch(sh.s, xs)
 	sh.mu.Unlock()
 }
@@ -133,20 +164,28 @@ func (c *CashRegister) Count() int64 {
 }
 
 // Rank implements core.Summary. Mergeable families answer from the
-// merged summary (for the linear sketches, exactly the unsharded
-// estimate). Otherwise ranks are additive across a partition: the
-// estimate is the sum of per-shard estimates and its error the sum of
-// per-shard estimate errors — for the GK family, whose midpoint
+// (cached) merged summary — for the linear sketches, exactly the
+// unsharded estimate. Otherwise ranks are additive across a partition:
+// the estimate is the sum of per-shard estimates and its error the sum
+// of per-shard estimate errors — for the GK family, whose midpoint
 // estimator is uncertain by up to the ⌊2εᵢnᵢ⌋ capacity of the gap a
-// probe falls into, Σᵢ 2εᵢnᵢ ≤ 2εn.
+// probe falls into plus its −1 bias, Σᵢ(2εᵢnᵢ+1) ≤ 2εn + P.
 func (c *CashRegister) Rank(x uint64) int64 {
-	if s := c.combined(); s != nil {
-		return s.Rank(x)
+	if e := c.q.entry(c); e != nil {
+		return e.rank(x)
 	}
 	return c.summedRank(x)
 }
 
-// summedRank is the additive estimate over all shards.
+// RankBatch implements core.QuantileBatcher.
+func (c *CashRegister) RankBatch(xs []uint64) []int64 {
+	if e := c.q.entry(c); e != nil {
+		return e.rankBatch(xs)
+	}
+	return c.summedRankBatch(xs)
+}
+
+// summedRank is the additive estimate over the live shards.
 func (c *CashRegister) summedRank(x uint64) int64 {
 	var r int64
 	for i := range c.shards {
@@ -158,51 +197,42 @@ func (c *CashRegister) summedRank(x uint64) int64 {
 	return r
 }
 
-// combined merges every shard into one fresh summary when the family
-// supports it, returning nil otherwise (the caller falls back to rank
-// combination).
-func (c *CashRegister) combined() core.CashRegister {
-	fresh := c.fresh()
-	m, ok := fresh.(core.Mergeable)
-	if !ok {
-		return nil
-	}
+// summedRankBatch is the batch form of summedRank: one lock acquisition
+// and one native RankBatch sweep per shard for the whole probe set.
+func (c *CashRegister) summedRankBatch(xs []uint64) []int64 {
+	out := make([]int64, len(xs))
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
-		err := m.MergeSummary(sh.s)
+		rs := core.RankBatch(sh.s, xs)
 		sh.mu.Unlock()
-		if err != nil {
-			return nil
+		for j, r := range rs {
+			out[j] += r
 		}
 	}
-	return fresh
+	return out
 }
 
 // Quantile implements core.Summary within the composed ε bound.
 func (c *CashRegister) Quantile(phi float64) uint64 {
 	core.CheckPhi(phi)
-	if s := c.combined(); s != nil {
-		return s.Quantile(phi)
+	if e := c.q.entry(c); e != nil {
+		return e.quantile(phi)
 	}
 	return rankQuantile(c.Count(), c.summedRank, phi)
 }
 
-// BatchQuantiles implements core.BatchQuantiler: one merge (or one
-// rank-descent per fraction) answers the whole batch.
-func (c *CashRegister) BatchQuantiles(phis []float64) []uint64 {
+// QuantileBatch implements core.QuantileBatcher: one cached fold (or
+// one lockstep rank-descent over all fractions) answers the whole
+// batch.
+func (c *CashRegister) QuantileBatch(phis []float64) []uint64 {
 	for _, phi := range phis {
 		core.CheckPhi(phi)
 	}
-	if s := c.combined(); s != nil {
-		return core.Quantiles(s, phis)
+	if e := c.q.entry(c); e != nil {
+		return e.quantileBatch(phis)
 	}
-	n := c.Count()
-	out := make([]uint64, len(phis))
-	for i, phi := range phis {
-		out[i] = rankQuantile(n, c.summedRank, phi)
-	}
-	return out
+	return rankQuantileBatch(c.Count(), c.summedRankBatch, phis)
 }
 
 // SpaceBytes implements core.Summary: the sum over shards.
@@ -241,24 +271,4 @@ func checkShardInvariants(i int, s any) error {
 		return fmt.Errorf("sharded: shard %d: %w", i, err)
 	}
 	return nil
-}
-
-// rankQuantile inverts a summed rank estimate by a bitwise descent: the
-// largest v with R(v) ≤ target. R tracks the true (monotone) combined
-// rank within the summed per-shard estimate error E, and every value
-// above the result was excluded by a probe whose estimate exceeded the
-// target, so the result's rank interval intersects [target−E, target+E]
-// — for the GK family E ≤ Σᵢ 2εᵢnᵢ ≤ 2εn, and in practice far tighter.
-func rankQuantile(n int64, rank func(uint64) int64, phi float64) uint64 {
-	if n <= 0 {
-		panic(core.ErrEmpty)
-	}
-	target := core.TargetRank(phi, n)
-	var v uint64
-	for bit := 63; bit >= 0; bit-- {
-		if cand := v | uint64(1)<<bit; rank(cand) <= target {
-			v = cand
-		}
-	}
-	return v
 }

@@ -2,14 +2,16 @@ package sharded
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"streamquantiles/internal/core"
 )
 
 // turnShard is the turnstile counterpart of cashShard.
 type turnShard struct {
-	mu sync.Mutex
-	s  core.Turnstile
+	mu    sync.Mutex
+	s     core.Turnstile
+	epoch atomic.Uint64
 }
 
 // Turnstile partitions a strict-turnstile stream across P per-shard
@@ -20,6 +22,7 @@ type turnShard struct {
 type Turnstile struct {
 	shards []turnShard
 	fresh  func() core.Turnstile
+	q      queryCache
 
 	// parts pools per-call partition scratch: batch routing scatters the
 	// input into per-shard sub-batches without allocating per call.
@@ -47,11 +50,30 @@ func NewTurnstile(p int, fresh func() core.Turnstile) *Turnstile {
 		}
 		return pt
 	}
+	t.q.init(t)
 	return t
 }
 
 // Shards returns P.
 func (t *Turnstile) Shards() int { return len(t.shards) }
+
+// Mergeable reports whether queries fold the shards into one merged
+// summary, probed once at construction — a factory drawing random
+// dyadic seeds is detected here instead of failing inside every query.
+func (t *Turnstile) Mergeable() bool { return t.q.mergeable }
+
+// shardSet implementation (see query.go).
+func (t *Turnstile) numShards() int             { return len(t.shards) }
+func (t *Turnstile) shardEpoch(i int) uint64    { return t.shards[i].epoch.Load() }
+func (t *Turnstile) freshSummary() core.Summary { return t.fresh() }
+
+func (t *Turnstile) withShard(i int, fn func(s core.Summary)) uint64 {
+	sh := &t.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	fn(sh.s)
+	return sh.epoch.Load()
+}
 
 // shardOf routes an element by value affinity.
 func (t *Turnstile) shardOf(x uint64) *turnShard {
@@ -62,6 +84,7 @@ func (t *Turnstile) shardOf(x uint64) *turnShard {
 func (t *Turnstile) Insert(x uint64) {
 	sh := t.shardOf(x)
 	sh.mu.Lock()
+	sh.epoch.Add(1)
 	sh.s.Insert(x)
 	sh.mu.Unlock()
 }
@@ -70,6 +93,7 @@ func (t *Turnstile) Insert(x uint64) {
 func (t *Turnstile) Delete(x uint64) {
 	sh := t.shardOf(x)
 	sh.mu.Lock()
+	sh.epoch.Add(1)
 	sh.s.Delete(x)
 	sh.mu.Unlock()
 }
@@ -103,6 +127,7 @@ func (t *Turnstile) AddBatch(xs []uint64, delta int64) {
 		}
 		sh := &t.shards[i]
 		sh.mu.Lock()
+		sh.epoch.Add(1)
 		addBatch(sh.s, sub, delta)
 		sh.mu.Unlock()
 	}
@@ -143,18 +168,26 @@ func (t *Turnstile) Count() int64 {
 	return n
 }
 
-// Rank implements core.Summary: merged-summary estimate when the family
-// merges (exact for the linear dyadic sketches — identical to an
-// unsharded sketch of the whole stream), summed per-shard estimates
-// otherwise.
+// Rank implements core.Summary: (cached) merged-summary estimate when
+// the family merges (exact for the linear dyadic sketches — identical
+// to an unsharded sketch of the whole stream), summed per-shard
+// estimates otherwise.
 func (t *Turnstile) Rank(x uint64) int64 {
-	if s := t.combined(); s != nil {
-		return s.Rank(x)
+	if e := t.q.entry(t); e != nil {
+		return e.rank(x)
 	}
 	return t.summedRank(x)
 }
 
-// summedRank is the additive estimate over all shards.
+// RankBatch implements core.QuantileBatcher.
+func (t *Turnstile) RankBatch(xs []uint64) []int64 {
+	if e := t.q.entry(t); e != nil {
+		return e.rankBatch(xs)
+	}
+	return t.summedRankBatch(xs)
+}
+
+// summedRank is the additive estimate over the live shards.
 func (t *Turnstile) summedRank(x uint64) int64 {
 	var r int64
 	for i := range t.shards {
@@ -166,50 +199,40 @@ func (t *Turnstile) summedRank(x uint64) int64 {
 	return r
 }
 
-// combined merges every shard into one fresh summary when the family
-// supports it (the dyadic sketches are linear, so identically seeded
-// shards merge exactly), nil otherwise.
-func (t *Turnstile) combined() core.Turnstile {
-	fresh := t.fresh()
-	m, ok := fresh.(core.Mergeable)
-	if !ok {
-		return nil
-	}
+// summedRankBatch is the batch form of summedRank: one lock acquisition
+// and one native RankBatch sweep per shard for the whole probe set.
+func (t *Turnstile) summedRankBatch(xs []uint64) []int64 {
+	out := make([]int64, len(xs))
 	for i := range t.shards {
 		sh := &t.shards[i]
 		sh.mu.Lock()
-		err := m.MergeSummary(sh.s)
+		rs := core.RankBatch(sh.s, xs)
 		sh.mu.Unlock()
-		if err != nil {
-			return nil
+		for j, r := range rs {
+			out[j] += r
 		}
 	}
-	return fresh
+	return out
 }
 
 // Quantile implements core.Summary within the composed ε bound.
 func (t *Turnstile) Quantile(phi float64) uint64 {
 	core.CheckPhi(phi)
-	if s := t.combined(); s != nil {
-		return s.Quantile(phi)
+	if e := t.q.entry(t); e != nil {
+		return e.quantile(phi)
 	}
 	return rankQuantile(t.Count(), t.summedRank, phi)
 }
 
-// BatchQuantiles implements core.BatchQuantiler.
-func (t *Turnstile) BatchQuantiles(phis []float64) []uint64 {
+// QuantileBatch implements core.QuantileBatcher.
+func (t *Turnstile) QuantileBatch(phis []float64) []uint64 {
 	for _, phi := range phis {
 		core.CheckPhi(phi)
 	}
-	if s := t.combined(); s != nil {
-		return core.Quantiles(s, phis)
+	if e := t.q.entry(t); e != nil {
+		return e.quantileBatch(phis)
 	}
-	n := t.Count()
-	out := make([]uint64, len(phis))
-	for i, phi := range phis {
-		out[i] = rankQuantile(n, t.summedRank, phi)
-	}
-	return out
+	return rankQuantileBatch(t.Count(), t.summedRankBatch, phis)
 }
 
 // SpaceBytes implements core.Summary: the sum over shards.

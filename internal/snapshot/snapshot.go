@@ -1,0 +1,167 @@
+// Package snapshot provides epoch-guarded caching of flattened query
+// snapshots (core.QuerySnapshot): a write-epoch counter is bumped by
+// the owning wrapper on every mutation, and readers reuse a previously
+// built snapshot only while its epoch still matches — so repeated
+// queries between writes are lock-free O(log s) binary searches, and
+// the first query after a write rebuilds.
+//
+// The protocol (see DESIGN.md "Query snapshots"):
+//
+//   - The owner calls Invalidate() while holding its write lock, before
+//     mutating the summary.
+//   - A reader calls Current(); a non-nil result is immutable and safe
+//     to query without any lock.
+//   - On nil, the reader takes the owner's query lock (shared for pure
+//     readers, exclusive for Flusher summaries), re-checks Current()
+//     (another reader may have rebuilt first), and otherwise calls
+//     Rebuild.
+//
+// Correctness of the lock-free fast path: Store records the epoch
+// observed before the snapshot was built, while the builder held a lock
+// that excludes writers — so epoch E's snapshot reflects every write
+// that completed before E. A reader that loads the entry and then sees
+// the live epoch still equal to the entry's has a guarantee that no
+// write *completed* in between (completed writes bump the counter under
+// the write lock first, and Go atomics are sequentially consistent); a
+// write still in flight has not yet mutated anything the snapshot
+// depends on, and serializing the query before it is linearizable.
+package snapshot
+
+import (
+	"sync/atomic"
+
+	"streamquantiles/internal/core"
+)
+
+// Cache pairs a write-epoch counter with the snapshot built at some
+// epoch. The zero value is ready to use.
+type Cache struct {
+	epoch atomic.Uint64
+	cur   atomic.Pointer[entry]
+}
+
+type entry struct {
+	epoch uint64
+	qs    *core.QuerySnapshot
+}
+
+// Invalidate bumps the write epoch, retiring any cached snapshot. The
+// owner must call it under its write lock, before mutating the summary.
+func (c *Cache) Invalidate() { c.epoch.Add(1) }
+
+// Epoch returns the current write epoch.
+func (c *Cache) Epoch() uint64 { return c.epoch.Load() }
+
+// Current returns the cached snapshot when it is still valid for the
+// current epoch, or nil when a write has retired it. The returned
+// snapshot is immutable; no lock is needed to query it.
+func (c *Cache) Current() *core.QuerySnapshot {
+	e := c.cur.Load()
+	if e == nil || e.epoch != c.epoch.Load() {
+		return nil
+	}
+	return e.qs
+}
+
+// Rebuild materializes a fresh snapshot of s and caches it under the
+// current epoch. The caller must hold a lock that excludes writers for
+// the duration of the call (the shared query lock suffices; Flusher
+// summaries need the exclusive lock, as for any query). Concurrent
+// Rebuild calls under a shared lock are safe: they build identical
+// snapshots and the last Store wins.
+func (c *Cache) Rebuild(s core.Snapshotter) *core.QuerySnapshot {
+	epoch := c.Epoch()
+	qs := core.BuildQuerySnapshot(s)
+	c.cur.Store(&entry{epoch: epoch, qs: qs})
+	return qs
+}
+
+// BuildGrid materializes an approximate snapshot of an arbitrary
+// summary by probing it on the even φ-grid of spacing gridEps: the
+// families without an exact flattening (the dyadic sketches, whose
+// per-level state cannot collapse into one sorted array, and GKBiased,
+// whose extraction bound depends on the queried rank) can still trade
+// freshness for O(log(1/gridEps)) repeated queries. Answers carry the
+// summary's ε plus at most gridEps·n additional rank error — callers
+// choose gridEps accordingly (ε/2 halves are the usual choice). Unlike
+// the exact snapshots the Safe wrappers build, grid snapshots are
+// opt-in: they change answers, so nothing routes through them
+// implicitly.
+func BuildGrid(s core.Summary, gridEps float64) *core.QuerySnapshot {
+	core.CheckEps(gridEps)
+	n := s.Count()
+	qs := &core.QuerySnapshot{N: n}
+	if n <= 0 {
+		return qs
+	}
+	phis := core.EvenPhis(gridEps)
+	vals := core.QuantileBatch(s, phis)
+	for i, v := range vals {
+		key := core.TargetRank(phis[i], n)
+		// Quantile rule: answer the first grid point whose target rank
+		// reaches the queried target (key+1 > t ⇔ key ≥ t).
+		qs.QVals = append(qs.QVals, v)
+		qs.QKeys = append(qs.QKeys, key+1)
+		// Rank rule: the target rank of the largest grid value < x.
+		qs.RVals = append(qs.RVals, v)
+		qs.RRanks = append(qs.RRanks, key)
+	}
+	qs.RStrict = true
+	return qs
+}
+
+// Cached is a single-goroutine caching view of a summary for
+// query-heavy loops (benchmarks, batch report generation): it builds a
+// snapshot on first query — exact when the summary implements
+// core.Snapshotter, grid-based otherwise — and reuses it until the
+// caller signals a write with Invalidate. For concurrent use, wrap the
+// summary in a Safe* wrapper instead, which drives a Cache under its
+// own locks.
+type Cached struct {
+	s       core.Summary
+	gridEps float64
+	qs      *core.QuerySnapshot
+}
+
+// NewCached wraps s. gridEps bounds the extra rank error accepted for
+// summaries without an exact flattening; it is unused when s implements
+// core.Snapshotter.
+func NewCached(s core.Summary, gridEps float64) *Cached {
+	core.CheckEps(gridEps)
+	return &Cached{s: s, gridEps: gridEps}
+}
+
+// Exact reports whether the cached snapshot reproduces the summary's
+// answers bit for bit.
+func (c *Cached) Exact() bool {
+	_, ok := c.s.(core.Snapshotter)
+	return ok
+}
+
+// Invalidate retires the snapshot; the next query rebuilds.
+func (c *Cached) Invalidate() { c.qs = nil }
+
+func (c *Cached) snapshot() *core.QuerySnapshot {
+	if c.qs == nil {
+		if ss, ok := c.s.(core.Snapshotter); ok {
+			c.qs = core.BuildQuerySnapshot(ss)
+		} else {
+			c.qs = BuildGrid(c.s, c.gridEps)
+		}
+	}
+	return c.qs
+}
+
+// Quantile answers from the snapshot.
+func (c *Cached) Quantile(phi float64) uint64 { return c.snapshot().Quantile(phi) }
+
+// QuantileBatch answers from the snapshot.
+func (c *Cached) QuantileBatch(phis []float64) []uint64 { return c.snapshot().QuantileBatch(phis) }
+
+// Rank answers from the snapshot.
+func (c *Cached) Rank(x uint64) int64 { return c.snapshot().Rank(x) }
+
+// Count reports the live summary's count (snapshot N is the quantile
+// target base, which for the sampling families is the total sample
+// weight, not n).
+func (c *Cached) Count() int64 { return c.s.Count() }

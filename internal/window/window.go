@@ -152,11 +152,38 @@ func (w *Windowed) Quantile(phi float64) uint64 {
 
 // Quantiles extracts a batch of fractions from one merged view.
 func (w *Windowed) Quantiles(phis []float64) []uint64 {
+	return w.QuantileBatch(phis)
+}
+
+// QuantileBatch implements core.QuantileBatcher: one merged view answers
+// the whole batch.
+func (w *Windowed) QuantileBatch(phis []float64) []uint64 {
 	m := w.merged()
 	if m == nil {
 		panic(core.ErrEmpty)
 	}
-	return m.BatchQuantiles(phis)
+	return m.QuantileBatch(phis)
+}
+
+// RankBatch implements core.QuantileBatcher.
+func (w *Windowed) RankBatch(xs []uint64) []int64 {
+	m := w.merged()
+	if m == nil {
+		return make([]int64, len(xs))
+	}
+	return m.RankBatch(xs)
+}
+
+// AppendQuerySnapshot implements core.Snapshotter by flattening the
+// one-shot merged view — the expensive per-query merge is exactly what
+// an epoch-cached snapshot amortizes away for this summary.
+func (w *Windowed) AppendQuerySnapshot(qs *core.QuerySnapshot) {
+	m := w.merged()
+	if m == nil {
+		qs.Reset()
+		return
+	}
+	m.AppendQuerySnapshot(qs)
 }
 
 // Rank returns the estimated number of live elements smaller than x.

@@ -222,8 +222,19 @@ func SelectExactQuantile(src ReplaySource, phi float64, memory, maxPasses int) (
 	return multipass.SelectQuantile(src, phi, memory, maxPasses)
 }
 
-// Quantiles extracts one quantile per fraction.
+// Quantiles extracts one quantile per fraction. It is QuantileBatch
+// under the name the package has always exported.
 func Quantiles(s Summary, phis []float64) []uint64 { return core.Quantiles(s, phis) }
+
+// QuantileBatch extracts one quantile per fraction in a single pass
+// over the summary's state when it implements the batch contract
+// (every summary in this package does — see README "Query path"),
+// falling back to one full query walk per fraction otherwise.
+func QuantileBatch(s Summary, phis []float64) []uint64 { return core.QuantileBatch(s, phis) }
+
+// RankBatch estimates every probe's rank in one sweep, under the same
+// dispatch rule as QuantileBatch.
+func RankBatch(s Summary, xs []uint64) []int64 { return core.RankBatch(s, xs) }
 
 // EvenPhis returns the fractions ε, 2ε, …, 1−ε used throughout the
 // paper's evaluation protocol.

@@ -1,0 +1,248 @@
+package streamquantiles
+
+import (
+	"sort"
+	"testing"
+
+	"streamquantiles/internal/core"
+)
+
+// Query-path properties: the single-pass batch extraction and the
+// epoch-cached snapshots are pure read-path optimizations, so they must
+// be answer-preserving — QuantileBatch agrees with a per-φ Quantile
+// loop element for element on every registered summary (including
+// through the Safe* wrappers, whose snapshot path must also reflect
+// every write), and the sharded fold cache must never serve a stale
+// combined view.
+
+// queryEquivCases builds every roster summary pre-loaded with the test
+// stream, including Safe-wrapped and sharded configurations, so the
+// batch ≡ per-φ property is pinned across all three dispatch layers
+// (native batch sweep, snapshot path, cached shard fold).
+var queryEquivCases = []struct {
+	name  string
+	build func(data []uint64) Summary
+}{
+	{"gkadaptive", func(data []uint64) Summary { s := NewGKAdaptive(0.01); feedBatches(s.UpdateBatch, data); return s }},
+	{"gktheory", func(data []uint64) Summary { s := NewGKTheory(0.01); feedBatches(s.UpdateBatch, data); return s }},
+	{"gkarray", func(data []uint64) Summary { s := NewGKArray(0.01); feedBatches(s.UpdateBatch, data); return s }},
+	{"gkbiased", func(data []uint64) Summary { s := NewGKBiased(0.01); feedBatches(s.UpdateBatch, data); return s }},
+	{"qdigest", func(data []uint64) Summary { s := NewQDigest(0.01, 16); feedBatches(s.UpdateBatch, data); return s }},
+	{"mrl99", func(data []uint64) Summary { s := NewMRL99(0.01, 7); feedBatches(s.UpdateBatch, data); return s }},
+	{"random", func(data []uint64) Summary { s := NewRandom(0.01, 7); feedBatches(s.UpdateBatch, data); return s }},
+	{"kll", func(data []uint64) Summary { s := NewKLL(0.01, 7); feedBatches(s.UpdateBatch, data); return s }},
+	{"dcm", func(data []uint64) Summary {
+		s := NewDCM(0.05, 16, DyadicConfig{Seed: 7})
+		feedBatches(s.InsertBatch, data)
+		return s
+	}},
+	{"dcs", func(data []uint64) Summary {
+		s := NewDCS(0.05, 16, DyadicConfig{Seed: 7})
+		feedBatches(s.InsertBatch, data)
+		return s
+	}},
+	{"drss", func(data []uint64) Summary {
+		s := NewDRSS(0.05, 16, DyadicConfig{Seed: 7})
+		feedBatches(s.InsertBatch, data)
+		return s
+	}},
+	{"safe/gkarray", func(data []uint64) Summary {
+		s := NewSafeCashRegister(NewGKArray(0.01))
+		feedBatches(s.UpdateBatch, data)
+		return s
+	}},
+	{"safe/kll", func(data []uint64) Summary {
+		s := NewSafeCashRegister(NewKLL(0.01, 7))
+		feedBatches(s.UpdateBatch, data)
+		return s
+	}},
+	{"safe/dcs", func(data []uint64) Summary {
+		s := NewSafeTurnstile(NewDCS(0.05, 16, DyadicConfig{Seed: 7}))
+		feedBatches(s.InsertBatch, data)
+		return s
+	}},
+	{"sharded/gkarray", func(data []uint64) Summary {
+		s := NewShardedCashRegister(4, func() CashRegister { return NewGKArray(0.01) })
+		feedBatches(s.UpdateBatch, data)
+		return s
+	}},
+	{"sharded/kll", func(data []uint64) Summary {
+		s := NewShardedCashRegister(4, func() CashRegister { return NewKLL(0.01, 7) })
+		feedBatches(s.UpdateBatch, data)
+		return s
+	}},
+	{"sharded/dcs", func(data []uint64) Summary {
+		s := NewShardedTurnstile(4, func() Turnstile { return NewDCS(0.05, 16, DyadicConfig{Seed: 7}) })
+		feedBatches(s.InsertBatch, data)
+		return s
+	}},
+}
+
+// TestQuantileBatchMatchesPerPhi pins batch extraction to the per-φ
+// loop, value for value: the batch paths are sweeps over the same
+// state, never different estimators.
+func TestQuantileBatchMatchesPerPhi(t *testing.T) {
+	data := batchTestData(30000)
+	phis := append(EvenPhis(0.02), 0.001, 0.5, 0.999)
+	sort.Float64s(phis)
+	for _, tc := range queryEquivCases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.build(data)
+			want := make([]uint64, len(phis))
+			for i, phi := range phis {
+				want[i] = s.Quantile(phi)
+			}
+			got := QuantileBatch(s, phis)
+			for i := range phis {
+				if got[i] != want[i] {
+					t.Errorf("QuantileBatch[%d] (phi=%v) = %d, per-phi Quantile = %d", i, phis[i], got[i], want[i])
+				}
+			}
+			// Quantiles is the same dispatch under the historical name.
+			for i, q := range Quantiles(s, phis) {
+				if q != want[i] {
+					t.Errorf("Quantiles[%d] = %d, want %d", i, q, want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestRankBatchMatchesPerProbe is the rank-side twin, with an unsorted
+// probe set to exercise the sort-and-restore order bookkeeping.
+func TestRankBatchMatchesPerProbe(t *testing.T) {
+	data := batchTestData(30000)
+	var probes []uint64
+	for x := uint64(0); x < 1<<16; x += 509 {
+		probes = append(probes, x)
+	}
+	// Deliberately unsorted, with duplicates.
+	for i, j := 0, len(probes)-1; i < j; i, j = i+2, j-1 {
+		probes[i], probes[j] = probes[j], probes[i]
+	}
+	probes = append(probes, probes[0], probes[len(probes)/2])
+	for _, tc := range queryEquivCases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.build(data)
+			want := make([]int64, len(probes))
+			for i, x := range probes {
+				want[i] = s.Rank(x)
+			}
+			for i, r := range RankBatch(s, probes) {
+				if r != want[i] {
+					t.Errorf("RankBatch[%d] (x=%d) = %d, per-probe Rank = %d", i, probes[i], r, want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSafeSnapshotReflectsWrites pins the epoch protocol end to end: a
+// query builds the wrapper's cached snapshot, a write must retire it,
+// and the next query must answer exactly as an identically-fed live
+// summary — a stale snapshot would freeze the first half's answers.
+func TestSafeSnapshotReflectsWrites(t *testing.T) {
+	data := batchTestData(30000)
+	half := len(data) / 2
+	phis := EvenPhis(0.05)
+
+	t.Run("cash", func(t *testing.T) {
+		safe := NewSafeCashRegister(NewGKArray(0.01))
+		ref := NewGKArray(0.01)
+		safe.UpdateBatch(data[:half])
+		ref.UpdateBatch(data[:half])
+		firstHalf := safe.Quantiles(phis) // builds the snapshot
+		Quantiles(ref, phis)              // GKArray queries flush its buffer: keep the schedules aligned
+		// Shift the second half above the first's universe so the writes
+		// provably move the upper quantiles.
+		shifted := make([]uint64, len(data)-half)
+		for i, x := range data[half:] {
+			shifted[i] = x + 1<<20
+		}
+		safe.UpdateBatch(shifted)
+		ref.UpdateBatch(shifted)
+		stale := false
+		for i, phi := range phis {
+			want := ref.Quantile(phi)
+			if got := safe.Quantile(phi); got != want {
+				t.Errorf("Quantile(%v) = %d after write, live summary says %d", phi, got, want)
+			}
+			if firstHalf[i] != want {
+				stale = true // the write genuinely changed this answer
+			}
+		}
+		if !stale {
+			t.Fatal("test stream too tame: second half changed no answer, staleness would be invisible")
+		}
+	})
+
+	t.Run("turnstile", func(t *testing.T) {
+		safe := NewSafeTurnstile(NewDCS(0.05, 16, DyadicConfig{Seed: 7}))
+		ref := NewDCS(0.05, 16, DyadicConfig{Seed: 7})
+		safe.InsertBatch(data)
+		ref.InsertBatch(data)
+		before := safe.Quantiles(phis)
+		var dels []uint64
+		for i := 0; i < half; i += 2 {
+			dels = append(dels, data[i])
+		}
+		safe.DeleteBatch(dels)
+		ref.DeleteBatch(dels)
+		stale := false
+		for i, phi := range phis {
+			want := ref.Quantile(phi)
+			if got := safe.Quantile(phi); got != want {
+				t.Errorf("Quantile(%v) = %d after deletes, live summary says %d", phi, got, want)
+			}
+			if before[i] != want {
+				stale = true
+			}
+		}
+		if !stale {
+			t.Fatal("deletes changed no answer; staleness would be invisible")
+		}
+	})
+}
+
+// nonMonotoneBatcher fakes a summary whose batch path returns
+// non-monotone values — the estimator-noise case CDF's clamp exists
+// for. Per-φ queries would sort themselves out; only the batch path
+// exercises the clamp.
+type nonMonotoneBatcher struct{ vals []uint64 }
+
+func (f *nonMonotoneBatcher) Count() int64              { return int64(len(f.vals)) }
+func (f *nonMonotoneBatcher) Rank(x uint64) int64       { return 0 }
+func (f *nonMonotoneBatcher) Quantile(p float64) uint64 { return f.vals[0] }
+func (f *nonMonotoneBatcher) SpaceBytes() int64         { return 0 }
+
+func (f *nonMonotoneBatcher) QuantileBatch(phis []float64) []uint64 {
+	out := make([]uint64, len(phis))
+	for i := range out {
+		out[i] = f.vals[i%len(f.vals)]
+	}
+	return out
+}
+
+func (f *nonMonotoneBatcher) RankBatch(xs []uint64) []int64 { return make([]int64, len(xs)) }
+
+// TestCDFClampsNonMonotoneBatch is the regression test for CDF's
+// monotonicity clamp now that extraction goes through QuantileBatch: a
+// batcher returning dips must still yield a non-decreasing CDF.
+func TestCDFClampsNonMonotoneBatch(t *testing.T) {
+	f := &nonMonotoneBatcher{vals: []uint64{50, 20, 80, 10, 60}}
+	var _ core.QuantileBatcher = f // the fake must take the batch path
+	pts := CDF(f, 20)
+	if len(pts) != 20 {
+		t.Fatalf("got %d points, want 20", len(pts))
+	}
+	prev := uint64(0)
+	for i, p := range pts {
+		if p.Value < prev {
+			t.Fatalf("CDF not monotone at point %d: %d after %d", i, p.Value, prev)
+		}
+		prev = p.Value
+	}
+	if prev != 80 {
+		t.Fatalf("clamped CDF should plateau at the running max 80, ends at %d", prev)
+	}
+}

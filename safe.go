@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"streamquantiles/internal/core"
+	"streamquantiles/internal/snapshot"
 )
 
 // The summaries in this library are single-writer structures, as in the
@@ -17,6 +18,17 @@ import (
 // mutate and therefore take the exclusive lock. The wrapper detects
 // this once at construction, so callers get the strongest locking that
 // is sound for their summary without choosing it themselves.
+//
+// When the wrapped summary has an exact query flattening
+// (core.Snapshotter: the GK tuple families, QDigest, and the sampling
+// families), the wrappers additionally keep an epoch-cached
+// QuerySnapshot: every write bumps an epoch under the exclusive lock,
+// and queries between writes answer from the immutable snapshot without
+// taking any lock at all — repeated queries on a quiet summary are
+// wait-free binary searches. Snapshots are exact, so answers are
+// byte-identical to querying the live summary; families without an
+// exact flattening (the dyadic sketches, GKBiased) keep the plain
+// locked path.
 
 // Flusher is implemented by summaries whose query methods first merge
 // buffered updates into the main structure. For these types a read
@@ -33,13 +45,20 @@ type SafeCashRegister struct {
 	// exclusiveReads is set when s implements Flusher: its queries
 	// mutate internal state, so they need the write lock.
 	exclusiveReads bool
+	// snap caches an exact query snapshot between writes; non-nil only
+	// when s implements core.Snapshotter.
+	snap *snapshot.Cache
 }
 
 // NewSafeCashRegister wraps s. The wrapped summary must not be used
 // directly afterwards.
 func NewSafeCashRegister(s CashRegister) *SafeCashRegister {
 	_, flushes := s.(Flusher)
-	return &SafeCashRegister{s: s, exclusiveReads: flushes}
+	c := &SafeCashRegister{s: s, exclusiveReads: flushes}
+	if _, ok := s.(core.Snapshotter); ok {
+		c.snap = new(snapshot.Cache)
+	}
+	return c
 }
 
 // rlock takes the strongest lock queries on the wrapped summary need
@@ -53,10 +72,33 @@ func (c *SafeCashRegister) rlock() func() {
 	return c.mu.RUnlock
 }
 
+// snapshot returns an epoch-valid exact snapshot, building one under
+// the query lock when the cached one has been retired by a write; nil
+// when the summary has no exact flattening. Note a Flusher's
+// AppendQuerySnapshot may flush buffered elements — that runs under the
+// exclusive lock (rlock) and does not change query answers, so the
+// epoch is not bumped.
+func (c *SafeCashRegister) snapshot() *core.QuerySnapshot {
+	if c.snap == nil {
+		return nil
+	}
+	if qs := c.snap.Current(); qs != nil {
+		return qs
+	}
+	defer c.rlock()()
+	if qs := c.snap.Current(); qs != nil {
+		return qs // another reader rebuilt first
+	}
+	return c.snap.Rebuild(c.s.(core.Snapshotter))
+}
+
 // Update observes one element.
 func (c *SafeCashRegister) Update(x uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.snap != nil {
+		c.snap.Invalidate()
+	}
 	c.s.Update(x)
 }
 
@@ -65,26 +107,51 @@ func (c *SafeCashRegister) Update(x uint64) {
 func (c *SafeCashRegister) UpdateBatch(xs []uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.snap != nil {
+		c.snap.Invalidate()
+	}
 	core.UpdateBatch(c.s, xs)
 }
 
-// Quantile returns an estimated φ-quantile.
+// Quantile returns an estimated φ-quantile — lock-free from the cached
+// snapshot when the summary has been quiet since the last query.
 func (c *SafeCashRegister) Quantile(phi float64) uint64 {
+	if qs := c.snapshot(); qs != nil {
+		return qs.Quantile(phi)
+	}
 	defer c.rlock()()
 	return c.s.Quantile(phi)
 }
 
-// Quantiles extracts one quantile per fraction under a single lock
-// acquisition.
+// Quantiles extracts one quantile per fraction under at most a single
+// lock acquisition.
 func (c *SafeCashRegister) Quantiles(phis []float64) []uint64 {
+	if qs := c.snapshot(); qs != nil {
+		return qs.QuantileBatch(phis)
+	}
 	defer c.rlock()()
 	return Quantiles(c.s, phis)
 }
 
+// QuantileBatch implements core.QuantileBatcher (as Quantiles).
+func (c *SafeCashRegister) QuantileBatch(phis []float64) []uint64 { return c.Quantiles(phis) }
+
 // Rank returns the estimated rank of x.
 func (c *SafeCashRegister) Rank(x uint64) int64 {
+	if qs := c.snapshot(); qs != nil {
+		return qs.Rank(x)
+	}
 	defer c.rlock()()
 	return c.s.Rank(x)
+}
+
+// RankBatch implements core.QuantileBatcher.
+func (c *SafeCashRegister) RankBatch(xs []uint64) []int64 {
+	if qs := c.snapshot(); qs != nil {
+		return qs.RankBatch(xs)
+	}
+	defer c.rlock()()
+	return core.RankBatch(c.s, xs)
 }
 
 // Count reports n.
@@ -137,6 +204,9 @@ func (c *SafeCashRegister) Restore(blob []byte) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.snap != nil {
+		c.snap.Invalidate()
+	}
 	return u.UnmarshalBinary(blob)
 }
 
@@ -156,13 +226,21 @@ type SafeTurnstile struct {
 	// SafeCashRegister. The dyadic sketches are pure readers at query
 	// time, so in practice turnstile queries run under the shared lock.
 	exclusiveReads bool
+	// snap caches an exact query snapshot between writes; non-nil only
+	// when s implements core.Snapshotter (the dyadic sketches do not —
+	// their queries always take the lock).
+	snap *snapshot.Cache
 }
 
 // NewSafeTurnstile wraps s. The wrapped summary must not be used
 // directly afterwards.
 func NewSafeTurnstile(s Turnstile) *SafeTurnstile {
 	_, flushes := s.(Flusher)
-	return &SafeTurnstile{s: s, exclusiveReads: flushes}
+	c := &SafeTurnstile{s: s, exclusiveReads: flushes}
+	if _, ok := s.(core.Snapshotter); ok {
+		c.snap = new(snapshot.Cache)
+	}
+	return c
 }
 
 func (c *SafeTurnstile) rlock() func() {
@@ -174,10 +252,28 @@ func (c *SafeTurnstile) rlock() func() {
 	return c.mu.RUnlock
 }
 
+// snapshot mirrors SafeCashRegister.snapshot.
+func (c *SafeTurnstile) snapshot() *core.QuerySnapshot {
+	if c.snap == nil {
+		return nil
+	}
+	if qs := c.snap.Current(); qs != nil {
+		return qs
+	}
+	defer c.rlock()()
+	if qs := c.snap.Current(); qs != nil {
+		return qs // another reader rebuilt first
+	}
+	return c.snap.Rebuild(c.s.(core.Snapshotter))
+}
+
 // Insert adds one occurrence of x.
 func (c *SafeTurnstile) Insert(x uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.snap != nil {
+		c.snap.Invalidate()
+	}
 	c.s.Insert(x)
 }
 
@@ -185,6 +281,9 @@ func (c *SafeTurnstile) Insert(x uint64) {
 func (c *SafeTurnstile) Delete(x uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.snap != nil {
+		c.snap.Invalidate()
+	}
 	c.s.Delete(x)
 }
 
@@ -193,6 +292,9 @@ func (c *SafeTurnstile) Delete(x uint64) {
 func (c *SafeTurnstile) InsertBatch(xs []uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.snap != nil {
+		c.snap.Invalidate()
+	}
 	core.InsertBatch(c.s, xs)
 }
 
@@ -201,19 +303,51 @@ func (c *SafeTurnstile) InsertBatch(xs []uint64) {
 func (c *SafeTurnstile) DeleteBatch(xs []uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.snap != nil {
+		c.snap.Invalidate()
+	}
 	core.DeleteBatch(c.s, xs)
 }
 
-// Quantile returns an estimated φ-quantile.
+// Quantile returns an estimated φ-quantile — lock-free from the cached
+// snapshot when the summary supports one and has been quiet.
 func (c *SafeTurnstile) Quantile(phi float64) uint64 {
+	if qs := c.snapshot(); qs != nil {
+		return qs.Quantile(phi)
+	}
 	defer c.rlock()()
 	return c.s.Quantile(phi)
 }
 
+// Quantiles extracts one quantile per fraction under at most a single
+// lock acquisition.
+func (c *SafeTurnstile) Quantiles(phis []float64) []uint64 {
+	if qs := c.snapshot(); qs != nil {
+		return qs.QuantileBatch(phis)
+	}
+	defer c.rlock()()
+	return Quantiles(c.s, phis)
+}
+
+// QuantileBatch implements core.QuantileBatcher (as Quantiles).
+func (c *SafeTurnstile) QuantileBatch(phis []float64) []uint64 { return c.Quantiles(phis) }
+
 // Rank returns the estimated rank of x.
 func (c *SafeTurnstile) Rank(x uint64) int64 {
+	if qs := c.snapshot(); qs != nil {
+		return qs.Rank(x)
+	}
 	defer c.rlock()()
 	return c.s.Rank(x)
+}
+
+// RankBatch implements core.QuantileBatcher.
+func (c *SafeTurnstile) RankBatch(xs []uint64) []int64 {
+	if qs := c.snapshot(); qs != nil {
+		return qs.RankBatch(xs)
+	}
+	defer c.rlock()()
+	return core.RankBatch(c.s, xs)
 }
 
 // Count reports the current number of elements.
@@ -259,6 +393,9 @@ func (c *SafeTurnstile) Restore(blob []byte) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.snap != nil {
+		c.snap.Invalidate()
+	}
 	return u.UnmarshalBinary(blob)
 }
 

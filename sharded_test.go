@@ -54,7 +54,7 @@ func TestShardedCashRegisterWithinEps(t *testing.T) {
 			for _, phi := range phis {
 				rankWithinEps(t, sorted, phi, s.Quantile(phi), tol)
 			}
-			for i, q := range s.BatchQuantiles(phis) {
+			for i, q := range s.QuantileBatch(phis) {
 				rankWithinEps(t, sorted, phis[i], q, tol)
 			}
 		})

@@ -1,0 +1,191 @@
+package streamquantiles
+
+import (
+	"sort"
+	"sync/atomic"
+	"testing"
+
+	"streamquantiles/internal/core"
+)
+
+// Sharded query-path properties: the construction-time mergeability
+// probe, the epoch-keyed fold cache, the parallel tree-merge's
+// equivalence to a sequential fold, and the 2εn+P combined-rank bound
+// of the GK additive combination.
+
+// TestShardedMergeableProbe pins the construction-time capability
+// probe: a merge-compatible factory folds, a factory whose instances
+// cannot merge (here: differing ε per call) is detected up front, and
+// a non-Mergeable family never claims to fold.
+func TestShardedMergeableProbe(t *testing.T) {
+	same := NewShardedCashRegister(2, func() CashRegister { return NewKLL(0.01, 7) })
+	if !same.Mergeable() {
+		t.Error("identically configured KLL factory: Mergeable() = false, want true")
+	}
+	var n atomic.Int64
+	drift := NewShardedCashRegister(2, func() CashRegister {
+		return NewKLL(0.01/float64(n.Add(1)), 7)
+	})
+	if drift.Mergeable() {
+		t.Error("eps-drifting KLL factory: Mergeable() = true, want false (instances cannot merge)")
+	}
+	gk := NewShardedCashRegister(2, func() CashRegister { return NewGKArray(0.01) })
+	if gk.Mergeable() {
+		t.Error("GKArray is not Mergeable, but the probe claims it folds")
+	}
+	// The drifting factory must still answer (per-shard snapshots
+	// combined by additive rank), just without the merged fast path.
+	data := batchTestData(4000)
+	feedBatches(drift.UpdateBatch, data)
+	sorted := append([]uint64(nil), data...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rankWithinEps(t, sorted, 0.5, drift.Quantile(0.5), int64(2*0.01*float64(len(data)))+2)
+}
+
+// TestShardedFoldCacheReuse counts factory invocations to pin the
+// epoch cache's contract: folding a mergeable family costs one fresh
+// summary per shard per *write generation*, never per query — and the
+// snapshot combination of non-mergeable families costs none at all.
+func TestShardedFoldCacheReuse(t *testing.T) {
+	const p = 4
+	data := batchTestData(20000)
+	phis := EvenPhis(0.1)
+
+	t.Run("mergeable", func(t *testing.T) {
+		var calls atomic.Int64
+		s := NewShardedCashRegister(p, func() CashRegister {
+			calls.Add(1)
+			return NewKLL(0.01, 7)
+		})
+		base := calls.Load()
+		if base != p+2 {
+			t.Fatalf("construction used %d fresh summaries, want %d (P shards + 2 probe throwaways)", base, p+2)
+		}
+		feedBatches(s.UpdateBatch, data)
+		s.Quantile(0.5) // first query folds: one fresh partial per shard
+		afterFold := calls.Load()
+		if afterFold != base+p {
+			t.Fatalf("first query used %d fresh summaries, want %d (one per shard)", afterFold-base, p)
+		}
+		s.Quantile(0.9)
+		s.QuantileBatch(phis)
+		s.Rank(data[0])
+		s.RankBatch(data[:8])
+		if got := calls.Load(); got != afterFold {
+			t.Errorf("%d fresh summaries built by queries on a quiet summary, want 0 (cache hit)", got-afterFold)
+		}
+		s.Update(data[0]) // retire the fold
+		s.Quantile(0.5)
+		if got := calls.Load(); got != afterFold+p {
+			t.Errorf("query after a write used %d fresh summaries, want %d (one re-fold)", got-afterFold, p)
+		}
+	})
+
+	t.Run("snapshots", func(t *testing.T) {
+		var calls atomic.Int64
+		s := NewShardedCashRegister(p, func() CashRegister {
+			calls.Add(1)
+			return NewGKArray(0.01)
+		})
+		base := calls.Load()
+		feedBatches(s.UpdateBatch, data)
+		s.Quantile(0.5)
+		s.QuantileBatch(phis)
+		s.Update(data[0])
+		s.Quantile(0.5)
+		if got := calls.Load(); got != base {
+			t.Errorf("snapshot combination built %d fresh summaries, want 0", got-base)
+		}
+	})
+}
+
+// TestShardedParallelMergeMatchesManualFold replays the fold by hand —
+// one fresh summary per shard fed that shard's exact round-robin
+// share, reduced in the same pairwise tree order — and requires the
+// sharded summary's cached-fold answers to match exactly. With P=1
+// this also pins the degenerate case: a single-shard summary answers
+// exactly like its unsharded twin.
+func TestShardedParallelMergeMatchesManualFold(t *testing.T) {
+	const p, chunk = 4, 1000
+	data := batchTestData(24000)
+	phis := EvenPhis(0.05)
+
+	s := NewShardedCashRegister(p, func() CashRegister { return NewKLL(0.01, 7) })
+	shards := make([]*KLL, p)
+	for i := range shards {
+		shards[i] = NewKLL(0.01, 7)
+	}
+	for j, i := 0, 0; i < len(data); j, i = j+1, i+chunk {
+		end := min(i+chunk, len(data))
+		s.UpdateBatch(data[i:end])           // round-robin: chunk j -> shard j%p
+		shards[j%p].UpdateBatch(data[i:end]) // same partition, by hand
+	}
+	// Replicate rebuildCombined: merge each shard into its own fresh
+	// summary, then reduce pairwise with stride doubling.
+	parts := make([]core.Summary, p)
+	for i, sh := range shards {
+		m := NewKLL(0.01, 7)
+		if err := m.MergeSummary(sh); err != nil {
+			t.Fatal(err)
+		}
+		parts[i] = m
+	}
+	for stride := 1; stride < p; stride *= 2 {
+		for i := 0; i+stride < p; i += 2 * stride {
+			if err := parts[i].(core.Mergeable).MergeSummary(parts[i+stride]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	want := QuantileBatch(parts[0], phis)
+	for i, q := range s.QuantileBatch(phis) {
+		if q != want[i] {
+			t.Errorf("sharded fold Quantile(%v) = %d, manual fold = %d", phis[i], q, want[i])
+		}
+	}
+
+	single := NewShardedCashRegister(1, func() CashRegister { return NewKLL(0.01, 7) })
+	twin := NewKLL(0.01, 7)
+	feedBatches(single.UpdateBatch, data)
+	feedBatches(twin.UpdateBatch, data)
+	fold := NewKLL(0.01, 7)
+	if err := fold.MergeSummary(twin); err != nil {
+		t.Fatal(err)
+	}
+	want = QuantileBatch(fold, phis)
+	for i, q := range single.QuantileBatch(phis) {
+		if q != want[i] {
+			t.Errorf("P=1 sharded Quantile(%v) = %d, merged twin = %d", phis[i], q, want[i])
+		}
+	}
+}
+
+// TestShardedGKCombinedRankBound measures the additive GK combination
+// against the documented bound: the summed rank estimate differs from
+// the true combined rank by at most 2εn+P, and every quantile answer's
+// rank error stays within the same bound (versus εn unsharded).
+func TestShardedGKCombinedRankBound(t *testing.T) {
+	const p = 4
+	eps := 0.01
+	data := batchTestData(30000)
+	sorted := append([]uint64(nil), data...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	s := NewShardedCashRegister(p, func() CashRegister { return NewGKArray(eps) })
+	feedBatches(s.UpdateBatch, data)
+	tol := int64(2*eps*float64(len(data))) + p
+
+	var probes []uint64
+	for x := uint64(0); x < 1<<16; x += 131 {
+		probes = append(probes, x)
+	}
+	rs := s.RankBatch(probes)
+	for i, x := range probes {
+		truth := int64(sort.Search(len(sorted), func(j int) bool { return sorted[j] >= x }))
+		if d := rs[i] - truth; d > tol || d < -tol {
+			t.Errorf("Rank(%d) = %d, true strict rank %d: error %d exceeds 2εn+P = %d", x, rs[i], truth, d, tol)
+		}
+	}
+	for _, phi := range EvenPhis(0.02) {
+		rankWithinEps(t, sorted, phi, s.Quantile(phi), tol)
+	}
+}
