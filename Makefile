@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint check crash fuzz bench bench-ingest bench-query experiments report html clean
+.PHONY: all build test race lint check crash fuzz bench bench-all bench-baselines bench-ingest bench-query bench-compare experiments report html clean
 
 all: build test lint
 
@@ -16,7 +16,7 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Repo-specific static analysis (rules SQ001-SQ008); see cmd/quantlint.
+# Repo-specific static analysis (rules SQ001-SQ009); see cmd/quantlint.
 lint:
 	$(GO) run ./cmd/quantlint ./...
 
@@ -44,11 +44,15 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Ingestion throughput: per-item vs batched updates for every summary,
-# and sharded scaling at P=1,2,4,8. Writes the committed baseline; CI
-# re-measures at reduced n and compares batch speedups against it.
+# and sharded scaling at P=1,2,4,8. Writes the committed baseline from
+# the conservative merge of several passes (fastest item-at-a-time rate,
+# slowest batch rate — so the recorded speedups lower-bound a typical
+# run); CI re-measures at reduced n and compares batch speedups against
+# it.
 INGEST_N ?= 2000000
+INGEST_RUNS ?= 3
 bench-ingest:
-	$(GO) run ./cmd/quantbench -ingest -n $(INGEST_N) -ingest-out BENCH_ingest.json
+	$(GO) run ./cmd/quantbench -ingest -n $(INGEST_N) -ingest-runs $(INGEST_RUNS) -ingest-out BENCH_ingest.json
 
 # Query-path throughput: per-phi vs single-pass batched vs
 # snapshot-cached quantile extraction for every summary, plus the
@@ -60,6 +64,22 @@ QUERY_N ?= 2000000
 QUERY_RUNS ?= 3
 bench-query:
 	$(GO) run ./cmd/quantbench -query -n $(QUERY_N) -query-runs $(QUERY_RUNS) -query-out BENCH_query.json
+
+# Refresh both committed baselines in one go.
+bench-baselines: bench-ingest bench-query
+
+# Regression gate: re-measure one pass of each path at a reduced n and
+# compare the speedup ratios against the committed baselines under the
+# default 25% tolerance (absolute rates vary with machine and n; the
+# ratios are what the batch/snapshot work promises). bench-all is the
+# one-command local mirror of CI's two benchmark gates.
+bench-all: bench-compare
+COMPARE_N ?= 500000
+bench-compare:
+	$(GO) run ./cmd/quantbench -ingest -n $(COMPARE_N) -ingest-out /tmp/sq_ingest_ci.json
+	$(GO) run ./cmd/quantbench -ingest-compare BENCH_ingest.json /tmp/sq_ingest_ci.json
+	$(GO) run ./cmd/quantbench -query -n $(COMPARE_N) -query-out /tmp/sq_query_ci.json
+	$(GO) run ./cmd/quantbench -query-compare BENCH_query.json /tmp/sq_query_ci.json
 
 # Regenerate EXPERIMENTS.md (several minutes at the default n).
 experiments:

@@ -85,8 +85,38 @@ var ingestTurn = []struct {
 	{"drss", func() core.Turnstile { return dyadic.New(dyadic.DRSS, 0.005, 24, dyadic.Config{Seed: 7}) }},
 }
 
-// runIngest measures everything and writes the report.
-func runIngest(n, batch int, out string) {
+// runIngest measures everything runs times, keeps the conservative
+// merge (see mergeIngestReports), and writes the report. CI runs once;
+// the committed baseline uses several runs so its ratios lower-bound a
+// typical run and the compare tolerance absorbs machine noise instead
+// of stacking on top of a lucky baseline.
+func runIngest(n, batch, runs int, out string) {
+	if runs <= 0 {
+		runs = 1
+	}
+	rep := measureIngest(n, batch)
+	for r := 1; r < runs; r++ {
+		fmt.Fprintf(os.Stderr, "-- run %d/%d --\n", r+1, runs)
+		rep = mergeIngestReports(rep, measureIngest(n, batch))
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("ingest: %v", err)
+	}
+	blob = append(blob, '\n')
+	if out == "" || out == "-" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		fatalf("ingest: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+}
+
+// measureIngest runs one full measurement pass.
+func measureIngest(n, batch int) ingestReport {
 	if n <= 0 {
 		n = 2_000_000
 	}
@@ -170,20 +200,55 @@ func runIngest(n, batch int, out string) {
 			fmt.Fprintf(os.Stderr, "%-16s P=%d  %8.2f Melem/s   %.2fx vs P=1\n", tc.name, p, rate, rate/base)
 		}
 	}
+	return rep
+}
 
-	blob, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fatalf("ingest: %v", err)
+// mergeIngestReports folds run b into a conservatively: per summary row
+// it keeps the *fastest* observed per-item rate and the *slowest*
+// observed batch rate, then recomputes the speedup from those. The
+// merged ratio lower-bounds every individual run's ratio, so a baseline
+// built from several runs sets compare floors that a typical CI run
+// clears even when one measurement lands on a throttled scheduler
+// slice. Sharded rows keep the slowest aggregate rate per (name, P) and
+// recompute scaling from the merged P=1 row — conservative in the same
+// direction.
+func mergeIngestReports(a, b ingestReport) ingestReport {
+	bBy := map[string]ingestSummary{}
+	for _, s := range b.Summaries {
+		bBy[s.Name] = s
 	}
-	blob = append(blob, '\n')
-	if out == "" || out == "-" {
-		os.Stdout.Write(blob)
-		return
+	for i, s := range a.Summaries {
+		o, ok := bBy[s.Name]
+		if !ok {
+			continue
+		}
+		s.ItemMelems = max(s.ItemMelems, o.ItemMelems)
+		s.BatchMelem = min(s.BatchMelem, o.BatchMelem)
+		s.Speedup = s.BatchMelem / s.ItemMelems
+		a.Summaries[i] = s
 	}
-	if err := os.WriteFile(out, blob, 0o644); err != nil {
-		fatalf("ingest: %v", err)
+	type shardKey struct {
+		name string
+		p    int
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+	bSh := map[shardKey]ingestSharded{}
+	for _, s := range b.Sharded {
+		bSh[shardKey{s.Name, s.Shards}] = s
+	}
+	base := map[string]float64{}
+	for i, s := range a.Sharded {
+		if o, ok := bSh[shardKey{s.Name, s.Shards}]; ok {
+			s.Melems = min(s.Melems, o.Melems)
+		}
+		if s.Shards == 1 {
+			base[s.Name] = s.Melems
+		}
+		if p1 := base[s.Name]; p1 > 0 {
+			s.Scaling = s.Melems / p1
+		}
+		a.Sharded[i] = s
+	}
+	return a
 }
 
 // measure times fn, keeping the fastest of two runs. One run already

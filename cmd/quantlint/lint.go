@@ -114,6 +114,7 @@ func lint(base string, patterns []string) ([]finding, error) {
 	l.checkSQ006()
 	l.checkSQ007()
 	l.checkSQ008()
+	l.checkSQ009()
 	l.markSuppressed()
 	sort.Slice(l.findings, func(i, j int) bool {
 		a, b := l.findings[i], l.findings[j]

@@ -98,6 +98,8 @@ func TestEachRuleFiresExactlyOnce(t *testing.T) {
 		"internal/sq006":   "SQ006",
 		"internal/sq007":   "SQ007",
 		"internal/sq008":   "SQ008",
+		"internal/sq009":   "SQ009", // the pool-pairing half
+		"internal/gk":      "SQ009", // the columnar-layout half fires at a columnar path
 		"internal/ignored": "SQ000", // the malformed directive
 		"quantiles.go":     "SQ005",
 	}

@@ -1,11 +1,13 @@
-// Command quantlint is the repo's static analyzer: eight numbered rules
-// (SQ001–SQ008) encoding the invariants this codebase relies on but
+// Command quantlint is the repo's static analyzer: nine numbered rules
+// (SQ001–SQ009) encoding the invariants this codebase relies on but
 // generic linters cannot know — seeded-randomness discipline, float
 // comparison hygiene, panic-free hot paths, the internal/ layering,
 // the Invariants() sanitizer contract for every registered summary,
 // the decode-path hardening contract (no panics, no input-sized
-// allocations without a guard) behind durable checkpoint recovery, and
-// the allocation discipline of the ingestion and query hot paths.
+// allocations without a guard) behind durable checkpoint recovery,
+// the allocation discipline of the ingestion and query hot paths, and
+// the memory-layout discipline (columnar storage in the SoA summary
+// packages, same-function sync.Pool Get/Put pairing).
 //
 // Usage:
 //

@@ -1,0 +1,35 @@
+// Package sq009 trips the pool-pairing half of SQ009 exactly once:
+// leak() takes a buffer from a pool and never returns it. The two
+// compliant shapes — an inline Put and a deferred Put — stay silent.
+package sq009
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { return new([]uint64) }}
+
+// leak gets a pooled buffer with no Put anywhere in the function.
+func leak(n int) int {
+	bp := bufPool.Get().(*[]uint64)
+	if cap(*bp) < n {
+		*bp = make([]uint64, n)
+	}
+	return len(*bp)
+}
+
+// inline pairs Get with a Put at the end of the same body.
+func inline(n int) int {
+	bp := bufPool.Get().(*[]uint64)
+	if cap(*bp) < n {
+		*bp = make([]uint64, n)
+	}
+	m := len(*bp)
+	bufPool.Put(bp)
+	return m
+}
+
+// deferred pairs Get with a deferred Put, which also counts.
+func deferred() int {
+	bp := bufPool.Get().(*[]uint64)
+	defer bufPool.Put(bp)
+	return cap(*bp)
+}

@@ -1,0 +1,133 @@
+package streamquantiles
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Golden SQCP v1 encodings, captured before the columnar storage
+// refactor. The wire format is part of the durability contract: a
+// checkpoint written by an older build must decode on every later one,
+// and the in-memory representation must never leak into the bytes. The
+// fixtures in testdata/golden pin that: each summary built from a fixed
+// recipe must (a) marshal byte-identically to its golden file, (b)
+// decode from the golden file with its deep invariants intact, and (c)
+// re-marshal the decoded state back to the same bytes.
+//
+// Regenerate (only for a deliberate, versioned format change) with:
+//
+//	go test -run TestGoldenEncodings -update-golden .
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden encodings from the current codecs")
+
+// goldenStreamLen matches the crash-matrix feed so the fixtures hold a
+// mid-stream state: partially filled buffers, unflushed blocks, and a
+// live RNG — the parts of the frame a layout refactor is most likely to
+// disturb.
+const goldenStreamLen = 5000
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden", name+".bin")
+}
+
+func TestGoldenEncodings(t *testing.T) {
+	for _, ms := range matrixSummaries {
+		t.Run(ms.name, func(t *testing.T) {
+			s := ms.fresh()
+			feedRange(s, 0, goldenStreamLen)
+			blob, err := s.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			path := goldenPath(ms.name)
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, blob, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden encoding (run with -update-golden only for a deliberate format change): %v", err)
+			}
+			if !bytes.Equal(blob, want) {
+				t.Fatalf("encoding drifted from golden: got %d bytes, golden %d bytes", len(blob), len(want))
+			}
+
+			// Decode the pre-refactor bytes into the current
+			// representation and verify it is structurally sound and
+			// bytes-stable.
+			dec := ms.fresh()
+			if err := dec.UnmarshalBinary(want); err != nil {
+				t.Fatalf("golden payload rejected: %v", err)
+			}
+			if err := CheckInvariants(dec); err != nil {
+				t.Fatalf("decoded summary invariants: %v", err)
+			}
+			re, err := dec.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(re, want) {
+				t.Fatalf("decode/re-encode not byte-identical: got %d bytes, want %d", len(re), len(want))
+			}
+
+			// The decoded summary must answer exactly like the one that
+			// produced the bytes (queries may flush; both flush the same
+			// buffered state).
+			if dec.Count() != s.Count() {
+				t.Fatalf("decoded count %d, live %d", dec.Count(), s.Count())
+			}
+			for _, phi := range []float64{0.01, 0.25, 0.5, 0.75, 0.99} {
+				if a, b := dec.Quantile(phi), s.Quantile(phi); a != b {
+					t.Fatalf("Quantile(%v) = %d, live summary %d", phi, a, b)
+				}
+			}
+			for _, x := range []uint64{0, 1 << 10, 1 << 14, 1<<16 - 1} {
+				if a, b := dec.Rank(x), s.Rank(x); a != b {
+					t.Fatalf("Rank(%d) = %d, live summary %d", x, a, b)
+				}
+			}
+		})
+	}
+}
+
+// TestCodecRoundTripSizes is the size-sweep companion of the golden
+// fixtures: at every stream length (empty included) a marshal →
+// unmarshal → re-marshal cycle must be byte-stable with invariants
+// intact, whatever internal layout the summary currently uses.
+func TestCodecRoundTripSizes(t *testing.T) {
+	sizes := []int{0, 1, 63, 64, 65, 1000, 4097}
+	for _, ms := range matrixSummaries {
+		for _, n := range sizes {
+			s := ms.fresh()
+			feedRange(s, 0, n)
+			blob, err := s.MarshalBinary()
+			if err != nil {
+				t.Fatalf("%s/n=%d: %v", ms.name, n, err)
+			}
+			dec := ms.fresh()
+			if err := dec.UnmarshalBinary(blob); err != nil {
+				t.Fatalf("%s/n=%d: decode: %v", ms.name, n, err)
+			}
+			if err := CheckInvariants(dec); err != nil {
+				t.Fatalf("%s/n=%d: invariants: %v", ms.name, n, err)
+			}
+			re, err := dec.MarshalBinary()
+			if err != nil {
+				t.Fatalf("%s/n=%d: %v", ms.name, n, err)
+			}
+			if !bytes.Equal(re, blob) {
+				t.Fatalf("%s/n=%d: re-encode differs (%d vs %d bytes)", ms.name, n, len(re), len(blob))
+			}
+		}
+	}
+}

@@ -142,18 +142,10 @@ func (qs *QuerySnapshot) Quantile(phi float64) uint64 {
 }
 
 // quantileIndex finds the smallest i with QKeys[i] > target, clamped to
-// the last entry. Hand-rolled binary search keeps the hot query path
-// closure- and allocation-free.
+// the last entry. The branch-free search keeps the hot query path
+// closure-, allocation- and mispredict-free.
 func (qs *QuerySnapshot) quantileIndex(target int64) int {
-	lo, hi := 0, len(qs.QKeys)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if qs.QKeys[mid] > target {
-			hi = mid
-		} else {
-			lo = mid + 1
-		}
-	}
+	lo := SearchGt(qs.QKeys, target)
 	if lo >= len(qs.QVals) {
 		lo = len(qs.QVals) - 1
 	}
@@ -163,21 +155,12 @@ func (qs *QuerySnapshot) quantileIndex(target int64) int {
 // Rank answers a rank query from the snapshot.
 func (qs *QuerySnapshot) Rank(x uint64) int64 {
 	// Find the first entry that fails the comparison, then step back.
-	lo, hi := 0, len(qs.RVals)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		v := qs.RVals[mid]
-		var past bool
-		if qs.RStrict {
-			past = v >= x
-		} else {
-			past = v > x
-		}
-		if past {
-			hi = mid
-		} else {
-			lo = mid + 1
-		}
+	// The strictness branch is hoisted out of the probe loop.
+	var lo int
+	if qs.RStrict {
+		lo = SearchGe(qs.RVals, x)
+	} else {
+		lo = SearchGt(qs.RVals, x)
 	}
 	if lo == 0 {
 		return 0

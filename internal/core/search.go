@@ -1,0 +1,55 @@
+package core
+
+import "cmp"
+
+// Branch-free binary search over non-decreasing slices. The classic
+// lo/hi search takes an unpredictable branch per probe — on quantile
+// workloads the probe pattern is essentially random, so every probe is
+// a coin-flip mispredict. The base/width halving form below keeps the
+// loop body straight-line: the only conditional is a guarded add the
+// compiler lowers to a conditional move, so the pipeline never
+// speculates on a key comparison.
+//
+// Loop invariant: the first index i with keys[i] beyond the probe
+// (> x for SearchGt, ≥ x for SearchGe) lies in [base, base+n]. Each
+// step inspects the last key of the window's first half: when it is
+// still on the near side, the whole half is (the slice is sorted) and
+// base advances past it; either way the window shrinks to its second
+// half — of size n−⌊n/2⌋ = ⌈n/2⌉, a superset of the undecided region —
+// so ⌈log₂ n⌉+1 probes decide the answer exactly.
+
+// SearchGt returns the smallest index i with keys[i] > x, or len(keys)
+// when no entry is greater. keys must be non-decreasing. Equivalent to
+// sort.Search(len(keys), func(i int) bool { return keys[i] > x }).
+func SearchGt[T cmp.Ordered](keys []T, x T) int {
+	base, n := 0, len(keys)
+	for n > 1 {
+		half := n >> 1
+		if keys[base+half-1] <= x {
+			base += half
+		}
+		n -= half
+	}
+	if n == 1 && keys[base] <= x {
+		base++
+	}
+	return base
+}
+
+// SearchGe returns the smallest index i with keys[i] >= x, or len(keys)
+// when no entry qualifies. keys must be non-decreasing. Equivalent to
+// sort.Search(len(keys), func(i int) bool { return keys[i] >= x }).
+func SearchGe[T cmp.Ordered](keys []T, x T) int {
+	base, n := 0, len(keys)
+	for n > 1 {
+		half := n >> 1
+		if keys[base+half-1] < x {
+			base += half
+		}
+		n -= half
+	}
+	if n == 1 && keys[base] < x {
+		base++
+	}
+	return base
+}

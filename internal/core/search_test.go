@@ -1,0 +1,177 @@
+package core
+
+import (
+	"sort"
+	"testing"
+)
+
+// refGt / refGe are the sort.Search oracles the branch-free loops must
+// match index-for-index.
+func refGt(keys []int64, x int64) int {
+	return sort.Search(len(keys), func(i int) bool { return keys[i] > x })
+}
+
+func refGe(keys []int64, x int64) int {
+	return sort.Search(len(keys), func(i int) bool { return keys[i] >= x })
+}
+
+// adversarialSizes covers the shapes where a halving loop's window
+// arithmetic goes wrong: empty, single, exact powers of two (every
+// window splits evenly), and their off-by-one neighbours (odd windows
+// on every level).
+func adversarialSizes() []int {
+	sizes := []int{0, 1, 2, 3}
+	for k := 2; k <= 10; k++ {
+		n := 1 << k
+		sizes = append(sizes, n-1, n, n+1)
+	}
+	return sizes
+}
+
+// buildKeys materializes one of several adversarial key layouts of
+// length n over a small value range so duplicates are common.
+func buildKeys(layout string, n int) []int64 {
+	keys := make([]int64, n)
+	switch layout {
+	case "all-equal":
+		for i := range keys {
+			keys[i] = 42
+		}
+	case "distinct":
+		for i := range keys {
+			keys[i] = int64(2 * i) // gaps, so probes fall between keys
+		}
+	case "plateaus":
+		for i := range keys {
+			keys[i] = int64(i / 3)
+		}
+	case "extremes":
+		for i := range keys {
+			keys[i] = int64(i)
+		}
+		if n > 0 {
+			keys[0] = -1 << 62
+			keys[n-1] = 1 << 62
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	}
+	return keys
+}
+
+func probesFor(keys []int64) []int64 {
+	probes := []int64{-1 << 62, -1, 0, 1, 41, 42, 43, 1 << 62}
+	for _, k := range keys {
+		probes = append(probes, k-1, k, k+1)
+	}
+	return probes
+}
+
+func TestSearchMatchesSortSearch(t *testing.T) {
+	layouts := []string{"all-equal", "distinct", "plateaus", "extremes"}
+	for _, layout := range layouts {
+		for _, n := range adversarialSizes() {
+			keys := buildKeys(layout, n)
+			for _, x := range probesFor(keys) {
+				if got, want := SearchGt(keys, x), refGt(keys, x); got != want {
+					t.Fatalf("SearchGt(%s, n=%d, x=%d) = %d, sort.Search %d", layout, n, x, got, want)
+				}
+				if got, want := SearchGe(keys, x), refGe(keys, x); got != want {
+					t.Fatalf("SearchGe(%s, n=%d, x=%d) = %d, sort.Search %d", layout, n, x, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSearchUint64 pins the unsigned instantiation (the Rank side
+// searches RVals []uint64): full-range values, including ^uint64(0).
+func TestSearchUint64(t *testing.T) {
+	keys := []uint64{0, 0, 5, 5, 5, 1 << 40, ^uint64(0), ^uint64(0)}
+	for _, x := range []uint64{0, 1, 4, 5, 6, 1<<40 - 1, 1 << 40, ^uint64(0) - 1, ^uint64(0)} {
+		wantGt := sort.Search(len(keys), func(i int) bool { return keys[i] > x })
+		wantGe := sort.Search(len(keys), func(i int) bool { return keys[i] >= x })
+		if got := SearchGt(keys, x); got != wantGt {
+			t.Fatalf("SearchGt(x=%d) = %d, want %d", x, got, wantGt)
+		}
+		if got := SearchGe(keys, x); got != wantGe {
+			t.Fatalf("SearchGe(x=%d) = %d, want %d", x, got, wantGe)
+		}
+	}
+}
+
+// TestSnapshotQueriesOnAdversarialShapes drives the search through the
+// QuerySnapshot entry points on the degenerate shapes a snapshot can
+// legally take: single-key, all-equal keys, and sentinel-terminated key
+// runs like the GK flattening produces.
+func TestSnapshotQueriesOnAdversarialShapes(t *testing.T) {
+	for _, n := range adversarialSizes() {
+		if n == 0 {
+			continue // empty snapshots panic ErrEmpty by contract
+		}
+		qs := &QuerySnapshot{N: int64(n)}
+		for i := 0; i < n; i++ {
+			qs.QVals = append(qs.QVals, uint64(10*i))
+			qs.QKeys = append(qs.QKeys, int64(i+1))
+			qs.RVals = append(qs.RVals, uint64(10*i))
+			qs.RRanks = append(qs.RRanks, int64(i+1))
+		}
+		for _, phi := range []float64{0.001, 0.25, 0.5, 0.75, 0.999} {
+			target := TargetRank(phi, qs.N)
+			want := refGt(qs.QKeys, target)
+			if want >= len(qs.QVals) {
+				want = len(qs.QVals) - 1
+			}
+			if got := qs.Quantile(phi); got != qs.QVals[want] {
+				t.Fatalf("n=%d Quantile(%v) = %d, want %d", n, phi, got, qs.QVals[want])
+			}
+		}
+		for x := uint64(0); x <= uint64(10*n); x += 5 {
+			lo := sort.Search(len(qs.RVals), func(i int) bool { return qs.RVals[i] > x })
+			var want int64
+			if lo > 0 {
+				want = qs.RRanks[lo-1]
+			}
+			if got := qs.Rank(x); got != want {
+				t.Fatalf("n=%d Rank(%d) = %d, want %d", n, x, got, want)
+			}
+		}
+	}
+
+	// All-equal keys with a clamping tail: every target maps into the
+	// plateau, and targets beyond every key clamp to the last value.
+	qs := &QuerySnapshot{
+		N:     100,
+		QVals: []uint64{1, 2, 3},
+		QKeys: []int64{7, 7, 7},
+	}
+	if got := qs.Quantile(0.001); got != 1 {
+		t.Fatalf("plateau low quantile = %d, want 1", got)
+	}
+	if got := qs.Quantile(0.999); got != 3 {
+		t.Fatalf("plateau clamped quantile = %d, want 3", got)
+	}
+}
+
+// FuzzSearchEquivalence feeds arbitrary byte strings decoded as sorted
+// key sets plus a probe, asserting both branch-free loops agree with
+// sort.Search everywhere.
+func FuzzSearchEquivalence(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4}, int64(2))
+	f.Add([]byte{}, int64(0))
+	f.Add([]byte{0xff, 0xff, 0x00, 0x80}, int64(-1))
+	f.Fuzz(func(t *testing.T, raw []byte, x int64) {
+		keys := make([]int64, 0, len(raw))
+		acc := int64(0)
+		for _, b := range raw {
+			acc += int64(b) - 100 // mixed signs, heavy duplicates
+			keys = append(keys, acc)
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		if got, want := SearchGt(keys, x), refGt(keys, x); got != want {
+			t.Fatalf("SearchGt(len=%d, x=%d) = %d, sort.Search %d", len(keys), x, got, want)
+		}
+		if got, want := SearchGe(keys, x), refGe(keys, x); got != want {
+			t.Fatalf("SearchGe(len=%d, x=%d) = %d, sort.Search %d", len(keys), x, got, want)
+		}
+	})
+}

@@ -276,3 +276,18 @@ func BenchmarkCountSketchEstimate(b *testing.B) {
 		_ = cs.Estimate(uint64(i % 1000))
 	}
 }
+
+func BenchmarkCountSketchAddBatch(b *testing.B) {
+	cs := NewCountSketch(980, 7, 42)
+	xs := make([]uint64, 4096)
+	rng := xhash.NewSplitMix64(1)
+	for i := range xs {
+		xs[i] = rng.Next() >> 40
+	}
+	b.SetBytes(int64(len(xs) * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs.AddBatch(xs, 1)
+	}
+}

@@ -31,16 +31,20 @@ type Adaptive struct {
 	heap []*anode
 
 	// Batch workspace (see batch.go), reused across UpdateBatch calls.
+	// The skiplist arena is Reset at each rebuild, once the previous
+	// list (whose nodes it backs) is dead.
 	batchBuf     []uint64
-	tupleScratch []tuple
-	mergeScratch []tuple
+	tupleScratch tcols
+	mergeScratch tcols
 	nodePool     []anode
+	arena        skiplist.Arena[uint64, *anode]
 }
 
-// newAdaptiveIndex starts a sorted skiplist build with the variant's
-// tower seed, salted so successive batch rebuilds draw fresh towers.
-func newAdaptiveIndex(salt uint64) *skiplist.Builder[uint64, *anode] {
-	return skiplist.NewBuilder[uint64, *anode](0x6b61646170746976 ^ salt)
+// newAdaptiveIndexArena starts a sorted skiplist build with the
+// variant's tower seed, salted so successive batch rebuilds draw fresh
+// towers, with nodes drawn from the summary-owned arena.
+func newAdaptiveIndexArena(salt uint64, ar *skiplist.Arena[uint64, *anode]) *skiplist.Builder[uint64, *anode] {
+	return skiplist.NewBuilderArena[uint64, *anode](0x6b61646170746976^salt, ar)
 }
 
 // NewAdaptive returns an empty GKAdaptive summary with error parameter

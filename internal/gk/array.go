@@ -16,7 +16,8 @@ import (
 type Array struct {
 	eps    float64
 	n      int64
-	tuples []tuple
+	tuples tcols
+	spare  tcols // merge destination, swapped with tuples after each flush
 	buf    []uint64
 	maxLen int // high-water mark of len(tuples)+cap(buf), for accounting
 }
@@ -43,7 +44,7 @@ func (a *Array) Count() int64 { return a.n }
 // TupleCount reports |L| after flushing pending elements.
 func (a *Array) TupleCount() int {
 	a.Flush()
-	return len(a.tuples)
+	return a.tuples.len()
 }
 
 // Update implements core.CashRegister.
@@ -72,10 +73,14 @@ func (a *Array) flush() {
 	// one-step lookahead during the merge. The first tuple of the merged
 	// list (the exact minimum) is never removed, mirroring GK01's
 	// boundary handling; the last never reaches the removability check.
-	a.tuples = mergeSorted(a.tuples, a.buf, p, make([]tuple, 0, len(a.tuples)+len(a.buf)))
+	// The merge writes into the spare column set, which then swaps with
+	// the live one — steady state allocates nothing.
+	a.spare.ensure(a.tuples.len() + len(a.buf))
+	mergeSorted(&a.tuples, a.buf, p, &a.spare)
+	a.tuples, a.spare = a.spare, a.tuples
 
 	// Resize the buffer to Θ(|L|) for the next batch.
-	want := len(a.tuples)
+	want := a.tuples.len()
 	if want < minBuffer {
 		want = minBuffer
 	}
@@ -84,7 +89,7 @@ func (a *Array) flush() {
 	} else {
 		a.buf = a.buf[:0]
 	}
-	if hw := len(a.tuples)*tupleWords + cap(a.buf); hw > a.maxLen {
+	if hw := a.tuples.len()*tupleWords + cap(a.buf); hw > a.maxLen {
 		a.maxLen = hw
 	}
 }
@@ -119,18 +124,15 @@ func (a *Array) Rank(x uint64) int64 {
 	return queryRank(a.seq, x)
 }
 
-// SpaceBytes implements core.Summary: 3 words per tuple plus the buffer
-// capacity plus scalars. The buffer is charged at capacity because it is
+// SpaceBytes implements core.Summary: 3 words per tuple (live columns
+// plus the retained merge double-buffer) plus the buffer capacity plus
+// scalars. Buffers are charged at capacity because they are
 // pre-allocated.
 func (a *Array) SpaceBytes() int64 {
-	words := int64(len(a.tuples))*tupleWords + int64(cap(a.buf)) + 4
+	words := int64(a.tuples.len()+cap(a.spare.vals))*tupleWords + int64(cap(a.buf)) + 4
 	return words * core.WordBytes
 }
 
 func (a *Array) seq(yield func(t tuple) bool) {
-	for _, t := range a.tuples {
-		if !yield(t) {
-			return
-		}
-	}
+	a.tuples.seq(yield)
 }

@@ -56,46 +56,48 @@ func (b *Biased) UpdateBatch(xs []uint64) {
 }
 
 // mergeSorted merges a sorted batch of new elements into a sorted tuple
-// list, applying the GKArray rules at capacity p: new elements take
-// Δ = g_succ + Δ_succ − 1 from their successor in the old list (0 past
-// the maximum), and each merged tuple passes through a one-step
+// column set, applying the GKArray rules at capacity p: new elements
+// take Δ = g_succ + Δ_succ − 1 from their successor in the old list (0
+// past the maximum), and each merged tuple passes through a one-step
 // lookahead that drops it when removable (g_i + g_{i+1} + Δ_{i+1} ≤ p;
 // never the first or last tuple). Results are appended to out, which
-// the caller supplies with adequate capacity.
-func mergeSorted(tuples []tuple, batch []uint64, p int64, out []tuple) []tuple {
+// the caller supplies reset and with adequate capacity. The sweep reads
+// the value column for every comparison and touches the gap/Δ columns
+// only at the old list's merge positions — the cache-friendly layout
+// the GKArray variant exists for.
+func mergeSorted(src *tcols, batch []uint64, p int64, out *tcols) {
 	var (
 		pending    tuple
 		hasPending bool
 	)
 	emit := func(t tuple) {
 		if hasPending {
-			if len(out) > 0 && pending.g+t.g+t.del <= p {
+			if out.len() > 0 && pending.g+t.g+t.del <= p {
 				t.g += pending.g
 			} else {
-				out = append(out, pending)
+				out.push(pending.v, pending.g, pending.del)
 			}
 		}
 		pending = t
 		hasPending = true
 	}
 	ti, bi := 0, 0
-	for ti < len(tuples) || bi < len(batch) {
-		if bi < len(batch) && (ti == len(tuples) || batch[bi] < tuples[ti].v) {
+	for ti < src.len() || bi < len(batch) {
+		if bi < len(batch) && (ti == src.len() || batch[bi] < src.vals[ti]) {
 			var del int64
-			if ti < len(tuples) {
-				del = tuples[ti].g + tuples[ti].del - 1
+			if ti < src.len() {
+				del = src.gaps[ti] + src.dels[ti] - 1
 			}
 			emit(tuple{v: batch[bi], g: 1, del: del})
 			bi++
 		} else {
-			emit(tuples[ti])
+			emit(src.at(ti))
 			ti++
 		}
 	}
 	if hasPending {
-		out = append(out, pending)
+		out.push(pending.v, pending.g, pending.del)
 	}
-	return out
 }
 
 // stageBatch copies xs into the staging buffer (grown geometrically,
@@ -124,46 +126,41 @@ func (a *Adaptive) UpdateBatch(xs []uint64) {
 	batch := stageBatch(&a.batchBuf, xs)
 
 	llen := a.list.Len()
-	if cap(a.tupleScratch) < llen {
-		a.tupleScratch = make([]tuple, llen+llen/2)
-	}
-	old := a.tupleScratch[:llen]
-	i := 0
+	a.tupleScratch.ensure(llen + llen/2)
 	for n := a.list.First(); n != nil; n = n.Next() {
-		old[i] = tuple{v: n.Key, g: n.Value.g, del: n.Value.del}
-		i++
+		a.tupleScratch.push(n.Key, n.Value.g, n.Value.del)
 	}
 
 	a.n += int64(len(batch))
-	want := llen + len(batch)
-	if cap(a.mergeScratch) < want {
-		a.mergeScratch = make([]tuple, 0, want)
-	}
-	merged := mergeSorted(old, batch, threshold(a.eps, a.n), a.mergeScratch[:0])
-	a.mergeScratch = merged
-	a.rebuild(merged)
+	a.mergeScratch.ensure(llen + len(batch))
+	mergeSorted(&a.tupleScratch, batch, threshold(a.eps, a.n), &a.mergeScratch)
+	a.rebuild(&a.mergeScratch)
 }
 
 // rebuild replaces the skiplist and heap with fresh structures over the
-// given tuple list: an O(|L|) sorted build, anodes drawn from a reused
-// pool, and a bottom-up heapify of every removable (middle) tuple.
-func (a *Adaptive) rebuild(ts []tuple) {
-	b := newAdaptiveIndex(uint64(a.n))
-	if cap(a.nodePool) < len(ts) {
-		a.nodePool = make([]anode, len(ts)+len(ts)/2)
+// given tuple columns: an O(|L|) sorted build with skiplist nodes and
+// towers drawn from the summary-owned arena (the old list is dead by
+// now, so its slabs are recycled), anodes drawn from a reused pool, and
+// a bottom-up heapify of every removable (middle) tuple.
+func (a *Adaptive) rebuild(ts *tcols) {
+	k := ts.len()
+	a.arena.Reset()
+	b := newAdaptiveIndexArena(uint64(a.n), &a.arena)
+	if cap(a.nodePool) < k {
+		a.nodePool = make([]anode, k+k/2)
 	}
-	pool := a.nodePool[:len(ts)]
-	if cap(a.heap) < len(ts) {
-		a.heap = make([]*anode, 0, len(ts))
+	pool := a.nodePool[:k]
+	if cap(a.heap) < k {
+		a.heap = make([]*anode, 0, k)
 	}
 	heap := a.heap[:0]
-	for i, t := range ts {
+	for i := 0; i < k; i++ {
 		an := &pool[i]
-		*an = anode{g: t.g, del: t.del, hidx: -1}
-		an.node = b.Append(t.v, an)
+		*an = anode{g: ts.gaps[i], del: ts.dels[i], hidx: -1}
+		an.node = b.Append(ts.vals[i], an)
 	}
 	a.list = b.Finish()
-	for i := 1; i+1 < len(ts); i++ {
+	for i := 1; i+1 < k; i++ {
 		an := &pool[i]
 		an.cost = an.g + pool[i+1].g + pool[i+1].del
 		an.hidx = len(heap)
@@ -188,27 +185,26 @@ func (t *Theory) UpdateBatch(xs []uint64) {
 	batch := stageBatch(&t.batchBuf, xs)
 
 	llen := t.list.Len()
-	if cap(t.tupleScratch) < llen {
-		t.tupleScratch = make([]tuple, llen+llen/2)
-	}
-	old := t.tupleScratch[:llen]
-	i := 0
+	t.tupleScratch.ensure(llen + llen/2)
 	for n := t.list.First(); n != nil; n = n.Next() {
-		old[i] = tuple{v: n.Key, g: n.Value.g, del: n.Value.del}
-		i++
+		t.tupleScratch.push(n.Key, n.Value.g, n.Value.del)
 	}
 
 	t.n += int64(len(batch))
-	want := llen + len(batch)
-	if cap(t.mergeScratch) < want {
-		t.mergeScratch = make([]tuple, 0, want)
-	}
-	merged := mergeSorted(old, batch, threshold(t.eps, t.n), t.mergeScratch[:0])
-	t.mergeScratch = merged
+	t.mergeScratch.ensure(llen + len(batch))
+	merged := &t.mergeScratch
+	mergeSorted(&t.tupleScratch, batch, threshold(t.eps, t.n), merged)
 
-	b := newTheoryIndex(uint64(t.n))
-	for _, e := range merged {
-		b.Append(e.v, &tnode{g: e.g, del: e.del})
+	t.arena.Reset()
+	b := newTheoryIndexArena(uint64(t.n), &t.arena)
+	k := merged.len()
+	if cap(t.nodePool) < k {
+		t.nodePool = make([]tnode, k+k/2)
+	}
+	pool := t.nodePool[:k]
+	for i := 0; i < k; i++ {
+		pool[i] = tnode{g: merged.gaps[i], del: merged.dels[i]}
+		b.Append(merged.vals[i], &pool[i])
 	}
 	t.list = b.Finish()
 	t.sinceCmp = 0

@@ -24,7 +24,9 @@ import (
 type Biased struct {
 	eps      float64
 	n        int64
-	tuples   []tuple
+	tuples   tcols
+	spare    tcols   // merge destination, swapped with tuples each flush
+	ranks    []int64 // compress-sweep prefix-rank scratch
 	buf      []uint64
 	maxWords int
 }
@@ -48,7 +50,7 @@ func (b *Biased) Count() int64 { return b.n }
 // TupleCount reports |L| after flushing pending elements.
 func (b *Biased) TupleCount() int {
 	b.Flush()
-	return len(b.tuples)
+	return b.tuples.len()
 }
 
 // invariant is the rank-dependent capacity f(r) = max(1, ⌊2ε·r⌋).
@@ -81,37 +83,38 @@ func (b *Biased) Flush() {
 func (b *Biased) flush() {
 	sort.Slice(b.buf, func(i, j int) bool { return b.buf[i] < b.buf[j] })
 
-	// Merge buffer and tuple list in sorted order. New elements take
-	// Δ = g_succ + Δ_succ − 1 from their successor tuple (0 past the
-	// end), as in GKAdaptive; the biased invariant is enforced by the
-	// compress sweep below.
-	out := make([]tuple, 0, len(b.tuples)+len(b.buf))
+	// Merge buffer and tuple columns in sorted order into the spare
+	// column set, then swap. New elements take Δ = g_succ + Δ_succ − 1
+	// from their successor tuple (0 past the end), as in GKAdaptive; the
+	// biased invariant is enforced by the compress sweep below.
+	b.spare.ensure(b.tuples.len() + len(b.buf))
+	out := &b.spare
 	ti, bi := 0, 0
-	for ti < len(b.tuples) || bi < len(b.buf) {
-		if bi < len(b.buf) && (ti == len(b.tuples) || b.buf[bi] < b.tuples[ti].v) {
+	for ti < b.tuples.len() || bi < len(b.buf) {
+		if bi < len(b.buf) && (ti == b.tuples.len() || b.buf[bi] < b.tuples.vals[ti]) {
 			var del int64
-			if ti < len(b.tuples) {
-				del = b.tuples[ti].g + b.tuples[ti].del - 1
+			if ti < b.tuples.len() {
+				del = b.tuples.gaps[ti] + b.tuples.dels[ti] - 1
 			}
-			out = append(out, tuple{v: b.buf[bi], g: 1, del: del})
+			out.push(b.buf[bi], 1, del)
 			bi++
 		} else {
-			out = append(out, b.tuples[ti])
+			out.push(b.tuples.vals[ti], b.tuples.gaps[ti], b.tuples.dels[ti])
 			ti++
 		}
 	}
-	b.tuples = out
+	b.tuples, b.spare = b.spare, b.tuples
 	b.buf = b.buf[:0]
 	b.compress()
 
-	want := len(b.tuples) / 2
+	want := b.tuples.len() / 2
 	if want < minBuffer {
 		want = minBuffer
 	}
 	if cap(b.buf) != want {
 		b.buf = make([]uint64, 0, want)
 	}
-	if w := len(b.tuples)*tupleWords + cap(b.buf); w > b.maxWords {
+	if w := b.tuples.len()*tupleWords + cap(b.buf); w > b.maxWords {
 		b.maxWords = w
 	}
 }
@@ -121,41 +124,51 @@ func (b *Biased) flush() {
 // tuples disappear (r_{i+1} only shrinks by already-processed merges to
 // its right, never by merges to its left).
 func (b *Biased) compress() {
-	if len(b.tuples) < 3 {
+	k := b.tuples.len()
+	if k < 3 {
 		return
 	}
-	// Prefix ranks.
-	ranks := make([]int64, len(b.tuples))
+	// Prefix ranks, computed over the gap column alone.
+	if cap(b.ranks) < k {
+		b.ranks = make([]int64, k)
+	}
+	ranks := b.ranks[:k]
 	var rsum int64
-	for i, t := range b.tuples {
-		rsum += t.g
+	for i, g := range b.tuples.gaps {
+		rsum += g
 		ranks[i] = rsum
 	}
 	// Right-to-left merge sweep; next tracks the nearest surviving tuple,
 	// so chains of removals fold into one survivor. The last tuple (the
 	// maximum) is never removed. Merging into next never changes the
 	// prefix rank at next, so the pre-computed ranks stay valid.
-	kept := len(b.tuples)
-	next := len(b.tuples) - 1
+	gaps, dels := b.tuples.gaps, b.tuples.dels
+	kept := k
+	next := k - 1
 	// i stops at 1: the first tuple is the exact minimum and permanent.
 	for i := next - 1; i >= 1; i-- {
-		cur, nx := &b.tuples[i], &b.tuples[next]
-		if cur.g+nx.g+nx.del <= b.invariant(ranks[next]) {
-			nx.g += cur.g
-			cur.g = 0 // mark removed
+		if gaps[i]+gaps[next]+dels[next] <= b.invariant(ranks[next]) {
+			gaps[next] += gaps[i]
+			gaps[i] = 0 // mark removed
 			kept--
 		} else {
 			next = i
 		}
 	}
-	if kept != len(b.tuples) {
-		out := b.tuples[:0]
-		for _, t := range b.tuples {
-			if t.g != 0 {
-				out = append(out, t)
+	if kept != k {
+		// Compact all three columns in place over the survivors.
+		w := 0
+		for i := 0; i < k; i++ {
+			if gaps[i] != 0 {
+				b.tuples.vals[w] = b.tuples.vals[i]
+				gaps[w] = gaps[i]
+				dels[w] = dels[i]
+				w++
 			}
 		}
-		b.tuples = out
+		b.tuples.vals = b.tuples.vals[:w]
+		b.tuples.gaps = gaps[:w]
+		b.tuples.dels = dels[:w]
 	}
 }
 
@@ -174,15 +187,15 @@ func (b *Biased) Quantile(phi float64) uint64 {
 		prev uint64
 		have bool
 	)
-	for _, t := range b.tuples {
-		rsum += t.g
-		if rsum+t.del > bound {
+	for i, g := range b.tuples.gaps {
+		rsum += g
+		if rsum+b.tuples.dels[i] > bound {
 			if have {
 				return prev
 			}
-			return t.v
+			return b.tuples.vals[i]
 		}
-		prev = t.v
+		prev = b.tuples.vals[i]
 		have = true
 	}
 	return prev
@@ -211,25 +224,26 @@ func (b *Biased) QuantileBatch(phis []float64) []uint64 {
 		prev uint64
 		have bool
 	)
-	for _, t := range b.tuples {
-		rsum += t.g
+	for i, g := range b.tuples.gaps {
+		rsum += g
+		v, del := b.tuples.vals[i], b.tuples.dels[i]
 		for oi < len(order) {
 			idx := order[oi]
 			target := core.TargetRank(phis[idx], b.n) + 1
-			if rsum+t.del <= target+b.invariant(target)/2 {
+			if rsum+del <= target+b.invariant(target)/2 {
 				break
 			}
 			if have {
 				out[idx] = prev
 			} else {
-				out[idx] = t.v
+				out[idx] = v
 			}
 			oi++
 		}
 		if oi == len(order) {
 			break
 		}
-		prev = t.v
+		prev = v
 		have = true
 	}
 	for ; oi < len(order); oi++ {
@@ -252,15 +266,13 @@ func (b *Biased) Rank(x uint64) int64 {
 
 // seq yields the tuples in element order. Callers flush first.
 func (b *Biased) seq(yield func(t tuple) bool) {
-	for _, t := range b.tuples {
-		if !yield(t) {
-			return
-		}
-	}
+	b.tuples.seq(yield)
 }
 
-// SpaceBytes implements core.Summary.
+// SpaceBytes implements core.Summary. The retained merge double-buffer
+// and rank scratch are charged at capacity.
 func (b *Biased) SpaceBytes() int64 {
-	words := int64(len(b.tuples))*tupleWords + int64(cap(b.buf)) + 4
+	words := int64(b.tuples.len()+cap(b.spare.vals))*tupleWords +
+		int64(cap(b.ranks)) + int64(cap(b.buf)) + 4
 	return words * core.WordBytes
 }

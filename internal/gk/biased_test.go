@@ -106,7 +106,8 @@ func TestBiasedInvariantHolds(t *testing.T) {
 	feed(b, streamgen.Generate(streamgen.Uniform{Bits: 16, Seed: 56}, 20000))
 	b.Flush()
 	var rsum int64
-	for i, tp := range b.tuples {
+	for i := 0; i < b.tuples.len(); i++ {
+		tp := b.tuples.at(i)
 		rsum += tp.g
 		// Allow the (1+2ε) slack of successor-inherited Δs (see the
 		// insertion discussion in biased.go).

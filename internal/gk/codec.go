@@ -36,46 +36,46 @@ func marshalTuples(kind byte, eps float64, n int64, seq tupleSeq, extra func(e *
 	return e.Bytes()
 }
 
-func unmarshalTuples(kind byte, data []byte) (eps float64, n int64, tuples []tuple, dec *core.Decoder, err error) {
+func unmarshalTuples(kind byte, data []byte) (eps float64, n int64, cols tcols, dec *core.Decoder, err error) {
 	dec = core.NewDecoder(data)
 	if v := dec.U64(); v != codecVersion && dec.Err() == nil {
-		return 0, 0, nil, nil, core.Corruptf("gk: unsupported encoding version %d", v)
+		return 0, 0, tcols{}, nil, core.Corruptf("gk: unsupported encoding version %d", v)
 	}
 	if k := dec.U64(); k != uint64(kind) && dec.Err() == nil {
-		return 0, 0, nil, nil, core.Corruptf("gk: encoding is for variant %#x, want %#x", k, kind)
+		return 0, 0, tcols{}, nil, core.Corruptf("gk: encoding is for variant %#x, want %#x", k, kind)
 	}
 	eps = dec.F64()
 	n = dec.I64()
 	count := dec.Len()
 	if dec.Err() != nil {
-		return 0, 0, nil, nil, dec.Err()
+		return 0, 0, tcols{}, nil, dec.Err()
 	}
 	// Positive-form comparisons so NaN (which fails every comparison)
 	// is rejected rather than slipping through to checkEps's panic.
 	if !(eps > 0 && eps < 1) || n < 0 {
-		return 0, 0, nil, nil, core.Corruptf("gk: implausible encoded parameters eps=%v n=%d", eps, n)
+		return 0, 0, tcols{}, nil, core.Corruptf("gk: implausible encoded parameters eps=%v n=%d", eps, n)
 	}
 	// Every encoded tuple costs at least three bytes, so a count beyond
 	// the input length is hostile; reject it before the decode loop.
 	if count > len(data) {
-		return 0, 0, nil, nil, core.Corruptf("gk: tuple count %d exceeds input length %d", count, len(data))
+		return 0, 0, tcols{}, nil, core.Corruptf("gk: tuple count %d exceeds input length %d", count, len(data))
 	}
 	var prev uint64
 	for i := 0; i < count; i++ {
 		t := tuple{v: dec.U64(), g: dec.I64(), del: dec.I64()}
 		if dec.Err() != nil {
-			return 0, 0, nil, nil, dec.Err()
+			return 0, 0, tcols{}, nil, dec.Err()
 		}
 		if i > 0 && t.v < prev {
-			return 0, 0, nil, nil, core.Corruptf("gk: encoded tuples out of order at %d", i)
+			return 0, 0, tcols{}, nil, core.Corruptf("gk: encoded tuples out of order at %d", i)
 		}
 		if t.g < 0 || t.del < 0 {
-			return 0, 0, nil, nil, core.Corruptf("gk: negative g or Δ at tuple %d", i)
+			return 0, 0, tcols{}, nil, core.Corruptf("gk: negative g or Δ at tuple %d", i)
 		}
 		prev = t.v
-		tuples = append(tuples, t)
+		cols.push(t.v, t.g, t.del)
 	}
-	return eps, n, tuples, dec, nil
+	return eps, n, cols, dec, nil
 }
 
 // MarshalBinary implements encoding.BinaryMarshaler.
@@ -95,9 +95,9 @@ func (a *Adaptive) UnmarshalBinary(data []byte) error {
 	}
 	na := NewAdaptive(eps)
 	na.n = n
-	for _, t := range tuples {
-		an := &anode{g: t.g, del: t.del, hidx: -1}
-		an.node = na.list.Insert(t.v, an)
+	for i := 0; i < tuples.len(); i++ {
+		an := &anode{g: tuples.gaps[i], del: tuples.dels[i], hidx: -1}
+		an.node = na.list.Insert(tuples.vals[i], an)
 	}
 	// Wire the heap: every tuple except the last has a successor.
 	for node := na.list.First(); node != nil; node = node.Next() {
@@ -130,8 +130,8 @@ func (t *Theory) UnmarshalBinary(data []byte) error {
 	nt := NewTheory(eps)
 	nt.n = n
 	nt.sinceCmp = sinceCmp
-	for _, tp := range tuples {
-		nt.list.Insert(tp.v, &tnode{g: tp.g, del: tp.del})
+	for i := 0; i < tuples.len(); i++ {
+		nt.list.Insert(tuples.vals[i], &tnode{g: tuples.gaps[i], del: tuples.dels[i]})
 	}
 	*t = *nt
 	return nil

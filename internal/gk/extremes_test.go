@@ -103,8 +103,8 @@ func TestBiasedKeepsMinimum(t *testing.T) {
 	}
 	feed(b, data)
 	b.Flush()
-	if b.tuples[0].v != min {
-		t.Errorf("biased first tuple %d, want minimum %d", b.tuples[0].v, min)
+	if b.tuples.vals[0] != min {
+		t.Errorf("biased first tuple %d, want minimum %d", b.tuples.vals[0], min)
 	}
 	// The biased guarantee at φ→0 is relative: rank ≤ ε·φn → essentially
 	// exact at the extreme.

@@ -39,6 +39,62 @@ type tuple struct {
 // each stored element or counter as one 4-byte word).
 const tupleWords = 3
 
+// tcols stores a tuple list as parallel columns (struct-of-arrays):
+// vals[i], gaps[i], dels[i] together are tuple i. The hot paths — the
+// sorted merge sweeps and the query scans — touch one or two columns at
+// a time, so the columnar layout streams through the cache at 8 bytes
+// per element instead of 24. The tuple struct survives only as the
+// value carrier of tupleSeq and the merge lookahead.
+type tcols struct {
+	vals []uint64
+	gaps []int64
+	dels []int64
+}
+
+// len reports the number of stored tuples.
+func (c *tcols) len() int { return len(c.vals) }
+
+// reset truncates the columns, keeping capacity.
+func (c *tcols) reset() {
+	c.vals = c.vals[:0]
+	c.gaps = c.gaps[:0]
+	c.dels = c.dels[:0]
+}
+
+// push appends one tuple to the columns.
+func (c *tcols) push(v uint64, g, del int64) {
+	c.vals = append(c.vals, v)
+	c.gaps = append(c.gaps, g)
+	c.dels = append(c.dels, del)
+}
+
+// at returns tuple i as a value.
+func (c *tcols) at(i int) tuple {
+	return tuple{v: c.vals[i], g: c.gaps[i], del: c.dels[i]}
+}
+
+// ensure resets the columns and guarantees capacity for want tuples
+// without further allocation.
+func (c *tcols) ensure(want int) {
+	if cap(c.vals) < want {
+		c.vals = make([]uint64, 0, want)
+		c.gaps = make([]int64, 0, want)
+		c.dels = make([]int64, 0, want)
+		return
+	}
+	c.reset()
+}
+
+// seq yields the tuples in element order, for the shared query, codec
+// and invariant implementations.
+func (c *tcols) seq(yield func(t tuple) bool) {
+	for i, v := range c.vals {
+		if !yield(tuple{v: v, g: c.gaps[i], del: c.dels[i]}) {
+			return
+		}
+	}
+}
+
 // checkEps validates the error parameter shared by all constructors.
 func checkEps(eps float64) {
 	if math.IsNaN(eps) || eps <= 0 || eps >= 1 {

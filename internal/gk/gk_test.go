@@ -338,3 +338,21 @@ func benchUpdate(b *testing.B, s core.CashRegister) {
 		s.Update(data[i&(1<<16-1)])
 	}
 }
+
+func BenchmarkAdaptiveUpdateBatch(b *testing.B) { benchUpdateBatch(b, NewAdaptive(0.001)) }
+func BenchmarkTheoryUpdateBatch(b *testing.B)   { benchUpdateBatch(b, NewTheory(0.001)) }
+
+// benchUpdateBatch drives the sort-merge-rebuild path, the heaviest
+// consumer of the tcols scratch columns and the skiplist arena;
+// ReportAllocs pins the steady state at zero heap growth per batch once
+// the workspace has warmed up.
+func benchUpdateBatch(b *testing.B, s core.BatchCashRegister) {
+	data := streamgen.Generate(streamgen.Uniform{Bits: 32, Seed: 1}, 1<<13)
+	s.UpdateBatch(data) // warm the scratch columns, arena and node pool
+	b.SetBytes(int64(len(data)) * 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.UpdateBatch(data)
+	}
+}

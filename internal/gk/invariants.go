@@ -120,7 +120,8 @@ func (b *Biased) Invariants() error {
 		prev uint64
 		err  error
 	)
-	for i, t := range b.tuples {
+	for i := 0; i < b.tuples.len(); i++ {
+		t := b.tuples.at(i)
 		switch {
 		case t.g < 1:
 			err = fmt.Errorf("gk/biased: tuple %d (v=%d) has weight g=%d < 1", i, t.v, t.g)

@@ -27,15 +27,20 @@ type Theory struct {
 	compressEvery int
 
 	// Batch workspace (see batch.go), reused across UpdateBatch calls.
+	// The skiplist arena is Reset at each rebuild, once the previous
+	// list (whose nodes it backs) is dead.
 	batchBuf     []uint64
-	tupleScratch []tuple
-	mergeScratch []tuple
+	tupleScratch tcols
+	mergeScratch tcols
+	nodePool     []tnode
+	arena        skiplist.Arena[uint64, *tnode]
 }
 
-// newTheoryIndex starts a sorted skiplist build with the variant's
-// tower seed, salted so successive batch rebuilds draw fresh towers.
-func newTheoryIndex(salt uint64) *skiplist.Builder[uint64, *tnode] {
-	return skiplist.NewBuilder[uint64, *tnode](0x7468656f7279 ^ salt)
+// newTheoryIndexArena starts a sorted skiplist build with the variant's
+// tower seed, salted so successive batch rebuilds draw fresh towers,
+// with nodes drawn from the summary-owned arena.
+func newTheoryIndexArena(salt uint64, ar *skiplist.Arena[uint64, *tnode]) *skiplist.Builder[uint64, *tnode] {
+	return skiplist.NewBuilderArena[uint64, *tnode](0x7468656f7279^salt, ar)
 }
 
 // NewTheory returns an empty GKTheory summary with error parameter eps.

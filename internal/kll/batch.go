@@ -14,7 +14,7 @@ import (
 // so the resulting state is byte-identical to per-item Update.
 func (s *Sketch) UpdateBatch(xs []uint64) {
 	for len(xs) > 0 {
-		room := s.capacity(0) - len(s.levels[0])
+		room := s.capacity(0) - s.levelLen(0)
 		if room <= 0 {
 			s.compress()
 			continue
@@ -23,10 +23,11 @@ func (s *Sketch) UpdateBatch(xs []uint64) {
 		if take > len(xs) {
 			take = len(xs)
 		}
-		s.levels[0] = append(s.levels[0], xs[:take]...)
+		s.arena = append(s.arena, xs[:take]...)
+		s.bounds[0] = len(s.arena)
 		s.n += int64(take)
 		xs = xs[take:]
-		if len(s.levels[0]) >= s.capacity(0) {
+		if s.levelLen(0) >= s.capacity(0) {
 			s.compress()
 		}
 	}

@@ -16,9 +16,9 @@ func (s *Sketch) MarshalBinary() ([]byte, error) {
 	e.F64(s.eps)
 	e.I64(s.n)
 	e.U64(s.rng.State())
-	e.U64(uint64(len(s.levels)))
-	for _, lvl := range s.levels {
-		e.U64s(lvl)
+	e.U64(uint64(s.Depth()))
+	for h := 0; h < s.Depth(); h++ {
+		e.U64s(s.level(h))
 	}
 	return e.Bytes(), nil
 }
@@ -50,21 +50,37 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 	ns := New(eps, 0)
 	ns.n = n
 	ns.rng.Restore(rngState)
-	ns.levels = ns.levels[:0]
+	// The encoding stores levels lowest first; the arena wants them
+	// highest first, so stage the decoded views before assembling.
+	lvls := make([][]uint64, depth)
 	var weight int64
+	total := 0
 	for h := 0; h < depth; h++ {
 		lvl := dec.U64s()
 		if dec.Err() != nil {
 			return dec.Err()
 		}
 		weight += int64(len(lvl)) << h
-		ns.levels = append(ns.levels, lvl)
+		total += len(lvl)
+		lvls[h] = lvl
 	}
 	if dec.Remaining() != 0 {
 		return core.Corruptf("kll: %d trailing bytes", dec.Remaining())
 	}
 	if weight != n {
 		return core.Corruptf("kll: encoded weight %d does not match n %d", weight, n)
+	}
+	// Every stored element carries weight ≥ 1, so the element count is
+	// bounded by the (already validated) total weight — and the arena
+	// allocation below by the stream length the encoder claimed.
+	if int64(total) > n {
+		return core.Corruptf("kll: %d stored elements exceed encoded weight %d", total, n)
+	}
+	ns.arena = make([]uint64, 0, total)
+	ns.bounds = make([]int, depth+1)
+	for h := depth - 1; h >= 0; h-- {
+		ns.arena = append(ns.arena, lvls[h]...)
+		ns.bounds[h] = len(ns.arena)
 	}
 	*s = *ns
 	return nil

@@ -18,15 +18,22 @@ func (s *Sketch) Invariants() error {
 	if s.k < 2*minLevelCap {
 		return fmt.Errorf("kll: capacity parameter k = %d below minimum %d", s.k, 2*minLevelCap)
 	}
-	if len(s.levels) < 1 {
+	if s.Depth() < 1 {
 		return fmt.Errorf("kll: no levels allocated")
 	}
-	if len(s.levels) > 62 {
-		return fmt.Errorf("kll: %d levels would overflow the weight accounting", len(s.levels))
+	if s.Depth() > 62 {
+		return fmt.Errorf("kll: %d levels would overflow the weight accounting", s.Depth())
+	}
+	if s.bounds[s.Depth()] != 0 || s.bounds[0] != len(s.arena) {
+		return fmt.Errorf("kll: arena bounds [%d..%d] do not span the arena of %d elements",
+			s.bounds[s.Depth()], s.bounds[0], len(s.arena))
 	}
 	var total int64
-	for h, lvl := range s.levels {
-		total += int64(len(lvl)) << h
+	for h := 0; h < s.Depth(); h++ {
+		if s.levelLen(h) < 0 {
+			return fmt.Errorf("kll: level %d has negative extent %d", h, s.levelLen(h))
+		}
+		total += int64(s.levelLen(h)) << h
 	}
 	if total != s.n {
 		return fmt.Errorf("kll: level-weight accounting broken: Σ 2^h·|level h| = %d, want n = %d",

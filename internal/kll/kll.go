@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"slices"
+	"sync"
 
 	"streamquantiles/internal/core"
 	"streamquantiles/internal/xhash"
@@ -42,9 +43,14 @@ type Sketch struct {
 	k   int // capacity of the highest (most recent) level
 	n   int64
 
-	// levels[h] holds the elements of weight 2^h, kept sorted lazily
-	// (sorted on compaction and on query).
-	levels [][]uint64
+	// Every retained element lives in one flat arena, highest level
+	// first so that level 0 sits at the end and per-item ingestion is a
+	// plain append. bounds[h] is the end offset of level h
+	// (bounds[depth] = 0, bounds[0] = len(arena)); level h — elements of
+	// weight 2^h, kept sorted lazily (sorted on compaction and on
+	// query) — occupies arena[bounds[h+1]:bounds[h]].
+	arena  []uint64
+	bounds []int
 	rng    *xhash.SplitMix64
 }
 
@@ -65,7 +71,8 @@ func New(eps float64, seed uint64) *Sketch {
 	return &Sketch{
 		eps:    eps,
 		k:      k,
-		levels: [][]uint64{make([]uint64, 0, k)},
+		arena:  make([]uint64, 0, k),
+		bounds: []int{0, 0},
 		rng:    xhash.NewSplitMix64(seed),
 	}
 }
@@ -80,12 +87,20 @@ func (s *Sketch) K() int { return s.k }
 func (s *Sketch) Count() int64 { return s.n }
 
 // Depth returns the number of levels currently in use.
-func (s *Sketch) Depth() int { return len(s.levels) }
+func (s *Sketch) Depth() int { return len(s.bounds) - 1 }
+
+// level returns the elements of weight 2^h as a view into the arena.
+func (s *Sketch) level(h int) []uint64 {
+	return s.arena[s.bounds[h+1]:s.bounds[h]]
+}
+
+// levelLen returns len(level(h)) without materializing the view.
+func (s *Sketch) levelLen(h int) int { return s.bounds[h] - s.bounds[h+1] }
 
 // capacity returns the allowed size of level h given the current depth:
 // the top level gets k, and capacities decay by c per level downward.
 func (s *Sketch) capacity(h int) int {
-	depth := len(s.levels)
+	depth := s.Depth()
 	c := float64(s.k) * math.Pow(decay, float64(depth-1-h))
 	if c < minLevelCap {
 		return minLevelCap
@@ -96,21 +111,26 @@ func (s *Sketch) capacity(h int) int {
 // Update implements core.CashRegister.
 func (s *Sketch) Update(x uint64) {
 	s.n++
-	s.levels[0] = append(s.levels[0], x)
-	if len(s.levels[0]) >= s.capacity(0) {
+	s.arena = append(s.arena, x)
+	s.bounds[0] = len(s.arena)
+	if s.levelLen(0) >= s.capacity(0) {
 		s.compress()
 	}
 }
 
 // compress restores all level capacities by compacting the lowest
-// over-full level, cascading upward as needed.
+// over-full level, cascading upward as needed. The capacity check runs
+// before the depth can grow, so the compaction (and coin-flip) schedule
+// is identical to the per-level-slice formulation.
 func (s *Sketch) compress() {
-	for h := 0; h < len(s.levels); h++ {
-		if len(s.levels[h]) < s.capacity(h) {
+	for h := 0; h < s.Depth(); h++ {
+		if s.levelLen(h) < s.capacity(h) {
 			continue
 		}
-		if h+1 == len(s.levels) {
-			s.levels = append(s.levels, make([]uint64, 0, s.k))
+		if h+1 == s.Depth() {
+			// A new, empty top level occupies zero words at the front of
+			// the arena; no data moves.
+			s.bounds = append(s.bounds, 0)
 		}
 		s.compact(h)
 	}
@@ -120,45 +140,64 @@ func (s *Sketch) compress() {
 // or the even ranked elements with equal probability. The survivors'
 // weight doubles implicitly (they move one level up). An odd leftover
 // element stays at level h, preserving total weight exactly.
+//
+// In the flat arena the survivors are compacted to the front of level
+// h's window (forward-safe: survivor i comes from index 2i+off ≥ i) and
+// donated to level h+1 by advancing the shared boundary — level h+1
+// ends exactly where level h begins, so this appends them in ascending
+// order without moving a single element of the levels above. Only the
+// levels below h slide left to close the gap.
 func (s *Sketch) compact(h int) {
-	lvl := s.levels[h]
+	lvl := s.level(h)
 	slices.Sort(lvl)
 	keepOdd := s.rng.Bool()
 
 	pairs := len(lvl) / 2
-	var leftover []uint64
+	off := 0
+	if keepOdd {
+		off = 1
+	}
+	for i := 0; i < pairs; i++ {
+		lvl[i] = lvl[2*i+off]
+	}
 	if len(lvl)%2 == 1 {
 		// Keep the last element at this level so weight is conserved.
-		leftover = lvl[len(lvl)-1:]
+		lvl[pairs] = lvl[len(lvl)-1]
 	}
-	up := s.levels[h+1]
-	for i := 0; i < pairs; i++ {
-		if keepOdd {
-			up = append(up, lvl[2*i+1])
-		} else {
-			up = append(up, lvl[2*i])
-		}
+	s.bounds[h+1] += pairs
+	copy(s.arena[s.bounds[h]-pairs:], s.arena[s.bounds[h]:s.bounds[0]])
+	for j := h; j >= 0; j-- {
+		s.bounds[j] -= pairs
 	}
-	s.levels[h+1] = up
-	s.levels[h] = append(s.levels[h][:0], leftover...)
+	s.arena = s.arena[:s.bounds[0]]
 }
 
-// samples gathers all retained elements with their weights, sorted.
-func (s *Sketch) samples() []core.WeightedValue {
-	var out []core.WeightedValue
-	for h, lvl := range s.levels {
+// samplePool recycles the weighted-sample scratch built on every query.
+// Queries may run concurrently (read-locked shards), so the scratch
+// cannot live on the Sketch.
+var samplePool = sync.Pool{New: func() any { return new([]core.WeightedValue) }}
+
+// appendSamples gathers all retained elements with their weights into
+// dst, sorted.
+func (s *Sketch) appendSamples(dst []core.WeightedValue) []core.WeightedValue {
+	for h := 0; h < s.Depth(); h++ {
 		w := int64(1) << h
-		for _, v := range lvl {
-			out = append(out, core.WeightedValue{V: v, W: w})
+		for _, v := range s.level(h) {
+			dst = append(dst, core.WeightedValue{V: v, W: w})
 		}
 	}
-	core.SortWeighted(out)
-	return out
+	core.SortWeighted(dst)
+	return dst
 }
 
 // Rank implements core.Summary.
 func (s *Sketch) Rank(x uint64) int64 {
-	return core.WeightedRank(s.samples(), x)
+	sp := samplePool.Get().(*[]core.WeightedValue)
+	sm := s.appendSamples((*sp)[:0])
+	r := core.WeightedRank(sm, x)
+	*sp = sm
+	samplePool.Put(sp)
+	return r
 }
 
 // Quantile implements core.Summary.
@@ -166,7 +205,12 @@ func (s *Sketch) Quantile(phi float64) uint64 {
 	if s.n == 0 {
 		panic(core.ErrEmpty)
 	}
-	return core.WeightedQuantile(s.samples(), phi)
+	sp := samplePool.Get().(*[]core.WeightedValue)
+	sm := s.appendSamples((*sp)[:0])
+	q := core.WeightedQuantile(sm, phi)
+	*sp = sm
+	samplePool.Put(sp)
+	return q
 }
 
 // QuantileBatch implements core.QuantileBatcher.
@@ -174,17 +218,31 @@ func (s *Sketch) QuantileBatch(phis []float64) []uint64 {
 	if s.n == 0 {
 		panic(core.ErrEmpty)
 	}
-	return core.WeightedQuantiles(s.samples(), phis)
+	sp := samplePool.Get().(*[]core.WeightedValue)
+	sm := s.appendSamples((*sp)[:0])
+	out := core.WeightedQuantiles(sm, phis)
+	*sp = sm
+	samplePool.Put(sp)
+	return out
 }
 
 // RankBatch implements core.QuantileBatcher.
 func (s *Sketch) RankBatch(xs []uint64) []int64 {
-	return core.WeightedRanks(s.samples(), xs)
+	sp := samplePool.Get().(*[]core.WeightedValue)
+	sm := s.appendSamples((*sp)[:0])
+	out := core.WeightedRanks(sm, xs)
+	*sp = sm
+	samplePool.Put(sp)
+	return out
 }
 
 // AppendQuerySnapshot implements core.Snapshotter.
 func (s *Sketch) AppendQuerySnapshot(qs *core.QuerySnapshot) {
-	core.AppendWeightedSnapshot(qs, s.samples())
+	sp := samplePool.Get().(*[]core.WeightedValue)
+	sm := s.appendSamples((*sp)[:0])
+	core.AppendWeightedSnapshot(qs, sm)
+	*sp = sm
+	samplePool.Put(sp)
 }
 
 // checkCompatible validates a merge partner: both sketches must have
@@ -197,39 +255,39 @@ func (s *Sketch) checkCompatible(other *Sketch) {
 }
 
 // Merge folds other into s: levels concatenate weight-for-weight and
-// over-full levels compact. Both sketches must share eps.
+// over-full levels compact. Both sketches must share eps. The merged
+// arena is rebuilt top level first, each level holding s's elements
+// followed by other's — the concatenation order of the slice
+// formulation, so restore-and-merge stays deterministic.
 func (s *Sketch) Merge(other *Sketch) {
 	s.checkCompatible(other)
-	for h, lvl := range other.levels {
-		for len(s.levels) <= h {
-			s.levels = append(s.levels, nil)
-		}
-		s.levels[h] = append(s.levels[h], lvl...)
+	depth := s.Depth()
+	if d := other.Depth(); d > depth {
+		depth = d
 	}
+	merged := make([]uint64, 0, len(s.arena)+len(other.arena))
+	nb := make([]int, depth+1)
+	for h := depth - 1; h >= 0; h-- {
+		if h < s.Depth() {
+			merged = append(merged, s.level(h)...)
+		}
+		if h < other.Depth() {
+			merged = append(merged, other.level(h)...)
+		}
+		nb[h] = len(merged)
+	}
+	s.arena, s.bounds = merged, nb
 	s.n += other.n
 	s.compress()
 }
 
-// SpaceBytes implements core.Summary: retained elements at capacity plus
-// per-level slice headers and scalars.
+// SpaceBytes implements core.Summary: the arena at capacity plus the
+// level bounds and scalars.
 func (s *Sketch) SpaceBytes() int64 {
-	var words int64
-	for h := range s.levels {
-		c := cap(s.levels[h])
-		if c < len(s.levels[h]) {
-			c = len(s.levels[h])
-		}
-		words += int64(c) + 2
-	}
-	return (words + 8) * core.WordBytes
+	words := int64(cap(s.arena)) + int64(len(s.bounds)) + 8
+	return words * core.WordBytes
 }
 
 // RetainedElements reports the total number of stored elements — the
 // quantity KLL minimizes. Test/observability hook.
-func (s *Sketch) RetainedElements() int {
-	t := 0
-	for _, lvl := range s.levels {
-		t += len(lvl)
-	}
-	return t
-}
+func (s *Sketch) RetainedElements() int { return len(s.arena) }

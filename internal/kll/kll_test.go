@@ -56,8 +56,8 @@ func TestWeightConservation(t *testing.T) {
 		s.Update(x)
 		if (i+1)%10000 == 0 {
 			var w int64
-			for h, lvl := range s.levels {
-				w += int64(len(lvl)) << h
+			for h := 0; h < s.Depth(); h++ {
+				w += int64(s.levelLen(h)) << h
 			}
 			if w != int64(i+1) {
 				t.Fatalf("total weight %d != n %d", w, i+1)

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math"
 	"slices"
+	"sync"
 
 	"streamquantiles/internal/core"
 	"streamquantiles/internal/xhash"
@@ -46,13 +47,22 @@ type MRL99 struct {
 	k   int
 	n   int64
 
-	bufs []*buffer
-	cur  *buffer
+	// arena is the single b×k element slab all buffers carve their data
+	// from: buffer i owns the capped window arena[i·k : (i+1)·k], so the
+	// whole summary's payload is one allocation and collapses move
+	// elements within it. (Merge may temporarily graft heap-backed
+	// buffers; the capped views make any overflow append safely detach
+	// rather than overwrite a neighbour.)
+	arena []uint64
+	bufs  []*buffer
+	cur   *buffer
 
 	blockSize int64
 	blockPos  int64
 	pickAt    int64
 	candidate uint64
+
+	collapseSc collapseScratch
 
 	rng *xhash.SplitMix64
 }
@@ -87,14 +97,15 @@ func New(eps float64, seed uint64) *MRL99 {
 	bf, kf := sizeParams(eps)
 	b, k := int(bf), int(kf)
 	m := &MRL99{
-		eps:  eps,
-		b:    b,
-		k:    k,
-		bufs: make([]*buffer, 0, b),
-		rng:  xhash.NewSplitMix64(seed),
+		eps:   eps,
+		b:     b,
+		k:     k,
+		arena: make([]uint64, b*k),
+		bufs:  make([]*buffer, 0, b),
+		rng:   xhash.NewSplitMix64(seed),
 	}
 	for i := 0; i < b; i++ {
-		m.bufs = append(m.bufs, &buffer{data: make([]uint64, 0, k)})
+		m.bufs = append(m.bufs, &buffer{data: m.arena[i*k : i*k : (i+1)*k]})
 	}
 	return m
 }
@@ -177,7 +188,7 @@ func (m *MRL99) collapse() {
 		//lint:ignore SQ003 corruption guard: collapse only runs once every buffer is full, so this is unreachable
 		panic("mrl: collapse with fewer than two buffers")
 	}
-	out := collapseGroup(group, m.k, m.rng)
+	out := collapseGroup(group, m.k, m.rng, &m.collapseSc)
 
 	// Store the result in the first group buffer; empty the rest.
 	first := group[0]
@@ -228,10 +239,20 @@ type collapsed struct {
 	data   []uint64
 }
 
+// collapseScratch holds the k-way merge cursors and output staging of a
+// COLLAPSE. It is owned by the summary (collapses only run inside
+// single-writer ingestion), so steady-state collapses allocate nothing.
+type collapseScratch struct {
+	idx []int
+	out []uint64
+}
+
 // collapseGroup performs the weighted MRL COLLAPSE with a random offset:
 // the merged, weight-replicated sequence of all group elements is sampled
 // at positions offset + i·(W/k) without materializing the replication.
-func collapseGroup(group []*buffer, k int, rng *xhash.SplitMix64) collapsed {
+// The returned data aliases sc.out and must be copied out before the
+// next collapse.
+func collapseGroup(group []*buffer, k int, rng *xhash.SplitMix64, sc *collapseScratch) collapsed {
 	var total int64
 	maxLevel := 0
 	for _, g := range group {
@@ -247,8 +268,17 @@ func collapseGroup(group []*buffer, k int, rng *xhash.SplitMix64) collapsed {
 	offset := int64(rng.Uint64n(uint64(stride)))
 
 	// k-way merge over the sorted group buffers, accumulating weight.
-	idx := make([]int, len(group))
-	out := make([]uint64, 0, k)
+	if cap(sc.idx) < len(group) {
+		sc.idx = make([]int, len(group))
+	}
+	if cap(sc.out) < k {
+		sc.out = make([]uint64, 0, k)
+	}
+	idx := sc.idx[:len(group)]
+	for i := range idx {
+		idx[i] = 0
+	}
+	out := sc.out[:0]
 	var cum int64
 	next := offset
 	for {
@@ -279,12 +309,18 @@ func collapseGroup(group []*buffer, k int, rng *xhash.SplitMix64) collapsed {
 	if w < 1 {
 		w = 1
 	}
+	sc.out = out
 	return collapsed{level: maxLevel + 1, weight: w, data: out}
 }
 
-// samples collects retained elements with their weights, sorted by value.
-func (m *MRL99) samples() []core.WeightedValue {
-	var out []core.WeightedValue
+// samplePool recycles the weighted-sample scratch built on every query.
+// Queries may run concurrently (read-locked shards), so the scratch
+// cannot live on the summary.
+var samplePool = sync.Pool{New: func() any { return new([]core.WeightedValue) }}
+
+// appendSamples collects retained elements with their weights into dst,
+// sorted by value.
+func (m *MRL99) appendSamples(dst []core.WeightedValue) []core.WeightedValue {
 	for _, b := range m.bufs {
 		if len(b.data) == 0 {
 			continue
@@ -294,16 +330,21 @@ func (m *MRL99) samples() []core.WeightedValue {
 			w = int64(1) << b.level
 		}
 		for _, v := range b.data {
-			out = append(out, core.WeightedValue{V: v, W: w})
+			dst = append(dst, core.WeightedValue{V: v, W: w})
 		}
 	}
-	core.SortWeighted(out)
-	return out
+	core.SortWeighted(dst)
+	return dst
 }
 
 // Rank implements core.Summary.
 func (m *MRL99) Rank(x uint64) int64 {
-	return core.WeightedRank(m.samples(), x)
+	sp := samplePool.Get().(*[]core.WeightedValue)
+	sm := m.appendSamples((*sp)[:0])
+	r := core.WeightedRank(sm, x)
+	*sp = sm
+	samplePool.Put(sp)
+	return r
 }
 
 // Quantile implements core.Summary.
@@ -311,7 +352,12 @@ func (m *MRL99) Quantile(phi float64) uint64 {
 	if m.n == 0 {
 		panic(core.ErrEmpty)
 	}
-	return core.WeightedQuantile(m.samples(), phi)
+	sp := samplePool.Get().(*[]core.WeightedValue)
+	sm := m.appendSamples((*sp)[:0])
+	q := core.WeightedQuantile(sm, phi)
+	*sp = sm
+	samplePool.Put(sp)
+	return q
 }
 
 // QuantileBatch implements core.QuantileBatcher: the retained samples are
@@ -320,29 +366,44 @@ func (m *MRL99) QuantileBatch(phis []float64) []uint64 {
 	if m.n == 0 {
 		panic(core.ErrEmpty)
 	}
-	return core.WeightedQuantiles(m.samples(), phis)
+	sp := samplePool.Get().(*[]core.WeightedValue)
+	sm := m.appendSamples((*sp)[:0])
+	out := core.WeightedQuantiles(sm, phis)
+	*sp = sm
+	samplePool.Put(sp)
+	return out
 }
 
 // RankBatch implements core.QuantileBatcher.
 func (m *MRL99) RankBatch(xs []uint64) []int64 {
-	return core.WeightedRanks(m.samples(), xs)
+	sp := samplePool.Get().(*[]core.WeightedValue)
+	sm := m.appendSamples((*sp)[:0])
+	out := core.WeightedRanks(sm, xs)
+	*sp = sm
+	samplePool.Put(sp)
+	return out
 }
 
 // AppendQuerySnapshot implements core.Snapshotter.
 func (m *MRL99) AppendQuerySnapshot(qs *core.QuerySnapshot) {
-	core.AppendWeightedSnapshot(qs, m.samples())
+	sp := samplePool.Get().(*[]core.WeightedValue)
+	sm := m.appendSamples((*sp)[:0])
+	core.AppendWeightedSnapshot(qs, sm)
+	*sp = sm
+	samplePool.Put(sp)
 }
 
-// SpaceBytes implements core.Summary: b pre-allocated buffers of k words
-// plus per-buffer metadata and scalar state.
+// SpaceBytes implements core.Summary: the b×k element arena plus
+// per-buffer metadata, collapse scratch and scalar state.
 func (m *MRL99) SpaceBytes() int64 {
-	var words int64
+	words := int64(cap(m.arena)) + int64(cap(m.collapseSc.out)) + int64(cap(m.collapseSc.idx))
 	for _, b := range m.bufs {
-		c := cap(b.data)
-		if c < m.k {
-			c = m.k
+		words += 3
+		// Merge can graft heap-backed buffers outside the arena; charge
+		// any such detached storage honestly.
+		if c := cap(b.data); c > m.k {
+			words += int64(c)
 		}
-		words += int64(c) + 3
 	}
 	words += 10
 	return words * core.WordBytes

@@ -69,7 +69,7 @@ func TestCollapseGroupWeightConservation(t *testing.T) {
 		{level: 1, weight: 2, data: []uint64{1, 3, 5, 7}, full: true},
 		{level: 1, weight: 2, data: []uint64{2, 4, 6, 8}, full: true},
 	}
-	out := collapseGroup(group, 4, rng)
+	out := collapseGroup(group, 4, rng, &collapseScratch{})
 	if out.level != 2 {
 		t.Errorf("collapsed level = %d, want 2", out.level)
 	}
@@ -94,7 +94,7 @@ func TestCollapseGroupMixedWeights(t *testing.T) {
 		{level: 1, weight: 2, data: []uint64{10, 20, 30, 40}, full: true},
 		{level: 2, weight: 4, data: []uint64{15, 25, 35, 45}, full: true},
 	}
-	out := collapseGroup(group, 4, rng)
+	out := collapseGroup(group, 4, rng, &collapseScratch{})
 	if got := out.weight * int64(len(out.data)); got != 24 {
 		t.Errorf("represented weight %d, want 24", got)
 	}
@@ -112,7 +112,7 @@ func TestCollapseOffsetRandomized(t *testing.T) {
 			{level: 0, weight: 1, data: []uint64{1, 2, 3, 4, 5, 6, 7, 8}, full: true},
 			{level: 0, weight: 1, data: []uint64{9, 10, 11, 12, 13, 14, 15, 16}, full: true},
 		}
-		out := collapseGroup(group, 8, rng)
+		out := collapseGroup(group, 8, rng, &collapseScratch{})
 		distinct[out.data[0]] = true
 	}
 	if len(distinct) < 2 {

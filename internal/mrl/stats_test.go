@@ -28,7 +28,7 @@ func TestCollapseRankUnbiased(t *testing.T) {
 				a.data = append(a.data, i)
 				b.data = append(b.data, 16+i)
 			}
-			out := collapseGroup([]*buffer{a, b}, k, rng)
+			out := collapseGroup([]*buffer{a, b}, k, rng, &collapseScratch{})
 			var est int64
 			for _, v := range out.data {
 				if v < probe {
@@ -57,7 +57,7 @@ func TestCollapsePreservesOrderStatistics(t *testing.T) {
 	for i := uint64(0); i < 100; i++ {
 		b.data = append(b.data, i*10+5)
 	}
-	out := collapseGroup([]*buffer{a, b}, 50, rng)
+	out := collapseGroup([]*buffer{a, b}, 50, rng, &collapseScratch{})
 	if len(out.data) != 50 {
 		t.Fatalf("collapsed size %d", len(out.data))
 	}

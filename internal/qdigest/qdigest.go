@@ -42,6 +42,16 @@ type Digest struct {
 	buf          []uint64 // pending leaf updates, bulk-applied
 	nextCmp      int64    // run COMPRESS when n reaches this
 	compressions int64    // number of COMPRESS invocations (observability)
+
+	// Query-path scratch, struct-owned: queries drain the buffer and so
+	// already demand the same exclusivity as updates (the Safe wrapper
+	// enforces it). Rebuilt per query, allocation-free at steady state.
+	snap    snapCols
+	rawSnap snapCols
+	order   []int
+	steps   stepCols
+	rvals   []uint64
+	rranks  []int64
 }
 
 // maxBits bounds the universe so node ids (2u) fit comfortably in uint64.
@@ -180,12 +190,26 @@ func (d *Digest) span(id uint64) (lo, hi uint64) {
 	return lo, hi
 }
 
-// snapshot returns the stored nodes sorted by (interval hi, interval
-// size): the post-order traversal used for rank accumulation. Counts in
-// the returned slice are node weights.
-type weighted struct {
-	lo, hi uint64
-	w      int64
+// snapCols is the columnar post-order snapshot: parallel lo/hi/weight
+// columns sorted by (interval hi, interval size) — the traversal used
+// for rank accumulation — plus the running prefix weight, which turns
+// quantile extraction into a single search on a sorted column.
+type snapCols struct {
+	los, his []uint64
+	ws       []int64
+	prefix   []int64 // prefix[i] = Σ ws[0..i]
+}
+
+func (s *snapCols) reset() {
+	s.los, s.his = s.los[:0], s.his[:0]
+	s.ws, s.prefix = s.ws[:0], s.prefix[:0]
+}
+
+// stepCols is the columnar rank step function: threshold and delta
+// columns prior to sorting and prefix-summing.
+type stepCols struct {
+	ats []uint64
+	ds  []int64
 }
 
 // Flush drains the pending update buffer into the node map. Queries do
@@ -193,69 +217,82 @@ type weighted struct {
 // which use it to detect query-time mutation — force it explicitly.
 func (d *Digest) Flush() { d.drain() }
 
-func (d *Digest) snapshot() []weighted {
+// snapshot rebuilds the columnar post-order view in d.snap. All scratch
+// is struct-owned: queries drain the pending buffer (a mutation), so the
+// digest already requires external synchronization between queries.
+func (d *Digest) snapshot() *snapCols {
 	d.drain()
-	out := make([]weighted, 0, len(d.nodes))
+	raw := &d.rawSnap
+	raw.reset()
 	for id, w := range d.nodes {
 		lo, hi := d.span(id)
-		out = append(out, weighted{lo: lo, hi: hi, w: w})
+		raw.los = append(raw.los, lo)
+		raw.his = append(raw.his, hi)
+		raw.ws = append(raw.ws, w)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].hi != out[j].hi {
-			return out[i].hi < out[j].hi
+	// Index sort over the raw columns, then gather into the sorted set;
+	// (hi, lo) identifies a dyadic interval uniquely, so the order is
+	// total and the map's iteration order cannot leak through.
+	order := d.order[:0]
+	for i := range raw.ws {
+		order = append(order, i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		i, j := order[a], order[b]
+		if raw.his[i] != raw.his[j] {
+			return raw.his[i] < raw.his[j]
 		}
 		// Equal right endpoints: the smaller (descendant) interval first.
-		return out[i].lo > out[j].lo
+		return raw.los[i] > raw.los[j]
 	})
-	return out
+	d.order = order
+	s := &d.snap
+	s.reset()
+	var cum int64
+	for _, i := range order {
+		cum += raw.ws[i]
+		s.los = append(s.los, raw.los[i])
+		s.his = append(s.his, raw.his[i])
+		s.ws = append(s.ws, raw.ws[i])
+		s.prefix = append(s.prefix, cum)
+	}
+	return s
 }
 
-// Quantile implements core.Summary: traverse in post-order, report the
-// right endpoint of the node where the accumulated weight reaches ⌊φn⌋+1.
+// Quantile implements core.Summary: report the right endpoint of the
+// post-order node where the accumulated weight reaches ⌊φn⌋+1 — a
+// branch-free search on the prefix-weight column.
 func (d *Digest) Quantile(phi float64) uint64 {
 	core.CheckPhi(phi)
 	if d.n == 0 {
 		panic(core.ErrEmpty)
 	}
 	target := core.TargetRank(phi, d.n) + 1
-	var acc int64
-	snap := d.snapshot()
-	for _, node := range snap {
-		acc += node.w
-		if acc >= target {
-			return node.hi
-		}
+	s := d.snapshot()
+	lo := core.SearchGe(s.prefix, target)
+	if lo >= len(s.his) {
+		lo = len(s.his) - 1
 	}
-	return snap[len(snap)-1].hi
+	return s.his[lo]
 }
 
-// QuantileBatch implements core.QuantileBatcher: one snapshot and one
-// post-order scan answer the whole batch.
+// QuantileBatch implements core.QuantileBatcher: one snapshot answers
+// the whole batch, each query a branch-free search on the prefix-weight
+// column (identical to the per-φ rule: first prefix ≥ target).
 func (d *Digest) QuantileBatch(phis []float64) []uint64 {
 	if d.n == 0 {
 		panic(core.ErrEmpty)
 	}
-	snap := d.snapshot()
-	order := make([]int, len(phis))
-	for i := range order {
-		core.CheckPhi(phis[i])
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool { return phis[order[a]] < phis[order[b]] })
+	s := d.snapshot()
 	out := make([]uint64, len(phis))
-	var acc int64
-	pos := 0
-	for _, idx := range order {
-		target := core.TargetRank(phis[idx], d.n) + 1
-		for pos < len(snap) && acc+snap[pos].w < target {
-			acc += snap[pos].w
-			pos++
+	for i, phi := range phis {
+		core.CheckPhi(phi)
+		target := core.TargetRank(phi, d.n) + 1
+		lo := core.SearchGe(s.prefix, target)
+		if lo >= len(s.his) {
+			lo = len(s.his) - 1
 		}
-		if pos >= len(snap) {
-			out[idx] = snap[len(snap)-1].hi
-		} else {
-			out[idx] = snap[pos].hi
-		}
+		out[i] = s.his[lo]
 	}
 	return out
 }
@@ -263,13 +300,14 @@ func (d *Digest) QuantileBatch(phis []float64) []uint64 {
 // Rank implements core.Summary: nodes entirely below x count fully,
 // nodes straddling x count half (midpoint convention).
 func (d *Digest) Rank(x uint64) int64 {
+	s := d.snapshot()
 	var r int64
-	for _, node := range d.snapshot() {
+	for i, hi := range s.his {
 		switch {
-		case node.hi < x:
-			r += node.w
-		case node.lo < x:
-			r += node.w / 2
+		case hi < x:
+			r += s.ws[i]
+		case s.los[i] < x:
+			r += s.ws[i] / 2
 		}
 	}
 	return r
@@ -279,55 +317,52 @@ func (d *Digest) Rank(x uint64) int64 {
 // a node contributes w/2 once x exceeds its lo and the remaining
 // w − w/2 once x exceeds its hi, so the rank at x is the prefix sum of
 // all step deltas at thresholds ≤ x. Addition is commutative, so the
-// values are identical to the per-x postorder accumulation.
-func rankSteps(snap []weighted) ([]uint64, []int64) {
-	type step struct {
-		at uint64
-		d  int64
-	}
-	steps := make([]step, 0, 2*len(snap))
-	for _, node := range snap {
-		half := node.w / 2
-		steps = append(steps, step{at: node.lo + 1, d: half})
-		if node.hi != ^uint64(0) {
+// values are identical to the per-x postorder accumulation. The
+// threshold/delta pairs live in parallel columns ordered by an index
+// sort; ties collapse into one threshold, so tie order is immaterial.
+func (d *Digest) rankSteps(s *snapCols) ([]uint64, []int64) {
+	st := &d.steps
+	st.ats, st.ds = st.ats[:0], st.ds[:0]
+	for i, w := range s.ws {
+		half := w / 2
+		st.ats = append(st.ats, s.los[i]+1)
+		st.ds = append(st.ds, half)
+		if s.his[i] != ^uint64(0) {
 			// hi = max uint64 can never be exceeded by any x; the full
 			// contribution step would overflow and never fires anyway.
-			steps = append(steps, step{at: node.hi + 1, d: node.w - half})
+			st.ats = append(st.ats, s.his[i]+1)
+			st.ds = append(st.ds, w-half)
 		}
 	}
-	sort.Slice(steps, func(i, j int) bool { return steps[i].at < steps[j].at })
-	vals := make([]uint64, 0, len(steps))
-	ranks := make([]int64, 0, len(steps))
+	order := d.order[:0]
+	for i := range st.ats {
+		order = append(order, i)
+	}
+	sort.Slice(order, func(a, b int) bool { return st.ats[order[a]] < st.ats[order[b]] })
+	d.order = order
+	vals, ranks := d.rvals[:0], d.rranks[:0]
 	var cum int64
-	for _, st := range steps {
-		cum += st.d
-		if k := len(vals); k > 0 && vals[k-1] == st.at {
+	for _, i := range order {
+		cum += st.ds[i]
+		if k := len(vals); k > 0 && vals[k-1] == st.ats[i] {
 			ranks[k-1] = cum
 			continue
 		}
-		vals = append(vals, st.at)
+		vals = append(vals, st.ats[i])
 		ranks = append(ranks, cum)
 	}
+	d.rvals, d.rranks = vals, ranks
 	return vals, ranks
 }
 
 // RankBatch implements core.QuantileBatcher: the step function is built
-// once (O(s log s)), then every query is a binary search.
+// once (O(s log s)), then every query is a branch-free search for the
+// largest threshold ≤ x.
 func (d *Digest) RankBatch(xs []uint64) []int64 {
-	vals, ranks := rankSteps(d.snapshot())
+	vals, ranks := d.rankSteps(d.snapshot())
 	out := make([]int64, len(xs))
 	for i, x := range xs {
-		// Largest threshold ≤ x.
-		lo, hi := 0, len(vals)
-		for lo < hi {
-			mid := int(uint(lo+hi) >> 1)
-			if vals[mid] > x {
-				hi = mid
-			} else {
-				lo = mid + 1
-			}
-		}
-		if lo > 0 {
+		if lo := core.SearchGt(vals, x); lo > 0 {
 			out[i] = ranks[lo-1]
 		}
 	}
@@ -344,14 +379,10 @@ func (d *Digest) AppendQuerySnapshot(qs *core.QuerySnapshot) {
 	if d.n == 0 {
 		return
 	}
-	snap := d.snapshot()
-	var acc int64
-	for _, node := range snap {
-		acc += node.w
-		qs.QVals = append(qs.QVals, node.hi)
-		qs.QKeys = append(qs.QKeys, acc)
-	}
-	vals, ranks := rankSteps(snap)
+	s := d.snapshot()
+	qs.QVals = append(qs.QVals, s.his...)
+	qs.QKeys = append(qs.QKeys, s.prefix...)
+	vals, ranks := d.rankSteps(s)
 	qs.RVals = append(qs.RVals, vals...)
 	qs.RRanks = append(qs.RRanks, ranks...)
 }
@@ -382,9 +413,12 @@ func (d *Digest) Merge(other *Digest) {
 // SpaceBytes implements core.Summary. Each stored node is charged three
 // words (id, counter, and one word of hash-table overhead), pending
 // buffer slots one word each (by capacity, as they are pre-allocated),
-// plus scalar state.
+// plus scalar state and the retained query scratch columns.
 func (d *Digest) SpaceBytes() int64 {
 	words := int64(len(d.nodes))*3 + int64(cap(d.buf)) + 6
+	words += int64(cap(d.snap.los))*4 + int64(cap(d.rawSnap.los))*4 +
+		int64(cap(d.order)) + int64(cap(d.steps.ats))*2 +
+		int64(cap(d.rvals)) + int64(cap(d.rranks))
 	return words * core.WordBytes
 }
 

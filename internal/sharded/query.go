@@ -88,6 +88,11 @@ func (q *queryCache) init(set shardSet) {
 //     families — the GK tuple summaries), combined by additive rank.
 //
 // All artifacts are immutable once built, so queries are lock-free.
+// For the same reason a retired entry is never recycled into a pool:
+// a reader that loaded it just before the epoch bump may still be
+// mid-query, so its arrays must stay untouched until the GC reclaims
+// them. Pooling on this path is confined to per-call descent scratch
+// (descentPool, rankBufPool), which never escapes its function.
 type combinedEntry struct {
 	epochs []uint64 // per-shard write epoch at fold time
 	n      int64    // combined count at fold time
@@ -246,13 +251,21 @@ func (e *combinedEntry) rankBatch(xs []uint64) []int64 {
 	if e.sum != nil {
 		return core.RankBatch(e.sum, xs)
 	}
-	out := make([]int64, len(xs))
+	return e.appendRankBatch(make([]int64, 0, len(xs)), xs)
+}
+
+// appendRankBatch sums the per-shard snapshot ranks into dst (reusing
+// its capacity), for callers on the zero-allocation descent path.
+func (e *combinedEntry) appendRankBatch(dst []int64, xs []uint64) []int64 {
+	for range xs {
+		dst = append(dst, 0)
+	}
 	for _, qs := range e.snaps {
 		for i, x := range xs {
-			out[i] += qs.Rank(x)
+			dst[i] += qs.Rank(x)
 		}
 	}
-	return out
+	return dst
 }
 
 // quantile answers a combined quantile query from the fold.
@@ -275,8 +288,25 @@ func (e *combinedEntry) quantileBatch(phis []float64) []uint64 {
 	if e.sum != nil {
 		return core.QuantileBatch(e.sum, phis)
 	}
-	return rankQuantileBatch(e.n, e.rankBatch, phis)
+	// The descent probes rankBatch once per bit level; routing the
+	// probes through one pooled buffer turns 64 per-level allocations
+	// into zero. The buffer never escapes: appendRankBatch's result is
+	// consumed inside rankQuantileBatch before the next probe.
+	bp := rankBufPool.Get().(*[]int64)
+	buf := *bp
+	out := rankQuantileBatch(e.n, func(xs []uint64) []int64 {
+		buf = e.appendRankBatch(buf[:0], xs)
+		return buf
+	}, phis)
+	*bp = buf
+	rankBufPool.Put(bp)
+	return out
 }
+
+// rankBufPool recycles the descent's per-level rank buffer across
+// quantileBatch calls (Get and Put in the same function — see lint rule
+// SQ009).
+var rankBufPool = sync.Pool{New: func() any { return new([]int64) }}
 
 // rankQuantile inverts a summed rank estimate by a bitwise descent: the
 // largest v with R(v) ≤ target. R tracks the true (monotone) combined
@@ -292,9 +322,12 @@ func rankQuantile(n int64, rank func(uint64) int64, phi float64) uint64 {
 	target := core.TargetRank(phi, n)
 	var v uint64
 	for bit := 63; bit >= 0; bit-- {
-		if cand := v | uint64(1)<<bit; rank(cand) <= target {
-			v = cand
-		}
+		cand := v | uint64(1)<<bit
+		// Accept the bit iff rank(cand) <= target, branch-free: ranks
+		// and targets are in [0, n], so the difference cannot overflow
+		// and its sign bit after the -1 is exactly the comparison.
+		keep := uint64((rank(cand) - target - 1) >> 63)
+		v |= (uint64(1) << bit) & keep
 	}
 	return v
 }
@@ -309,25 +342,44 @@ func rankQuantileBatch(n int64, rankBatch func([]uint64) []int64, phis []float64
 		panic(core.ErrEmpty)
 	}
 	k := len(phis)
-	targets := make([]int64, k)
+	sp := descentPool.Get().(*descentScratch)
+	targets, cands := sp.targets, sp.cands
+	if cap(targets) < k {
+		targets = make([]int64, k)
+	}
+	if cap(cands) < k {
+		cands = make([]uint64, k)
+	}
+	targets, cands = targets[:k], cands[:k]
 	for i, phi := range phis {
 		targets[i] = core.TargetRank(phi, n)
 	}
-	vs := make([]uint64, k)
-	cands := make([]uint64, k)
+	vs := make([]uint64, k) // escapes: this is the result
 	for bit := 63; bit >= 0; bit-- {
 		for i, v := range vs {
 			cands[i] = v | uint64(1)<<bit
 		}
 		rs := rankBatch(cands)
 		for i := range vs {
-			if rs[i] <= targets[i] {
-				vs[i] = cands[i]
-			}
+			// Same branch-free accept as rankQuantile's solo descent.
+			keep := uint64((rs[i] - targets[i] - 1) >> 63)
+			vs[i] |= (cands[i] ^ vs[i]) & keep
 		}
 	}
+	sp.targets, sp.cands = targets, cands
+	descentPool.Put(sp)
 	return vs
 }
+
+// descentScratch holds rankQuantileBatch's per-call probe arrays; the
+// pool keeps repeated batch extractions allocation-free apart from the
+// returned values.
+type descentScratch struct {
+	targets []int64
+	cands   []uint64
+}
+
+var descentPool = sync.Pool{New: func() any { return new(descentScratch) }}
 
 // forShards runs fn(0 … p−1) on a worker pool bounded by the machine
 // size; the calling goroutine participates.

@@ -199,18 +199,96 @@ func (l *List[K, V]) Prev(n *Node[K, V]) *Node[K, V] {
 // summaries' space accounting.
 func (l *List[K, V]) PointerWords() int64 { return l.ptrs }
 
+// Arena is a reusable slab allocator for list nodes and their forward
+// towers, for callers that rebuild a list of roughly stable size over
+// and over (the GK batch paths). The owner calls Reset once the
+// previous list built from the arena is dead; the chunks are then
+// recycled in place, so a steady-state rebuild allocates nothing.
+// Chunks are never reallocated — only appended — so pointers into them
+// stay valid until Reset.
+type Arena[K cmp.Ordered, V any] struct {
+	nodes  [][]Node[K, V]  // chunk i is used up to len(nodes[i])
+	towers [][]*Node[K, V] // forward-pointer slabs, carved per tower
+	nc, tc int             // active chunk indices
+}
+
+// arenaChunk is the node count per slab chunk; tower chunks hold twice
+// as many pointers (the expected tower total is 2 per node).
+const arenaChunk = 256
+
+// Reset recycles every chunk. The caller must guarantee no list built
+// from this arena is referenced anymore.
+func (a *Arena[K, V]) Reset() {
+	for i := range a.nodes {
+		a.nodes[i] = a.nodes[i][:0]
+	}
+	for i := range a.towers {
+		a.towers[i] = a.towers[i][:0]
+	}
+	a.nc, a.tc = 0, 0
+}
+
+// node returns a zeroed node from the slab, growing by one chunk when
+// the active one fills.
+func (a *Arena[K, V]) node() *Node[K, V] {
+	for a.nc < len(a.nodes) && len(a.nodes[a.nc]) == cap(a.nodes[a.nc]) {
+		a.nc++
+	}
+	if a.nc == len(a.nodes) {
+		a.nodes = append(a.nodes, make([]Node[K, V], 0, arenaChunk))
+	}
+	c := a.nodes[a.nc][:len(a.nodes[a.nc])+1]
+	a.nodes[a.nc] = c
+	n := &c[len(c)-1]
+	*n = Node[K, V]{} // clear recycled state
+	return n
+}
+
+// tower returns a zeroed capacity-capped pointer slice of length h
+// carved from the slab. A chunk whose remainder is smaller than h is
+// skipped until Reset (h ≤ maxLevel ≪ chunk size, so waste is tiny).
+func (a *Arena[K, V]) tower(h int) []*Node[K, V] {
+	for a.tc < len(a.towers) && cap(a.towers[a.tc])-len(a.towers[a.tc]) < h {
+		a.tc++
+	}
+	if a.tc == len(a.towers) {
+		size := 2 * arenaChunk
+		if h > size {
+			size = h
+		}
+		a.towers = append(a.towers, make([]*Node[K, V], 0, size))
+	}
+	c := a.towers[a.tc]
+	base := len(c)
+	a.towers[a.tc] = c[:base+h]
+	tw := c[base : base+h : base+h]
+	for i := range tw {
+		tw[i] = nil
+	}
+	return tw
+}
+
 // Builder assembles a list from keys fed in nondecreasing order in O(1)
 // amortized time per node — no searches. The GK batch paths use it to
 // rebuild their tuple index after a sort+merge pass: rebuilding L nodes
 // costs O(L) instead of the O(L log L) of repeated Insert calls.
 type Builder[K cmp.Ordered, V any] struct {
 	list  *List[K, V]
+	arena *Arena[K, V]          // optional node/tower slab source
 	tails [maxLevel]*Node[K, V] // last node linked on each level
 }
 
 // NewBuilder starts building an empty list with the given tower seed.
 func NewBuilder[K cmp.Ordered, V any](seed uint64) *Builder[K, V] {
-	b := &Builder[K, V]{list: New[K, V](seed)}
+	return NewBuilderArena[K, V](seed, nil)
+}
+
+// NewBuilderArena starts building an empty list whose nodes and towers
+// are drawn from the given arena (heap-allocated when arena is nil).
+// The caller owns the arena's lifecycle: the built list is valid until
+// the arena's next Reset.
+func NewBuilderArena[K cmp.Ordered, V any](seed uint64, arena *Arena[K, V]) *Builder[K, V] {
+	b := &Builder[K, V]{list: New[K, V](seed), arena: arena}
 	for lv := range b.tails {
 		b.tails[lv] = b.list.head
 	}
@@ -226,7 +304,14 @@ func (b *Builder[K, V]) Append(key K, value V) *Node[K, V] {
 		panic("skiplist: Builder.Append out of order")
 	}
 	h := l.randomLevel()
-	n := &Node[K, V]{Key: key, Value: value, next: make([]*Node[K, V], h), prev: b.tails[0]}
+	var n *Node[K, V]
+	if b.arena != nil {
+		n = b.arena.node()
+		n.Key, n.Value = key, value
+		n.next, n.prev = b.arena.tower(h), b.tails[0]
+	} else {
+		n = &Node[K, V]{Key: key, Value: value, next: make([]*Node[K, V], h), prev: b.tails[0]}
+	}
 	if h > l.level {
 		l.level = h
 	}

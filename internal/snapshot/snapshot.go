@@ -69,6 +69,13 @@ func (c *Cache) Current() *core.QuerySnapshot {
 // summaries need the exclusive lock, as for any query). Concurrent
 // Rebuild calls under a shared lock are safe: they build identical
 // snapshots and the last Store wins.
+//
+// The retired snapshot is deliberately NOT recycled into the new build
+// (no AppendQuerySnapshot over the old arrays, no pool): readers that
+// loaded it lock-free just before the epoch bump may still be mid
+// binary search, so its arrays must stay immutable until the GC
+// reclaims them. Capacity reuse is only sound where a single goroutine
+// owns the snapshot — see Cached.
 func (c *Cache) Rebuild(s core.Snapshotter) *core.QuerySnapshot {
 	epoch := c.Epoch()
 	qs := core.BuildQuerySnapshot(s)
@@ -88,11 +95,21 @@ func (c *Cache) Rebuild(s core.Snapshotter) *core.QuerySnapshot {
 // opt-in: they change answers, so nothing routes through them
 // implicitly.
 func BuildGrid(s core.Summary, gridEps float64) *core.QuerySnapshot {
+	qs := new(core.QuerySnapshot)
+	AppendGrid(qs, s, gridEps)
+	return qs
+}
+
+// AppendGrid overwrites qs with a grid snapshot of s (see BuildGrid),
+// reusing qs's slice capacity. Callers own the single-writer protocol:
+// qs must not be visible to concurrent readers during the rebuild.
+func AppendGrid(qs *core.QuerySnapshot, s core.Summary, gridEps float64) {
 	core.CheckEps(gridEps)
+	qs.Reset()
 	n := s.Count()
-	qs := &core.QuerySnapshot{N: n}
+	qs.N = n
 	if n <= 0 {
-		return qs
+		return
 	}
 	phis := core.EvenPhis(gridEps)
 	vals := core.QuantileBatch(s, phis)
@@ -107,7 +124,6 @@ func BuildGrid(s core.Summary, gridEps float64) *core.QuerySnapshot {
 		qs.RRanks = append(qs.RRanks, key)
 	}
 	qs.RStrict = true
-	return qs
 }
 
 // Cached is a single-goroutine caching view of a summary for
@@ -117,10 +133,16 @@ func BuildGrid(s core.Summary, gridEps float64) *core.QuerySnapshot {
 // caller signals a write with Invalidate. For concurrent use, wrap the
 // summary in a Safe* wrapper instead, which drives a Cache under its
 // own locks.
+// Being single-goroutine is also what lets Cached recycle: Invalidate
+// only marks the snapshot stale, and the next query rebuilds *into the
+// same QuerySnapshot*, reusing its column capacity — the allocation-free
+// invalidate/rebuild cycle the Cache type must forgo (its retired
+// snapshots may still be read lock-free).
 type Cached struct {
 	s       core.Summary
 	gridEps float64
 	qs      *core.QuerySnapshot
+	stale   bool
 }
 
 // NewCached wraps s. gridEps bounds the extra rank error accepted for
@@ -138,16 +160,22 @@ func (c *Cached) Exact() bool {
 	return ok
 }
 
-// Invalidate retires the snapshot; the next query rebuilds.
-func (c *Cached) Invalidate() { c.qs = nil }
+// Invalidate marks the snapshot stale; the next query rebuilds in
+// place, reusing the retired snapshot's capacity.
+func (c *Cached) Invalidate() { c.stale = true }
 
 func (c *Cached) snapshot() *core.QuerySnapshot {
 	if c.qs == nil {
+		c.qs = new(core.QuerySnapshot)
+		c.stale = true
+	}
+	if c.stale {
 		if ss, ok := c.s.(core.Snapshotter); ok {
-			c.qs = core.BuildQuerySnapshot(ss)
+			ss.AppendQuerySnapshot(c.qs)
 		} else {
-			c.qs = BuildGrid(c.s, c.gridEps)
+			AppendGrid(c.qs, c.s, c.gridEps)
 		}
+		c.stale = false
 	}
 	return c.qs
 }

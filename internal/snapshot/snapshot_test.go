@@ -44,6 +44,7 @@ func (e *exactList) AppendQuerySnapshot(qs *core.QuerySnapshot) {
 	if e.onBuild != nil {
 		e.onBuild()
 	}
+	qs.Reset() // the Snapshotter contract: overwrite, reusing capacity
 	n := int64(len(e.vals))
 	qs.N = n
 	for i, v := range e.vals {
@@ -178,6 +179,40 @@ func TestBuildGridRankError(t *testing.T) {
 		if got := grid.Rank(x); got-want > slack || want-got > slack {
 			t.Errorf("grid Rank(%d) = %d, exact %d: off by more than %d", x, got, want, slack)
 		}
+	}
+}
+
+// BenchmarkCacheRebuild measures the concurrent Cache's rebuild path,
+// which must allocate a fresh snapshot every time (retired snapshots
+// may still be read lock-free, so their arrays cannot be reused).
+func BenchmarkCacheRebuild(b *testing.B) {
+	const n = 1 << 14
+	s := &exactList{vals: ramp(n)}
+	var c Cache
+	b.SetBytes(n * 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Invalidate()
+		c.Rebuild(s)
+	}
+}
+
+// BenchmarkCachedRebuild measures the single-goroutine Cached wrapper's
+// invalidate/rebuild cycle, which rebuilds into the same QuerySnapshot:
+// after warm-up the columns are at capacity and the steady state is
+// allocation-free.
+func BenchmarkCachedRebuild(b *testing.B) {
+	const n = 1 << 14
+	s := &exactList{vals: ramp(n)}
+	c := NewCached(s, 0.01)
+	c.Quantile(0.5) // warm the snapshot columns to capacity
+	b.SetBytes(n * 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Invalidate()
+		c.Quantile(0.5)
 	}
 }
 

@@ -91,6 +91,13 @@ func (s *SplitMix64) Perm(out []int) {
 	}
 }
 
+// Mod61 reduces a 64-bit value modulo 2^61 − 1 to the canonical
+// representative in [0, 2^61 − 1), provided x < 7·2^61 (any value a
+// LazyMulFold chain of up to three steps can produce, and in particular
+// any uint64 below 2^63.8). The fused sketch kernels hoist it out of
+// their row loops.
+func Mod61(x uint64) uint64 { return mod61(x) }
+
 // mod61 reduces a 64-bit value modulo 2^61 − 1.
 func mod61(x uint64) uint64 {
 	x = (x & MersennePrime61) + (x >> 61)
@@ -162,26 +169,126 @@ func (p *Poly) Eval(x uint64) uint64 {
 // store reduces to the canonical representative — the same value Eval
 // computes, with the per-step compare-and-subtract and the AddMod61
 // reductions gone.
+// The straight-line bodies are additionally unrolled four elements per
+// iteration: one Horner chain is serial in its multiplies, so a
+// one-element loop leaves the multiplier idle for most of each chain's
+// latency, while four independent chains in flight run it at
+// throughput. The tail loop computes the identical per-element body.
 func (p *Poly) EvalSlice(dst, xs []uint64) {
 	_ = dst[:len(xs)]
 	switch len(p.coef) {
 	case 2:
 		c0, c1 := p.coef[0], p.coef[1]
-		for i, x := range xs {
-			dst[i] = mod61(lazyMulStep(c1, mod61(x)) + c0)
+		i := 0
+		for ; i+3 < len(xs); i += 4 {
+			v0, v1 := mod61(xs[i]), mod61(xs[i+1])
+			v2, v3 := mod61(xs[i+2]), mod61(xs[i+3])
+			dst[i] = mod61(lazyMulFold(c1, v0) + c0)
+			dst[i+1] = mod61(lazyMulFold(c1, v1) + c0)
+			dst[i+2] = mod61(lazyMulFold(c1, v2) + c0)
+			dst[i+3] = mod61(lazyMulFold(c1, v3) + c0)
+		}
+		for ; i < len(xs); i++ {
+			dst[i] = mod61(lazyMulFold(c1, mod61(xs[i])) + c0)
 		}
 	case 4:
 		c0, c1, c2, c3 := p.coef[0], p.coef[1], p.coef[2], p.coef[3]
-		for i, x := range xs {
-			v := mod61(x)
-			acc := lazyMulStep(c3, v) + c2
-			acc = lazyMulStep(acc, v) + c1
-			dst[i] = mod61(lazyMulStep(acc, v) + c0)
+		i := 0
+		for ; i+3 < len(xs); i += 4 {
+			v0, v1 := mod61(xs[i]), mod61(xs[i+1])
+			v2, v3 := mod61(xs[i+2]), mod61(xs[i+3])
+			s0 := lazyMulFold(c3, v0) + c2
+			s1 := lazyMulFold(c3, v1) + c2
+			s2 := lazyMulFold(c3, v2) + c2
+			s3 := lazyMulFold(c3, v3) + c2
+			s0 = lazyMulFold(s0, v0) + c1
+			s1 = lazyMulFold(s1, v1) + c1
+			s2 = lazyMulFold(s2, v2) + c1
+			s3 = lazyMulFold(s3, v3) + c1
+			dst[i] = mod61(lazyMulFold(s0, v0) + c0)
+			dst[i+1] = mod61(lazyMulFold(s1, v1) + c0)
+			dst[i+2] = mod61(lazyMulFold(s2, v2) + c0)
+			dst[i+3] = mod61(lazyMulFold(s3, v3) + c0)
+		}
+		for ; i < len(xs); i++ {
+			v := mod61(xs[i])
+			acc := lazyMulFold(c3, v) + c2
+			acc = lazyMulFold(acc, v) + c1
+			dst[i] = mod61(lazyMulFold(acc, v) + c0)
 		}
 	default:
 		for i, x := range xs {
 			dst[i] = p.Eval(x)
 		}
+	}
+}
+
+// EvalPairSlice evaluates two polynomials of equal degree at every
+// element of xs in a single pass, writing p's values into dst0 and q's
+// into dst1. The two Horner chains are interleaved in the loop body, so
+// two independent 64×64 multiply chains are in flight per iteration —
+// the multiplier's latency is paid once, not twice — and x is reduced
+// into the field once for both. Values are identical to EvalSlice run
+// on each polynomial separately; degree pairs other than the sketch
+// families' 2 and 4 fall back to exactly that.
+func EvalPairSlice(p, q *Poly, dst0, dst1, xs []uint64) {
+	_ = dst0[:len(xs)]
+	_ = dst1[:len(xs)]
+	if len(p.coef) != len(q.coef) {
+		p.EvalSlice(dst0, xs)
+		q.EvalSlice(dst1, xs)
+		return
+	}
+	switch len(p.coef) {
+	case 2:
+		a0, a1 := p.coef[0], p.coef[1]
+		b0, b1 := q.coef[0], q.coef[1]
+		i := 0
+		for ; i+1 < len(xs); i += 2 {
+			v0, v1 := mod61(xs[i]), mod61(xs[i+1])
+			dst0[i] = mod61(lazyMulFold(a1, v0) + a0)
+			dst1[i] = mod61(lazyMulFold(b1, v0) + b0)
+			dst0[i+1] = mod61(lazyMulFold(a1, v1) + a0)
+			dst1[i+1] = mod61(lazyMulFold(b1, v1) + b0)
+		}
+		for ; i < len(xs); i++ {
+			v := mod61(xs[i])
+			dst0[i] = mod61(lazyMulFold(a1, v) + a0)
+			dst1[i] = mod61(lazyMulFold(b1, v) + b0)
+		}
+	case 4:
+		// Two rows × two elements = four independent multiply chains in
+		// flight, enough to keep the 64×64 multiplier at throughput.
+		a0, a1, a2, a3 := p.coef[0], p.coef[1], p.coef[2], p.coef[3]
+		b0, b1, b2, b3 := q.coef[0], q.coef[1], q.coef[2], q.coef[3]
+		i := 0
+		for ; i+1 < len(xs); i += 2 {
+			v0, v1 := mod61(xs[i]), mod61(xs[i+1])
+			s0 := lazyMulFold(a3, v0) + a2
+			t0 := lazyMulFold(b3, v0) + b2
+			s1 := lazyMulFold(a3, v1) + a2
+			t1 := lazyMulFold(b3, v1) + b2
+			s0 = lazyMulFold(s0, v0) + a1
+			t0 = lazyMulFold(t0, v0) + b1
+			s1 = lazyMulFold(s1, v1) + a1
+			t1 = lazyMulFold(t1, v1) + b1
+			dst0[i] = mod61(lazyMulFold(s0, v0) + a0)
+			dst1[i] = mod61(lazyMulFold(t0, v0) + b0)
+			dst0[i+1] = mod61(lazyMulFold(s1, v1) + a0)
+			dst1[i+1] = mod61(lazyMulFold(t1, v1) + b0)
+		}
+		for ; i < len(xs); i++ {
+			v := mod61(xs[i])
+			s := lazyMulFold(a3, v) + a2
+			t := lazyMulFold(b3, v) + b2
+			s = lazyMulFold(s, v) + a1
+			t = lazyMulFold(t, v) + b1
+			dst0[i] = mod61(lazyMulFold(s, v) + a0)
+			dst1[i] = mod61(lazyMulFold(t, v) + b0)
+		}
+	default:
+		p.EvalSlice(dst0, xs)
+		q.EvalSlice(dst1, xs)
 	}
 }
 
@@ -196,6 +303,34 @@ func lazyMulStep(a, b uint64) uint64 {
 	fold := (hi<<3 | lo>>61) + (lo & MersennePrime61)
 	return (fold & MersennePrime61) + (fold >> 61)
 }
+
+// lazyMulFold is the fully lazy multiply step: one fold, no
+// re-normalization at all. The fold ⌊a·b/2^61⌋ + (a·b mod 2^61) is
+// congruent to a·b (mod 2^61 − 1) and bounded by a + 2^61, so a Horner
+// chain that starts from a canonical coefficient and adds a canonical
+// coefficient after each step grows by at most 2^62 per step: after the
+// three steps of the degree-4 family the accumulator is below 7·2^61 =
+// 2^64 − 2^61, which both keeps this function's uint64 arithmetic
+// overflow-free (fold ≤ a + 2^61 − 2 requires a ≤ 2^64 − 2^61) and
+// lets the closing mod61 reach the canonical representative with its
+// single compare-and-subtract (x < 7·2^61 ⇒ (x & p) + (x >> 61) <
+// p + 7). b must be canonical (< 2^61). Three fewer ALU ops per step
+// than lazyMulStep on the hottest path in the tree.
+func lazyMulFold(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	return (hi<<3 | lo>>61) + (lo & MersennePrime61)
+}
+
+// LazyMulFold exposes lazyMulFold to the fused sketch kernels in
+// internal/freqsketch, which inline whole Horner chains (see the bounds
+// in lazyMulFold's comment: chains of up to three steps from canonical
+// coefficients stay below 7·2^61, and Mod61 closes them).
+func LazyMulFold(a, b uint64) uint64 { return lazyMulFold(a, b) }
+
+// Coefs returns the polynomial's coefficients (canonical, ascending
+// degree). Callers must treat the slice as read-only; the fused sketch
+// kernels use it to hoist coefficient loads into registers.
+func (p *Poly) Coefs() []uint64 { return p.coef }
 
 // Degree returns the number of coefficients (the independence order k).
 func (p *Poly) Degree() int { return len(p.coef) }
@@ -237,6 +372,26 @@ func (b *Bucket) HashSlice(dst, xs []uint64) {
 	}
 }
 
+// HashPairSlice maps every element of xs to its bucket under both b and
+// c (which must share their width), writing the results into dst0 and
+// dst1. The polynomial evaluations interleave via EvalPairSlice and the
+// bucket reductions share one reciprocal; values are identical to two
+// HashSlice calls.
+func HashPairSlice(b, c *Bucket, dst0, dst1, xs []uint64) {
+	if b.w != c.w {
+		b.HashSlice(dst0, xs)
+		c.HashSlice(dst1, xs)
+		return
+	}
+	EvalPairSlice(b.poly, c.poly, dst0, dst1, xs)
+	w := b.w
+	m := Reciprocal(w)
+	for i := range xs {
+		dst0[i] = ReduceMod(dst0[i], w, m)
+		dst1[i] = ReduceMod(dst1[i], w, m)
+	}
+}
+
 // Reciprocal precomputes ⌊(2^64−1)/w⌋ for ReduceMod.
 func Reciprocal(w uint64) uint64 { return ^uint64(0) / w }
 
@@ -256,6 +411,10 @@ func ReduceMod(x, w, m uint64) uint64 {
 
 // Width returns w.
 func (b *Bucket) Width() int { return int(b.w) }
+
+// HashPoly returns the underlying polynomial, for fused kernels that
+// evaluate and bucket-reduce in one loop. Read-only.
+func (b *Bucket) HashPoly() *Poly { return b.poly }
 
 // SpaceWords accounts for the coefficients plus the stored width.
 func (b *Bucket) SpaceWords() int64 { return b.poly.SpaceWords() + 1 }

@@ -316,3 +316,47 @@ func BenchmarkPoly4Eval(b *testing.B) {
 }
 
 var sinkU64 uint64
+
+func TestEvalPairSliceMatchesEval(t *testing.T) {
+	rng := NewSplitMix64(77)
+	xs := []uint64{0, 1, 2, MersennePrime61 - 1, MersennePrime61, ^uint64(0)}
+	for i := 0; i < 64; i++ {
+		xs = append(xs, rng.Next())
+	}
+	for _, degs := range [][2]int{{2, 2}, {4, 4}, {3, 3}, {2, 4}, {4, 2}} {
+		p := NewPoly(rng, degs[0])
+		q := NewPoly(rng, degs[1])
+		dst0 := make([]uint64, len(xs))
+		dst1 := make([]uint64, len(xs))
+		EvalPairSlice(p, q, dst0, dst1, xs)
+		for j, x := range xs {
+			if dst0[j] != p.Eval(x) {
+				t.Fatalf("degrees %v: dst0[%d] = %d, want Eval = %d", degs, j, dst0[j], p.Eval(x))
+			}
+			if dst1[j] != q.Eval(x) {
+				t.Fatalf("degrees %v: dst1[%d] = %d, want Eval = %d", degs, j, dst1[j], q.Eval(x))
+			}
+		}
+	}
+}
+
+func TestHashPairSliceMatchesHash(t *testing.T) {
+	rng := NewSplitMix64(78)
+	xs := make([]uint64, 100)
+	for i := range xs {
+		xs[i] = rng.Next()
+	}
+	for _, widths := range [][2]int{{97, 97}, {1, 1}, {64, 64}, {97, 101}} {
+		b := NewBucket(rng, 2, widths[0])
+		c := NewBucket(rng, 2, widths[1])
+		dst0 := make([]uint64, len(xs))
+		dst1 := make([]uint64, len(xs))
+		HashPairSlice(b, c, dst0, dst1, xs)
+		for j, x := range xs {
+			if int(dst0[j]) != b.Hash(x) || int(dst1[j]) != c.Hash(x) {
+				t.Fatalf("widths %v: pair hash (%d, %d) != (%d, %d) at %d",
+					widths, dst0[j], dst1[j], b.Hash(x), c.Hash(x), j)
+			}
+		}
+	}
+}
