@@ -1,0 +1,328 @@
+// A lightweight intra-function control-flow graph, built once per
+// analyzed function and shared by the flow-sensitive rules (SQ010 and
+// SQ011 run a held-lock dataflow over it; see locks.go).
+//
+// Blocks hold ast.Nodes in execution order: simple statements appear
+// whole, control statements contribute their condition/operand
+// expressions to the block that evaluates them, and the branching
+// itself becomes edges. return and explicit panic(...) terminate a
+// block; a reachable block with no successors falls off the end of the
+// function. Closures (FuncLit) are opaque: their bodies run at some
+// other time under some other lock regime, so the dataflow neither
+// enters them nor models their effects. goto (absent from this
+// codebase) marks the graph broken and the analysis skips the function
+// rather than guess.
+package main
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// cfgBlock is one straight-line run of nodes.
+type cfgBlock struct {
+	nodes []ast.Node
+	succs []*cfgBlock
+	// terminal marks a block whose last node leaves the function
+	// (return, or a call to the panic builtin).
+	terminal bool
+}
+
+type funcCFG struct {
+	entry  *cfgBlock
+	blocks []*cfgBlock
+	broken bool // goto or an unresolvable labeled branch: skip analysis
+}
+
+// loopCtx is one enclosing breakable construct during construction.
+type loopCtx struct {
+	label string
+	brk   *cfgBlock // break target
+	cont  *cfgBlock // continue target; nil for switch/select
+}
+
+type cfgBuilder struct {
+	cfg   *funcCFG
+	cur   *cfgBlock
+	loops []loopCtx
+}
+
+// buildCFG constructs the graph of one function body.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	b := &cfgBuilder{cfg: &funcCFG{}}
+	b.cur = b.newBlock()
+	b.cfg.entry = b.cur
+	b.stmtList(body.List)
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{}
+	b.cfg.blocks = append(b.cfg.blocks, blk)
+	return blk
+}
+
+func link(from, to *cfgBlock) {
+	from.succs = append(from.succs, to)
+}
+
+func (b *cfgBuilder) emit(n ast.Node) {
+	if n != nil {
+		b.cur.nodes = append(b.cur.nodes, n)
+	}
+}
+
+// terminate ends the current block (return/panic/branch) and resumes
+// building into a fresh, unreachable block so trailing dead code never
+// contaminates live paths.
+func (b *cfgBuilder) terminate(exitsFunc bool) {
+	b.cur.terminal = b.cur.terminal || exitsFunc
+	b.cur = b.newBlock()
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// findLoop resolves a break/continue target; empty label means the
+// innermost applicable context.
+func (b *cfgBuilder) findLoop(label string, needCont bool) *loopCtx {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		lc := &b.loops[i]
+		if label != "" && lc.label != label {
+			continue
+		}
+		if needCont && lc.cont == nil {
+			continue
+		}
+		return lc
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		b.stmt(s.Stmt, s.Label.Name)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.emit(s.Init)
+		}
+		b.emit(s.Cond)
+		cond := b.cur
+		after := b.newBlock()
+		then := b.newBlock()
+		link(cond, then)
+		b.cur = then
+		b.stmtList(s.Body.List)
+		link(b.cur, after)
+		if s.Else != nil {
+			els := b.newBlock()
+			link(cond, els)
+			b.cur = els
+			b.stmt(s.Else, "")
+			link(b.cur, after)
+		} else {
+			link(cond, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.emit(s.Init)
+		}
+		head := b.newBlock()
+		link(b.cur, head)
+		if s.Cond != nil {
+			head.nodes = append(head.nodes, s.Cond)
+		}
+		body := b.newBlock()
+		after := b.newBlock()
+		link(head, body)
+		if s.Cond != nil {
+			link(head, after)
+		}
+		cont := head
+		var post *cfgBlock
+		if s.Post != nil {
+			post = b.newBlock()
+			post.nodes = append(post.nodes, s.Post)
+			link(post, head)
+			cont = post
+		}
+		b.loops = append(b.loops, loopCtx{label: label, brk: after, cont: cont})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		link(b.cur, cont)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.cur = after
+
+	case *ast.RangeStmt:
+		b.emit(s.X) // the ranged operand is evaluated once, here
+		head := b.newBlock()
+		link(b.cur, head)
+		body := b.newBlock()
+		after := b.newBlock()
+		link(head, body)
+		link(head, after)
+		b.loops = append(b.loops, loopCtx{label: label, brk: after, cont: head})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		link(b.cur, head)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.emit(s.Init)
+		}
+		if s.Tag != nil {
+			b.emit(s.Tag)
+		}
+		b.caseClauses(s.Body.List, label, func(cc *ast.CaseClause) []ast.Node {
+			nodes := make([]ast.Node, 0, len(cc.List))
+			for _, e := range cc.List {
+				nodes = append(nodes, e)
+			}
+			return nodes
+		})
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.emit(s.Init)
+		}
+		b.emit(s.Assign)
+		b.caseClauses(s.Body.List, label, func(*ast.CaseClause) []ast.Node { return nil })
+
+	case *ast.SelectStmt:
+		head := b.cur
+		after := b.newBlock()
+		b.loops = append(b.loops, loopCtx{label: label, brk: after})
+		for _, cs := range s.Body.List {
+			cc, ok := cs.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			blk := b.newBlock()
+			link(head, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.stmt(cc.Comm, "")
+			}
+			b.stmtList(cc.Body)
+			link(b.cur, after)
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		b.cur = after
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			lbl := ""
+			if s.Label != nil {
+				lbl = s.Label.Name
+			}
+			if lc := b.findLoop(lbl, false); lc != nil {
+				link(b.cur, lc.brk)
+			} else {
+				b.cfg.broken = true
+			}
+			b.terminate(false)
+		case token.CONTINUE:
+			lbl := ""
+			if s.Label != nil {
+				lbl = s.Label.Name
+			}
+			if lc := b.findLoop(lbl, true); lc != nil {
+				link(b.cur, lc.cont)
+			} else {
+				b.cfg.broken = true
+			}
+			b.terminate(false)
+		case token.GOTO:
+			b.cfg.broken = true
+			b.terminate(false)
+		case token.FALLTHROUGH:
+			// handled structurally by caseClauses; nothing to emit
+		}
+
+	case *ast.ReturnStmt:
+		b.emit(s)
+		b.terminate(true)
+
+	case *ast.ExprStmt:
+		b.emit(s)
+		if isPanicCall(s.X) {
+			b.terminate(true)
+		}
+
+	default:
+		// Assignments, declarations, defers, go statements, sends,
+		// incdec, empty statements: straight-line nodes.
+		b.emit(s)
+	}
+}
+
+// caseClauses wires the shared switch/type-switch shape: the head links
+// to every clause (and past them when no default exists), clause bodies
+// flow to the after block, and a trailing fallthrough flows into the
+// next clause's body instead.
+func (b *cfgBuilder) caseClauses(list []ast.Stmt, label string, caseNodes func(*ast.CaseClause) []ast.Node) {
+	head := b.cur
+	after := b.newBlock()
+	b.loops = append(b.loops, loopCtx{label: label, brk: after})
+	var clauses []*ast.CaseClause
+	for _, cs := range list {
+		if cc, ok := cs.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	blocks := make([]*cfgBlock, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blocks[i] = b.newBlock()
+		blocks[i].nodes = append(blocks[i].nodes, caseNodes(cc)...)
+		link(head, blocks[i])
+		if len(cc.List) == 0 {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		link(head, after)
+	}
+	for i, cc := range clauses {
+		b.cur = blocks[i]
+		body := cc.Body
+		fallsThrough := false
+		if n := len(body); n > 0 {
+			if br, ok := body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				body = body[:n-1]
+			}
+		}
+		b.stmtList(body)
+		if fallsThrough && i+1 < len(blocks) {
+			link(b.cur, blocks[i+1])
+		} else {
+			link(b.cur, after)
+		}
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	b.cur = after
+}
+
+// isPanicCall recognizes a direct call to the panic builtin.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,12 +1,12 @@
 // Engine: package discovery, parsing, ignore directives, and finding
-// bookkeeping. The rules themselves live in rules.go.
+// bookkeeping. The rule registry lives in rules.go and each rule in its
+// own sqNNN.go file.
 //
-// quantlint is deliberately a pure-syntax linter (go/ast + go/parser,
-// no go/types): the repo's rules are about names, imports and call
-// shapes, so full type checking would buy little and would drag in
-// build-tag and dependency resolution. The one type-sensitive rule,
-// SQ002, uses a per-package set of float-typed names instead; see
-// rules.go for the trade-off.
+// Parsing is pure go/ast + go/parser; type information (typecheck.go)
+// is computed lazily, per package, only when a rule that needs it
+// (the lock rules SQ010/SQ011, SQ012's float veto) actually looks at a
+// package that uses locks or merges. Packages that never trip those
+// gates are linted exactly as cheaply as before the typed pass existed.
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -83,6 +84,13 @@ type linter struct {
 	byImport map[string]*pkgInfo
 	ignores  map[string]map[int][]ignoreDirective // file -> line -> directives
 	findings []finding
+
+	// Lazy typed-pass state (typecheck.go, locks.go). Nothing here is
+	// populated until a rule asks for a package's type information.
+	types    map[*pkgInfo]*typeInfo
+	checking map[*pkgInfo]bool
+	locks    map[*pkgInfo]*lockFindings
+	stdImp   types.Importer
 }
 
 // lint parses every package matched by the patterns and runs all rules.
@@ -90,12 +98,24 @@ type linter struct {
 // recursive walk. The returned findings include suppressed ones, sorted
 // by position; the caller decides what to show.
 func lint(base string, patterns []string) ([]finding, error) {
+	return lintOnly(base, patterns, nil)
+}
+
+// lintOnly is lint restricted to a rule subset: only the rules in
+// `only` run, and only their findings (plus SQ000, the engine's own
+// directive diagnostics) are returned. A nil set means every rule.
+// Skipping a rule skips its work too — `-only SQ002` on a big tree
+// never pays for the lock rules' typed pass.
+func lintOnly(base string, patterns []string, only map[string]bool) ([]finding, error) {
 	l := &linter{
 		base:     base,
 		fset:     token.NewFileSet(),
 		mods:     map[string]*module{},
 		byImport: map[string]*pkgInfo{},
 		ignores:  map[string]map[int][]ignoreDirective{},
+		types:    map[*pkgInfo]*typeInfo{},
+		checking: map[*pkgInfo]bool{},
+		locks:    map[*pkgInfo]*lockFindings{},
 	}
 	dirs, err := l.expand(patterns)
 	if err != nil {
@@ -106,16 +126,21 @@ func lint(base string, patterns []string) ([]finding, error) {
 			return nil, err
 		}
 	}
-	l.checkSQ001()
-	l.checkSQ002()
-	l.checkSQ003()
-	l.checkSQ004()
-	l.checkSQ005()
-	l.checkSQ006()
-	l.checkSQ007()
-	l.checkSQ008()
-	l.checkSQ009()
+	for _, r := range ruleTable {
+		if only == nil || only[r.id] {
+			r.run(l)
+		}
+	}
 	l.markSuppressed()
+	if only != nil {
+		kept := l.findings[:0]
+		for _, f := range l.findings {
+			if only[f.Rule] || f.Rule == "SQ000" {
+				kept = append(kept, f)
+			}
+		}
+		l.findings = kept
+	}
 	sort.Slice(l.findings, func(i, j int) bool {
 		a, b := l.findings[i], l.findings[j]
 		if a.File != b.File {
@@ -127,7 +152,10 @@ func lint(base string, patterns []string) ([]finding, error) {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
 	})
 	return l.findings, nil
 }
@@ -306,8 +334,11 @@ func modulePath(gomod string) (string, error) {
 }
 
 // collectIgnores indexes the file's //lint:ignore directives by line.
-// A directive must name a rule and give a non-empty reason; malformed
-// directives are themselves reported so they cannot silently rot.
+// A directive must name a rule — or a comma-separated list of rules,
+// `//lint:ignore SQ002,SQ003 reason` — and give a non-empty reason;
+// malformed directives are themselves reported so they cannot silently
+// rot. A comma list expands to one directive per rule sharing the one
+// reason.
 func (l *linter) collectIgnores(path string, f *ast.File) {
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
@@ -317,7 +348,18 @@ func (l *linter) collectIgnores(path string, f *ast.File) {
 			}
 			pos := l.fset.Position(c.Pos())
 			fields := strings.Fields(text)
-			if len(fields) < 2 || !strings.HasPrefix(fields[0], "SQ") {
+			rules := []string{}
+			if len(fields) >= 2 {
+				for _, r := range strings.Split(fields[0], ",") {
+					if strings.HasPrefix(r, "SQ") {
+						rules = append(rules, r)
+					} else {
+						rules = nil
+						break
+					}
+				}
+			}
+			if len(rules) == 0 {
 				l.findings = append(l.findings, finding{
 					File: l.relFile(pos.Filename), Line: pos.Line, Col: pos.Column,
 					Rule: "SQ000",
@@ -330,10 +372,10 @@ func (l *linter) collectIgnores(path string, f *ast.File) {
 				m = map[int][]ignoreDirective{}
 				l.ignores[path] = m
 			}
-			m[pos.Line] = append(m[pos.Line], ignoreDirective{
-				rule:   fields[0],
-				reason: strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text), fields[0])),
-			})
+			reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text), fields[0]))
+			for _, r := range rules {
+				m[pos.Line] = append(m[pos.Line], ignoreDirective{rule: r, reason: reason})
+			}
 		}
 	}
 }

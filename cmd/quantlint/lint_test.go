@@ -2,6 +2,7 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -99,6 +100,10 @@ func TestEachRuleFiresExactlyOnce(t *testing.T) {
 		"internal/sq007":   "SQ007",
 		"internal/sq008":   "SQ008",
 		"internal/sq009":   "SQ009", // the pool-pairing half
+		"internal/sq010":   "SQ010",
+		"internal/sq011":   "SQ011",
+		"internal/sq012":   "SQ012",
+		"internal/sq013":   "SQ013", // anchored at the target's MarshalBinary
 		"internal/gk":      "SQ009", // the columnar-layout half fires at a columnar path
 		"internal/ignored": "SQ000", // the malformed directive
 		"quantiles.go":     "SQ005",
@@ -116,9 +121,10 @@ func TestEachRuleFiresExactlyOnce(t *testing.T) {
 	}
 }
 
-// TestSuppressionStyles verifies both directive placements — the line
-// before the finding and a trailing comment on the finding's line — and
-// that the reason is carried through.
+// TestSuppressionStyles verifies the directive placements — the line
+// before the finding, a trailing comment on the finding's line, and a
+// comma list waiving two rules at once — and that the reason is carried
+// through.
 func TestSuppressionStyles(t *testing.T) {
 	var suppressed []finding
 	for _, f := range lintFixture(t, "bad") {
@@ -126,12 +132,12 @@ func TestSuppressionStyles(t *testing.T) {
 			suppressed = append(suppressed, f)
 		}
 	}
-	if len(suppressed) != 2 {
-		t.Fatalf("want the 2 waived findings of internal/ignored, got %d: %v", len(suppressed), suppressed)
+	if len(suppressed) != 4 {
+		t.Fatalf("want the 4 waived findings of internal/ignored, got %d: %v", len(suppressed), suppressed)
 	}
-	rules := map[string]bool{}
+	counts := map[string]int{}
 	for _, f := range suppressed {
-		rules[f.Rule] = true
+		counts[f.Rule]++
 		if !strings.HasPrefix(f.File, "internal/ignored/") {
 			t.Errorf("suppressed finding outside internal/ignored: %v", f)
 		}
@@ -139,8 +145,8 @@ func TestSuppressionStyles(t *testing.T) {
 			t.Errorf("directive reason not carried through: %q", f.Reason)
 		}
 	}
-	if !rules["SQ002"] || !rules["SQ003"] {
-		t.Errorf("want one suppressed SQ002 (same-line) and one SQ003 (preceding line), got %v", rules)
+	if counts["SQ002"] != 2 || counts["SQ003"] != 2 {
+		t.Errorf("want 2 suppressed SQ002 and 2 SQ003 (single directives plus the comma list), got %v", counts)
 	}
 }
 
@@ -166,5 +172,149 @@ func TestRepoIsLintClean(t *testing.T) {
 	}
 	if active := render(fs, false); active != "" {
 		t.Errorf("repository is not lint-clean:\n%s", active)
+	}
+}
+
+// TestRuleTable pins the catalog `-rules` prints: ids are SQ001..SQ013
+// in order, each with a one-line doc, and knownRule accepts exactly
+// them plus the SQ000 pseudo-rule.
+func TestRuleTable(t *testing.T) {
+	if len(ruleTable) != 13 {
+		t.Fatalf("want 13 registered rules, got %d", len(ruleTable))
+	}
+	for i, r := range ruleTable {
+		wantID := fmt.Sprintf("SQ%03d", i+1)
+		if r.id != wantID {
+			t.Errorf("ruleTable[%d].id = %s, want %s", i, r.id, wantID)
+		}
+		if r.doc == "" || r.run == nil {
+			t.Errorf("%s: missing doc or run", r.id)
+		}
+		if !knownRule(r.id) {
+			t.Errorf("knownRule(%s) = false", r.id)
+		}
+	}
+	if !knownRule("SQ000") {
+		t.Error("knownRule(SQ000) = false: the directive pseudo-rule must be addressable")
+	}
+	if knownRule("SQ014") || knownRule("nonsense") {
+		t.Error("knownRule accepts ids that do not exist")
+	}
+}
+
+// TestOnlyFilter checks -only's contract on the bad module: restricted
+// to SQ011, the output holds that rule's finding (plus SQ000, the
+// engine's own directive diagnostics) and nothing else.
+func TestOnlyFilter(t *testing.T) {
+	base, err := filepath.Abs(filepath.Join("testdata", "bad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := lintOnly(base, []string{"./..."}, map[string]bool{"SQ011": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, f := range fs {
+		counts[f.Rule]++
+	}
+	if counts["SQ011"] != 1 {
+		t.Errorf("want exactly the one SQ011 finding, got %v", counts)
+	}
+	for rule := range counts {
+		if rule != "SQ011" && rule != "SQ000" {
+			t.Errorf("-only SQ011 leaked rule %s into the output: %v", rule, counts)
+		}
+	}
+}
+
+// TestNewRulesCleanOnRepo is the tree-health self-check for the typed
+// rules alone: the real repository must be clean under SQ010–SQ013
+// with no waivers at all (the lock, eps and codec disciplines hold
+// everywhere, not just modulo ignores).
+func TestNewRulesCleanOnRepo(t *testing.T) {
+	base, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := lintOnly(base, []string{"./..."}, map[string]bool{
+		"SQ010": true, "SQ011": true, "SQ012": true, "SQ013": true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := render(fs, true); out != "" {
+		t.Errorf("typed rules report findings on the real tree:\n%s", out)
+	}
+}
+
+// TestStrippedDeferIsCaught is the negative control for the lock
+// analysis: copy the repository, delete one `defer c.mu.Unlock()` from
+// safe.go, and SQ011 must report the leaked lock. If this test fails,
+// the dataflow has gone blind — a green SQ011 over the real tree would
+// mean nothing.
+func TestStrippedDeferIsCaught(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := t.TempDir()
+	stripped := false
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "cmd", "testdata", ".github":
+				if rel != "." {
+					return filepath.SkipDir
+				}
+			}
+			if rel == "." {
+				return nil
+			}
+			return os.MkdirAll(filepath.Join(tmp, rel), 0o755)
+		}
+		if !strings.HasSuffix(d.Name(), ".go") && d.Name() != "go.mod" {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if rel == "safe.go" {
+			const target = "defer c.mu.Unlock()"
+			idx := strings.Index(string(data), target)
+			if idx < 0 {
+				t.Fatalf("safe.go no longer contains %q; update this test's mutation", target)
+			}
+			data = append(data[:idx], data[idx+len(target):]...)
+			stripped = true
+		}
+		return os.WriteFile(filepath.Join(tmp, rel), data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stripped {
+		t.Fatal("copy finished without mutating safe.go")
+	}
+	fs, err := lintOnly(tmp, []string{"./..."}, map[string]bool{"SQ011": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range fs {
+		if f.Rule == "SQ011" && f.File == "safe.go" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("stripping a defer unlock from safe.go produced no SQ011 finding; got: %s", render(fs, true))
 	}
 }

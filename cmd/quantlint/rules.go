@@ -1,38 +1,56 @@
-// The eight quantlint rules. Each is a pure-syntax check; see lint.go
-// for why the linter deliberately avoids go/types.
-//
-//	SQ001  determinism: algorithm packages must not reach for ambient
-//	       randomness or wall-clock time
-//	SQ002  no ==/!= between float64 expressions
-//	SQ003  panic stays out of hot paths: constructors and check*
-//	       helpers only (plus the documented panic(ErrEmpty) contract)
-//	SQ004  layering: internal/* never imports the harness, cmd/*, or
-//	       the root package
-//	SQ005  every summary type registered in quantiles.go implements
-//	       Invariants() error
-//	SQ006  decode paths in internal/* must not panic and must not let
-//	       the encoded input size an allocation without a guard
-//	SQ007  ingestion hot paths (Update/Insert/Add and their batch
-//	       variants) must not allocate per item: no fmt, no make in a
-//	       loop, no interface boxing, and appends only onto slices the
-//	       package demonstrably preallocates with a capacity
-//	SQ008  query hot paths (Quantile/Rank, Quantiles, and the batch
-//	       variants) must not allocate per fraction: no fmt, and no
-//	       make or interface boxing inside a loop — one allocation per
-//	       batch is the contract, one per φ is the regression the
-//	       batch paths exist to remove
-//	SQ009  memory layout: the columnar summary packages (gk, kll, mrl,
-//	       qdigest) must not declare slices of all-numeric tuple
-//	       structs (array-of-structs creep), and every sync.Pool Get
-//	       must have a Put on the same pool in the same function
+// The rule registry and the syntactic helpers shared across rules.
+// Each rule lives in its own sqNNN.go analyzer unit; they share the
+// engine (lint.go), the lazy typed pass (typecheck.go), the
+// intra-function CFG (cfg.go), the guarded-by annotation tables
+// (guards.go) and the held-lock dataflow (locks.go).
 package main
 
 import (
-	"fmt"
 	"go/ast"
 	"go/token"
 	"strings"
 )
+
+// ruleInfo is one registered analyzer: its id, a one-line contract for
+// `-rules`, and the pass over the loaded packages.
+type ruleInfo struct {
+	id  string
+	doc string
+	run func(*linter)
+}
+
+// ruleTable is the ordered rule catalog. SQ000 (malformed //lint:ignore
+// directive) is a pseudo-rule emitted by the engine itself while
+// indexing directives, so it does not appear here.
+var ruleTable = []ruleInfo{
+	{"SQ001", "algorithm packages must not import math/rand or crypto/rand or call time.Now(): randomness flows through internal/xhash seeds, timing through the harness", (*linter).checkSQ001},
+	{"SQ002", "no ==/!= between float64 expressions: compare with a tolerance or math.Float64bits", (*linter).checkSQ002},
+	{"SQ003", "panic stays out of hot paths: New*/check* helpers only, plus the documented panic(ErrEmpty) contract", (*linter).checkSQ003},
+	{"SQ004", "layering: internal/* never imports the harness, cmd/*, or the root package", (*linter).checkSQ004},
+	{"SQ005", "every summary type registered in quantiles.go implements Invariants() error", (*linter).checkSQ005},
+	{"SQ006", "decode paths in internal/* never panic and never let the encoded input size an allocation without a bounding comparison", (*linter).checkSQ006},
+	{"SQ007", "ingestion hot paths (Update/Insert/Add and batch variants) must not allocate per item: no fmt, no make in a loop, no boxing, appends only onto preallocated slices", (*linter).checkSQ007},
+	{"SQ008", "query hot paths (Quantile/Rank and batch variants) must not allocate per fraction: no fmt, no make or boxing inside a loop", (*linter).checkSQ008},
+	{"SQ009", "memory layout: no []T over all-numeric tuple structs in the columnar packages, and every pool.Get pairs with a Put in the same function", (*linter).checkSQ009},
+	{"SQ010", "guarded-by discipline: a read or write of a field annotated `// guarded by mu` must hold that mutex (Lock/RLock dominates the access); constructors are exempt", (*linter).checkSQ010},
+	{"SQ011", "unlock-path soundness: every Lock/RLock is released on all CFG paths out of the function, via defer or a post-dominating Unlock", (*linter).checkSQ011},
+	{"SQ012", "eps-budget propagation: a Merge implementation must derive the result eps via max/documented additive helpers, never copy one operand's eps or a fresh literal", (*linter).checkSQ012},
+	{"SQ013", "codec parity: every registered summary with MarshalBinary has UnmarshalBinary, a golden fixture under testdata/golden/, and a fuzz/crash-matrix seed", (*linter).checkSQ013},
+}
+
+// ruleIDs reports whether id names a registered rule (or the engine's
+// SQ000 directive pseudo-rule).
+func knownRule(id string) bool {
+	if id == "SQ000" {
+		return true
+	}
+	for _, r := range ruleTable {
+		if r.id == id {
+			return true
+		}
+	}
+	return false
+}
 
 // isInternalPkg reports whether p is an algorithm-side package, i.e.
 // lives under internal/ of its module.
@@ -45,59 +63,6 @@ func under(rel, prefix string) bool {
 	return rel == prefix || strings.HasPrefix(rel, prefix+"/")
 }
 
-// ---------------------------------------------------------------- SQ001
-
-// sq001Exempt lists the internal packages allowed to touch randomness
-// or time: xhash IS the repo's seeded randomness source, and harness is
-// the measurement layer whose whole job is timing.
-var sq001Exempt = []string{"internal/xhash", "internal/harness"}
-
-var sq001BadImports = map[string]bool{
-	"math/rand":    true,
-	"math/rand/v2": true,
-	"crypto/rand":  true,
-}
-
-func (l *linter) checkSQ001() {
-	for _, p := range l.pkgs {
-		if !isInternalPkg(p) || exempt(p.rel, sq001Exempt) {
-			continue
-		}
-		for _, f := range p.files {
-			timeName := ""
-			for _, imp := range f.Imports {
-				path := strings.Trim(imp.Path.Value, `"`)
-				if sq001BadImports[path] {
-					l.report(imp.Pos(), "SQ001", fmt.Sprintf(
-						"import of %s in algorithm package %s: all randomness must flow through internal/xhash seeds (reproducibility)", path, p.rel))
-				}
-				if path == "time" {
-					timeName = "time"
-					if imp.Name != nil {
-						timeName = imp.Name.Name
-					}
-				}
-			}
-			if timeName == "" || timeName == "_" || timeName == "." {
-				continue
-			}
-			ast.Inspect(f, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Now" {
-					if id, ok := sel.X.(*ast.Ident); ok && id.Name == timeName {
-						l.report(call.Pos(), "SQ001", fmt.Sprintf(
-							"time.Now() in algorithm package %s: timing belongs in internal/harness", p.rel))
-					}
-				}
-				return true
-			})
-		}
-	}
-}
-
 func exempt(rel string, list []string) bool {
 	for _, e := range list {
 		if under(rel, e) {
@@ -105,284 +70,6 @@ func exempt(rel string, list []string) bool {
 		}
 	}
 	return false
-}
-
-// ---------------------------------------------------------------- SQ002
-
-// mathFloatFuncs are math package calls whose results are float64; a
-// comparison against one of these is a float comparison.
-var mathFloatFuncs = map[string]bool{
-	"Abs": true, "Ceil": true, "Floor": true, "Round": true, "Trunc": true,
-	"Sqrt": true, "Pow": true, "Exp": true, "Log": true, "Log2": true,
-	"Log10": true, "Inf": true, "NaN": true, "Max": true, "Min": true,
-	"Mod": true, "Hypot": true,
-}
-
-// checkSQ002 flags ==/!= where either side is recognizably float64.
-// Without go/types, "recognizably" means: a float literal, a float64
-// conversion, a math.* call, or a name that is declared float64
-// somewhere in the same package (fields, params, results, vars, or :=
-// from a float expression). The name heuristic can in principle
-// misfire on a name used for both an int and a float in one package;
-// the repo's naming (eps, phi, eta, err for floats) keeps that from
-// happening in practice, and //lint:ignore covers deliberate exact
-// comparisons.
-func (l *linter) checkSQ002() {
-	for _, p := range l.pkgs {
-		set := floatNames(p)
-		for _, f := range p.files {
-			ast.Inspect(f, func(n ast.Node) bool {
-				be, ok := n.(*ast.BinaryExpr)
-				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
-					return true
-				}
-				if exprIsFloat(be.X, set) || exprIsFloat(be.Y, set) {
-					l.report(be.OpPos, "SQ002", fmt.Sprintf(
-						"%s between float64 expressions: compare with a tolerance or math.Float64bits", be.Op))
-				}
-				return true
-			})
-		}
-	}
-}
-
-// floatNames collects the names declared float64/float32 anywhere in
-// the package.
-func floatNames(p *pkgInfo) map[string]bool {
-	set := map[string]bool{}
-	for _, f := range p.files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.Field: // struct fields, params, results
-				if isFloatType(n.Type) {
-					for _, name := range n.Names {
-						set[name.Name] = true
-					}
-				}
-			case *ast.ValueSpec:
-				if n.Type != nil && isFloatType(n.Type) {
-					for _, name := range n.Names {
-						set[name.Name] = true
-					}
-				} else if n.Type == nil {
-					for i, v := range n.Values {
-						if i < len(n.Names) && exprIsFloat(v, set) {
-							set[n.Names[i].Name] = true
-						}
-					}
-				}
-			case *ast.AssignStmt:
-				if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
-					return true
-				}
-				for i, rhs := range n.Rhs {
-					if exprIsFloat(rhs, set) {
-						if id, ok := n.Lhs[i].(*ast.Ident); ok {
-							set[id.Name] = true
-						}
-					}
-				}
-			}
-			return true
-		})
-	}
-	return set
-}
-
-func isFloatType(t ast.Expr) bool {
-	id, ok := t.(*ast.Ident)
-	return ok && (id.Name == "float64" || id.Name == "float32")
-}
-
-// exprIsFloat reports whether e is recognizably a float64 expression
-// given the package's float-typed names.
-func exprIsFloat(e ast.Expr, set map[string]bool) bool {
-	switch e := e.(type) {
-	case *ast.BasicLit:
-		return e.Kind == token.FLOAT
-	case *ast.Ident:
-		return set[e.Name]
-	case *ast.SelectorExpr:
-		return set[e.Sel.Name]
-	case *ast.ParenExpr:
-		return exprIsFloat(e.X, set)
-	case *ast.UnaryExpr:
-		return e.Op == token.SUB && exprIsFloat(e.X, set)
-	case *ast.BinaryExpr:
-		switch e.Op {
-		case token.ADD, token.SUB, token.MUL, token.QUO:
-			return exprIsFloat(e.X, set) || exprIsFloat(e.Y, set)
-		}
-		return false
-	case *ast.CallExpr:
-		if id, ok := e.Fun.(*ast.Ident); ok {
-			return id.Name == "float64" || id.Name == "float32"
-		}
-		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
-			if id, ok := sel.X.(*ast.Ident); ok {
-				return id.Name == "math" && mathFloatFuncs[sel.Sel.Name]
-			}
-		}
-	}
-	return false
-}
-
-// ---------------------------------------------------------------- SQ003
-
-// checkSQ003 keeps panic out of algorithm hot paths. A panic is allowed
-// only inside New*/new*/check*/Check* functions (constructors and
-// validation helpers, where the API contract documents it) or when its
-// argument is the exported ErrEmpty sentinel — the documented
-// empty-query contract shared by every summary. The harness is exempt:
-// it is tooling, not algorithm code.
-func (l *linter) checkSQ003() {
-	for _, p := range l.pkgs {
-		if !isInternalPkg(p) || under(p.rel, "internal/harness") {
-			continue
-		}
-		for _, f := range p.files {
-			for _, decl := range f.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				name := fd.Name.Name
-				if strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new") ||
-					strings.HasPrefix(name, "Check") || strings.HasPrefix(name, "check") {
-					continue
-				}
-				if isDecoderFunc(name) {
-					continue // decode paths are SQ006's jurisdiction
-				}
-				ast.Inspect(fd.Body, func(n ast.Node) bool {
-					call, ok := n.(*ast.CallExpr)
-					if !ok {
-						return true
-					}
-					if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "panic" {
-						return true
-					}
-					if len(call.Args) == 1 && isErrEmpty(call.Args[0]) {
-						return true
-					}
-					l.report(call.Pos(), "SQ003", fmt.Sprintf(
-						"panic in %s: hot paths must not panic — move validation into a New*/check* helper or panic(ErrEmpty)", name))
-					return true
-				})
-			}
-		}
-	}
-}
-
-func isErrEmpty(e ast.Expr) bool {
-	switch e := e.(type) {
-	case *ast.Ident:
-		return e.Name == "ErrEmpty"
-	case *ast.SelectorExpr:
-		return e.Sel.Name == "ErrEmpty"
-	}
-	return false
-}
-
-// ---------------------------------------------------------------- SQ004
-
-// checkSQ004 enforces the dependency direction: algorithm packages
-// (internal/*) sit below the harness, the commands, and the public
-// root package, and must never import upward.
-func (l *linter) checkSQ004() {
-	for _, p := range l.pkgs {
-		if !isInternalPkg(p) {
-			continue
-		}
-		mod := p.mod.path
-		for _, f := range p.files {
-			for _, imp := range f.Imports {
-				path := strings.Trim(imp.Path.Value, `"`)
-				switch {
-				case path == mod:
-					l.report(imp.Pos(), "SQ004", fmt.Sprintf(
-						"algorithm package %s imports the root package: dependencies must point from the API surface down, never up", p.rel))
-				case (path == mod+"/internal/harness" || strings.HasPrefix(path, mod+"/internal/harness/")) &&
-					!under(p.rel, "internal/harness"):
-					l.report(imp.Pos(), "SQ004", fmt.Sprintf(
-						"algorithm package %s imports the harness: measurement tooling sits above the algorithms", p.rel))
-				case path == mod+"/cmd" || strings.HasPrefix(path, mod+"/cmd/"):
-					l.report(imp.Pos(), "SQ004", fmt.Sprintf(
-						"algorithm package %s imports %s: cmd/ binaries are leaves of the dependency graph", p.rel, path))
-				}
-			}
-		}
-	}
-}
-
-// ---------------------------------------------------------------- SQ005
-
-// checkSQ005 pins the sanitizer contract: every summary type aliased in
-// the module root's quantiles.go into an internal package must carry an
-// Invariants() error method. "Summary type" means the alias target has
-// both Count and Quantile methods — interfaces, config structs and
-// helper types are skipped.
-func (l *linter) checkSQ005() {
-	for _, p := range l.pkgs {
-		if p.rel != "" {
-			continue // aliases are registered only in the module root
-		}
-		for _, f := range p.files {
-			name := l.fset.Position(f.Pos()).Filename
-			if !strings.HasSuffix(name, "quantiles.go") {
-				continue
-			}
-			l.checkRegistry(p, f)
-		}
-	}
-}
-
-func (l *linter) checkRegistry(root *pkgInfo, f *ast.File) {
-	imports := map[string]string{} // local name -> import path
-	for _, imp := range f.Imports {
-		path := strings.Trim(imp.Path.Value, `"`)
-		local := path[strings.LastIndex(path, "/")+1:]
-		if imp.Name != nil {
-			local = imp.Name.Name
-		}
-		imports[local] = path
-	}
-	for _, decl := range f.Decls {
-		gd, ok := decl.(*ast.GenDecl)
-		if !ok || gd.Tok != token.TYPE {
-			continue
-		}
-		for _, spec := range gd.Specs {
-			ts, ok := spec.(*ast.TypeSpec)
-			if !ok || !ts.Assign.IsValid() {
-				continue // only aliases register implementations
-			}
-			sel, ok := ts.Type.(*ast.SelectorExpr)
-			if !ok {
-				continue
-			}
-			pkgID, ok := sel.X.(*ast.Ident)
-			if !ok {
-				continue
-			}
-			ipath, ok := imports[pkgID.Name]
-			if !ok || !strings.HasPrefix(ipath, root.mod.path+"/internal/") {
-				continue
-			}
-			target, err := l.loadByImport(root.mod, ipath)
-			if err != nil || target == nil {
-				continue
-			}
-			methods := methodSet(target, sel.Sel.Name)
-			if !methods["Count"] || !methods["Quantile"] {
-				continue // not a summary type
-			}
-			if !hasInvariantsMethod(target, sel.Sel.Name) {
-				l.report(ts.Pos(), "SQ005", fmt.Sprintf(
-					"summary type %s (= %s.%s) must implement Invariants() error: every registered summary carries the deep sanitizer contract", ts.Name.Name, pkgID.Name, sel.Sel.Name))
-			}
-		}
-	}
 }
 
 // methodSet collects the names of methods declared on typeName (value
@@ -417,342 +104,6 @@ func receiverTypeName(t ast.Expr) string {
 	return ""
 }
 
-// ---------------------------------------------------------------- SQ006
-
-// decoderPrefixes name the decode-path functions: the BinaryUnmarshaler
-// entry points, their helpers, and frame/header parsers. These are the
-// only functions that ever see bytes from disk, so they carry a
-// stricter contract than SQ003: no panic at all (not even ErrEmpty —
-// corrupt input must surface as an error), and no allocation whose size
-// the input controls without a plausibility guard.
-var decoderPrefixes = []string{"Unmarshal", "unmarshal", "Decode", "decode", "Parse", "parse"}
-
-func isDecoderFunc(name string) bool {
-	for _, p := range decoderPrefixes {
-		if strings.HasPrefix(name, p) {
-			return true
-		}
-	}
-	return false
-}
-
-// checkSQ006 audits every decode path in internal/* packages. Two
-// shapes are flagged:
-//
-//   - any panic call: a decoder runs on bytes read back from disk, and
-//     a checkpoint that crashes the process on load is worse than no
-//     checkpoint at all;
-//   - a make() whose length or capacity is an identifier the function
-//     never compares against anything: that identifier came from the
-//     encoding, so a few hostile bytes would size an arbitrary
-//     allocation. Constants, len()/cap() results (bounded by the input
-//     already in memory) and guarded identifiers are fine.
-//
-// The guard check is syntactic — the identifier must appear in some
-// comparison in the same function — so it proves attention, not
-// correctness; the FuzzDecode harnesses test the actual behaviour.
-func (l *linter) checkSQ006() {
-	for _, p := range l.pkgs {
-		if !isInternalPkg(p) {
-			continue
-		}
-		consts := constNames(p)
-		for _, f := range p.files {
-			for _, decl := range f.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil || !isDecoderFunc(fd.Name.Name) {
-					continue
-				}
-				guarded := comparedNames(fd.Body)
-				ast.Inspect(fd.Body, func(n ast.Node) bool {
-					call, ok := n.(*ast.CallExpr)
-					if !ok {
-						return true
-					}
-					id, ok := call.Fun.(*ast.Ident)
-					if !ok {
-						return true
-					}
-					switch id.Name {
-					case "panic":
-						l.report(call.Pos(), "SQ006", fmt.Sprintf(
-							"panic in decode path %s: corrupt input must surface as an error wrapping core.ErrCorrupt, never a crash", fd.Name.Name))
-					case "make":
-						for _, arg := range call.Args[1:] {
-							if name, ok := unboundedSize(arg, guarded, consts); !ok {
-								l.report(arg.Pos(), "SQ006", fmt.Sprintf(
-									"make sized by %s in decode path %s without a bounding comparison: the encoding must not control allocations unchecked", name, fd.Name.Name))
-							}
-						}
-					}
-					return true
-				})
-			}
-		}
-	}
-}
-
-// constNames collects the package's declared constant names; a make
-// sized by one of these is compile-time bounded.
-func constNames(p *pkgInfo) map[string]bool {
-	set := map[string]bool{}
-	for _, f := range p.files {
-		for _, decl := range f.Decls {
-			gd, ok := decl.(*ast.GenDecl)
-			if !ok || gd.Tok != token.CONST {
-				continue
-			}
-			for _, spec := range gd.Specs {
-				if vs, ok := spec.(*ast.ValueSpec); ok {
-					for _, name := range vs.Names {
-						set[name.Name] = true
-					}
-				}
-			}
-		}
-	}
-	return set
-}
-
-// comparedNames collects every identifier that appears inside an
-// ordered comparison (<, <=, >, >=) anywhere in the body — the
-// syntactic evidence that a size was range-checked before use.
-func comparedNames(body *ast.BlockStmt) map[string]bool {
-	set := map[string]bool{}
-	ast.Inspect(body, func(n ast.Node) bool {
-		be, ok := n.(*ast.BinaryExpr)
-		if !ok {
-			return true
-		}
-		switch be.Op {
-		case token.LSS, token.LEQ, token.GTR, token.GEQ:
-			for _, side := range []ast.Expr{be.X, be.Y} {
-				ast.Inspect(side, func(m ast.Node) bool {
-					if id, ok := m.(*ast.Ident); ok {
-						set[id.Name] = true
-					}
-					return true
-				})
-			}
-		}
-		return true
-	})
-	return set
-}
-
-// unboundedSize reports whether a make() size expression escapes the
-// bounding discipline, returning the offending name. Bounded shapes:
-// integer literals, declared constants, len()/cap() of something
-// already in memory, guarded identifiers (by leaf name for selectors),
-// and arithmetic over bounded parts.
-func unboundedSize(e ast.Expr, guarded, consts map[string]bool) (string, bool) {
-	switch e := e.(type) {
-	case *ast.BasicLit:
-		return "", true
-	case *ast.Ident:
-		if guarded[e.Name] || consts[e.Name] {
-			return "", true
-		}
-		return e.Name, false
-	case *ast.SelectorExpr:
-		if guarded[e.Sel.Name] || consts[e.Sel.Name] {
-			return "", true
-		}
-		return e.Sel.Name, false
-	case *ast.ParenExpr:
-		return unboundedSize(e.X, guarded, consts)
-	case *ast.BinaryExpr:
-		if name, ok := unboundedSize(e.X, guarded, consts); !ok {
-			return name, false
-		}
-		return unboundedSize(e.Y, guarded, consts)
-	case *ast.CallExpr:
-		if id, ok := e.Fun.(*ast.Ident); ok {
-			switch id.Name {
-			case "len", "cap":
-				return "", true
-			case "int", "int64", "uint64", "uint", "int32", "uint32":
-				if len(e.Args) == 1 {
-					return unboundedSize(e.Args[0], guarded, consts)
-				}
-			}
-		}
-		return "a function result", false
-	}
-	return "an unrecognized expression", false
-}
-
-// ---------------------------------------------------------------- SQ007
-
-// hotMethodNames are the per-element ingestion entry points of the
-// summary contracts (core.CashRegister / core.Turnstile / the sketch
-// Add interface and their batch variants). Methods with these names on
-// any internal/* type are the per-item cost centers the throughput
-// benchmarks measure, so they carry an allocation discipline.
-var hotMethodNames = map[string]bool{
-	"Update": true, "UpdateBatch": true,
-	"Insert": true, "InsertBatch": true,
-	"Delete": true, "DeleteBatch": true,
-	"Add": true, "AddBatch": true,
-}
-
-// checkSQ007 audits ingestion hot paths for per-item allocation. Four
-// shapes are flagged inside hot methods of internal/* packages:
-//
-//   - any fmt.* call: formatting allocates and drags an interface
-//     conversion per argument;
-//   - make() inside a loop: a fresh allocation per element (or per
-//     chunk iteration) where a reused buffer belongs;
-//   - boxing conversions any(x) / (interface{})(x): each one heap-
-//     allocates under escape analysis' worst case;
-//   - append onto a slice whose leaf name never appears in this
-//     package with a make(..., len, cap) preallocation: growth then
-//     reallocates on the hot path at unpredictable points.
-//
-// Like SQ006's guard check, the preallocation evidence is syntactic —
-// some statement in the package must tie the appended-to name to a
-// three-argument make — so it proves attention, not a bound; the
-// ReportAllocs benchmarks measure the actual behaviour. The harness is
-// exempt as tooling, and only receiver methods are audited: free
-// functions named Add etc. are not part of the summary contracts.
-func (l *linter) checkSQ007() {
-	for _, p := range l.pkgs {
-		if !isInternalPkg(p) || under(p.rel, "internal/harness") {
-			continue
-		}
-		prealloc := preallocatedNames(p)
-		for _, f := range p.files {
-			for _, decl := range f.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Recv == nil || fd.Body == nil || !hotMethodNames[fd.Name.Name] {
-					continue
-				}
-				l.auditHotMethod(fd, prealloc)
-			}
-		}
-	}
-}
-
-// auditHotMethod reports the SQ007 findings of one hot method body.
-func (l *linter) auditHotMethod(fd *ast.FuncDecl, prealloc map[string]bool) {
-	name := fd.Name.Name
-	inLoop := map[ast.Node]bool{} // loop bodies, for the make() check
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.ForStmt:
-			inLoop[n.Body] = true
-		case *ast.RangeStmt:
-			inLoop[n.Body] = true
-		}
-		return true
-	})
-	seenMake := map[token.Pos]bool{} // dedup: nested loop bodies overlap
-	for body := range inLoop {
-		ast.Inspect(body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" && !seenMake[call.Pos()] {
-				seenMake[call.Pos()] = true
-				l.report(call.Pos(), "SQ007", fmt.Sprintf(
-					"make inside a loop in hot path %s: allocate once outside the loop and reuse the buffer", name))
-			}
-			return true
-		})
-	}
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		switch fun := call.Fun.(type) {
-		case *ast.SelectorExpr:
-			if id, ok := fun.X.(*ast.Ident); ok && id.Name == "fmt" {
-				l.report(call.Pos(), "SQ007", fmt.Sprintf(
-					"fmt.%s in hot path %s: formatting allocates per call — precompute messages in a constructor or drop them", fun.Sel.Name, name))
-			}
-		case *ast.Ident:
-			switch fun.Name {
-			case "any":
-				if len(call.Args) == 1 {
-					l.report(call.Pos(), "SQ007", fmt.Sprintf(
-						"interface boxing in hot path %s: any(x) heap-allocates per element", name))
-				}
-			case "append":
-				if len(call.Args) == 0 {
-					return true
-				}
-				leaf := leafName(call.Args[0])
-				if leaf != "" && !prealloc[leaf] {
-					l.report(call.Pos(), "SQ007", fmt.Sprintf(
-						"append to %s in hot path %s with no make(..., len, cap) preallocation anywhere in the package: growth reallocates mid-stream", leaf, name))
-				}
-			}
-		case *ast.ParenExpr:
-			if it, ok := fun.X.(*ast.InterfaceType); ok && len(it.Methods.List) == 0 && len(call.Args) == 1 {
-				l.report(call.Pos(), "SQ007", fmt.Sprintf(
-					"interface boxing in hot path %s: (interface{})(x) heap-allocates per element", name))
-			}
-		}
-		return true
-	})
-}
-
-// preallocatedNames collects every name the package ties to a
-// three-argument make — via assignment, var initialization, or a
-// composite-literal field — plus assignments whose right side merely
-// contains such a make (append(s, make(len, cap)) and friends count:
-// they show the name's elements are capacity-managed).
-func preallocatedNames(p *pkgInfo) map[string]bool {
-	set := map[string]bool{}
-	record := func(target ast.Expr, value ast.Expr) {
-		if containsCapMake(value) {
-			if leaf := leafName(target); leaf != "" {
-				set[leaf] = true
-			}
-		}
-	}
-	for _, f := range p.files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.AssignStmt:
-				if len(n.Lhs) == len(n.Rhs) {
-					for i := range n.Rhs {
-						record(n.Lhs[i], n.Rhs[i])
-					}
-				}
-			case *ast.ValueSpec:
-				for i, v := range n.Values {
-					if i < len(n.Names) {
-						record(n.Names[i], v)
-					}
-				}
-			case *ast.KeyValueExpr:
-				record(n.Key, n.Value)
-			}
-			return true
-		})
-	}
-	return set
-}
-
-// containsCapMake reports whether e contains a make call with an
-// explicit capacity argument.
-func containsCapMake(e ast.Expr) bool {
-	found := false
-	ast.Inspect(e, func(n ast.Node) bool {
-		if call, ok := n.(*ast.CallExpr); ok {
-			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" && len(call.Args) >= 3 {
-				found = true
-				return false
-			}
-		}
-		return !found
-	})
-	return found
-}
-
 // leafName resolves the identifier at the tail of a (possibly indexed,
 // sliced, or dereferenced) selector chain: x, s.buf, pt.byShard[i] and
 // (*buf) all resolve to their final field or variable name.
@@ -772,257 +123,6 @@ func leafName(e ast.Expr) string {
 		return leafName(e.X)
 	}
 	return ""
-}
-
-// ---------------------------------------------------------------- SQ008
-
-// queryMethodNames are the read-side entry points of the summary
-// contracts: the core.Summary query methods and the core.QuantileBatcher
-// batch variants. These run per monitoring tick against large summaries,
-// and the single-pass batch paths exist precisely so their cost is one
-// sweep per *batch* — allocation per fraction would silently give that
-// back.
-var queryMethodNames = map[string]bool{
-	"Quantile": true, "Quantiles": true, "QuantileBatch": true,
-	"Rank": true, "RankBatch": true,
-}
-
-// checkSQ008 audits query hot paths for per-fraction allocation. Three
-// shapes are flagged inside query methods of internal/* packages:
-//
-//   - any fmt.* call: formatting allocates and boxes per argument;
-//   - make() inside a loop: in a batch method the loop is almost always
-//     per fraction (or per probe), so a make there undoes the one-
-//     allocation-per-batch contract;
-//   - boxing conversions any(x) / (interface{})(x) inside a loop: one
-//     heap escape per fraction under escape analysis' worst case.
-//
-// Unlike SQ007 there is no append-preallocation audit: query paths
-// build result slices sized by len(phis) up front, and a make outside
-// any loop is exactly that one-per-batch allocation. Only receiver
-// methods are audited (free helpers like core.QuantileBatch dispatch,
-// they do not sweep), and the harness is exempt as tooling.
-func (l *linter) checkSQ008() {
-	for _, p := range l.pkgs {
-		if !isInternalPkg(p) || under(p.rel, "internal/harness") {
-			continue
-		}
-		for _, f := range p.files {
-			for _, decl := range f.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Recv == nil || fd.Body == nil || !queryMethodNames[fd.Name.Name] {
-					continue
-				}
-				l.auditQueryMethod(fd)
-			}
-		}
-	}
-}
-
-// auditQueryMethod reports the SQ008 findings of one query method body.
-func (l *linter) auditQueryMethod(fd *ast.FuncDecl) {
-	name := fd.Name.Name
-	inLoop := map[ast.Node]bool{}
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.ForStmt:
-			inLoop[n.Body] = true
-		case *ast.RangeStmt:
-			inLoop[n.Body] = true
-		}
-		return true
-	})
-	seen := map[token.Pos]bool{} // dedup: nested loop bodies overlap
-	for body := range inLoop {
-		ast.Inspect(body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok || seen[call.Pos()] {
-				return true
-			}
-			switch fun := call.Fun.(type) {
-			case *ast.Ident:
-				switch fun.Name {
-				case "make":
-					seen[call.Pos()] = true
-					l.report(call.Pos(), "SQ008", fmt.Sprintf(
-						"make inside a loop in query path %s: allocate once per batch before the sweep, not once per fraction", name))
-				case "any":
-					if len(call.Args) == 1 {
-						seen[call.Pos()] = true
-						l.report(call.Pos(), "SQ008", fmt.Sprintf(
-							"interface boxing inside a loop in query path %s: any(x) heap-allocates per fraction", name))
-					}
-				}
-			case *ast.ParenExpr:
-				if it, ok := fun.X.(*ast.InterfaceType); ok && len(it.Methods.List) == 0 && len(call.Args) == 1 {
-					seen[call.Pos()] = true
-					l.report(call.Pos(), "SQ008", fmt.Sprintf(
-						"interface boxing inside a loop in query path %s: (interface{})(x) heap-allocates per fraction", name))
-				}
-			}
-			return true
-		})
-	}
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
-			if id, ok := sel.X.(*ast.Ident); ok && id.Name == "fmt" {
-				l.report(call.Pos(), "SQ008", fmt.Sprintf(
-					"fmt.%s in query path %s: formatting allocates per call — query answers are numbers, not strings", sel.Sel.Name, name))
-			}
-		}
-		return true
-	})
-}
-
-// ---------------------------------------------------------------- SQ009
-
-// sq009ColumnarPkgs are the summary packages whose tuple state moved to
-// struct-of-arrays columns (DESIGN.md "Memory layout"): gaps/dels in
-// gk.tcols, the flat level arenas of kll and mrl, the prefix-weight
-// columns of qdigest. A `[]T` over an all-numeric struct reintroduces
-// the interleaved layout the refactor removed, so it is flagged here
-// before it can grow back.
-var sq009ColumnarPkgs = []string{
-	"internal/gk", "internal/kll", "internal/mrl", "internal/qdigest",
-}
-
-// sq009NumericTypes are the field types that make a struct a plain
-// numeric tuple. Pointers, slices, strings or named types disqualify:
-// such structs are nodes or handles, not rows of a table.
-var sq009NumericTypes = map[string]bool{
-	"int": true, "int8": true, "int16": true, "int32": true, "int64": true,
-	"uint": true, "uint8": true, "uint16": true, "uint32": true, "uint64": true,
-	"float32": true, "float64": true, "byte": true, "rune": true, "uintptr": true,
-}
-
-// checkSQ009 enforces the memory-layout discipline in two shapes:
-//
-//   - in the columnar packages, any slice type `[]T` where T is a
-//     package-declared struct of three or more all-numeric fields: a
-//     table of ≥3 parallel numeric columns belongs in column slices
-//     (8-byte strides on the one or two columns a sweep touches), not
-//     in an interleaved array of structs. Two-field structs stay legal
-//     — a value-weight pair (core.WeightedValue) is an exchange format,
-//     not a table — as do structs holding pointers or slices;
-//   - anywhere: a pool.Get() call whose pool's Put never appears in the
-//     same function. Pools whose Get and Put sit in different functions
-//     couple allocation lifetimes across call sites, which is how
-//     double-Put and use-after-Put bugs enter; a deferred Put counts.
-//     "Pool" means the receiver's leaf name contains "pool" — the
-//     repo's naming convention for every sync.Pool.
-func (l *linter) checkSQ009() {
-	for _, p := range l.pkgs {
-		if exempt(p.rel, sq009ColumnarPkgs) {
-			tuples := numericTupleStructs(p)
-			for _, f := range p.files {
-				ast.Inspect(f, func(n ast.Node) bool {
-					at, ok := n.(*ast.ArrayType)
-					if !ok || at.Len != nil {
-						return true
-					}
-					if id, ok := at.Elt.(*ast.Ident); ok && tuples[id.Name] {
-						l.report(at.Pos(), "SQ009", fmt.Sprintf(
-							"[]%s interleaves %s's all-numeric tuple fields: columnar packages store parallel column slices (see gk.tcols), not arrays of structs", id.Name, id.Name))
-					}
-					return true
-				})
-			}
-		}
-		for _, f := range p.files {
-			for _, decl := range f.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				l.auditPoolPairing(fd)
-			}
-		}
-	}
-}
-
-// numericTupleStructs collects the package's struct types with three or
-// more fields, all of builtin numeric type.
-func numericTupleStructs(p *pkgInfo) map[string]bool {
-	set := map[string]bool{}
-	for _, f := range p.files {
-		for _, decl := range f.Decls {
-			gd, ok := decl.(*ast.GenDecl)
-			if !ok || gd.Tok != token.TYPE {
-				continue
-			}
-			for _, spec := range gd.Specs {
-				ts, ok := spec.(*ast.TypeSpec)
-				if !ok {
-					continue
-				}
-				st, ok := ts.Type.(*ast.StructType)
-				if !ok || st.Fields == nil {
-					continue
-				}
-				fields, numeric := 0, true
-				for _, fl := range st.Fields.List {
-					id, ok := fl.Type.(*ast.Ident)
-					if !ok || !sq009NumericTypes[id.Name] {
-						numeric = false
-						break
-					}
-					if n := len(fl.Names); n > 0 {
-						fields += n
-					} else {
-						fields++
-					}
-				}
-				if numeric && fields >= 3 {
-					set[ts.Name.Name] = true
-				}
-			}
-		}
-	}
-	return set
-}
-
-// auditPoolPairing reports every pool.Get() in fd whose pool never sees
-// a Put in the same body.
-func (l *linter) auditPoolPairing(fd *ast.FuncDecl) {
-	type get struct {
-		pos  token.Pos
-		leaf string
-	}
-	var gets []get
-	puts := map[string]bool{}
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		leaf := leafName(sel.X)
-		if leaf == "" || !strings.Contains(strings.ToLower(leaf), "pool") {
-			return true
-		}
-		switch sel.Sel.Name {
-		case "Get":
-			if len(call.Args) == 0 {
-				gets = append(gets, get{call.Pos(), leaf})
-			}
-		case "Put":
-			puts[leaf] = true
-		}
-		return true
-	})
-	for _, g := range gets {
-		if !puts[g.leaf] {
-			l.report(g.pos, "SQ009", fmt.Sprintf(
-				"%s.Get() in %s has no %s.Put in the same function: pool lifetimes must pair up locally (a deferred Put counts) or double-Put and use-after-Put bugs creep in", g.leaf, fd.Name.Name, g.leaf))
-		}
-	}
 }
 
 // hasInvariantsMethod checks for the exact sanitizer signature
@@ -1049,4 +149,63 @@ func hasInvariantsMethod(p *pkgInfo, typeName string) bool {
 		}
 	}
 	return false
+}
+
+// aliasReg is one `type Name = pkg.Type` registration in a module
+// root's quantiles.go whose target was resolvable inside the module.
+type aliasReg struct {
+	name     string   // alias name in the root package
+	localPkg string   // local import name of the target package
+	typeName string   // type name inside the target package
+	target   *pkgInfo // the target package, loaded on demand
+	spec     *ast.TypeSpec
+}
+
+// registryAliases resolves the alias registrations of one root-package
+// file into their internal target packages (SQ005 and SQ013 both read
+// the registry this way).
+func (l *linter) registryAliases(root *pkgInfo, f *ast.File) []aliasReg {
+	imports := map[string]string{} // local name -> import path
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		local := path[strings.LastIndex(path, "/")+1:]
+		if imp.Name != nil {
+			local = imp.Name.Name
+		}
+		imports[local] = path
+	}
+	var regs []aliasReg
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.TYPE {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok || !ts.Assign.IsValid() {
+				continue // only aliases register implementations
+			}
+			sel, ok := ts.Type.(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			pkgID, ok := sel.X.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			ipath, ok := imports[pkgID.Name]
+			if !ok || !strings.HasPrefix(ipath, root.mod.path+"/internal/") {
+				continue
+			}
+			target, err := l.loadByImport(root.mod, ipath)
+			if err != nil || target == nil {
+				continue
+			}
+			regs = append(regs, aliasReg{
+				name: ts.Name.Name, localPkg: pkgID.Name,
+				typeName: sel.Sel.Name, target: target, spec: ts,
+			})
+		}
+	}
+	return regs
 }

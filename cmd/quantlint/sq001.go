@@ -1,0 +1,60 @@
+// SQ001 — determinism: algorithm packages must not reach for ambient
+// randomness or wall-clock time.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// sq001Exempt lists the internal packages allowed to touch randomness
+// or time: xhash IS the repo's seeded randomness source, and harness is
+// the measurement layer whose whole job is timing.
+var sq001Exempt = []string{"internal/xhash", "internal/harness"}
+
+var sq001BadImports = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+func (l *linter) checkSQ001() {
+	for _, p := range l.pkgs {
+		if !isInternalPkg(p) || exempt(p.rel, sq001Exempt) {
+			continue
+		}
+		for _, f := range p.files {
+			timeName := ""
+			for _, imp := range f.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if sq001BadImports[path] {
+					l.report(imp.Pos(), "SQ001", fmt.Sprintf(
+						"import of %s in algorithm package %s: all randomness must flow through internal/xhash seeds (reproducibility)", path, p.rel))
+				}
+				if path == "time" {
+					timeName = "time"
+					if imp.Name != nil {
+						timeName = imp.Name.Name
+					}
+				}
+			}
+			if timeName == "" || timeName == "_" || timeName == "." {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Now" {
+					if id, ok := sel.X.(*ast.Ident); ok && id.Name == timeName {
+						l.report(call.Pos(), "SQ001", fmt.Sprintf(
+							"time.Now() in algorithm package %s: timing belongs in internal/harness", p.rel))
+					}
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// SQ002 — no ==/!= between float64 expressions.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// mathFloatFuncs are math package calls whose results are float64; a
+// comparison against one of these is a float comparison.
+var mathFloatFuncs = map[string]bool{
+	"Abs": true, "Ceil": true, "Floor": true, "Round": true, "Trunc": true,
+	"Sqrt": true, "Pow": true, "Exp": true, "Log": true, "Log2": true,
+	"Log10": true, "Inf": true, "NaN": true, "Max": true, "Min": true,
+	"Mod": true, "Hypot": true,
+}
+
+// checkSQ002 flags ==/!= where either side is recognizably float64.
+// Here "recognizably" means: a float literal, a float64 conversion, a
+// math.* call, or a name that is declared float64 somewhere in the same
+// package (fields, params, results, vars, or := from a float
+// expression). The name heuristic can in principle misfire on a name
+// used for both an int and a float in one package; the repo's naming
+// (eps, phi, eta, err for floats) keeps that from happening in
+// practice, and //lint:ignore covers deliberate exact comparisons.
+// (This rule predates the typed pass and its per-package name set is
+// cheap and battle-tested, so it stays syntactic.)
+func (l *linter) checkSQ002() {
+	for _, p := range l.pkgs {
+		set := floatNames(p)
+		for _, f := range p.files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if exprIsFloat(be.X, set) || exprIsFloat(be.Y, set) {
+					l.report(be.OpPos, "SQ002", fmt.Sprintf(
+						"%s between float64 expressions: compare with a tolerance or math.Float64bits", be.Op))
+				}
+				return true
+			})
+		}
+	}
+}
+
+// floatNames collects the names declared float64/float32 anywhere in
+// the package.
+func floatNames(p *pkgInfo) map[string]bool {
+	set := map[string]bool{}
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Field: // struct fields, params, results
+				if isFloatType(n.Type) {
+					for _, name := range n.Names {
+						set[name.Name] = true
+					}
+				}
+			case *ast.ValueSpec:
+				if n.Type != nil && isFloatType(n.Type) {
+					for _, name := range n.Names {
+						set[name.Name] = true
+					}
+				} else if n.Type == nil {
+					for i, v := range n.Values {
+						if i < len(n.Names) && exprIsFloat(v, set) {
+							set[n.Names[i].Name] = true
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, rhs := range n.Rhs {
+					if exprIsFloat(rhs, set) {
+						if id, ok := n.Lhs[i].(*ast.Ident); ok {
+							set[id.Name] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return set
+}
+
+func isFloatType(t ast.Expr) bool {
+	id, ok := t.(*ast.Ident)
+	return ok && (id.Name == "float64" || id.Name == "float32")
+}
+
+// exprIsFloat reports whether e is recognizably a float64 expression
+// given the package's float-typed names.
+func exprIsFloat(e ast.Expr, set map[string]bool) bool {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return e.Kind == token.FLOAT
+	case *ast.Ident:
+		return set[e.Name]
+	case *ast.SelectorExpr:
+		return set[e.Sel.Name]
+	case *ast.ParenExpr:
+		return exprIsFloat(e.X, set)
+	case *ast.UnaryExpr:
+		return e.Op == token.SUB && exprIsFloat(e.X, set)
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+			return exprIsFloat(e.X, set) || exprIsFloat(e.Y, set)
+		}
+		return false
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok {
+			return id.Name == "float64" || id.Name == "float32"
+		}
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok {
+				return id.Name == "math" && mathFloatFuncs[sel.Sel.Name]
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,64 @@
+// SQ003 — panic stays out of hot paths: constructors and check*
+// helpers only (plus the documented panic(ErrEmpty) contract).
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// checkSQ003 keeps panic out of algorithm hot paths. A panic is allowed
+// only inside New*/new*/check*/Check* functions (constructors and
+// validation helpers, where the API contract documents it) or when its
+// argument is the exported ErrEmpty sentinel — the documented
+// empty-query contract shared by every summary. The harness is exempt:
+// it is tooling, not algorithm code.
+func (l *linter) checkSQ003() {
+	for _, p := range l.pkgs {
+		if !isInternalPkg(p) || under(p.rel, "internal/harness") {
+			continue
+		}
+		for _, f := range p.files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				name := fd.Name.Name
+				if strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new") ||
+					strings.HasPrefix(name, "Check") || strings.HasPrefix(name, "check") {
+					continue
+				}
+				if isDecoderFunc(name) {
+					continue // decode paths are SQ006's jurisdiction
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "panic" {
+						return true
+					}
+					if len(call.Args) == 1 && isErrEmpty(call.Args[0]) {
+						return true
+					}
+					l.report(call.Pos(), "SQ003", fmt.Sprintf(
+						"panic in %s: hot paths must not panic — move validation into a New*/check* helper or panic(ErrEmpty)", name))
+					return true
+				})
+			}
+		}
+	}
+}
+
+func isErrEmpty(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name == "ErrEmpty"
+	case *ast.SelectorExpr:
+		return e.Sel.Name == "ErrEmpty"
+	}
+	return false
+}

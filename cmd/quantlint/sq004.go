@@ -1,0 +1,37 @@
+// SQ004 — layering: internal/* never imports the harness, cmd/*, or
+// the root package.
+package main
+
+import (
+	"fmt"
+	"strings"
+)
+
+// checkSQ004 enforces the dependency direction: algorithm packages
+// (internal/*) sit below the harness, the commands, and the public
+// root package, and must never import upward.
+func (l *linter) checkSQ004() {
+	for _, p := range l.pkgs {
+		if !isInternalPkg(p) {
+			continue
+		}
+		mod := p.mod.path
+		for _, f := range p.files {
+			for _, imp := range f.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				switch {
+				case path == mod:
+					l.report(imp.Pos(), "SQ004", fmt.Sprintf(
+						"algorithm package %s imports the root package: dependencies must point from the API surface down, never up", p.rel))
+				case (path == mod+"/internal/harness" || strings.HasPrefix(path, mod+"/internal/harness/")) &&
+					!under(p.rel, "internal/harness"):
+					l.report(imp.Pos(), "SQ004", fmt.Sprintf(
+						"algorithm package %s imports the harness: measurement tooling sits above the algorithms", p.rel))
+				case path == mod+"/cmd" || strings.HasPrefix(path, mod+"/cmd/"):
+					l.report(imp.Pos(), "SQ004", fmt.Sprintf(
+						"algorithm package %s imports %s: cmd/ binaries are leaves of the dependency graph", p.rel, path))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,37 @@
+// SQ005 — registry completeness: every summary registered in the root
+// quantiles.go must implement Invariants() error.
+package main
+
+import (
+	"fmt"
+	"strings"
+)
+
+// checkSQ005 pins the sanitizer contract: every summary type aliased in
+// the module root's quantiles.go into an internal package must carry an
+// Invariants() error method. "Summary type" means the alias target has
+// both Count and Quantile methods — interfaces, config structs and
+// helper types are skipped.
+func (l *linter) checkSQ005() {
+	for _, p := range l.pkgs {
+		if p.rel != "" {
+			continue // aliases are registered only in the module root
+		}
+		for _, f := range p.files {
+			name := l.fset.Position(f.Pos()).Filename
+			if !strings.HasSuffix(name, "quantiles.go") {
+				continue
+			}
+			for _, a := range l.registryAliases(p, f) {
+				methods := methodSet(a.target, a.typeName)
+				if !methods["Count"] || !methods["Quantile"] {
+					continue // not a summary type
+				}
+				if !hasInvariantsMethod(a.target, a.typeName) {
+					l.report(a.spec.Pos(), "SQ005", fmt.Sprintf(
+						"summary type %s (= %s.%s) must implement Invariants() error: every registered summary carries the deep sanitizer contract", a.name, a.localPkg, a.typeName))
+				}
+			}
+		}
+	}
+}

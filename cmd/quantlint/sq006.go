@@ -1,0 +1,173 @@
+// SQ006 — decode paths must be total: no panics, no
+// attacker-controlled allocation sizes.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// decoderPrefixes name the decode-path functions: the BinaryUnmarshaler
+// entry points, their helpers, and frame/header parsers. These are the
+// only functions that ever see bytes from disk, so they carry a
+// stricter contract than SQ003: no panic at all (not even ErrEmpty —
+// corrupt input must surface as an error), and no allocation whose size
+// the input controls without a plausibility guard.
+var decoderPrefixes = []string{"Unmarshal", "unmarshal", "Decode", "decode", "Parse", "parse"}
+
+func isDecoderFunc(name string) bool {
+	for _, p := range decoderPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkSQ006 audits every decode path in internal/* packages. Two
+// shapes are flagged:
+//
+//   - any panic call: a decoder runs on bytes read back from disk, and
+//     a checkpoint that crashes the process on load is worse than no
+//     checkpoint at all;
+//   - a make() whose length or capacity is an identifier the function
+//     never compares against anything: that identifier came from the
+//     encoding, so a few hostile bytes would size an arbitrary
+//     allocation. Constants, len()/cap() results (bounded by the input
+//     already in memory) and guarded identifiers are fine.
+//
+// The guard check is syntactic — the identifier must appear in some
+// comparison in the same function — so it proves attention, not
+// correctness; the FuzzDecode harnesses test the actual behaviour.
+func (l *linter) checkSQ006() {
+	for _, p := range l.pkgs {
+		if !isInternalPkg(p) {
+			continue
+		}
+		consts := constNames(p)
+		for _, f := range p.files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !isDecoderFunc(fd.Name.Name) {
+					continue
+				}
+				guarded := comparedNames(fd.Body)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					id, ok := call.Fun.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					switch id.Name {
+					case "panic":
+						l.report(call.Pos(), "SQ006", fmt.Sprintf(
+							"panic in decode path %s: corrupt input must surface as an error wrapping core.ErrCorrupt, never a crash", fd.Name.Name))
+					case "make":
+						for _, arg := range call.Args[1:] {
+							if name, ok := unboundedSize(arg, guarded, consts); !ok {
+								l.report(arg.Pos(), "SQ006", fmt.Sprintf(
+									"make sized by %s in decode path %s without a bounding comparison: the encoding must not control allocations unchecked", name, fd.Name.Name))
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+// constNames collects the package's declared constant names; a make
+// sized by one of these is compile-time bounded.
+func constNames(p *pkgInfo) map[string]bool {
+	set := map[string]bool{}
+	for _, f := range p.files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, name := range vs.Names {
+						set[name.Name] = true
+					}
+				}
+			}
+		}
+	}
+	return set
+}
+
+// comparedNames collects every identifier that appears inside an
+// ordered comparison (<, <=, >, >=) anywhere in the body — the
+// syntactic evidence that a size was range-checked before use.
+func comparedNames(body *ast.BlockStmt) map[string]bool {
+	set := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ:
+			for _, side := range []ast.Expr{be.X, be.Y} {
+				ast.Inspect(side, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						set[id.Name] = true
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+	return set
+}
+
+// unboundedSize reports whether a make() size expression escapes the
+// bounding discipline, returning the offending name. Bounded shapes:
+// integer literals, declared constants, len()/cap() of something
+// already in memory, guarded identifiers (by leaf name for selectors),
+// and arithmetic over bounded parts.
+func unboundedSize(e ast.Expr, guarded, consts map[string]bool) (string, bool) {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return "", true
+	case *ast.Ident:
+		if guarded[e.Name] || consts[e.Name] {
+			return "", true
+		}
+		return e.Name, false
+	case *ast.SelectorExpr:
+		if guarded[e.Sel.Name] || consts[e.Sel.Name] {
+			return "", true
+		}
+		return e.Sel.Name, false
+	case *ast.ParenExpr:
+		return unboundedSize(e.X, guarded, consts)
+	case *ast.BinaryExpr:
+		if name, ok := unboundedSize(e.X, guarded, consts); !ok {
+			return name, false
+		}
+		return unboundedSize(e.Y, guarded, consts)
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok {
+			switch id.Name {
+			case "len", "cap":
+				return "", true
+			case "int", "int64", "uint64", "uint", "int32", "uint32":
+				if len(e.Args) == 1 {
+					return unboundedSize(e.Args[0], guarded, consts)
+				}
+			}
+		}
+		return "a function result", false
+	}
+	return "an unrecognized expression", false
+}

@@ -1,0 +1,177 @@
+// SQ007 — allocation discipline in update hot paths.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// hotMethodNames are the per-element ingestion entry points of the
+// summary contracts (core.CashRegister / core.Turnstile / the sketch
+// Add interface and their batch variants). Methods with these names on
+// any internal/* type are the per-item cost centers the throughput
+// benchmarks measure, so they carry an allocation discipline.
+var hotMethodNames = map[string]bool{
+	"Update": true, "UpdateBatch": true,
+	"Insert": true, "InsertBatch": true,
+	"Delete": true, "DeleteBatch": true,
+	"Add": true, "AddBatch": true,
+}
+
+// checkSQ007 audits ingestion hot paths for per-item allocation. Four
+// shapes are flagged inside hot methods of internal/* packages:
+//
+//   - any fmt.* call: formatting allocates and drags an interface
+//     conversion per argument;
+//   - make() inside a loop: a fresh allocation per element (or per
+//     chunk iteration) where a reused buffer belongs;
+//   - boxing conversions any(x) / (interface{})(x): each one heap-
+//     allocates under escape analysis' worst case;
+//   - append onto a slice whose leaf name never appears in this
+//     package with a make(..., len, cap) preallocation: growth then
+//     reallocates on the hot path at unpredictable points.
+//
+// Like SQ006's guard check, the preallocation evidence is syntactic —
+// some statement in the package must tie the appended-to name to a
+// three-argument make — so it proves attention, not a bound; the
+// ReportAllocs benchmarks measure the actual behaviour. The harness is
+// exempt as tooling, and only receiver methods are audited: free
+// functions named Add etc. are not part of the summary contracts.
+func (l *linter) checkSQ007() {
+	for _, p := range l.pkgs {
+		if !isInternalPkg(p) || under(p.rel, "internal/harness") {
+			continue
+		}
+		prealloc := preallocatedNames(p)
+		for _, f := range p.files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv == nil || fd.Body == nil || !hotMethodNames[fd.Name.Name] {
+					continue
+				}
+				l.auditHotMethod(fd, prealloc)
+			}
+		}
+	}
+}
+
+// auditHotMethod reports the SQ007 findings of one hot method body.
+func (l *linter) auditHotMethod(fd *ast.FuncDecl, prealloc map[string]bool) {
+	name := fd.Name.Name
+	inLoop := map[ast.Node]bool{} // loop bodies, for the make() check
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			inLoop[n.Body] = true
+		case *ast.RangeStmt:
+			inLoop[n.Body] = true
+		}
+		return true
+	})
+	seenMake := map[token.Pos]bool{} // dedup: nested loop bodies overlap
+	for body := range inLoop {
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" && !seenMake[call.Pos()] {
+				seenMake[call.Pos()] = true
+				l.report(call.Pos(), "SQ007", fmt.Sprintf(
+					"make inside a loop in hot path %s: allocate once outside the loop and reuse the buffer", name))
+			}
+			return true
+		})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if id, ok := fun.X.(*ast.Ident); ok && id.Name == "fmt" {
+				l.report(call.Pos(), "SQ007", fmt.Sprintf(
+					"fmt.%s in hot path %s: formatting allocates per call — precompute messages in a constructor or drop them", fun.Sel.Name, name))
+			}
+		case *ast.Ident:
+			switch fun.Name {
+			case "any":
+				if len(call.Args) == 1 {
+					l.report(call.Pos(), "SQ007", fmt.Sprintf(
+						"interface boxing in hot path %s: any(x) heap-allocates per element", name))
+				}
+			case "append":
+				if len(call.Args) == 0 {
+					return true
+				}
+				leaf := leafName(call.Args[0])
+				if leaf != "" && !prealloc[leaf] {
+					l.report(call.Pos(), "SQ007", fmt.Sprintf(
+						"append to %s in hot path %s with no make(..., len, cap) preallocation anywhere in the package: growth reallocates mid-stream", leaf, name))
+				}
+			}
+		case *ast.ParenExpr:
+			if it, ok := fun.X.(*ast.InterfaceType); ok && len(it.Methods.List) == 0 && len(call.Args) == 1 {
+				l.report(call.Pos(), "SQ007", fmt.Sprintf(
+					"interface boxing in hot path %s: (interface{})(x) heap-allocates per element", name))
+			}
+		}
+		return true
+	})
+}
+
+// preallocatedNames collects every name the package ties to a
+// three-argument make — via assignment, var initialization, or a
+// composite-literal field — plus assignments whose right side merely
+// contains such a make (append(s, make(len, cap)) and friends count:
+// they show the name's elements are capacity-managed).
+func preallocatedNames(p *pkgInfo) map[string]bool {
+	set := map[string]bool{}
+	record := func(target ast.Expr, value ast.Expr) {
+		if containsCapMake(value) {
+			if leaf := leafName(target); leaf != "" {
+				set[leaf] = true
+			}
+		}
+	}
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Rhs {
+						record(n.Lhs[i], n.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				for i, v := range n.Values {
+					if i < len(n.Names) {
+						record(n.Names[i], v)
+					}
+				}
+			case *ast.KeyValueExpr:
+				record(n.Key, n.Value)
+			}
+			return true
+		})
+	}
+	return set
+}
+
+// containsCapMake reports whether e contains a make call with an
+// explicit capacity argument.
+func containsCapMake(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" && len(call.Args) >= 3 {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,110 @@
+// SQ008 — allocation discipline in query sweeps.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// queryMethodNames are the read-side entry points of the summary
+// contracts: the core.Summary query methods and the core.QuantileBatcher
+// batch variants. These run per monitoring tick against large summaries,
+// and the single-pass batch paths exist precisely so their cost is one
+// sweep per *batch* — allocation per fraction would silently give that
+// back.
+var queryMethodNames = map[string]bool{
+	"Quantile": true, "Quantiles": true, "QuantileBatch": true,
+	"Rank": true, "RankBatch": true,
+}
+
+// checkSQ008 audits query hot paths for per-fraction allocation. Three
+// shapes are flagged inside query methods of internal/* packages:
+//
+//   - any fmt.* call: formatting allocates and boxes per argument;
+//   - make() inside a loop: in a batch method the loop is almost always
+//     per fraction (or per probe), so a make there undoes the one-
+//     allocation-per-batch contract;
+//   - boxing conversions any(x) / (interface{})(x) inside a loop: one
+//     heap escape per fraction under escape analysis' worst case.
+//
+// Unlike SQ007 there is no append-preallocation audit: query paths
+// build result slices sized by len(phis) up front, and a make outside
+// any loop is exactly that one-per-batch allocation. Only receiver
+// methods are audited (free helpers like core.QuantileBatch dispatch,
+// they do not sweep), and the harness is exempt as tooling.
+func (l *linter) checkSQ008() {
+	for _, p := range l.pkgs {
+		if !isInternalPkg(p) || under(p.rel, "internal/harness") {
+			continue
+		}
+		for _, f := range p.files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv == nil || fd.Body == nil || !queryMethodNames[fd.Name.Name] {
+					continue
+				}
+				l.auditQueryMethod(fd)
+			}
+		}
+	}
+}
+
+// auditQueryMethod reports the SQ008 findings of one query method body.
+func (l *linter) auditQueryMethod(fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	inLoop := map[ast.Node]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			inLoop[n.Body] = true
+		case *ast.RangeStmt:
+			inLoop[n.Body] = true
+		}
+		return true
+	})
+	seen := map[token.Pos]bool{} // dedup: nested loop bodies overlap
+	for body := range inLoop {
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || seen[call.Pos()] {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				switch fun.Name {
+				case "make":
+					seen[call.Pos()] = true
+					l.report(call.Pos(), "SQ008", fmt.Sprintf(
+						"make inside a loop in query path %s: allocate once per batch before the sweep, not once per fraction", name))
+				case "any":
+					if len(call.Args) == 1 {
+						seen[call.Pos()] = true
+						l.report(call.Pos(), "SQ008", fmt.Sprintf(
+							"interface boxing inside a loop in query path %s: any(x) heap-allocates per fraction", name))
+					}
+				}
+			case *ast.ParenExpr:
+				if it, ok := fun.X.(*ast.InterfaceType); ok && len(it.Methods.List) == 0 && len(call.Args) == 1 {
+					seen[call.Pos()] = true
+					l.report(call.Pos(), "SQ008", fmt.Sprintf(
+						"interface boxing inside a loop in query path %s: (interface{})(x) heap-allocates per fraction", name))
+				}
+			}
+			return true
+		})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == "fmt" {
+				l.report(call.Pos(), "SQ008", fmt.Sprintf(
+					"fmt.%s in query path %s: formatting allocates per call — query answers are numbers, not strings", sel.Sel.Name, name))
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,18 @@
+// SQ010 — guarded-by discipline: annotated fields are only touched
+// under their mutex.
+package main
+
+// checkSQ010 reports the guarded-field violations of the shared lock
+// dataflow (locks.go): every read or write of a field annotated
+// `// guarded by mu` must sit on a path where mu's Lock or RLock
+// dominates it (a deferred unlock keeps the lock held through exit).
+// Malformed annotations surface here too, so a typo cannot silently
+// turn the checking off. Constructors (New*/new*) are exempt: they
+// build the struct before it escapes.
+func (l *linter) checkSQ010() {
+	for _, p := range l.pkgs {
+		for _, f := range l.lockAnalysis(p).sq010 {
+			l.report(f.pos, "SQ010", f.msg)
+		}
+	}
+}

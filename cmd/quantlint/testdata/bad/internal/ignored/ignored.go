@@ -19,7 +19,17 @@ func Exact(a, b float64) bool {
 	return a == b //lint:ignore SQ002 fixture: exact comparison intended
 }
 
+// Both panics on an exact float match; one comma-list directive waives
+// both rules at once — the comparison on its own line, the panic on
+// the line directly below.
+func Both(a, b float64) {
+	if a == b { //lint:ignore SQ002,SQ003 fixture: one directive, two rules
+		panic("ignored: equal")
+	}
+}
+
 // Sloppy's directive names no rule and gives no reason, so the linter
 // reports the directive itself.
+//
 //lint:ignore oops
 func Sloppy() {}

@@ -1,0 +1,26 @@
+// Package sq010 trips exactly SQ010: Peek reads the guarded field with
+// no lock held.
+package sq010
+
+import "sync"
+
+// Box counts events behind a mutex.
+type Box struct {
+	mu sync.Mutex
+	n  int64 // guarded by mu
+}
+
+// NewBox builds an empty Box (constructors are SQ010-exempt).
+func NewBox() *Box { return &Box{} }
+
+// Bump holds the lock across the mutation, as the annotation demands.
+func (b *Box) Bump() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+}
+
+// Peek reads the guarded counter without the mutex: the SQ010 finding.
+func (b *Box) Peek() int64 {
+	return b.n
+}

@@ -1,0 +1,31 @@
+// Package sq011 trips exactly SQ011: Drain can return with its mutex
+// still held. The fields are deliberately unannotated so only the
+// unlock-path rule fires, not SQ010.
+package sq011
+
+import "sync"
+
+// Gate serializes access to a counter.
+type Gate struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// Bump pairs its lock and unlock on the one straight-line path.
+func (g *Gate) Bump() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+// Drain leaks the lock on the early return: the SQ011 finding anchors
+// at the Lock call.
+func (g *Gate) Drain(stop bool) int64 {
+	g.mu.Lock()
+	if stop {
+		return 0
+	}
+	n := g.n
+	g.mu.Unlock()
+	return n
+}

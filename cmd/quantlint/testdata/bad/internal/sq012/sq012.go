@@ -1,0 +1,22 @@
+// Package sq012 trips exactly SQ012, once per bad merge shape: copying
+// one operand's error budget and restating it as a fresh literal.
+package sq012
+
+// Hist is a toy mergeable summary with an error budget.
+type Hist struct {
+	eps float64
+	n   int64
+}
+
+// Merge copies the right operand's budget into the result: whichever
+// operand was looser is silently misreported afterwards.
+func (h *Hist) Merge(o *Hist) {
+	h.n += o.n
+	h.eps = o.eps
+}
+
+// MergeFresh restates the budget as a constant instead of deriving it
+// from the operands.
+func MergeFresh(a, b *Hist) *Hist {
+	return &Hist{eps: 0.01, n: a.n + b.n}
+}

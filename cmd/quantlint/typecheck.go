@@ -1,0 +1,116 @@
+// The lazy typed pass. quantlint stayed a pure-syntax linter through
+// SQ009; the lock-discipline and eps-budget rules (SQ010-SQ012) need
+// to resolve selector expressions to the fields and mutexes they name,
+// so the engine now carries an on-demand go/types layer:
+//
+//   - module-local imports resolve through the linter's own package
+//     loader (the same one the rules lint), recursively type-checked;
+//   - standard-library imports delegate to the stdlib source importer
+//     (importer.ForCompiler(fset, "source", nil)) — no binary export
+//     data, no external dependencies, works in a bare GOPATH;
+//   - type checking is error-tolerant: a package that fails to fully
+//     check (a fixture module, a file mid-edit) still yields partial
+//     Defs/Uses/Types maps, and the typed rules degrade gracefully
+//     where information is missing rather than reporting noise.
+//
+// Nothing is type-checked until a rule asks: packages without lock
+// calls, guard annotations or merge implementations never pay for it.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/types"
+	"strings"
+)
+
+// typeInfo is the memoized result of type-checking one package.
+// pkg may be non-nil even when checking hit errors (partial package);
+// info's maps are filled for everything that did resolve.
+type typeInfo struct {
+	pkg  *types.Package
+	info *types.Info
+}
+
+// typeOf returns the resolved type of e, or nil.
+func (ti *typeInfo) typeOf(e ast.Expr) types.Type {
+	if ti == nil {
+		return nil
+	}
+	if tv, ok := ti.info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	return nil
+}
+
+// typed type-checks p once, memoized; returns nil only on an import
+// cycle (the caller treats that as "no type information").
+func (l *linter) typed(p *pkgInfo) *typeInfo {
+	if ti, ok := l.types[p]; ok {
+		return ti
+	}
+	if l.checking[p] {
+		return nil // import cycle: give up on this edge, not the run
+	}
+	l.checking[p] = true
+	defer delete(l.checking, p)
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer: &moduleImporter{l: l, mod: p.mod},
+		Error:    func(error) {}, // tolerate: partial info beats no info
+	}
+	pkg, _ := conf.Check(p.importPath(), l.fset, p.files, info)
+	ti := &typeInfo{pkg: pkg, info: info}
+	l.types[p] = ti
+	return ti
+}
+
+// moduleImporter resolves one package's imports during type checking:
+// module-local paths through the linter's loader, everything else
+// through the shared stdlib source importer.
+type moduleImporter struct {
+	l   *linter
+	mod *module
+}
+
+func (mi *moduleImporter) Import(path string) (pkg *types.Package, err error) {
+	if path == mi.mod.path || strings.HasPrefix(path, mi.mod.path+"/") {
+		p, err := mi.l.loadByImport(mi.mod, path)
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			return nil, fmt.Errorf("quantlint: cannot resolve module-local import %q", path)
+		}
+		ti := mi.l.typed(p)
+		if ti == nil || ti.pkg == nil {
+			return nil, fmt.Errorf("quantlint: cannot type-check %q", path)
+		}
+		return ti.pkg, nil
+	}
+	// The source importer parses stdlib packages from GOROOT; guard
+	// against it panicking on an exotic toolchain layout — a missing
+	// import just degrades the typed rules for this package.
+	defer func() {
+		if r := recover(); r != nil {
+			pkg, err = nil, fmt.Errorf("quantlint: importing %q: %v", path, r)
+		}
+	}()
+	return mi.l.stdImporter().Import(path)
+}
+
+// stdImporter lazily builds the shared source importer. It must share
+// the linter's FileSet so positions stay consistent.
+func (l *linter) stdImporter() types.Importer {
+	if l.stdImp == nil {
+		l.stdImp = importer.ForCompiler(l.fset, "source", nil)
+	}
+	return l.stdImp
+}

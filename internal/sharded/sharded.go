@@ -66,7 +66,7 @@ type invariantChecker interface{ Invariants() error }
 // under mu before every mutation, loadable without it (see query.go).
 type cashShard struct {
 	mu    sync.Mutex
-	s     core.CashRegister
+	s     core.CashRegister // guarded by mu
 	epoch atomic.Uint64
 }
 

@@ -10,7 +10,7 @@ import (
 // turnShard is the turnstile counterpart of cashShard.
 type turnShard struct {
 	mu    sync.Mutex
-	s     core.Turnstile
+	s     core.Turnstile // guarded by mu
 	epoch atomic.Uint64
 }
 

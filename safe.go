@@ -41,7 +41,7 @@ type Flusher interface {
 // SafeCashRegister is a goroutine-safe wrapper around a CashRegister.
 type SafeCashRegister struct {
 	mu sync.RWMutex
-	s  CashRegister
+	s  CashRegister // guarded by mu
 	// exclusiveReads is set when s implements Flusher: its queries
 	// mutate internal state, so they need the write lock.
 	exclusiveReads bool
@@ -63,6 +63,8 @@ func NewSafeCashRegister(s CashRegister) *SafeCashRegister {
 
 // rlock takes the strongest lock queries on the wrapped summary need
 // and returns the matching unlock.
+//
+// locks mu
 func (c *SafeCashRegister) rlock() func() {
 	if c.exclusiveReads {
 		c.mu.Lock()
@@ -172,12 +174,12 @@ func (c *SafeCashRegister) SpaceBytes() int64 {
 // writers are excluded only for the duration of the encode, never for
 // disk I/O.
 func (c *SafeCashRegister) Snapshot() ([]byte, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	m, ok := c.s.(encoding.BinaryMarshaler)
 	if !ok {
 		return nil, fmt.Errorf("streamquantiles: %T does not implement encoding.BinaryMarshaler", c.s)
 	}
-	c.mu.RLock()
-	defer c.mu.RUnlock()
 	return m.MarshalBinary()
 }
 
@@ -198,12 +200,12 @@ func (c *SafeCashRegister) Checkpoint(ck *Checkpointer, label string) (uint64, e
 // Restore replaces the wrapped summary's state from a snapshot or
 // recovered checkpoint payload, under the exclusive lock.
 func (c *SafeCashRegister) Restore(blob []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	u, ok := c.s.(encoding.BinaryUnmarshaler)
 	if !ok {
 		return fmt.Errorf("streamquantiles: %T does not implement encoding.BinaryUnmarshaler", c.s)
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.snap != nil {
 		c.snap.Invalidate()
 	}
@@ -221,7 +223,7 @@ func (c *SafeCashRegister) UnmarshalBinary(data []byte) error { return c.Restore
 // SafeTurnstile is a goroutine-safe wrapper around a Turnstile summary.
 type SafeTurnstile struct {
 	mu sync.RWMutex
-	s  Turnstile
+	s  Turnstile // guarded by mu
 	// exclusiveReads is set when s implements Flusher; see
 	// SafeCashRegister. The dyadic sketches are pure readers at query
 	// time, so in practice turnstile queries run under the shared lock.
@@ -243,6 +245,9 @@ func NewSafeTurnstile(s Turnstile) *SafeTurnstile {
 	return c
 }
 
+// rlock mirrors SafeCashRegister.rlock.
+//
+// locks mu
 func (c *SafeTurnstile) rlock() func() {
 	if c.exclusiveReads {
 		c.mu.Lock()
@@ -365,12 +370,12 @@ func (c *SafeTurnstile) SpaceBytes() int64 {
 // Snapshot returns the wrapped summary's binary encoding under the
 // shared lock; see SafeCashRegister.Snapshot.
 func (c *SafeTurnstile) Snapshot() ([]byte, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	m, ok := c.s.(encoding.BinaryMarshaler)
 	if !ok {
 		return nil, fmt.Errorf("streamquantiles: %T does not implement encoding.BinaryMarshaler", c.s)
 	}
-	c.mu.RLock()
-	defer c.mu.RUnlock()
 	return m.MarshalBinary()
 }
 
@@ -387,12 +392,12 @@ func (c *SafeTurnstile) Checkpoint(ck *Checkpointer, label string) (uint64, erro
 // Restore replaces the wrapped summary's state from a snapshot or
 // recovered checkpoint payload, under the exclusive lock.
 func (c *SafeTurnstile) Restore(blob []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	u, ok := c.s.(encoding.BinaryUnmarshaler)
 	if !ok {
 		return fmt.Errorf("streamquantiles: %T does not implement encoding.BinaryUnmarshaler", c.s)
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.snap != nil {
 		c.snap.Invalidate()
 	}
