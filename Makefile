@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all verify build test race lint lint-strict check crash fuzz bench bench-all bench-baselines bench-ingest bench-query bench-compare experiments report html clean
+.PHONY: all verify build test race lint lint-strict check crash stress-smoke fuzz bench bench-all bench-baselines bench-ingest bench-query bench-compare experiments report html clean
 
 all: build test lint
 
 # The umbrella gate CI runs: build + vet, the test suite, the race
-# detector, strict quantlint (all 13 rules, waived findings inventoried)
-# and the sqcheck deep-sanitizer pass.
-verify: build test lint-strict race check
+# detector, strict quantlint (all 13 rules, waived findings inventoried),
+# the sqcheck deep-sanitizer pass and a seeded quantstress soak.
+verify: build test lint-strict race check stress-smoke
 
 build:
 	$(GO) build ./...
@@ -18,8 +18,12 @@ build:
 test:
 	$(GO) test ./...
 
+# The harness package re-runs the paper experiments under the race
+# detector, which alone takes ~7-8 minutes on a small container —
+# raise the per-package timeout above go test's 10m default so the
+# parallel package mix doesn't trip it.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # Repo-specific static analysis (rules SQ001-SQ013); see cmd/quantlint.
 lint:
@@ -40,9 +44,26 @@ check:
 # checkpoint and fault-injection packages, and the kill -9 CLI resume
 # test, all under -race with the sqcheck sanitizer armed.
 crash:
-	$(GO) test -race -tags sqcheck -run 'TestCrashRecoveryMatrix' -v -count=1 .
+	$(GO) test -race -tags sqcheck -run 'TestCrashRecovery' -v -count=1 .
 	$(GO) test -race -tags sqcheck -count=1 ./internal/checkpoint/ ./internal/faultio/
 	$(GO) test -race -count=1 -run 'TestKillNineResume|TestSaveLoad|TestResume' ./cmd/quantcli/
+	$(GO) test -race -count=1 -run 'TestKillNineResume|TestShortSoakFaults' ./cmd/quantstress/
+
+# Seeded elasticity soak: mixed read/write traffic with online
+# reshards, a re-ε rebuild, checkpointing under injected faults and
+# recovery drills, asserting rank-error bounds, count conservation and
+# structural invariants throughout. Deterministic per seed, so a
+# failure reproduces from the printed flags; the race-built pass drives
+# the same shape through the race detector.
+STRESS_OPS ?= 60000
+stress-smoke:
+	$(GO) build -o /tmp/sq_quantstress ./cmd/quantstress
+	/tmp/sq_quantstress -algo kll -bits 14 -ops $(STRESS_OPS) -dist zipf -reshard 6,3 -retarget-eps 0.02 -ckpt-dir /tmp/sq_stress_ck -ckpt-every 20000 -faults -verify-every 30000
+	/tmp/sq_quantstress -algo mrl99 -bits 14 -ops $(STRESS_OPS) -dist uniform -reshard 6 -verify-every 30000
+	/tmp/sq_quantstress -algo dcs -bits 12 -ops $(STRESS_OPS) -dist ooo -reshard 5,2 -verify-every 30000
+	rm -rf /tmp/sq_stress_ck
+	$(GO) run -race ./cmd/quantstress -algo gkarray -bits 14 -ops 30000 -dist zipf -reshard 5 -retarget-eps 0.02
+	$(GO) test -race -count=1 -run 'TestShortSoak|TestKillNineResume' ./cmd/quantstress/
 
 # Short live-fuzz session over the decoder harnesses (the seed corpus
 # alone runs as part of `make test`).

@@ -43,13 +43,16 @@ type ShardedTurnstile = sharded.Turnstile
 // NewShardedCashRegister builds a P-way sharded cash-register summary;
 // fresh must return a new, identically configured empty summary per
 // call (same ε — and same seed for the mergeable randomized families).
-func NewShardedCashRegister(p int, fresh func() CashRegister) *ShardedCashRegister {
+// It errors when p < 1 — invalid topologies are a caller bug surfaced
+// at construction, not a panic at first update.
+func NewShardedCashRegister(p int, fresh func() CashRegister) (*ShardedCashRegister, error) {
 	return sharded.NewCashRegister(p, fresh)
 }
 
 // NewShardedTurnstile builds a P-way sharded turnstile summary; fresh
 // must return a new, identically configured empty summary per call
-// (identical seeds, so shards merge exactly at query time).
-func NewShardedTurnstile(p int, fresh func() Turnstile) *ShardedTurnstile {
+// (identical seeds, so shards merge exactly at query time). It errors
+// when p < 1.
+func NewShardedTurnstile(p int, fresh func() Turnstile) (*ShardedTurnstile, error) {
 	return sharded.NewTurnstile(p, fresh)
 }

@@ -182,7 +182,7 @@ func BenchmarkInsertBatchDRSS(b *testing.B) {
 // (single goroutine — scaling across writers is cmd/quantbench -ingest
 // territory).
 func BenchmarkShardedUpdateBatch(b *testing.B) {
-	s := NewShardedCashRegister(4, func() CashRegister { return NewGKArray(0.001) })
+	s := mustShardedCash(b, 4, func() CashRegister { return NewGKArray(0.001) })
 	benchUpdatesBatch(b, s)
 }
 

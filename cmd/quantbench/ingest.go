@@ -176,13 +176,19 @@ func measureIngest(n, batch int) ingestReport {
 		run  func(p int) time.Duration
 	}{
 		{"sharded/gkarray", func(p int) time.Duration {
-			s := sharded.NewCashRegister(p, func() core.CashRegister { return gk.NewArray(0.001) })
+			s, err := sharded.NewCashRegister(p, func() core.CashRegister { return gk.NewArray(0.001) })
+			if err != nil {
+				panic(err)
+			}
 			return measureWriters(data, p, batch, s.UpdateBatch)
 		}},
 		{"sharded/dcs", func(p int) time.Duration {
-			s := sharded.NewTurnstile(p, func() core.Turnstile {
+			s, err := sharded.NewTurnstile(p, func() core.Turnstile {
 				return dyadic.New(dyadic.DCS, 0.005, 24, dyadic.Config{Seed: 7})
 			})
+			if err != nil {
+				panic(err)
+			}
 			return measureWriters(data, p, batch, s.InsertBatch)
 		}},
 	} {

@@ -245,14 +245,20 @@ func measureQuery(n, k int) queryReport {
 		setup func() (query func(), dirty func())
 	}{
 		{"sharded/gkarray", func() (func(), func()) {
-			s := sharded.NewCashRegister(p, func() core.CashRegister { return gk.NewArray(0.001) })
+			s, err := sharded.NewCashRegister(p, func() core.CashRegister { return gk.NewArray(0.001) })
+			if err != nil {
+				panic(err)
+			}
 			forBatches(data, 4096, s.UpdateBatch)
 			return func() { s.Quantile(0.5) }, func() { s.Update(data[0]) }
 		}},
 		{"sharded/dcs", func() (func(), func()) {
-			s := sharded.NewTurnstile(p, func() core.Turnstile {
+			s, err := sharded.NewTurnstile(p, func() core.Turnstile {
 				return dyadic.New(dyadic.DCS, 0.005, 24, dyadic.Config{Seed: 7})
 			})
+			if err != nil {
+				panic(err)
+			}
 			forBatches(data, 4096, s.InsertBatch)
 			return func() { s.Quantile(0.5) }, func() { s.Insert(data[0]) }
 		}},

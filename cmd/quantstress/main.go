@@ -1,0 +1,207 @@
+// Command quantstress is the elasticity soak harness: it drives mixed
+// read/write traffic through a sharded summary while online reshards,
+// re-ε rebuilds, checkpoint saves and injected storage faults land
+// mid-stream, and continuously asserts the invariants the library
+// promises under all of it:
+//
+//   - rank-error bounds against an exact oracle over the ingested
+//     prefix: every quantile answer within
+//     2·EpsBudget()·n + Shards() + Components() of its target rank;
+//   - count conservation: no element lost or duplicated across any
+//     topology swap, crash or recovery;
+//   - deep structural invariants (Invariants()) clean at every pause;
+//   - ingest/query latency SLOs, measured by dogfooding a KLL sketch
+//     over the observed latencies.
+//
+// Traffic shapes cover the paper's stress axes: uniform, hot-key Zipf
+// skew, sorted, reversed and bounded out-of-order arrival. Faults are
+// deterministic (seeded schedules over the injected filesystem), so a
+// failing run reproduces from its flags alone.
+//
+// Usage:
+//
+//	quantstress -algo kll -ops 200000 -reshard 7,2,5 -retarget-eps 0.02
+//	quantstress -algo dcs -dist zipf -zipf-s 1.2 -ops 100000 -reshard 6
+//	quantstress -algo gkarray -ckpt-dir /tmp/st -ckpt-every 20000 -faults
+//	quantstress -resume -ckpt-dir /tmp/st -ops 50000   # after a kill -9
+//
+// A -resume run recovers the newest valid checkpoint and continues; the
+// pre-crash ground truth is gone with the dead process, so verification
+// degrades to invariants, self-consistency and conservation of the
+// post-resume writes — exactly what a real operator can still check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	sq "streamquantiles"
+
+	"streamquantiles/internal/streamgen"
+)
+
+// config is one soak run, fully determined by flags.
+type config struct {
+	algo string
+	eps  float64
+	bits int
+	seed uint64
+
+	shards  int
+	writers int
+	readers int
+	ops     int64
+	batch   int
+
+	dist      string
+	zipfS     float64
+	oooWindow int
+
+	reshardPlan []int
+	retargetEps float64
+
+	ckptDir   string
+	ckptEvery int64
+	faults    bool
+	resume    bool
+
+	verifyEvery int64
+	sloIngest   time.Duration
+	sloQuery    time.Duration
+	verbose     bool
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		os.Exit(2)
+	}
+	os.Exit(run(cfg, os.Stdout, os.Stderr))
+}
+
+func parseFlags(args []string, stderr io.Writer) (*config, error) {
+	fs := flag.NewFlagSet("quantstress", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cfg := &config{}
+	var reshard string
+	fs.StringVar(&cfg.algo, "algo", "kll", "kll, gkarray, gkadaptive, mrl99, random, qdigest (cash) or dcs, dcm (turnstile)")
+	fs.Float64Var(&cfg.eps, "eps", 0.01, "error parameter ε")
+	fs.IntVar(&cfg.bits, "bits", 16, "universe bits (stream values and fixed-universe algorithms)")
+	fs.Uint64Var(&cfg.seed, "seed", 1, "master seed: streams, fault schedule and sketches all derive from it")
+	fs.IntVar(&cfg.shards, "shards", 4, "initial shard count P")
+	fs.IntVar(&cfg.writers, "writers", 4, "concurrent writer goroutines")
+	fs.IntVar(&cfg.readers, "readers", 2, "concurrent reader goroutines")
+	fs.Int64Var(&cfg.ops, "ops", 200000, "total elements to ingest across all writers")
+	fs.IntVar(&cfg.batch, "batch", 512, "elements per ingest batch")
+	fs.StringVar(&cfg.dist, "dist", "uniform", "uniform, zipf, sorted, reversed, ooo")
+	fs.Float64Var(&cfg.zipfS, "zipf-s", 1.1, "Zipf skew exponent (dist=zipf)")
+	fs.IntVar(&cfg.oooWindow, "ooo-window", 64, "out-of-order shuffle window (dist=ooo)")
+	fs.StringVar(&reshard, "reshard", "", "comma-separated shard counts to swap to at evenly spaced milestones, e.g. 7,2,5")
+	fs.Float64Var(&cfg.retargetEps, "retarget-eps", 0, "re-ε rebuild to this budget at the 60% milestone (0 = off)")
+	fs.StringVar(&cfg.ckptDir, "ckpt-dir", "", "checkpoint directory (empty = no checkpoints)")
+	fs.Int64Var(&cfg.ckptEvery, "ckpt-every", 50000, "ops between checkpoint saves")
+	fs.BoolVar(&cfg.faults, "faults", false, "inject a deterministic schedule of transient EIO and torn-write crashes around checkpoint saves, with recovery drills")
+	fs.BoolVar(&cfg.resume, "resume", false, "recover the newest checkpoint from -ckpt-dir before ingesting")
+	fs.Int64Var(&cfg.verifyEvery, "verify-every", 0, "ops between mid-run verification barriers (0 = final only)")
+	fs.DurationVar(&cfg.sloIngest, "slo-ingest-p99", 0, "fail if p99 batch-ingest latency exceeds this (0 = report only)")
+	fs.DurationVar(&cfg.sloQuery, "slo-query-p99", 0, "fail if p99 query latency exceeds this (0 = report only)")
+	fs.BoolVar(&cfg.verbose, "v", false, "log every elastic and checkpoint event")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if reshard != "" {
+		for _, f := range strings.Split(reshard, ",") {
+			p, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				fmt.Fprintf(stderr, "quantstress: bad -reshard entry %q\n", f)
+				return nil, err
+			}
+			cfg.reshardPlan = append(cfg.reshardPlan, p)
+		}
+	}
+	if cfg.writers < 1 || cfg.readers < 0 || cfg.ops < 1 || cfg.batch < 1 || cfg.shards < 1 {
+		err := fmt.Errorf("quantstress: -writers, -ops, -batch and -shards must be positive")
+		fmt.Fprintln(stderr, err)
+		return nil, err
+	}
+	if cfg.resume && cfg.ckptDir == "" {
+		err := fmt.Errorf("quantstress: -resume requires -ckpt-dir")
+		fmt.Fprintln(stderr, err)
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// buildContainers constructs the sharded container for cfg; exactly one
+// return is non-nil.
+func buildContainers(cfg *config) (*sq.ShardedCashRegister, *sq.ShardedTurnstile, error) {
+	cashFresh := cashFactory(cfg.algo, cfg.eps, cfg.bits, cfg.seed)
+	if cashFresh != nil {
+		c, err := sq.NewShardedCashRegister(cfg.shards, cashFresh)
+		return c, nil, err
+	}
+	turnFresh := turnFactory(cfg.algo, cfg.eps, cfg.bits, cfg.seed)
+	if turnFresh != nil {
+		t, err := sq.NewShardedTurnstile(cfg.shards, turnFresh)
+		return nil, t, err
+	}
+	return nil, nil, fmt.Errorf("unknown algorithm %q", cfg.algo)
+}
+
+// cashFactory returns a shard factory for the cash-register families,
+// nil when algo names a turnstile (or unknown) family. Mergeable
+// randomized families share one seed across shards so drains MERGE.
+func cashFactory(algo string, eps float64, bits int, seed uint64) func() sq.CashRegister {
+	switch strings.ToLower(algo) {
+	case "kll":
+		return func() sq.CashRegister { return sq.NewKLL(eps, seed) }
+	case "gkarray":
+		return func() sq.CashRegister { return sq.NewGKArray(eps) }
+	case "gkadaptive":
+		return func() sq.CashRegister { return sq.NewGKAdaptive(eps) }
+	case "mrl99":
+		return func() sq.CashRegister { return sq.NewMRL99(eps, seed) }
+	case "random":
+		return func() sq.CashRegister { return sq.NewRandom(eps, seed) }
+	case "qdigest":
+		return func() sq.CashRegister { return sq.NewQDigest(eps, bits) }
+	}
+	return nil
+}
+
+// turnFactory is the turnstile counterpart of cashFactory.
+func turnFactory(algo string, eps float64, bits int, seed uint64) func() sq.Turnstile {
+	switch strings.ToLower(algo) {
+	case "dcs":
+		return func() sq.Turnstile { return sq.NewDCS(eps, bits, sq.DyadicConfig{Seed: seed}) }
+	case "dcm":
+		return func() sq.Turnstile { return sq.NewDCM(eps, bits, sq.DyadicConfig{Seed: seed}) }
+	}
+	return nil
+}
+
+// generator builds the per-writer stream generator; each writer derives
+// its own seed so the union stream is deterministic but not shared.
+func generator(cfg *config, writer int) (streamgen.Generator, error) {
+	seed := cfg.seed*1000003 + uint64(writer)
+	base := streamgen.Uniform{Bits: cfg.bits, Seed: seed}
+	switch cfg.dist {
+	case "uniform":
+		return base, nil
+	case "zipf":
+		return streamgen.Zipf{S: cfg.zipfS, Bits: cfg.bits, Seed: seed}, nil
+	case "sorted":
+		return streamgen.Sorted{Inner: base}, nil
+	case "reversed":
+		return streamgen.Reversed{Inner: base}, nil
+	case "ooo":
+		return streamgen.OutOfOrder{Inner: base, Window: cfg.oooWindow, Seed: seed ^ 0x00c0ffee}, nil
+	default:
+		return nil, fmt.Errorf("unknown distribution %q", cfg.dist)
+	}
+}

@@ -134,6 +134,108 @@ var faultClasses = []struct {
 	}},
 }
 
+// shardedMatrixCases are the elastic-container rows of the crash
+// matrix: a checkpoint taken before an online reshard (generation 0)
+// and one taken after it (generation 1), with the post-reshard payload
+// carrying the swapped topology — including frozen rank components for
+// the GK shrink. Recovery after any fault must land on one complete
+// generation or the other, never a torn hybrid.
+var shardedMatrixCases = []struct {
+	name    string
+	fresh   func(t *testing.T) *ShardedCashRegister
+	reshard int
+}{
+	{"sharded-kll-grow", func(t *testing.T) *ShardedCashRegister {
+		return mustShardedCash(t, 4, func() CashRegister { return NewKLL(0.01, 7) })
+	}, 7},
+	{"sharded-gkarray-shrink", func(t *testing.T) *ShardedCashRegister {
+		return mustShardedCash(t, 4, func() CashRegister { return NewGKArray(0.01) })
+	}, 2},
+}
+
+func TestCrashRecoveryMidReshard(t *testing.T) {
+	const dir = "/ckpt"
+	for _, ms := range shardedMatrixCases {
+		for _, fc := range faultClasses {
+			t.Run(ms.name+"/"+fc.name, func(t *testing.T) {
+				// Generation 0: the pre-reshard topology.
+				s := ms.fresh(t)
+				feedRange(s, 0, 3000)
+				blob0, err := s.MarshalBinary()
+				if err != nil {
+					t.Fatal(err)
+				}
+				// The reshard swaps the topology mid-stream; generation 1's
+				// payload carries the new shard set (and, for the shrink,
+				// the frozen components).
+				if err := s.Reshard(ms.reshard); err != nil {
+					t.Fatal(err)
+				}
+				feedRange(s, 3000, 5000)
+				blob1, err := s.MarshalBinary()
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				mem := faultio.NewMemFS()
+				ck, err := checkpoint.Open(dir, checkpoint.WithFS(mem))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := ck.Save(ms.name, blob0); err != nil {
+					t.Fatal(err)
+				}
+
+				want, rfs := fc.run(t, mem, dir, ms.name, blob0, blob1)
+
+				rec := ms.fresh(t)
+				report, err := RecoverCheckpointFS(rfs, dir, rec)
+				if err != nil {
+					t.Fatalf("recovery: %v (report %v)", err, report)
+				}
+				got, err := rec.MarshalBinary()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("recovered state re-marshals to %d bytes differing from the %d-byte checkpoint payload: recovery produced a torn topology", len(got), len(want))
+				}
+				if err := rec.Invariants(); err != nil {
+					t.Fatalf("recovered container invariants: %v", err)
+				}
+
+				// The recovered topology is exactly one of the two
+				// generations, verified against a reference decode.
+				ref := ms.fresh(t)
+				if err := ref.UnmarshalBinary(want); err != nil {
+					t.Fatal(err)
+				}
+				if rec.Shards() != ref.Shards() || rec.Generation() != ref.Generation() || rec.Components() != ref.Components() {
+					t.Fatalf("recovered topology Shards=%d Gen=%d Comps=%d, reference %d/%d/%d",
+						rec.Shards(), rec.Generation(), rec.Components(), ref.Shards(), ref.Generation(), ref.Components())
+				}
+				wantPost := bytes.Equal(want, blob1)
+				if post := rec.Generation() == 1; post != wantPost {
+					t.Fatalf("recovered generation %d does not match the surviving payload", rec.Generation())
+				}
+				if rec.Count() != ref.Count() {
+					t.Fatalf("count %d vs reference %d", rec.Count(), ref.Count())
+				}
+				for _, phi := range []float64{0.05, 0.25, 0.5, 0.75, 0.95} {
+					if a, b := rec.Quantile(phi), ref.Quantile(phi); a != b {
+						t.Fatalf("Quantile(%v) = %d, reference %d", phi, a, b)
+					}
+				}
+				for _, x := range []uint64{0, 1 << 10, 1 << 14, 1<<16 - 1} {
+					if a, b := rec.Rank(x), ref.Rank(x); a != b {
+						t.Fatalf("Rank(%d) = %d, reference %d", x, a, b)
+					}
+				}
+			})
+		}
+	}
+}
+
 func TestCrashRecoveryMatrix(t *testing.T) {
 	const dir = "/ckpt"
 	for _, ms := range matrixSummaries {

@@ -31,7 +31,7 @@ import (
 	"time"
 
 	"streamquantiles/internal/core"
-	"streamquantiles/internal/xhash"
+	"streamquantiles/internal/retry"
 )
 
 // File format (little-endian):
@@ -149,32 +149,27 @@ func parseFrame(data []byte) (gen uint64, label string, payload []byte, err erro
 }
 
 // RetryPolicy caps the write-side retries on transient storage errors.
-type RetryPolicy struct {
-	// MaxAttempts is the total number of tries (first attempt
-	// included); values below 1 mean one attempt, i.e. no retries.
-	MaxAttempts int
-	// BaseDelay is the backoff before the first retry; it doubles per
-	// retry up to MaxDelay. The actual sleep is drawn uniformly from
-	// [0, delay) — "full jitter" — to decorrelate concurrent writers.
-	BaseDelay time.Duration
-	// MaxDelay caps the exponential growth.
-	MaxDelay time.Duration
-}
+// It is the shared policy type of internal/retry, re-exported here so
+// existing checkpoint callers keep compiling unchanged.
+type RetryPolicy = retry.Policy
 
 // DefaultRetry is the policy used unless WithRetry overrides it.
-var DefaultRetry = RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 100 * time.Millisecond}
+var DefaultRetry = retry.Default
 
 // Checkpointer writes generation-numbered checkpoint files into one
 // directory. It is not goroutine-safe: the summary wrappers serialize
 // their checkpoint calls, matching the one-writer-per-directory model.
 type Checkpointer struct {
-	fs    FS
-	dir   string
-	next  uint64 // generation the next Save publishes
-	keep  int    // generations retained after a successful Save
-	retry RetryPolicy
-	rng   *xhash.SplitMix64
-	sleep func(time.Duration)
+	fs   FS
+	dir  string
+	next uint64 // generation the next Save publishes
+	keep int    // generations retained after a successful Save
+
+	// retryOpts accumulate until Open builds the Retrier — options may
+	// arrive in any order, so construction is deferred past all of them.
+	policy    RetryPolicy
+	retryOpts []retry.Option
+	retrier   *retry.Retrier
 }
 
 // Option customizes Open.
@@ -197,18 +192,18 @@ func WithKeep(n int) Option {
 }
 
 // WithRetry overrides the transient-failure retry policy.
-func WithRetry(p RetryPolicy) Option { return func(c *Checkpointer) { c.retry = p } }
+func WithRetry(p RetryPolicy) Option { return func(c *Checkpointer) { c.policy = p } }
 
 // WithSleep substitutes the sleeping function used between retries;
 // tests record the requested delays instead of actually waiting.
 func WithSleep(sleep func(time.Duration)) Option {
-	return func(c *Checkpointer) { c.sleep = sleep }
+	return func(c *Checkpointer) { c.retryOpts = append(c.retryOpts, retry.WithSleep(sleep)) }
 }
 
 // WithJitterSeed seeds the backoff jitter; the default seed is fine for
 // production, tests pin it for reproducible schedules.
 func WithJitterSeed(seed uint64) Option {
-	return func(c *Checkpointer) { c.rng = xhash.NewSplitMix64(seed) }
+	return func(c *Checkpointer) { c.retryOpts = append(c.retryOpts, retry.WithSeed(seed)) }
 }
 
 // Open prepares dir (creating it if needed) for checkpointing and
@@ -216,16 +211,15 @@ func WithJitterSeed(seed uint64) Option {
 // reopening after a crash never reuses a published generation number.
 func Open(dir string, opts ...Option) (*Checkpointer, error) {
 	c := &Checkpointer{
-		fs:    OSFS{},
-		dir:   dir,
-		keep:  3,
-		retry: DefaultRetry,
-		rng:   xhash.NewSplitMix64(0x5eedc0de),
-		sleep: time.Sleep,
+		fs:     OSFS{},
+		dir:    dir,
+		keep:   3,
+		policy: DefaultRetry,
 	}
 	for _, o := range opts {
 		o(c)
 	}
+	c.retrier = retry.New(c.policy, c.retryOpts...)
 	if err := c.fs.MkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
@@ -263,23 +257,13 @@ func (c *Checkpointer) Save(label string, payload []byte) (uint64, error) {
 		return 0, err
 	}
 	*bufp = frame // keep the grown buffer for the next generation
-	attempts := c.retry.MaxAttempts
-	if attempts < 1 {
-		attempts = 1
+	if err := c.retrier.Do(func() error { return c.writeGen(c.next, frame) }, IsTransient); err != nil {
+		return 0, err
 	}
-	for attempt := 0; ; attempt++ {
-		err = c.writeGen(c.next, frame)
-		if err == nil {
-			gen := c.next
-			c.next++
-			c.prune()
-			return gen, nil
-		}
-		if attempt+1 >= attempts || !IsTransient(err) {
-			return 0, err
-		}
-		c.sleep(c.backoff(attempt))
-	}
+	gen := c.next
+	c.next++
+	c.prune()
+	return gen, nil
 }
 
 // writeGen runs one attempt of the atomic publish protocol.
@@ -313,22 +297,6 @@ func (c *Checkpointer) writeGen(gen uint64, frame []byte) (err error) {
 		return fmt.Errorf("checkpoint: fsync dir: %w", derr)
 	}
 	return nil
-}
-
-// backoff computes the jittered delay before retry number attempt.
-func (c *Checkpointer) backoff(attempt int) time.Duration {
-	delay := c.retry.BaseDelay
-	if delay <= 0 {
-		delay = time.Millisecond
-	}
-	for i := 0; i < attempt && delay < c.retry.MaxDelay; i++ {
-		delay *= 2
-	}
-	if c.retry.MaxDelay > 0 && delay > c.retry.MaxDelay {
-		delay = c.retry.MaxDelay
-	}
-	// Full jitter: uniform in [0, delay). Never negative, may be zero.
-	return time.Duration(c.rng.Uint64n(uint64(delay)))
 }
 
 // prune removes published generations older than the keep window, best

@@ -48,6 +48,21 @@ type Mergeable interface {
 	MergeSummary(other Summary) error
 }
 
+// Retargetable is implemented by mergeable summaries that can absorb a
+// summary built with a DIFFERENT error budget — the rebuild-through-
+// merge primitive behind online re-ε migration. RetargetMerge widens
+// the receiver's eps to the maximum of the two (error never silently
+// shrinks: a coarser input poisons the fold to its own budget, exactly
+// the max(eps1, eps2) rule MERGE already obeys for equal budgets) and
+// then folds other in. Like MergeSummary it must leave other
+// semantically unchanged.
+type Retargetable interface {
+	// RetargetMerge folds other into the receiver, adopting
+	// max(receiver eps, other eps) as the merged error budget. It
+	// returns an error when other has an incompatible concrete type.
+	RetargetMerge(other Summary) error
+}
+
 // UpdateBatch feeds xs to s through its native batch path when it has
 // one, falling back to the per-element loop.
 func UpdateBatch(s CashRegister, xs []uint64) {

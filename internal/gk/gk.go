@@ -235,22 +235,25 @@ func queryQuantiles(seq tupleSeq, n int64, phis []float64) []uint64 {
 	return out
 }
 
-// queryRank estimates r(x) as the midpoint of the feasible rank interval
-// of the largest stored element ≤ x.
+// queryRank estimates r(x) = #{y < x} as the midpoint of the feasible
+// rank interval of the largest stored element strictly below x. The
+// cutoff must be strict: duplicates of x itself can be stored as tuples
+// of accumulated weight, and folding them in would count x's own
+// occurrences into its rank — at a heavy atom that overstates r(x) by
+// the atom's multiplicity and drags combined-fold quantile answers off
+// the atom (the Summary contract and the duplicate-atom regression
+// tests pin the strict form).
 func queryRank(seq tupleSeq, x uint64) int64 {
 	var (
 		rsum int64
 		est  int64
 	)
 	seq(func(t tuple) bool {
-		if t.v > x {
+		if t.v >= x {
 			return false
 		}
 		rsum += t.g
-		est = rsum + t.del/2 - 1
-		if est < 0 {
-			est = 0
-		}
+		est = rsum + t.del/2
 		return true
 	})
 	return est
@@ -259,8 +262,8 @@ func queryRank(seq tupleSeq, x uint64) int64 {
 // queryRanks answers a batch of rank queries in one pass over the tuple
 // list: the queries are sorted once, then a single sweep maintains the
 // running midpoint estimate and flushes each query when the sweep
-// reaches the first tuple beyond it. Results are identical to calling
-// queryRank per value.
+// reaches the first tuple at or beyond it (the same strict cutoff as
+// queryRank). Results are identical to calling queryRank per value.
 func queryRanks(seq tupleSeq, xs []uint64) []int64 {
 	order := make([]int, len(xs))
 	for i := range order {
@@ -275,15 +278,12 @@ func queryRanks(seq tupleSeq, xs []uint64) []int64 {
 		est  int64
 	)
 	seq(func(t tuple) bool {
-		for qi < len(order) && xs[order[qi]] < t.v {
+		for qi < len(order) && xs[order[qi]] <= t.v {
 			out[order[qi]] = est
 			qi++
 		}
 		rsum += t.g
-		est = rsum + t.del/2 - 1
-		if est < 0 {
-			est = 0
-		}
+		est = rsum + t.del/2
 		return qi < len(order)
 	})
 	for ; qi < len(order); qi++ {
@@ -303,8 +303,10 @@ func queryRanks(seq tupleSeq, xs []uint64) []int64 {
 // searchable. A sentinel entry carries the live rule's ran-off-the-end
 // answer (the last stored element).
 //
-// Rank side: the live estimate for x is max(0, rsum_i + Δ_i/2 − 1) of
-// the last tuple with v_i ≤ x, and 0 before the first tuple.
+// Rank side: the live estimate for x is rsum_i + Δ_i/2 of the last
+// tuple with v_i < x, and 0 before the first tuple — the strict-lookup
+// (RStrict) snapshot form, so duplicates of x itself never count into
+// its own rank.
 func appendQuerySnapshot(seq tupleSeq, n int64, qs *core.QuerySnapshot) {
 	qs.Reset()
 	qs.N = n
@@ -336,16 +338,13 @@ func appendQuerySnapshot(seq tupleSeq, n int64, qs *core.QuerySnapshot) {
 		}
 		qs.QVals = append(qs.QVals, val)
 		qs.QKeys = append(qs.QKeys, runmax-1-half)
-		est := rsum + t.del/2 - 1
-		if est < 0 {
-			est = 0
-		}
 		qs.RVals = append(qs.RVals, t.v)
-		qs.RRanks = append(qs.RRanks, est)
+		qs.RRanks = append(qs.RRanks, rsum+t.del/2)
 		prev = t.v
 		havePrv = true
 		return true
 	})
+	qs.RStrict = true
 	if havePrv {
 		// Ran off the end: the live rule answers the maximum element.
 		qs.QVals = append(qs.QVals, prev)

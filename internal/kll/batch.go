@@ -45,3 +45,27 @@ func (s *Sketch) MergeSummary(other core.Summary) error {
 	s.Merge(o)
 	return nil
 }
+
+// RetargetMerge implements core.Retargetable: it folds other in while
+// widening the receiver's budget to max(eps, other eps). The top-level
+// capacity k is recomputed from the widened eps before the levels
+// concatenate — the codec derives k from eps on decode, so leaving a
+// stale k would make a retargeted sketch diverge from its own
+// round-trip. Compaction then shrinks the retained set to the coarser
+// budget's footprint.
+func (s *Sketch) RetargetMerge(other core.Summary) error {
+	o, ok := other.(*Sketch)
+	if !ok {
+		return fmt.Errorf("kll: cannot merge a %T", other)
+	}
+	if o.eps > s.eps {
+		s.eps = math.Max(s.eps, o.eps)
+		k := int(math.Ceil(4 / s.eps))
+		if k < 2*minLevelCap {
+			k = 2 * minLevelCap
+		}
+		s.k = k
+	}
+	s.mergeLevels(o)
+	return nil
+}

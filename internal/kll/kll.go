@@ -261,6 +261,13 @@ func (s *Sketch) checkCompatible(other *Sketch) {
 // formulation, so restore-and-merge stays deterministic.
 func (s *Sketch) Merge(other *Sketch) {
 	s.checkCompatible(other)
+	s.mergeLevels(other)
+}
+
+// mergeLevels is Merge without the compatibility check: the level
+// concatenation itself is budget-agnostic (RetargetMerge reuses it
+// after widening eps).
+func (s *Sketch) mergeLevels(other *Sketch) {
 	depth := s.Depth()
 	if d := other.Depth(); d > depth {
 		depth = d

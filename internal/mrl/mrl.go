@@ -261,9 +261,28 @@ func collapseGroup(group []*buffer, k int, rng *xhash.SplitMix64, sc *collapseSc
 			maxLevel = g.level
 		}
 	}
-	stride := total / int64(k)
+	// The pure ingest schedule only collapses groups of exactly-k
+	// buffers, where total = k·ΣW and the arithmetic below is exact.
+	// Merge grafts SHORT buffers (partials closed early), making total
+	// indivisible, and two naive roundings then corrupt the estimate:
+	// a floored stride makes the walk want more than k samples, and the
+	// sample cap silently drops the TOP of the weighted sequence (a
+	// systematic upper-quantile underestimate of several ε·n); deriving
+	// the weight as total/len(out) after the fact loses up to a seventh
+	// of the mass to truncation. So the stride is ceiled — the sequence
+	// is spanned end to end in ≤ k samples — and each sample represents
+	// exactly stride positions, with the sample count floored so the
+	// retained mass count·stride never exceeds total (the Invariants
+	// contract caps retained weight at the stream length). The only
+	// loss is the final total mod stride positions, less than one
+	// sample's share.
+	stride := (total + int64(k) - 1) / int64(k)
 	if stride < 1 {
 		stride = 1
+	}
+	count := total / stride
+	if count < 1 {
+		count = 1
 	}
 	offset := int64(rng.Uint64n(uint64(stride)))
 
@@ -300,17 +319,13 @@ func collapseGroup(group []*buffer, k int, rng *xhash.SplitMix64, sc *collapseSc
 		idx[best]++
 		lo, hi := cum, cum+g.weight // v occupies weighted positions [lo, hi)
 		cum = hi
-		for next >= lo && next < hi && len(out) < k {
+		for next >= lo && next < hi && int64(len(out)) < count {
 			out = append(out, v)
 			next += stride
 		}
 	}
-	w := total / int64(len(out))
-	if w < 1 {
-		w = 1
-	}
 	sc.out = out
-	return collapsed{level: maxLevel + 1, weight: w, data: out}
+	return collapsed{level: maxLevel + 1, weight: stride, data: out}
 }
 
 // samplePool recycles the weighted-sample scratch built on every query.

@@ -103,6 +103,73 @@ func TestCollapseGroupMixedWeights(t *testing.T) {
 	}
 }
 
+// TestCollapseGroupShortBuffers pins the short-buffer collapse
+// arithmetic: Merge grafts partially-filled buffers (closed early,
+// len < k), so the group total is not a multiple of k. A floor-rounded
+// stride used to make the walk want more than k samples, and the
+// output cap then silently dropped the TOP of the weighted sequence —
+// here the old code kept only the first 8 of 11 weighted positions,
+// never sampling values 10 and 11. The ceiled stride must span the
+// sequence end to end while the retained mass stays within one stride
+// of the total and never exceeds it.
+func TestCollapseGroupShortBuffers(t *testing.T) {
+	for seed := uint64(0); seed < 16; seed++ {
+		rng := xhash.NewSplitMix64(seed)
+		group := []*buffer{
+			{level: 0, weight: 1, data: []uint64{1, 3, 5, 7, 9}, full: true},
+			{level: 0, weight: 1, data: []uint64{2, 4, 6, 8, 10, 11}, full: true},
+		}
+		out := collapseGroup(group, 8, rng, &collapseScratch{})
+		if len(out.data) > 8 {
+			t.Fatalf("seed %d: collapsed size %d exceeds k", seed, len(out.data))
+		}
+		// total=11, k=8 -> stride=2: the last sampled position is at
+		// least 8, so the top sample is at least the 9th smallest value.
+		if top := out.data[len(out.data)-1]; top < 9 {
+			t.Errorf("seed %d: top sample %d — upper tail truncated", seed, top)
+		}
+		got := out.weight * int64(len(out.data))
+		if got > 11 || got <= 11-out.weight {
+			t.Errorf("seed %d: represented weight %d, want (9, 11]", seed, got)
+		}
+	}
+}
+
+// TestMergeIntoPartialBuffer exercises the Merge path that creates
+// short buffers in the first place: the target is mid-buffer when a
+// full summary merges in, and rank accuracy must hold after further
+// ingestion on the merged summary.
+func TestMergeIntoPartialBuffer(t *testing.T) {
+	const n, eps = 40000, 0.01
+	data := streamgen.Generate(streamgen.Uniform{Bits: 14, Seed: 3}, n)
+	for _, fill := range []int{1, 33, 300, 701, 2500} {
+		donor := New(eps, 1)
+		for _, x := range data[:3750] {
+			donor.Update(x)
+		}
+		m := New(eps, 2)
+		for _, x := range data[3750 : 3750+fill] {
+			m.Update(x)
+		}
+		m.Merge(donor)
+		for _, x := range data[3750+fill:] {
+			m.Update(x)
+		}
+		if m.Count() != n {
+			t.Fatalf("fill %d: count %d, want %d", fill, m.Count(), n)
+		}
+		o := exact.New(data)
+		tol := int64(2 * eps * n)
+		for _, phi := range []float64{0.25, 0.5, 0.75, 0.9, 0.98} {
+			x := o.Quantile(phi)
+			want := o.Rank(x)
+			if d := m.Rank(x) - want; d < -tol || d > tol {
+				t.Errorf("fill %d: Rank(%d) off by %d, tolerance %d", fill, x, d, tol)
+			}
+		}
+	}
+}
+
 func TestCollapseOffsetRandomized(t *testing.T) {
 	// Different RNG states must be able to produce different selections.
 	distinct := map[uint64]bool{}

@@ -1,0 +1,118 @@
+// Package retry implements capped exponential backoff with full jitter
+// — the storage-retry discipline the checkpoint layer introduced, made
+// reusable: the checkpoint writer retries transient filesystem errors
+// through it, and the quantstress soak harness drives its
+// fault-recovery loop with the same policy.
+//
+// The schedule is the classic AWS "full jitter" variant: the delay
+// before retry r is drawn uniformly from [0, min(Base·2ʳ, Max)), which
+// decorrelates concurrent retriers while keeping the expected backoff
+// exponential. Jitter is seeded (SplitMix64), so a pinned seed gives a
+// reproducible schedule — the property every deterministic harness in
+// this repository is built on.
+package retry
+
+import (
+	"time"
+
+	"streamquantiles/internal/xhash"
+)
+
+// Policy caps the retries of an operation against transient failures.
+type Policy struct {
+	// MaxAttempts is the total number of tries (first attempt
+	// included); values below 1 mean one attempt, i.e. no retries.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// retry up to MaxDelay. The actual sleep is drawn uniformly from
+	// [0, delay) — "full jitter" — to decorrelate concurrent retriers.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth.
+	MaxDelay time.Duration
+}
+
+// Default mirrors the checkpoint layer's historical policy: five
+// attempts, millisecond base, 100ms cap.
+var Default = Policy{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 100 * time.Millisecond}
+
+// defaultSeed keeps the out-of-the-box jitter schedule identical to the
+// one the checkpoint layer shipped with.
+const defaultSeed = 0x5eedc0de
+
+// Retrier executes operations under a Policy. It is not goroutine-safe
+// (the jitter RNG is sequential); give each retrying goroutine its own.
+type Retrier struct {
+	policy Policy
+	rng    *xhash.SplitMix64
+	sleep  func(time.Duration)
+}
+
+// Option customizes New.
+type Option func(*Retrier)
+
+// WithSleep substitutes the sleeping function used between retries;
+// tests record the requested delays instead of actually waiting.
+func WithSleep(sleep func(time.Duration)) Option {
+	return func(r *Retrier) { r.sleep = sleep }
+}
+
+// WithSeed seeds the backoff jitter; the default seed is fine for
+// production, tests pin it for reproducible schedules.
+func WithSeed(seed uint64) Option {
+	return func(r *Retrier) { r.rng = xhash.NewSplitMix64(seed) }
+}
+
+// New builds a Retrier for the policy.
+func New(p Policy, opts ...Option) *Retrier {
+	r := &Retrier{
+		policy: p,
+		rng:    xhash.NewSplitMix64(defaultSeed),
+		sleep:  time.Sleep,
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// Attempts returns the normalized total number of tries (at least 1).
+func (r *Retrier) Attempts() int {
+	if r.policy.MaxAttempts < 1 {
+		return 1
+	}
+	return r.policy.MaxAttempts
+}
+
+// Backoff computes the jittered delay before retry number attempt
+// (0-based: Backoff(0) precedes the second try).
+func (r *Retrier) Backoff(attempt int) time.Duration {
+	delay := r.policy.BaseDelay
+	if delay <= 0 {
+		delay = time.Millisecond
+	}
+	for i := 0; i < attempt && delay < r.policy.MaxDelay; i++ {
+		delay *= 2
+	}
+	if r.policy.MaxDelay > 0 && delay > r.policy.MaxDelay {
+		delay = r.policy.MaxDelay
+	}
+	// Full jitter: uniform in [0, delay). Never negative, may be zero.
+	return time.Duration(r.rng.Uint64n(uint64(delay)))
+}
+
+// Do runs op until it succeeds, the attempt budget runs out, or an
+// error is not retryable. A nil retryable predicate retries nothing
+// (every error is final). The returned error is op's last.
+func (r *Retrier) Do(op func() error, retryable func(error) bool) error {
+	attempts := r.Attempts()
+	for attempt := 0; ; attempt++ {
+		err := op()
+		if err == nil {
+			return nil
+		}
+		if attempt+1 >= attempts || retryable == nil || !retryable(err) {
+			return err
+		}
+		r.sleep(r.Backoff(attempt))
+	}
+}

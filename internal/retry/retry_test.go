@@ -1,0 +1,118 @@
+package retry
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// markedTransient mimics the checkpoint layer's transient-error
+// classification without importing it (retry must stay a leaf package).
+type markedTransient struct{ msg string }
+
+func (e markedTransient) Error() string   { return e.msg }
+func (e markedTransient) Transient() bool { return true }
+
+func isTransient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+func TestDoRetriesTransientUntilSuccess(t *testing.T) {
+	var slept []time.Duration
+	r := New(Policy{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 8 * time.Millisecond},
+		WithSeed(42), WithSleep(func(d time.Duration) { slept = append(slept, d) }))
+	calls := 0
+	err := r.Do(func() error {
+		calls++
+		if calls < 3 {
+			return markedTransient{"busy"}
+		}
+		return nil
+	}, isTransient)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("op ran %d times, want 3", calls)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(slept))
+	}
+	for i, d := range slept {
+		if d < 0 || d >= 8*time.Millisecond {
+			t.Fatalf("sleep %d = %v outside the jitter cap", i, d)
+		}
+	}
+}
+
+func TestDoStopsOnPermanentError(t *testing.T) {
+	perm := errors.New("disk on fire")
+	r := New(Policy{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond},
+		WithSleep(func(time.Duration) { t.Fatal("slept before a permanent error") }))
+	calls := 0
+	err := r.Do(func() error { calls++; return perm }, isTransient)
+	if !errors.Is(err, perm) || calls != 1 {
+		t.Fatalf("err %v after %d calls, want the permanent error after 1", err, calls)
+	}
+}
+
+func TestDoExhaustsAttemptBudget(t *testing.T) {
+	r := New(Policy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond},
+		WithSleep(func(time.Duration) {}))
+	calls := 0
+	err := r.Do(func() error { calls++; return markedTransient{"busy"} }, isTransient)
+	if err == nil || calls != 3 {
+		t.Fatalf("err %v after %d calls, want the transient error after 3", err, calls)
+	}
+}
+
+func TestDoNilPredicateNeverRetries(t *testing.T) {
+	r := New(Default, WithSleep(func(time.Duration) { t.Fatal("slept with a nil predicate") }))
+	calls := 0
+	if err := r.Do(func() error { calls++; return markedTransient{"busy"} }, nil); err == nil || calls != 1 {
+		t.Fatalf("err %v after %d calls, want failure after 1", err, calls)
+	}
+}
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	r := New(Policy{MaxAttempts: 10, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond}, WithSeed(7))
+	// The jittered delay is uniform in [0, min(base·2^r, max)); sample
+	// each attempt many times and check the observed supremum respects
+	// the exponential envelope.
+	caps := []time.Duration{time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond, 4 * time.Millisecond}
+	for attempt, want := range caps {
+		var max time.Duration
+		for i := 0; i < 200; i++ {
+			d := r.Backoff(attempt)
+			if d < 0 || d >= want {
+				t.Fatalf("Backoff(%d) = %v outside [0, %v)", attempt, d, want)
+			}
+			if d > max {
+				max = d
+			}
+		}
+		if max < want/4 {
+			t.Fatalf("Backoff(%d) supremum %v implausibly small for cap %v", attempt, max, want)
+		}
+	}
+}
+
+func TestSeededScheduleIsReproducible(t *testing.T) {
+	a := New(Default, WithSeed(99))
+	b := New(Default, WithSeed(99))
+	for i := 0; i < 8; i++ {
+		if da, db := a.Backoff(i), b.Backoff(i); da != db {
+			t.Fatalf("attempt %d: %v vs %v under the same seed", i, da, db)
+		}
+	}
+}
+
+func TestAttemptsNormalization(t *testing.T) {
+	if got := New(Policy{MaxAttempts: 0}).Attempts(); got != 1 {
+		t.Fatalf("Attempts() = %d for MaxAttempts 0, want 1", got)
+	}
+	if got := New(Policy{MaxAttempts: -3}).Attempts(); got != 1 {
+		t.Fatalf("Attempts() = %d for negative MaxAttempts, want 1", got)
+	}
+}

@@ -1,0 +1,220 @@
+package sharded
+
+import (
+	"encoding"
+	"fmt"
+
+	"streamquantiles/internal/core"
+)
+
+// Binary codec for the sharded containers, so the checkpoint layer can
+// persist a whole sharded summary — including mid-reshard state: the
+// generation id, every live shard, and every frozen component travel in
+// one frame. Marshal runs under the topology read lock, so a checkpoint
+// taken concurrently with a Reshard/Retarget observes either the
+// complete pre-swap or the complete post-swap topology, never a torn
+// hybrid (the crash matrix pins this).
+//
+// Layout (core.Encoder varints):
+//
+//	U64 codec version (1)
+//	U64 generation id
+//	U64 P, then P × Blob (per-shard summary encoding)
+//	U64 component count, then count × Blob (frozen component encodings)
+//
+// Decoding builds summaries through the container's own factory and
+// feeds each blob to its UnmarshalBinary — the per-summary codecs are
+// self-describing (ε, seeds, k travel in the blob), so a decoded shard
+// or component restores the exact configuration it was saved with even
+// when the live factory has since been retargeted.
+const shardedCodecVersion = 1
+
+// maxDecodedShards bounds the shard and component counts a decoder will
+// allocate for, far above any sane topology: hostile length prefixes
+// must not translate into huge allocations (the SQ006 contract).
+const maxDecodedShards = 1 << 16
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (c *CashRegister) MarshalBinary() ([]byte, error) {
+	c.topo.RLock()
+	defer c.topo.RUnlock()
+	g := c.gen.Load()
+	var e core.Encoder
+	e.U64(shardedCodecVersion)
+	e.U64(g.id)
+	e.U64(uint64(len(g.shards)))
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.Lock()
+		blob, err := marshalSummary(sh.s)
+		sh.mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("sharded: marshal shard %d: %w", i, err)
+		}
+		e.Blob(blob)
+	}
+	e.U64(uint64(len(c.ret.comps)))
+	for i, comp := range c.ret.comps {
+		comp.mu.Lock()
+		blob, err := marshalSummary(comp.s)
+		comp.mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("sharded: marshal component %d: %w", i, err)
+		}
+		e.Blob(blob)
+	}
+	return e.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler: it replaces
+// the container's entire state (topology generation, shards, frozen
+// components) with the decoded one, keeping the current factory and its
+// probed capabilities.
+func (c *CashRegister) UnmarshalBinary(data []byte) error {
+	c.topo.Lock()
+	defer c.topo.Unlock()
+	cur := c.gen.Load()
+	d := core.NewDecoder(data)
+	id, p, err := decodeShardedHeader(d)
+	if err != nil {
+		return err
+	}
+	if p > maxDecodedShards {
+		return core.Corruptf("sharded: shard count %d implausible", p)
+	}
+	next := &cashGen{id: id, shards: make([]cashShard, p), fresh: cur.fresh, caps: cur.caps, eps: cur.eps}
+	for i := range next.shards {
+		s := cur.fresh()
+		if err := unmarshalSummary(s, d.Blob(), d); err != nil {
+			return fmt.Errorf("sharded: decode shard %d: %w", i, err)
+		}
+		sh := &next.shards[i]
+		sh.mu.Lock()
+		sh.s = s
+		sh.mu.Unlock()
+	}
+	nComps := d.U64()
+	if nComps > maxDecodedShards {
+		return core.Corruptf("sharded: component count %d implausible", nComps)
+	}
+	comps := make([]*retiredComp, 0, nComps)
+	for i := uint64(0); i < nComps; i++ {
+		s := cur.fresh()
+		if err := unmarshalSummary(s, d.Blob(), d); err != nil {
+			return fmt.Errorf("sharded: decode component %d: %w", i, err)
+		}
+		comps = append(comps, newRetiredComp(s))
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if d.Remaining() != 0 {
+		return core.Corruptf("sharded: %d trailing bytes", d.Remaining())
+	}
+	c.gen.Store(next)
+	c.ret.comps = comps
+	c.ret.ver.Add(1)
+	c.q.invalidate()
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (t *Turnstile) MarshalBinary() ([]byte, error) {
+	t.topo.RLock()
+	defer t.topo.RUnlock()
+	g := t.gen.Load()
+	var e core.Encoder
+	e.U64(shardedCodecVersion)
+	e.U64(g.id)
+	e.U64(uint64(len(g.shards)))
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.Lock()
+		blob, err := marshalSummary(sh.s)
+		sh.mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("sharded: marshal shard %d: %w", i, err)
+		}
+		e.Blob(blob)
+	}
+	e.U64(0) // turnstile containers never freeze components
+	return e.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (t *Turnstile) UnmarshalBinary(data []byte) error {
+	t.topo.Lock()
+	defer t.topo.Unlock()
+	cur := t.gen.Load()
+	d := core.NewDecoder(data)
+	id, p, err := decodeShardedHeader(d)
+	if err != nil {
+		return err
+	}
+	if p > maxDecodedShards {
+		return core.Corruptf("sharded: shard count %d implausible", p)
+	}
+	next := &turnGen{id: id, shards: make([]turnShard, p), fresh: cur.fresh, caps: cur.caps, eps: cur.eps}
+	for i := range next.shards {
+		s := cur.fresh()
+		if err := unmarshalSummary(s, d.Blob(), d); err != nil {
+			return fmt.Errorf("sharded: decode shard %d: %w", i, err)
+		}
+		sh := &next.shards[i]
+		sh.mu.Lock()
+		sh.s = s
+		sh.mu.Unlock()
+	}
+	if n := d.U64(); n != 0 {
+		return core.Corruptf("sharded: turnstile encoding carries %d components", n)
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if d.Remaining() != 0 {
+		return core.Corruptf("sharded: %d trailing bytes", d.Remaining())
+	}
+	t.gen.Store(next)
+	t.q.invalidate()
+	return nil
+}
+
+// decodeShardedHeader reads and validates the common header.
+func decodeShardedHeader(d *core.Decoder) (id uint64, p int, err error) {
+	if v := d.U64(); v != shardedCodecVersion {
+		if derr := d.Err(); derr != nil {
+			return 0, 0, derr
+		}
+		return 0, 0, core.Corruptf("sharded: unsupported codec version %d", v)
+	}
+	id = d.U64()
+	np := d.U64()
+	if err := d.Err(); err != nil {
+		return 0, 0, err
+	}
+	if np < 1 || np > maxDecodedShards {
+		return 0, 0, core.Corruptf("sharded: shard count %d implausible", np)
+	}
+	return id, int(np), nil
+}
+
+// marshalSummary encodes one shard or component summary.
+func marshalSummary(s any) ([]byte, error) {
+	m, ok := s.(encoding.BinaryMarshaler)
+	if !ok {
+		return nil, fmt.Errorf("summary %T has no binary encoding", s)
+	}
+	return m.MarshalBinary()
+}
+
+// unmarshalSummary decodes one blob into a fresh factory summary.
+func unmarshalSummary(s any, blob []byte, d *core.Decoder) error {
+	if err := d.Err(); err != nil {
+		return err
+	}
+	u, ok := s.(encoding.BinaryUnmarshaler)
+	if !ok {
+		return fmt.Errorf("summary %T has no binary decoding", s)
+	}
+	return u.UnmarshalBinary(blob)
+}

@@ -1,0 +1,406 @@
+package sharded
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"streamquantiles/internal/core"
+)
+
+// Elastic operations: online re-sharding and re-ε rebuild.
+//
+// Both follow the same epoch-swap protocol:
+//
+//  1. Take the topology write lock — queries that fold or aggregate
+//     wait, writers do not (they hold no topology lock).
+//  2. Build the successor generation and publish it with one atomic
+//     store. From this instant every new write routes to the new shard
+//     set.
+//  3. Retire each old shard under its own mutex (set the flag, take the
+//     summary). A writer blocked on that mutex wakes, sees the flag,
+//     and re-routes — ingestion is stalled at most for one shard's
+//     drain, never for the whole operation.
+//  4. Drain the taken summaries into the successor: MERGE for mergeable
+//     families, adoption (pointer move) for the GK family on reshard,
+//     RetargetMerge for budget-widening re-ε, and freezing into a
+//     query-time rank component when nothing else preserves the data.
+//
+// ε-budget accounting: a MERGE preserves max(ε₁, ε₂) (the mergeable-
+// summary rule the SQ012 lint polices), RetargetMerge widens the
+// receiver to that same max, and a frozen component keeps its own ε and
+// contributes its own ±εᵢnᵢ to the additive rank combination. EpsBudget
+// reports the max over the live factory and all frozen components, so
+// the composed error of any query is ≤ 2·EpsBudget()·n + Components()
+// for rank-combined families and ≤ EpsBudget()·n for merged ones.
+
+// retiredComp is a summary frozen by an elastic operation: it no longer
+// receives writes and participates in queries by additive rank. The
+// snapshot is built eagerly at freeze time when the family supports it,
+// making later queries lock-free; otherwise queries lock the component
+// (GKBiased's reads flush internally, so they mutate).
+type retiredComp struct {
+	mu  sync.Mutex
+	s   core.Summary // guarded by mu
+	qs  *core.QuerySnapshot
+	n   int64
+	eps float64 // the component's own error budget; 0 when unknown
+}
+
+// newRetiredComp freezes s. The caller must be the only owner of s (it
+// was taken from a retired shard under that shard's mutex).
+func newRetiredComp(s core.Summary) *retiredComp {
+	c := &retiredComp{s: s, n: s.Count()}
+	if ss, ok := s.(core.Snapshotter); ok {
+		c.qs = core.BuildQuerySnapshot(ss)
+	}
+	if er, ok := s.(epsReporter); ok {
+		c.eps = er.Eps()
+	}
+	return c
+}
+
+func (c *retiredComp) rank(x uint64) int64 {
+	if c.qs != nil {
+		return c.qs.Rank(x)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.Rank(x)
+}
+
+func (c *retiredComp) spaceBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.SpaceBytes()
+}
+
+func (c *retiredComp) invariants() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ic, ok := c.s.(invariantChecker)
+	if !ok {
+		return nil
+	}
+	return ic.Invariants()
+}
+
+// retiredSet collects a container's frozen components. comps is only
+// mutated under the container's topology write lock and only read under
+// its read lock; ver is bumped on every mutation so the lock-free query
+// cache can validate without the lock.
+type retiredSet struct {
+	ver   atomic.Uint64
+	comps []*retiredComp
+}
+
+func (r *retiredSet) add(c *retiredComp) {
+	r.comps = append(r.comps, c)
+	r.ver.Add(1)
+}
+
+func (r *retiredSet) count() int64 {
+	var n int64
+	for _, c := range r.comps {
+		n += c.n
+	}
+	return n
+}
+
+func (r *retiredSet) rank(x uint64) int64 {
+	var n int64
+	for _, c := range r.comps {
+		n += c.rank(x)
+	}
+	return n
+}
+
+func (r *retiredSet) addRanks(dst []int64, xs []uint64) {
+	for _, c := range r.comps {
+		for i, x := range xs {
+			dst[i] += c.rank(x)
+		}
+	}
+}
+
+func (r *retiredSet) spaceBytes() int64 {
+	var b int64
+	for _, c := range r.comps {
+		b += c.spaceBytes()
+	}
+	return b
+}
+
+func (r *retiredSet) invariants() error {
+	for i, c := range r.comps {
+		if err := c.invariants(); err != nil {
+			return fmt.Errorf("sharded: retired component %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// retireCashShard marks the shard retired under its own mutex and takes
+// its summary; a writer blocked on the mutex wakes to the flag and
+// re-routes.
+func retireCashShard(sh *cashShard) core.CashRegister {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s := sh.s
+	sh.retired = true
+	sh.s = nil
+	sh.epoch.Add(1)
+	return s
+}
+
+// retireTurnShard is the turnstile counterpart of retireCashShard.
+func retireTurnShard(sh *turnShard) core.Turnstile {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s := sh.s
+	sh.retired = true
+	sh.s = nil
+	sh.epoch.Add(1)
+	return s
+}
+
+// finerThan reports whether tgt's error budget is strictly tighter than
+// old's, when both report one.
+func finerThan(tgt, old core.Summary) bool {
+	te, ok1 := tgt.(epsReporter)
+	oe, ok2 := old.(epsReporter)
+	return ok1 && ok2 && te.Eps() < oe.Eps()
+}
+
+// absorb folds old into tgt when that preserves both budgets' meaning:
+// a plain MERGE when the configurations match, a RetargetMerge
+// (widening tgt to max(ε_tgt, ε_old)) when tgt's budget is not finer.
+// It reports false when the data must be frozen instead — merging a
+// coarse old summary into a finer target would silently pin the whole
+// sketch at the old ε forever; freezing lets new data earn the finer
+// budget while the old data keeps its own.
+func absorb(tgt, old core.Summary) bool {
+	if m, ok := tgt.(core.Mergeable); ok && m.MergeSummary(old) == nil {
+		return true
+	}
+	if finerThan(tgt, old) {
+		return false
+	}
+	if r, ok := tgt.(core.Retargetable); ok && r.RetargetMerge(old) == nil {
+		return true
+	}
+	return false
+}
+
+// ------------------------------------------------------- cash register
+
+// Reshard grows or shrinks the shard count to p without stopping
+// ingestion. Mergeable families drain every retired shard into the new
+// shard set through MERGE; the GK family adopts the first min(P_old, p)
+// summaries in place (a pointer move — no accuracy cost) and freezes
+// any surplus as rank components, so a shrink adds at most
+// P_old − p components to the additive bound.
+func (c *CashRegister) Reshard(p int) error {
+	if err := checkShards(p); err != nil {
+		return err
+	}
+	c.topo.Lock()
+	defer c.topo.Unlock()
+	old := c.gen.Load()
+	if p == len(old.shards) {
+		return nil
+	}
+	if old.caps.mergeable {
+		c.reshardByMerge(old, p)
+	} else {
+		c.reshardByAdoption(old, p)
+	}
+	c.q.invalidate()
+	return nil
+}
+
+// reshardByMerge publishes a fresh successor first (writers re-route
+// immediately), then drains each retired shard into a successor shard.
+func (c *CashRegister) reshardByMerge(old *cashGen, p int) {
+	next := newCashGen(old.id+1, p, old.fresh, old.caps)
+	c.gen.Store(next)
+	for i := range old.shards {
+		s := retireCashShard(&old.shards[i])
+		if s.Count() == 0 {
+			continue
+		}
+		dst := &next.shards[i%p]
+		dst.mu.Lock()
+		dst.epoch.Add(1)
+		err := dst.s.(core.Mergeable).MergeSummary(s)
+		dst.mu.Unlock()
+		if err != nil {
+			// The factory probed mergeable, so this cannot happen unless
+			// the factory misbehaves; freeze rather than lose the data.
+			c.ret.add(newRetiredComp(s))
+		}
+	}
+}
+
+// reshardByAdoption moves the first min(P_old, p) summaries into the
+// successor unchanged and freezes the surplus. The successor is built
+// before it is published, so writers spin (seeing retired flags under
+// the old generation) only for the duration of the pointer moves.
+func (c *CashRegister) reshardByAdoption(old *cashGen, p int) {
+	next := &cashGen{id: old.id + 1, shards: make([]cashShard, p), fresh: old.fresh, caps: old.caps, eps: old.eps}
+	keep := len(old.shards)
+	if p < keep {
+		keep = p
+	}
+	for i := 0; i < keep; i++ {
+		sh := &next.shards[i]
+		sh.mu.Lock()
+		sh.s = retireCashShard(&old.shards[i])
+		sh.mu.Unlock()
+	}
+	for i := keep; i < p; i++ {
+		sh := &next.shards[i]
+		sh.mu.Lock()
+		sh.s = old.fresh()
+		sh.mu.Unlock()
+	}
+	for i := keep; i < len(old.shards); i++ {
+		if s := retireCashShard(&old.shards[i]); s.Count() > 0 {
+			c.ret.add(newRetiredComp(s))
+		}
+	}
+	c.gen.Store(next)
+}
+
+// Retarget migrates the container to a new factory — typically the same
+// family at a different ε — without stopping ingestion. New writes land
+// in fresh summaries at the new budget immediately; each retired
+// shard's data is absorbed into its successor when that preserves the
+// budget semantics (see absorb) and frozen as a rank component
+// otherwise. The shard count is preserved.
+func (c *CashRegister) Retarget(fresh func() core.CashRegister) error {
+	c.topo.Lock()
+	defer c.topo.Unlock()
+	old := c.gen.Load()
+	caps := probeCaps(func() core.Summary { return fresh() })
+	next := newCashGen(old.id+1, len(old.shards), fresh, caps)
+	c.gen.Store(next)
+	for i := range old.shards {
+		s := retireCashShard(&old.shards[i])
+		if s.Count() == 0 {
+			continue
+		}
+		dst := &next.shards[i]
+		dst.mu.Lock()
+		dst.epoch.Add(1)
+		absorbed := absorb(dst.s, s)
+		dst.mu.Unlock()
+		if !absorbed {
+			c.ret.add(newRetiredComp(s))
+		}
+	}
+	c.q.invalidate()
+	return nil
+}
+
+// Components returns the number of frozen retired components currently
+// contributing to queries by additive rank.
+func (c *CashRegister) Components() int {
+	c.topo.RLock()
+	defer c.topo.RUnlock()
+	return len(c.ret.comps)
+}
+
+// EpsBudget reports the composed error budget: the max over the live
+// factory's ε and every frozen component's ε (0 when the family does
+// not report one). Rank-combined queries err by at most
+// 2·EpsBudget()·n + Shards() + Components(); merged folds by at most
+// EpsBudget()·n.
+func (c *CashRegister) EpsBudget() float64 {
+	c.topo.RLock()
+	defer c.topo.RUnlock()
+	eps := c.gen.Load().eps
+	for _, comp := range c.ret.comps {
+		eps = math.Max(eps, comp.eps)
+	}
+	return eps
+}
+
+// ------------------------------------------------------------ turnstile
+
+// Reshard grows or shrinks the shard count to p without stopping
+// ingestion. Only mergeable families can reshard under deletions: the
+// re-routed deletions of an element must cancel against its re-merged
+// insertions, which the linear sketches guarantee exactly; a frozen
+// component could never be decremented again, so non-mergeable
+// turnstile families are rejected.
+func (t *Turnstile) Reshard(p int) error {
+	if err := checkShards(p); err != nil {
+		return err
+	}
+	t.topo.Lock()
+	defer t.topo.Unlock()
+	old := t.gen.Load()
+	if p == len(old.shards) {
+		return nil
+	}
+	if !old.caps.mergeable {
+		return fmt.Errorf("sharded: cannot reshard a non-mergeable turnstile family: re-routed deletions must cancel against re-merged insertions")
+	}
+	next := newTurnGen(old.id+1, p, old.fresh, old.caps)
+	t.gen.Store(next)
+	for i := range old.shards {
+		s := retireTurnShard(&old.shards[i])
+		dst := &next.shards[i%p]
+		dst.mu.Lock()
+		dst.epoch.Add(1)
+		err := dst.s.(core.Mergeable).MergeSummary(s)
+		dst.mu.Unlock()
+		if err != nil {
+			t.q.invalidate()
+			return fmt.Errorf("sharded: reshard drain merge: %w", err)
+		}
+	}
+	t.q.invalidate()
+	return nil
+}
+
+// Retarget migrates the turnstile container to a new factory. Freezing
+// is not an option under deletions, so the operation is gated on a
+// probe: the new configuration must absorb the old one (merge or
+// retarget-merge) on throwaway instances, or the call fails without
+// touching the live topology.
+func (t *Turnstile) Retarget(fresh func() core.Turnstile) error {
+	t.topo.Lock()
+	defer t.topo.Unlock()
+	old := t.gen.Load()
+	if !absorb(fresh(), old.fresh()) {
+		return fmt.Errorf("sharded: turnstile retarget: the new configuration cannot absorb the old (no merge or retarget-merge path), and deletions rule out freezing")
+	}
+	caps := probeCaps(func() core.Summary { return fresh() })
+	next := newTurnGen(old.id+1, len(old.shards), fresh, caps)
+	t.gen.Store(next)
+	for i := range old.shards {
+		s := retireTurnShard(&old.shards[i])
+		dst := &next.shards[i]
+		dst.mu.Lock()
+		dst.epoch.Add(1)
+		ok := absorb(dst.s, s)
+		dst.mu.Unlock()
+		if !ok {
+			t.q.invalidate()
+			return fmt.Errorf("sharded: turnstile retarget: shard %d absorb failed after a successful probe", i)
+		}
+	}
+	t.q.invalidate()
+	return nil
+}
+
+// Components returns 0: turnstile containers never freeze components.
+func (t *Turnstile) Components() int { return 0 }
+
+// EpsBudget reports the live factory's ε (0 when the family does not
+// report one); turnstile drains are exact merges, so no wider budget
+// ever accumulates.
+func (t *Turnstile) EpsBudget() float64 { return t.gen.Load().eps }

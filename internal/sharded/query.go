@@ -1,6 +1,7 @@
 package sharded
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -15,45 +16,72 @@ import (
 //
 //   - Mergeability (the family implements core.Mergeable AND the
 //     factory produces merge-compatible instances — identical configs
-//     and seeds) is probed once at construction against two throwaway
-//     instances and cached; a factory drawing random seeds is detected
-//     up front instead of failing inside every query.
+//     and seeds) is probed once per factory against two throwaway
+//     instances and cached on the generation; a factory drawing random
+//     seeds is detected up front instead of failing inside every query.
 //   - Each shard carries a write epoch, bumped under its lock before
 //     every mutation. The combined artifact (merged summary or
-//     per-shard snapshots) is cached together with the epoch vector
-//     observed while each shard was read; a later query revalidates by
-//     comparing the live epochs and reuses the artifact lock-free when
-//     no shard has been written — repeated queries on a quiet sharded
-//     summary never fold anything.
+//     per-shard snapshots) is cached together with the generation id,
+//     the retired-component version, and the epoch vector observed
+//     while each shard was read; a later query revalidates all three
+//     lock-free and reuses the artifact when nothing changed — repeated
+//     queries on a quiet sharded summary never fold anything and never
+//     touch the topology lock.
 //   - A rebuild folds the shards by a parallel tree-merge: one worker
 //     per shard merges that shard into its own fresh summary (holding
 //     only that shard's lock), then the P partials reduce pairwise in
-//     ⌈log₂P⌉ parallel rounds.
+//     ⌈log₂P⌉ parallel rounds. Rebuilds run under the topology read
+//     lock, so a fold never observes a half-drained reshard.
 //
-// Accuracy of the non-mergeable (GK) combination, now via cached exact
+// Accuracy of the non-mergeable (GK) combination, via cached exact
 // per-shard snapshots: the summed estimate R̂(x) = Σᵢ R̂ᵢ(x) differs
-// from the true combined rank by at most Σᵢ(2εᵢnᵢ + 1) ≤ 2εn + P —
+// from the true combined rank by at most Σᵢ(2εᵢnᵢ + 1) ≤ 2εn + parts —
 // each shard's midpoint estimator is uncertain by the ⌊2εᵢnᵢ⌋ capacity
-// of the gap a probe falls into, plus one for its −1 bias. The bitwise
-// descent (rankQuantile) inverts R̂ within the same bound, so a sharded
-// GK quantile's rank error is ≤ 2εn + P, versus εn unsharded. The
+// of the gap a probe falls into, plus one for its −1 bias; parts counts
+// live shards plus the components frozen by elastic operations. The
+// bitwise descent (rankQuantile) inverts R̂ within the same bound. The
 // snapshots are exact flattenings, so this path returns byte-identical
 // answers to folding the live shards while quiescent.
 
-// queryCache holds the construction-time capability probe and the
-// epoch-keyed combined artifact.
-type queryCache struct {
+// foldCaps records what query artifacts a factory's summaries support,
+// probed once per factory (construction, Retarget, decode).
+type foldCaps struct {
 	// mergeable: the factory's summaries fold into one via
 	// core.Mergeable. snapAll: they flatten exactly via
-	// core.Snapshotter. Both fixed at construction.
+	// core.Snapshotter.
 	mergeable bool
 	snapAll   bool
+}
 
+// probeCaps probes a factory against two throwaway instances, so the
+// probe merge cannot perturb live shards.
+func probeCaps(fresh func() core.Summary) foldCaps {
+	a, b := fresh(), fresh()
+	var caps foldCaps
+	if m, ok := a.(core.Mergeable); ok {
+		caps.mergeable = m.MergeSummary(b) == nil
+	}
+	_, caps.snapAll = a.(core.Snapshotter)
+	return caps
+}
+
+// epsReporter is implemented by summaries that expose their error
+// budget; elastic operations use it to compare budgets across a
+// Retarget and to report the composed budget (EpsBudget).
+type epsReporter interface{ Eps() float64 }
+
+// queryCache holds the epoch-keyed combined artifact.
+type queryCache struct {
 	mu  sync.Mutex // serializes rebuilds
 	cur atomic.Pointer[combinedEntry]
 }
 
-// shardSet abstracts the two shard containers for the shared machinery.
+// invalidate drops the cached fold. Elastic operations call it under
+// the topology write lock; readers that raced past the generation swap
+// are still safe because validFor rechecks the generation id.
+func (q *queryCache) invalidate() { q.cur.Store(nil) }
+
+// shardSet abstracts a shard array for the fold machinery.
 type shardSet interface {
 	numShards() int
 	// shardEpoch loads shard i's write epoch without taking its lock.
@@ -64,18 +92,26 @@ type shardSet interface {
 	freshSummary() core.Summary
 }
 
-// init probes the factory once. The two instances are throwaways, so
-// the probe merge cannot perturb live shards.
-func (q *queryCache) init(set shardSet) {
-	a, b := set.freshSummary(), set.freshSummary()
-	if m, ok := a.(core.Mergeable); ok {
-		q.mergeable = m.MergeSummary(b) == nil
-	}
-	_, q.snapAll = a.(core.Snapshotter)
+// genSet is a shardSet that knows its generation identity and fold
+// capabilities — implemented by cashGen and turnGen.
+type genSet interface {
+	shardSet
+	genID() uint64
+	capabilities() foldCaps
 }
 
-// combinedEntry is one cached fold of all shards. Exactly one of the
-// three artifact shapes is populated:
+// elasticSet is the container view the query cache folds: the current
+// generation plus the frozen components and the topology lock.
+type elasticSet interface {
+	currentGen() genSet
+	retiredVer() uint64
+	retiredComps() []*retiredComp
+	// topoRLock takes the topology read lock and returns the unlock.
+	topoRLock() func()
+}
+
+// combinedEntry is one cached fold of the whole container. Exactly one
+// of the three live-shard artifact shapes is populated:
 //
 //   - qs: exact snapshot of the merged summary (mergeable Snapshotter
 //     families — KLL, MRL99, Random, QDigest). Queries never touch the
@@ -87,6 +123,10 @@ func (q *queryCache) init(set shardSet) {
 //   - snaps: one exact snapshot per shard (non-mergeable Snapshotter
 //     families — the GK tuple summaries), combined by additive rank.
 //
+// comps carries the frozen retired components captured at fold time;
+// when present, ranks add their contribution and quantiles go through
+// the rank descent over the combined estimate.
+//
 // All artifacts are immutable once built, so queries are lock-free.
 // For the same reason a retired entry is never recycled into a pool:
 // a reader that loaded it just before the epoch bump may still be
@@ -94,73 +134,93 @@ func (q *queryCache) init(set shardSet) {
 // them. Pooling on this path is confined to per-call descent scratch
 // (descentPool, rankBufPool), which never escapes its function.
 type combinedEntry struct {
+	genID  uint64   // topology generation at fold time
+	retVer uint64   // retired-component version at fold time
 	epochs []uint64 // per-shard write epoch at fold time
-	n      int64    // combined count at fold time
+	n      int64    // combined count at fold time (components included)
 	qs     *core.QuerySnapshot
 	sum    core.Summary
 	snaps  []*core.QuerySnapshot
+	comps  []*retiredComp
 }
 
-// entry returns a fold of the shards valid for their current epochs,
-// rebuilding at most once per write generation; nil when the family
-// supports neither folding shape (GKBiased) and the caller must fold
-// the live shards.
-func (q *queryCache) entry(set shardSet) *combinedEntry {
-	if !q.mergeable && !q.snapAll {
-		return nil
-	}
-	if e := q.cur.Load(); e != nil && e.valid(set) {
+// entry returns a fold of the container valid for its current topology
+// and epochs, rebuilding at most once per write generation; nil when
+// the family supports neither folding shape (GKBiased) and the caller
+// must fold the live shards itself.
+func (q *queryCache) entry(set elasticSet) *combinedEntry {
+	if e := q.cur.Load(); e != nil && e.validFor(set) {
 		return e
 	}
+	defer set.topoRLock()()
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if e := q.cur.Load(); e != nil && e.valid(set) {
+	if e := q.cur.Load(); e != nil && e.validFor(set) {
 		return e // another query rebuilt first
 	}
-	var e *combinedEntry
-	if q.mergeable {
-		e = rebuildCombined(set)
+	g := set.currentGen()
+	caps := g.capabilities()
+	if !caps.mergeable && !caps.snapAll {
+		return nil
 	}
-	if e == nil && q.snapAll {
-		e = rebuildSnaps(set)
+	var e *combinedEntry
+	if caps.mergeable {
+		e = rebuildCombined(g)
+	}
+	if e == nil && caps.snapAll {
+		e = rebuildSnaps(g)
 	}
 	if e == nil {
 		return nil
+	}
+	e.genID = g.genID()
+	e.retVer = set.retiredVer()
+	if comps := set.retiredComps(); len(comps) > 0 {
+		e.comps = comps
+		for _, c := range comps {
+			e.n += c.n
+		}
 	}
 	q.cur.Store(e)
 	return e
 }
 
-// valid reports whether no shard has been written since the fold. The
-// epoch vector is per-shard consistent (each entry was read under its
-// shard's lock at the moment that shard was folded), so a matching
-// vector means every shard's contribution is still current — the fold
-// equals one performed now.
-func (e *combinedEntry) valid(set shardSet) bool {
+// validFor reports whether nothing observable changed since the fold:
+// same topology generation, same retired components, and no shard
+// written. The epoch vector is per-shard consistent (each entry was
+// read under its shard's lock at the moment that shard was folded), so
+// a full match means the fold equals one performed now. Generations are
+// immutable, so a matching genID guarantees the epoch vector indexes
+// the same shard array it was built from.
+func (e *combinedEntry) validFor(set elasticSet) bool {
+	g := set.currentGen()
+	if g.genID() != e.genID || set.retiredVer() != e.retVer {
+		return false
+	}
 	for i, ep := range e.epochs {
-		if set.shardEpoch(i) != ep {
+		if g.shardEpoch(i) != ep {
 			return false
 		}
 	}
 	return true
 }
 
-// rebuildCombined folds all shards into one merged summary by parallel
-// tree-merge; nil when any merge fails.
-func rebuildCombined(set shardSet) *combinedEntry {
-	p := set.numShards()
+// mergedFold folds all shards of g into one fresh summary by parallel
+// tree-merge.
+func mergedFold(g shardSet) (core.Summary, []uint64, error) {
+	p := g.numShards()
 	epochs := make([]uint64, p)
 	parts := make([]core.Summary, p)
 	var failed atomic.Bool
 	forShards(p, func(i int) {
-		m := set.freshSummary()
+		m := g.freshSummary()
 		mg, ok := m.(core.Mergeable)
 		if !ok {
 			failed.Store(true)
 			return
 		}
 		var err error
-		epochs[i] = set.withShard(i, func(s core.Summary) { err = mg.MergeSummary(s) })
+		epochs[i] = g.withShard(i, func(s core.Summary) { err = mg.MergeSummary(s) })
 		if err != nil {
 			failed.Store(true)
 			return
@@ -168,9 +228,18 @@ func rebuildCombined(set shardSet) *combinedEntry {
 		parts[i] = m
 	})
 	if failed.Load() || !mergeTree(parts) {
+		return nil, nil, fmt.Errorf("sharded: shard fold merge failed")
+	}
+	return parts[0], epochs, nil
+}
+
+// rebuildCombined folds all shards into one merged summary; nil when
+// any merge fails.
+func rebuildCombined(g shardSet) *combinedEntry {
+	sum, epochs, err := mergedFold(g)
+	if err != nil {
 		return nil
 	}
-	sum := parts[0]
 	e := &combinedEntry{epochs: epochs, n: sum.Count(), sum: sum}
 	if ss, ok := sum.(core.Snapshotter); ok {
 		e.qs = core.BuildQuerySnapshot(ss)
@@ -203,13 +272,13 @@ func mergeTree(parts []core.Summary) bool {
 
 // rebuildSnaps flattens every shard into an exact snapshot, in
 // parallel, each under its own shard lock.
-func rebuildSnaps(set shardSet) *combinedEntry {
-	p := set.numShards()
+func rebuildSnaps(g shardSet) *combinedEntry {
+	p := g.numShards()
 	e := &combinedEntry{epochs: make([]uint64, p), snaps: make([]*core.QuerySnapshot, p)}
 	ns := make([]int64, p)
 	var failed atomic.Bool
 	forShards(p, func(i int) {
-		e.epochs[i] = set.withShard(i, func(s core.Summary) {
+		e.epochs[i] = g.withShard(i, func(s core.Summary) {
 			ss, ok := s.(core.Snapshotter)
 			if !ok {
 				failed.Store(true)
@@ -228,8 +297,8 @@ func rebuildSnaps(set shardSet) *combinedEntry {
 	return e
 }
 
-// rank answers a combined rank query from the fold.
-func (e *combinedEntry) rank(x uint64) int64 {
+// baseRank answers a combined rank query from the live-shard artifact.
+func (e *combinedEntry) baseRank(x uint64) int64 {
 	if e.qs != nil {
 		return e.qs.Rank(x)
 	}
@@ -243,38 +312,66 @@ func (e *combinedEntry) rank(x uint64) int64 {
 	return r
 }
 
+// rank answers a combined rank query from the fold, frozen components
+// included.
+func (e *combinedEntry) rank(x uint64) int64 {
+	r := e.baseRank(x)
+	for _, c := range e.comps {
+		r += c.rank(x)
+	}
+	return r
+}
+
 // rankBatch answers a batch of combined rank queries from the fold.
 func (e *combinedEntry) rankBatch(xs []uint64) []int64 {
-	if e.qs != nil {
-		return e.qs.RankBatch(xs)
-	}
-	if e.sum != nil {
-		return core.RankBatch(e.sum, xs)
+	if len(e.comps) == 0 {
+		if e.qs != nil {
+			return e.qs.RankBatch(xs)
+		}
+		if e.sum != nil {
+			return core.RankBatch(e.sum, xs)
+		}
 	}
 	return e.appendRankBatch(make([]int64, 0, len(xs)), xs)
 }
 
-// appendRankBatch sums the per-shard snapshot ranks into dst (reusing
-// its capacity), for callers on the zero-allocation descent path.
+// appendRankBatch sums the fold's ranks (components included) into dst
+// (reusing its capacity), for callers on the zero-allocation descent
+// path.
 func (e *combinedEntry) appendRankBatch(dst []int64, xs []uint64) []int64 {
 	for range xs {
 		dst = append(dst, 0)
 	}
-	for _, qs := range e.snaps {
+	if e.qs != nil || e.sum != nil {
 		for i, x := range xs {
-			dst[i] += qs.Rank(x)
+			dst[i] += e.baseRank(x)
+		}
+	} else {
+		for _, qs := range e.snaps {
+			for i, x := range xs {
+				dst[i] += qs.Rank(x)
+			}
+		}
+	}
+	for _, c := range e.comps {
+		for i, x := range xs {
+			dst[i] += c.rank(x)
 		}
 	}
 	return dst
 }
 
-// quantile answers a combined quantile query from the fold.
+// quantile answers a combined quantile query from the fold. With frozen
+// components in play the artifact only covers the live shards, so the
+// answer comes from the rank descent over the combined estimate.
 func (e *combinedEntry) quantile(phi float64) uint64 {
-	if e.qs != nil {
-		return e.qs.Quantile(phi)
-	}
-	if e.sum != nil {
-		return e.sum.Quantile(phi)
+	if len(e.comps) == 0 {
+		if e.qs != nil {
+			return e.qs.Quantile(phi)
+		}
+		if e.sum != nil {
+			return e.sum.Quantile(phi)
+		}
 	}
 	return rankQuantile(e.n, e.rank, phi)
 }
@@ -282,11 +379,13 @@ func (e *combinedEntry) quantile(phi float64) uint64 {
 // quantileBatch answers a batch of combined quantile queries from the
 // fold.
 func (e *combinedEntry) quantileBatch(phis []float64) []uint64 {
-	if e.qs != nil {
-		return e.qs.QuantileBatch(phis)
-	}
-	if e.sum != nil {
-		return core.QuantileBatch(e.sum, phis)
+	if len(e.comps) == 0 {
+		if e.qs != nil {
+			return e.qs.QuantileBatch(phis)
+		}
+		if e.sum != nil {
+			return core.QuantileBatch(e.sum, phis)
+		}
 	}
 	// The descent probes rankBatch once per bit level; routing the
 	// probes through one pooled buffer turns 64 per-level allocations
@@ -309,12 +408,17 @@ func (e *combinedEntry) quantileBatch(phis []float64) []uint64 {
 var rankBufPool = sync.Pool{New: func() any { return new([]int64) }}
 
 // rankQuantile inverts a summed rank estimate by a bitwise descent: the
-// largest v with R(v) ≤ target. R tracks the true (monotone) combined
-// rank within the summed per-shard estimate error E, and every value
-// above the result was excluded by a probe whose estimate exceeded the
-// target, so the result's rank interval intersects [target−E, target+E]
-// — for the GK family E ≤ Σᵢ(2εᵢnᵢ+1) ≤ 2εn + P, and in practice far
-// tighter.
+// largest v with R(v) ≤ target. Under the core contract R(v) estimates
+// #{y < v}, so a value v occupies the rank span [R(v), R(v+1)) and the
+// descent lands on the value whose span holds the target — including a
+// heavy duplicate atom, whose span absorbs every target inside it. R
+// tracks the true (monotone) combined rank within the summed per-shard
+// estimate error E, so the result's rank interval intersects
+// [target−E, target+E] — for the GK family E ≤ Σᵢ(2εᵢnᵢ+1) ≤ 2εn +
+// parts, and in practice far tighter. The descent is only as sound as
+// the contract: a summary that counts x's own occurrences into Rank(x)
+// shifts every atom's span and drags the answer below it (the
+// duplicate-atom regression tests pin this).
 func rankQuantile(n int64, rank func(uint64) int64, phi float64) uint64 {
 	if n <= 0 {
 		panic(core.ErrEmpty)

@@ -25,25 +25,45 @@
 // inverts it.
 //
 // The fold itself is cached and parallel: mergeability is probed once
-// at construction, every shard carries a write epoch, and the combined
+// per factory, every shard carries a write epoch, and the combined
 // artifact (merged summary or exact per-shard snapshots) is reused
 // lock-free across queries until some shard is written again — see
 // query.go.
+//
+// # Elasticity
+//
+// The shard topology is no longer fixed at construction: Reshard
+// grows or shrinks P and Retarget migrates the container to a new
+// factory (typically a new ε) — both online, without stopping
+// ingestion. The topology lives in an immutable generation value
+// behind an atomic pointer; an elastic operation builds the successor
+// generation, swaps the pointer, and drains the retired shards into it
+// (by MERGE for mergeable families, by adoption or by freezing the
+// summary as a query-time rank component for the GK family). Writers
+// never take a global lock: a writer that catches a shard mid-retire
+// simply re-routes against the successor generation, so ingestion is
+// blocked at most for one shard drain. Queries that must see a stable
+// topology (fold rebuilds, aggregates, the codec) take a read lock
+// that elastic operations hold exclusively — see elastic.go and
+// DESIGN.md "Elasticity".
 package sharded
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"streamquantiles/internal/core"
 )
 
-// checkShards validates the shard count, shared by both constructors.
-func checkShards(p int) {
+// checkShards validates a shard count, shared by constructors and
+// Reshard.
+func checkShards(p int) error {
 	if p < 1 {
-		panic(fmt.Sprintf("sharded: shard count %d < 1", p))
+		return fmt.Errorf("sharded: shard count %d < 1", p)
 	}
+	return nil
 }
 
 // mix is the SplitMix64 finalizer: a bijective mix that spreads
@@ -65,62 +85,127 @@ type invariantChecker interface{ Invariants() error }
 // only ever touched under their own mutex. epoch counts writes: bumped
 // under mu before every mutation, loadable without it (see query.go).
 type cashShard struct {
-	mu    sync.Mutex
-	s     core.CashRegister // guarded by mu
-	epoch atomic.Uint64
+	mu      sync.Mutex
+	s       core.CashRegister // guarded by mu
+	retired bool              // guarded by mu
+	epoch   atomic.Uint64
 }
 
-// CashRegister partitions an insert-only stream across P per-shard
-// summaries produced by a factory. All methods are safe for concurrent
-// use.
-type CashRegister struct {
+// cashGen is one immutable shard topology: the shard array, the factory
+// that populated it, and the factory's probed fold capabilities. A
+// generation's fields never change after publication; elastic
+// operations build a successor and swap the container's pointer.
+type cashGen struct {
+	id     uint64
 	shards []cashShard
 	fresh  func() core.CashRegister
-	rr     atomic.Uint64
-	q      queryCache
+	caps   foldCaps
+	eps    float64 // factory's reported error budget; 0 when unknown
 }
 
-// NewCashRegister builds a P-way sharded summary; fresh must return a
-// new empty summary per call, all identically configured.
-func NewCashRegister(p int, fresh func() core.CashRegister) *CashRegister {
-	checkShards(p)
-	c := &CashRegister{shards: make([]cashShard, p), fresh: fresh}
-	for i := range c.shards {
-		c.shards[i].s = fresh()
+func newCashGen(id uint64, p int, fresh func() core.CashRegister, caps foldCaps) *cashGen {
+	g := &cashGen{id: id, shards: make([]cashShard, p), fresh: fresh, caps: caps}
+	for i := range g.shards {
+		g.shards[i].s = fresh()
 	}
-	c.q.init(c)
-	return c
+	if er, ok := g.shards[0].s.(epsReporter); ok {
+		g.eps = er.Eps()
+	}
+	return g
 }
 
-// Shards returns P.
-func (c *CashRegister) Shards() int { return len(c.shards) }
+// genSet implementation (see query.go).
+func (g *cashGen) numShards() int          { return len(g.shards) }
+func (g *cashGen) shardEpoch(i int) uint64 { return g.shards[i].epoch.Load() }
+func (g *cashGen) freshSummary() core.Summary {
+	return g.fresh()
+}
+func (g *cashGen) genID() uint64          { return g.id }
+func (g *cashGen) capabilities() foldCaps { return g.caps }
 
-// Mergeable reports whether queries fold the shards into one merged
-// summary (the family merges and the factory's instances are
-// merge-compatible), probed once at construction.
-func (c *CashRegister) Mergeable() bool { return c.q.mergeable }
-
-// shardSet implementation (see query.go).
-func (c *CashRegister) numShards() int             { return len(c.shards) }
-func (c *CashRegister) shardEpoch(i int) uint64    { return c.shards[i].epoch.Load() }
-func (c *CashRegister) freshSummary() core.Summary { return c.fresh() }
-
-func (c *CashRegister) withShard(i int, fn func(s core.Summary)) uint64 {
-	sh := &c.shards[i]
+func (g *cashGen) withShard(i int, fn func(s core.Summary)) uint64 {
+	sh := &g.shards[i]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	fn(sh.s)
 	return sh.epoch.Load()
 }
 
+// CashRegister partitions an insert-only stream across P per-shard
+// summaries produced by a factory. All methods are safe for concurrent
+// use, including the elastic operations in elastic.go.
+type CashRegister struct {
+	// topo is the topology lock: queries that need a stable shard set
+	// (fold rebuilds, aggregates, the codec) hold it shared; Reshard,
+	// Retarget and UnmarshalBinary hold it exclusively. Writers never
+	// touch it — they re-route on the retired flag instead.
+	topo sync.RWMutex
+	gen  atomic.Pointer[cashGen]
+	rr   atomic.Uint64
+	ret  retiredSet
+	q    queryCache
+}
+
+// NewCashRegister builds a P-way sharded summary; fresh must return a
+// new empty summary per call, all identically configured. An invalid
+// shard count surfaces as an error, not a panic.
+func NewCashRegister(p int, fresh func() core.CashRegister) (*CashRegister, error) {
+	if err := checkShards(p); err != nil {
+		return nil, err
+	}
+	c := &CashRegister{}
+	caps := probeCaps(func() core.Summary { return fresh() })
+	c.gen.Store(newCashGen(0, p, fresh, caps))
+	return c, nil
+}
+
+// Shards returns the current shard count P.
+func (c *CashRegister) Shards() int { return len(c.gen.Load().shards) }
+
+// Generation returns the topology generation: 0 at construction,
+// bumped by every Reshard/Retarget/decode.
+func (c *CashRegister) Generation() uint64 { return c.gen.Load().id }
+
+// Mergeable reports whether queries fold the shards into one merged
+// summary (the family merges and the factory's instances are
+// merge-compatible), probed once per factory.
+func (c *CashRegister) Mergeable() bool { return c.gen.Load().caps.mergeable }
+
+// elasticSet implementation (see query.go).
+func (c *CashRegister) currentGen() genSet           { return c.gen.Load() }
+func (c *CashRegister) retiredVer() uint64           { return c.ret.ver.Load() }
+func (c *CashRegister) retiredComps() []*retiredComp { return c.ret.comps }
+
+// topoRLock takes the topology read lock and hands the caller the
+// matching unlock — the fold rebuild in query.go holds it for the
+// duration of the rebuild via `defer set.topoRLock()()`.
+//
+// locks topo
+func (c *CashRegister) topoRLock() func() {
+	c.topo.RLock()
+	return c.topo.RUnlock
+}
+
 // Update implements core.CashRegister: the element lands on the next
-// shard in round-robin order.
+// shard in round-robin order. A shard caught mid-retire re-routes
+// against the successor generation, so the retry loop runs at most for
+// the duration of one topology swap.
 func (c *CashRegister) Update(x uint64) {
-	sh := &c.shards[(c.rr.Add(1)-1)%uint64(len(c.shards))]
-	sh.mu.Lock()
-	sh.epoch.Add(1)
-	sh.s.Update(x)
-	sh.mu.Unlock()
+	i := c.rr.Add(1) - 1
+	for {
+		g := c.gen.Load()
+		sh := &g.shards[i%uint64(len(g.shards))]
+		sh.mu.Lock()
+		if sh.retired {
+			sh.mu.Unlock()
+			runtime.Gosched()
+			continue
+		}
+		sh.epoch.Add(1)
+		sh.s.Update(x)
+		sh.mu.Unlock()
+		return
+	}
 }
 
 // UpdateBatch implements core.BatchCashRegister: the whole batch lands
@@ -130,11 +215,21 @@ func (c *CashRegister) UpdateBatch(xs []uint64) {
 	if len(xs) == 0 {
 		return
 	}
-	sh := &c.shards[(c.rr.Add(1)-1)%uint64(len(c.shards))]
-	sh.mu.Lock()
-	sh.epoch.Add(1)
-	core.UpdateBatch(sh.s, xs)
-	sh.mu.Unlock()
+	i := c.rr.Add(1) - 1
+	for {
+		g := c.gen.Load()
+		sh := &g.shards[i%uint64(len(g.shards))]
+		sh.mu.Lock()
+		if sh.retired {
+			sh.mu.Unlock()
+			runtime.Gosched()
+			continue
+		}
+		sh.epoch.Add(1)
+		core.UpdateBatch(sh.s, xs)
+		sh.mu.Unlock()
+		return
+	}
 }
 
 // UpdateBatchAffinity routes the whole batch to the shard owning key —
@@ -144,23 +239,42 @@ func (c *CashRegister) UpdateBatchAffinity(key uint64, xs []uint64) {
 	if len(xs) == 0 {
 		return
 	}
-	sh := &c.shards[mix(key)%uint64(len(c.shards))]
-	sh.mu.Lock()
-	sh.epoch.Add(1)
-	core.UpdateBatch(sh.s, xs)
-	sh.mu.Unlock()
+	h := mix(key)
+	for {
+		g := c.gen.Load()
+		sh := &g.shards[h%uint64(len(g.shards))]
+		sh.mu.Lock()
+		if sh.retired {
+			sh.mu.Unlock()
+			runtime.Gosched()
+			continue
+		}
+		sh.epoch.Add(1)
+		core.UpdateBatch(sh.s, xs)
+		sh.mu.Unlock()
+		return
+	}
 }
 
-// Count implements core.Summary.
+// Count implements core.Summary: live shards plus frozen components.
 func (c *CashRegister) Count() int64 {
+	c.topo.RLock()
+	defer c.topo.RUnlock()
+	return c.countLocked()
+}
+
+// countLocked sums the shard and component counts; the caller holds the
+// topology read lock.
+func (c *CashRegister) countLocked() int64 {
+	g := c.gen.Load()
 	var n int64
-	for i := range c.shards {
-		sh := &c.shards[i]
+	for i := range g.shards {
+		sh := &g.shards[i]
 		sh.mu.Lock()
 		n += sh.s.Count()
 		sh.mu.Unlock()
 	}
-	return n
+	return n + c.ret.count()
 }
 
 // Rank implements core.Summary. Mergeable families answer from the
@@ -169,12 +283,15 @@ func (c *CashRegister) Count() int64 {
 // the estimate is the sum of per-shard estimates and its error the sum
 // of per-shard estimate errors — for the GK family, whose midpoint
 // estimator is uncertain by up to the ⌊2εᵢnᵢ⌋ capacity of the gap a
-// probe falls into plus its −1 bias, Σᵢ(2εᵢnᵢ+1) ≤ 2εn + P.
+// probe falls into plus its −1 bias, Σᵢ(2εᵢnᵢ+1) ≤ 2εn + parts, where
+// parts counts live shards plus frozen components (Components).
 func (c *CashRegister) Rank(x uint64) int64 {
 	if e := c.q.entry(c); e != nil {
 		return e.rank(x)
 	}
-	return c.summedRank(x)
+	c.topo.RLock()
+	defer c.topo.RUnlock()
+	return c.summedRankLocked(x)
 }
 
 // RankBatch implements core.QuantileBatcher.
@@ -182,27 +299,33 @@ func (c *CashRegister) RankBatch(xs []uint64) []int64 {
 	if e := c.q.entry(c); e != nil {
 		return e.rankBatch(xs)
 	}
-	return c.summedRankBatch(xs)
+	c.topo.RLock()
+	defer c.topo.RUnlock()
+	return c.summedRankBatchLocked(xs)
 }
 
-// summedRank is the additive estimate over the live shards.
-func (c *CashRegister) summedRank(x uint64) int64 {
+// summedRankLocked is the additive estimate over the live shards and
+// frozen components; the caller holds the topology read lock.
+func (c *CashRegister) summedRankLocked(x uint64) int64 {
+	g := c.gen.Load()
 	var r int64
-	for i := range c.shards {
-		sh := &c.shards[i]
+	for i := range g.shards {
+		sh := &g.shards[i]
 		sh.mu.Lock()
 		r += sh.s.Rank(x)
 		sh.mu.Unlock()
 	}
-	return r
+	return r + c.ret.rank(x)
 }
 
-// summedRankBatch is the batch form of summedRank: one lock acquisition
-// and one native RankBatch sweep per shard for the whole probe set.
-func (c *CashRegister) summedRankBatch(xs []uint64) []int64 {
+// summedRankBatchLocked is the batch form of summedRankLocked: one lock
+// acquisition and one native RankBatch sweep per shard for the whole
+// probe set.
+func (c *CashRegister) summedRankBatchLocked(xs []uint64) []int64 {
+	g := c.gen.Load()
 	out := make([]int64, len(xs))
-	for i := range c.shards {
-		sh := &c.shards[i]
+	for i := range g.shards {
+		sh := &g.shards[i]
 		sh.mu.Lock()
 		rs := core.RankBatch(sh.s, xs)
 		sh.mu.Unlock()
@@ -210,6 +333,7 @@ func (c *CashRegister) summedRankBatch(xs []uint64) []int64 {
 			out[j] += r
 		}
 	}
+	c.ret.addRanks(out, xs)
 	return out
 }
 
@@ -219,7 +343,9 @@ func (c *CashRegister) Quantile(phi float64) uint64 {
 	if e := c.q.entry(c); e != nil {
 		return e.quantile(phi)
 	}
-	return rankQuantile(c.Count(), c.summedRank, phi)
+	c.topo.RLock()
+	defer c.topo.RUnlock()
+	return rankQuantile(c.countLocked(), c.summedRankLocked, phi)
 }
 
 // QuantileBatch implements core.QuantileBatcher: one cached fold (or
@@ -232,26 +358,35 @@ func (c *CashRegister) QuantileBatch(phis []float64) []uint64 {
 	if e := c.q.entry(c); e != nil {
 		return e.quantileBatch(phis)
 	}
-	return rankQuantileBatch(c.Count(), c.summedRankBatch, phis)
+	c.topo.RLock()
+	defer c.topo.RUnlock()
+	return rankQuantileBatch(c.countLocked(), c.summedRankBatchLocked, phis)
 }
 
-// SpaceBytes implements core.Summary: the sum over shards.
+// SpaceBytes implements core.Summary: the sum over shards and frozen
+// components.
 func (c *CashRegister) SpaceBytes() int64 {
+	c.topo.RLock()
+	defer c.topo.RUnlock()
+	g := c.gen.Load()
 	var b int64
-	for i := range c.shards {
-		sh := &c.shards[i]
+	for i := range g.shards {
+		sh := &g.shards[i]
 		sh.mu.Lock()
 		b += sh.s.SpaceBytes()
 		sh.mu.Unlock()
 	}
-	return b
+	return b + c.ret.spaceBytes()
 }
 
 // Invariants implements the sanitizer contract by deep-checking every
-// shard that supports it.
+// shard and frozen component that supports it.
 func (c *CashRegister) Invariants() error {
-	for i := range c.shards {
-		sh := &c.shards[i]
+	c.topo.RLock()
+	defer c.topo.RUnlock()
+	g := c.gen.Load()
+	for i := range g.shards {
+		sh := &g.shards[i]
 		sh.mu.Lock()
 		err := checkShardInvariants(i, sh.s)
 		sh.mu.Unlock()
@@ -259,7 +394,7 @@ func (c *CashRegister) Invariants() error {
 			return err
 		}
 	}
-	return nil
+	return c.ret.invariants()
 }
 
 func checkShardInvariants(i int, s any) error {

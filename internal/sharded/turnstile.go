@@ -1,6 +1,8 @@
 package sharded
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -9,20 +11,67 @@ import (
 
 // turnShard is the turnstile counterpart of cashShard.
 type turnShard struct {
-	mu    sync.Mutex
-	s     core.Turnstile // guarded by mu
-	epoch atomic.Uint64
+	mu      sync.Mutex
+	s       core.Turnstile // guarded by mu
+	retired bool           // guarded by mu
+	epoch   atomic.Uint64
+}
+
+// turnGen is one immutable turnstile shard topology (see cashGen).
+//
+// Generation 0 routes by value affinity, so every shard individually
+// obeys the strict turnstile model. After a Reshard the routing modulus
+// changes: an element's pre-reshard insertions were merged into one
+// shard while its post-reshard deletions route by the new modulus, so a
+// single shard's stream may go negative even though the whole container
+// never does. Post-reshard generations therefore answer invariant
+// checks through the merged fold (exact for the linear sketches), not
+// per shard — see Invariants.
+type turnGen struct {
+	id     uint64
+	shards []turnShard
+	fresh  func() core.Turnstile
+	caps   foldCaps
+	eps    float64 // factory's reported error budget; 0 when unknown
+}
+
+func newTurnGen(id uint64, p int, fresh func() core.Turnstile, caps foldCaps) *turnGen {
+	g := &turnGen{id: id, shards: make([]turnShard, p), fresh: fresh, caps: caps}
+	for i := range g.shards {
+		g.shards[i].s = fresh()
+	}
+	if er, ok := g.shards[0].s.(epsReporter); ok {
+		g.eps = er.Eps()
+	}
+	return g
+}
+
+// genSet implementation (see query.go).
+func (g *turnGen) numShards() int          { return len(g.shards) }
+func (g *turnGen) shardEpoch(i int) uint64 { return g.shards[i].epoch.Load() }
+func (g *turnGen) freshSummary() core.Summary {
+	return g.fresh()
+}
+func (g *turnGen) genID() uint64          { return g.id }
+func (g *turnGen) capabilities() foldCaps { return g.caps }
+
+func (g *turnGen) withShard(i int, fn func(s core.Summary)) uint64 {
+	sh := &g.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	fn(sh.s)
+	return sh.epoch.Load()
 }
 
 // Turnstile partitions a strict-turnstile stream across P per-shard
 // summaries. Routing is by value affinity — mix(x) mod P — so an
-// element's deletions always reach the shard that saw its insertions
-// and every shard individually remains a valid strict-turnstile stream.
-// All methods are safe for concurrent use.
+// element's deletions always reach the shard that saw its insertions.
+// All methods are safe for concurrent use, including Reshard/Retarget.
 type Turnstile struct {
-	shards []turnShard
-	fresh  func() core.Turnstile
-	q      queryCache
+	// topo is the topology lock; see CashRegister.topo.
+	topo sync.RWMutex
+	gen  atomic.Pointer[turnGen]
+	q    queryCache
 
 	// parts pools per-call partition scratch: batch routing scatters the
 	// input into per-shard sub-batches without allocating per call.
@@ -34,68 +83,99 @@ type partition struct {
 	byShard [][]uint64
 }
 
+// resize adapts the scratch to the current generation's shard count
+// and resets every sub-batch.
+func (pt *partition) resize(p int) {
+	for len(pt.byShard) < p {
+		pt.byShard = append(pt.byShard, nil)
+	}
+	pt.byShard = pt.byShard[:p]
+	for i := range pt.byShard {
+		pt.byShard[i] = pt.byShard[i][:0]
+	}
+}
+
 // NewTurnstile builds a P-way sharded turnstile summary; fresh must
 // return a new empty summary per call, all identically configured
-// (including seeds, so shards can merge at query time).
-func NewTurnstile(p int, fresh func() core.Turnstile) *Turnstile {
-	checkShards(p)
-	t := &Turnstile{shards: make([]turnShard, p), fresh: fresh}
-	for i := range t.shards {
-		t.shards[i].s = fresh()
+// (including seeds, so shards can merge at query time). An invalid
+// shard count surfaces as an error, not a panic.
+func NewTurnstile(p int, fresh func() core.Turnstile) (*Turnstile, error) {
+	if err := checkShards(p); err != nil {
+		return nil, err
 	}
-	t.parts.New = func() any {
-		pt := &partition{byShard: make([][]uint64, p)}
-		for i := range pt.byShard {
-			pt.byShard[i] = make([]uint64, 0, 512)
-		}
-		return pt
-	}
-	t.q.init(t)
-	return t
+	t := &Turnstile{}
+	caps := probeCaps(func() core.Summary { return fresh() })
+	t.gen.Store(newTurnGen(0, p, fresh, caps))
+	t.parts.New = func() any { return &partition{} }
+	return t, nil
 }
 
-// Shards returns P.
-func (t *Turnstile) Shards() int { return len(t.shards) }
+// Shards returns the current shard count P.
+func (t *Turnstile) Shards() int { return len(t.gen.Load().shards) }
+
+// Generation returns the topology generation: 0 at construction,
+// bumped by every Reshard/Retarget/decode.
+func (t *Turnstile) Generation() uint64 { return t.gen.Load().id }
 
 // Mergeable reports whether queries fold the shards into one merged
-// summary, probed once at construction — a factory drawing random
-// dyadic seeds is detected here instead of failing inside every query.
-func (t *Turnstile) Mergeable() bool { return t.q.mergeable }
+// summary, probed once per factory — a factory drawing random dyadic
+// seeds is detected here instead of failing inside every query.
+func (t *Turnstile) Mergeable() bool { return t.gen.Load().caps.mergeable }
 
-// shardSet implementation (see query.go).
-func (t *Turnstile) numShards() int             { return len(t.shards) }
-func (t *Turnstile) shardEpoch(i int) uint64    { return t.shards[i].epoch.Load() }
-func (t *Turnstile) freshSummary() core.Summary { return t.fresh() }
+// elasticSet implementation (see query.go). A turnstile never freezes
+// retired components: deletions must cancel against the insertions'
+// counts, so every drain is a merge (Reshard rejects non-mergeable
+// families).
+func (t *Turnstile) currentGen() genSet           { return t.gen.Load() }
+func (t *Turnstile) retiredVer() uint64           { return 0 }
+func (t *Turnstile) retiredComps() []*retiredComp { return nil }
 
-func (t *Turnstile) withShard(i int, fn func(s core.Summary)) uint64 {
-	sh := &t.shards[i]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	fn(sh.s)
-	return sh.epoch.Load()
+// topoRLock takes the topology read lock and hands the caller the
+// matching unlock; see CashRegister.topoRLock.
+//
+// locks topo
+func (t *Turnstile) topoRLock() func() {
+	t.topo.RLock()
+	return t.topo.RUnlock
 }
 
-// shardOf routes an element by value affinity.
-func (t *Turnstile) shardOf(x uint64) *turnShard {
-	return &t.shards[mix(x)%uint64(len(t.shards))]
-}
-
-// Insert implements core.Turnstile.
+// Insert implements core.Turnstile. A shard caught mid-retire re-routes
+// against the successor generation.
 func (t *Turnstile) Insert(x uint64) {
-	sh := t.shardOf(x)
-	sh.mu.Lock()
-	sh.epoch.Add(1)
-	sh.s.Insert(x)
-	sh.mu.Unlock()
+	h := mix(x)
+	for {
+		g := t.gen.Load()
+		sh := &g.shards[h%uint64(len(g.shards))]
+		sh.mu.Lock()
+		if sh.retired {
+			sh.mu.Unlock()
+			runtime.Gosched()
+			continue
+		}
+		sh.epoch.Add(1)
+		sh.s.Insert(x)
+		sh.mu.Unlock()
+		return
+	}
 }
 
 // Delete implements core.Turnstile.
 func (t *Turnstile) Delete(x uint64) {
-	sh := t.shardOf(x)
-	sh.mu.Lock()
-	sh.epoch.Add(1)
-	sh.s.Delete(x)
-	sh.mu.Unlock()
+	h := mix(x)
+	for {
+		g := t.gen.Load()
+		sh := &g.shards[h%uint64(len(g.shards))]
+		sh.mu.Lock()
+		if sh.retired {
+			sh.mu.Unlock()
+			runtime.Gosched()
+			continue
+		}
+		sh.epoch.Add(1)
+		sh.s.Delete(x)
+		sh.mu.Unlock()
+		return
+	}
 }
 
 // InsertBatch implements core.BatchTurnstile.
@@ -107,31 +187,54 @@ func (t *Turnstile) DeleteBatch(xs []uint64) { t.AddBatch(xs, -1) }
 // AddBatch implements core.BatchTurnstile: one scatter pass partitions
 // the batch by value affinity, then each non-empty sub-batch flows
 // through its shard's native batch path under one lock acquisition.
+// Elements whose shard retired mid-call re-scatter against the
+// successor generation (its routing modulus differs), so no element is
+// lost across a reshard.
 func (t *Turnstile) AddBatch(xs []uint64, delta int64) {
 	if len(xs) == 0 {
 		return
 	}
 	pt := t.parts.Get().(*partition)
-	for i := range pt.byShard {
-		pt.byShard[i] = pt.byShard[i][:0]
+	for len(xs) > 0 {
+		left := t.addBatchOnce(pt, xs, delta)
+		if len(left) > 0 {
+			runtime.Gosched() // a reshard is draining; re-route on its successor
+		}
+		xs = left
 	}
-	p := uint64(len(t.shards))
+	t.parts.Put(pt)
+}
+
+// addBatchOnce routes xs over the current generation and returns the
+// elements whose shard retired mid-call. The leftover slice is a fresh
+// allocation — it only exists while a reshard is in flight, never in
+// steady-state ingestion.
+func (t *Turnstile) addBatchOnce(pt *partition, xs []uint64, delta int64) []uint64 {
+	g := t.gen.Load()
+	p := uint64(len(g.shards))
+	pt.resize(int(p))
 	for _, x := range xs {
 		si := mix(x) % p
 		pt.byShard[si] = append(pt.byShard[si], x)
 	}
-	for i := range t.shards {
+	var leftover []uint64
+	for i := range g.shards {
 		sub := pt.byShard[i]
 		if len(sub) == 0 {
 			continue
 		}
-		sh := &t.shards[i]
+		sh := &g.shards[i]
 		sh.mu.Lock()
+		if sh.retired {
+			sh.mu.Unlock()
+			leftover = append(leftover, sub...)
+			continue
+		}
 		sh.epoch.Add(1)
 		addBatch(sh.s, sub, delta)
 		sh.mu.Unlock()
 	}
-	t.parts.Put(pt)
+	return leftover
 }
 
 // addBatch applies a weighted batch through the summary's native path,
@@ -158,9 +261,18 @@ func addBatch(s core.Turnstile, xs []uint64, delta int64) {
 
 // Count implements core.Summary.
 func (t *Turnstile) Count() int64 {
+	t.topo.RLock()
+	defer t.topo.RUnlock()
+	return t.countLocked()
+}
+
+// countLocked sums the shard counts; the caller holds the topology
+// read lock.
+func (t *Turnstile) countLocked() int64 {
+	g := t.gen.Load()
 	var n int64
-	for i := range t.shards {
-		sh := &t.shards[i]
+	for i := range g.shards {
+		sh := &g.shards[i]
 		sh.mu.Lock()
 		n += sh.s.Count()
 		sh.mu.Unlock()
@@ -176,7 +288,9 @@ func (t *Turnstile) Rank(x uint64) int64 {
 	if e := t.q.entry(t); e != nil {
 		return e.rank(x)
 	}
-	return t.summedRank(x)
+	t.topo.RLock()
+	defer t.topo.RUnlock()
+	return t.summedRankLocked(x)
 }
 
 // RankBatch implements core.QuantileBatcher.
@@ -184,14 +298,18 @@ func (t *Turnstile) RankBatch(xs []uint64) []int64 {
 	if e := t.q.entry(t); e != nil {
 		return e.rankBatch(xs)
 	}
-	return t.summedRankBatch(xs)
+	t.topo.RLock()
+	defer t.topo.RUnlock()
+	return t.summedRankBatchLocked(xs)
 }
 
-// summedRank is the additive estimate over the live shards.
-func (t *Turnstile) summedRank(x uint64) int64 {
+// summedRankLocked is the additive estimate over the live shards; the
+// caller holds the topology read lock.
+func (t *Turnstile) summedRankLocked(x uint64) int64 {
+	g := t.gen.Load()
 	var r int64
-	for i := range t.shards {
-		sh := &t.shards[i]
+	for i := range g.shards {
+		sh := &g.shards[i]
 		sh.mu.Lock()
 		r += sh.s.Rank(x)
 		sh.mu.Unlock()
@@ -199,12 +317,14 @@ func (t *Turnstile) summedRank(x uint64) int64 {
 	return r
 }
 
-// summedRankBatch is the batch form of summedRank: one lock acquisition
-// and one native RankBatch sweep per shard for the whole probe set.
-func (t *Turnstile) summedRankBatch(xs []uint64) []int64 {
+// summedRankBatchLocked is the batch form of summedRankLocked: one lock
+// acquisition and one native RankBatch sweep per shard for the whole
+// probe set.
+func (t *Turnstile) summedRankBatchLocked(xs []uint64) []int64 {
+	g := t.gen.Load()
 	out := make([]int64, len(xs))
-	for i := range t.shards {
-		sh := &t.shards[i]
+	for i := range g.shards {
+		sh := &g.shards[i]
 		sh.mu.Lock()
 		rs := core.RankBatch(sh.s, xs)
 		sh.mu.Unlock()
@@ -221,7 +341,9 @@ func (t *Turnstile) Quantile(phi float64) uint64 {
 	if e := t.q.entry(t); e != nil {
 		return e.quantile(phi)
 	}
-	return rankQuantile(t.Count(), t.summedRank, phi)
+	t.topo.RLock()
+	defer t.topo.RUnlock()
+	return rankQuantile(t.countLocked(), t.summedRankLocked, phi)
 }
 
 // QuantileBatch implements core.QuantileBatcher.
@@ -232,14 +354,19 @@ func (t *Turnstile) QuantileBatch(phis []float64) []uint64 {
 	if e := t.q.entry(t); e != nil {
 		return e.quantileBatch(phis)
 	}
-	return rankQuantileBatch(t.Count(), t.summedRankBatch, phis)
+	t.topo.RLock()
+	defer t.topo.RUnlock()
+	return rankQuantileBatch(t.countLocked(), t.summedRankBatchLocked, phis)
 }
 
 // SpaceBytes implements core.Summary: the sum over shards.
 func (t *Turnstile) SpaceBytes() int64 {
+	t.topo.RLock()
+	defer t.topo.RUnlock()
+	g := t.gen.Load()
 	var b int64
-	for i := range t.shards {
-		sh := &t.shards[i]
+	for i := range g.shards {
+		sh := &g.shards[i]
 		sh.mu.Lock()
 		b += sh.s.SpaceBytes()
 		sh.mu.Unlock()
@@ -247,16 +374,35 @@ func (t *Turnstile) SpaceBytes() int64 {
 	return b
 }
 
-// Invariants implements the sanitizer contract by deep-checking every
-// shard that supports it.
+// Invariants implements the sanitizer contract. Generation 0 routing
+// keeps every shard a valid strict-turnstile summary, so shards are
+// deep-checked individually. After a reshard only the whole container
+// is strict (see turnGen), so later generations check the merged fold
+// instead — for the linear sketches the fold is exactly the unsharded
+// sketch of the whole stream, so the check has full strength.
 func (t *Turnstile) Invariants() error {
-	for i := range t.shards {
-		sh := &t.shards[i]
-		sh.mu.Lock()
-		err := checkShardInvariants(i, sh.s)
-		sh.mu.Unlock()
-		if err != nil {
-			return err
+	t.topo.RLock()
+	defer t.topo.RUnlock()
+	g := t.gen.Load()
+	if g.id == 0 {
+		for i := range g.shards {
+			sh := &g.shards[i]
+			sh.mu.Lock()
+			err := checkShardInvariants(i, sh.s)
+			sh.mu.Unlock()
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	sum, _, err := mergedFold(g)
+	if err != nil {
+		return fmt.Errorf("sharded: post-reshard invariant fold: %w", err)
+	}
+	if ic, ok := sum.(invariantChecker); ok {
+		if err := ic.Invariants(); err != nil {
+			return fmt.Errorf("sharded: merged fold (generation %d): %w", g.id, err)
 		}
 	}
 	return nil

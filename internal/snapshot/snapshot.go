@@ -83,6 +83,16 @@ func (c *Cache) Rebuild(s core.Snapshotter) *core.QuerySnapshot {
 	return qs
 }
 
+// For returns a fresh Cache when s supports exact snapshots
+// (core.Snapshotter), nil otherwise — the capability probe the Safe
+// wrappers run at construction and again after a Retarget swap.
+func For(s core.Summary) *Cache {
+	if _, ok := s.(core.Snapshotter); ok {
+		return new(Cache)
+	}
+	return nil
+}
+
 // BuildGrid materializes an approximate snapshot of an arbitrary
 // summary by probing it on the even φ-grid of spacing gridEps: the
 // families without an exact flattening (the dyadic sketches, whose

@@ -169,6 +169,49 @@ func (r Reversed) Fill(dst []uint64) {
 	slices.Reverse(dst)
 }
 
+// OutOfOrder wraps a generator and perturbs its arrival order with a
+// bounded sliding-window shuffle: element i is swapped with a uniformly
+// chosen element at most Window positions ahead. Displacements are thus
+// bounded by Window — the "slightly out of order" arrival regime of
+// network-delivered streams, sitting between the paper's random and
+// sorted extremes (apply it over Sorted for nearly-sorted input).
+type OutOfOrder struct {
+	Inner Generator
+	// Window bounds how far an element can be displaced; 0 means 64.
+	Window int
+	Seed   uint64
+}
+
+// Name implements Generator.
+func (o OutOfOrder) Name() string {
+	return fmt.Sprintf("%s+ooo(w=%d)", o.Inner.Name(), o.window())
+}
+
+// UniverseBits implements Generator.
+func (o OutOfOrder) UniverseBits() int { return o.Inner.UniverseBits() }
+
+func (o OutOfOrder) window() int {
+	if o.Window <= 0 {
+		return 64
+	}
+	return o.Window
+}
+
+// Fill implements Generator.
+func (o OutOfOrder) Fill(dst []uint64) {
+	o.Inner.Fill(dst)
+	rng := xhash.NewSplitMix64(o.Seed)
+	w := uint64(o.window())
+	for i := range dst {
+		span := uint64(len(dst) - i)
+		if span > w+1 {
+			span = w + 1
+		}
+		j := i + int(rng.Uint64n(span))
+		dst[i], dst[j] = dst[j], dst[i]
+	}
+}
+
 // MPCATUniverse is the value range of the MPCAT-OBS right-ascension field:
 // integers in [0, 8 639 999], i.e. log u ≈ 24.
 const MPCATUniverse = 8_640_000

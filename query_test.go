@@ -62,17 +62,26 @@ var queryEquivCases = []struct {
 		return s
 	}},
 	{"sharded/gkarray", func(data []uint64) Summary {
-		s := NewShardedCashRegister(4, func() CashRegister { return NewGKArray(0.01) })
+		s, err := NewShardedCashRegister(4, func() CashRegister { return NewGKArray(0.01) })
+		if err != nil {
+			panic(err)
+		}
 		feedBatches(s.UpdateBatch, data)
 		return s
 	}},
 	{"sharded/kll", func(data []uint64) Summary {
-		s := NewShardedCashRegister(4, func() CashRegister { return NewKLL(0.01, 7) })
+		s, err := NewShardedCashRegister(4, func() CashRegister { return NewKLL(0.01, 7) })
+		if err != nil {
+			panic(err)
+		}
 		feedBatches(s.UpdateBatch, data)
 		return s
 	}},
 	{"sharded/dcs", func(data []uint64) Summary {
-		s := NewShardedTurnstile(4, func() Turnstile { return NewDCS(0.05, 16, DyadicConfig{Seed: 7}) })
+		s, err := NewShardedTurnstile(4, func() Turnstile { return NewDCS(0.05, 16, DyadicConfig{Seed: 7}) })
+		if err != nil {
+			panic(err)
+		}
 		feedBatches(s.InsertBatch, data)
 		return s
 	}},

@@ -1,0 +1,146 @@
+package streamquantiles
+
+import (
+	"testing"
+
+	"streamquantiles/internal/exact"
+	"streamquantiles/internal/streamgen"
+)
+
+// These are the duplicate-atom regression tests referenced by the rank
+// descent in internal/sharded/query.go: core.Summary.Rank(x) estimates
+// #{y < x} — STRICTLY smaller — and a summary that counts x's own
+// occurrences into Rank(x) shifts every heavy atom's rank span and
+// drags quantile answers below the atom. The GK families once violated
+// the contract exactly this way (a `t.v > x` scan cutoff accumulated
+// x's duplicate tuples into the estimate), which surfaced as sharded
+// Quantile answers stuck one value below a heavy top atom on clamped
+// Zipf streams.
+
+// atomStream is 12000 spread low values followed by 13000 copies of
+// the universe maximum: an extreme version of the heavy boundary atom
+// that streamgen.Zipf's universe clamp produces.
+func atomStream() ([]uint64, uint64) {
+	const atom = uint64(65535)
+	data := make([]uint64, 0, 25000)
+	for i := 0; i < 12000; i++ {
+		data = append(data, uint64(i%4096))
+	}
+	for i := 0; i < 13000; i++ {
+		data = append(data, atom)
+	}
+	return data, atom
+}
+
+// TestRankStrictlySmallerAtAtoms pins the Rank contract at a heavy
+// duplicate atom for every cash-register family: the estimate must
+// track #{y < atom}, not #{y <= atom} — the two differ by 13000 here,
+// so a contract violation is unmissable at any sane ε.
+func TestRankStrictlySmallerAtAtoms(t *testing.T) {
+	const eps = 0.02
+	data, atom := atomStream()
+	oracle := exact.New(data)
+	want := oracle.Rank(atom)
+	tol := int64(eps * float64(len(data)))
+
+	cash := map[string]CashRegister{
+		"GKAdaptive":  NewGKAdaptive(eps),
+		"GKTheory":    NewGKTheory(eps),
+		"GKArray":     NewGKArray(eps),
+		"FastQDigest": NewQDigest(eps, 16),
+		"MRL99":       NewMRL99(eps, 7),
+		"Random":      NewRandom(eps, 7),
+		"KLL":         NewKLL(eps, 7),
+	}
+	for name, s := range cash {
+		for _, x := range data {
+			s.Update(x)
+		}
+		got := s.Rank(atom)
+		if got < want-tol || got > want+tol {
+			t.Errorf("%s: Rank(%d) = %d, want #{y < %d} = %d ± %d", name, atom, got, atom, want, tol)
+		}
+	}
+}
+
+// TestShardedQuantileAtHeavyAtom drives the heavy-atom stream through
+// the sharded rank-descent query: more than half the mass sits on the
+// top atom, so upper quantiles must answer the atom itself, not the
+// value one below it.
+func TestShardedQuantileAtHeavyAtom(t *testing.T) {
+	const eps = 0.01
+	data, atom := atomStream()
+	for name, fresh := range map[string]func() CashRegister{
+		"GKArray": func() CashRegister { return NewGKArray(eps) },
+		"KLL":     func() CashRegister { return NewKLL(eps, 7) },
+		"MRL99":   func() CashRegister { return NewMRL99(eps, 7) },
+	} {
+		c, err := NewShardedCashRegister(4, fresh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < len(data); i += 500 {
+			end := i + 500
+			if end > len(data) {
+				end = len(data)
+			}
+			c.UpdateBatch(data[i:end])
+		}
+		for _, phi := range []float64{0.6, 0.75, 0.9, 0.99} {
+			if got := c.Quantile(phi); got != atom {
+				t.Errorf("%s: sharded Quantile(%v) = %d, want heavy atom %d", name, phi, got, atom)
+			}
+		}
+	}
+}
+
+// TestMRLReshardRankAccuracy pins the short-buffer COLLAPSE fix in
+// internal/mrl: a merge-based grow reshard grafts partially-filled
+// buffers into the target summaries, and a floor-rounded collapse
+// stride used to truncate the top of the weighted sequence — a
+// systematic upper-quantile underestimate of up to ~3.5·ε·n. The
+// reshard position sweep reproduces the worst historical offenders.
+func TestMRLReshardRankAccuracy(t *testing.T) {
+	const ops, nw, batch = 60000, 4, 512
+	per := ops / nw
+	streams := make([][]uint64, nw)
+	for w := 0; w < nw; w++ {
+		streams[w] = streamgen.Generate(streamgen.Uniform{Bits: 14, Seed: 1*1000003 + uint64(w)}, per)
+	}
+	for _, reshardAt := range []int{512, 8192, 20480, 33072, 50176} {
+		c, err := NewShardedCashRegister(4, func() CashRegister { return NewMRL99(0.01, 1) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all []uint64
+		pos := make([]int, nw)
+		total, w := 0, 0
+		for total < ops {
+			if total >= reshardAt && c.Shards() == 4 {
+				if err := c.Reshard(6); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if pos[w] < per {
+				end := pos[w] + batch
+				if end > per {
+					end = per
+				}
+				b := streams[w][pos[w]:end]
+				c.UpdateBatch(b)
+				all = append(all, b...)
+				total += len(b)
+				pos[w] = end
+			}
+			w = (w + 1) % nw
+		}
+		o := exact.New(all)
+		tol := int64(2*0.01*float64(ops)) + int64(c.Shards())
+		for _, phi := range []float64{0.75, 0.9, 0.95, 0.98} {
+			x := o.Quantile(phi)
+			if d := c.Rank(x) - o.Rank(x); d < -tol || d > tol {
+				t.Errorf("reshardAt=%d: Rank(%d) off by %d, tolerance %d", reshardAt, x, d, tol)
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"streamquantiles/internal/core"
 	"streamquantiles/internal/snapshot"
@@ -16,8 +17,9 @@ import (
 // query methods (anything implementing Flusher: GKArray, GKBiased and
 // QDigest flush pending elements when queried), where queries also
 // mutate and therefore take the exclusive lock. The wrapper detects
-// this once at construction, so callers get the strongest locking that
-// is sound for their summary without choosing it themselves.
+// this at construction — and re-detects it after a Retarget swap — so
+// callers get the strongest locking that is sound for their summary
+// without choosing it themselves.
 //
 // When the wrapped summary has an exact query flattening
 // (core.Snapshotter: the GK tuple families, QDigest, and the sampling
@@ -29,6 +31,13 @@ import (
 // byte-identical to querying the live summary; families without an
 // exact flattening (the dyadic sketches, GKBiased) keep the plain
 // locked path.
+//
+// The capability fields (exclusiveReads, snap) are atomics rather than
+// plain booleans/pointers because Retarget can swap the wrapped summary
+// — and with it both capabilities — while lock-free readers are
+// consulting them. A reader that loads a stale capability is still
+// safe: rlock re-checks under the shared lock and upgrades, and
+// snapshot re-loads the cache under the query lock before rebuilding.
 
 // Flusher is implemented by summaries whose query methods first merge
 // buffered updates into the main structure. For these types a read
@@ -44,34 +53,39 @@ type SafeCashRegister struct {
 	s  CashRegister // guarded by mu
 	// exclusiveReads is set when s implements Flusher: its queries
 	// mutate internal state, so they need the write lock.
-	exclusiveReads bool
+	exclusiveReads atomic.Bool
 	// snap caches an exact query snapshot between writes; non-nil only
 	// when s implements core.Snapshotter.
-	snap *snapshot.Cache
+	snap atomic.Pointer[snapshot.Cache]
 }
 
 // NewSafeCashRegister wraps s. The wrapped summary must not be used
 // directly afterwards.
 func NewSafeCashRegister(s CashRegister) *SafeCashRegister {
+	c := &SafeCashRegister{s: s}
 	_, flushes := s.(Flusher)
-	c := &SafeCashRegister{s: s, exclusiveReads: flushes}
-	if _, ok := s.(core.Snapshotter); ok {
-		c.snap = new(snapshot.Cache)
-	}
+	c.exclusiveReads.Store(flushes)
+	c.snap.Store(snapshot.For(s))
 	return c
 }
 
 // rlock takes the strongest lock queries on the wrapped summary need
-// and returns the matching unlock.
+// and returns the matching unlock. Over-locking is always sound, so the
+// only care needed is the upgrade: a reader that saw shared-mode just
+// before a Retarget swapped in a Flusher re-checks under the shared
+// lock and upgrades.
 //
 // locks mu
 func (c *SafeCashRegister) rlock() func() {
-	if c.exclusiveReads {
-		c.mu.Lock()
-		return c.mu.Unlock
+	if !c.exclusiveReads.Load() {
+		c.mu.RLock()
+		if !c.exclusiveReads.Load() {
+			return c.mu.RUnlock
+		}
+		c.mu.RUnlock()
 	}
-	c.mu.RLock()
-	return c.mu.RUnlock
+	c.mu.Lock()
+	return c.mu.Unlock
 }
 
 // snapshot returns an epoch-valid exact snapshot, building one under
@@ -81,26 +95,41 @@ func (c *SafeCashRegister) rlock() func() {
 // exclusive lock (rlock) and does not change query answers, so the
 // epoch is not bumped.
 func (c *SafeCashRegister) snapshot() *core.QuerySnapshot {
-	if c.snap == nil {
+	sc := c.snap.Load()
+	if sc == nil {
 		return nil
 	}
-	if qs := c.snap.Current(); qs != nil {
+	if qs := sc.Current(); qs != nil {
 		return qs
 	}
 	defer c.rlock()()
-	if qs := c.snap.Current(); qs != nil {
+	sc = c.snap.Load() // Retarget may have swapped the cache meanwhile
+	if sc == nil {
+		return nil
+	}
+	if qs := sc.Current(); qs != nil {
 		return qs // another reader rebuilt first
 	}
-	return c.snap.Rebuild(c.s.(core.Snapshotter))
+	ss, ok := c.s.(core.Snapshotter)
+	if !ok {
+		return nil
+	}
+	return sc.Rebuild(ss)
+}
+
+// invalidate retires the cached snapshot; the caller holds the write
+// lock.
+func (c *SafeCashRegister) invalidate() {
+	if sc := c.snap.Load(); sc != nil {
+		sc.Invalidate()
+	}
 }
 
 // Update observes one element.
 func (c *SafeCashRegister) Update(x uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.snap != nil {
-		c.snap.Invalidate()
-	}
+	c.invalidate()
 	c.s.Update(x)
 }
 
@@ -109,10 +138,46 @@ func (c *SafeCashRegister) Update(x uint64) {
 func (c *SafeCashRegister) UpdateBatch(xs []uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.snap != nil {
-		c.snap.Invalidate()
-	}
+	c.invalidate()
 	core.UpdateBatch(c.s, xs)
+}
+
+// Retarget migrates the wrapper to a new summary — typically the same
+// family at a different ε — without interrupting readers: the old
+// summary's data is absorbed into fresh (a plain merge when the
+// configurations match, a budget-widening RetargetMerge otherwise) and
+// fresh replaces it atomically under the write lock. On error the
+// wrapped summary is unchanged. Note the merged budget is
+// max(ε_old, ε_new): retargeting a lone summary to a finer ε cannot
+// erase the error already committed — use a sharded container when old
+// data must keep its own budget separately.
+func (c *SafeCashRegister) Retarget(fresh CashRegister) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := absorbSummary(fresh, c.s); err != nil {
+		return err
+	}
+	c.s = fresh
+	_, flushes := fresh.(Flusher)
+	c.exclusiveReads.Store(flushes)
+	c.snap.Store(snapshot.For(fresh))
+	return nil
+}
+
+// absorbSummary folds old into tgt: a plain MERGE when the
+// configurations match, a RetargetMerge (widening tgt's budget to
+// max(ε_tgt, ε_old)) otherwise. An empty old summary absorbs trivially.
+func absorbSummary(tgt, old core.Summary) error {
+	if m, ok := tgt.(core.Mergeable); ok && m.MergeSummary(old) == nil {
+		return nil
+	}
+	if r, ok := tgt.(core.Retargetable); ok && r.RetargetMerge(old) == nil {
+		return nil
+	}
+	if old.Count() == 0 {
+		return nil
+	}
+	return fmt.Errorf("streamquantiles: %T cannot absorb the live %T data (no merge or retarget-merge path)", tgt, old)
 }
 
 // Quantile returns an estimated φ-quantile — lock-free from the cached
@@ -206,9 +271,7 @@ func (c *SafeCashRegister) Restore(blob []byte) error {
 	if !ok {
 		return fmt.Errorf("streamquantiles: %T does not implement encoding.BinaryUnmarshaler", c.s)
 	}
-	if c.snap != nil {
-		c.snap.Invalidate()
-	}
+	c.invalidate()
 	return u.UnmarshalBinary(blob)
 }
 
@@ -227,21 +290,20 @@ type SafeTurnstile struct {
 	// exclusiveReads is set when s implements Flusher; see
 	// SafeCashRegister. The dyadic sketches are pure readers at query
 	// time, so in practice turnstile queries run under the shared lock.
-	exclusiveReads bool
+	exclusiveReads atomic.Bool
 	// snap caches an exact query snapshot between writes; non-nil only
 	// when s implements core.Snapshotter (the dyadic sketches do not —
 	// their queries always take the lock).
-	snap *snapshot.Cache
+	snap atomic.Pointer[snapshot.Cache]
 }
 
 // NewSafeTurnstile wraps s. The wrapped summary must not be used
 // directly afterwards.
 func NewSafeTurnstile(s Turnstile) *SafeTurnstile {
+	c := &SafeTurnstile{s: s}
 	_, flushes := s.(Flusher)
-	c := &SafeTurnstile{s: s, exclusiveReads: flushes}
-	if _, ok := s.(core.Snapshotter); ok {
-		c.snap = new(snapshot.Cache)
-	}
+	c.exclusiveReads.Store(flushes)
+	c.snap.Store(snapshot.For(s))
 	return c
 }
 
@@ -249,36 +311,54 @@ func NewSafeTurnstile(s Turnstile) *SafeTurnstile {
 //
 // locks mu
 func (c *SafeTurnstile) rlock() func() {
-	if c.exclusiveReads {
-		c.mu.Lock()
-		return c.mu.Unlock
+	if !c.exclusiveReads.Load() {
+		c.mu.RLock()
+		if !c.exclusiveReads.Load() {
+			return c.mu.RUnlock
+		}
+		c.mu.RUnlock()
 	}
-	c.mu.RLock()
-	return c.mu.RUnlock
+	c.mu.Lock()
+	return c.mu.Unlock
 }
 
 // snapshot mirrors SafeCashRegister.snapshot.
 func (c *SafeTurnstile) snapshot() *core.QuerySnapshot {
-	if c.snap == nil {
+	sc := c.snap.Load()
+	if sc == nil {
 		return nil
 	}
-	if qs := c.snap.Current(); qs != nil {
+	if qs := sc.Current(); qs != nil {
 		return qs
 	}
 	defer c.rlock()()
-	if qs := c.snap.Current(); qs != nil {
+	sc = c.snap.Load() // Retarget may have swapped the cache meanwhile
+	if sc == nil {
+		return nil
+	}
+	if qs := sc.Current(); qs != nil {
 		return qs // another reader rebuilt first
 	}
-	return c.snap.Rebuild(c.s.(core.Snapshotter))
+	ss, ok := c.s.(core.Snapshotter)
+	if !ok {
+		return nil
+	}
+	return sc.Rebuild(ss)
+}
+
+// invalidate retires the cached snapshot; the caller holds the write
+// lock.
+func (c *SafeTurnstile) invalidate() {
+	if sc := c.snap.Load(); sc != nil {
+		sc.Invalidate()
+	}
 }
 
 // Insert adds one occurrence of x.
 func (c *SafeTurnstile) Insert(x uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.snap != nil {
-		c.snap.Invalidate()
-	}
+	c.invalidate()
 	c.s.Insert(x)
 }
 
@@ -286,9 +366,7 @@ func (c *SafeTurnstile) Insert(x uint64) {
 func (c *SafeTurnstile) Delete(x uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.snap != nil {
-		c.snap.Invalidate()
-	}
+	c.invalidate()
 	c.s.Delete(x)
 }
 
@@ -297,9 +375,7 @@ func (c *SafeTurnstile) Delete(x uint64) {
 func (c *SafeTurnstile) InsertBatch(xs []uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.snap != nil {
-		c.snap.Invalidate()
-	}
+	c.invalidate()
 	core.InsertBatch(c.s, xs)
 }
 
@@ -308,10 +384,26 @@ func (c *SafeTurnstile) InsertBatch(xs []uint64) {
 func (c *SafeTurnstile) DeleteBatch(xs []uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.snap != nil {
-		c.snap.Invalidate()
-	}
+	c.invalidate()
 	core.DeleteBatch(c.s, xs)
+}
+
+// Retarget migrates the wrapper to a new summary; see
+// SafeCashRegister.Retarget. Turnstile retargeting additionally
+// requires an absorb path (merge or retarget-merge) even when the old
+// summary is momentarily empty of net counts, because a count-zero
+// sketch can still hold uncancelled structure.
+func (c *SafeTurnstile) Retarget(fresh Turnstile) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := absorbSummary(fresh, c.s); err != nil {
+		return err
+	}
+	c.s = fresh
+	_, flushes := fresh.(Flusher)
+	c.exclusiveReads.Store(flushes)
+	c.snap.Store(snapshot.For(fresh))
+	return nil
 }
 
 // Quantile returns an estimated φ-quantile — lock-free from the cached
@@ -398,9 +490,7 @@ func (c *SafeTurnstile) Restore(blob []byte) error {
 	if !ok {
 		return fmt.Errorf("streamquantiles: %T does not implement encoding.BinaryUnmarshaler", c.s)
 	}
-	if c.snap != nil {
-		c.snap.Invalidate()
-	}
+	c.invalidate()
 	return u.UnmarshalBinary(blob)
 }
 
@@ -414,13 +504,14 @@ func (c *SafeTurnstile) UnmarshalBinary(data []byte) error { return c.Restore(da
 // for write-heavy workloads: where the Safe wrappers serialize all
 // writers behind one lock, a sharded summary gives each of P shards its
 // own lock, so P writers proceed in parallel. The result is already
-// goroutine-safe — there is no wrapper to add.
-func NewSafeShardedCashRegister(p int, fresh func() CashRegister) *ShardedCashRegister {
+// goroutine-safe — there is no wrapper to add — and supports online
+// Reshard/Retarget.
+func NewSafeShardedCashRegister(p int, fresh func() CashRegister) (*ShardedCashRegister, error) {
 	return NewShardedCashRegister(p, fresh)
 }
 
 // NewSafeShardedTurnstile is the turnstile counterpart of
 // NewSafeShardedCashRegister.
-func NewSafeShardedTurnstile(p int, fresh func() Turnstile) *ShardedTurnstile {
+func NewSafeShardedTurnstile(p int, fresh func() Turnstile) (*ShardedTurnstile, error) {
 	return NewShardedTurnstile(p, fresh)
 }

@@ -56,7 +56,7 @@ func TestSafeFlusherDetection(t *testing.T) {
 		"QDigest":  NewQDigest(0.01, 16),
 	}
 	for name, s := range flushing {
-		if !NewSafeCashRegister(s).exclusiveReads {
+		if !NewSafeCashRegister(s).exclusiveReads.Load() {
 			t.Errorf("%s flushes on query but was given shared reads", name)
 		}
 	}
@@ -69,11 +69,11 @@ func TestSafeFlusherDetection(t *testing.T) {
 		"Windowed":   NewWindowed(0.05, 1000, 1),
 	}
 	for name, s := range pure {
-		if NewSafeCashRegister(s).exclusiveReads {
+		if NewSafeCashRegister(s).exclusiveReads.Load() {
 			t.Errorf("%s is a pure reader at query time but was demoted to exclusive reads", name)
 		}
 	}
-	if NewSafeTurnstile(NewDCS(0.05, 12, DyadicConfig{Seed: 1})).exclusiveReads {
+	if NewSafeTurnstile(NewDCS(0.05, 12, DyadicConfig{Seed: 1})).exclusiveReads.Load() {
 		t.Error("DCS is a pure reader at query time but was demoted to exclusive reads")
 	}
 }

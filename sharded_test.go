@@ -15,6 +15,27 @@ import (
 // estimation. The concurrent tests run the actual multi-writer path and
 // are meaningful under -race.
 
+// mustShardedCash builds a sharded cash-register container, failing the
+// test on a constructor error (valid topologies in these tests).
+func mustShardedCash(t testing.TB, p int, fresh func() CashRegister) *ShardedCashRegister {
+	t.Helper()
+	s, err := NewShardedCashRegister(p, fresh)
+	if err != nil {
+		t.Fatalf("NewShardedCashRegister(%d, …): %v", p, err)
+	}
+	return s
+}
+
+// mustShardedTurn is the turnstile counterpart of mustShardedCash.
+func mustShardedTurn(t testing.TB, p int, fresh func() Turnstile) *ShardedTurnstile {
+	t.Helper()
+	s, err := NewShardedTurnstile(p, fresh)
+	if err != nil {
+		t.Fatalf("NewShardedTurnstile(%d, …): %v", p, err)
+	}
+	return s
+}
+
 // shardedCashCases covers all three combination strategies: mergeable
 // buffer families (kll, random, mrl99, qdigest) and the GK rank-descent
 // fallback (gkarray, gkadaptive).
@@ -37,7 +58,7 @@ func TestShardedCashRegisterWithinEps(t *testing.T) {
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	for _, tc := range shardedCashCases {
 		t.Run(tc.name, func(t *testing.T) {
-			s := NewShardedCashRegister(4, tc.fresh)
+			s := mustShardedCash(t, 4, tc.fresh)
 			feedBatches(s.UpdateBatch, data)
 			if s.Count() != int64(len(data)) {
 				t.Fatalf("count %d, want %d", s.Count(), len(data))
@@ -90,7 +111,7 @@ func TestShardedTurnstileWithinEps(t *testing.T) {
 		{"dcs", func() Turnstile { return NewDCS(0.05, 16, DyadicConfig{Seed: 7}) }},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			s := NewShardedTurnstile(4, tc.fresh)
+			s := mustShardedTurn(t, 4, tc.fresh)
 			feedBatches(s.InsertBatch, data)
 			feedBatches(s.DeleteBatch, dels)
 			if s.Count() != int64(len(sorted)) {
@@ -116,7 +137,7 @@ func TestShardedTurnstileMergesExactly(t *testing.T) {
 	for _, x := range data {
 		ref.Insert(x)
 	}
-	s := NewShardedTurnstile(4, func() Turnstile { return NewDCS(0.05, 16, DyadicConfig{Seed: 7}) })
+	s := mustShardedTurn(t, 4, func() Turnstile { return NewDCS(0.05, 16, DyadicConfig{Seed: 7}) })
 	feedBatches(s.InsertBatch, data)
 	for _, phi := range EvenPhis(0.2) {
 		if r, g := ref.Quantile(phi), s.Quantile(phi); r != g {
@@ -140,7 +161,7 @@ func TestShardedConcurrentWriters(t *testing.T) {
 	sorted := append([]uint64(nil), data...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 
-	s := NewShardedCashRegister(4, func() CashRegister { return NewGKArray(0.01) })
+	s := mustShardedCash(t, 4, func() CashRegister { return NewGKArray(0.01) })
 	var wg sync.WaitGroup
 	for w := 0; w < writers; w++ {
 		wg.Add(1)
@@ -170,7 +191,7 @@ func TestShardedConcurrentWriters(t *testing.T) {
 // staying strict-turnstile globally) with concurrent queriers.
 func TestShardedTurnstileConcurrent(t *testing.T) {
 	const writers, perWriter = 4, 4000
-	s := NewShardedTurnstile(4, func() Turnstile { return NewDCS(0.05, 16, DyadicConfig{Seed: 7}) })
+	s := mustShardedTurn(t, 4, func() Turnstile { return NewDCS(0.05, 16, DyadicConfig{Seed: 7}) })
 	var wg sync.WaitGroup
 	for w := 0; w < writers; w++ {
 		wg.Add(1)
@@ -258,7 +279,7 @@ func TestShardedRankCombination(t *testing.T) {
 	data := batchTestData(20000)
 	sorted := append([]uint64(nil), data...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	s := NewShardedCashRegister(4, func() CashRegister { return NewGKAdaptive(0.01) })
+	s := mustShardedCash(t, 4, func() CashRegister { return NewGKAdaptive(0.01) })
 	feedBatches(s.UpdateBatch, data)
 	tol := int64(2*0.01*float64(len(data))) + int64(s.Shards())
 	for probe := uint64(0); probe < 1<<16; probe += 499 {
@@ -274,15 +295,16 @@ func TestShardedRankCombination(t *testing.T) {
 // TestShardedValidation pins constructor validation and the empty-query
 // contract.
 func TestShardedValidation(t *testing.T) {
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("NewShardedCashRegister(0, …) did not panic")
-			}
-		}()
-		NewShardedCashRegister(0, func() CashRegister { return NewGKArray(0.1) })
-	}()
-	s := NewShardedCashRegister(2, func() CashRegister { return NewGKArray(0.1) })
+	if _, err := NewShardedCashRegister(0, func() CashRegister { return NewGKArray(0.1) }); err == nil {
+		t.Error("NewShardedCashRegister(0, …) did not error")
+	}
+	if _, err := NewShardedCashRegister(-3, func() CashRegister { return NewGKArray(0.1) }); err == nil {
+		t.Error("NewShardedCashRegister(-3, …) did not error")
+	}
+	if _, err := NewShardedTurnstile(0, func() Turnstile { return NewDCS(0.05, 16, DyadicConfig{Seed: 7}) }); err == nil {
+		t.Error("NewShardedTurnstile(0, …) did not error")
+	}
+	s := mustShardedCash(t, 2, func() CashRegister { return NewGKArray(0.1) })
 	if s.Shards() != 2 {
 		t.Errorf("Shards() = %d", s.Shards())
 	}

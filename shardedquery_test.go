@@ -18,18 +18,18 @@ import (
 // cannot merge (here: differing ε per call) is detected up front, and
 // a non-Mergeable family never claims to fold.
 func TestShardedMergeableProbe(t *testing.T) {
-	same := NewShardedCashRegister(2, func() CashRegister { return NewKLL(0.01, 7) })
+	same := mustShardedCash(t, 2, func() CashRegister { return NewKLL(0.01, 7) })
 	if !same.Mergeable() {
 		t.Error("identically configured KLL factory: Mergeable() = false, want true")
 	}
 	var n atomic.Int64
-	drift := NewShardedCashRegister(2, func() CashRegister {
+	drift := mustShardedCash(t, 2, func() CashRegister {
 		return NewKLL(0.01/float64(n.Add(1)), 7)
 	})
 	if drift.Mergeable() {
 		t.Error("eps-drifting KLL factory: Mergeable() = true, want false (instances cannot merge)")
 	}
-	gk := NewShardedCashRegister(2, func() CashRegister { return NewGKArray(0.01) })
+	gk := mustShardedCash(t, 2, func() CashRegister { return NewGKArray(0.01) })
 	if gk.Mergeable() {
 		t.Error("GKArray is not Mergeable, but the probe claims it folds")
 	}
@@ -53,7 +53,7 @@ func TestShardedFoldCacheReuse(t *testing.T) {
 
 	t.Run("mergeable", func(t *testing.T) {
 		var calls atomic.Int64
-		s := NewShardedCashRegister(p, func() CashRegister {
+		s := mustShardedCash(t, p, func() CashRegister {
 			calls.Add(1)
 			return NewKLL(0.01, 7)
 		})
@@ -83,7 +83,7 @@ func TestShardedFoldCacheReuse(t *testing.T) {
 
 	t.Run("snapshots", func(t *testing.T) {
 		var calls atomic.Int64
-		s := NewShardedCashRegister(p, func() CashRegister {
+		s := mustShardedCash(t, p, func() CashRegister {
 			calls.Add(1)
 			return NewGKArray(0.01)
 		})
@@ -110,7 +110,7 @@ func TestShardedParallelMergeMatchesManualFold(t *testing.T) {
 	data := batchTestData(24000)
 	phis := EvenPhis(0.05)
 
-	s := NewShardedCashRegister(p, func() CashRegister { return NewKLL(0.01, 7) })
+	s := mustShardedCash(t, p, func() CashRegister { return NewKLL(0.01, 7) })
 	shards := make([]*KLL, p)
 	for i := range shards {
 		shards[i] = NewKLL(0.01, 7)
@@ -144,7 +144,7 @@ func TestShardedParallelMergeMatchesManualFold(t *testing.T) {
 		}
 	}
 
-	single := NewShardedCashRegister(1, func() CashRegister { return NewKLL(0.01, 7) })
+	single := mustShardedCash(t, 1, func() CashRegister { return NewKLL(0.01, 7) })
 	twin := NewKLL(0.01, 7)
 	feedBatches(single.UpdateBatch, data)
 	feedBatches(twin.UpdateBatch, data)
@@ -170,7 +170,7 @@ func TestShardedGKCombinedRankBound(t *testing.T) {
 	data := batchTestData(30000)
 	sorted := append([]uint64(nil), data...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	s := NewShardedCashRegister(p, func() CashRegister { return NewGKArray(eps) })
+	s := mustShardedCash(t, p, func() CashRegister { return NewGKArray(eps) })
 	feedBatches(s.UpdateBatch, data)
 	tol := int64(2*eps*float64(len(data))) + p
 
