@@ -2,14 +2,15 @@
 
 GO ?= go
 
-.PHONY: all verify build test race lint lint-strict check crash stress-smoke fuzz bench bench-all bench-baselines bench-ingest bench-query bench-compare experiments report html clean
+.PHONY: all verify build test race lint lint-strict check crash stress-smoke fuzz bench bench-all bench-baselines bench-ingest bench-query bench-parallel parallel-smoke bench-compare experiments report html clean
 
 all: build test lint
 
 # The umbrella gate CI runs: build + vet, the test suite, the race
-# detector, strict quantlint (all 13 rules, waived findings inventoried),
-# the sqcheck deep-sanitizer pass and a seeded quantstress soak.
-verify: build test lint-strict race check stress-smoke
+# detector, strict quantlint (all 14 rules, waived findings inventoried),
+# the sqcheck deep-sanitizer pass, a seeded quantstress soak and the
+# multi-writer scaling-efficiency smoke.
+verify: build test lint-strict race check stress-smoke parallel-smoke
 
 build:
 	$(GO) build ./...
@@ -25,7 +26,7 @@ test:
 race:
 	$(GO) test -race -timeout 30m ./...
 
-# Repo-specific static analysis (rules SQ001-SQ013); see cmd/quantlint.
+# Repo-specific static analysis (rules SQ001-SQ014); see cmd/quantlint.
 lint:
 	$(GO) run ./cmd/quantlint ./...
 
@@ -56,11 +57,15 @@ crash:
 # failure reproduces from the printed flags; the race-built pass drives
 # the same shape through the race detector.
 STRESS_OPS ?= 60000
+# The drain bound asserts the elastic protocol's promise: ingestion
+# stalls for at most one shard's drain, and no single drain may take
+# seconds at smoke scale even on a loaded shared runner.
+STRESS_DRAIN_MAX ?= 2s
 stress-smoke:
 	$(GO) build -o /tmp/sq_quantstress ./cmd/quantstress
-	/tmp/sq_quantstress -algo kll -bits 14 -ops $(STRESS_OPS) -dist zipf -reshard 6,3 -retarget-eps 0.02 -ckpt-dir /tmp/sq_stress_ck -ckpt-every 20000 -faults -verify-every 30000
-	/tmp/sq_quantstress -algo mrl99 -bits 14 -ops $(STRESS_OPS) -dist uniform -reshard 6 -verify-every 30000
-	/tmp/sq_quantstress -algo dcs -bits 12 -ops $(STRESS_OPS) -dist ooo -reshard 5,2 -verify-every 30000
+	/tmp/sq_quantstress -algo kll -bits 14 -ops $(STRESS_OPS) -dist zipf -reshard 6,3 -retarget-eps 0.02 -ckpt-dir /tmp/sq_stress_ck -ckpt-every 20000 -faults -verify-every 30000 -slo-drain-max $(STRESS_DRAIN_MAX)
+	/tmp/sq_quantstress -algo mrl99 -bits 14 -ops $(STRESS_OPS) -dist uniform -reshard 6 -verify-every 30000 -slo-drain-max $(STRESS_DRAIN_MAX)
+	/tmp/sq_quantstress -algo dcs -bits 12 -ops $(STRESS_OPS) -dist ooo -reshard 5,2 -verify-every 30000 -slo-drain-max $(STRESS_DRAIN_MAX)
 	rm -rf /tmp/sq_stress_ck
 	$(GO) run -race ./cmd/quantstress -algo gkarray -bits 14 -ops 30000 -dist zipf -reshard 5 -retarget-eps 0.02
 	$(GO) test -race -count=1 -run 'TestShortSoak|TestKillNineResume' ./cmd/quantstress/
@@ -96,8 +101,31 @@ QUERY_RUNS ?= 3
 bench-query:
 	$(GO) run ./cmd/quantbench -query -n $(QUERY_N) -query-runs $(QUERY_RUNS) -query-out BENCH_query.json
 
-# Refresh both committed baselines in one go.
-bench-baselines: bench-ingest bench-query
+# Multi-core write-path scaling: W writer goroutines, each with its own
+# AcquireWriter handle, feed a W-shard container element-at-a-time at
+# W = 1, 2, 4 and NumCPU. The committed baseline merges several passes
+# conservatively (fastest 1-writer rate, slowest multi-writer rate) so
+# its efficiency floors lower-bound a typical run; the compare gates on
+# scaling efficiency — rate(W) / (rate(1) x min(W, GOMAXPROCS)) — which
+# is machine-portable where absolute Melem/s is not.
+PARALLEL_N ?= 2000000
+PARALLEL_RUNS ?= 3
+bench-parallel:
+	$(GO) run ./cmd/quantbench -parallel -n $(PARALLEL_N) -parallel-runs $(PARALLEL_RUNS) -parallel-out BENCH_parallel.json
+
+# Scaling-efficiency smoke (part of `make verify`): one reduced-n
+# parallel pass compared against the committed BENCH_parallel.json at
+# the default 25% tolerance. Efficiency is normalized to the measuring
+# machine's cores, so the same committed baseline gates a 1-core
+# container (pure handle overhead) and a 4-core runner (where a 0.75
+# floor at W=4 demands >= 3x the 1-writer throughput).
+PARALLEL_SMOKE_N ?= 500000
+parallel-smoke:
+	$(GO) run ./cmd/quantbench -parallel -n $(PARALLEL_SMOKE_N) -parallel-out /tmp/sq_parallel_ci.json
+	$(GO) run ./cmd/quantbench -parallel-compare BENCH_parallel.json /tmp/sq_parallel_ci.json
+
+# Refresh the committed baselines in one go.
+bench-baselines: bench-ingest bench-query bench-parallel
 
 # Regression gate: re-measure one pass of each path at a reduced n and
 # compare the speedup ratios against the committed baselines under the
@@ -111,6 +139,8 @@ bench-compare:
 	$(GO) run ./cmd/quantbench -ingest-compare BENCH_ingest.json /tmp/sq_ingest_ci.json
 	$(GO) run ./cmd/quantbench -query -n $(COMPARE_N) -query-out /tmp/sq_query_ci.json
 	$(GO) run ./cmd/quantbench -query-compare BENCH_query.json /tmp/sq_query_ci.json
+	$(GO) run ./cmd/quantbench -parallel -n $(COMPARE_N) -parallel-out /tmp/sq_parallel_ci.json
+	$(GO) run ./cmd/quantbench -parallel-compare BENCH_parallel.json /tmp/sq_parallel_ci.json
 
 # Regenerate EXPERIMENTS.md (several minutes at the default n).
 experiments:

@@ -56,3 +56,23 @@ func NewShardedCashRegister(p int, fresh func() CashRegister) (*ShardedCashRegis
 func NewShardedTurnstile(p int, fresh func() Turnstile) (*ShardedTurnstile, error) {
 	return sharded.NewTurnstile(p, fresh)
 }
+
+// CashWriter is a per-goroutine ingestion handle for a
+// ShardedCashRegister: acquire one per writer goroutine
+// (ShardedCashRegister.AcquireWriter), feed it with Update/UpdateBatch,
+// and Close it when done. Buffered elements become visible to queries
+// on Flush/Close; flushes that race a Reshard/Retarget re-route to the
+// live topology, so no element is ever lost.
+type CashWriter = sharded.CashWriter
+
+// TurnWriter is the per-goroutine ingestion handle for a
+// ShardedTurnstile (ShardedTurnstile.AcquireWriter): buffered
+// Insert/Delete with insertions flushed before deletions, preserving
+// the strict-turnstile model at every flush boundary.
+type TurnWriter = sharded.TurnWriter
+
+// DrainObserver brackets each per-shard drain performed by an elastic
+// operation; install one with SetDrainObserver on a sharded container
+// to record ingestion-stall durations (cmd/quantstress does exactly
+// this in its soak report).
+type DrainObserver = sharded.DrainObserver

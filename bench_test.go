@@ -10,6 +10,9 @@
 package streamquantiles
 
 import (
+	"fmt"
+	"runtime"
+	"sync"
 	"testing"
 
 	"streamquantiles/internal/harness"
@@ -184,6 +187,55 @@ func BenchmarkInsertBatchDRSS(b *testing.B) {
 func BenchmarkShardedUpdateBatch(b *testing.B) {
 	s := mustShardedCash(b, 4, func() CashRegister { return NewGKArray(0.001) })
 	benchUpdatesBatch(b, s)
+}
+
+// BenchmarkParallelIngest drives W concurrent writer handles into a
+// W-shard container (one affinity shard per writer) for the buffered
+// mergeable families — the multi-core scaling the sharded layer exists
+// for. On a ≥4-core runner the writers=4 case should sustain ≥3x the
+// writers=1 throughput; cmd/quantbench -parallel measures and gates the
+// same shape against BENCH_parallel.json.
+func BenchmarkParallelIngest(b *testing.B) {
+	families := []struct {
+		name  string
+		fresh func() CashRegister
+	}{
+		{"kll", func() CashRegister { return NewKLL(0.001, 7) }},
+		{"mrl99", func() CashRegister { return NewMRL99(0.001, 7) }},
+		{"gkarray", func() CashRegister { return NewGKArray(0.001) }},
+	}
+	writerCounts := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		writerCounts = append(writerCounts, p)
+	}
+	data := streamgen.Generate(streamgen.Uniform{Bits: 32, Seed: 1}, 1<<16)
+	for _, f := range families {
+		for _, wn := range writerCounts {
+			b.Run(fmt.Sprintf("%s/writers=%d", f.name, wn), func(b *testing.B) {
+				s := mustShardedCash(b, wn, f.fresh)
+				b.SetBytes(8)
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				per := b.N / wn
+				for w := 0; w < wn; w++ {
+					n := per
+					if w == 0 {
+						n = b.N - per*(wn-1)
+					}
+					wg.Add(1)
+					go func(n int) {
+						defer wg.Done()
+						h := s.AcquireWriter()
+						defer h.Close()
+						for i := 0; i < n; i++ {
+							h.Update(data[i&(1<<16-1)])
+						}
+					}(n)
+				}
+				wg.Wait()
+			})
+		}
+	}
 }
 
 func BenchmarkQuantileGKArray(b *testing.B) {

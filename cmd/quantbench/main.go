@@ -15,10 +15,44 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"streamquantiles/internal/harness"
 )
+
+// startProfiles arms the runtime's contention profilers for whichever
+// paths are set and returns the function that snapshots them to disk.
+func startProfiles(mutexPath, blockPath string) func() {
+	if mutexPath != "" {
+		runtime.SetMutexProfileFraction(5)
+	}
+	if blockPath != "" {
+		runtime.SetBlockProfileRate(10_000) // sample blocking beyond 10µs
+	}
+	return func() {
+		writeProfile("mutex", mutexPath)
+		writeProfile("block", blockPath)
+	}
+}
+
+func writeProfile(kind, path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quantbench: %s profile: %v\n", kind, err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup(kind).WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "quantbench: %s profile: %v\n", kind, err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s profile %s\n", kind, path)
+}
 
 func main() {
 	var (
@@ -38,6 +72,16 @@ func main() {
 		ingestCmp  = flag.Bool("ingest-compare", false, "compare two ingest reports: quantbench -ingest-compare old.json new.json")
 		ingestTol  = flag.Float64("ingest-tol", 0.25, "allowed fractional batch-speedup regression for -ingest-compare")
 
+		parallel     = flag.Bool("parallel", false, "measure writer-handle scaling across writer counts (1/2/4/NumCPU)")
+		parallelRuns = flag.Int("parallel-runs", 1, "measurement passes for -parallel; >1 keeps the conservative merge (baselines)")
+		parallelOut  = flag.String("parallel-out", "", "write the -parallel JSON report here (default stdout)")
+		parallelCmp  = flag.Bool("parallel-compare", false, "compare two parallel reports: quantbench -parallel-compare old.json new.json")
+		parallelTol  = flag.Float64("parallel-tol", 0.25, "allowed fractional efficiency regression for -parallel-compare")
+
+		cpus         = flag.Int("cpus", 0, "pin GOMAXPROCS for the run (0 = leave as is); reports record the effective value")
+		mutexProfile = flag.String("mutexprofile", "", "write a mutex-contention profile of the measurement here")
+		blockProfile = flag.String("blockprofile", "", "write a blocking profile of the measurement here")
+
 		query     = flag.Bool("query", false, "measure per-phi vs batched vs snapshot-cached quantile extraction")
 		queryPhis = flag.Int("query-phis", 100, "fractions per extraction for -query")
 		queryRuns = flag.Int("query-runs", 1, "measurement passes for -query; >1 keeps the conservative merge (baselines)")
@@ -47,8 +91,29 @@ func main() {
 	)
 	flag.Parse()
 
+	if *cpus > 0 {
+		runtime.GOMAXPROCS(*cpus)
+	}
+	// Contention observability: with a profile path set, the runtime
+	// samples mutex hold-ups / blocking for the whole measurement and the
+	// profile is written on the way out — the "where did the time go"
+	// answer when a scaling gate regresses.
+	defer startProfiles(*mutexProfile, *blockProfile)()
+
 	if *ingest {
 		runIngest(*n, *ingestBat, *ingestRuns, *ingestOut)
+		return
+	}
+	if *parallel {
+		runParallel(*n, *parallelRuns, *parallelOut)
+		return
+	}
+	if *parallelCmp {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "quantbench: -parallel-compare needs two report paths: old.json new.json")
+			os.Exit(2)
+		}
+		runParallelCompare(flag.Arg(0), flag.Arg(1), *parallelTol)
 		return
 	}
 	if *ingestCmp {

@@ -105,6 +105,7 @@ func TestEachRuleFiresExactlyOnce(t *testing.T) {
 		"internal/sq012":   "SQ012",
 		"internal/sq013":   "SQ013", // anchored at the target's MarshalBinary
 		"internal/gk":      "SQ009", // the columnar-layout half fires at a columnar path
+		"internal/sharded": "SQ014", // the placement rule fires at its scoped path
 		"internal/ignored": "SQ000", // the malformed directive
 		"quantiles.go":     "SQ005",
 	}
@@ -175,12 +176,12 @@ func TestRepoIsLintClean(t *testing.T) {
 	}
 }
 
-// TestRuleTable pins the catalog `-rules` prints: ids are SQ001..SQ013
+// TestRuleTable pins the catalog `-rules` prints: ids are SQ001..SQ014
 // in order, each with a one-line doc, and knownRule accepts exactly
 // them plus the SQ000 pseudo-rule.
 func TestRuleTable(t *testing.T) {
-	if len(ruleTable) != 13 {
-		t.Fatalf("want 13 registered rules, got %d", len(ruleTable))
+	if len(ruleTable) != 14 {
+		t.Fatalf("want 14 registered rules, got %d", len(ruleTable))
 	}
 	for i, r := range ruleTable {
 		wantID := fmt.Sprintf("SQ%03d", i+1)
@@ -197,7 +198,7 @@ func TestRuleTable(t *testing.T) {
 	if !knownRule("SQ000") {
 		t.Error("knownRule(SQ000) = false: the directive pseudo-rule must be addressable")
 	}
-	if knownRule("SQ014") || knownRule("nonsense") {
+	if knownRule("SQ015") || knownRule("nonsense") {
 		t.Error("knownRule accepts ids that do not exist")
 	}
 }

@@ -1,14 +1,17 @@
-// Command quantlint is the repo's static analyzer: thirteen numbered
-// rules (SQ001–SQ013) encoding the invariants this codebase relies on
-// but generic linters cannot know. SQ001–SQ009 are pure-syntax passes —
-// seeded-randomness discipline, float comparison hygiene, panic-free
-// hot paths, the internal/ layering, the Invariants() sanitizer
-// contract for every registered summary, the decode-path hardening
-// contract (no panics, no input-sized allocations without a guard)
-// behind durable checkpoint recovery, the allocation discipline of the
-// ingestion and query hot paths, and the memory-layout discipline
-// (columnar storage in the SoA summary packages, same-function
-// sync.Pool Get/Put pairing). SQ010–SQ013 are type-aware: guarded-by
+// Command quantlint is the repo's static analyzer: fourteen numbered
+// rules (SQ001–SQ014) encoding the invariants this codebase relies on
+// but generic linters cannot know. SQ001–SQ009 and SQ014 are
+// pure-syntax passes — seeded-randomness discipline, float comparison
+// hygiene, panic-free hot paths, the internal/ layering, the
+// Invariants() sanitizer contract for every registered summary, the
+// decode-path hardening contract (no panics, no input-sized
+// allocations without a guard) behind durable checkpoint recovery, the
+// allocation discipline of the ingestion and query hot paths, the
+// memory-layout discipline (columnar storage in the SoA summary
+// packages, same-function sync.Pool Get/Put pairing), and the
+// write-path memory-placement discipline (cache-line pads on hot
+// structs sliced by value in internal/sharded, no package-level
+// atomics). SQ010–SQ013 are type-aware: guarded-by
 // lock discipline over `// guarded by mu` field annotations, unlock-
 // path soundness over an intra-function CFG, ε-budget propagation
 // through Merge implementations, and codec parity (marshal implies

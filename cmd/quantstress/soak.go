@@ -70,7 +70,12 @@ type harness struct {
 
 	ingestLat *latSketch
 	queryLat  *latSketch
-	queries   atomic.Int64
+	// drainLat records every per-shard drain duration during a
+	// reshard/retarget, via the container's DrainObserver hook — a
+	// writer blocked on a retiring shard stalls for at most one of
+	// these, so the max is the ingestion-stall bound the soak asserts.
+	drainLat *latSketch
+	queries  atomic.Int64
 
 	mu         sync.Mutex
 	violations []string // guarded by mu
@@ -138,10 +143,15 @@ func (l *latSketch) report() (n int64, p50, p99, max time.Duration) {
 	return l.n, time.Duration(l.s.Quantile(0.50)), time.Duration(l.s.Quantile(0.99)), time.Duration(l.max)
 }
 
-// cashWriter streams its slice in, batch by batch, under the read side
-// of the pause gate.
+// cashWriter streams its slice in, batch by batch, through its own
+// per-goroutine writer handle under the read side of the pause gate.
+// The handle must be flushed before the high-water mark is published:
+// the verification barrier's oracle counts every element up to the
+// mark, so none may still sit in the writer-local buffer.
 func (h *harness) cashWriter(w int) {
 	stream := h.streams[w]
+	hw := h.cash.AcquireWriter()
+	defer hw.Close()
 	for i := 0; i < len(stream); i += h.cfg.batch {
 		end := i + h.cfg.batch
 		if end > len(stream) {
@@ -149,7 +159,8 @@ func (h *harness) cashWriter(w int) {
 		}
 		h.gate.RLock()
 		t0 := time.Now()
-		h.cash.UpdateBatch(stream[i:end])
+		hw.UpdateBatch(stream[i:end])
+		hw.Flush()
 		h.ingestLat.observe(time.Since(t0))
 		h.inserted[w].Store(int64(end))
 		h.opsDone.Add(int64(end - i))
@@ -164,6 +175,8 @@ func (h *harness) cashWriter(w int) {
 // ground truth under the turnstile model.
 func (h *harness) turnWriter(w int) {
 	stream := h.streams[w]
+	hw := h.turn.AcquireWriter()
+	defer hw.Close()
 	del := 0
 	for i := 0; i < len(stream); i += h.cfg.batch {
 		end := i + h.cfg.batch
@@ -172,12 +185,14 @@ func (h *harness) turnWriter(w int) {
 		}
 		h.gate.RLock()
 		t0 := time.Now()
-		h.turn.InsertBatch(stream[i:end])
+		hw.InsertBatch(stream[i:end])
+		hw.Flush()
 		h.ingestLat.observe(time.Since(t0))
 		h.inserted[w].Store(int64(end))
 		if end-del >= 4*h.cfg.batch {
 			t0 = time.Now()
-			h.turn.DeleteBatch(stream[del : del+h.cfg.batch])
+			hw.DeleteBatch(stream[del : del+h.cfg.batch])
+			hw.Flush()
 			h.ingestLat.observe(time.Since(t0))
 			del += h.cfg.batch
 			h.deleted[w].Store(int64(del))
@@ -631,6 +646,20 @@ func run(cfg *config, stdout, stderr io.Writer) int {
 		wake:      make(chan struct{}, 1),
 		ingestLat: newLatSketch(cfg.seed ^ 0xa5),
 		queryLat:  newLatSketch(cfg.seed ^ 0x5a),
+		drainLat:  newLatSketch(cfg.seed ^ 0xd7),
+	}
+	// Ingestion-stall telemetry: the containers bracket every per-shard
+	// drain of an elastic operation through this hook (they never time
+	// anything themselves); the report asserts the -slo-drain-max bound
+	// over the recorded durations.
+	obs := sq.DrainObserver(func(int) func() {
+		t0 := time.Now()
+		return func() { h.drainLat.observe(time.Since(t0)) }
+	})
+	if cash != nil {
+		cash.SetDrainObserver(obs)
+	} else {
+		turn.SetDrainObserver(obs)
 	}
 	per := int(cfg.ops) / cfg.writers
 	rem := int(cfg.ops) % cfg.writers
@@ -712,13 +741,18 @@ func (h *harness) report(stderr io.Writer) int {
 		h.reshards, h.retargets, h.verifies, ckpts, crashes, drills)
 	in, ip50, ip99, imax := h.ingestLat.report()
 	qn, qp50, qp99, qmax := h.queryLat.report()
+	dn, dp50, dp99, dmax := h.drainLat.report()
 	h.sayf("ingest batches=%d p50=%v p99=%v max=%v", in, ip50, ip99, imax)
 	h.sayf("queries n=%d p50=%v p99=%v max=%v", qn, qp50, qp99, qmax)
+	h.sayf("shard drains n=%d p50=%v p99=%v max=%v (per-shard ingestion stall during reshard/retarget)", dn, dp50, dp99, dmax)
 	if h.cfg.sloIngest > 0 && ip99 > h.cfg.sloIngest {
 		h.fail("SLO: ingest p99 %v exceeds %v", ip99, h.cfg.sloIngest)
 	}
 	if h.cfg.sloQuery > 0 && qp99 > h.cfg.sloQuery {
 		h.fail("SLO: query p99 %v exceeds %v", qp99, h.cfg.sloQuery)
+	}
+	if h.cfg.sloDrain > 0 && dmax > h.cfg.sloDrain {
+		h.fail("SLO: max per-shard drain %v exceeds %v — ingestion stalled longer than the elastic protocol promises", dmax, h.cfg.sloDrain)
 	}
 	h.mu.Lock()
 	violations := h.violations

@@ -141,6 +141,55 @@ func (r *retiredSet) invariants() error {
 	return nil
 }
 
+// A DrainObserver brackets each per-shard drain performed by an elastic
+// operation (Reshard, Retarget): it is called with the retiring shard's
+// index when the drain starts and the returned func when it completes.
+// The containers never time anything themselves — a harness that wants
+// stall telemetry supplies the clock (cmd/quantstress records drain
+// durations this way and asserts a bound in its soak report). The
+// observer runs under the topology write lock, so it must not call back
+// into the container.
+type DrainObserver func(shard int) (done func())
+
+// SetDrainObserver installs obs (nil removes it). Safe to call
+// concurrently with elastic operations: the pointer is swapped
+// atomically and each drain loads it once per shard.
+func (c *CashRegister) SetDrainObserver(obs DrainObserver) {
+	if obs == nil {
+		c.drainObs.Store(nil)
+		return
+	}
+	c.drainObs.Store(&obs)
+}
+
+// SetDrainObserver installs obs (nil removes it); see the CashRegister
+// counterpart.
+func (t *Turnstile) SetDrainObserver(obs DrainObserver) {
+	if obs == nil {
+		t.drainObs.Store(nil)
+		return
+	}
+	t.drainObs.Store(&obs)
+}
+
+func (c *CashRegister) drainStart(i int) func() {
+	if p := c.drainObs.Load(); p != nil {
+		if done := (*p)(i); done != nil {
+			return done
+		}
+	}
+	return func() {}
+}
+
+func (t *Turnstile) drainStart(i int) func() {
+	if p := t.drainObs.Load(); p != nil {
+		if done := (*p)(i); done != nil {
+			return done
+		}
+	}
+	return func() {}
+}
+
 // retireCashShard marks the shard retired under its own mutex and takes
 // its summary; a writer blocked on the mutex wakes to the flag and
 // re-routes.
@@ -226,20 +275,21 @@ func (c *CashRegister) reshardByMerge(old *cashGen, p int) {
 	next := newCashGen(old.id+1, p, old.fresh, old.caps)
 	c.gen.Store(next)
 	for i := range old.shards {
+		done := c.drainStart(i)
 		s := retireCashShard(&old.shards[i])
-		if s.Count() == 0 {
-			continue
+		if s.Count() > 0 {
+			dst := &next.shards[i%p]
+			dst.mu.Lock()
+			dst.epoch.Add(1)
+			err := dst.s.(core.Mergeable).MergeSummary(s)
+			dst.mu.Unlock()
+			if err != nil {
+				// The factory probed mergeable, so this cannot happen unless
+				// the factory misbehaves; freeze rather than lose the data.
+				c.ret.add(newRetiredComp(s))
+			}
 		}
-		dst := &next.shards[i%p]
-		dst.mu.Lock()
-		dst.epoch.Add(1)
-		err := dst.s.(core.Mergeable).MergeSummary(s)
-		dst.mu.Unlock()
-		if err != nil {
-			// The factory probed mergeable, so this cannot happen unless
-			// the factory misbehaves; freeze rather than lose the data.
-			c.ret.add(newRetiredComp(s))
-		}
+		done()
 	}
 }
 
@@ -254,10 +304,12 @@ func (c *CashRegister) reshardByAdoption(old *cashGen, p int) {
 		keep = p
 	}
 	for i := 0; i < keep; i++ {
+		done := c.drainStart(i)
 		sh := &next.shards[i]
 		sh.mu.Lock()
 		sh.s = retireCashShard(&old.shards[i])
 		sh.mu.Unlock()
+		done()
 	}
 	for i := keep; i < p; i++ {
 		sh := &next.shards[i]
@@ -266,9 +318,11 @@ func (c *CashRegister) reshardByAdoption(old *cashGen, p int) {
 		sh.mu.Unlock()
 	}
 	for i := keep; i < len(old.shards); i++ {
+		done := c.drainStart(i)
 		if s := retireCashShard(&old.shards[i]); s.Count() > 0 {
 			c.ret.add(newRetiredComp(s))
 		}
+		done()
 	}
 	c.gen.Store(next)
 }
@@ -287,18 +341,19 @@ func (c *CashRegister) Retarget(fresh func() core.CashRegister) error {
 	next := newCashGen(old.id+1, len(old.shards), fresh, caps)
 	c.gen.Store(next)
 	for i := range old.shards {
+		done := c.drainStart(i)
 		s := retireCashShard(&old.shards[i])
-		if s.Count() == 0 {
-			continue
+		if s.Count() > 0 {
+			dst := &next.shards[i]
+			dst.mu.Lock()
+			dst.epoch.Add(1)
+			absorbed := absorb(dst.s, s)
+			dst.mu.Unlock()
+			if !absorbed {
+				c.ret.add(newRetiredComp(s))
+			}
 		}
-		dst := &next.shards[i]
-		dst.mu.Lock()
-		dst.epoch.Add(1)
-		absorbed := absorb(dst.s, s)
-		dst.mu.Unlock()
-		if !absorbed {
-			c.ret.add(newRetiredComp(s))
-		}
+		done()
 	}
 	c.q.invalidate()
 	return nil
@@ -351,12 +406,14 @@ func (t *Turnstile) Reshard(p int) error {
 	next := newTurnGen(old.id+1, p, old.fresh, old.caps)
 	t.gen.Store(next)
 	for i := range old.shards {
+		done := t.drainStart(i)
 		s := retireTurnShard(&old.shards[i])
 		dst := &next.shards[i%p]
 		dst.mu.Lock()
 		dst.epoch.Add(1)
 		err := dst.s.(core.Mergeable).MergeSummary(s)
 		dst.mu.Unlock()
+		done()
 		if err != nil {
 			t.q.invalidate()
 			return fmt.Errorf("sharded: reshard drain merge: %w", err)
@@ -382,12 +439,14 @@ func (t *Turnstile) Retarget(fresh func() core.Turnstile) error {
 	next := newTurnGen(old.id+1, len(old.shards), fresh, caps)
 	t.gen.Store(next)
 	for i := range old.shards {
+		done := t.drainStart(i)
 		s := retireTurnShard(&old.shards[i])
 		dst := &next.shards[i]
 		dst.mu.Lock()
 		dst.epoch.Add(1)
 		ok := absorb(dst.s, s)
 		dst.mu.Unlock()
+		done()
 		if !ok {
 			t.q.invalidate()
 			return fmt.Errorf("sharded: turnstile retarget: shard %d absorb failed after a successful probe", i)

@@ -79,6 +79,17 @@ func mix(x uint64) uint64 {
 // Invariants.
 type invariantChecker interface{ Invariants() error }
 
+// cacheLine is the placement granularity for hot shared state: 128
+// bytes — two 64-byte lines — so the spatial prefetcher's paired line
+// loads cannot re-introduce false sharing between neighbours either.
+// Shard structs living in a generation's []cashShard/[]turnShard pad to
+// a multiple of it (the SQ014 lint holds the discipline, a Sizeof test
+// pins the arithmetic): without the padding, shard i's lock word and
+// shard i+1's summary header share a line, and P writers on P cores
+// ping that line between caches on every update even though they never
+// touch each other's shard.
+const cacheLine = 128
+
 // ---------------------------------------------------------------- cash
 
 // cashShard pads each summary's lock onto its own state; shards are
@@ -89,6 +100,10 @@ type cashShard struct {
 	s       core.CashRegister // guarded by mu
 	retired bool              // guarded by mu
 	epoch   atomic.Uint64
+	// The live fields above occupy 40 bytes on 64-bit; the blank tail
+	// rounds the struct up to cacheLine so adjacent shards in the
+	// generation slice never share a line (TestShardStructsPadded).
+	_ [cacheLine - 40]byte
 }
 
 // cashGen is one immutable shard topology: the shard array, the factory
@@ -141,9 +156,28 @@ type CashRegister struct {
 	// touch it — they re-route on the retired flag instead.
 	topo sync.RWMutex
 	gen  atomic.Pointer[cashGen]
-	rr   atomic.Uint64
 	ret  retiredSet
 	q    queryCache
+
+	// rr is the round-robin routing cursor of the handle-less write
+	// path (Update/UpdateBatch with no Writer). It is the one piece of
+	// shared mutable write-path state left, so it sits alone between two
+	// blank cache lines: every handle-less write bumps it, and without
+	// the isolation those bumps would keep invalidating the line holding
+	// gen — which every writer loads per call and every flush re-loads.
+	// Writer handles never touch it (each flushes to its own affinity
+	// slot), which is what makes them scale.
+	_  [cacheLine]byte
+	rr atomic.Uint64
+	_  [cacheLine - 8]byte
+
+	// wslot hands out writer-handle affinity slots; bumped once per
+	// AcquireWriter, never on the per-element path.
+	wslot atomic.Uint64
+
+	// drainObs, when set, brackets each retired shard's drain during an
+	// elastic operation (see SetDrainObserver).
+	drainObs atomic.Pointer[DrainObserver]
 }
 
 // NewCashRegister builds a P-way sharded summary; fresh must return a
@@ -215,21 +249,7 @@ func (c *CashRegister) UpdateBatch(xs []uint64) {
 	if len(xs) == 0 {
 		return
 	}
-	i := c.rr.Add(1) - 1
-	for {
-		g := c.gen.Load()
-		sh := &g.shards[i%uint64(len(g.shards))]
-		sh.mu.Lock()
-		if sh.retired {
-			sh.mu.Unlock()
-			runtime.Gosched()
-			continue
-		}
-		sh.epoch.Add(1)
-		core.UpdateBatch(sh.s, xs)
-		sh.mu.Unlock()
-		return
-	}
+	c.deliver(c.rr.Add(1)-1, xs)
 }
 
 // UpdateBatchAffinity routes the whole batch to the shard owning key —
@@ -239,10 +259,20 @@ func (c *CashRegister) UpdateBatchAffinity(key uint64, xs []uint64) {
 	if len(xs) == 0 {
 		return
 	}
-	h := mix(key)
+	c.deliver(mix(key), xs)
+}
+
+// deliver lands one batch on the shard owning slot in the live
+// generation, under a single lock acquisition and through the shard's
+// native batch path. A shard caught mid-retire re-routes against the
+// successor generation — the slice is applied exactly once, on a live
+// shard, so count conservation across a reshard is structural. The
+// batch is consumed before deliver returns (summaries copy what they
+// keep), so callers may reuse the backing array — writer handles do.
+func (c *CashRegister) deliver(slot uint64, xs []uint64) {
 	for {
 		g := c.gen.Load()
-		sh := &g.shards[h%uint64(len(g.shards))]
+		sh := &g.shards[slot%uint64(len(g.shards))]
 		sh.mu.Lock()
 		if sh.retired {
 			sh.mu.Unlock()

@@ -9,12 +9,14 @@ import (
 	"streamquantiles/internal/core"
 )
 
-// turnShard is the turnstile counterpart of cashShard.
+// turnShard is the turnstile counterpart of cashShard, padded to the
+// same cacheLine multiple so adjacent shards never false-share.
 type turnShard struct {
 	mu      sync.Mutex
 	s       core.Turnstile // guarded by mu
 	retired bool           // guarded by mu
 	epoch   atomic.Uint64
+	_       [cacheLine - 40]byte
 }
 
 // turnGen is one immutable turnstile shard topology (see cashGen).
@@ -75,7 +77,13 @@ type Turnstile struct {
 
 	// parts pools per-call partition scratch: batch routing scatters the
 	// input into per-shard sub-batches without allocating per call.
+	// Writer handles carry their own partition instead, so their flushes
+	// skip even the pool round-trip.
 	parts sync.Pool
+
+	// drainObs, when set, brackets each retired shard's drain during an
+	// elastic operation (see SetDrainObserver).
+	drainObs atomic.Pointer[DrainObserver]
 }
 
 // partition is the pooled scatter scratch of one in-flight batch call.
@@ -195,6 +203,15 @@ func (t *Turnstile) AddBatch(xs []uint64, delta int64) {
 		return
 	}
 	pt := t.parts.Get().(*partition)
+	t.scatter(pt, xs, delta)
+	t.parts.Put(pt)
+}
+
+// scatter drives addBatchOnce to completion: elements whose shard
+// retired mid-call re-route against the successor generation until the
+// whole batch has landed. Writer handles call it with their private
+// partition scratch; AddBatch with a pooled one.
+func (t *Turnstile) scatter(pt *partition, xs []uint64, delta int64) {
 	for len(xs) > 0 {
 		left := t.addBatchOnce(pt, xs, delta)
 		if len(left) > 0 {
@@ -202,7 +219,6 @@ func (t *Turnstile) AddBatch(xs []uint64, delta int64) {
 		}
 		xs = left
 	}
-	t.parts.Put(pt)
 }
 
 // addBatchOnce routes xs over the current generation and returns the

@@ -505,7 +505,9 @@ func (c *SafeTurnstile) UnmarshalBinary(data []byte) error { return c.Restore(da
 // writers behind one lock, a sharded summary gives each of P shards its
 // own lock, so P writers proceed in parallel. The result is already
 // goroutine-safe — there is no wrapper to add — and supports online
-// Reshard/Retarget.
+// Reshard/Retarget. For maximum write throughput give each ingesting
+// goroutine its own handle via AcquireWriter: handles buffer locally
+// and touch no shared state between flushes.
 func NewSafeShardedCashRegister(p int, fresh func() CashRegister) (*ShardedCashRegister, error) {
 	return NewShardedCashRegister(p, fresh)
 }

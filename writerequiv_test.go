@@ -1,0 +1,295 @@
+package streamquantiles
+
+import (
+	"sort"
+	"sync"
+	"testing"
+)
+
+// Writer-handle equivalence properties: a container fed through
+// per-goroutine writer handles must conserve counts exactly and answer
+// rank queries within the same composed ε bound as the direct
+// UpdateBatch path — the handles change memory placement and locking,
+// never the data. The concurrent tests run real multi-writer traffic
+// (meaningful under -race), including flushes racing an online reshard.
+
+// writerChunks splits data into w contiguous chunks, one per writer.
+func writerChunks(data []uint64, w int) [][]uint64 {
+	chunks := make([][]uint64, w)
+	per := (len(data) + w - 1) / w
+	for i := range chunks {
+		lo := i * per
+		hi := lo + per
+		if lo > len(data) {
+			lo = len(data)
+		}
+		if hi > len(data) {
+			hi = len(data)
+		}
+		chunks[i] = data[lo:hi]
+	}
+	return chunks
+}
+
+// TestCashWriterEquivalence: for every cash family, the same stream fed
+// through 4 concurrent writer handles (mixed Update/UpdateBatch) must
+// conserve the count exactly, keep the shard invariants, and answer
+// quantiles within the composed ε bound — the same tolerance the direct
+// UpdateBatch tests use, because the handles deliver through the same
+// shard paths.
+func TestCashWriterEquivalence(t *testing.T) {
+	data := batchTestData(30000)
+	sorted := append([]uint64(nil), data...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, tc := range shardedCashCases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := mustShardedCash(t, 4, tc.fresh)
+			var wg sync.WaitGroup
+			for wi, chunk := range writerChunks(data, 4) {
+				wg.Add(1)
+				go func(wi int, chunk []uint64) {
+					defer wg.Done()
+					w := s.AcquireWriter()
+					defer w.Close()
+					// Alternate element-at-a-time and batched feeding so both
+					// buffer paths (append + large-batch bypass) are exercised.
+					if wi%2 == 0 {
+						for _, x := range chunk {
+							w.Update(x)
+						}
+					} else {
+						feedBatches(w.UpdateBatch, chunk)
+					}
+				}(wi, chunk)
+			}
+			wg.Wait()
+			if s.Count() != int64(len(data)) {
+				t.Fatalf("count %d, want %d: writer handles must conserve counts exactly", s.Count(), len(data))
+			}
+			if err := s.Invariants(); err != nil {
+				t.Fatalf("shard invariants: %v", err)
+			}
+			tol := int64(2 * tc.eps * float64(len(data)))
+			for _, phi := range EvenPhis(0.1) {
+				rankWithinEps(t, sorted, phi, s.Quantile(phi), tol)
+			}
+		})
+	}
+}
+
+// TestTurnWriterEquivalence: turnstile writer handles buffer insertions
+// and deletions separately; the net container must agree exactly with
+// an unsharded sketch of the same stream for the linear dyadic families
+// (identical seeds, merges are exact), despite 4 concurrent handles and
+// buffered deletions lagging their insertions.
+func TestTurnWriterEquivalence(t *testing.T) {
+	data := batchTestData(24000)
+	for _, tc := range []struct {
+		name  string
+		fresh func() Turnstile
+	}{
+		{"dcm", func() Turnstile { return NewDCM(0.05, 16, DyadicConfig{Seed: 7}) }},
+		{"dcs", func() Turnstile { return NewDCS(0.05, 16, DyadicConfig{Seed: 7}) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := tc.fresh()
+			for i, x := range data {
+				ref.Insert(x)
+				if i%3 == 0 {
+					ref.Delete(x)
+				}
+			}
+			s := mustShardedTurn(t, 4, tc.fresh)
+			var wg sync.WaitGroup
+			for _, chunk := range writerChunks(data, 4) {
+				wg.Add(1)
+				go func(chunk []uint64) {
+					defer wg.Done()
+					w := s.AcquireWriter()
+					defer w.Close()
+					for i, x := range chunk {
+						w.Insert(x)
+						if i%3 == 0 {
+							w.Delete(x) // buffered with its insertion: ins flush first
+						}
+					}
+				}(chunk)
+			}
+			wg.Wait()
+			if s.Count() != ref.Count() {
+				t.Fatalf("count %d, want %d", s.Count(), ref.Count())
+			}
+			if err := s.Invariants(); err != nil {
+				t.Fatalf("shard invariants: %v", err)
+			}
+			for _, x := range []uint64{1 << 8, 1 << 12, 1 << 15} {
+				if got, want := s.Rank(x), ref.Rank(x); got != want {
+					t.Errorf("Rank(%d) = %d, want %d (linear sketches must agree exactly)", x, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestCashWriterConcurrentReshard: flushes racing online reshards must
+// re-route to the live generation — count conservation is structural.
+// Two reshards (grow then shrink) run mid-stream while 4 handles flush
+// every writerBufLen elements.
+func TestCashWriterConcurrentReshard(t *testing.T) {
+	data := batchTestData(40000)
+	sorted := append([]uint64(nil), data...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, tc := range shardedCashCases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := mustShardedCash(t, 4, tc.fresh)
+			start := make(chan struct{})
+			var wg sync.WaitGroup
+			for _, chunk := range writerChunks(data, 4) {
+				wg.Add(1)
+				go func(chunk []uint64) {
+					defer wg.Done()
+					w := s.AcquireWriter()
+					defer w.Close()
+					<-start
+					for _, x := range chunk {
+						w.Update(x)
+					}
+				}(chunk)
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				if err := s.Reshard(6); err != nil {
+					t.Errorf("Reshard(6): %v", err)
+				}
+				if err := s.Reshard(3); err != nil {
+					t.Errorf("Reshard(3): %v", err)
+				}
+			}()
+			close(start)
+			wg.Wait()
+			if s.Count() != int64(len(data)) {
+				t.Fatalf("count %d, want %d after concurrent reshards", s.Count(), len(data))
+			}
+			if err := s.Invariants(); err != nil {
+				t.Fatalf("shard invariants: %v", err)
+			}
+			tol := int64(2 * tc.eps * float64(len(data)))
+			for _, phi := range EvenPhis(0.2) {
+				rankWithinEps(t, sorted, phi, s.Quantile(phi), tol)
+			}
+		})
+	}
+}
+
+// TestTurnWriterConcurrentReshard is the turnstile version: buffered
+// inserts and deletes flushing across a routing-modulus change must
+// still cancel exactly.
+func TestTurnWriterConcurrentReshard(t *testing.T) {
+	data := batchTestData(30000)
+	s := mustShardedTurn(t, 4, func() Turnstile { return NewDCS(0.05, 16, DyadicConfig{Seed: 7}) })
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	var wantN int64
+	for _, chunk := range writerChunks(data, 4) {
+		n := int64(len(chunk)) - int64((len(chunk)+2)/3)
+		wantN += n
+		wg.Add(1)
+		go func(chunk []uint64) {
+			defer wg.Done()
+			w := s.AcquireWriter()
+			defer w.Close()
+			<-start
+			for i, x := range chunk {
+				w.Insert(x)
+				if i%3 == 0 {
+					w.Delete(x)
+				}
+			}
+		}(chunk)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		if err := s.Reshard(6); err != nil {
+			t.Errorf("Reshard(6): %v", err)
+		}
+		if err := s.Reshard(3); err != nil {
+			t.Errorf("Reshard(3): %v", err)
+		}
+	}()
+	close(start)
+	wg.Wait()
+	if s.Count() != wantN {
+		t.Fatalf("count %d, want %d after concurrent reshards", s.Count(), wantN)
+	}
+	if err := s.Invariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}
+
+// TestWriterCloseFlushes is the leak test: a handle's buffered elements
+// are invisible to queries until Flush, and Close must surface every
+// one of them — dropping a closed handle can never strand data.
+func TestWriterCloseFlushes(t *testing.T) {
+	t.Run("cash", func(t *testing.T) {
+		s := mustShardedCash(t, 4, func() CashRegister { return NewKLL(0.01, 7) })
+		w := s.AcquireWriter()
+		for i := 0; i < 100; i++ { // under writerBufLen: nothing auto-flushes
+			w.Update(uint64(i))
+		}
+		if got := w.Buffered(); got != 100 {
+			t.Fatalf("Buffered() = %d, want 100", got)
+		}
+		if got := s.Count(); got != 0 {
+			t.Fatalf("container count %d before flush, want 0 (buffered elements must be writer-local)", got)
+		}
+		w.Close()
+		if got := w.Buffered(); got != 0 {
+			t.Errorf("Buffered() = %d after Close, want 0", got)
+		}
+		if got := s.Count(); got != 100 {
+			t.Errorf("container count %d after Close, want 100: Close must flush", got)
+		}
+	})
+	t.Run("turnstile", func(t *testing.T) {
+		s := mustShardedTurn(t, 4, func() Turnstile { return NewDCS(0.05, 16, DyadicConfig{Seed: 7}) })
+		w := s.AcquireWriter()
+		for i := 0; i < 80; i++ {
+			w.Insert(uint64(i))
+		}
+		for i := 0; i < 30; i++ {
+			w.Delete(uint64(i))
+		}
+		if got := w.Buffered(); got != 110 {
+			t.Fatalf("Buffered() = %d, want 110", got)
+		}
+		if got := s.Count(); got != 0 {
+			t.Fatalf("container count %d before flush, want 0", got)
+		}
+		w.Close()
+		if got := s.Count(); got != 50 {
+			t.Errorf("container count %d after Close, want 50", got)
+		}
+	})
+}
+
+// TestWriterLargeBatchBypass pins the direct-delivery path: a batch at
+// or above writerBufLen skips the buffer copy but must still respect
+// ordering with any buffered prefix.
+func TestWriterLargeBatchBypass(t *testing.T) {
+	s := mustShardedCash(t, 4, func() CashRegister { return NewKLL(0.01, 7) })
+	w := s.AcquireWriter()
+	w.Update(1) // buffered prefix
+	big := make([]uint64, 5000)
+	for i := range big {
+		big[i] = uint64(i)
+	}
+	w.UpdateBatch(big)
+	w.Close()
+	if got, want := s.Count(), int64(1+len(big)); got != want {
+		t.Fatalf("count %d, want %d", got, want)
+	}
+}
