@@ -2,15 +2,15 @@
 
 GO ?= go
 
-.PHONY: all verify build test race lint lint-strict check crash stress-smoke fuzz bench bench-all bench-baselines bench-ingest bench-query bench-parallel parallel-smoke bench-compare experiments report html clean
+.PHONY: all verify build test race lint lint-strict check crash stress-smoke fuzz bench bench-all bench-baselines bench-ingest bench-query bench-parallel parallel-smoke bench-checkpoint checkpoint-smoke bench-compare experiments report html clean
 
 all: build test lint
 
 # The umbrella gate CI runs: build + vet, the test suite, the race
-# detector, strict quantlint (all 14 rules, waived findings inventoried),
+# detector, strict quantlint (all 15 rules, waived findings inventoried),
 # the sqcheck deep-sanitizer pass, a seeded quantstress soak and the
-# multi-writer scaling-efficiency smoke.
-verify: build test lint-strict race check stress-smoke parallel-smoke
+# multi-writer scaling and checkpoint fan-out efficiency smokes.
+verify: build test lint-strict race check stress-smoke parallel-smoke checkpoint-smoke
 
 build:
 	$(GO) build ./...
@@ -26,7 +26,7 @@ test:
 race:
 	$(GO) test -race -timeout 30m ./...
 
-# Repo-specific static analysis (rules SQ001-SQ014); see cmd/quantlint.
+# Repo-specific static analysis (rules SQ001-SQ015); see cmd/quantlint.
 lint:
 	$(GO) run ./cmd/quantlint ./...
 
@@ -61,9 +61,13 @@ STRESS_OPS ?= 60000
 # stalls for at most one shard's drain, and no single drain may take
 # seconds at smoke scale even on a loaded shared runner.
 STRESS_DRAIN_MAX ?= 2s
+# The checkpoint bound asserts the save path's stop-the-shard promise:
+# a save stalls ingestion for at most one shard's marshal, never the
+# whole container's, so no single per-shard marshal may take seconds.
+STRESS_CKPT_MAX ?= 2s
 stress-smoke:
 	$(GO) build -o /tmp/sq_quantstress ./cmd/quantstress
-	/tmp/sq_quantstress -algo kll -bits 14 -ops $(STRESS_OPS) -dist zipf -reshard 6,3 -retarget-eps 0.02 -ckpt-dir /tmp/sq_stress_ck -ckpt-every 20000 -faults -verify-every 30000 -slo-drain-max $(STRESS_DRAIN_MAX)
+	/tmp/sq_quantstress -algo kll -bits 14 -ops $(STRESS_OPS) -dist zipf -reshard 6,3 -retarget-eps 0.02 -ckpt-dir /tmp/sq_stress_ck -ckpt-every 20000 -faults -verify-every 30000 -slo-drain-max $(STRESS_DRAIN_MAX) -slo-checkpoint-max $(STRESS_CKPT_MAX)
 	/tmp/sq_quantstress -algo mrl99 -bits 14 -ops $(STRESS_OPS) -dist uniform -reshard 6 -verify-every 30000 -slo-drain-max $(STRESS_DRAIN_MAX)
 	/tmp/sq_quantstress -algo dcs -bits 12 -ops $(STRESS_OPS) -dist ooo -reshard 5,2 -verify-every 30000 -slo-drain-max $(STRESS_DRAIN_MAX)
 	rm -rf /tmp/sq_stress_ck
@@ -124,8 +128,31 @@ parallel-smoke:
 	$(GO) run ./cmd/quantbench -parallel -n $(PARALLEL_SMOKE_N) -parallel-out /tmp/sq_parallel_ci.json
 	$(GO) run ./cmd/quantbench -parallel-compare BENCH_parallel.json /tmp/sq_parallel_ci.json
 
+# Durability-path scaling: save (per-shard fan-out marshal + framed
+# write) and recover (pipelined CRC verify + fan-out decode) of a
+# 64-shard container, swept over worker counts P = 1/4/16/64. The
+# committed baseline merges several passes conservatively (fastest
+# sequential rate, slowest fan-out rate) and the compare gates on
+# scaling efficiency — rate(P) / (rate(1) x min(P, GOMAXPROCS)) — the
+# same machine-portable normalization as bench-parallel.
+CHECKPOINT_N ?= 2000000
+CHECKPOINT_RUNS ?= 3
+bench-checkpoint:
+	$(GO) run ./cmd/quantbench -checkpoint -n $(CHECKPOINT_N) -checkpoint-runs $(CHECKPOINT_RUNS) -checkpoint-out BENCH_checkpoint.json
+
+# Checkpoint fan-out smoke (part of `make verify`): one reduced-n
+# save/recover sweep compared against the committed
+# BENCH_checkpoint.json at the default 25% tolerance. On a 1-core
+# container every efficiency measures pure fan-out overhead; on a
+# 4-core runner the baseline's 0.86-class floors at P = 64 demand
+# roughly 3x the sequential save and recover rate.
+CHECKPOINT_SMOKE_N ?= 500000
+checkpoint-smoke:
+	$(GO) run ./cmd/quantbench -checkpoint -n $(CHECKPOINT_SMOKE_N) -checkpoint-out /tmp/sq_checkpoint_ci.json
+	$(GO) run ./cmd/quantbench -checkpoint-compare BENCH_checkpoint.json /tmp/sq_checkpoint_ci.json
+
 # Refresh the committed baselines in one go.
-bench-baselines: bench-ingest bench-query bench-parallel
+bench-baselines: bench-ingest bench-query bench-parallel bench-checkpoint
 
 # Regression gate: re-measure one pass of each path at a reduced n and
 # compare the speedup ratios against the committed baselines under the
@@ -141,6 +168,8 @@ bench-compare:
 	$(GO) run ./cmd/quantbench -query-compare BENCH_query.json /tmp/sq_query_ci.json
 	$(GO) run ./cmd/quantbench -parallel -n $(COMPARE_N) -parallel-out /tmp/sq_parallel_ci.json
 	$(GO) run ./cmd/quantbench -parallel-compare BENCH_parallel.json /tmp/sq_parallel_ci.json
+	$(GO) run ./cmd/quantbench -checkpoint -n $(COMPARE_N) -checkpoint-out /tmp/sq_checkpoint_ci.json
+	$(GO) run ./cmd/quantbench -checkpoint-compare BENCH_checkpoint.json /tmp/sq_checkpoint_ci.json
 
 # Regenerate EXPERIMENTS.md (several minutes at the default n).
 experiments:

@@ -76,3 +76,12 @@ type TurnWriter = sharded.TurnWriter
 // to record ingestion-stall durations (cmd/quantstress does exactly
 // this in its soak report).
 type DrainObserver = sharded.DrainObserver
+
+// CheckpointObserver brackets each live shard's marshal during a
+// checkpoint save — the only window a writer routed to that shard can
+// stall for while the rest of the topology keeps ingesting ("stop the
+// shard, not the world"). Install one with SetCheckpointObserver on a
+// sharded container to record those stall durations; cmd/quantstress
+// feeds them into a latency sketch and gates them with
+// -slo-checkpoint-max.
+type CheckpointObserver = sharded.CheckpointObserver

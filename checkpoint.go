@@ -3,6 +3,7 @@ package streamquantiles
 import (
 	"encoding"
 	"fmt"
+	"time"
 
 	"streamquantiles/internal/checkpoint"
 	"streamquantiles/internal/core"
@@ -82,10 +83,37 @@ func RecoverCheckpoint(dir string, target encoding.BinaryUnmarshaler) (*Recovery
 // RecoverCheckpointFS is RecoverCheckpoint over an explicit filesystem;
 // the crash-recovery tests drive it through internal/faultio shims.
 func RecoverCheckpointFS(fs CheckpointFS, dir string, target encoding.BinaryUnmarshaler) (*RecoveryReport, error) {
-	_, report, err := checkpoint.Recover(fs, dir, func(label string, payload []byte) error {
+	obs, finish := candidateTimer()
+	_, report, err := checkpoint.RecoverObserved(fs, dir, func(label string, payload []byte) error {
 		return decodeValidated(target, payload)
-	})
+	}, obs)
+	finish(report)
 	return report, err
+}
+
+// candidateTimer builds the CandidateObserver that stamps each recovery
+// candidate's decode wall time into the report. The internal checkpoint
+// package never reads the clock (its behavior must stay deterministic
+// under test schedules); timing is injected here, at the public layer,
+// and surfaced through RecoveryReport.Candidates.
+func candidateTimer() (checkpoint.CandidateObserver, func(*RecoveryReport)) {
+	var timings []checkpoint.CandidateTiming
+	obs := func(file string, gen uint64) func() {
+		start := time.Now()
+		timings = append(timings, checkpoint.CandidateTiming{File: file, Generation: gen})
+		i := len(timings) - 1
+		return func() { timings[i].Decode = time.Since(start) }
+	}
+	finish := func(report *RecoveryReport) {
+		if report == nil {
+			return
+		}
+		for i := range timings {
+			timings[i].Loaded = report.Loaded && timings[i].File == report.File
+		}
+		report.Candidates = timings
+	}
+	return obs, finish
 }
 
 // RecoverCheckpointFunc is RecoverCheckpoint for callers that do not
@@ -96,7 +124,8 @@ func RecoverCheckpointFS(fs CheckpointFS, dir string, target encoding.BinaryUnma
 // right summary type from the checkpoint alone.
 func RecoverCheckpointFunc(dir string, build func(label string) (encoding.BinaryUnmarshaler, error)) (encoding.BinaryUnmarshaler, *RecoveryReport, error) {
 	var got encoding.BinaryUnmarshaler
-	_, report, err := checkpoint.Recover(checkpoint.OSFS{}, dir, func(label string, payload []byte) error {
+	obs, finish := candidateTimer()
+	_, report, err := checkpoint.RecoverObserved(checkpoint.OSFS{}, dir, func(label string, payload []byte) error {
 		target, err := build(label)
 		if err != nil {
 			return err
@@ -106,7 +135,8 @@ func RecoverCheckpointFunc(dir string, build func(label string) (encoding.Binary
 		}
 		got = target
 		return nil
-	})
+	}, obs)
+	finish(report)
 	return got, report, err
 }
 

@@ -78,6 +78,12 @@ func main() {
 		parallelCmp  = flag.Bool("parallel-compare", false, "compare two parallel reports: quantbench -parallel-compare old.json new.json")
 		parallelTol  = flag.Float64("parallel-tol", 0.25, "allowed fractional efficiency regression for -parallel-compare")
 
+		ckpt     = flag.Bool("checkpoint", false, "measure sharded save/recover scaling across fan-out worker counts (1/4/16/64)")
+		ckptRuns = flag.Int("checkpoint-runs", 1, "measurement passes for -checkpoint; >1 keeps the conservative merge (baselines)")
+		ckptOut  = flag.String("checkpoint-out", "", "write the -checkpoint JSON report here (default stdout)")
+		ckptCmp  = flag.Bool("checkpoint-compare", false, "compare two checkpoint reports: quantbench -checkpoint-compare old.json new.json")
+		ckptTol  = flag.Float64("checkpoint-tol", 0.25, "allowed fractional efficiency regression for -checkpoint-compare")
+
 		cpus         = flag.Int("cpus", 0, "pin GOMAXPROCS for the run (0 = leave as is); reports record the effective value")
 		mutexProfile = flag.String("mutexprofile", "", "write a mutex-contention profile of the measurement here")
 		blockProfile = flag.String("blockprofile", "", "write a blocking profile of the measurement here")
@@ -114,6 +120,18 @@ func main() {
 			os.Exit(2)
 		}
 		runParallelCompare(flag.Arg(0), flag.Arg(1), *parallelTol)
+		return
+	}
+	if *ckpt {
+		runCheckpoint(*n, *ckptRuns, *ckptOut)
+		return
+	}
+	if *ckptCmp {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "quantbench: -checkpoint-compare needs two report paths: old.json new.json")
+			os.Exit(2)
+		}
+		runCheckpointCompare(flag.Arg(0), flag.Arg(1), *ckptTol)
 		return
 	}
 	if *ingestCmp {

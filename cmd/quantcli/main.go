@@ -31,8 +31,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	sq "streamquantiles"
 )
@@ -100,10 +102,12 @@ func runSave(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		qs        = fs.String("q", "0.01,0.25,0.5,0.75,0.99", "comma-separated quantile fractions")
 		turnstile = fs.Bool("turnstile", false, "treat lines starting with '-' as deletions")
 		report    = fs.Bool("report", false, "also print n and space usage")
+		par       = fs.Int("parallel", 0, "worker bound for the parallel encode/decode fan-out (sets GOMAXPROCS; 0 = leave at GOMAXPROCS)")
 	)
 	if fs.Parse(args) != nil {
 		return 2
 	}
+	setParallel(*par)
 	if *dir == "" {
 		fmt.Fprintln(stderr, "quantcli save: -dir is required")
 		return 2
@@ -133,10 +137,12 @@ func runResume(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		qs        = fs.String("q", "0.01,0.25,0.5,0.75,0.99", "comma-separated quantile fractions")
 		turnstile = fs.Bool("turnstile", false, "treat lines starting with '-' as deletions")
 		report    = fs.Bool("report", false, "also print n and space usage")
+		par       = fs.Int("parallel", 0, "worker bound for the parallel encode/decode fan-out (sets GOMAXPROCS; 0 = leave at GOMAXPROCS)")
 	)
 	if fs.Parse(args) != nil {
 		return 2
 	}
+	setParallel(*par)
 	if *dir == "" {
 		fmt.Fprintln(stderr, "quantcli resume: -dir is required")
 		return 2
@@ -182,12 +188,25 @@ func runLoad(args []string, stdout, stderr io.Writer) int {
 	return printResults(stdout, stderr, s, label, 0, *qs, *report)
 }
 
+// setParallel pins GOMAXPROCS when -parallel is set: the checkpoint
+// layer's fan-out encode/decode pools and the pipelined recovery are
+// GOMAXPROCS-bounded, so this is the one knob that widens (or, set to
+// 1, serializes) every parallel path at once.
+func setParallel(workers int) {
+	if workers > 0 {
+		runtime.GOMAXPROCS(workers)
+	}
+}
+
 // recoverFrom loads the newest valid checkpoint in dir, rebuilding the
 // summary named by the stored label. The construction parameters are
 // placeholders: every codec replaces the full state, ε and seeds
-// included. Skipped generations are reported on stderr.
+// included. Skipped generations are reported on stderr, as is the
+// recovery wall time with the per-candidate decode timing the report
+// carries.
 func recoverFrom(dir string, stderr io.Writer) (sq.CashRegister, sq.Turnstile, string, int) {
 	var gotLabel string
+	start := time.Now()
 	target, report, err := sq.RecoverCheckpointFunc(dir, func(label string) (encoding.BinaryUnmarshaler, error) {
 		cash, turn, err := build(label, 0.01, 32, 1)
 		if err != nil {
@@ -203,9 +222,18 @@ func recoverFrom(dir string, stderr io.Writer) (sq.CashRegister, sq.Turnstile, s
 		}
 		return m, nil
 	})
+	elapsed := time.Since(start)
 	if report != nil {
 		for _, skip := range report.Skipped {
 			fmt.Fprintf(stderr, "quantcli: skipped checkpoint %s: %s\n", skip.File, skip.Reason)
+		}
+		for _, cand := range report.Candidates {
+			status := "rejected"
+			if cand.Loaded {
+				status = "loaded"
+			}
+			fmt.Fprintf(stderr, "quantcli: candidate %s (generation %d): decode %v, %s\n",
+				cand.File, cand.Generation, cand.Decode, status)
 		}
 	}
 	if err != nil {
@@ -216,6 +244,7 @@ func recoverFrom(dir string, stderr io.Writer) (sq.CashRegister, sq.Turnstile, s
 		}
 		return nil, nil, "", 1
 	}
+	fmt.Fprintf(stderr, "quantcli: recovered generation %d in %v\n", report.Generation, elapsed)
 	switch s := target.(type) {
 	case sq.Turnstile:
 		return nil, s, gotLabel, 0
@@ -241,14 +270,25 @@ func ingestCheckpointed(stdin io.Reader, stdout, stderr io.Writer, cash sq.CashR
 	}
 	var s sq.Summary
 	var save func() error
+	var saves int
+	var saveWall time.Duration
+	timed := func(do func() (uint64, error)) error {
+		start := time.Now()
+		_, err := do()
+		if err == nil {
+			saves++
+			saveWall += time.Since(start)
+		}
+		return err
+	}
 	if turn != nil {
 		w := sq.NewSafeTurnstile(turn)
 		turn, s = w, w
-		save = func() error { _, err := w.Checkpoint(ck, label); return err }
+		save = func() error { return timed(func() (uint64, error) { return w.Checkpoint(ck, label) }) }
 	} else {
 		w := sq.NewSafeCashRegister(cash)
 		cash, s = w, w
-		save = func() error { _, err := w.Checkpoint(ck, label); return err }
+		save = func() error { return timed(func() (uint64, error) { return w.Checkpoint(ck, label) }) }
 	}
 	if err := processEvery(stdin, cash, turn, turnstile, every, save); err != nil {
 		fmt.Fprintf(stderr, "quantcli: %v\n", err)
@@ -259,6 +299,10 @@ func ingestCheckpointed(stdin io.Reader, stdout, stderr io.Writer, cash sq.CashR
 			fmt.Fprintf(stderr, "quantcli: final checkpoint: %v\n", err)
 			return 1
 		}
+	}
+	if saves > 0 {
+		fmt.Fprintf(stderr, "quantcli: %d checkpoint save(s) in %v total (%v avg)\n",
+			saves, saveWall, saveWall/time.Duration(saves))
 	}
 	return printResults(stdout, stderr, s, label, eps, qs, report)
 }

@@ -92,22 +92,23 @@ func TestEachRuleFiresExactlyOnce(t *testing.T) {
 		m[f.Rule] = true
 	}
 	want := map[string]string{
-		"internal/sq001":   "SQ001",
-		"internal/sq002":   "SQ002",
-		"internal/sq003":   "SQ003",
-		"internal/sq004":   "SQ004",
-		"internal/sq006":   "SQ006",
-		"internal/sq007":   "SQ007",
-		"internal/sq008":   "SQ008",
-		"internal/sq009":   "SQ009", // the pool-pairing half
-		"internal/sq010":   "SQ010",
-		"internal/sq011":   "SQ011",
-		"internal/sq012":   "SQ012",
-		"internal/sq013":   "SQ013", // anchored at the target's MarshalBinary
-		"internal/gk":      "SQ009", // the columnar-layout half fires at a columnar path
-		"internal/sharded": "SQ014", // the placement rule fires at its scoped path
-		"internal/ignored": "SQ000", // the malformed directive
-		"quantiles.go":     "SQ005",
+		"internal/sq001":      "SQ001",
+		"internal/sq002":      "SQ002",
+		"internal/sq003":      "SQ003",
+		"internal/sq004":      "SQ004",
+		"internal/sq006":      "SQ006",
+		"internal/sq007":      "SQ007",
+		"internal/sq008":      "SQ008",
+		"internal/sq009":      "SQ009", // the pool-pairing half
+		"internal/sq010":      "SQ010",
+		"internal/sq011":      "SQ011",
+		"internal/sq012":      "SQ012",
+		"internal/sq013":      "SQ013", // anchored at the target's MarshalBinary
+		"internal/gk":         "SQ009", // the columnar-layout half fires at a columnar path
+		"internal/sharded":    "SQ014", // the placement rule fires at its scoped path
+		"internal/checkpoint": "SQ015", // the fan-out rule fires at its scoped path
+		"internal/ignored":    "SQ000", // the malformed directive
+		"quantiles.go":        "SQ005",
 	}
 	for prefix, rule := range want {
 		m := rulesByPrefix[prefix]
@@ -176,12 +177,12 @@ func TestRepoIsLintClean(t *testing.T) {
 	}
 }
 
-// TestRuleTable pins the catalog `-rules` prints: ids are SQ001..SQ014
+// TestRuleTable pins the catalog `-rules` prints: ids are SQ001..SQ015
 // in order, each with a one-line doc, and knownRule accepts exactly
 // them plus the SQ000 pseudo-rule.
 func TestRuleTable(t *testing.T) {
-	if len(ruleTable) != 14 {
-		t.Fatalf("want 14 registered rules, got %d", len(ruleTable))
+	if len(ruleTable) != 15 {
+		t.Fatalf("want 15 registered rules, got %d", len(ruleTable))
 	}
 	for i, r := range ruleTable {
 		wantID := fmt.Sprintf("SQ%03d", i+1)
@@ -198,7 +199,7 @@ func TestRuleTable(t *testing.T) {
 	if !knownRule("SQ000") {
 		t.Error("knownRule(SQ000) = false: the directive pseudo-rule must be addressable")
 	}
-	if knownRule("SQ015") || knownRule("nonsense") {
+	if knownRule("SQ016") || knownRule("nonsense") {
 		t.Error("knownRule accepts ids that do not exist")
 	}
 }

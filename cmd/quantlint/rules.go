@@ -37,6 +37,7 @@ var ruleTable = []ruleInfo{
 	{"SQ012", "eps-budget propagation: a Merge implementation must derive the result eps via max/documented additive helpers, never copy one operand's eps or a fresh literal", (*linter).checkSQ012},
 	{"SQ013", "codec parity: every registered summary with MarshalBinary has UnmarshalBinary, a golden fixture under testdata/golden/, and a fuzz/crash-matrix seed", (*linter).checkSQ013},
 	{"SQ014", "memory placement: structs holding mutexes or atomics stored by value in a slice in internal/sharded must carry a cache-line pad, and no package-level atomics on the write path", (*linter).checkSQ014},
+	{"SQ015", "fan-out discipline: goroutine spawns in internal/sharded and internal/checkpoint bound loop fan-out by runtime.GOMAXPROCS, join every spawn on all paths out (a deferred Wait counts), and never discard a worker's error", (*linter).checkSQ015},
 }
 
 // ruleIDs reports whether id names a registered rule (or the engine's

@@ -1,0 +1,229 @@
+// SQ015 — fan-out discipline in the parallel checkpoint paths.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// sq015Pkgs are the packages that spawn goroutines on the save/recover
+// path (DESIGN.md "Checkpoint parallelism"): the sharded codec's worker
+// pool and the recovery prefetch pipeline. A fan-out there runs while a
+// caller holds topology locks and while shard locks are taken and
+// released per worker, so the discipline is strict — see fanout
+// (internal/sharded/parallel.go) for the reference shape.
+var sq015Pkgs = []string{"internal/sharded", "internal/checkpoint"}
+
+// checkSQ015 audits every goroutine spawn in the scoped packages for
+// three shapes:
+//
+//   - a `go` inside a for/range loop in a function that never consults
+//     runtime.GOMAXPROCS: the spawn count then tracks the input (shard
+//     count, candidate count) instead of the machine, and a 64-shard
+//     save on a 1-core box would thrash 64 goroutines through one core;
+//   - a spawn with no join on some path out of the function: every
+//     `go` needs a WaitGroup Wait that post-dominates it, or a deferred
+//     Wait — an unjoined worker can outlive the topology lock its
+//     caller holds and touch freed shard state (a deferred Wait
+//     anywhere in the function counts, matching RecoverObserved);
+//   - `_ = f(...)` inside the spawned closure: a worker's error must
+//     land in a per-index slot (or a channel) and the first failure
+//     propagate after the join, never be dropped on the floor.
+//
+// Like SQ006, the checks are syntactic evidence of attention — the
+// crash matrix and the race-mode property tests prove the behaviour.
+func (l *linter) checkSQ015() {
+	for _, p := range l.pkgs {
+		if !exempt(p.rel, sq015Pkgs) {
+			continue
+		}
+		for _, f := range p.files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				l.sq015Body(fd.Name.Name, fd.Body, false)
+			}
+		}
+	}
+}
+
+// sq015Body audits one function-like body: the spawn sites at this
+// nesting level, then each closure body as its own level (a closure
+// runs under its own control flow, so its spawns are judged against its
+// own joins). spawned marks a body that is itself the function of a
+// `go` statement — the level where a discarded error check applies.
+func (l *linter) sq015Body(fnName string, body *ast.BlockStmt, spawned bool) {
+	var gos []*ast.GoStmt
+	var loops []posRange
+	var lits []*ast.FuncLit
+	spawnedLits := map[*ast.FuncLit]bool{}
+	deferredWait := false
+	gomax := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			lits = append(lits, s)
+			return false
+		case *ast.GoStmt:
+			gos = append(gos, s)
+			if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+				spawnedLits[fl] = true
+			}
+		case *ast.ForStmt:
+			loops = append(loops, posRange{s.Body.Pos(), s.Body.End()})
+		case *ast.RangeStmt:
+			loops = append(loops, posRange{s.Body.Pos(), s.Body.End()})
+		case *ast.DeferStmt:
+			if sq015IsWait(s.Call) {
+				deferredWait = true
+			}
+		case *ast.SelectorExpr:
+			if id, ok := s.X.(*ast.Ident); ok && id.Name == "runtime" && s.Sel.Name == "GOMAXPROCS" {
+				gomax = true
+			}
+		case *ast.AssignStmt:
+			if spawned && sq015BlankCall(s) {
+				l.report(s.Pos(), "SQ015", fmt.Sprintf(
+					"goroutine body in %s discards an error with `_ =`: record it in a per-worker slot and propagate the first failure after the join (see fanout)", fnName))
+			}
+		}
+		return true
+	})
+	var cfg *funcCFG
+	for _, g := range gos {
+		if sq015InLoop(loops, g.Pos()) && !gomax {
+			l.report(g.Pos(), "SQ015", fmt.Sprintf(
+				"goroutine spawned in a loop in %s with no runtime.GOMAXPROCS bound in the function: fan-out width must track the machine's cores, not the input's size (see fanout)", fnName))
+		}
+		if deferredWait {
+			continue // a deferred Wait joins every exit, success or panic
+		}
+		if cfg == nil {
+			cfg = buildCFG(body)
+		}
+		if cfg.broken {
+			continue
+		}
+		if !sq015Joined(cfg, g) {
+			l.report(g.Pos(), "SQ015", fmt.Sprintf(
+				"goroutine spawned in %s is not joined on every path out of the function: make a WaitGroup Wait post-dominate the spawn, or defer it — an unjoined worker outlives the locks its caller holds", fnName))
+		}
+	}
+	for _, fl := range lits {
+		l.sq015Body(fnName, fl.Body, spawnedLits[fl])
+	}
+}
+
+// posRange is a lexical extent; contains is inclusive of the braces.
+type posRange struct{ lo, hi token.Pos }
+
+func (r posRange) contains(p token.Pos) bool { return r.lo <= p && p <= r.hi }
+
+func sq015InLoop(loops []posRange, p token.Pos) bool {
+	for _, r := range loops {
+		if r.contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// sq015IsWait recognizes a WaitGroup-style join: any `x.Wait()` call.
+func sq015IsWait(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Wait"
+}
+
+// sq015BlankCall reports an assignment that throws a call's results
+// away entirely: every left-hand side blank, right-hand side a call.
+func sq015BlankCall(s *ast.AssignStmt) bool {
+	if s.Tok != token.ASSIGN || len(s.Rhs) != 1 {
+		return false
+	}
+	if _, ok := s.Rhs[0].(*ast.CallExpr); !ok {
+		return false
+	}
+	for _, lhs := range s.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+// sq015Joined walks the CFG from just past the spawn: every path to a
+// function exit must pass a `.Wait()` call first. Back-edges count as
+// joined — a loop's exit path is audited on its own.
+func sq015Joined(cfg *funcCFG, g *ast.GoStmt) bool {
+	for _, b := range cfg.blocks {
+		for i, n := range b.nodes {
+			if n == ast.Node(g) {
+				j := &sq015join{memo: map[*cfgBlock]bool{}}
+				return j.from(b, i+1)
+			}
+		}
+	}
+	// The spawn was swallowed by an opaque construct (a select arm,
+	// say): fall back to requiring any Wait in the body at all.
+	for _, b := range cfg.blocks {
+		for _, n := range b.nodes {
+			if sq015NodeWaits(n) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+type sq015join struct {
+	memo map[*cfgBlock]bool
+}
+
+func (j *sq015join) from(b *cfgBlock, start int) bool {
+	for i := start; i < len(b.nodes); i++ {
+		if sq015NodeWaits(b.nodes[i]) {
+			return true
+		}
+	}
+	if b.terminal || len(b.succs) == 0 {
+		return false // a function exit reached without a join
+	}
+	for _, s := range b.succs {
+		if !j.block(s) {
+			return false
+		}
+	}
+	return true
+}
+
+func (j *sq015join) block(b *cfgBlock) bool {
+	if v, ok := j.memo[b]; ok {
+		return v
+	}
+	j.memo[b] = true // optimistic on back-edges; the exit path decides
+	v := j.from(b, 0)
+	j.memo[b] = v
+	return v
+}
+
+// sq015NodeWaits reports whether a CFG node contains a `.Wait()` call
+// outside any nested closure.
+func sq015NodeWaits(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if sq015IsWait(m) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

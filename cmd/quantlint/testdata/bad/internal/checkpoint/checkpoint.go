@@ -1,0 +1,43 @@
+// Package checkpoint trips all three shapes of SQ015: FanOut spawns
+// one goroutine per input part with no runtime.GOMAXPROCS bound in
+// sight, and Scatter both returns before its WaitGroup's Wait on one
+// path and throws its worker's error away inside the closure. The
+// joins that do exist keep the other findings from multiplying.
+package checkpoint
+
+import "sync"
+
+// FanOut spawns per part, not per core: flagged (the join is fine).
+func FanOut(parts []int) {
+	var wg sync.WaitGroup
+	for range parts {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// Scatter leaks its worker on the empty-input path and drops the
+// worker's error: two findings.
+func Scatter(xs []int) error {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = work(xs)
+	}()
+	if len(xs) == 0 {
+		return nil
+	}
+	wg.Wait()
+	return nil
+}
+
+func work(xs []int) error {
+	if len(xs) > 1024 {
+		return nil
+	}
+	return nil
+}

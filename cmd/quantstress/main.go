@@ -74,6 +74,7 @@ type config struct {
 	sloIngest   time.Duration
 	sloQuery    time.Duration
 	sloDrain    time.Duration
+	sloCkpt     time.Duration
 	verbose     bool
 }
 
@@ -112,6 +113,7 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.DurationVar(&cfg.sloIngest, "slo-ingest-p99", 0, "fail if p99 batch-ingest latency exceeds this (0 = report only)")
 	fs.DurationVar(&cfg.sloQuery, "slo-query-p99", 0, "fail if p99 query latency exceeds this (0 = report only)")
 	fs.DurationVar(&cfg.sloDrain, "slo-drain-max", 0, "fail if any single shard drain during a reshard/retarget exceeds this (0 = report only)")
+	fs.DurationVar(&cfg.sloCkpt, "slo-checkpoint-max", 0, "fail if any single shard marshal during a checkpoint save exceeds this (0 = report only)")
 	fs.BoolVar(&cfg.verbose, "v", false, "log every elastic and checkpoint event")
 	if err := fs.Parse(args); err != nil {
 		return nil, err

@@ -75,7 +75,13 @@ type harness struct {
 	// writer blocked on a retiring shard stalls for at most one of
 	// these, so the max is the ingestion-stall bound the soak asserts.
 	drainLat *latSketch
-	queries  atomic.Int64
+	// ckptLat records every per-shard marshal duration during a
+	// checkpoint save, via the container's CheckpointObserver hook — a
+	// writer routed to a shard being marshalled stalls for at most one
+	// of these ("stop the shard, not the world"), so the max is the
+	// checkpoint-stall bound the soak asserts with -slo-checkpoint-max.
+	ckptLat *latSketch
+	queries atomic.Int64
 
 	mu         sync.Mutex
 	violations []string // guarded by mu
@@ -647,6 +653,7 @@ func run(cfg *config, stdout, stderr io.Writer) int {
 		ingestLat: newLatSketch(cfg.seed ^ 0xa5),
 		queryLat:  newLatSketch(cfg.seed ^ 0x5a),
 		drainLat:  newLatSketch(cfg.seed ^ 0xd7),
+		ckptLat:   newLatSketch(cfg.seed ^ 0xc4),
 	}
 	// Ingestion-stall telemetry: the containers bracket every per-shard
 	// drain of an elastic operation through this hook (they never time
@@ -656,10 +663,19 @@ func run(cfg *config, stdout, stderr io.Writer) int {
 		t0 := time.Now()
 		return func() { h.drainLat.observe(time.Since(t0)) }
 	})
+	// Checkpoint-stall telemetry: the fan-out marshal brackets each live
+	// shard's encode (the only window a writer on that shard can stall
+	// for) through the same observer shape.
+	cobs := sq.CheckpointObserver(func(int) func() {
+		t0 := time.Now()
+		return func() { h.ckptLat.observe(time.Since(t0)) }
+	})
 	if cash != nil {
 		cash.SetDrainObserver(obs)
+		cash.SetCheckpointObserver(cobs)
 	} else {
 		turn.SetDrainObserver(obs)
+		turn.SetCheckpointObserver(cobs)
 	}
 	per := int(cfg.ops) / cfg.writers
 	rem := int(cfg.ops) % cfg.writers
@@ -742,9 +758,11 @@ func (h *harness) report(stderr io.Writer) int {
 	in, ip50, ip99, imax := h.ingestLat.report()
 	qn, qp50, qp99, qmax := h.queryLat.report()
 	dn, dp50, dp99, dmax := h.drainLat.report()
+	cn, cp50, cp99, cmax := h.ckptLat.report()
 	h.sayf("ingest batches=%d p50=%v p99=%v max=%v", in, ip50, ip99, imax)
 	h.sayf("queries n=%d p50=%v p99=%v max=%v", qn, qp50, qp99, qmax)
 	h.sayf("shard drains n=%d p50=%v p99=%v max=%v (per-shard ingestion stall during reshard/retarget)", dn, dp50, dp99, dmax)
+	h.sayf("shard marshals n=%d p50=%v p99=%v max=%v (per-shard ingestion stall during checkpoint save)", cn, cp50, cp99, cmax)
 	if h.cfg.sloIngest > 0 && ip99 > h.cfg.sloIngest {
 		h.fail("SLO: ingest p99 %v exceeds %v", ip99, h.cfg.sloIngest)
 	}
@@ -753,6 +771,9 @@ func (h *harness) report(stderr io.Writer) int {
 	}
 	if h.cfg.sloDrain > 0 && dmax > h.cfg.sloDrain {
 		h.fail("SLO: max per-shard drain %v exceeds %v — ingestion stalled longer than the elastic protocol promises", dmax, h.cfg.sloDrain)
+	}
+	if h.cfg.sloCkpt > 0 && cmax > h.cfg.sloCkpt {
+		h.fail("SLO: max per-shard checkpoint marshal %v exceeds %v — a save stalled a writer longer than stop-the-shard promises", cmax, h.cfg.sloCkpt)
 	}
 	h.mu.Lock()
 	violations := h.violations

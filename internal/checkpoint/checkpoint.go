@@ -27,7 +27,6 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	"streamquantiles/internal/core"
@@ -83,10 +82,11 @@ func parseFileName(name string) (gen uint64, ok bool) {
 	return gen, true
 }
 
-// framePool recycles frame buffers across Save calls: periodic
-// checkpointing under the Safe wrappers would otherwise allocate a
-// payload-plus-header slice every generation.
-var framePool = sync.Pool{New: func() any { return new([]byte) }}
+// Frame buffers are recycled through core.EncodeBufPool across Save
+// calls: periodic checkpointing under the Safe wrappers would otherwise
+// allocate a payload-plus-header slice every generation. The sharded
+// codec draws its per-shard marshal scratch from the same pool, so one
+// warm set of buffers serves the whole save path.
 
 // appendFrame builds the on-disk frame around payload into dst[:0]
 // (growing it as needed) and returns the frame.
@@ -248,9 +248,9 @@ func (c *Checkpointer) NextGeneration() uint64 { return c.next }
 // header, readable before the payload is decoded — callers use it to
 // record which algorithm produced the payload.
 func (c *Checkpointer) Save(label string, payload []byte) (uint64, error) {
-	bufp := framePool.Get().(*[]byte)
+	bufp := core.EncodeBufPool.Get().(*[]byte)
 	defer func() {
-		framePool.Put(bufp)
+		core.EncodeBufPool.Put(bufp)
 	}()
 	frame, err := appendFrame(*bufp, c.next, label, payload)
 	if err != nil {

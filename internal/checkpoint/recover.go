@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"path/filepath"
 	"sort"
+	"sync"
+	"time"
 )
 
 // ErrNoCheckpoint is returned by Recover when the directory holds no
@@ -38,7 +40,32 @@ type RecoveryReport struct {
 	// Skipped lists rejected generations, newest first — the order
 	// they were tried in.
 	Skipped []Skipped
+	// Candidates carries per-candidate decode timing when the caller
+	// supplied a CandidateObserver that measures it (this package never
+	// reads the clock itself — the SQ001 contract); nil otherwise.
+	Candidates []CandidateTiming
 }
+
+// CandidateTiming is one candidate's decode cost as measured by the
+// caller's observer; see RecoverObserved.
+type CandidateTiming struct {
+	// File and Generation identify the candidate.
+	File       string
+	Generation uint64
+	// Decode is the wall time the caller measured around the Validator
+	// call (frame read and CRC verification are pipelined ahead of it).
+	Decode time.Duration
+	// Loaded reports whether this candidate became the recovery target.
+	Loaded bool
+}
+
+// A CandidateObserver brackets each candidate validation during
+// Recover: obs(file, gen) runs just before the Validator is invoked on
+// that candidate's payload and the returned done just after it
+// returns. Callers that want per-candidate decode timing in the report
+// measure inside the observer and fill RecoveryReport.Candidates —
+// timing stays caller-injected so this package never reads the clock.
+type CandidateObserver func(file string, gen uint64) (done func())
 
 // String renders the report for logs.
 func (r *RecoveryReport) String() string {
@@ -66,6 +93,19 @@ type Validator func(label string, payload []byte) error
 // report with their reasons; an error is returned only when no
 // generation survives (ErrNoCheckpoint wrapped with context).
 func Recover(fs FS, dir string, validate Validator) ([]byte, *RecoveryReport, error) {
+	return RecoverObserved(fs, dir, validate, nil)
+}
+
+// RecoverObserved is Recover with a per-candidate observer bracketing
+// each Validator call (nil behaves exactly like Recover).
+//
+// Recovery is pipelined: a single prefetch goroutine reads the next
+// candidate's frame and verifies both CRC32C codes while the calling
+// goroutine runs the Validator — typically the expensive payload decode
+// — on the current one, so I/O + checksumming overlap decoding instead
+// of serializing with it. The prefetch goroutine is always joined
+// before return, on success and error paths alike.
+func RecoverObserved(fs FS, dir string, validate Validator, obs CandidateObserver) ([]byte, *RecoveryReport, error) {
 	report := &RecoveryReport{}
 	names, err := fs.ReadDir(dir)
 	if err != nil {
@@ -83,10 +123,48 @@ func Recover(fs FS, dir string, validate Validator) ([]byte, *RecoveryReport, er
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].gen > cands[j].gen })
 
-	for _, cand := range cands {
-		payload, label, err := readGen(fs, filepath.Join(dir, cand.name), cand.gen)
+	// The prefetch stage: frames arrive read and CRC-verified over a
+	// one-deep channel, newest first. On every path out the deferred
+	// pair runs close(stop) first (defers are LIFO), unblocking a
+	// prefetch parked mid-send, then wg.Wait joins the goroutine — no
+	// leak on success, rejection-exhaustion or panic.
+	type fetched struct {
+		idx     int
+		payload []byte
+		label   string
+		err     error
+	}
+	frames := make(chan fetched, 1)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	defer close(stop)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(frames)
+		for i, cand := range cands {
+			payload, label, err := readGen(fs, filepath.Join(dir, cand.name), cand.gen)
+			select {
+			case frames <- fetched{i, payload, label, err}:
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	for f := range frames {
+		cand := cands[f.idx]
+		err := f.err
 		if err == nil && validate != nil {
-			err = validate(label, payload)
+			done := func() {}
+			if obs != nil {
+				if d := obs(cand.name, cand.gen); d != nil {
+					done = d
+				}
+			}
+			err = validate(f.label, f.payload)
+			done()
 		}
 		if err != nil {
 			report.Skipped = append(report.Skipped, Skipped{
@@ -97,8 +175,8 @@ func Recover(fs FS, dir string, validate Validator) ([]byte, *RecoveryReport, er
 		report.Loaded = true
 		report.Generation = cand.gen
 		report.File = cand.name
-		report.Label = label
-		return payload, report, nil
+		report.Label = f.label
+		return f.payload, report, nil
 	}
 	return nil, report, fmt.Errorf("%w in %s (%d file(s) rejected)", ErrNoCheckpoint, dir, len(report.Skipped))
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // ErrCorrupt is the shared sentinel wrapped by every decoding failure in
@@ -27,6 +28,29 @@ func Corruptf(format string, args ...any) error {
 type Encoder struct {
 	buf []byte
 }
+
+// EncoderFrom returns an Encoder that appends onto dst, so a caller
+// holding a pooled buffer (see EncodeBufPool) can marshal without a
+// fresh allocation. The bytes produced are identical to a zero-value
+// Encoder's — only the backing storage differs.
+func EncoderFrom(dst []byte) Encoder { return Encoder{buf: dst} }
+
+// AppendMarshaler is the append-flavored marshal contract the summary
+// codecs implement alongside encoding.BinaryMarshaler: AppendBinary
+// appends the same bytes MarshalBinary would return onto dst and
+// returns the extended slice. It lets the checkpoint path reuse pooled
+// buffers instead of allocating a payload per generation.
+type AppendMarshaler interface {
+	AppendBinary(dst []byte) ([]byte, error)
+}
+
+// EncodeBufPool recycles encode scratch buffers (as *[]byte) across
+// marshal and frame-building calls: the checkpoint layer's frames and
+// the sharded codec's per-shard payloads both draw from it, so
+// steady-state checkpointing of an unchanged topology is
+// allocation-flat. Every Get must pair with a Put in the same function
+// (the SQ009 contract).
+var EncodeBufPool = sync.Pool{New: func() any { return new([]byte) }}
 
 // U64 appends an unsigned varint.
 func (e *Encoder) U64(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
@@ -73,6 +97,17 @@ func (e *Encoder) Blob(b []byte) {
 
 // Bytes returns the accumulated encoding.
 func (e *Encoder) Bytes() []byte { return e.buf }
+
+// UvarintLen returns the encoded size of v as an unsigned varint, so
+// frame assemblers can preallocate exactly.
+func UvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
 
 // Decoder reads an Encoder's output. Errors are sticky: after the first
 // failure every read returns a zero value, and Err reports the cause —

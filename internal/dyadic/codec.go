@@ -16,8 +16,12 @@ import (
 const dyadicCodecVersion = 1
 
 // MarshalBinary implements encoding.BinaryMarshaler.
-func (s *Sketch) MarshalBinary() ([]byte, error) {
-	var e core.Encoder
+func (s *Sketch) MarshalBinary() ([]byte, error) { return s.AppendBinary(nil) }
+
+// AppendBinary implements core.AppendMarshaler: the same bytes as
+// MarshalBinary, appended onto dst so pooled buffers can be reused.
+func (s *Sketch) AppendBinary(dst []byte) ([]byte, error) {
+	e := core.EncoderFrom(dst)
 	e.U64(dyadicCodecVersion)
 	e.U64(uint64(s.kind))
 	e.U64(uint64(s.bits))

@@ -19,8 +19,8 @@ const (
 	codecVersion     = 1
 )
 
-func marshalCommon(kind byte, w, d int, seed uint64, rows [][]int64) []byte {
-	var e core.Encoder
+func marshalCommon(dst []byte, kind byte, w, d int, seed uint64, rows [][]int64) []byte {
+	e := core.EncoderFrom(dst)
 	e.U64(codecVersion)
 	e.U64(uint64(kind))
 	e.U64(uint64(w))
@@ -68,8 +68,12 @@ func checkRows(rows [][]int64, want int) error {
 }
 
 // MarshalBinary implements encoding.BinaryMarshaler.
-func (cm *CountMin) MarshalBinary() ([]byte, error) {
-	return marshalCommon(codecCountMin, cm.w, cm.d, cm.seed, cm.rows), nil
+func (cm *CountMin) MarshalBinary() ([]byte, error) { return cm.AppendBinary(nil) }
+
+// AppendBinary implements core.AppendMarshaler: the same bytes as
+// MarshalBinary, appended onto dst so pooled buffers can be reused.
+func (cm *CountMin) AppendBinary(dst []byte) ([]byte, error) {
+	return marshalCommon(dst, codecCountMin, cm.w, cm.d, cm.seed, cm.rows), nil
 }
 
 // UnmarshalBinary implements encoding.BinaryUnmarshaler, replacing the
@@ -105,8 +109,11 @@ func (cm *CountMin) Merge(other *CountMin) error {
 }
 
 // MarshalBinary implements encoding.BinaryMarshaler.
-func (cs *CountSketch) MarshalBinary() ([]byte, error) {
-	return marshalCommon(codecCountSketch, cs.w, cs.d, cs.seed, cs.rows), nil
+func (cs *CountSketch) MarshalBinary() ([]byte, error) { return cs.AppendBinary(nil) }
+
+// AppendBinary implements core.AppendMarshaler.
+func (cs *CountSketch) AppendBinary(dst []byte) ([]byte, error) {
+	return marshalCommon(dst, codecCountSketch, cs.w, cs.d, cs.seed, cs.rows), nil
 }
 
 // UnmarshalBinary implements encoding.BinaryUnmarshaler.
@@ -139,8 +146,11 @@ func (cs *CountSketch) Merge(other *CountSketch) error {
 }
 
 // MarshalBinary implements encoding.BinaryMarshaler.
-func (r *RSS) MarshalBinary() ([]byte, error) {
-	return marshalCommon(codecRSS, r.w, r.d, r.seed, r.rows), nil
+func (r *RSS) MarshalBinary() ([]byte, error) { return r.AppendBinary(nil) }
+
+// AppendBinary implements core.AppendMarshaler.
+func (r *RSS) AppendBinary(dst []byte) ([]byte, error) {
+	return marshalCommon(dst, codecRSS, r.w, r.d, r.seed, r.rows), nil
 }
 
 // UnmarshalBinary implements encoding.BinaryUnmarshaler.

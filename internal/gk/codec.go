@@ -15,8 +15,8 @@ const (
 	codecKindArray  = 0x13
 )
 
-func marshalTuples(kind byte, eps float64, n int64, seq tupleSeq, extra func(e *core.Encoder)) []byte {
-	var e core.Encoder
+func marshalTuples(dst []byte, kind byte, eps float64, n int64, seq tupleSeq, extra func(e *core.Encoder)) []byte {
+	e := core.EncoderFrom(dst)
 	e.U64(codecVersion)
 	e.U64(uint64(kind))
 	e.F64(eps)
@@ -79,8 +79,12 @@ func unmarshalTuples(kind byte, data []byte) (eps float64, n int64, cols tcols, 
 }
 
 // MarshalBinary implements encoding.BinaryMarshaler.
-func (a *Adaptive) MarshalBinary() ([]byte, error) {
-	return marshalTuples(codecKindAdapt, a.eps, a.n, a.seq, nil), nil
+func (a *Adaptive) MarshalBinary() ([]byte, error) { return a.AppendBinary(nil) }
+
+// AppendBinary implements core.AppendMarshaler: the same bytes as
+// MarshalBinary, appended onto dst so pooled buffers can be reused.
+func (a *Adaptive) AppendBinary(dst []byte) ([]byte, error) {
+	return marshalTuples(dst, codecKindAdapt, a.eps, a.n, a.seq, nil), nil
 }
 
 // UnmarshalBinary implements encoding.BinaryUnmarshaler; the skip list
@@ -108,8 +112,11 @@ func (a *Adaptive) UnmarshalBinary(data []byte) error {
 }
 
 // MarshalBinary implements encoding.BinaryMarshaler.
-func (t *Theory) MarshalBinary() ([]byte, error) {
-	return marshalTuples(codecKindTheory, t.eps, t.n, t.seq, func(e *core.Encoder) {
+func (t *Theory) MarshalBinary() ([]byte, error) { return t.AppendBinary(nil) }
+
+// AppendBinary implements core.AppendMarshaler.
+func (t *Theory) AppendBinary(dst []byte) ([]byte, error) {
+	return marshalTuples(dst, codecKindTheory, t.eps, t.n, t.seq, func(e *core.Encoder) {
 		e.I64(int64(t.sinceCmp))
 	}), nil
 }
@@ -140,8 +147,11 @@ func (t *Theory) UnmarshalBinary(data []byte) error {
 // MarshalBinary implements encoding.BinaryMarshaler. Pending buffered
 // elements are included, so marshalling does not disturb the batch
 // schedule.
-func (a *Array) MarshalBinary() ([]byte, error) {
-	return marshalTuples(codecKindArray, a.eps, a.n, a.seq, func(e *core.Encoder) {
+func (a *Array) MarshalBinary() ([]byte, error) { return a.AppendBinary(nil) }
+
+// AppendBinary implements core.AppendMarshaler.
+func (a *Array) AppendBinary(dst []byte) ([]byte, error) {
+	return marshalTuples(dst, codecKindArray, a.eps, a.n, a.seq, func(e *core.Encoder) {
 		e.U64s(a.buf)
 		e.U64(uint64(cap(a.buf)))
 	}), nil

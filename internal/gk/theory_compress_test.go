@@ -13,7 +13,7 @@ import (
 // the codec (the only supported way to inject state).
 func buildTheory(t *testing.T, eps float64, n int64, tuples []tuple) *Theory {
 	t.Helper()
-	blob := marshalTuples(codecKindTheory, eps, n, func(yield func(tp tuple) bool) {
+	blob := marshalTuples(nil, codecKindTheory, eps, n, func(yield func(tp tuple) bool) {
 		for _, tp := range tuples {
 			if !yield(tp) {
 				return

@@ -10,8 +10,12 @@ const codecVersion = 1
 
 // MarshalBinary implements encoding.BinaryMarshaler: parameters, levels,
 // and the RNG state, so restore-and-continue matches never stopping.
-func (s *Sketch) MarshalBinary() ([]byte, error) {
-	var e core.Encoder
+func (s *Sketch) MarshalBinary() ([]byte, error) { return s.AppendBinary(nil) }
+
+// AppendBinary implements core.AppendMarshaler: the same bytes as
+// MarshalBinary, appended onto dst so pooled buffers can be reused.
+func (s *Sketch) AppendBinary(dst []byte) ([]byte, error) {
+	e := core.EncoderFrom(dst)
 	e.U64(codecVersion)
 	e.F64(s.eps)
 	e.I64(s.n)

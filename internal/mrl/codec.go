@@ -7,8 +7,12 @@ const codecVersion = 1
 // MarshalBinary implements encoding.BinaryMarshaler: the complete
 // mid-stream state, RNG included, so restoring and continuing is
 // indistinguishable from never stopping.
-func (m *MRL99) MarshalBinary() ([]byte, error) {
-	var e core.Encoder
+func (m *MRL99) MarshalBinary() ([]byte, error) { return m.AppendBinary(nil) }
+
+// AppendBinary implements core.AppendMarshaler: the same bytes as
+// MarshalBinary, appended onto dst so pooled buffers can be reused.
+func (m *MRL99) AppendBinary(dst []byte) ([]byte, error) {
+	e := core.EncoderFrom(dst)
 	e.U64(codecVersion)
 	e.F64(m.eps)
 	e.I64(m.n)

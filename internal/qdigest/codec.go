@@ -11,8 +11,12 @@ const codecVersion = 1
 // MarshalBinary implements encoding.BinaryMarshaler. The encoding is
 // deterministic (nodes are sorted by id) so equal digests encode
 // identically.
-func (d *Digest) MarshalBinary() ([]byte, error) {
-	var e core.Encoder
+func (d *Digest) MarshalBinary() ([]byte, error) { return d.AppendBinary(nil) }
+
+// AppendBinary implements core.AppendMarshaler: the same bytes as
+// MarshalBinary, appended onto dst so pooled buffers can be reused.
+func (d *Digest) AppendBinary(dst []byte) ([]byte, error) {
+	e := core.EncoderFrom(dst)
 	e.U64(codecVersion)
 	e.F64(d.eps)
 	e.U64(uint64(d.bits))

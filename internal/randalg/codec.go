@@ -8,8 +8,12 @@ const codecVersion = 1
 // mid-stream state — buffers, the in-progress buffer's sampling block,
 // and the RNG — so a restored summary continues the stream bit-for-bit
 // identically to one that never stopped.
-func (r *Random) MarshalBinary() ([]byte, error) {
-	var e core.Encoder
+func (r *Random) MarshalBinary() ([]byte, error) { return r.AppendBinary(nil) }
+
+// AppendBinary implements core.AppendMarshaler: the same bytes as
+// MarshalBinary, appended onto dst so pooled buffers can be reused.
+func (r *Random) AppendBinary(dst []byte) ([]byte, error) {
+	e := core.EncoderFrom(dst)
 	e.U64(codecVersion)
 	e.F64(r.eps)
 	e.I64(r.n)

@@ -22,6 +22,16 @@ import (
 //	U64 P, then P × Blob (per-shard summary encoding)
 //	U64 component count, then count × Blob (frozen component encodings)
 //
+// Both directions fan the per-summary work out to a GOMAXPROCS-bounded
+// worker pool (see fanout): each encode worker holds only its own
+// shard's lock for the duration of that shard's marshal — stop the
+// shard, not the world — and writes into a pooled buffer; the frames
+// are then assembled in shard order into one exactly-sized output, so
+// the bytes are identical to the sequential version-1 encoding and the
+// committed goldens gate that. Decode splits the length-prefixed
+// sub-blobs in one cheap sequential scan, then decodes them into
+// per-worker fresh() summaries concurrently.
+//
 // Decoding builds summaries through the container's own factory and
 // feeds each blob to its UnmarshalBinary — the per-summary codecs are
 // self-describing (ε, seeds, k travel in the blob), so a decoded shard
@@ -34,36 +44,85 @@ const shardedCodecVersion = 1
 // must not translate into huge allocations (the SQ006 contract).
 const maxDecodedShards = 1 << 16
 
-// MarshalBinary implements encoding.BinaryMarshaler.
+// MarshalBinary implements encoding.BinaryMarshaler with a
+// GOMAXPROCS-wide worker pool.
 func (c *CashRegister) MarshalBinary() ([]byte, error) {
+	return c.MarshalBinaryWorkers(0)
+}
+
+// MarshalBinaryWorkers is MarshalBinary with an explicit worker bound:
+// 0 (or anything ≥ GOMAXPROCS) uses GOMAXPROCS workers, 1 marshals
+// sequentially. The bytes are identical for every worker count.
+func (c *CashRegister) MarshalBinaryWorkers(workers int) ([]byte, error) {
 	c.topo.RLock()
 	defer c.topo.RUnlock()
 	g := c.gen.Load()
-	var e core.Encoder
+	nShards := len(g.shards)
+	comps := c.ret.comps
+	parts := nShards + len(comps)
+	blobs := make([][]byte, parts)
+	bufs := make([]*[]byte, parts)
+	for i := range bufs {
+		bufs[i] = core.EncodeBufPool.Get().(*[]byte)
+	}
+	defer func() {
+		for _, b := range bufs {
+			core.EncodeBufPool.Put(b)
+		}
+	}()
+	err := fanout(parts, workers, func(i int) error {
+		var blob []byte
+		var err error
+		if i < nShards {
+			sh := &g.shards[i]
+			done := c.ckptStart(i)
+			sh.mu.Lock()
+			blob, err = marshalSummaryInto(sh.s, (*bufs[i])[:0])
+			sh.mu.Unlock()
+			done()
+			if err != nil {
+				return fmt.Errorf("sharded: marshal shard %d: %w", i, err)
+			}
+		} else {
+			comp := comps[i-nShards]
+			comp.mu.Lock()
+			blob, err = marshalSummaryInto(comp.s, (*bufs[i])[:0])
+			comp.mu.Unlock()
+			if err != nil {
+				return fmt.Errorf("sharded: marshal component %d: %w", i-nShards, err)
+			}
+		}
+		*bufs[i] = blob // keep the grown buffer for the pool
+		blobs[i] = blob
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return assembleSharded(g.id, nShards, blobs), nil
+}
+
+// assembleSharded concatenates the per-summary blobs into the
+// version-1 frame, in shard order, with one exactly-sized allocation.
+func assembleSharded(genID uint64, nShards int, blobs [][]byte) []byte {
+	nComps := len(blobs) - nShards
+	need := core.UvarintLen(shardedCodecVersion) + core.UvarintLen(genID) +
+		core.UvarintLen(uint64(nShards)) + core.UvarintLen(uint64(nComps))
+	for _, b := range blobs {
+		need += core.UvarintLen(uint64(len(b))) + len(b)
+	}
+	e := core.EncoderFrom(make([]byte, 0, need))
 	e.U64(shardedCodecVersion)
-	e.U64(g.id)
-	e.U64(uint64(len(g.shards)))
-	for i := range g.shards {
-		sh := &g.shards[i]
-		sh.mu.Lock()
-		blob, err := marshalSummary(sh.s)
-		sh.mu.Unlock()
-		if err != nil {
-			return nil, fmt.Errorf("sharded: marshal shard %d: %w", i, err)
-		}
-		e.Blob(blob)
+	e.U64(genID)
+	e.U64(uint64(nShards))
+	for _, b := range blobs[:nShards] {
+		e.Blob(b)
 	}
-	e.U64(uint64(len(c.ret.comps)))
-	for i, comp := range c.ret.comps {
-		comp.mu.Lock()
-		blob, err := marshalSummary(comp.s)
-		comp.mu.Unlock()
-		if err != nil {
-			return nil, fmt.Errorf("sharded: marshal component %d: %w", i, err)
-		}
-		e.Blob(blob)
+	e.U64(uint64(nComps))
+	for _, b := range blobs[nShards:] {
+		e.Blob(b)
 	}
-	return e.Bytes(), nil
+	return e.Bytes()
 }
 
 // UnmarshalBinary implements encoding.BinaryUnmarshaler: it replaces
@@ -71,6 +130,12 @@ func (c *CashRegister) MarshalBinary() ([]byte, error) {
 // components) with the decoded one, keeping the current factory and its
 // probed capabilities.
 func (c *CashRegister) UnmarshalBinary(data []byte) error {
+	return c.UnmarshalBinaryWorkers(data, 0)
+}
+
+// UnmarshalBinaryWorkers is UnmarshalBinary with an explicit worker
+// bound; see MarshalBinaryWorkers.
+func (c *CashRegister) UnmarshalBinaryWorkers(data []byte, workers int) error {
 	c.topo.Lock()
 	defer c.topo.Unlock()
 	cur := c.gen.Load()
@@ -79,37 +144,53 @@ func (c *CashRegister) UnmarshalBinary(data []byte) error {
 	if err != nil {
 		return err
 	}
-	if p > maxDecodedShards {
-		return core.Corruptf("sharded: shard count %d implausible", p)
-	}
-	next := &cashGen{id: id, shards: make([]cashShard, p), fresh: cur.fresh, caps: cur.caps, eps: cur.eps}
-	for i := range next.shards {
-		s := cur.fresh()
-		if err := unmarshalSummary(s, d.Blob(), d); err != nil {
+	shardBlobs := make([][]byte, p)
+	for i := range shardBlobs {
+		shardBlobs[i] = d.Blob()
+		if err := d.Err(); err != nil {
 			return fmt.Errorf("sharded: decode shard %d: %w", i, err)
 		}
-		sh := &next.shards[i]
-		sh.mu.Lock()
-		sh.s = s
-		sh.mu.Unlock()
 	}
 	nComps := d.U64()
 	if nComps > maxDecodedShards {
 		return core.Corruptf("sharded: component count %d implausible", nComps)
 	}
-	comps := make([]*retiredComp, 0, nComps)
-	for i := uint64(0); i < nComps; i++ {
-		s := cur.fresh()
-		if err := unmarshalSummary(s, d.Blob(), d); err != nil {
+	compBlobs := make([][]byte, nComps)
+	for i := range compBlobs {
+		compBlobs[i] = d.Blob()
+		if err := d.Err(); err != nil {
 			return fmt.Errorf("sharded: decode component %d: %w", i, err)
 		}
-		comps = append(comps, newRetiredComp(s))
 	}
 	if err := d.Err(); err != nil {
 		return err
 	}
 	if d.Remaining() != 0 {
 		return core.Corruptf("sharded: %d trailing bytes", d.Remaining())
+	}
+	next := &cashGen{id: id, shards: make([]cashShard, p), fresh: cur.fresh, caps: cur.caps, eps: cur.eps}
+	comps := make([]*retiredComp, len(compBlobs))
+	err = fanout(p+len(compBlobs), workers, func(i int) error {
+		s := cur.fresh()
+		if i < p {
+			if err := unmarshalSummary(s, shardBlobs[i]); err != nil {
+				return fmt.Errorf("sharded: decode shard %d: %w", i, err)
+			}
+			sh := &next.shards[i]
+			sh.mu.Lock()
+			sh.s = s
+			sh.mu.Unlock()
+			return nil
+		}
+		j := i - p
+		if err := unmarshalSummary(s, compBlobs[j]); err != nil {
+			return fmt.Errorf("sharded: decode component %d: %w", j, err)
+		}
+		comps[j] = newRetiredComp(s)
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	c.gen.Store(next)
 	c.ret.comps = comps
@@ -118,31 +199,59 @@ func (c *CashRegister) UnmarshalBinary(data []byte) error {
 	return nil
 }
 
-// MarshalBinary implements encoding.BinaryMarshaler.
+// MarshalBinary implements encoding.BinaryMarshaler with a
+// GOMAXPROCS-wide worker pool.
 func (t *Turnstile) MarshalBinary() ([]byte, error) {
+	return t.MarshalBinaryWorkers(0)
+}
+
+// MarshalBinaryWorkers is MarshalBinary with an explicit worker bound;
+// see the CashRegister variant.
+func (t *Turnstile) MarshalBinaryWorkers(workers int) ([]byte, error) {
 	t.topo.RLock()
 	defer t.topo.RUnlock()
 	g := t.gen.Load()
-	var e core.Encoder
-	e.U64(shardedCodecVersion)
-	e.U64(g.id)
-	e.U64(uint64(len(g.shards)))
-	for i := range g.shards {
-		sh := &g.shards[i]
-		sh.mu.Lock()
-		blob, err := marshalSummary(sh.s)
-		sh.mu.Unlock()
-		if err != nil {
-			return nil, fmt.Errorf("sharded: marshal shard %d: %w", i, err)
-		}
-		e.Blob(blob)
+	nShards := len(g.shards)
+	blobs := make([][]byte, nShards)
+	bufs := make([]*[]byte, nShards)
+	for i := range bufs {
+		bufs[i] = core.EncodeBufPool.Get().(*[]byte)
 	}
-	e.U64(0) // turnstile containers never freeze components
-	return e.Bytes(), nil
+	defer func() {
+		for _, b := range bufs {
+			core.EncodeBufPool.Put(b)
+		}
+	}()
+	err := fanout(nShards, workers, func(i int) error {
+		sh := &g.shards[i]
+		done := t.ckptStart(i)
+		sh.mu.Lock()
+		blob, err := marshalSummaryInto(sh.s, (*bufs[i])[:0])
+		sh.mu.Unlock()
+		done()
+		if err != nil {
+			return fmt.Errorf("sharded: marshal shard %d: %w", i, err)
+		}
+		*bufs[i] = blob
+		blobs[i] = blob
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Turnstile containers never freeze components, so the trailing
+	// component count is always zero.
+	return assembleSharded(g.id, nShards, blobs), nil
 }
 
 // UnmarshalBinary implements encoding.BinaryUnmarshaler.
 func (t *Turnstile) UnmarshalBinary(data []byte) error {
+	return t.UnmarshalBinaryWorkers(data, 0)
+}
+
+// UnmarshalBinaryWorkers is UnmarshalBinary with an explicit worker
+// bound; see the CashRegister variant.
+func (t *Turnstile) UnmarshalBinaryWorkers(data []byte, workers int) error {
 	t.topo.Lock()
 	defer t.topo.Unlock()
 	cur := t.gen.Load()
@@ -154,18 +263,14 @@ func (t *Turnstile) UnmarshalBinary(data []byte) error {
 	if p > maxDecodedShards {
 		return core.Corruptf("sharded: shard count %d implausible", p)
 	}
-	next := &turnGen{id: id, shards: make([]turnShard, p), fresh: cur.fresh, caps: cur.caps, eps: cur.eps}
-	for i := range next.shards {
-		s := cur.fresh()
-		if err := unmarshalSummary(s, d.Blob(), d); err != nil {
+	shardBlobs := make([][]byte, p)
+	for i := range shardBlobs {
+		shardBlobs[i] = d.Blob()
+		if err := d.Err(); err != nil {
 			return fmt.Errorf("sharded: decode shard %d: %w", i, err)
 		}
-		sh := &next.shards[i]
-		sh.mu.Lock()
-		sh.s = s
-		sh.mu.Unlock()
 	}
-	if n := d.U64(); n != 0 {
+	if n := d.U64(); n != 0 && d.Err() == nil {
 		return core.Corruptf("sharded: turnstile encoding carries %d components", n)
 	}
 	if err := d.Err(); err != nil {
@@ -173,6 +278,21 @@ func (t *Turnstile) UnmarshalBinary(data []byte) error {
 	}
 	if d.Remaining() != 0 {
 		return core.Corruptf("sharded: %d trailing bytes", d.Remaining())
+	}
+	next := &turnGen{id: id, shards: make([]turnShard, p), fresh: cur.fresh, caps: cur.caps, eps: cur.eps}
+	err = fanout(p, workers, func(i int) error {
+		s := cur.fresh()
+		if err := unmarshalSummary(s, shardBlobs[i]); err != nil {
+			return fmt.Errorf("sharded: decode shard %d: %w", i, err)
+		}
+		sh := &next.shards[i]
+		sh.mu.Lock()
+		sh.s = s
+		sh.mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	t.gen.Store(next)
 	t.q.invalidate()
@@ -198,8 +318,13 @@ func decodeShardedHeader(d *core.Decoder) (id uint64, p int, err error) {
 	return id, int(np), nil
 }
 
-// marshalSummary encodes one shard or component summary.
-func marshalSummary(s any) ([]byte, error) {
+// marshalSummaryInto encodes one shard or component summary, appending
+// into dst (typically a pooled buffer) when the summary supports the
+// append contract.
+func marshalSummaryInto(s any, dst []byte) ([]byte, error) {
+	if am, ok := s.(core.AppendMarshaler); ok {
+		return am.AppendBinary(dst)
+	}
 	m, ok := s.(encoding.BinaryMarshaler)
 	if !ok {
 		return nil, fmt.Errorf("summary %T has no binary encoding", s)
@@ -208,10 +333,7 @@ func marshalSummary(s any) ([]byte, error) {
 }
 
 // unmarshalSummary decodes one blob into a fresh factory summary.
-func unmarshalSummary(s any, blob []byte, d *core.Decoder) error {
-	if err := d.Err(); err != nil {
-		return err
-	}
+func unmarshalSummary(s any, blob []byte) error {
 	u, ok := s.(encoding.BinaryUnmarshaler)
 	if !ok {
 		return fmt.Errorf("summary %T has no binary decoding", s)

@@ -178,6 +178,10 @@ type CashRegister struct {
 	// drainObs, when set, brackets each retired shard's drain during an
 	// elastic operation (see SetDrainObserver).
 	drainObs atomic.Pointer[DrainObserver]
+
+	// ckptObs, when set, brackets each live shard's marshal during a
+	// checkpoint save (see SetCheckpointObserver).
+	ckptObs atomic.Pointer[CheckpointObserver]
 }
 
 // NewCashRegister builds a P-way sharded summary; fresh must return a

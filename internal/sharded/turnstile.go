@@ -84,6 +84,10 @@ type Turnstile struct {
 	// drainObs, when set, brackets each retired shard's drain during an
 	// elastic operation (see SetDrainObserver).
 	drainObs atomic.Pointer[DrainObserver]
+
+	// ckptObs, when set, brackets each live shard's marshal during a
+	// checkpoint save (see SetCheckpointObserver).
+	ckptObs atomic.Pointer[CheckpointObserver]
 }
 
 // partition is the pooled scatter scratch of one in-flight batch call.

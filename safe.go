@@ -250,10 +250,14 @@ func (c *SafeCashRegister) Snapshot() ([]byte, error) {
 
 // Checkpoint snapshots the summary and durably publishes the snapshot
 // as the next generation in ck's directory. Only the in-memory encode
-// holds the summary's lock; the fsync-and-rename protocol (and any
-// transient-error retries) run with updates flowing. Concurrent
-// Checkpoint calls on one Checkpointer are not allowed — run one
-// checkpointing goroutine per directory.
+// holds the summary's lock (shared, via Snapshot); the lock is released
+// before CRC framing, fsync and rename — and any transient-error
+// retries — so updates flow while the bytes hit disk. When the wrapped
+// summary is a sharded container the encode itself is parallel and
+// per-shard: each worker stops only its own shard for that shard's
+// marshal, never the whole container (see ShardedCashRegister's
+// MarshalBinary). Concurrent Checkpoint calls on one Checkpointer are
+// not allowed — run one checkpointing goroutine per directory.
 func (c *SafeCashRegister) Checkpoint(ck *Checkpointer, label string) (uint64, error) {
 	blob, err := c.Snapshot()
 	if err != nil {
